@@ -1,0 +1,693 @@
+(* The experiment harness: one table per experiment E1-E8 of DESIGN.md
+   (the paper, a theory paper, has no tables or figures of its own; see
+   EXPERIMENTS.md for the mapping from each experiment to the paper
+   claim it exercises), plus bechamel micro-benchmarks of the core
+   operations.
+
+   Run all:        dune exec bench/main.exe
+   Run a subset:   dune exec bench/main.exe -- e3 e5 micro *)
+
+open Core
+
+let seeds n = List.init n (fun i -> (i * 101) + 3)
+
+let run ?(abort_prob = 0.0) ~seed schema factory forest =
+  Runtime.run ~policy:Runtime.Bsp_rounds ~abort_prob ~seed schema factory
+    forest
+
+let fi = float_of_int
+
+(* ------------------------------------------------------------------ *)
+(* E1: concurrency of Moss' locking vs the serial scheduler.           *)
+
+let e1 () =
+  let t =
+    Table.create ~title:"E1: Moss locking vs serial scheduler (registers)"
+      ~columns:
+        [ "n_top"; "serial_events"; "moss_rounds"; "speedup"; "committed";
+          "correct" ]
+  in
+  List.iter
+    (fun n_top ->
+      let profile =
+        { Gen.default with n_top; depth = 2; fanout = 3; n_objects = 8 }
+      in
+      let serial_events = ref [] and rounds = ref [] and committed = ref [] in
+      let all_correct = ref true in
+      List.iter
+        (fun seed ->
+          let forest, schema = Gen.forest_and_schema Gen.registers ~seed profile in
+          let st = Serial_exec.run schema forest in
+          serial_events := fi (Trace.length st) :: !serial_events;
+          let r = run ~seed schema Moss_object.factory forest in
+          rounds := fi r.Runtime.stats.rounds :: !rounds;
+          committed := fi r.Runtime.committed_top :: !committed;
+          if not (Checker.serially_correct schema r.Runtime.trace) then
+            all_correct := false)
+        (seeds 5);
+      let se = Stats.mean !serial_events and ro = Stats.mean !rounds in
+      Table.add_row t
+        [
+          Table.cell_i n_top;
+          Table.cell_f se;
+          Table.cell_f ro;
+          Table.cell_f (Stats.ratio se ro);
+          Table.cell_f (Stats.mean !committed);
+          string_of_bool !all_correct;
+        ])
+    [ 4; 8; 16; 32; 64 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E2: blocking and aborts under contention, locking vs undo logging.  *)
+
+let e2 () =
+  let t =
+    Table.create
+      ~title:"E2: contention behavior (hot counters; undo vs r/w locking)"
+      ~columns:
+        [ "theta"; "objects"; "undo_blocked"; "undo_dlk"; "moss_blocked";
+          "moss_dlk" ]
+  in
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun n_counters ->
+          let ub = ref [] and ud = ref [] and mb = ref [] and md = ref [] in
+          List.iter
+            (fun seed ->
+              let forest, schema =
+                Scenario.hotspot_counter ~n_txns:16 ~n_counters ~theta ~seed
+              in
+              let r = run ~seed schema Undo_object.factory forest in
+              ub := fi r.Runtime.stats.blocked_attempts :: !ub;
+              ud := fi r.Runtime.stats.deadlock_aborts :: !ud;
+              let forest, schema =
+                Scenario.rw_equivalent_counter ~n_txns:16 ~n_counters ~theta
+                  ~seed
+              in
+              let r = run ~seed schema Moss_object.factory forest in
+              mb := fi r.Runtime.stats.blocked_attempts :: !mb;
+              md := fi r.Runtime.stats.deadlock_aborts :: !md)
+            (seeds 5);
+          Table.add_row t
+            [
+              Table.cell_f theta;
+              Table.cell_i n_counters;
+              Table.cell_f (Stats.mean !ub);
+              Table.cell_f (Stats.mean !ud);
+              Table.cell_f (Stats.mean !mb);
+              Table.cell_f (Stats.mean !md);
+            ])
+        [ 1; 4; 16 ])
+    [ 0.0; 0.5; 0.9 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E3: type-specific commutativity: throughput of the same logical     *)
+(* workload as counters (undo) vs read/write registers (locking).      *)
+
+let e3 () =
+  let t =
+    Table.create
+      ~title:"E3: commuting increments (undo) vs read-modify-write (locking)"
+      ~columns:
+        [ "n_txns"; "undo_rounds"; "moss_rounds"; "undo_tput"; "moss_tput";
+          "undo/moss" ]
+  in
+  List.iter
+    (fun n_txns ->
+      let ur = ref [] and mr = ref [] and ut = ref [] and mt = ref [] in
+      List.iter
+        (fun seed ->
+          let forest, schema =
+            Scenario.hotspot_counter ~n_txns ~n_counters:1 ~theta:0.0 ~seed
+          in
+          let r = run ~seed schema Undo_object.factory forest in
+          ur := fi r.Runtime.stats.rounds :: !ur;
+          ut :=
+            Stats.ratio (fi r.Runtime.committed_top) (fi r.Runtime.stats.rounds)
+            :: !ut;
+          let forest, schema =
+            Scenario.rw_equivalent_counter ~n_txns ~n_counters:1 ~theta:0.0
+              ~seed
+          in
+          let r = run ~seed schema Moss_object.factory forest in
+          mr := fi r.Runtime.stats.rounds :: !mr;
+          mt :=
+            Stats.ratio (fi r.Runtime.committed_top) (fi r.Runtime.stats.rounds)
+            :: !mt)
+        (seeds 5);
+      Table.add_row t
+        [
+          Table.cell_i n_txns;
+          Table.cell_f (Stats.mean !ur);
+          Table.cell_f (Stats.mean !mr);
+          Table.cell_f (Stats.mean !ut);
+          Table.cell_f (Stats.mean !mt);
+          Table.cell_f (Stats.ratio (Stats.mean !ut) (Stats.mean !mt));
+        ])
+    [ 4; 8; 16; 32 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E4: agreement of the nested construction with the classical flat    *)
+(* conflict graph on depth-one workloads.                              *)
+
+let e4 () =
+  let t =
+    Table.create
+      ~title:"E4: nested SG vs classical conflict graph (flat workloads)"
+      ~columns:
+        [ "protocol"; "runs"; "both_accept"; "both_reject"; "nested_only_rej";
+          "classical_only_rej" ]
+  in
+  let experiment name factory n =
+    let ba = ref 0 and br = ref 0 and nr = ref 0 and cr = ref 0 in
+    for seed = 1 to n do
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 8; depth = 1; n_objects = 2;
+            read_ratio = 0.4 }
+      in
+      let r = run ~seed schema factory forest in
+      let nested = Checker.serially_correct schema r.Runtime.trace in
+      let classical =
+        Flat_sg.is_serializable (History.of_trace schema r.Runtime.trace)
+      in
+      match (nested, classical) with
+      | true, true -> incr ba
+      | false, false -> incr br
+      | false, true -> incr nr
+      | true, false -> incr cr
+    done;
+    Table.add_row t
+      [
+        name; Table.cell_i n; Table.cell_i !ba; Table.cell_i !br;
+        Table.cell_i !nr; Table.cell_i !cr;
+      ]
+  in
+  experiment "moss" Moss_object.factory 40;
+  experiment "no_control" Broken.no_control 40;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E5: cost of the construction as traces grow.                        *)
+
+let e5 () =
+  let t =
+    Table.create ~title:"E5: checker cost vs trace length"
+      ~columns:
+        [ "events"; "sg_build_ms"; "verdict_ms"; "monitor_ms"; "sg_edges";
+          "correct" ]
+  in
+  List.iter
+    (fun n_top ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed:11
+          { Gen.default with n_top; depth = 2; n_objects = 8 }
+      in
+      let r = run ~seed:11 schema Moss_object.factory forest in
+      let beta = Trace.serial r.Runtime.trace in
+      let time f =
+        let t0 = Sys.time () in
+        let x = f () in
+        (x, (Sys.time () -. t0) *. 1000.0)
+      in
+      let g, t_build = time (fun () -> Sg.build Sg.Access_level schema beta) in
+      let v, t_verdict = time (fun () -> Checker.check schema r.Runtime.trace) in
+      let alarms, t_monitor =
+        time (fun () ->
+            let m = Monitor.create schema in
+            Monitor.feed_trace m r.Runtime.trace)
+      in
+      Table.add_row t
+        [
+          Table.cell_i (Trace.length r.Runtime.trace);
+          Table.cell_f t_build;
+          Table.cell_f t_verdict;
+          Table.cell_f t_monitor;
+          Table.cell_i (Graph.n_edges g);
+          string_of_bool (v.Checker.serially_correct && alarms = []);
+        ])
+    [ 4; 8; 16; 32; 64; 128 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E6: insensitivity to tree shape.                                    *)
+
+let e6 () =
+  let t =
+    Table.create ~title:"E6: nesting depth/fanout sweep (Moss, registers)"
+      ~columns:
+        [ "depth"; "fanout"; "accesses"; "rounds"; "dlk_aborts"; "correct" ]
+  in
+  List.iter
+    (fun depth ->
+      List.iter
+        (fun fanout ->
+          let acc = ref [] and ro = ref [] and dl = ref [] in
+          let all_correct = ref true in
+          List.iter
+            (fun seed ->
+              let forest, schema =
+                Gen.forest_and_schema Gen.registers ~seed
+                  { Gen.default with n_top = 6; depth; fanout; n_objects = 4 }
+              in
+              let n_acc =
+                List.fold_left
+                  (fun n p -> n + List.length (Program.accesses p))
+                  0 forest
+              in
+              acc := fi n_acc :: !acc;
+              let r = run ~seed schema Moss_object.factory forest in
+              ro := fi r.Runtime.stats.rounds :: !ro;
+              dl := fi r.Runtime.stats.deadlock_aborts :: !dl;
+              if not (Checker.serially_correct schema r.Runtime.trace) then
+                all_correct := false)
+            (seeds 4);
+          Table.add_row t
+            [
+              Table.cell_i depth;
+              Table.cell_i fanout;
+              Table.cell_f (Stats.mean !acc);
+              Table.cell_f (Stats.mean !ro);
+              Table.cell_f (Stats.mean !dl);
+              string_of_bool !all_correct;
+            ])
+        [ 1; 2; 4 ])
+    [ 1; 2; 3; 4 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E7: discriminating power: detection of broken protocols.            *)
+
+let e7 () =
+  let t =
+    Table.create ~title:"E7: detection rate of broken protocols"
+      ~columns:[ "protocol"; "contention"; "aborts"; "rejected"; "of" ]
+  in
+  let case name factory ~hot ~abort_prob =
+    let n = 30 in
+    let rejected = ref 0 in
+    for seed = 1 to n do
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 8; depth = 1;
+            n_objects = (if hot then 1 else 8); read_ratio = 0.4 }
+      in
+      let r = run ~abort_prob ~seed schema factory forest in
+      if not (Checker.serially_correct schema r.Runtime.trace) then
+        incr rejected
+    done;
+    Table.add_row t
+      [
+        name;
+        (if hot then "high" else "low");
+        (if abort_prob > 0.0 then "yes" else "no");
+        Table.cell_i !rejected;
+        Table.cell_i n;
+      ]
+  in
+  case "no_control" Broken.no_control ~hot:true ~abort_prob:0.0;
+  case "no_control" Broken.no_control ~hot:false ~abort_prob:0.0;
+  case "no_control" Broken.no_control ~hot:true ~abort_prob:0.1;
+  case "unsafe_read" Broken.unsafe_read ~hot:true ~abort_prob:0.1;
+  case "unsafe_read" Broken.unsafe_read ~hot:true ~abort_prob:0.0;
+  case "no_undo" Broken.no_undo ~hot:true ~abort_prob:0.1;
+  case "moss (control)" Moss_object.factory ~hot:true ~abort_prob:0.1;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E8: sufficiency, not necessity: access-level cycles on behaviors    *)
+(* whose operation-level graph is acyclic and provably correct.        *)
+
+let e8 () =
+  let t =
+    Table.create
+      ~title:
+        "E8: Section-4 (access-level) vs Section-6 (operation-level) graphs \
+         on same-value-write workloads under undo logging"
+      ~columns:
+        [ "runs"; "acc_cyclic"; "op_cyclic"; "acc_cyc&op_acyc";
+          "op_correct" ]
+  in
+  let n = 40 in
+  let acc_cyc = ref 0 and op_cyc = ref 0 and gap = ref 0 and ok = ref 0 in
+  for seed = 1 to n do
+    (* All writes store the same value: distinct writers commute at the
+       operation level but conflict at the access level. *)
+    let rng = Rng.create seed in
+    let x = Obj_id.make "x" in
+    let forest =
+      List.init 8 (fun _ ->
+          Program.seq
+            (List.init
+               (1 + Rng.int rng 2)
+               (fun _ ->
+                 if Rng.int rng 4 = 0 then Program.access x Datatype.Read
+                 else Program.access x (Datatype.Write (Value.Int 1)))))
+    in
+    let schema =
+      Program.schema_of ~objects:[ (x, Register.make ~init:(Value.Int 1) ()) ]
+        forest
+    in
+    let r = run ~seed schema Undo_object.factory forest in
+    let beta = Trace.serial r.Runtime.trace in
+    let g_acc = Sg.build Sg.Access_level schema beta in
+    let g_op = Sg.build Sg.Operation_level schema beta in
+    let ca = not (Graph.is_acyclic g_acc) in
+    let co = not (Graph.is_acyclic g_op) in
+    if ca then incr acc_cyc;
+    if co then incr op_cyc;
+    if ca && not co then incr gap;
+    if Checker.serially_correct ~mode:Sg.Operation_level schema r.Runtime.trace
+    then incr ok
+  done;
+  Table.add_row t
+    [
+      Table.cell_i n; Table.cell_i !acc_cyc; Table.cell_i !op_cyc;
+      Table.cell_i !gap; Table.cell_i !ok;
+    ];
+  Table.print t
+
+
+(* ------------------------------------------------------------------ *)
+(* E9: the boundary of the SG technique: multiversion timestamp        *)
+(* behaviors are certified by Theorem 2 with the pseudotime order,     *)
+(* while their serialization graphs can be cyclic and their returns    *)
+(* violate the update-in-place hypothesis.                             *)
+
+let e9 () =
+  let t =
+    Table.create
+      ~title:
+        "E9: MVTS vs the SG technique (Theorem 2 with pseudotime order)"
+      ~columns:
+        [ "runs"; "thm2_certified"; "sg_cyclic"; "not_appropriate";
+          "thm8_applicable" ]
+  in
+  let n = 30 in
+  let certified = ref 0 and cyclic = ref 0 and inappropriate = ref 0
+  and thm8 = ref 0 in
+  for seed = 1 to n do
+    let forest, schema =
+      Gen.forest_and_schema Gen.registers ~seed
+        { Gen.default with n_top = 6; depth = 2; n_objects = 2 }
+    in
+    let r = run ~seed schema Mvts_object.factory forest in
+    let beta = Trace.serial r.Runtime.trace in
+    let order = Sibling_order.index_order beta in
+    if Theorem2.holds schema order r.Runtime.trace then incr certified;
+    let g = Sg.build Sg.Access_level schema beta in
+    let acyclic = Graph.is_acyclic g in
+    if not acyclic then incr cyclic;
+    let appr = Return_values.appropriate_general schema beta in
+    if not appr then incr inappropriate;
+    if acyclic && appr then incr thm8
+  done;
+  Table.add_row t
+    [
+      Table.cell_i n; Table.cell_i !certified; Table.cell_i !cyclic;
+      Table.cell_i !inappropriate; Table.cell_i !thm8;
+    ];
+  Table.print t
+
+
+(* ------------------------------------------------------------------ *)
+(* E10: the three correct completion-order protocols side by side on   *)
+(* every data-type family (M1_X only where the schema is read/write).  *)
+
+let e10 () =
+  let t =
+    Table.create
+      ~title:"E10: protocol comparison (BSP rounds / blocked / victim aborts)"
+      ~columns:
+        [ "workload"; "protocol"; "rounds"; "blocked"; "dlk_aborts";
+          "committed"; "correct" ]
+  in
+  let protocols =
+    [
+      ("moss", Some Moss_object.factory);
+      ("commlock", Some Commlock_object.factory);
+      ("undo", Some Undo_object.factory);
+    ]
+  in
+  let workloads =
+    [
+      ("registers", Gen.registers, true);
+      ("counters", Gen.counters, false);
+      ("mixed", Gen.mixed, false);
+    ]
+  in
+  List.iter
+    (fun (wname, gen, rw_ok) ->
+      List.iter
+        (fun (pname, factory) ->
+          match factory with
+          | Some factory when rw_ok || pname <> "moss" ->
+              let ro = ref [] and bl = ref [] and dl = ref [] and co = ref [] in
+              let all_correct = ref true in
+              List.iter
+                (fun seed ->
+                  let forest, schema =
+                    Gen.forest_and_schema gen ~seed
+                      { Gen.default with n_top = 10; depth = 2; n_objects = 3 }
+                  in
+                  let r = run ~seed schema factory forest in
+                  ro := fi r.Runtime.stats.rounds :: !ro;
+                  bl := fi r.Runtime.stats.blocked_attempts :: !bl;
+                  dl := fi r.Runtime.stats.deadlock_aborts :: !dl;
+                  co := fi r.Runtime.committed_top :: !co;
+                  if not (Checker.serially_correct schema r.Runtime.trace) then
+                    all_correct := false)
+                (seeds 5);
+              Table.add_row t
+                [
+                  wname; pname;
+                  Table.cell_f (Stats.mean !ro);
+                  Table.cell_f (Stats.mean !bl);
+                  Table.cell_f (Stats.mean !dl);
+                  Table.cell_f (Stats.mean !co);
+                  string_of_bool !all_correct;
+                ]
+          | _ -> ())
+        protocols)
+    workloads;
+  Table.print t
+
+
+(* ------------------------------------------------------------------ *)
+(* E11: quorum replication — one-copy correctness vs quorum choice     *)
+(* (the paper's companion application [6], built on the framework).    *)
+
+let e11 () =
+  let t =
+    Table.create
+      ~title:
+        "E11: quorum replication over 3 replicas (undo logging underneath)"
+      ~columns:
+        [ "read_q"; "write_q"; "intersecting"; "physical_ok"; "one_copy_ok";
+          "of"; "events" ]
+  in
+  let lx = Obj_id.make "LX" and ly = Obj_id.make "LY" in
+  let logical_forest seed n_txns =
+    let rng = Rng.create seed in
+    List.init n_txns (fun _ ->
+        Program.seq
+          (List.init
+             (1 + Rng.int rng 3)
+             (fun _ ->
+               let x = if Rng.bool rng then lx else ly in
+               if Rng.bool rng then Program.access x Datatype.Read
+               else
+                 Program.access x
+                   (Datatype.Write (Value.Int (1 + Rng.int rng 9))))))
+  in
+  List.iter
+    (fun (r, w) ->
+      let config =
+        { Replication.n_replicas = 3; read_quorum = r; write_quorum = w }
+      in
+      let n = 20 in
+      let phys_ok = ref 0 and one_copy = ref 0 and events = ref [] in
+      for seed = 1 to n do
+        let plan =
+          Replication.replicate config ~objects:[ lx; ly ]
+            (logical_forest seed 6)
+        in
+        let res =
+          Runtime.run ~policy:Runtime.Bsp_rounds ~top_comb:Program.Seq ~seed
+            plan.Replication.physical_schema Undo_object.factory
+            plan.Replication.physical_forest
+        in
+        if
+          Checker.serially_correct plan.Replication.physical_schema
+            res.Runtime.trace
+        then incr phys_ok;
+        (match Replication.check_one_copy plan res.Runtime.trace with
+        | Ok () -> incr one_copy
+        | Error _ -> ());
+        events := fi res.Runtime.stats.actions :: !events
+      done;
+      Table.add_row t
+        [
+          Table.cell_i r; Table.cell_i w;
+          string_of_bool (Replication.intersecting config);
+          Table.cell_i !phys_ok; Table.cell_i !one_copy; Table.cell_i n;
+          Table.cell_f (Stats.mean !events);
+        ])
+    [ (1, 3); (2, 2); (3, 1); (1, 1); (2, 1); (1, 2) ];
+  Table.print t
+
+
+(* ------------------------------------------------------------------ *)
+(* E12: ablation — sensitivity to completion-information latency.      *)
+(* Lazy informs are delivered only when nothing else can move; every   *)
+(* visibility- or inheritance-based protocol pays, and the cost shows  *)
+(* where each protocol consults INFORM_COMMITs.                        *)
+
+let e12 () =
+  let t =
+    Table.create
+      ~title:"E12: eager vs lazy INFORM delivery (registers, BSP rounds)"
+      ~columns:
+        [ "protocol"; "informs"; "rounds"; "blocked"; "dlk_aborts"; "correct" ]
+  in
+  let case pname factory inform_policy iname =
+    let ro = ref [] and bl = ref [] and dl = ref [] in
+    let all_correct = ref true in
+    List.iter
+      (fun seed ->
+        let forest, schema =
+          Gen.forest_and_schema Gen.registers ~seed
+            { Gen.default with n_top = 8; depth = 2; n_objects = 2 }
+        in
+        let r =
+          Runtime.run ~policy:Runtime.Bsp_rounds ~inform_policy ~seed schema
+            factory forest
+        in
+        ro := fi r.Runtime.stats.rounds :: !ro;
+        bl := fi r.Runtime.stats.blocked_attempts :: !bl;
+        dl := fi r.Runtime.stats.deadlock_aborts :: !dl;
+        let ok =
+          if pname = "mvts" then
+            (* Multiversion serializes by pseudotime: Theorem 2. *)
+            Theorem2.holds schema
+              (Sibling_order.index_order (Trace.serial r.Runtime.trace))
+              r.Runtime.trace
+          else Checker.serially_correct schema r.Runtime.trace
+        in
+        if not ok then all_correct := false)
+      (seeds 5);
+    Table.add_row t
+      [
+        pname; iname;
+        Table.cell_f (Stats.mean !ro);
+        Table.cell_f (Stats.mean !bl);
+        Table.cell_f (Stats.mean !dl);
+        string_of_bool !all_correct;
+      ]
+  in
+  List.iter
+    (fun (pname, factory) ->
+      case pname factory Runtime.Eager "eager";
+      case pname factory Runtime.Lazy "lazy")
+    [
+      ("moss", Moss_object.factory);
+      ("commlock", Commlock_object.factory);
+      ("undo", Undo_object.factory);
+      ("mvts", Mvts_object.factory);
+    ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core operations.                   *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  (* A fixed mid-size behavior to measure against. *)
+  let forest, schema =
+    Gen.forest_and_schema Gen.registers ~seed:21
+      { Gen.default with n_top = 16; depth = 2; n_objects = 4 }
+  in
+  let r = run ~seed:21 schema Moss_object.factory forest in
+  let beta = Trace.serial r.Runtime.trace in
+  let tests =
+    [
+      Test.make ~name:"visible(beta,T0)"
+        (Staged.stage (fun () -> Trace.visible beta ~to_:Txn_id.root));
+      Test.make ~name:"clean(beta)" (Staged.stage (fun () -> Trace.clean beta));
+      Test.make ~name:"conflict(beta)"
+        (Staged.stage (fun () ->
+             Conflict.relation Conflict.Access_level schema beta));
+      Test.make ~name:"precedes(beta)"
+        (Staged.stage (fun () -> Precedes.relation beta));
+      Test.make ~name:"SG(beta)"
+        (Staged.stage (fun () -> Sg.build Sg.Access_level schema beta));
+      Test.make ~name:"full Theorem-8 verdict"
+        (Staged.stage (fun () -> Checker.check schema r.Runtime.trace));
+      Test.make ~name:"moss run (16 txns)"
+        (Staged.stage (fun () ->
+             run ~seed:21 schema Moss_object.factory forest));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t =
+    Table.create ~title:"micro: core operations (bechamel, monotonic clock)"
+      ~columns:[ "operation"; "ns/run"; "r^2" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> e
+        | _ -> Float.nan
+      in
+      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+      rows := (name, est, r2) :: !rows)
+    results;
+  List.iter
+    (fun (name, est, r2) ->
+      Table.add_row t [ name; Printf.sprintf "%.0f" est; Table.cell_f r2 ])
+    (List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows);
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f ->
+          f ();
+          print_newline ()
+      | None ->
+          Format.eprintf "unknown experiment %S (have: %s)@." name
+            (String.concat ", " (List.map fst all));
+          exit 2)
+    requested

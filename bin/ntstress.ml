@@ -1,0 +1,125 @@
+(* ntstress: a long-running randomized model-checking campaign.
+
+   The test suite keeps its seed counts CI-sized; this binary runs the
+   same assertion battery over as many seeds as you give it — the
+   "leave it running overnight" tool.  For every (protocol x profile x
+   seed) it executes the generic system and asserts:
+
+   - generic/simple well-formedness of the behavior;
+   - the protocol's correctness theorem (SG checker for
+     completion-order protocols, Theorem 2 with the pseudotime order
+     for MVTS);
+   - on a sample of object projections, the per-protocol lemma
+     invariants (Moss Lemmas 9/10/12-13, undo Lemmas 20/22).
+
+   Any failure prints the seed and a diagnosis and exits nonzero, so
+   the campaign is reproducible.
+
+   Usage: ntstress [seeds-per-cell]          (default 50) *)
+
+open Core
+
+type verdict_kind = Sg_checker | Pseudotime
+
+let protocols =
+  [
+    ("moss", Moss_object.factory, Sg_checker, true);
+    ("commlock", Commlock_object.factory, Sg_checker, false);
+    ("undo", Undo_object.factory, Sg_checker, false);
+    ("mvts", Mvts_object.factory, Pseudotime, true);
+  ]
+
+let profiles =
+  [
+    ("flat-hot", Gen.registers, { Gen.default with n_top = 8; depth = 1; n_objects = 1 });
+    ("nested", Gen.registers, { Gen.default with n_top = 6; depth = 3; n_objects = 3 });
+    ("counters", Gen.counters, { Gen.default with n_top = 8; depth = 2; n_objects = 2 });
+    ("mixed", Gen.mixed, { Gen.default with n_top = 6; depth = 2; n_objects = 6 });
+    ( "skewed",
+      Gen.registers,
+      { Gen.default with n_top = 8; depth = 2; n_objects = 4; theta = 1.0 } );
+  ]
+
+let check_lemmas name schema (trace : Trace.t) =
+  match name with
+  | "moss" ->
+      List.for_all
+        (fun x ->
+          let proj = Moss_invariants.project schema x trace in
+          Moss_invariants.lemma9 schema x proj
+          && Moss_invariants.lemma10 schema x proj
+          && Moss_invariants.lemma12_13 schema x proj)
+        schema.Schema.objects
+  | "undo" ->
+      List.for_all
+        (fun x ->
+          let proj = Undo_invariants.project schema x trace in
+          Undo_invariants.lemma20 schema x proj
+          && Undo_invariants.lemma22 schema x proj)
+        schema.Schema.objects
+  | _ -> true
+
+let () =
+  let seeds_per_cell =
+    match Sys.argv with
+    | [| _ |] -> 50
+    | [| _; n |] -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> n
+        | _ ->
+            prerr_endline "usage: ntstress [seeds-per-cell]";
+            exit 2)
+    | _ ->
+        prerr_endline "usage: ntstress [seeds-per-cell]";
+        exit 2
+  in
+  let total = ref 0 and failures = ref 0 in
+  let t0 = Sys.time () in
+  List.iter
+    (fun (pname, factory, kind, rw_only) ->
+      List.iter
+        (fun (wname, gen, profile) ->
+          let is_rw =
+            Schema.all_read_write (snd (Gen.forest_and_schema gen ~seed:1 profile))
+          in
+          if (not rw_only) || is_rw then
+            for seed = 1 to seeds_per_cell do
+              incr total;
+              let forest, schema = Gen.forest_and_schema gen ~seed profile in
+              (* Alternate policies, abort rates and inform latencies. *)
+              let policy =
+                if seed mod 2 = 0 then Runtime.Bsp_rounds else Runtime.Random_step
+              in
+              let inform_policy =
+                if seed mod 3 = 0 then Runtime.Lazy else Runtime.Eager
+              in
+              let abort_prob = if seed mod 4 = 0 then 0.08 else 0.0 in
+              let r =
+                Runtime.run ~policy ~inform_policy ~abort_prob ~seed schema
+                  factory forest
+              in
+              let ok_wf = Simple_db.is_well_formed schema.Schema.sys r.trace in
+              let ok_thm =
+                match kind with
+                | Sg_checker -> Checker.serially_correct schema r.trace
+                | Pseudotime ->
+                    Theorem2.holds schema
+                      (Sibling_order.index_order (Trace.serial r.trace))
+                      r.trace
+              in
+              let ok_lemmas =
+                seed mod 5 <> 0 || check_lemmas pname schema r.trace
+              in
+              if not (ok_wf && ok_thm && ok_lemmas) then begin
+                incr failures;
+                Format.printf "FAIL %s/%s seed %d (wf %b, thm %b, lemmas %b)@."
+                  pname wname seed ok_wf ok_thm ok_lemmas;
+                if not ok_thm && kind = Sg_checker then
+                  print_string (Checker.explain schema r.trace)
+              end
+            done)
+        profiles)
+    protocols;
+  Format.printf "ntstress: %d runs, %d failures, %.1f s@." !total !failures
+    (Sys.time () -. t0);
+  if !failures > 0 then exit 1

@@ -1,0 +1,56 @@
+(* Commutativity: why Section 6 generalizes the construction beyond
+   reads and writes.
+
+   The same logical workload — concurrent increments of shared
+   counters — is run twice:
+
+   - as genuine counter [Incr] operations under undo logging, where
+     increments commute backward and nothing ever blocks;
+   - as read-modify-write register pairs under Moss' locking, where
+     every pair of transactions conflicts on the hot register.
+
+   The run statistics show the gap: blocking and deadlock aborts on the
+   read/write side, none on the counter side, with both executions
+   serially correct.
+
+   Run with: dune exec examples/commutativity.exe *)
+
+open Core
+
+let n_txns = 12
+let theta = 0.9
+
+let run name (forest, schema) factory =
+  let result =
+    Runtime.run ~policy:Runtime.Bsp_rounds ~seed:5 schema factory forest
+  in
+  let correct = Checker.serially_correct schema result.Runtime.trace in
+  Format.printf
+    "%-22s rounds %4d  blocked %4d  deadlock-aborts %2d  committed %2d/%d  \
+     correct %b@."
+    name result.Runtime.stats.rounds result.Runtime.stats.blocked_attempts
+    result.Runtime.stats.deadlock_aborts result.Runtime.committed_top n_txns
+    correct;
+  result
+
+let () =
+  Format.printf
+    "Hot counter workload, two encodings (%d transactions, zipf %.1f):@.@."
+    n_txns theta;
+  let counters = Scenario.hotspot_counter ~n_txns ~n_counters:2 ~theta ~seed:3 in
+  let registers =
+    Scenario.rw_equivalent_counter ~n_txns ~n_counters:2 ~theta ~seed:3
+  in
+  let c = run "counters + undo log" counters Undo_object.factory in
+  let r = run "registers + locking" registers Moss_object.factory in
+  Format.printf
+    "@.Counter increments commute backward, so the undo-logging object@.\
+     admits them all concurrently (%d blocked attempts); the read/write@.\
+     encoding serializes every transaction through the hot register@.\
+     (%d blocked attempts, %d victim aborts).@."
+    c.Runtime.stats.blocked_attempts r.Runtime.stats.blocked_attempts
+    r.Runtime.stats.deadlock_aborts;
+  if c.Runtime.stats.blocked_attempts > 0 then begin
+    Format.printf "unexpected blocking on commuting operations@.";
+    exit 1
+  end

@@ -1,0 +1,61 @@
+type t =
+  | Request_create of Txn_id.t
+  | Create of Txn_id.t
+  | Request_commit of Txn_id.t * Value.t
+  | Commit of Txn_id.t
+  | Abort of Txn_id.t
+  | Report_commit of Txn_id.t * Value.t
+  | Report_abort of Txn_id.t
+  | Inform_commit of Obj_id.t * Txn_id.t
+  | Inform_abort of Obj_id.t * Txn_id.t
+
+let is_serial = function Inform_commit _ | Inform_abort _ -> false | _ -> true
+let is_completion = function Commit _ | Abort _ -> true | _ -> false
+
+let transaction = function
+  | Create t | Request_commit (t, _) -> Some t
+  | Request_create t | Report_commit (t, _) | Report_abort t ->
+      Txn_id.parent t
+  | Commit _ | Abort _ | Inform_commit _ | Inform_abort _ -> None
+
+let hightransaction = function
+  | Commit t | Abort t -> Txn_id.parent t
+  | Inform_commit _ | Inform_abort _ -> None
+  | a -> transaction a
+
+let lowtransaction = function
+  | Commit t | Abort t -> Some t
+  | Inform_commit _ | Inform_abort _ -> None
+  | a -> transaction a
+
+let object_of sys = function
+  | (Create t | Request_commit (t, _)) when System_type.is_access sys t ->
+      System_type.object_of sys t
+  | _ -> None
+
+let subject = function
+  | Request_create t | Create t | Request_commit (t, _) | Commit t | Abort t
+  | Report_commit (t, _) | Report_abort t
+  | Inform_commit (_, t)
+  | Inform_abort (_, t) ->
+      t
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+let pp fmt = function
+  | Request_create t -> Format.fprintf fmt "REQUEST_CREATE(%a)" Txn_id.pp t
+  | Create t -> Format.fprintf fmt "CREATE(%a)" Txn_id.pp t
+  | Request_commit (t, v) ->
+      Format.fprintf fmt "REQUEST_COMMIT(%a, %a)" Txn_id.pp t Value.pp v
+  | Commit t -> Format.fprintf fmt "COMMIT(%a)" Txn_id.pp t
+  | Abort t -> Format.fprintf fmt "ABORT(%a)" Txn_id.pp t
+  | Report_commit (t, v) ->
+      Format.fprintf fmt "REPORT_COMMIT(%a, %a)" Txn_id.pp t Value.pp v
+  | Report_abort t -> Format.fprintf fmt "REPORT_ABORT(%a)" Txn_id.pp t
+  | Inform_commit (x, t) ->
+      Format.fprintf fmt "INFORM_COMMIT_AT(%a)OF(%a)" Obj_id.pp x Txn_id.pp t
+  | Inform_abort (x, t) ->
+      Format.fprintf fmt "INFORM_ABORT_AT(%a)OF(%a)" Obj_id.pp x Txn_id.pp t
+
+let to_string a = Format.asprintf "%a" pp a

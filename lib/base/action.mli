@@ -1,0 +1,61 @@
+(** Actions of nested transaction systems.
+
+    The first seven constructors are the {e serial actions} — the external
+    actions of the serial system (Section 2.2.4) and of the simple
+    database (Section 2.3.1).  The two [Inform_*] constructors are the
+    extra inputs of generic objects (Section 5.1), by which the generic
+    controller tells each object the fate of transactions.
+
+    The classification functions [transaction], [hightransaction],
+    [lowtransaction] and [object_of] follow the paper's definitions
+    exactly (Section 2.2.4); they are partial where the paper leaves them
+    undefined. *)
+
+type t =
+  | Request_create of Txn_id.t
+      (** Output of [parent T]: request to create child [T]. *)
+  | Create of Txn_id.t  (** Scheduler output waking up [T]. *)
+  | Request_commit of Txn_id.t * Value.t
+      (** Output of [T] (or of [X] when [T] is an access): [T] is done,
+          reporting value [v]. *)
+  | Commit of Txn_id.t  (** Completion action: the fate of [T] is sealed. *)
+  | Abort of Txn_id.t  (** Completion action: [T] is aborted. *)
+  | Report_commit of Txn_id.t * Value.t
+      (** Input of [parent T]: [T] committed with value [v]. *)
+  | Report_abort of Txn_id.t  (** Input of [parent T]: [T] aborted. *)
+  | Inform_commit of Obj_id.t * Txn_id.t
+      (** [INFORM_COMMIT_AT(X)OF(T)] — generic systems only. *)
+  | Inform_abort of Obj_id.t * Txn_id.t
+      (** [INFORM_ABORT_AT(X)OF(T)] — generic systems only. *)
+
+val is_serial : t -> bool
+(** [true] for everything except the [Inform_*] actions. *)
+
+val is_completion : t -> bool
+(** [true] for [Commit] and [Abort]. *)
+
+val transaction : t -> Txn_id.t option
+(** The paper's [transaction(pi)]: the (non-access or access) transaction
+    at which the action occurs.  [None] for completion and inform
+    actions, for which the paper leaves it undefined. *)
+
+val hightransaction : t -> Txn_id.t option
+(** [transaction(pi)] for non-completion serial actions; the {e parent}
+    of [T] for a completion action for [T].  [None] for inform actions. *)
+
+val lowtransaction : t -> Txn_id.t option
+(** [transaction(pi)] for non-completion serial actions; [T] itself for a
+    completion action for [T].  [None] for inform actions. *)
+
+val object_of : System_type.t -> t -> Obj_id.t option
+(** The paper's [object(pi)]: defined when the action is a [Create] or
+    [Request_commit] whose transaction is an access. *)
+
+val subject : t -> Txn_id.t
+(** The transaction name syntactically carried by the action (for
+    inform actions, the informed-about transaction).  Total. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,19 @@
+type t = string
+
+let make s = s
+let indexed prefix i = prefix ^ string_of_int i
+let name s = s
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp = Format.pp_print_string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+module Tbl = Hashtbl.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)

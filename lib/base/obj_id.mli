@@ -1,0 +1,25 @@
+(** Object names.
+
+    Each access transaction (a leaf of the naming tree) is an access to
+    exactly one object name [X]; the serial object automaton [S_X] and the
+    generic object automata ([M1_X], [U_X]) are indexed by these names. *)
+
+type t
+(** An object name. *)
+
+val make : string -> t
+(** [make s] is the object named [s]. Names are compared structurally. *)
+
+val indexed : string -> int -> t
+(** [indexed prefix i] is [make (prefix ^ string_of_int i)]; convenient for
+    generated workloads over object arrays. *)
+
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

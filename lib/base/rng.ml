@@ -1,0 +1,74 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to 62 bits so the value survives Int64.to_int non-negative on
+     63-bit native ints. *)
+  let r = Int64.to_int (Int64.logand (bits64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Zipf via the standard rejection-free inverse-power method with a
+   precomputed normalizer would need caching; for the small [n] used by
+   workloads a direct harmonic inversion is fine. *)
+let zipf t ~n ~theta =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  if theta <= 0.0 then int t n
+  else begin
+    let h = ref 0.0 in
+    for i = 1 to n do
+      h := !h +. (1.0 /. Float.pow (float_of_int i) theta)
+    done;
+    let u = float t !h in
+    let acc = ref 0.0 and res = ref (n - 1) in
+    (try
+       for i = 1 to n do
+         acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta);
+         if u < !acc then begin
+           res := i - 1;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !res
+  end

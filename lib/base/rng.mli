@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    All randomness in workload generation and interleaving scheduling
+    flows through this module so that every execution, test and benchmark
+    is reproducible from a single integer seed. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded deterministically from the given integer. *)
+
+val copy : t -> t
+(** An independent generator with the same current state. *)
+
+val split : t -> t
+(** A new generator whose stream is independent of the parent's
+    subsequent output (splittable-RNG style). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bits64 : t -> int64
+(** The raw next 64-bit output. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** Zipf-distributed index in [\[0, n)] with skew [theta]; [theta = 0.]
+    is uniform.  Used by hotspot workloads. *)

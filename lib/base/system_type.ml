@@ -1,0 +1,22 @@
+type kind = Inner | Access of Obj_id.t
+type t = { classify : Txn_id.t -> kind }
+
+let make classify =
+  (match classify Txn_id.root with
+  | Inner -> ()
+  | Access _ -> invalid_arg "System_type.make: root must be a non-access");
+  { classify }
+
+let kind t txn = t.classify txn
+let is_access t txn = match t.classify txn with Access _ -> true | Inner -> false
+
+let object_of t txn =
+  match t.classify txn with Access x -> Some x | Inner -> None
+
+let object_of_exn t txn =
+  match t.classify txn with
+  | Access x -> x
+  | Inner ->
+      invalid_arg
+        ("System_type.object_of_exn: " ^ Txn_id.to_string txn
+       ^ " is not an access")

@@ -1,0 +1,30 @@
+(** System types.
+
+    A system type (Section 2.2) fixes the pattern of transaction nesting:
+    the naming tree, which leaves are accesses, and which object each
+    access touches.  Because the naming tree is infinite, we represent a
+    system type by a classification {e function} on names rather than an
+    enumeration.  Implementations must classify {!Txn_id.root} as
+    {!constructor:Inner} and must be consistent: an [Access] name never
+    has descendants that take steps. *)
+
+type kind =
+  | Inner  (** A non-access transaction (including [T0]). *)
+  | Access of Obj_id.t  (** A leaf access to the given object. *)
+
+type t
+(** A system type. *)
+
+val make : (Txn_id.t -> kind) -> t
+(** [make classify] builds a system type from a classification function.
+    The classification is consulted frequently; it should be cheap. *)
+
+val kind : t -> Txn_id.t -> kind
+
+val is_access : t -> Txn_id.t -> bool
+
+val object_of : t -> Txn_id.t -> Obj_id.t option
+(** The object accessed by [T], if [T] is an access. *)
+
+val object_of_exn : t -> Txn_id.t -> Obj_id.t
+(** Like {!object_of}; raises [Invalid_argument] on non-accesses. *)

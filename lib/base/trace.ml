@@ -1,0 +1,239 @@
+type t = Action.t array
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let length = Array.length
+let get (t : t) i = t.(i)
+let empty : t = [||]
+let append t a = Array.append t [| a |]
+let concat = Array.append
+let prefix t n = Array.sub t 0 n
+
+let filter p (t : t) =
+  Array.of_list (List.filter p (Array.to_list t))
+
+let find_first p (t : t) =
+  let n = Array.length t in
+  let rec go i = if i >= n then None else if p t.(i) then Some i else go (i + 1) in
+  go 0
+
+let serial t = filter Action.is_serial t
+
+let proj_txn t txn =
+  filter
+    (fun a ->
+      Action.is_serial a
+      &&
+      match Action.transaction a with
+      | Some u -> Txn_id.equal u txn
+      | None -> false)
+    t
+
+let proj_obj sys t x =
+  filter
+    (fun a ->
+      match Action.object_of sys a with
+      | Some y -> Obj_id.equal x y
+      | None -> false)
+    t
+
+let committed t =
+  Array.fold_left
+    (fun acc a -> match a with Action.Commit u -> Txn_id.Set.add u acc | _ -> acc)
+    Txn_id.Set.empty t
+
+let aborted t =
+  Array.fold_left
+    (fun acc a -> match a with Action.Abort u -> Txn_id.Set.add u acc | _ -> acc)
+    Txn_id.Set.empty t
+
+let is_orphan t txn =
+  let ab = aborted t in
+  List.exists (fun u -> Txn_id.Set.mem u ab) (Txn_id.ancestors txn)
+
+let is_live t txn =
+  let created = ref false and completed = ref false in
+  Array.iter
+    (fun a ->
+      match a with
+      | Action.Create u when Txn_id.equal u txn -> created := true
+      | Action.Commit u | Action.Abort u ->
+          if Txn_id.equal u txn then completed := true
+      | _ -> ())
+    t;
+  !created && not !completed
+
+(* Visibility of [t'] to [t] given the committed set: every ancestor of
+   [t'] that is not an ancestor of [t] must be committed. *)
+let visible_with committed_set ~to_ t' =
+  List.for_all
+    (fun u -> Txn_id.Set.mem u committed_set)
+    (Txn_id.ancestors_upto t' ~upto:to_)
+
+let visible_txn t ~to_ t' = visible_with (committed t) ~to_ t'
+
+let visible t ~to_ =
+  let comm = committed t in
+  (* Memoize per-hightransaction visibility: many events share one. *)
+  let memo = Txn_id.Tbl.create 64 in
+  let vis u =
+    match Txn_id.Tbl.find_opt memo u with
+    | Some b -> b
+    | None ->
+        let b = visible_with comm ~to_ u in
+        Txn_id.Tbl.add memo u b;
+        b
+  in
+  filter
+    (fun a ->
+      Action.is_serial a
+      && match Action.hightransaction a with Some u -> vis u | None -> false)
+    t
+
+let clean t =
+  let ab = aborted t in
+  let memo = Txn_id.Tbl.create 64 in
+  let orphan u =
+    match Txn_id.Tbl.find_opt memo u with
+    | Some b -> b
+    | None ->
+        let b = List.exists (fun v -> Txn_id.Set.mem v ab) (Txn_id.ancestors u) in
+        Txn_id.Tbl.add memo u b;
+        b
+  in
+  filter
+    (fun a ->
+      match Action.hightransaction a with
+      | Some u -> not (orphan u)
+      | None -> (* inform and other classified-less events are kept out *)
+               false)
+    t
+
+let operations sys t x =
+  Array.fold_left
+    (fun acc a ->
+      match a with
+      | Action.Request_commit (u, v)
+        when System_type.is_access sys u
+             && Obj_id.equal (System_type.object_of_exn sys u) x ->
+          (u, v) :: acc
+      | _ -> acc)
+    [] t
+  |> List.rev
+
+let operations_any sys t =
+  Array.fold_left
+    (fun acc a ->
+      match a with
+      | Action.Request_commit (u, v) when System_type.is_access sys u ->
+          (u, v) :: acc
+      | _ -> acc)
+    [] t
+  |> List.rev
+
+let directly_affects t i j =
+  if i >= j then false
+  else
+    let phi = t.(i) and pi = t.(j) in
+    let same_txn =
+      match (Action.transaction phi, Action.transaction pi) with
+      | Some a, Some b -> Txn_id.equal a b
+      | _ -> false
+    in
+    same_txn
+    ||
+    match (phi, pi) with
+    | Action.Request_create a, Action.Create b
+    | Action.Request_create a, Action.Abort b
+    | Action.Commit a, Action.Report_commit (b, _)
+    | Action.Abort a, Action.Report_abort b ->
+        Txn_id.equal a b
+    | Action.Request_commit (a, _), Action.Commit b -> Txn_id.equal a b
+    | _ -> false
+
+let affects_adjacency t =
+  let n = Array.length t in
+  let adj = Array.make n [] in
+  let add i j = if i <> j then adj.(i) <- j :: adj.(i) in
+  (* Chain consecutive events of the same transaction; the chain has the
+     same transitive closure as the all-pairs same-transaction relation. *)
+  let last_of_txn = Txn_id.Tbl.create 64 in
+  (* First-occurrence tables for the pairing edges. *)
+  let first_request_create = Txn_id.Tbl.create 64 in
+  let first_request_commit = Txn_id.Tbl.create 64 in
+  let first_commit = Txn_id.Tbl.create 64 in
+  let first_abort = Txn_id.Tbl.create 64 in
+  let remember tbl key i =
+    if not (Txn_id.Tbl.mem tbl key) then Txn_id.Tbl.add tbl key i
+  in
+  for i = 0 to n - 1 do
+    let a = t.(i) in
+    (match Action.transaction a with
+    | Some u ->
+        (match Txn_id.Tbl.find_opt last_of_txn u with
+        | Some j -> add j i
+        | None -> ());
+        Txn_id.Tbl.replace last_of_txn u i
+    | None -> ());
+    match a with
+    | Action.Request_create u -> remember first_request_create u i
+    | Action.Request_commit (u, _) -> remember first_request_commit u i
+    | Action.Create u -> (
+        match Txn_id.Tbl.find_opt first_request_create u with
+        | Some j when j < i -> add j i
+        | _ -> ())
+    | Action.Commit u ->
+        remember first_commit u i;
+        (match Txn_id.Tbl.find_opt first_request_commit u with
+        | Some j when j < i -> add j i
+        | _ -> ())
+    | Action.Abort u ->
+        remember first_abort u i;
+        (match Txn_id.Tbl.find_opt first_request_create u with
+        | Some j when j < i -> add j i
+        | _ -> ())
+    | Action.Report_commit (u, _) -> (
+        match Txn_id.Tbl.find_opt first_commit u with
+        | Some j when j < i -> add j i
+        | _ -> ())
+    | Action.Report_abort u -> (
+        match Txn_id.Tbl.find_opt first_abort u with
+        | Some j when j < i -> add j i
+        | _ -> ())
+    | Action.Inform_commit _ | Action.Inform_abort _ -> ()
+  done;
+  Array.map List.rev adj
+
+let affects t i j =
+  if i = j then false
+  else
+    let adj = affects_adjacency t in
+    let n = Array.length t in
+    let seen = Array.make n false in
+    let rec dfs k =
+      k = j
+      || (not seen.(k))
+         && (seen.(k) <- true;
+             List.exists dfs adj.(k))
+    in
+    seen.(i) <- true;
+    List.exists dfs adj.(i)
+
+let completion_before t u u' =
+  Txn_id.siblings u u'
+  &&
+  let idx txn =
+    find_first
+      (fun a ->
+        match a with
+        | Action.Commit w | Action.Abort w -> Txn_id.equal w txn
+        | _ -> false)
+      t
+  in
+  match (idx u, idx u') with
+  | Some i, Some j -> i < j
+  | Some _, None -> true
+  | None, _ -> false
+
+let pp fmt (t : t) =
+  Array.iteri (fun i a -> Format.fprintf fmt "%4d  %a@." i Action.pp a) t

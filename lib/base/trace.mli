@@ -1,0 +1,94 @@
+(** Finite sequences of actions, and the paper's sequence machinery.
+
+    A trace is an immutable array of actions — the behavior of some system
+    execution.  Everything the paper defines {e on sequences of actions}
+    lives here: projections [beta|T] and [beta|X], [serial(beta)], orphans
+    and liveness, visibility ([visible(beta,T)]), [clean(beta)], the
+    [directly-affects]/[affects] relations, and the [completion(beta)]
+    order used in the proofs of Propositions 16 and 24.
+
+    Definitions are implemented for {e arbitrary} sequences of actions
+    (not only behaviors of a specific system), exactly as the paper's
+    footnote 5 demands, because they are later applied to behaviors of
+    serial, simple and generic systems alike. *)
+
+type t = Action.t array
+(** A finite trace.  Events are identified by their index. *)
+
+val of_list : Action.t list -> t
+val to_list : t -> Action.t list
+val length : t -> int
+val get : t -> int -> Action.t
+val empty : t
+val append : t -> Action.t -> t
+val concat : t -> t -> t
+
+val prefix : t -> int -> t
+(** [prefix beta n] is the first [n] events of [beta]. *)
+
+val filter : (Action.t -> bool) -> t -> t
+
+val find_first : (Action.t -> bool) -> t -> int option
+(** Index of the first event satisfying the predicate. *)
+
+val serial : t -> t
+(** [serial(beta)]: the subsequence of serial actions (drops [Inform_*]). *)
+
+val proj_txn : t -> Txn_id.t -> t
+(** [beta|T]: serial actions [pi] with [transaction(pi) = T]. *)
+
+val proj_obj : System_type.t -> t -> Obj_id.t -> t
+(** [beta|X]: serial actions [pi] with [object(pi) = X]. *)
+
+val is_orphan : t -> Txn_id.t -> bool
+(** [T] is an orphan in [beta]: some ancestor of [T] has an [Abort]. *)
+
+val is_live : t -> Txn_id.t -> bool
+(** [T] is live in [beta]: created but not completed. *)
+
+val committed : t -> Txn_id.Set.t
+(** Transactions with a [Commit] event in [beta]. *)
+
+val aborted : t -> Txn_id.Set.t
+(** Transactions with an [Abort] event in [beta]. *)
+
+val visible_txn : t -> to_:Txn_id.t -> Txn_id.t -> bool
+(** [visible_txn beta ~to_:t t'] iff [t'] is visible to [t] in [beta]:
+    every member of [ancestors t' - ancestors t] has committed. *)
+
+val visible : t -> to_:Txn_id.t -> t
+(** [visible(beta, T)]: the serial actions whose hightransaction is
+    visible to [T] in [beta]. *)
+
+val clean : t -> t
+(** [clean(beta)]: the events whose hightransactions are not orphans in
+    [beta] (Section 3.3). *)
+
+val operations : System_type.t -> t -> Obj_id.t -> (Txn_id.t * Value.t) list
+(** The operations of [X] occurring in [beta]: the [(T, v)] of each
+    [Request_commit(T, v)] with [T] an access to [X], in trace order. *)
+
+val operations_any : System_type.t -> t -> (Txn_id.t * Value.t) list
+(** All access operations occurring in [beta], any object, in order. *)
+
+val affects_adjacency : t -> int list array
+(** Adjacency lists (by event index) of a relation whose transitive
+    closure equals the paper's [affects(beta)]: per-transaction
+    consecutive-event edges plus the six request/completion/report
+    pairing edges of [directly-affects]. *)
+
+val directly_affects : t -> int -> int -> bool
+(** The paper's [directly-affects(beta)] on two event indices. *)
+
+val affects : t -> int -> int -> bool
+(** [(phi, pi) ∈ affects(beta)] — reachability over
+    {!affects_adjacency}.  Intended for tests; for bulk use, take the
+    adjacency and do your own traversal. *)
+
+val completion_before : t -> Txn_id.t -> Txn_id.t -> bool
+(** The [completion(beta)] order of Propositions 16/24 restricted to a
+    pair: [U] and [U'] are siblings and either [beta] completes [U]
+    before completing [U'], or completes [U] and never completes [U']. *)
+
+val pp : Format.formatter -> t -> unit
+(** One action per line, prefixed by its index. *)

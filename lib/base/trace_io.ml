@@ -1,0 +1,214 @@
+(* ----- printing ----- *)
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec value_to_string (v : Value.t) =
+  match v with
+  | Value.Unit -> "unit"
+  | Value.Ok -> "ok"
+  | Value.Int n -> Printf.sprintf "(int %d)" n
+  | Value.Bool b -> Printf.sprintf "(bool %b)" b
+  | Value.Str s -> Printf.sprintf "(str %s)" (quote s)
+  | Value.Pair (a, b) ->
+      Printf.sprintf "(pair %s %s)" (value_to_string a) (value_to_string b)
+  | Value.List l ->
+      Printf.sprintf "(list%s)"
+        (String.concat "" (List.map (fun v -> " " ^ value_to_string v) l))
+
+let txn_to_string = Txn_id.to_string
+
+let action_to_string (a : Action.t) =
+  match a with
+  | Action.Request_create t -> "REQUEST_CREATE " ^ txn_to_string t
+  | Action.Create t -> "CREATE " ^ txn_to_string t
+  | Action.Request_commit (t, v) ->
+      Printf.sprintf "REQUEST_COMMIT %s %s" (txn_to_string t) (value_to_string v)
+  | Action.Commit t -> "COMMIT " ^ txn_to_string t
+  | Action.Abort t -> "ABORT " ^ txn_to_string t
+  | Action.Report_commit (t, v) ->
+      Printf.sprintf "REPORT_COMMIT %s %s" (txn_to_string t) (value_to_string v)
+  | Action.Report_abort t -> "REPORT_ABORT " ^ txn_to_string t
+  | Action.Inform_commit (x, t) ->
+      Printf.sprintf "INFORM_COMMIT %s %s" (quote (Obj_id.name x)) (txn_to_string t)
+  | Action.Inform_abort (x, t) ->
+      Printf.sprintf "INFORM_ABORT %s %s" (quote (Obj_id.name x)) (txn_to_string t)
+
+let to_string trace =
+  String.concat "\n" (List.map action_to_string (Trace.to_list trace)) ^ "\n"
+
+(* ----- lexing ----- *)
+
+type token = Lparen | Rparen | Atom of string | Quoted of string
+
+let tokenize line =
+  let n = String.length line in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match line.[i] with
+      | ' ' | '\t' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | '"' ->
+          let buf = Buffer.create 8 in
+          let rec str j =
+            if j >= n then Error "unterminated string"
+            else
+              match line.[j] with
+              | '"' -> Ok (j + 1)
+              | '\\' ->
+                  if j + 1 >= n then Error "dangling escape"
+                  else begin
+                    Buffer.add_char buf line.[j + 1];
+                    str (j + 2)
+                  end
+              | c ->
+                  Buffer.add_char buf c;
+                  str (j + 1)
+          in
+          (match str (i + 1) with
+          | Ok j -> go j (Quoted (Buffer.contents buf) :: acc)
+          | Error e -> Error e)
+      | _ ->
+          let j = ref i in
+          while
+            !j < n
+            && not (List.mem line.[!j] [ ' '; '\t'; '('; ')'; '"' ])
+          do
+            incr j
+          done;
+          go !j (Atom (String.sub line i (!j - i)) :: acc)
+  in
+  go 0 []
+
+(* ----- parsing ----- *)
+
+let parse_txn s =
+  match String.split_on_char '.' s with
+  | "T0" :: rest -> (
+      try
+        Ok (Txn_id.of_path (List.map int_of_string rest))
+      with Failure _ -> Error ("bad transaction name " ^ s))
+  | _ -> Error ("bad transaction name " ^ s)
+
+let rec parse_value tokens =
+  match tokens with
+  | Atom "unit" :: rest -> Ok (Value.Unit, rest)
+  | Atom "ok" :: rest -> Ok (Value.Ok, rest)
+  | Lparen :: Atom "int" :: Atom n :: Rparen :: rest -> (
+      match int_of_string_opt n with
+      | Some n -> Ok (Value.Int n, rest)
+      | None -> Error ("bad int " ^ n))
+  | Lparen :: Atom "bool" :: Atom b :: Rparen :: rest -> (
+      match bool_of_string_opt b with
+      | Some b -> Ok (Value.Bool b, rest)
+      | None -> Error ("bad bool " ^ b))
+  | Lparen :: Atom "str" :: Quoted s :: Rparen :: rest ->
+      Ok (Value.Str s, rest)
+  | Lparen :: Atom "pair" :: rest -> (
+      match parse_value rest with
+      | Error e -> Error e
+      | Ok (a, rest) -> (
+          match parse_value rest with
+          | Error e -> Error e
+          | Ok (b, rest) -> (
+              match rest with
+              | Rparen :: rest -> Ok (Value.Pair (a, b), rest)
+              | _ -> Error "expected ) after pair")))
+  | Lparen :: Atom "list" :: rest ->
+      let rec elems acc rest =
+        match rest with
+        | Rparen :: rest -> Ok (Value.List (List.rev acc), rest)
+        | [] -> Error "unterminated list"
+        | _ -> (
+            match parse_value rest with
+            | Error e -> Error e
+            | Ok (v, rest) -> elems (v :: acc) rest)
+      in
+      elems [] rest
+  | _ -> Error "expected value"
+
+let action_of_string line =
+  match tokenize line with
+  | Error e -> Error e
+  | Ok tokens -> (
+      let txn_only ctor rest =
+        match rest with
+        | [ Atom t ] -> Result.map ctor (parse_txn t)
+        | _ -> Error "expected one transaction name"
+      in
+      let txn_value ctor rest =
+        match rest with
+        | Atom t :: vtokens -> (
+            match parse_txn t with
+            | Error e -> Error e
+            | Ok txn -> (
+                match parse_value vtokens with
+                | Ok (v, []) -> Ok (ctor txn v)
+                | Ok _ -> Error "trailing tokens after value"
+                | Error e -> Error e))
+        | _ -> Error "expected transaction and value"
+      in
+      let obj_txn ctor rest =
+        match rest with
+        | [ Quoted x; Atom t ] ->
+            Result.map (fun txn -> ctor (Obj_id.make x) txn) (parse_txn t)
+        | _ -> Error "expected quoted object and transaction"
+      in
+      match tokens with
+      | Atom "REQUEST_CREATE" :: rest ->
+          txn_only (fun t -> Action.Request_create t) rest
+      | Atom "CREATE" :: rest -> txn_only (fun t -> Action.Create t) rest
+      | Atom "COMMIT" :: rest -> txn_only (fun t -> Action.Commit t) rest
+      | Atom "ABORT" :: rest -> txn_only (fun t -> Action.Abort t) rest
+      | Atom "REPORT_ABORT" :: rest ->
+          txn_only (fun t -> Action.Report_abort t) rest
+      | Atom "REQUEST_COMMIT" :: rest ->
+          txn_value (fun t v -> Action.Request_commit (t, v)) rest
+      | Atom "REPORT_COMMIT" :: rest ->
+          txn_value (fun t v -> Action.Report_commit (t, v)) rest
+      | Atom "INFORM_COMMIT" :: rest ->
+          obj_txn (fun x t -> Action.Inform_commit (x, t)) rest
+      | Atom "INFORM_ABORT" :: rest ->
+          obj_txn (fun x t -> Action.Inform_abort (x, t)) rest
+      | Atom verb :: _ -> Error ("unknown action " ^ verb)
+      | _ -> Error "empty action")
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (Trace.of_list (List.rev acc))
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc rest
+        else (
+          match action_of_string trimmed with
+          | Ok a -> go (lineno + 1) (a :: acc) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go 1 [] lines
+
+let save path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string trace))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

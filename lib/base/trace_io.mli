@@ -1,0 +1,35 @@
+(** Textual serialization of traces.
+
+    One action per line, in a stable, human-readable grammar, so
+    behaviors can be saved from one run and re-checked later (the
+    [ntsim] CLI exposes [--save]/[--load]):
+
+    {v
+    REQUEST_CREATE T0.1
+    CREATE T0.1
+    REQUEST_COMMIT T0.1.0 (int 5)
+    COMMIT T0.1.0
+    REPORT_COMMIT T0.1.0 (int 5)
+    ABORT T0.2
+    REPORT_ABORT T0.2
+    INFORM_COMMIT "x" T0.1
+    INFORM_ABORT "x" T0.2
+    v}
+
+    Values: [unit], [ok], [(int N)], [(bool true|false)],
+    [(str <quoted>)] (with backslash escapes for quote and backslash),
+    [(pair V V)], [(list V ...)].  Object names are quoted strings.
+    Blank lines and lines starting with [#] are ignored on input. *)
+
+val action_to_string : Action.t -> string
+val action_of_string : string -> (Action.t, string) result
+
+val to_string : Trace.t -> string
+val of_string : string -> (Trace.t, string) result
+(** Errors carry the offending line number and reason. *)
+
+val save : string -> Trace.t -> unit
+(** [save path trace] writes the textual form to a file. *)
+
+val load : string -> (Trace.t, string) result
+(** Read a file written by {!save}. *)

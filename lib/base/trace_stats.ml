@@ -1,0 +1,74 @@
+type t = {
+  events : int;
+  serial_events : int;
+  informs : int;
+  creates : int;
+  commits : int;
+  aborts : int;
+  responses : int;
+  transactions : int;
+  max_depth : int;
+  max_live_siblings : int;
+}
+
+let of_trace trace =
+  let events = Trace.length trace in
+  let serial_events = ref 0
+  and informs = ref 0
+  and creates = ref 0
+  and commits = ref 0
+  and aborts = ref 0
+  and responses = ref 0 in
+  let names = Txn_id.Tbl.create 64 in
+  let max_depth = ref 0 in
+  (* live children per parent *)
+  let live = Txn_id.Tbl.create 16 in
+  let max_live = ref 0 in
+  Array.iter
+    (fun a ->
+      if Action.is_serial a then incr serial_events else incr informs;
+      let subject = Action.subject a in
+      Txn_id.Tbl.replace names subject ();
+      max_depth := max !max_depth (Txn_id.depth subject);
+      match a with
+      | Action.Create t ->
+          incr creates;
+          (match Txn_id.parent t with
+          | Some p ->
+              let n =
+                1 + Option.value ~default:0 (Txn_id.Tbl.find_opt live p)
+              in
+              Txn_id.Tbl.replace live p n;
+              max_live := max !max_live n
+          | None -> ())
+      | Action.Commit t | Action.Abort t ->
+          (if a = Action.Commit t then incr commits else incr aborts);
+          (match Txn_id.parent t with
+          | Some p -> (
+              match Txn_id.Tbl.find_opt live p with
+              | Some n when n > 0 -> Txn_id.Tbl.replace live p (n - 1)
+              | _ -> ())
+          | None -> ())
+      | Action.Request_commit _ -> incr responses
+      | _ -> ())
+    trace;
+  {
+    events;
+    serial_events = !serial_events;
+    informs = !informs;
+    creates = !creates;
+    commits = !commits;
+    aborts = !aborts;
+    responses = !responses;
+    transactions = Txn_id.Tbl.length names;
+    max_depth = !max_depth;
+    max_live_siblings = !max_live;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>events %d (serial %d, informs %d)@,\
+     creates %d  commits %d  aborts %d  responses %d@,\
+     transactions %d  max depth %d  peak live siblings %d@]"
+    s.events s.serial_events s.informs s.creates s.commits s.aborts
+    s.responses s.transactions s.max_depth s.max_live_siblings

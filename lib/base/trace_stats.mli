@@ -1,0 +1,22 @@
+(** Summary statistics of a trace — the profile [ntsim] prints and the
+    tests use to sanity-check workload shapes.
+
+    All counts are purely syntactic (no schema needed). *)
+
+type t = {
+  events : int;
+  serial_events : int;
+  informs : int;
+  creates : int;
+  commits : int;
+  aborts : int;
+  responses : int;  (** [Request_commit] events. *)
+  transactions : int;  (** Distinct names with any event. *)
+  max_depth : int;  (** Deepest name appearing. *)
+  max_live_siblings : int;
+      (** Peak number of simultaneously live children of one parent —
+          the concurrency a serial system never exceeds 1 on. *)
+}
+
+val of_trace : Trace.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+(* A name is stored as the REVERSED path of child indices: the head of the
+   list is the index under the immediate parent.  This makes [parent] O(1)
+   and ancestor tests a suffix check. *)
+
+type t = int list
+
+let root = []
+
+let child t i =
+  if i < 0 then invalid_arg "Txn_id.child: negative index";
+  i :: t
+
+let parent = function [] -> None | _ :: p -> Some p
+
+let parent_exn = function
+  | [] -> invalid_arg "Txn_id.parent_exn: root has no parent"
+  | _ :: p -> p
+
+let is_root t = t = []
+let depth = List.length
+let last_index = function [] -> None | i :: _ -> Some i
+
+let rec ancestors t = match t with [] -> [ [] ] | _ :: p -> t :: ancestors p
+let proper_ancestors t = match t with [] -> [] | _ :: p -> ancestors p
+
+(* [a] is an ancestor of [t] iff the reversed path of [a] is a suffix of
+   the reversed path of [t]. *)
+let is_ancestor a t =
+  let da = List.length a and dt = List.length t in
+  if da > dt then false
+  else
+    let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+    drop (dt - da) t = a
+
+let is_descendant d t = is_ancestor t d
+let is_proper_ancestor a t = a <> t && is_ancestor a t
+let related a b = is_ancestor a b || is_ancestor b a
+
+let siblings a b =
+  a <> b
+  &&
+  match (a, b) with _ :: pa, _ :: pb -> pa = pb | _ -> false
+
+let lca a b =
+  let rec strip l n = if n = 0 then l else strip (List.tl l) (n - 1) in
+  let da = List.length a and db = List.length b in
+  let a = if da > db then strip a (da - db) else a in
+  let b = if db > da then strip b (db - da) else b in
+  let rec common a b =
+    if a = b then a
+    else
+      match (a, b) with
+      | _ :: a', _ :: b' -> common a' b'
+      | _ -> assert false
+  in
+  common a b
+
+let child_of_on_path ~ancestor t =
+  if not (is_proper_ancestor ancestor t) then
+    invalid_arg "Txn_id.child_of_on_path: not a proper descendant";
+  let rec strip l n = if n = 0 then l else strip (List.tl l) (n - 1) in
+  strip t (List.length t - List.length ancestor - 1)
+
+let ancestors_upto t ~upto =
+  List.filter (fun a -> not (is_ancestor a upto)) (ancestors t)
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let hash (t : t) = Hashtbl.hash t
+
+(* The root is the paper's T0; descendants append their child indices,
+   so the first child of T0 is "T0.0" (never colliding with the root). *)
+let to_string t =
+  List.fold_left (fun acc i -> acc ^ "." ^ string_of_int i) "T0" (List.rev t)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let of_path p = List.rev p
+let path t = List.rev t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+let dfs_compare a b = Stdlib.compare (path a) (path b)

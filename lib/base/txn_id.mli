@@ -1,0 +1,94 @@
+(** Transaction names.
+
+    The paper organizes all transaction names into an infinite tree with
+    root [T0]; the tree is "a predefined naming scheme for all transactions
+    that might ever be invoked" (Section 2.2).  We realize every name as
+    the path of child indices from the root, so the whole infinite tree is
+    addressable without being materialized: [root] is [T0], and
+    [child t i] is the [i]-th child of [t].
+
+    All the tree vocabulary of the paper (parent, child, leaf, ancestor,
+    descendant, lca, sibling) is provided as pure path operations.  Note
+    the paper's convention: a transaction is its own ancestor and its own
+    descendant. *)
+
+type t
+(** A transaction name. *)
+
+val root : t
+(** [T0], the mythical root transaction modelling the environment. *)
+
+val child : t -> int -> t
+(** [child t i] is the [i]-th child of [t].  [i] must be non-negative. *)
+
+val parent : t -> t option
+(** The parent in the naming tree; [None] for {!root}. *)
+
+val parent_exn : t -> t
+(** Like {!parent}, but raises [Invalid_argument] on {!root}. *)
+
+val is_root : t -> bool
+
+val depth : t -> int
+(** Distance from the root; [depth root = 0]. *)
+
+val last_index : t -> int option
+(** The child index of [t] under its parent; [None] for the root. *)
+
+val ancestors : t -> t list
+(** All ancestors of [t] from [t] itself up to and including the root,
+    in leaf-to-root order.  Per the paper, [t] is its own ancestor. *)
+
+val proper_ancestors : t -> t list
+(** {!ancestors} without [t] itself. *)
+
+val is_ancestor : t -> t -> bool
+(** [is_ancestor a t] iff [a] is an ancestor of [t] (reflexively). *)
+
+val is_descendant : t -> t -> bool
+(** [is_descendant d t] iff [d] is a descendant of [t] (reflexively). *)
+
+val is_proper_ancestor : t -> t -> bool
+
+val related : t -> t -> bool
+(** [related a b] iff one is an ancestor of the other (reflexively). *)
+
+val siblings : t -> t -> bool
+(** Distinct transactions with the same parent. *)
+
+val lca : t -> t -> t
+(** Least common ancestor. *)
+
+val child_of_on_path : ancestor:t -> t -> t
+(** [child_of_on_path ~ancestor t] is the child of [ancestor] that is an
+    ancestor of [t].  Raises [Invalid_argument] if [t] is not a proper
+    descendant of [ancestor]. *)
+
+val ancestors_upto : t -> upto:t -> t list
+(** [ancestors_upto t ~upto] is [ancestors t - ancestors upto]: every
+    ancestor of [t] that is not an ancestor of [upto], leaf-to-root.
+    This is the set quantified over in the paper's visibility definition. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_path : int list -> t
+(** Build a name from the root-to-leaf list of child indices.
+    [of_path [] = root]. *)
+
+val path : t -> int list
+(** Root-to-leaf child indices; inverse of {!of_path}. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t
+
+val dfs_compare : t -> t -> int
+(** Lexicographic comparison of root-down paths: the depth-first
+    traversal order of the naming tree.  An ancestor precedes its
+    descendants; unrelated names compare by sibling index at their lca.
+    This is the canonical "pseudotime" order used by timestamp-based
+    protocols ({!Nt_mvts}). *)

@@ -1,0 +1,35 @@
+type t =
+  | Unit
+  | Ok
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+let rec pp fmt = function
+  | Unit -> Format.pp_print_string fmt "()"
+  | Ok -> Format.pp_print_string fmt "OK"
+  | Int i -> Format.pp_print_int fmt i
+  | Bool b -> Format.pp_print_bool fmt b
+  | Str s -> Format.fprintf fmt "%S" s
+  | Pair (a, b) -> Format.fprintf fmt "(%a, %a)" pp a pp b
+  | List l ->
+      Format.fprintf fmt "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+           pp)
+        l
+
+let to_string v = Format.asprintf "%a" pp v
+
+let int_exn = function
+  | Int i -> i
+  | v -> invalid_arg ("Value.int_exn: " ^ to_string v)
+
+let bool_exn = function
+  | Bool b -> b
+  | v -> invalid_arg ("Value.bool_exn: " ^ to_string v)

@@ -1,0 +1,28 @@
+(** Return values.
+
+    The paper's system type fixes a set of return values for transactions;
+    the same set is used for access responses (an operation is a pair
+    [(T, v)]).  We use one closed universe rich enough for every data type
+    shipped with the library: the write acknowledgement [Ok] of Section
+    3.1, integers and booleans for registers/counters/sets, and pairs and
+    lists so composite transactions can report structured results. *)
+
+type t =
+  | Unit
+  | Ok  (** The distinguished acknowledgement of a write access (S 3.1). *)
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val int_exn : t -> int
+(** Project an [Int]; raises [Invalid_argument] otherwise. *)
+
+val bool_exn : t -> bool
+(** Project a [Bool]; raises [Invalid_argument] otherwise. *)

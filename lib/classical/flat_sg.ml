@@ -1,0 +1,60 @@
+let conflicting (k1 : History.kind) (k2 : History.kind) =
+  k1 = History.Write || k2 = History.Write
+
+let edges h =
+  let steps =
+    List.filter_map
+      (function History.Op (i, x, k) -> Some (i, x, k) | _ -> None)
+      (History.committed_projection h)
+  in
+  let tbl = Hashtbl.create 32 in
+  let rec scan = function
+    | [] -> ()
+    | (i, x, k) :: rest ->
+        List.iter
+          (fun (j, y, k') ->
+            if i <> j && Nt_base.Obj_id.equal x y && conflicting k k' then
+              Hashtbl.replace tbl (i, j) ())
+          rest;
+        scan rest
+  in
+  scan steps;
+  Hashtbl.fold (fun e () acc -> e :: acc) tbl []
+
+let nodes h =
+  List.filter_map
+    (function History.Commit i -> Some i | _ -> None)
+    h
+  |> List.sort_uniq Stdlib.compare
+
+let serialization_order h =
+  let ns = nodes h and es = edges h in
+  let indegree = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace indegree n 0) ns;
+  List.iter
+    (fun (_, j) -> Hashtbl.replace indegree j (Hashtbl.find indegree j + 1))
+    es;
+  let module IS = Set.Make (Int) in
+  let frontier =
+    ref
+      (List.fold_left
+         (fun acc n -> if Hashtbl.find indegree n = 0 then IS.add n acc else acc)
+         IS.empty ns)
+  in
+  let out = ref [] in
+  while not (IS.is_empty !frontier) do
+    let n = IS.min_elt !frontier in
+    frontier := IS.remove n !frontier;
+    out := n :: !out;
+    List.iter
+      (fun (i, j) ->
+        if i = n then begin
+          let d = Hashtbl.find indegree j - 1 in
+          Hashtbl.replace indegree j d;
+          if d = 0 then frontier := IS.add j !frontier
+        end)
+      es
+  done;
+  if List.length !out = List.length ns then Some (List.rev !out) else None
+
+let is_serializable h = serialization_order h <> None

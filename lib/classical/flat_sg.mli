@@ -1,0 +1,17 @@
+(** The classical serialization (conflict) graph.
+
+    Nodes are the committed flat transactions; there is an edge
+    [i -> j] ([i ≠ j]) when some step of [i] precedes a conflicting
+    step of [j] (same object, at least one a write) in the committed
+    projection.  A history is conflict serializable iff the graph is
+    acyclic — the classical necessary-{e and}-sufficient test the
+    paper's construction generalizes. *)
+
+val edges : History.t -> (int * int) list
+(** Conflict edges over the committed projection, deduplicated. *)
+
+val is_serializable : History.t -> bool
+
+val serialization_order : History.t -> int list option
+(** A topological order of the committed transactions, or [None] if
+    the graph is cyclic. *)

@@ -1,0 +1,59 @@
+open Nt_base
+
+type kind = Read | Write
+type event = Op of int * Obj_id.t * kind | Commit of int | Abort of int
+type t = event list
+
+let committed_projection h =
+  let committed =
+    List.filter_map (function Commit i -> Some i | _ -> None) h
+  in
+  List.filter
+    (function
+      | Op (i, _, _) -> List.mem i committed
+      | Commit _ -> true
+      | Abort _ -> false)
+    h
+
+let transactions h =
+  List.filter_map
+    (function Op (i, _, _) -> Some i | Commit i | Abort i -> Some i)
+    h
+  |> List.sort_uniq Stdlib.compare
+
+let top_index t =
+  (* The index of the top-level ancestor (child of T0). *)
+  match List.rev (Txn_id.path t) with
+  | [] -> invalid_arg "History.of_trace: action at T0"
+  | _ -> List.hd (Txn_id.path t)
+
+let of_trace (schema : Nt_spec.Schema.t) trace =
+  List.filter_map
+    (fun a ->
+      match a with
+      | Action.Request_commit (t, _)
+        when Nt_base.System_type.is_access schema.Nt_spec.Schema.sys t ->
+          let kind =
+            match schema.Nt_spec.Schema.op_of t with
+            | Nt_spec.Datatype.Read -> Read
+            | Nt_spec.Datatype.Write _ -> Write
+            | op -> raise (Nt_spec.Datatype.Unsupported op)
+          in
+          let x = System_type.object_of_exn schema.Nt_spec.Schema.sys t in
+          Some (Op (top_index t, x, kind))
+      | Action.Commit t when Txn_id.depth t = 1 ->
+          Some (Commit (top_index t))
+      | Action.Abort t when Txn_id.depth t = 1 -> Some (Abort (top_index t))
+      | _ -> None)
+    (Trace.to_list trace)
+
+let pp fmt h =
+  let pp_event fmt = function
+    | Op (i, x, Read) -> Format.fprintf fmt "r%d[%a]" i Obj_id.pp x
+    | Op (i, x, Write) -> Format.fprintf fmt "w%d[%a]" i Obj_id.pp x
+    | Commit i -> Format.fprintf fmt "c%d" i
+    | Abort i -> Format.fprintf fmt "a%d" i
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+    pp_event fmt h

@@ -1,0 +1,36 @@
+(** Flat histories — the classical theory's objects of study.
+
+    The paper contrasts its construction with the classical
+    serializability theory (Bernstein–Hadzilacos–Goodman): flat
+    transactions, read/write steps, commit/abort markers, and
+    correctness judged by the conflict graph of the committed
+    projection.  This module implements that baseline so the
+    experiments can cross-check the nested construction against it on
+    depth-one workloads (classical transactions are exactly the
+    children of [T0]). *)
+
+open Nt_base
+
+type kind = Read | Write
+
+type event =
+  | Op of int * Obj_id.t * kind  (** A step of flat transaction [i]. *)
+  | Commit of int
+  | Abort of int
+
+type t = event list
+
+val committed_projection : t -> t
+(** Steps of committed transactions only (the classical "C(H)"). *)
+
+val transactions : t -> int list
+(** All transaction ids appearing, ascending. *)
+
+val of_trace : Nt_spec.Schema.t -> Trace.t -> t
+(** Extract the flat history of a nested trace whose nesting is
+    depth-two (children of [T0] with access leaves): one [Op] per
+    access response, attributed to the top-level ancestor, and one
+    marker per top-level completion.  Accesses must be register
+    operations. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+open Nt_base
+
+exception Too_large of int
+
+let steps h =
+  List.filter_map
+    (function History.Op (i, x, k) -> Some (i, x, k) | _ -> None)
+    (History.committed_projection h)
+
+(* The reads-from function of a step list: position |-> source. *)
+let reads_from_steps ops =
+  List.mapi
+    (fun pos (i, x, k) ->
+      match k with
+      | History.Write -> None
+      | History.Read ->
+          let source =
+            List.fold_left
+              (fun acc (pos', (j, y, k')) ->
+                if
+                  pos' < pos && k' = History.Write && Obj_id.equal x y
+                then Some j
+                else acc)
+              None
+              (List.mapi (fun p s -> (p, s)) ops)
+          in
+          ignore i;
+          Some (pos, x, source))
+    ops
+  |> List.filter_map Fun.id
+
+let final_writes ops =
+  List.fold_left
+    (fun acc (i, x, k) ->
+      if k = History.Write then
+        (x, i) :: List.filter (fun (y, _) -> not (Obj_id.equal x y)) acc
+      else acc)
+    [] ops
+
+let reads_from h = reads_from_steps (steps h)
+
+(* The per-transaction step sequences, and the serial rearrangement. *)
+let serialize h order =
+  let ops = steps h in
+  List.concat_map
+    (fun txn -> List.filter (fun (i, _, _) -> i = txn) ops)
+    order
+
+(* View equivalence compares reads-from SOURCES per read occurrence of
+   each transaction (the k-th read of object x by transaction i), not
+   global positions, since positions move under reordering. *)
+let read_keys ops =
+  (* Assign each read step a stable key (txn, object, occurrence #). *)
+  let counts = Hashtbl.create 16 in
+  List.filter_map
+    (fun ((i, x, k), source) ->
+      match k with
+      | History.Write -> None
+      | History.Read ->
+          let key = (i, x) in
+          let c =
+            match Hashtbl.find_opt counts key with Some c -> c | None -> 0
+          in
+          Hashtbl.replace counts key (c + 1);
+          Some ((i, x, c), source))
+    ops
+
+let annotated_reads ops =
+  let rf = reads_from_steps ops in
+  let sources =
+    List.map
+      (fun (pos, _, source) -> (pos, source))
+      rf
+  in
+  let with_sources =
+    List.mapi
+      (fun pos step -> (step, List.assoc_opt pos sources |> Option.join))
+      ops
+  in
+  read_keys with_sources
+
+let view_equivalent h order =
+  let ops_h = steps h in
+  let ops_s = serialize h order in
+  let reads_h = annotated_reads ops_h in
+  let reads_s = annotated_reads ops_s in
+  let sorted l = List.sort compare l in
+  sorted reads_h = sorted reads_s
+  && sorted (final_writes ops_h) = sorted (final_writes ops_s)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let is_view_serializable h =
+  let committed =
+    List.filter_map (function History.Commit i -> Some i | _ -> None) h
+    |> List.sort_uniq compare
+  in
+  if List.length committed > 9 then raise (Too_large (List.length committed));
+  List.exists (view_equivalent h) (permutations committed)

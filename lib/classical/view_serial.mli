@@ -1,0 +1,33 @@
+(** Classical view serializability — the weaker classical criterion.
+
+    The paper notes the classical conflict-graph test is necessary and
+    sufficient only for the {e conflict}-based notion; classical view
+    serializability accepts more histories (blind writes) but is
+    NP-complete to decide.  This module decides it by exhaustive
+    permutation search (guarded to small transaction counts) so the
+    test suite and E4 can place the nested construction precisely
+    between the two classical notions on flat workloads:
+    conflict-serializable ⊆ view-serializable, with a strict gap.
+
+    Two histories over the same committed transactions are {e view
+    equivalent} when every read reads-from the same writer (or the
+    initial state) in both, and the final write of every object
+    agrees.  A history is view serializable iff it is view equivalent
+    to some serial order of its committed transactions. *)
+
+exception Too_large of int
+(** Raised when the committed transaction count exceeds the search
+    bound (9). *)
+
+val reads_from : History.t -> (int * Nt_base.Obj_id.t * int option) list
+(** For each read step of the committed projection (identified by its
+    position), the transaction it reads from ([None] = initial
+    state).  Positions index the committed projection's [Op] steps. *)
+
+val view_equivalent : History.t -> int list -> bool
+(** [view_equivalent h order]: is [h] view equivalent to the serial
+    history running the committed transactions of [h] in [order]
+    (each transaction's steps in their [h] order)? *)
+
+val is_view_serializable : History.t -> bool
+(** Permutation search over committed transactions. *)

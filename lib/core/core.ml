@@ -1,0 +1,78 @@
+(** The umbrella API of [nested-sg].
+
+    One import gives the whole system, grouped as in DESIGN.md:
+
+    {ul
+    {- naming and traces: {!Txn_id}, {!Obj_id}, {!Value},
+       {!System_type}, {!Action}, {!Trace}, {!Rng};}
+    {- serial specifications: {!Datatype} and the five shipped types,
+       {!Schema}, {!Serial_spec}, {!Rw};}
+    {- systems: {!Program}, {!Serial_exec}, {!Simple_db}, {!Runtime},
+       {!Txn_interp}, {!Gobj};}
+    {- protocols: {!Moss_object}, {!Undo_object} (plus their invariant
+       checkers) and {!Broken};}
+    {- the serialization-graph construction: {!Sg}, {!Conflict},
+       {!Precedes}, {!Sibling_order}, {!Suitability}, {!View},
+       {!Return_values}, {!Graph} and the Theorem 8/19 {!Checker};}
+    {- the classical baseline: {!History}, {!Flat_sg};}
+    {- workloads and measurement: {!Gen}, {!Scenario}, {!Stats},
+       {!Table}.}} *)
+
+module Txn_id = Nt_base.Txn_id
+module Obj_id = Nt_base.Obj_id
+module Value = Nt_base.Value
+module System_type = Nt_base.System_type
+module Action = Nt_base.Action
+module Trace = Nt_base.Trace
+module Trace_io = Nt_base.Trace_io
+module Trace_stats = Nt_base.Trace_stats
+module Rng = Nt_base.Rng
+module Datatype = Nt_spec.Datatype
+module Register = Nt_spec.Register
+module Counter = Nt_spec.Counter
+module Bank_account = Nt_spec.Bank_account
+module Rset = Nt_spec.Rset
+module Fifo_queue = Nt_spec.Fifo_queue
+module Keyed_store = Nt_spec.Keyed_store
+module Vreg = Nt_spec.Vreg
+module Schema = Nt_spec.Schema
+module Serial_spec = Nt_spec.Serial_spec
+module Rw = Nt_spec.Rw
+module Program = Nt_serial.Program
+module Serial_exec = Nt_serial.Serial_exec
+module Simple_db = Nt_serial.Simple_db
+module Serial_system = Nt_serial.Serial_system
+module Serial_search = Nt_serial.Serial_search
+module Automaton = Nt_iosim.Automaton
+module Executor = Nt_iosim.Executor
+module Gobj = Nt_gobj.Gobj
+module Broken = Nt_gobj.Broken
+module Moss_object = Nt_moss.Moss_object
+module Moss_invariants = Nt_moss.Moss_invariants
+module Undo_object = Nt_undo.Undo_object
+module Undo_invariants = Nt_undo.Undo_invariants
+module Mvts_object = Nt_mvts.Mvts_object
+module Commlock_object = Nt_locking.Commlock_object
+module Replication = Nt_replication.Replication
+module Runtime = Nt_generic.Runtime
+module Txn_interp = Nt_generic.Txn_interp
+module Graph = Nt_sg.Graph
+module Sibling_order = Nt_sg.Sibling_order
+module Conflict = Nt_sg.Conflict
+module Precedes = Nt_sg.Precedes
+module Sg = Nt_sg.Sg
+module Suitability = Nt_sg.Suitability
+module View = Nt_sg.View
+module Return_values = Nt_sg.Return_values
+module Theorem2 = Nt_sg.Theorem2
+module Checker = Nt_sg.Checker
+module Dot = Nt_sg.Dot
+module Monitor = Nt_sg.Monitor
+module History = Nt_classical.History
+module Flat_sg = Nt_classical.Flat_sg
+module View_serial = Nt_classical.View_serial
+module Gen = Nt_workload.Gen
+module Scenario = Nt_workload.Scenario
+module Program_io = Nt_workload.Program_io
+module Stats = Nt_stats.Stats
+module Table = Nt_stats.Table

@@ -1,0 +1,383 @@
+open Nt_base
+open Nt_spec
+open Nt_serial
+
+type policy = Random_step | Bsp_rounds
+
+type inform_policy = Eager | Lazy
+
+type stats = {
+  actions : int;
+  rounds : int;
+  blocked_attempts : int;
+  deadlock_aborts : int;
+  deadlock_cycles : int;
+  injected_aborts : int;
+  truncated : bool;
+}
+
+type result = {
+  trace : Trace.t;
+  stats : stats;
+  committed_top : int;
+  aborted_top : int;
+}
+
+type completion = No | Committed | Aborted
+
+type status = {
+  mutable requested : bool;
+  mutable created : bool;
+  mutable commit_value : Value.t option;
+  mutable completed : completion;
+  mutable reported : bool;
+  program : Program.t option;  (* None for T0 *)
+}
+
+(* A controller/runtime action candidate.  [Try_respond] may refuse. *)
+type candidate =
+  | C_interp_output of Txn_id.t * Txn_interp.output
+  | C_create of Txn_id.t
+  | C_try_respond of Txn_id.t
+  | C_commit of Txn_id.t
+  | C_report of Txn_id.t
+  | C_inform of Obj_id.t * Txn_id.t * completion
+
+type sim = {
+  schema : Schema.t;
+  rng : Rng.t;
+  statuses : status Txn_id.Tbl.t;
+  interps : Txn_interp.t Txn_id.Tbl.t;
+  objects : (Obj_id.t * Nt_gobj.Gobj.t) list;
+  mutable informed : (Obj_id.t * Txn_id.t) list;
+      (* pending informs, newest first *)
+  mutable buf : Action.t list;  (* trace, newest first *)
+  mutable n_actions : int;
+  mutable blocked_attempts : int;
+  mutable deadlock_aborts : int;
+  mutable deadlock_cycles : int;
+  mutable injected_aborts : int;
+}
+
+let emit sim a =
+  sim.buf <- a :: sim.buf;
+  sim.n_actions <- sim.n_actions + 1
+
+let status sim t =
+  match Txn_id.Tbl.find_opt sim.statuses t with
+  | Some s -> s
+  | None -> invalid_arg ("Runtime: unknown transaction " ^ Txn_id.to_string t)
+
+let add_status sim t program =
+  Txn_id.Tbl.replace sim.statuses t
+    {
+      requested = false;
+      created = false;
+      commit_value = None;
+      completed = No;
+      reported = false;
+      program;
+    }
+
+let object_of sim x =
+  match List.find_opt (fun (y, _) -> Obj_id.equal x y) sim.objects with
+  | Some (_, o) -> o
+  | None -> invalid_arg ("Runtime: unknown object " ^ Obj_id.name x)
+
+let is_access sim t = System_type.is_access sim.schema.Schema.sys t
+
+(* Enumerate currently enabled candidates.  Listed in a deterministic
+   order; the policy decides what fires. *)
+let candidates sim =
+  let acc = ref [] in
+  let add c = acc := c :: !acc in
+  (* Interpreter outputs. *)
+  Txn_id.Tbl.iter
+    (fun t interp ->
+      List.iter (fun o -> add (C_interp_output (t, o))) (Txn_interp.enabled_outputs interp))
+    sim.interps;
+  (* Controller actions per transaction status. *)
+  Txn_id.Tbl.iter
+    (fun t s ->
+      if s.requested && (not s.created) && s.completed = No then add (C_create t);
+      if s.created && s.commit_value = None && is_access sim t && s.completed = No
+      then add (C_try_respond t);
+      if s.commit_value <> None && s.completed = No then add (C_commit t);
+      if s.completed <> No && not s.reported then add (C_report t))
+    sim.statuses;
+  (* Informs. *)
+  List.iter
+    (fun (x, t) ->
+      let s = status sim t in
+      match s.completed with
+      | Committed -> add (C_inform (x, t, Committed))
+      | Aborted -> add (C_inform (x, t, Aborted))
+      | No -> assert false)
+    sim.informed;
+  !acc
+
+let do_abort sim t =
+  let s = status sim t in
+  s.completed <- Aborted;
+  emit sim (Action.Abort t);
+  List.iter (fun (x, _) -> sim.informed <- (x, t) :: sim.informed) sim.objects
+
+(* Fire a candidate; returns whether an action was emitted. *)
+let fire sim c =
+  match c with
+  | C_interp_output (t, Txn_interp.Request_child (i, prog)) ->
+      let child = Txn_id.child t i in
+      add_status sim child (Some prog);
+      (status sim child).requested <- true;
+      Txn_interp.note_child_requested (Txn_id.Tbl.find sim.interps t) i;
+      emit sim (Action.Request_create child);
+      true
+  | C_interp_output (t, Txn_interp.Request_commit v) ->
+      let s = status sim t in
+      s.commit_value <- Some v;
+      Txn_interp.note_commit_requested (Txn_id.Tbl.find sim.interps t);
+      emit sim (Action.Request_commit (t, v));
+      true
+  | C_create t ->
+      let s = status sim t in
+      s.created <- true;
+      (if is_access sim t then
+         (object_of sim (System_type.object_of_exn sim.schema.Schema.sys t)).create
+           t
+       else
+         match s.program with
+         | Some (Program.Node (comb, children)) ->
+             Txn_id.Tbl.replace sim.interps t (Txn_interp.make t comb children)
+         | Some (Program.Access _) | None -> assert false);
+      emit sim (Action.Create t);
+      true
+  | C_try_respond t -> (
+      let x = System_type.object_of_exn sim.schema.Schema.sys t in
+      match (object_of sim x).try_respond t with
+      | Some v ->
+          (status sim t).commit_value <- Some v;
+          emit sim (Action.Request_commit (t, v));
+          true
+      | None ->
+          sim.blocked_attempts <- sim.blocked_attempts + 1;
+          false)
+  | C_commit t ->
+      let s = status sim t in
+      s.completed <- Committed;
+      emit sim (Action.Commit t);
+      List.iter (fun (x, _) -> sim.informed <- (x, t) :: sim.informed) sim.objects;
+      true
+  | C_report t ->
+      let s = status sim t in
+      s.reported <- true;
+      let parent = Txn_id.parent_exn t in
+      let index = Option.get (Txn_id.last_index t) in
+      (match Txn_id.Tbl.find_opt sim.interps parent with
+      | Some interp -> (
+          match s.completed with
+          | Committed ->
+              Txn_interp.note_child_committed interp index
+                (Option.get s.commit_value)
+          | Aborted -> Txn_interp.note_child_aborted interp index
+          | No -> assert false)
+      | None -> assert false);
+      (match s.completed with
+      | Committed -> emit sim (Action.Report_commit (t, Option.get s.commit_value))
+      | Aborted -> emit sim (Action.Report_abort t)
+      | No -> assert false);
+      true
+  | C_inform (x, t, c) ->
+      sim.informed <-
+        List.filter
+          (fun (y, u) -> not (Obj_id.equal x y && Txn_id.equal u t))
+          sim.informed;
+      (match c with
+      | Committed ->
+          (object_of sim x).inform_commit t;
+          emit sim (Action.Inform_commit (x, t))
+      | Aborted ->
+          (object_of sim x).inform_abort t;
+          emit sim (Action.Inform_abort (x, t))
+      | No -> assert false);
+      true
+
+(* Maybe inject an abort of a random live, incomplete transaction. *)
+let maybe_inject sim abort_prob =
+  if abort_prob > 0.0 && Rng.float sim.rng 1.0 < abort_prob then begin
+    let victims =
+      Txn_id.Tbl.fold
+        (fun t s acc ->
+          if s.requested && s.completed = No && not (Txn_id.is_root t) then
+            t :: acc
+          else acc)
+        sim.statuses []
+    in
+    match victims with
+    | [] -> ()
+    | _ ->
+        let t = Rng.pick_list sim.rng victims in
+        sim.injected_aborts <- sim.injected_aborts + 1;
+        do_abort sim t
+  end
+
+(* Break a global stall.  Build the waits-for graph among blocked
+   accesses: [a] waits for blocked access [b] when [b] is a descendant
+   of one of [a]'s lock/log blockers (that subtree cannot finish, and
+   so cannot release, while [b] is stuck).  A cycle is a genuine
+   deadlock and its members are the preferred victims; otherwise any
+   blocked access is aborted (starvation by an eternal constraint,
+   e.g. a too-late multiversion write). *)
+let break_deadlock sim =
+  let blocked =
+    Txn_id.Tbl.fold
+      (fun t s acc ->
+        if
+          s.created && s.commit_value = None && s.completed = No
+          && is_access sim t
+        then t :: acc
+        else acc)
+      sim.statuses []
+  in
+  match blocked with
+  | [] -> false
+  | _ ->
+      let waits_for a =
+        let x = System_type.object_of_exn sim.schema.Schema.sys a in
+        let blockers = (object_of sim x).waiting_on a in
+        List.filter
+          (fun b ->
+            (not (Txn_id.equal a b))
+            && List.exists (fun u -> Txn_id.is_descendant b u) blockers)
+          blocked
+      in
+      let victim =
+        (* DFS for a node on a cycle. *)
+        let visiting = Txn_id.Tbl.create 8 and done_ = Txn_id.Tbl.create 8 in
+        let found = ref None in
+        let rec dfs a =
+          if !found = None && not (Txn_id.Tbl.mem done_ a) then
+            if Txn_id.Tbl.mem visiting a then found := Some a
+            else begin
+              Txn_id.Tbl.add visiting a ();
+              List.iter dfs (waits_for a);
+              Txn_id.Tbl.remove visiting a;
+              Txn_id.Tbl.replace done_ a ()
+            end
+        in
+        List.iter dfs blocked;
+        !found
+      in
+      let t =
+        match victim with
+        | Some v ->
+            sim.deadlock_cycles <- sim.deadlock_cycles + 1;
+            v
+        | None -> Rng.pick_list sim.rng blocked
+      in
+      sim.deadlock_aborts <- sim.deadlock_aborts + 1;
+      do_abort sim t;
+      true
+
+
+let is_inform = function C_inform _ -> true | _ -> false
+
+let run ?(policy = Random_step) ?(inform_policy = Eager)
+    ?(abort_prob = 0.0) ?(top_comb = Program.Par) ?(max_steps = 1_000_000)
+    ~seed (schema : Schema.t) factory forest =
+  let sim =
+    {
+      schema;
+      rng = Rng.create seed;
+      statuses = Txn_id.Tbl.create 128;
+      interps = Txn_id.Tbl.create 64;
+      objects = List.map (fun x -> (x, factory schema x)) schema.objects;
+      informed = [];
+      buf = [];
+      n_actions = 0;
+      blocked_attempts = 0;
+      deadlock_aborts = 0;
+      deadlock_cycles = 0;
+      injected_aborts = 0;
+    }
+  in
+  (* T0: an always-created interpreter that never commits. *)
+  add_status sim Txn_id.root None;
+  (status sim Txn_id.root).created <- true;
+  Txn_id.Tbl.replace sim.interps Txn_id.root
+    (Txn_interp.make ~no_commit:true Txn_id.root top_comb forest);
+  let rounds = ref 0 and steps = ref 0 and truncated = ref false in
+  let continue = ref true in
+  while !continue do
+    if !steps >= max_steps then begin
+      truncated := true;
+      continue := false
+    end
+    else begin
+      maybe_inject sim abort_prob;
+      let all = candidates sim in
+      (* Under lazy informs, completion information is delivered only
+         when nothing else in the system can move - the worst case for
+         protocols that block on visibility or lock inheritance. *)
+      let plain, informs =
+        match inform_policy with
+        | Eager -> (all, [])
+        | Lazy -> List.partition (fun c -> not (is_inform c)) all
+      in
+      let plain = Array.of_list plain and informs = Array.of_list informs in
+      if Array.length plain = 0 && Array.length informs = 0 then
+        continue := false
+      else begin
+        incr rounds;
+        Rng.shuffle sim.rng plain;
+        Rng.shuffle sim.rng informs;
+        match policy with
+        | Random_step ->
+            (* Fire the first candidate that succeeds, informs last. *)
+            let fired =
+              Array.exists (fun c -> fire sim c) plain
+              || Array.exists (fun c -> fire sim c) informs
+            in
+            incr steps;
+            if not fired then if not (break_deadlock sim) then continue := false
+        | Bsp_rounds ->
+            let fired = ref false in
+            Array.iter
+              (fun c ->
+                incr steps;
+                if fire sim c then fired := true)
+              plain;
+            if not !fired then
+              Array.iter
+                (fun c ->
+                  incr steps;
+                  if fire sim c then fired := true)
+                informs;
+            if not !fired then
+              if not (break_deadlock sim) then continue := false
+      end
+    end
+  done;
+  let committed_top = ref 0 and aborted_top = ref 0 in
+  Txn_id.Tbl.iter
+    (fun t s ->
+      if Txn_id.depth t = 1 then
+        match s.completed with
+        | Committed -> incr committed_top
+        | Aborted -> incr aborted_top
+        | No -> ())
+    sim.statuses;
+  {
+    trace = Trace.of_list (List.rev sim.buf);
+    stats =
+      {
+        actions = sim.n_actions;
+        rounds = !rounds;
+        blocked_attempts = sim.blocked_attempts;
+        deadlock_aborts = sim.deadlock_aborts;
+        deadlock_cycles = sim.deadlock_cycles;
+        injected_aborts = sim.injected_aborts;
+        truncated = !truncated;
+      };
+    committed_top = !committed_top;
+    aborted_top = !aborted_top;
+  }

@@ -1,0 +1,76 @@
+(** The generic system runtime (Section 5.1).
+
+    Composes the transaction interpreters, the generic objects of a
+    chosen protocol, and the generic controller, and interleaves their
+    enabled actions under a seeded scheduling policy.  The controller is
+    fully permissive, exactly as in the paper: it creates any requested
+    transaction, commits anything that requested commit, may abort
+    anything requested and incomplete (used for fault injection and
+    deadlock victims), reports completions to parents, and informs every
+    object of every completion — in any order the policy picks.
+
+    Two policies:
+    {ul
+    {- [Random_step]: one uniformly random enabled action per step —
+       maximal interleaving nondeterminism, ideal for model-checking
+       style testing;}
+    {- [Bsp_rounds]: each round sweeps all currently enabled actions
+       (re-checking enabledness as it fires them).  Rounds approximate
+       parallel time: the serial scheduler does one action per round,
+       so round counts compare concurrency across protocols.}}
+
+    Blocked accesses (a [try_respond] returning [None]) are retried;
+    when {e nothing} in the system can move and blocked accesses
+    remain, the runtime declares deadlock and aborts one blocked access
+    chosen at random (a behavior the permissive controller allows), so
+    executions always terminate. *)
+
+open Nt_base
+open Nt_spec
+open Nt_serial
+
+type policy = Random_step | Bsp_rounds
+
+type inform_policy =
+  | Eager  (** Informs compete with every other action (default). *)
+  | Lazy
+      (** Informs are delivered only when nothing else can move —
+          maximal recovery-information latency, an ablation knob for
+          how hard each protocol leans on [INFORM_COMMIT]s
+          (Experiment E12). *)
+
+type stats = {
+  actions : int;  (** Events emitted (= trace length). *)
+  rounds : int;  (** Rounds (Bsp) or steps (Random). *)
+  blocked_attempts : int;  (** [try_respond] refusals. *)
+  deadlock_aborts : int;  (** Victim aborts after a global stall. *)
+  deadlock_cycles : int;
+      (** How many victims sat on a genuine waits-for cycle (the rest
+          were starved by permanent constraints). *)
+  injected_aborts : int;  (** Fault-injection aborts. *)
+  truncated : bool;  (** Hit [max_steps] before quiescence. *)
+}
+
+type result = {
+  trace : Trace.t;
+  stats : stats;
+  committed_top : int;  (** Top-level transactions that committed. *)
+  aborted_top : int;  (** Top-level transactions that aborted. *)
+}
+
+val run :
+  ?policy:policy ->
+  ?inform_policy:inform_policy ->
+  ?abort_prob:float ->
+  ?top_comb:Program.comb ->
+  ?max_steps:int ->
+  seed:int ->
+  Schema.t ->
+  Nt_gobj.Gobj.factory ->
+  Program.t list ->
+  result
+(** Execute the top-level forest to quiescence.  [abort_prob] is the
+    per-step probability of aborting a random live transaction
+    (default 0).  [top_comb] is how [T0] issues its children (default
+    [Par] — full top-level concurrency).  Defaults: [Random_step]
+    policy, [max_steps = 1_000_000]. *)

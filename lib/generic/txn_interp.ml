@@ -1,0 +1,77 @@
+open Nt_base
+open Nt_serial
+
+type t = {
+  txn : Txn_id.t;
+  comb : Program.comb;
+  children : Program.t array;
+  summaries : Value.t option array;
+  requested : bool array;
+  mutable awaiting : int;  (* requested but not yet reported *)
+  mutable next : int;  (* lowest unrequested child index *)
+  mutable commit_requested : bool;
+  no_commit : bool;
+}
+
+type output = Request_child of int * Program.t | Request_commit of Value.t
+
+let make ?(no_commit = false) txn comb children =
+  let children = Array.of_list children in
+  let n = Array.length children in
+  {
+    txn;
+    comb;
+    children;
+    summaries = Array.make n None;
+    requested = Array.make n false;
+    awaiting = 0;
+    next = 0;
+    commit_requested = false;
+    no_commit;
+  }
+
+let txn t = t.txn
+
+let enabled_outputs t =
+  if t.commit_requested then []
+  else
+    let n = Array.length t.children in
+    let child_requests =
+      match t.comb with
+      | Program.Seq ->
+          if t.next < n && t.awaiting = 0 then
+            [ Request_child (t.next, t.children.(t.next)) ]
+          else []
+      | Program.Par ->
+          if t.next < n then [ Request_child (t.next, t.children.(t.next)) ]
+          else []
+    in
+    if child_requests <> [] then child_requests
+    else if t.next >= n && t.awaiting = 0 && not t.no_commit then
+      let summaries =
+        Array.to_list
+          (Array.map
+             (fun s -> match s with Some v -> v | None -> assert false)
+             t.summaries)
+      in
+      [ Request_commit (Value.List summaries) ]
+    else []
+
+let note_child_requested t i =
+  assert (not t.requested.(i));
+  t.requested.(i) <- true;
+  t.awaiting <- t.awaiting + 1;
+  if i >= t.next then t.next <- i + 1
+
+let note_child_committed t i v =
+  assert (t.summaries.(i) = None);
+  t.summaries.(i) <- Some (Value.Pair (Value.Bool true, v));
+  t.awaiting <- t.awaiting - 1
+
+let note_child_aborted t i =
+  assert (t.summaries.(i) = None);
+  t.summaries.(i) <- Some (Value.Pair (Value.Bool false, Value.Unit));
+  t.awaiting <- t.awaiting - 1
+
+let note_commit_requested t = t.commit_requested <- true
+let is_commit_requested t = t.commit_requested

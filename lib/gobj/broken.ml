@@ -1,0 +1,130 @@
+open Nt_base
+open Nt_spec
+
+(* Shared bookkeeping: respond to each created access exactly once, so
+   even broken protocols keep traces generically well-formed (the point
+   is to violate the theorems' hypotheses, not trace syntax). *)
+type book = {
+  mutable created : Txn_id.Set.t;
+  mutable responded : Txn_id.Set.t;
+}
+
+let fresh_book () = { created = Txn_id.Set.empty; responded = Txn_id.Set.empty }
+
+let can_respond book t =
+  Txn_id.Set.mem t book.created && not (Txn_id.Set.mem t book.responded)
+
+let no_control : Gobj.factory =
+ fun schema x ->
+  let dt = schema.Schema.dtype_of x in
+  let state = ref dt.Datatype.init in
+  let book = fresh_book () in
+  {
+    Gobj.obj = x;
+    create = (fun t -> book.created <- Txn_id.Set.add t book.created);
+    inform_commit = (fun _ -> ());
+    inform_abort = (fun _ -> ());
+    try_respond =
+      (fun t ->
+        if not (can_respond book t) then None
+        else begin
+          book.responded <- Txn_id.Set.add t book.responded;
+          let s', v = dt.Datatype.apply !state (schema.Schema.op_of t) in
+          state := s';
+          Some v
+        end);
+    waiting_on = (fun _ -> []);
+  }
+
+(* Moss' write-lock stack, but reads neither take locks nor wait for
+   writers: a read returns the deepest write-lockholder's value even
+   when that writer is no ancestor — a dirty read. *)
+let unsafe_read : Gobj.factory =
+ fun schema x ->
+  let dt = schema.Schema.dtype_of x in
+  let book = fresh_book () in
+  let write_locks = ref (Txn_id.Map.singleton Txn_id.root dt.Datatype.init) in
+  let least_holder () =
+    (* Holders form a chain; the least is the deepest. *)
+    Txn_id.Map.fold
+      (fun t v acc ->
+        match acc with
+        | Some (t', _) when Txn_id.depth t' >= Txn_id.depth t -> acc
+        | _ -> Some (t, v))
+      !write_locks None
+  in
+  {
+    Gobj.obj = x;
+    create = (fun t -> book.created <- Txn_id.Set.add t book.created);
+    inform_commit =
+      (fun t ->
+        match Txn_id.Map.find_opt t !write_locks with
+        | None -> ()
+        | Some v ->
+            let p = Txn_id.parent_exn t in
+            write_locks := Txn_id.Map.add p v (Txn_id.Map.remove t !write_locks));
+    inform_abort =
+      (fun t ->
+        write_locks :=
+          Txn_id.Map.filter
+            (fun u _ -> not (Txn_id.is_descendant u t))
+            !write_locks);
+    try_respond =
+      (fun t ->
+        if not (can_respond book t) then None
+        else
+          match schema.Schema.op_of t with
+          | Datatype.Read -> (
+              match least_holder () with
+              | Some (_, v) ->
+                  book.responded <- Txn_id.Set.add t book.responded;
+                  Some v
+              | None ->
+                  book.responded <- Txn_id.Set.add t book.responded;
+                  Some dt.Datatype.init)
+          | Datatype.Write v ->
+              if Txn_id.Map.for_all (fun u _ -> Txn_id.is_ancestor u t) !write_locks
+              then begin
+                book.responded <- Txn_id.Set.add t book.responded;
+                write_locks := Txn_id.Map.add t v !write_locks;
+                Some Value.Ok
+              end
+              else None
+          | op -> raise (Datatype.Unsupported op));
+    waiting_on =
+      (fun t ->
+        Txn_id.Map.fold
+          (fun u _ acc -> if Txn_id.is_ancestor u t then acc else u :: acc)
+          !write_locks []);
+  }
+
+(* An operation log that is never purged of aborted descendants and
+   never consults commutativity. *)
+let no_undo : Gobj.factory =
+ fun schema x ->
+  let dt = schema.Schema.dtype_of x in
+  let book = fresh_book () in
+  let log = ref [] (* newest first *) in
+  {
+    Gobj.obj = x;
+    create = (fun t -> book.created <- Txn_id.Set.add t book.created);
+    inform_commit = (fun _ -> ());
+    inform_abort = (fun _ -> ());
+    try_respond =
+      (fun t ->
+        if not (can_respond book t) then None
+        else begin
+          book.responded <- Txn_id.Set.add t book.responded;
+          let state =
+            List.fold_left
+              (fun s op -> fst (dt.Datatype.apply s op))
+              dt.Datatype.init
+              (List.rev !log)
+          in
+          let op = schema.Schema.op_of t in
+          let _, v = dt.Datatype.apply state op in
+          log := op :: !log;
+          Some v
+        end);
+    waiting_on = (fun _ -> []);
+  }

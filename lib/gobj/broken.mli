@@ -1,0 +1,23 @@
+(** Deliberately incorrect generic objects — negative controls.
+
+    The serialization-graph checker would be worthless if it accepted
+    everything; these protocols produce, under contention, behaviors
+    that violate the theorems' hypotheses, and the tests and Experiment
+    E7 confirm the checker rejects them.
+
+    {ul
+    {- {!no_control}: answers every access immediately from a single
+       update-in-place state, with no locks and no recovery — aborted
+       writers' effects leak to visible readers (violates
+       appropriateness) and conflicting siblings interleave freely
+       (cyclic serialization graphs);}
+    {- {!unsafe_read}: Moss' algorithm for writes, but reads ignore
+       write locks — reads are current-but-unsafe "dirty reads"
+       (violates the [safe] condition of Lemma 6);}
+    {- {!no_undo}: keeps an operation log but never undoes aborted
+       descendants and never checks commutativity — the undo-logging
+       algorithm with both preconditions stripped.}} *)
+
+val no_control : Gobj.factory
+val unsafe_read : Gobj.factory
+val no_undo : Gobj.factory

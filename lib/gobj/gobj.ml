@@ -1,0 +1,12 @@
+open Nt_base
+
+type t = {
+  obj : Obj_id.t;
+  create : Txn_id.t -> unit;
+  inform_commit : Txn_id.t -> unit;
+  inform_abort : Txn_id.t -> unit;
+  try_respond : Txn_id.t -> Value.t option;
+  waiting_on : Txn_id.t -> Txn_id.t list;
+}
+
+type factory = Nt_spec.Schema.t -> Obj_id.t -> t

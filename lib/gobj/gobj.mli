@@ -1,0 +1,32 @@
+(** Generic object automata (Section 5.1).
+
+    A generic object is the component that carries out concurrency
+    control and recovery for one object name: besides [Create] and
+    [Request_commit] it receives [Inform_commit]/[Inform_abort] inputs
+    reporting the fate of arbitrary transactions.  The runtime drives a
+    generic object through this first-class interface; {!Nt_moss} and
+    {!Nt_undo} provide the paper's two verified implementations, and
+    {!Broken} provides deliberately incorrect ones used as negative
+    controls for the serialization-graph checker.
+
+    A [try_respond] returning [None] means the [Request_commit] output
+    is not currently enabled (e.g. a lock conflict); the runtime will
+    retry later, and uses [waiting_on] to pick deadlock victims. *)
+
+open Nt_base
+
+type t = {
+  obj : Obj_id.t;
+  create : Txn_id.t -> unit;  (** The [CREATE(T)] input. *)
+  inform_commit : Txn_id.t -> unit;  (** [INFORM_COMMIT_AT(X)OF(T)]. *)
+  inform_abort : Txn_id.t -> unit;  (** [INFORM_ABORT_AT(X)OF(T)]. *)
+  try_respond : Txn_id.t -> Value.t option;
+      (** Fire [REQUEST_COMMIT(T, v)] if enabled, returning [v];
+          [None] when the precondition fails (caller retries). *)
+  waiting_on : Txn_id.t -> Txn_id.t list;
+      (** Diagnostic: the transactions whose locks / log entries
+          currently block the given access (empty when not blocked). *)
+}
+
+type factory = Nt_spec.Schema.t -> Obj_id.t -> t
+(** A protocol: builds a fresh generic object for an object name. *)

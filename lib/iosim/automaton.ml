@@ -1,0 +1,43 @@
+open Nt_base
+
+type 'state component = {
+  name : string;
+  state : 'state;
+  signature : Action.t -> [ `Input | `Output | `Not_mine ];
+  step : 'state -> Action.t -> 'state;
+  enabled : 'state -> Action.t list;
+}
+
+(* Existentially packed component. *)
+type packed =
+  | Packed : 'state component -> packed
+
+type t = packed list
+
+let component c = [ Packed c ]
+let compose ts = List.concat ts
+
+let enabled t =
+  List.concat_map (fun (Packed c) -> c.enabled c.state) t
+
+let fire t action =
+  let owners =
+    List.filter
+      (fun (Packed c) -> c.signature action = `Output)
+      t
+  in
+  (match owners with
+  | [] ->
+      invalid_arg
+        ("Automaton.fire: no component outputs " ^ Action.to_string action)
+  | [ _ ] -> ()
+  | Packed a :: Packed b :: _ ->
+      invalid_arg
+        (Printf.sprintf "Automaton.fire: %s claimed as output by %s and %s"
+           (Action.to_string action) a.name b.name));
+  List.map
+    (fun (Packed c) ->
+      match c.signature action with
+      | `Not_mine -> Packed c
+      | `Input | `Output -> Packed { c with state = c.step c.state action })
+    t

@@ -1,0 +1,55 @@
+(** Executable I/O automata (Section 2.1).
+
+    The paper's components — transactions, objects, schedulers — are
+    I/O automata: states, input/output/internal actions, and a step
+    relation, composed so that an action is performed simultaneously by
+    every component sharing it.  This module gives the executable
+    counterpart over the {!Nt_base.Action} vocabulary:
+
+    - a component is a state plus a [step] function (inputs must always
+      be accepted: input-enabledness is the caller's obligation and is
+      asserted by the executor) and an [enabled] enumeration of the
+      locally-controlled actions it can currently perform;
+    - {!compose} implements the paper's composition: the composite's
+      enabled outputs are those of each component, and firing an action
+      steps every component that has it in its signature.
+
+    The executor ({!Executor}) drives a composition by repeatedly
+    choosing one enabled locally-controlled action (seeded-randomly),
+    which realizes the paper's arbitrary interleaving semantics and
+    produces behaviors for the trace machinery and the
+    serialization-graph checker. *)
+
+open Nt_base
+
+type 'state component = {
+  name : string;  (** For error reporting. *)
+  state : 'state;
+  signature : Action.t -> [ `Input | `Output | `Not_mine ];
+      (** Static action signature; internal actions are not modelled
+          (none of the paper's component interactions need them). *)
+  step : 'state -> Action.t -> 'state;
+      (** Apply an action in the signature.  For inputs this must be
+          total (input-enabledness). *)
+  enabled : 'state -> Action.t list;
+      (** The currently enabled locally-controlled (output) actions. *)
+}
+
+type t
+(** A composition of components (existentially packed). *)
+
+val component : 'state component -> t
+(** Pack one component. *)
+
+val compose : t list -> t
+(** Compose; output signatures must be disjoint (checked lazily: firing
+    an action claimed as output by two components raises
+    [Invalid_argument]). *)
+
+val enabled : t -> Action.t list
+(** All enabled outputs of the composition, in component order. *)
+
+val fire : t -> Action.t -> t
+(** Perform one action: every component with the action in its
+    signature steps; raises [Invalid_argument] if no component claims
+    it as an output. *)

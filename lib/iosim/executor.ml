@@ -1,0 +1,20 @@
+open Nt_base
+
+let run_with ~choose ?(max_steps = 100_000) ~seed automaton =
+  let rng = Rng.create seed in
+  let rec go auto acc steps =
+    if steps >= max_steps then (Trace.of_list (List.rev acc), auto)
+    else
+      match Automaton.enabled auto with
+      | [] -> (Trace.of_list (List.rev acc), auto)
+      | actions -> (
+          match choose rng actions with
+          | None -> (Trace.of_list (List.rev acc), auto)
+          | Some a -> go (Automaton.fire auto a) (a :: acc) (steps + 1))
+  in
+  go automaton [] 0
+
+let run ?max_steps ~seed automaton =
+  run_with
+    ~choose:(fun rng actions -> Some (Rng.pick_list rng actions))
+    ?max_steps ~seed automaton

@@ -1,0 +1,22 @@
+(** Driving compositions of I/O automata.
+
+    Repeatedly pick one enabled locally-controlled action — seeded
+    uniformly at random — and fire it, recording the trace.  This is
+    the paper's execution model (an arbitrary fair interleaving of
+    locally-controlled steps) made executable and reproducible. *)
+
+open Nt_base
+
+val run :
+  ?max_steps:int -> seed:int -> Automaton.t -> Trace.t * Automaton.t
+(** Run to quiescence (no enabled actions) or [max_steps] (default
+    100_000), returning the trace and the final composition. *)
+
+val run_with :
+  choose:(Rng.t -> Action.t list -> Action.t option) ->
+  ?max_steps:int ->
+  seed:int ->
+  Automaton.t ->
+  Trace.t * Automaton.t
+(** Like {!run} with a custom scheduling policy: [choose rng enabled]
+    returns the next action, or [None] to stop early. *)

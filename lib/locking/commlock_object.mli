@@ -1,0 +1,60 @@
+(** Commutativity-based locking: the general [M_X] of which [M1_X] is
+    the read/write specialization (the paper's footnote 8; the modular
+    locking framework of Fekete–Lynch–Merritt–Weihl).
+
+    Where {!Nt_moss.Moss_object} keeps read/write lock sets and a value
+    stack, [M_X] keeps a {e log of operations, each owned by a holder
+    transaction}: responding to an access appends an entry owned by the
+    access itself; an [INFORM_COMMIT] promotes a holder's entries to
+    its parent (lock inheritance); an [INFORM_ABORT] discards every
+    entry held by a descendant of the aborted transaction.
+
+    An access [T] performing operation [op] may respond when [op]
+    (paired with its replay response) commutes backward with every
+    entry whose holder is {e not} an ancestor of [T] — the
+    lock-conflict rule, with the lock modes induced by the data type's
+    commutativity relation.  The response value is the replay of the
+    whole log: entries held by non-ancestors commute with [op], so they
+    cannot change its return value, and entries held by ancestors are
+    exactly the versions [T] is entitled to observe (for registers this
+    reduces to Moss' "value of the least write-lockholder").
+
+    Like Moss' algorithm, the serialization order is the completion
+    order, so behaviors are certified by the serialization-graph
+    theorem (Theorem 19) — asserted in the tests, along with the fact
+    that [M_X] strictly refines [M1_X] on registers (everything Moss
+    admits, plus same-datum writes). *)
+
+open Nt_base
+open Nt_spec
+
+type entry = {
+  holder : Txn_id.t;  (** Current lock owner (promoted on commits). *)
+  op : Datatype.op;
+  value : Value.t;
+}
+
+type state = {
+  created : Txn_id.Set.t;
+  commit_requested : Txn_id.Set.t;
+  log : entry list;  (** Response order, oldest first. *)
+}
+
+val initial : state
+val create : state -> Txn_id.t -> state
+
+val inform_commit : state -> Txn_id.t -> state
+(** Promote the transaction's entries to its parent. *)
+
+val inform_abort : state -> Txn_id.t -> state
+(** Discard entries held by descendants. *)
+
+val request_commit :
+  Datatype.t -> state -> Txn_id.t -> Datatype.op -> (state * Value.t) option
+(** Fire the response if the lock-conflict rule admits it. *)
+
+val blockers : Datatype.t -> state -> Txn_id.t -> Datatype.op -> Txn_id.t list
+(** Holders of conflicting entries. *)
+
+val factory : Nt_gobj.Gobj.factory
+(** [M_X] as a generic object, for any data type. *)

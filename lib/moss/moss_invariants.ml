@@ -1,0 +1,141 @@
+open Nt_base
+open Nt_spec
+
+let project (schema : Schema.t) x trace =
+  Trace.filter
+    (fun a ->
+      match a with
+      | Action.Create t | Action.Request_commit (t, _) -> (
+          match System_type.object_of schema.Schema.sys t with
+          | Some y -> Obj_id.equal x y
+          | None -> false)
+      | Action.Inform_commit (y, _) | Action.Inform_abort (y, _) ->
+          Obj_id.equal x y
+      | _ -> false)
+    trace
+
+let kind_of (schema : Schema.t) t =
+  match schema.Schema.op_of t with
+  | Datatype.Read -> `Read
+  | Datatype.Write v -> `Write v
+  | op -> raise (Datatype.Unsupported op)
+
+let replay (schema : Schema.t) x trace =
+  let dt = schema.Schema.dtype_of x in
+  let n = Trace.length trace in
+  let rec go s i =
+    if i >= n then Ok s
+    else
+      match Trace.get trace i with
+      | Action.Create t -> go (Moss_object.create s t) (i + 1)
+      | Action.Inform_commit (_, t) -> go (Moss_object.inform_commit s t) (i + 1)
+      | Action.Inform_abort (_, t) -> go (Moss_object.inform_abort s t) (i + 1)
+      | Action.Request_commit (t, v) -> (
+          match Moss_object.request_commit s t (kind_of schema t) with
+          | Some (s', v') when Value.equal v v' -> go s' (i + 1)
+          | Some _ ->
+              Error
+                (Format.asprintf "event %d: wrong return value for %a" i
+                   Txn_id.pp t)
+          | None ->
+              Error
+                (Format.asprintf "event %d: REQUEST_COMMIT(%a) not enabled" i
+                   Txn_id.pp t))
+      | a -> Error (Format.asprintf "event %d: foreign action %a" i Action.pp a)
+  in
+  go (Moss_object.initial dt.Datatype.init) 0
+
+let local_orphan x trace t =
+  let ancs = Txn_id.ancestors t in
+  Array.exists
+    (fun a ->
+      match a with
+      | Action.Inform_abort (y, u) ->
+          Obj_id.equal x y && List.exists (Txn_id.equal u) ancs
+      | _ -> false)
+    trace
+
+let lock_visible x trace t t' =
+  (* [chain] is ancestors t - ancestors t', leaf-to-root; greedily match
+     one INFORM_COMMIT per element in ascending order. *)
+  let chain = Txn_id.ancestors_upto t ~upto:t' in
+  let n = Trace.length trace in
+  let rec go from = function
+    | [] -> true
+    | u :: rest ->
+        let rec find i =
+          if i >= n then None
+          else
+            match Trace.get trace i with
+            | Action.Inform_commit (y, w)
+              when Obj_id.equal x y && Txn_id.equal w u ->
+                Some i
+            | _ -> find (i + 1)
+        in
+        (match find from with
+        | Some i -> go (i + 1) rest
+        | None -> false)
+  in
+  go 0 chain
+
+let responded_accesses trace =
+  Array.to_list trace
+  |> List.filter_map (fun a ->
+         match a with Action.Request_commit (t, _) -> Some t | _ -> None)
+
+let lemma9 schema x trace =
+  match replay schema x trace with
+  | Error _ -> true
+  | Ok s -> Moss_object.lock_chain_ok s
+
+let highest_lock_visible x trace t =
+  let rec climb best candidate =
+    match candidate with
+    | None -> best
+    | Some c ->
+        if lock_visible x trace t c then climb c (Txn_id.parent c) else best
+  in
+  climb t (Txn_id.parent t)
+
+let lemma10 schema x trace =
+  match replay schema x trace with
+  | Error _ -> true
+  | Ok s ->
+      List.for_all
+        (fun t ->
+          local_orphan x trace t
+          ||
+          let t' = highest_lock_visible x trace t in
+          match kind_of schema t with
+          | `Write _ -> Txn_id.Map.mem t' s.Moss_object.write_lockholders
+          | `Read -> Txn_id.Set.mem t' s.Moss_object.read_lockholders)
+        (responded_accesses trace)
+
+let lemma12_13 schema x trace =
+  match replay schema x trace with
+  | Error _ -> true
+  | Ok s ->
+      List.for_all
+        (fun t ->
+          local_orphan x trace t
+          ||
+          (* Least ancestor of [t] holding the write lock. *)
+          let u =
+            List.find_opt
+              (fun a -> Txn_id.Map.mem a s.Moss_object.write_lockholders)
+              (Txn_id.ancestors t)
+          in
+          match u with
+          | None -> false
+          | Some u ->
+              let stored = Txn_id.Map.find u s.Moss_object.write_lockholders in
+              let gamma =
+                Trace.filter
+                  (fun a ->
+                    match Action.transaction a with
+                    | Some w -> lock_visible x trace w t
+                    | None -> false)
+                  trace
+              in
+              Value.equal stored (Rw.final_value schema gamma x))
+        (responded_accesses trace)

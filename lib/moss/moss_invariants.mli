@@ -1,0 +1,52 @@
+(** Executable forms of the [M1_X] lemmas (Section 5.3).
+
+    The paper proves four facts about schedules of [M1_X]; this module
+    decides each of them on concrete traces so the test suite can
+    assert them over every reachable prefix of every generated
+    execution:
+
+    - {b Lemma 9}: conflicting locks are only ever held by relatives;
+    - {b Lemma 10}: after a response by a non-local-orphan access [T],
+      the highest ancestor to which [T] is lock-visible holds the
+      corresponding lock;
+    - {b Lemma 12/13}: the stored value of the least write-lockholder
+      above [T] equals [final-value] of the events whose transactions
+      are lock-visible to [T].
+
+    It also provides [local orphan] and [lock-visible] themselves
+    (Section 5.3's vocabulary) and a validated replay of [M1_X]
+    schedules. *)
+
+open Nt_base
+open Nt_spec
+
+val project : Schema.t -> Obj_id.t -> Trace.t -> Trace.t
+(** [beta|M1_X]: creates and responses of accesses to [X], plus the
+    inform actions addressed to [X]. *)
+
+val replay :
+  Schema.t -> Obj_id.t -> Trace.t -> (Moss_object.state, string) result
+(** Replay a projected trace through the pure transitions, validating
+    the precondition of every [Request_commit]; [Error] describes the
+    first refused step. *)
+
+val local_orphan : Obj_id.t -> Trace.t -> Txn_id.t -> bool
+(** An [Inform_abort] at [X] names an ancestor of [T]. *)
+
+val lock_visible : Obj_id.t -> Trace.t -> Txn_id.t -> Txn_id.t -> bool
+(** [lock_visible x beta t t']: [beta] contains
+    [INFORM_COMMIT_AT(x)OF(U)] for every [U ∈ ancestors t - ancestors
+    t'], arranged in ascending (leaf-to-root) order. *)
+
+val lemma9 : Schema.t -> Obj_id.t -> Trace.t -> bool
+(** The lock-chain invariant holds in the state reached by the
+    projected trace (vacuously true if replay fails). *)
+
+val lemma10 : Schema.t -> Obj_id.t -> Trace.t -> bool
+(** For every responded, non-local-orphan access, the highest
+    lock-visible ancestor holds the lock of the right kind. *)
+
+val lemma12_13 : Schema.t -> Obj_id.t -> Trace.t -> bool
+(** For every responded, non-local-orphan access [T], the value stored
+    at the least write-lockholding ancestor of [T] is [final-value] of
+    the lock-visible-to-[T] events. *)

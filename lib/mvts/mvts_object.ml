@@ -1,0 +1,136 @@
+open Nt_base
+open Nt_spec
+
+type version = { writer : Txn_id.t; datum : Value.t }
+
+type state = {
+  created : Txn_id.Set.t;
+  commit_requested : Txn_id.Set.t;
+  committed : Txn_id.Set.t;
+  versions : version list;
+  read_log : (Txn_id.t * Txn_id.t) list;
+}
+
+let initial init_value =
+  {
+    created = Txn_id.Set.empty;
+    commit_requested = Txn_id.Set.empty;
+    committed = Txn_id.Set.empty;
+    versions = [ { writer = Txn_id.root; datum = init_value } ];
+    read_log = [];
+  }
+
+let create s t = { s with created = Txn_id.Set.add t s.created }
+let inform_commit s t = { s with committed = Txn_id.Set.add t s.committed }
+
+let inform_abort s t =
+  {
+    s with
+    versions =
+      List.filter (fun v -> not (Txn_id.is_descendant v.writer t)) s.versions;
+    read_log =
+      List.filter (fun (r, _) -> not (Txn_id.is_descendant r t)) s.read_log;
+  }
+
+(* The latest version strictly below [t]'s pseudotime. *)
+let select_version s t =
+  let below =
+    List.filter (fun v -> Txn_id.dfs_compare v.writer t < 0) s.versions
+  in
+  match
+    List.fold_left
+      (fun best v ->
+        match best with
+        | Some b when Txn_id.dfs_compare b.writer v.writer >= 0 -> best
+        | _ -> Some v)
+      None below
+  with
+  | Some v -> v
+  | None -> invalid_arg "Mvts_object.select_version: initial version missing"
+
+let respondable s t =
+  Txn_id.Set.mem t s.created && not (Txn_id.Set.mem t s.commit_requested)
+
+let locally_visible s ~to_ t' =
+  List.for_all
+    (fun u -> Txn_id.Set.mem u s.committed)
+    (Txn_id.ancestors_upto t' ~upto:to_)
+
+(* Readers a write at [t]'s pseudotime would invalidate: those with a
+   larger pseudotime whose selected version is older than [t]. *)
+let invalidated_readers s t =
+  List.filter_map
+    (fun (reader, selected) ->
+      if Txn_id.dfs_compare t reader < 0 && Txn_id.dfs_compare selected t < 0
+      then Some reader
+      else None)
+    s.read_log
+
+let request_commit s t kind =
+  if not (respondable s t) then None
+  else
+    match kind with
+    | `Read ->
+        let v = select_version s t in
+        if
+          Txn_id.is_root v.writer
+          || locally_visible s ~to_:t v.writer
+        then
+          Some
+            ( {
+                s with
+                commit_requested = Txn_id.Set.add t s.commit_requested;
+                read_log = (t, v.writer) :: s.read_log;
+              },
+              v.datum )
+        else None
+    | `Write datum ->
+        if invalidated_readers s t = [] then
+          let versions =
+            List.sort
+              (fun a b -> Txn_id.dfs_compare a.writer b.writer)
+              ({ writer = t; datum } :: s.versions)
+          in
+          Some
+            ( {
+                s with
+                commit_requested = Txn_id.Set.add t s.commit_requested;
+                versions;
+              },
+              Value.Ok )
+        else None
+
+let blockers s t kind =
+  if not (respondable s t) then []
+  else
+    match kind with
+    | `Read ->
+        let v = select_version s t in
+        if Txn_id.is_root v.writer || locally_visible s ~to_:t v.writer then []
+        else [ v.writer ]
+    | `Write _ -> invalidated_readers s t
+
+let kind_of_op = function
+  | Datatype.Read -> `Read
+  | Datatype.Write v -> `Write v
+  | op -> raise (Datatype.Unsupported op)
+
+let factory : Nt_gobj.Gobj.factory =
+ fun schema x ->
+  let dt = schema.Schema.dtype_of x in
+  let state = ref (initial dt.Datatype.init) in
+  {
+    Nt_gobj.Gobj.obj = x;
+    create = (fun t -> state := create !state t);
+    inform_commit = (fun t -> state := inform_commit !state t);
+    inform_abort = (fun t -> state := inform_abort !state t);
+    try_respond =
+      (fun t ->
+        match request_commit !state t (kind_of_op (schema.Schema.op_of t)) with
+        | Some (s', v) ->
+            state := s';
+            Some v
+        | None -> None);
+    waiting_on =
+      (fun t -> blockers !state t (kind_of_op (schema.Schema.op_of t)));
+  }

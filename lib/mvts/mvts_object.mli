@@ -1,0 +1,71 @@
+(** A multiversion timestamp-ordering object for nested transactions.
+
+    The paper's conclusion points beyond the serialization-graph
+    technique: "the classical theory has been extended ... to model
+    concurrency control and recovery algorithms that use multiple
+    versions", and proving such algorithms for nested transactions is
+    left to the companion techniques of Aspnes–Fekete–Lynch–Merritt–
+    Weihl.  This module implements such an algorithm — a nested
+    adaptation of Reed's multiversion timestamp ordering for read/write
+    objects — both as a useful third protocol and as a demonstrated
+    {e boundary} of the SG construction: its behaviors are serially
+    correct (certified by the Serializability Theorem with the
+    pseudotime order, {!Nt_sg.Theorem2}) yet their serialization graphs
+    can be cyclic, because the serialization order is pseudotime, not
+    completion order (Experiment E9).
+
+    Timestamps are the depth-first order of the naming tree
+    ({!Nt_base.Txn_id.dfs_compare}): each access's pseudotime is its
+    path, which is consistent with the sibling-index order in which the
+    interpreters issue children.
+
+    The object keeps every committed-or-pending {e version} (writer,
+    datum) sorted by writer pseudotime, and a read log:
+
+    - a {b read} at pseudotime [ts] selects the version with the
+      greatest writer pseudotime below [ts]; it may respond only when
+      that writer is locally visible to the reader (same condition as
+      undo logging — otherwise the read would be unsafe), recording the
+      dependency in the read log;
+    - a {b write} at pseudotime [ts] is {e too late} if some logged
+      read at pseudotime above [ts] selected a version below [ts] (the
+      write would invalidate it); a too-late write stays blocked (the
+      runtime's deadlock victim mechanism eventually aborts it, which
+      is this implementation's rendering of "abort the late writer");
+    - an {b abort} purges the aborted subtree's versions and read-log
+      entries. *)
+
+open Nt_base
+
+type version = { writer : Txn_id.t; datum : Value.t }
+
+type state = {
+  created : Txn_id.Set.t;
+  commit_requested : Txn_id.Set.t;
+  committed : Txn_id.Set.t;
+  versions : version list;  (** Sorted by writer pseudotime, oldest first. *)
+  read_log : (Txn_id.t * Txn_id.t) list;  (** (reader, selected writer). *)
+}
+
+val initial : Value.t -> state
+(** The initial version is written by [T0] at the smallest
+    pseudotime. *)
+
+val create : state -> Txn_id.t -> state
+val inform_commit : state -> Txn_id.t -> state
+val inform_abort : state -> Txn_id.t -> state
+
+val select_version : state -> Txn_id.t -> version
+(** The version a read at this access's pseudotime would select.  The
+    [T0] initial version guarantees existence. *)
+
+val request_commit :
+  state -> Txn_id.t -> [ `Read | `Write of Value.t ] -> (state * Value.t) option
+(** Fire the response if enabled per the rules above. *)
+
+val blockers : state -> Txn_id.t -> [ `Read | `Write of Value.t ] -> Txn_id.t list
+(** For a blocked read, the selected writer; for a too-late write, the
+    readers it would invalidate. *)
+
+val factory : Nt_gobj.Gobj.factory
+(** The protocol as a generic object (registers only). *)

@@ -1,0 +1,195 @@
+open Nt_base
+open Nt_spec
+open Nt_serial
+
+type config = { n_replicas : int; read_quorum : int; write_quorum : int }
+
+let intersecting c = c.read_quorum + c.write_quorum > c.n_replicas
+
+type logical_op = L_read | L_write of int * Value.t
+
+type plan = {
+  physical_forest : Program.t list;
+  physical_schema : Schema.t;
+  logical_of : Txn_id.t -> (Obj_id.t * logical_op) option;
+  logical_objects : Obj_id.t list;
+}
+
+type violation =
+  | Phantom_read of Txn_id.t * Value.t
+  | Stale_read of Txn_id.t * Txn_id.t * int * int
+
+let replica_name x i = Obj_id.make (Obj_id.name x ^ "#" ^ string_of_int i)
+
+let replicate config ~objects ?(init = Value.Int 0) forest =
+  let { n_replicas; read_quorum; write_quorum } = config in
+  if
+    n_replicas < 1 || read_quorum < 1 || write_quorum < 1
+    || read_quorum > n_replicas || write_quorum > n_replicas
+  then invalid_arg "Replication.replicate: quorums out of range";
+  let version = ref 0 in
+  let rotation = ref 0 in
+  let mapping = Txn_id.Tbl.create 64 in
+  let is_logical x = List.exists (Obj_id.equal x) objects in
+  let quorum start size = List.init size (fun i -> (start + i) mod n_replicas) in
+  let rec transform path prog =
+    match prog with
+    | Program.Access (x, op) when is_logical x -> (
+        let node = Txn_id.of_path (List.rev path) in
+        match op with
+        | Datatype.Read ->
+            incr rotation;
+            Txn_id.Tbl.replace mapping node (x, L_read);
+            Program.par
+              (List.map
+                 (fun i -> Program.access (replica_name x i) Datatype.Vread)
+                 (quorum !rotation read_quorum))
+        | Datatype.Write v ->
+            incr version;
+            let ver = !version in
+            Txn_id.Tbl.replace mapping node (x, L_write (ver, v));
+            Program.par
+              (List.map
+                 (fun i ->
+                   Program.access (replica_name x i) (Datatype.Vwrite (ver, v)))
+                 (quorum ver write_quorum))
+        | op ->
+            invalid_arg
+              ("Replication.replicate: not a read/write access: "
+             ^ Datatype.op_to_string op))
+    | Program.Access (x, _) ->
+        invalid_arg
+          ("Replication.replicate: access to undeclared logical object "
+         ^ Obj_id.name x)
+    | Program.Node (comb, children) ->
+        Program.Node
+          (comb, List.mapi (fun i c -> transform (i :: path) c) children)
+  in
+  let physical_forest = List.mapi (fun i p -> transform [ i ] p) forest in
+  let replica_objects =
+    List.concat_map
+      (fun x ->
+        List.init config.n_replicas (fun i ->
+            (replica_name x i, Vreg.make ~init ())))
+      objects
+  in
+  {
+    physical_forest;
+    physical_schema = Program.schema_of ~objects:replica_objects physical_forest;
+    logical_of = (fun t -> Txn_id.Tbl.find_opt mapping t);
+    logical_objects = objects;
+  }
+
+(* Index of the first event satisfying [p]. *)
+let index_of trace p = Trace.find_first p trace
+
+let committed trace t =
+  index_of trace (fun a -> a = Action.Commit t) <> None
+
+let read_result (_plan : plan) trace node =
+  (* Committed replica responses of the node's children. *)
+  let results =
+    Array.to_list trace
+    |> List.filter_map (fun a ->
+           match a with
+           | Action.Request_commit (child, Value.Pair (Value.Int ver, v))
+             when (not (Txn_id.is_root child))
+                  && Txn_id.equal (Txn_id.parent_exn child) node
+                  && committed trace child ->
+               Some (ver, v)
+           | _ -> None)
+  in
+  match results with
+  | [] -> None
+  | _ ->
+      Some
+        (List.fold_left
+           (fun (bver, bv) (ver, v) ->
+             if ver > bver then (ver, v) else (bver, bv))
+           (List.hd results) (List.tl results))
+
+let toplevel t =
+  match List.rev (Txn_id.path t) with
+  | [] -> invalid_arg "Replication.toplevel: root"
+  | _ -> Txn_id.of_path [ List.hd (Txn_id.path t) ]
+
+let check_one_copy (plan : plan) trace =
+  (* Collect committed, T0-visible logical nodes. *)
+  let comm = Trace.committed trace in
+  let visible t =
+    List.for_all
+      (fun a -> Txn_id.is_root a || Txn_id.Set.mem a comm)
+      (Txn_id.ancestors t)
+  in
+  let nodes =
+    Array.to_list trace
+    |> List.filter_map (fun a ->
+           match a with
+           | Action.Commit t -> (
+               match plan.logical_of t with
+               | Some (x, op) when visible t -> Some (t, x, op)
+               | _ -> None)
+           | _ -> None)
+  in
+  let writes =
+    List.filter_map
+      (fun (t, x, op) ->
+        match op with L_write (ver, v) -> Some (t, x, ver, v) | L_read -> None)
+      nodes
+  in
+  let reads =
+    List.filter_map
+      (fun (t, x, op) -> match op with L_read -> Some (t, x) | _ -> None)
+      nodes
+  in
+  let write_pairs x =
+    List.filter_map
+      (fun (_, y, ver, v) ->
+        if Obj_id.equal x y then Some (ver, v) else None)
+      writes
+  in
+  let initial_pair = (0, Value.Int 0) in
+  let find_violation =
+    List.find_map
+      (fun (r, x) ->
+        match read_result plan trace r with
+        | None -> None
+        | Some (rver, rv) ->
+            if
+              not
+                (List.exists
+                   (fun (ver, v) -> ver = rver && Value.equal v rv)
+                   (initial_pair :: write_pairs x))
+            then Some (Phantom_read (r, Value.Pair (Value.Int rver, rv)))
+            else
+              (* Regression: a write whose top-level transaction
+                 committed before this read's node was created must be
+                 covered by the returned version. *)
+              let created_r =
+                index_of trace (fun a -> a = Action.Create r)
+              in
+              List.find_map
+                (fun (w, y, ver, _) ->
+                  if not (Obj_id.equal x y) then None
+                  else
+                    let top_commit =
+                      index_of trace (fun a -> a = Action.Commit (toplevel w))
+                    in
+                    match (top_commit, created_r) with
+                    | Some cw, Some cr when cw < cr && rver < ver ->
+                        Some (Stale_read (r, w, rver, ver))
+                    | _ -> None)
+                writes)
+      reads
+  in
+  match find_violation with Some v -> Error v | None -> Ok ()
+
+let pp_violation fmt = function
+  | Phantom_read (r, v) ->
+      Format.fprintf fmt "phantom read: %a returned unwritten %a" Txn_id.pp r
+        Value.pp v
+  | Stale_read (r, w, rver, wver) ->
+      Format.fprintf fmt
+        "stale read: %a returned version %d though %a (version %d) had \
+         committed"
+        Txn_id.pp r rver Txn_id.pp w wver

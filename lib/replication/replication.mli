@@ -1,0 +1,85 @@
+(** Quorum-replicated read/write objects on top of nested transactions
+    — the replicated-data management the paper cites as a companion
+    application of its framework ([6], Goldman–Lynch style quorum
+    consensus).
+
+    A {e logical} register [X] is realized by [n_replicas] versioned
+    registers ({!Nt_spec.Vreg}) named [X#0 .. X#n-1].  The
+    {!replicate} transformer rewrites a logical forest:
+
+    - a logical write becomes a subtransaction issuing [Vwrite (ver, v)]
+      {e concurrently} to [write_quorum] replicas, with a globally
+      unique, generation-ordered version number (the Thomas write rule
+      at the replicas makes concurrent installs commute);
+    - a logical read becomes a subtransaction issuing [Vread]
+      concurrently to [read_quorum] replicas; its logical result is the
+      max-version pair among the committed responses.
+
+    Replica-level serializability is inherited from whatever protocol
+    runs the physical system (checked by Theorem 19 as usual).  The
+    {e one-copy} guarantee is separate and quorum-dependent:
+    {!check_one_copy} verifies on a physical trace that every
+    committed logical read returns a genuinely written (or initial)
+    pair, and that reads never regress — a read whose subtransaction
+    started after a logical write's subtransaction committed returns a
+    version at least as new.  With [read_quorum + write_quorum >
+    n_replicas] the intersection argument makes this hold (asserted by
+    the tests); with non-intersecting quorums Experiment E11 shows it
+    failing. *)
+
+open Nt_base
+open Nt_spec
+open Nt_serial
+
+type config = {
+  n_replicas : int;
+  read_quorum : int;
+  write_quorum : int;
+}
+
+val intersecting : config -> bool
+(** [read_quorum + write_quorum > n_replicas]. *)
+
+type logical_op =
+  | L_read  (** Result derived from the replica responses. *)
+  | L_write of int * Value.t  (** The assigned version and datum. *)
+
+type plan = {
+  physical_forest : Program.t list;
+  physical_schema : Schema.t;
+  logical_of : Txn_id.t -> (Obj_id.t * logical_op) option;
+      (** Maps the transformed subtransaction nodes back to their
+          logical accesses. *)
+  logical_objects : Obj_id.t list;
+}
+
+val replicate :
+  config ->
+  objects:Obj_id.t list ->
+  ?init:Value.t ->
+  Program.t list ->
+  plan
+(** Transform a logical forest whose accesses are [Read]/[Write] on
+    the given logical objects.  Replica choice rotates deterministically
+    with the version counter so load spreads and quorums vary.
+    Raises [Invalid_argument] on foreign operations or quorums out of
+    range. *)
+
+type violation =
+  | Phantom_read of Txn_id.t * Value.t
+      (** A committed logical read returned a pair never written. *)
+  | Stale_read of Txn_id.t * Txn_id.t * int * int
+      (** [(reader, writer, read_version, written_version)]: the
+          writer's subtransaction committed before the reader's was
+          created, yet the read returned an older version. *)
+
+val read_result : plan -> Trace.t -> Txn_id.t -> (int * Value.t) option
+(** The logical result of a read subtransaction in a trace: the
+    max-version pair among its committed replica responses ([None] if
+    no replica response committed). *)
+
+val check_one_copy : plan -> Trace.t -> (unit, violation) result
+(** Check the one-copy conditions over all committed logical accesses
+    of the trace. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,58 @@
+open Nt_base
+open Nt_spec
+
+let run ?(should_abort = fun _ -> false) (schema : Schema.t) forest =
+  let buf = ref [] in
+  let emit a = buf := a :: !buf in
+  let states = Obj_id.Tbl.create 16 in
+  let state_of x =
+    match Obj_id.Tbl.find_opt states x with
+    | Some s -> s
+    | None -> (schema.dtype_of x).Datatype.init
+  in
+  (* Runs [t] with program [prog]; returns the child summary for the
+     parent's report value. *)
+  let rec run_txn t prog =
+    emit (Action.Request_create t);
+    if should_abort t then begin
+      emit (Action.Abort t);
+      emit (Action.Report_abort t);
+      Value.Pair (Value.Bool false, Value.Unit)
+    end
+    else begin
+      emit (Action.Create t);
+      let v =
+        match prog with
+        | Program.Access (x, op) ->
+            let s', v = (schema.dtype_of x).Datatype.apply (state_of x) op in
+            Obj_id.Tbl.replace states x s';
+            v
+        | Program.Node (_, children) ->
+            let summaries =
+              List.mapi (fun i p -> run_txn (Txn_id.child t i) p) children
+            in
+            Value.List summaries
+      in
+      emit (Action.Request_commit (t, v));
+      emit (Action.Commit t);
+      emit (Action.Report_commit (t, v));
+      Value.Pair (Value.Bool true, v)
+    end
+  in
+  List.iteri
+    (fun i p -> ignore (run_txn (Txn_id.child Txn_id.root i) p))
+    forest;
+  Trace.of_list (List.rev !buf)
+
+let final_states (schema : Schema.t) trace =
+  let vis = Trace.visible (Trace.serial trace) ~to_:Txn_id.root in
+  List.map
+    (fun x ->
+      let ops = Schema.operations schema vis x in
+      let s =
+        List.fold_left
+          (fun s (op, _) -> fst ((schema.dtype_of x).Datatype.apply s op))
+          (schema.dtype_of x).Datatype.init ops
+      in
+      (x, s))
+    schema.objects

@@ -1,0 +1,34 @@
+(** The serial scheduler, as an executor (Sections 2.2.3–2.2.4).
+
+    Runs a forest of top-level programs in a depth-first traversal of
+    the transaction tree: siblings never overlap, every requested child
+    is run to commitment (or aborted before creation, if the abort
+    decider says so), and results are reported immediately.  The
+    produced trace is a behavior of the serial system — the
+    specification against which serial correctness is defined — and is
+    used as ground truth in tests and as the zero-concurrency baseline
+    in the benchmarks.
+
+    A committed [Node] reports [Value.List] of one summary per child in
+    order ([Pair (Bool true, v)] for a committed child with value [v],
+    [Pair (Bool false, Unit)] for an aborted one); a committed access
+    reports its operation's return value. *)
+
+open Nt_base
+open Nt_spec
+
+val run :
+  ?should_abort:(Txn_id.t -> bool) ->
+  Schema.t ->
+  Program.t list ->
+  Trace.t
+(** Execute the forest serially under the schema (normally the one from
+    {!Program.schema_of} on the same forest).  [should_abort] lets the
+    serial scheduler exercise its one permitted failure mode — aborting
+    a transaction that was requested but never created (default:
+    never).  The trace contains only serial actions. *)
+
+val final_states : Schema.t -> Trace.t -> (Obj_id.t * Value.t) list
+(** Replay a trace's committed-visible operations per object; the
+    serial-system final object states.  Useful for comparing outcomes
+    across protocols in examples and tests. *)

@@ -1,0 +1,46 @@
+open Nt_base
+open Nt_spec
+
+type outcome = Found | Not_found | Out_of_fuel
+
+let exists_matching_serial ?(fuel = 500_000) ?(for_txn = Txn_id.root)
+    (schema : Schema.t) forest beta =
+  let is_txn_event a =
+    Action.is_serial a
+    &&
+    match Action.transaction a with
+    | Some t -> Txn_id.equal t for_txn
+    | None -> false
+  in
+  let target = Trace.to_list (Trace.proj_txn (Trace.serial beta) for_txn) in
+  let target = Array.of_list target in
+  let n_target = Array.length target in
+  let auto0 = Serial_system.make ~allow_abort:(fun _ -> true) schema forest in
+  let budget = ref fuel in
+  let exception Stop of outcome in
+  (* DFS: [k] is the number of target events already matched. *)
+  let rec dfs auto k =
+    if !budget <= 0 then raise (Stop Out_of_fuel);
+    decr budget;
+    let actions = Nt_iosim.Automaton.enabled auto in
+    if actions = [] then k = n_target
+    else
+      List.exists
+        (fun a ->
+          if is_txn_event a then
+            k < n_target
+            && Action.equal a target.(k)
+            && dfs (Nt_iosim.Automaton.fire auto a) (k + 1)
+          else dfs (Nt_iosim.Automaton.fire auto a) k)
+        actions
+  in
+  match dfs auto0 0 with
+  | true -> Found
+  | false -> Not_found
+  | exception Stop o -> o
+
+let serially_correct_ground_truth ?fuel ?for_txn schema forest beta =
+  match exists_matching_serial ?fuel ?for_txn schema forest beta with
+  | Found -> Some true
+  | Not_found -> Some false
+  | Out_of_fuel -> None

@@ -1,0 +1,37 @@
+(** Ground-truth serial correctness by search.
+
+    Serial correctness for [T0] says: {e there exists} a serial
+    behavior [gamma] with [gamma|T0 = beta|T0].  For small systems
+    that existential can be decided outright: depth-first search over
+    the serial-system automaton ({!Serial_system.make} with all aborts
+    allowed), pruning any branch whose [T0]-projection diverges from
+    the target.
+
+    This is exponential and only for tiny workloads — its purpose is
+    to validate the serialization-graph checker end-to-end: on every
+    behavior the checker certifies, the search must find a witness
+    (soundness of the whole pipeline), which the test suite asserts
+    over all protocols including the broken ones. *)
+
+open Nt_base
+open Nt_spec
+
+type outcome =
+  | Found  (** A matching serial behavior exists. *)
+  | Not_found  (** Exhaustive search found none. *)
+  | Out_of_fuel  (** Budget exhausted before an answer. *)
+
+val exists_matching_serial :
+  ?fuel:int -> ?for_txn:Txn_id.t -> Schema.t -> Program.t list -> Trace.t ->
+  outcome
+(** [exists_matching_serial schema forest beta] searches for a serial
+    behavior of the forest whose projection on [for_txn] (default
+    [T0]) equals that of [serial beta] — the paper's serial
+    correctness {e for an arbitrary transaction name}.  [fuel] bounds
+    the number of explored search nodes (default 500_000). *)
+
+val serially_correct_ground_truth :
+  ?fuel:int -> ?for_txn:Txn_id.t -> Schema.t -> Program.t list -> Trace.t ->
+  bool option
+(** [Some b] when the search is conclusive, [None] on fuel
+    exhaustion. *)

@@ -1,0 +1,268 @@
+open Nt_base
+open Nt_spec
+
+(* ----- transaction family component ----- *)
+
+(* Pure interpreter state for one created non-access transaction. *)
+type interp = {
+  children : Program.t array;
+  comb : Program.comb;
+  next : int;
+  awaiting : int;
+  summaries : Value.t option array;
+  commit_requested : bool;
+  no_commit : bool;
+}
+
+
+let interp_of_node ~no_commit comb children =
+  let children = Array.of_list children in
+  {
+    children;
+    comb;
+    next = 0;
+    awaiting = 0;
+    summaries = Array.make (Array.length children) None;
+    commit_requested = false;
+    no_commit;
+  }
+
+let interp_outputs txn it =
+  if it.commit_requested then []
+  else
+    let n = Array.length it.children in
+    let child_request =
+      match it.comb with
+      | Program.Seq ->
+          if it.next < n && it.awaiting = 0 then
+            [ Action.Request_create (Txn_id.child txn it.next) ]
+          else []
+      | Program.Par ->
+          if it.next < n then
+            [ Action.Request_create (Txn_id.child txn it.next) ]
+          else []
+    in
+    if child_request <> [] then child_request
+    else if it.next >= n && it.awaiting = 0 && not it.no_commit then
+      let summaries =
+        Array.to_list (Array.map Option.get it.summaries)
+      in
+      [ Action.Request_commit (txn, Value.List summaries) ]
+    else []
+
+let family_component ~top_comb (schema : Schema.t) forest =
+  let is_node txn =
+    (not (System_type.is_access schema.Schema.sys txn))
+    && (Txn_id.is_root txn || Program.subprogram forest txn <> None)
+  in
+  let signature a =
+    match a with
+    | Action.Request_create t ->
+        if is_node (Txn_id.parent_exn t) then `Output else `Not_mine
+    | Action.Request_commit (t, _) ->
+        if (not (Txn_id.is_root t)) && is_node t then `Output else `Not_mine
+    | Action.Create t -> if (not (Txn_id.is_root t)) && is_node t then `Input else `Not_mine
+    | Action.Report_commit (t, _) | Action.Report_abort t ->
+        if is_node (Txn_id.parent_exn t) then `Input else `Not_mine
+    | Action.Commit _ | Action.Abort _ | Action.Inform_commit _
+    | Action.Inform_abort _ ->
+        `Not_mine
+  in
+  let update_interp st txn f =
+    match Txn_id.Map.find_opt txn st with
+    | Some it -> Txn_id.Map.add txn (f it) st
+    | None -> st
+  in
+  let note_requested it i =
+    let next = if i >= it.next then i + 1 else it.next in
+    { it with next; awaiting = it.awaiting + 1 }
+  in
+  let note_report it i summary =
+    let summaries = Array.copy it.summaries in
+    summaries.(i) <- Some summary;
+    { it with summaries; awaiting = it.awaiting - 1 }
+  in
+  let step st a =
+    match a with
+    | Action.Request_create t ->
+        update_interp st (Txn_id.parent_exn t) (fun it ->
+            note_requested it (Option.get (Txn_id.last_index t)))
+    | Action.Request_commit (t, _) ->
+        update_interp st t (fun it -> { it with commit_requested = true })
+    | Action.Create t -> (
+        match Program.subprogram forest t with
+        | Some (Program.Node (comb, children)) ->
+            Txn_id.Map.add t (interp_of_node ~no_commit:false comb children) st
+        | Some (Program.Access _) | None -> st)
+    | Action.Report_commit (t, v) ->
+        update_interp st (Txn_id.parent_exn t) (fun it ->
+            note_report it
+              (Option.get (Txn_id.last_index t))
+              (Value.Pair (Value.Bool true, v)))
+    | Action.Report_abort t ->
+        update_interp st (Txn_id.parent_exn t) (fun it ->
+            note_report it
+              (Option.get (Txn_id.last_index t))
+              (Value.Pair (Value.Bool false, Value.Unit)))
+    | Action.Commit _ | Action.Abort _ | Action.Inform_commit _
+    | Action.Inform_abort _ ->
+        st
+  in
+  let enabled st =
+    Txn_id.Map.fold (fun txn it acc -> interp_outputs txn it @ acc) st []
+  in
+  let initial =
+    Txn_id.Map.singleton Txn_id.root
+      (interp_of_node ~no_commit:true top_comb forest)
+  in
+  Nt_iosim.Automaton.component
+    {
+      Nt_iosim.Automaton.name = "transactions";
+      state = initial;
+      signature;
+      step;
+      enabled;
+    }
+
+(* ----- serial object component (the S_X of Section 3.1, generalized) ----- *)
+
+type object_state = { active : Txn_id.t option; data : Value.t }
+
+let object_component (schema : Schema.t) x =
+  let dt = schema.Schema.dtype_of x in
+  let mine t =
+    match System_type.object_of schema.Schema.sys t with
+    | Some y -> Obj_id.equal x y
+    | None -> false
+  in
+  let signature a =
+    match a with
+    | Action.Create t when mine t -> `Input
+    | Action.Request_commit (t, _) when mine t -> `Output
+    | _ -> `Not_mine
+  in
+  let step st a =
+    match a with
+    | Action.Create t -> { st with active = Some t }
+    | Action.Request_commit (t, _) when st.active = Some t ->
+        let data, _ = dt.Datatype.apply st.data (schema.Schema.op_of t) in
+        { active = None; data }
+    | _ -> st
+  in
+  let enabled st =
+    match st.active with
+    | None -> []
+    | Some t ->
+        let _, v = dt.Datatype.apply st.data (schema.Schema.op_of t) in
+        [ Action.Request_commit (t, v) ]
+  in
+  Nt_iosim.Automaton.component
+    {
+      Nt_iosim.Automaton.name = "object " ^ Obj_id.name x;
+      state = { active = None; data = dt.Datatype.init };
+      signature;
+      step;
+      enabled;
+    }
+
+(* ----- the serial scheduler ----- *)
+
+type sched_state = {
+  create_requested : Txn_id.Set.t;
+  created : Txn_id.Set.t;
+  commit_requested : Value.t Txn_id.Map.t;
+  committed : Txn_id.Set.t;
+  aborted : Txn_id.Set.t;
+  reported : Txn_id.Set.t;
+}
+
+let scheduler_component ~allow_abort =
+  let signature a =
+    match a with
+    | Action.Request_create _ | Action.Request_commit _ -> `Input
+    | Action.Create _ | Action.Commit _ | Action.Abort _
+    | Action.Report_commit _ | Action.Report_abort _ ->
+        `Output
+    | Action.Inform_commit _ | Action.Inform_abort _ -> `Not_mine
+  in
+  let step st a =
+    match a with
+    | Action.Request_create t ->
+        { st with create_requested = Txn_id.Set.add t st.create_requested }
+    | Action.Request_commit (t, v) ->
+        { st with commit_requested = Txn_id.Map.add t v st.commit_requested }
+    | Action.Create t -> { st with created = Txn_id.Set.add t st.created }
+    | Action.Commit t -> { st with committed = Txn_id.Set.add t st.committed }
+    | Action.Abort t -> { st with aborted = Txn_id.Set.add t st.aborted }
+    | Action.Report_commit (t, _) | Action.Report_abort t ->
+        { st with reported = Txn_id.Set.add t st.reported }
+    | Action.Inform_commit _ | Action.Inform_abort _ -> st
+  in
+  let completed st t =
+    Txn_id.Set.mem t st.committed || Txn_id.Set.mem t st.aborted
+  in
+  let live st t = Txn_id.Set.mem t st.created && not (completed st t) in
+  let no_live_sibling st t =
+    not (Txn_id.Set.exists (fun u -> Txn_id.siblings t u && live st u) st.created)
+  in
+  let enabled st =
+    let creates_and_aborts =
+      Txn_id.Set.fold
+        (fun t acc ->
+          if Txn_id.Set.mem t st.created || completed st t then acc
+          else
+            let acc =
+              if no_live_sibling st t then Action.Create t :: acc else acc
+            in
+            if allow_abort t then Action.Abort t :: acc else acc)
+        st.create_requested []
+    in
+    let commits =
+      Txn_id.Map.fold
+        (fun t _ acc -> if completed st t then acc else Action.Commit t :: acc)
+        st.commit_requested []
+    in
+    let reports =
+      Txn_id.Set.fold
+        (fun t acc ->
+          if Txn_id.Set.mem t st.reported then acc
+          else
+            match Txn_id.Map.find_opt t st.commit_requested with
+            | Some v -> Action.Report_commit (t, v) :: acc
+            | None -> acc)
+        st.committed []
+      @ Txn_id.Set.fold
+          (fun t acc ->
+            if Txn_id.Set.mem t st.reported then acc
+            else Action.Report_abort t :: acc)
+          st.aborted []
+    in
+    creates_and_aborts @ commits @ reports
+  in
+  Nt_iosim.Automaton.component
+    {
+      Nt_iosim.Automaton.name = "serial scheduler";
+      state =
+        {
+          create_requested = Txn_id.Set.empty;
+          created = Txn_id.Set.empty;
+          commit_requested = Txn_id.Map.empty;
+          committed = Txn_id.Set.empty;
+          aborted = Txn_id.Set.empty;
+          reported = Txn_id.Set.empty;
+        };
+      signature;
+      step;
+      enabled;
+    }
+
+let make ?(allow_abort = fun _ -> false) ?(top_comb = Program.Par)
+    (schema : Schema.t) forest =
+  Nt_iosim.Automaton.compose
+    (family_component ~top_comb schema forest
+    :: scheduler_component ~allow_abort
+    :: List.map (fun x -> object_component schema x) schema.Schema.objects)
+
+let run ?allow_abort ?top_comb ?max_steps ~seed schema forest =
+  let auto = make ?allow_abort ?top_comb schema forest in
+  fst (Nt_iosim.Executor.run ?max_steps ~seed auto)

@@ -1,0 +1,48 @@
+(** The serial system as a composition of I/O automata (Sections
+    2.2.3–2.2.4).
+
+    Unlike {!Serial_exec}, which produces one canonical depth-first
+    behavior, this module builds the paper's serial system as a genuine
+    composition — a transaction-family component interpreting the
+    programs, one serial object automaton per object name, and the
+    {e serial scheduler} automaton — and lets the {!Nt_iosim.Executor}
+    explore its full nondeterminism: any interleaving of enabled
+    scheduler choices, including aborting transactions that were
+    requested but never created ([allow_abort]).
+
+    Every behavior of this composition is a serial behavior; the test
+    suite checks them all well-formed and serially correct for [T0],
+    and uses them as the ground-truth family against which the
+    checker's "there exists a serial behavior" claim is meaningful.
+
+    The serial scheduler's preconditions, from the paper: a [CREATE(T)]
+    needs a prior request, no prior completion, and {e no live sibling}
+    (siblings run serially); an [ABORT(T)] additionally requires [T]
+    was never created; a [COMMIT(T)] needs a commit request; reports
+    follow completions. *)
+
+open Nt_base
+open Nt_spec
+
+val make :
+  ?allow_abort:(Txn_id.t -> bool) ->
+  ?top_comb:Program.comb ->
+  Schema.t ->
+  Program.t list ->
+  Nt_iosim.Automaton.t
+(** The composed serial system for a top-level forest.  [allow_abort]
+    marks the transactions the scheduler may (nondeterministically)
+    choose to abort instead of create (default: none); [top_comb] is
+    [T0]'s issuing discipline (default [Par], matching the generic
+    runtime, so that [T0]-projections are comparable across the two
+    systems). *)
+
+val run :
+  ?allow_abort:(Txn_id.t -> bool) ->
+  ?top_comb:Program.comb ->
+  ?max_steps:int ->
+  seed:int ->
+  Schema.t ->
+  Program.t list ->
+  Trace.t
+(** Compose and execute with the seeded random executor. *)

@@ -1,0 +1,111 @@
+open Nt_base
+
+type violation = { index : int; action : Action.t; reason : string }
+
+type status = {
+  mutable requested : bool;
+  mutable created : bool;
+  mutable commit_requested : Value.t option;
+  mutable committed : bool;
+  mutable aborted : bool;
+  mutable reported : bool;
+  mutable pending_children : int;  (* requested children not yet reported *)
+}
+
+let fresh () =
+  {
+    requested = false;
+    created = false;
+    commit_requested = None;
+    committed = false;
+    aborted = false;
+    reported = false;
+    pending_children = 0;
+  }
+
+let well_formed sys trace =
+  let tbl = Txn_id.Tbl.create 64 in
+  let stat t =
+    match Txn_id.Tbl.find_opt tbl t with
+    | Some s -> s
+    | None ->
+        let s = fresh () in
+        Txn_id.Tbl.add tbl t s;
+        s
+  in
+  (* T0 behaves as an always-created transaction. *)
+  (stat Txn_id.root).created <- true;
+  let error = ref None in
+  let fail i a reason = if !error = None then error := Some { index = i; action = a; reason } in
+  let n = Trace.length trace in
+  for i = 0 to n - 1 do
+    if !error = None then begin
+      let a = Trace.get trace i in
+      match a with
+      | Action.Request_create t ->
+          if Txn_id.is_root t then fail i a "REQUEST_CREATE of T0"
+          else begin
+            let p = stat (Txn_id.parent_exn t) and s = stat t in
+            if s.requested then fail i a "duplicate REQUEST_CREATE"
+            else if not p.created then fail i a "parent not created"
+            else if p.commit_requested <> None then
+              fail i a "parent already requested commit"
+            else begin
+              s.requested <- true;
+              p.pending_children <- p.pending_children + 1
+            end
+          end
+      | Action.Create t ->
+          let s = stat t in
+          if s.created then fail i a "duplicate CREATE"
+          else if not s.requested then fail i a "CREATE without request"
+          else if s.aborted || s.committed then fail i a "CREATE after completion"
+          else s.created <- true
+      | Action.Request_commit (t, v) ->
+          let s = stat t in
+          if s.commit_requested <> None then fail i a "duplicate REQUEST_COMMIT"
+          else if not s.created then fail i a "REQUEST_COMMIT before CREATE"
+          else if (not (System_type.is_access sys t)) && s.pending_children > 0
+          then fail i a "REQUEST_COMMIT with unreported children"
+          else s.commit_requested <- Some v
+      | Action.Commit t ->
+          let s = stat t in
+          if s.committed || s.aborted then fail i a "duplicate completion"
+          else if s.commit_requested = None then
+            fail i a "COMMIT without REQUEST_COMMIT"
+          else s.committed <- true
+      | Action.Abort t ->
+          let s = stat t in
+          if s.committed || s.aborted then fail i a "duplicate completion"
+          else if not s.requested then fail i a "ABORT without REQUEST_CREATE"
+          else s.aborted <- true
+      | Action.Report_commit (t, v) ->
+          let s = stat t in
+          if s.reported then fail i a "duplicate report"
+          else if not s.committed then fail i a "REPORT_COMMIT without COMMIT"
+          else if s.commit_requested <> Some v then
+            fail i a "REPORT_COMMIT value mismatch"
+          else begin
+            s.reported <- true;
+            let p = stat (Txn_id.parent_exn t) in
+            p.pending_children <- p.pending_children - 1
+          end
+      | Action.Report_abort t ->
+          let s = stat t in
+          if s.reported then fail i a "duplicate report"
+          else if not s.aborted then fail i a "REPORT_ABORT without ABORT"
+          else begin
+            s.reported <- true;
+            let p = stat (Txn_id.parent_exn t) in
+            p.pending_children <- p.pending_children - 1
+          end
+      | Action.Inform_commit _ | Action.Inform_abort _ -> ()
+    end
+  done;
+  match !error with Some v -> Error v | None -> Ok ()
+
+let is_well_formed sys trace =
+  match well_formed sys trace with Ok () -> true | Error _ -> false
+
+let pp_violation fmt { index; action; reason } =
+  Format.fprintf fmt "event %d (%a): %s" index Action.pp action reason

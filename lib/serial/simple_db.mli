@@ -1,0 +1,26 @@
+(** Well-formedness of simple behaviors (Section 2.3.1).
+
+    The simple database embodies the constraints any reasonable
+    transaction-processing system satisfies: no creations or
+    completions without a prior request, no duplicate creations,
+    completions, responses or reports, and reports only of completions
+    that happened with the value actually requested.  We also check
+    transaction well-formedness for the program-generated transaction
+    automata: a transaction requests children only after it is created
+    and before it requests to commit, requests each child at most once,
+    and requests to commit only after every requested child reported.
+
+    Behaviors of the serial executor and of the generic runtime must
+    all pass this check (asserted throughout the test suite); the
+    serialization-graph theorems are stated over such behaviors. *)
+
+open Nt_base
+
+type violation = { index : int; action : Action.t; reason : string }
+
+val well_formed : System_type.t -> Trace.t -> (unit, violation) result
+(** Check the whole trace (inform actions are ignored). *)
+
+val is_well_formed : System_type.t -> Trace.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

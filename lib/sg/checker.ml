@@ -1,0 +1,156 @@
+open Nt_base
+open Nt_spec
+
+type verdict = {
+  appropriate : bool;
+  sg_nodes : int;
+  sg_edges : int;
+  acyclic : bool;
+  cycle : Txn_id.t list option;
+  order : Sibling_order.t option;
+  suitable : bool option;
+  views_legal : bool option;
+  serially_correct : bool;
+}
+
+(* Operation-level edges are a subset of access-level ones, so the
+   operation-level graph is acyclic whenever the access-level one is:
+   defaulting to it is sound (Theorem 19) and certifies strictly more —
+   in particular commutativity-based protocols may reorder same-datum
+   register writes across the completion order, which only the
+   Section 6 graph can prove.  The Section 4 access-level construction
+   stays available via [~mode]. *)
+let default_mode _schema = Sg.Operation_level
+
+let check ?mode (schema : Schema.t) trace =
+  let mode = match mode with Some m -> m | None -> default_mode schema in
+  let beta = Trace.serial trace in
+  let appropriate = Return_values.appropriate_general schema beta in
+  let g = Sg.build mode schema beta in
+  let cycle = Graph.find_cycle g in
+  let acyclic = cycle = None in
+  let order = if acyclic then Sg.witness_order g else None in
+  let suitable =
+    Option.map (fun r -> Suitability.is_suitable beta ~to_:Txn_id.root r) order
+  in
+  let views_legal =
+    Option.map
+      (fun r ->
+        try
+          List.for_all
+            (fun x ->
+              Serial_spec.legal (schema.dtype_of x)
+                (View.view_ops schema beta ~to_:Txn_id.root r x))
+            schema.objects
+        with View.Not_totally_ordered _ -> false)
+      order
+  in
+  let serially_correct =
+    appropriate && acyclic && suitable = Some true && views_legal = Some true
+  in
+  {
+    appropriate;
+    sg_nodes = Graph.n_nodes g;
+    sg_edges = Graph.n_edges g;
+    acyclic;
+    cycle;
+    order;
+    suitable;
+    views_legal;
+    serially_correct;
+  }
+
+let serially_correct ?mode schema trace = (check ?mode schema trace).serially_correct
+
+let pp_verdict fmt v =
+  Format.fprintf fmt
+    "@[<v>appropriate return values: %b@,\
+     SG: %d nodes, %d edges, %s@,\
+     witness order: %s; suitable: %s; views legal: %s@,\
+     serially correct for T0: %b@]"
+    v.appropriate v.sg_nodes v.sg_edges
+    (if v.acyclic then "acyclic"
+     else
+       Format.asprintf "cycle [%a]"
+         (Format.pp_print_list
+            ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " -> ")
+            Txn_id.pp)
+         (Option.value v.cycle ~default:[]))
+    (if v.order = None then "none" else "found")
+    (match v.suitable with None -> "n/a" | Some b -> string_of_bool b)
+    (match v.views_legal with None -> "n/a" | Some b -> string_of_bool b)
+    v.serially_correct
+
+let explain ?mode (schema : Schema.t) trace =
+  let mode = match mode with Some m -> m | None -> default_mode schema in
+  let beta = Trace.serial trace in
+  let v = check ~mode schema trace in
+  let buf = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  if v.serially_correct then begin
+    pr "serially correct for T0.\n";
+    (match v.order with
+    | Some r ->
+        let tops = Sibling_order.ordered_children r Txn_id.root in
+        if tops <> [] then
+          pr "witness serialization of top-level transactions: %s\n"
+            (String.concat " < " (List.map Txn_id.to_string tops))
+    | None -> ())
+  end
+  else begin
+    (match Return_values.violating_object schema beta with
+    | Some x ->
+        pr "return values of object %s are impossible in any serial run:\n"
+          (Obj_id.name x);
+        (* Find the first operation whose recorded return diverges from
+           the replay of the preceding visible operations. *)
+        let vis = Trace.visible beta ~to_:Txn_id.root in
+        let ops = Schema.operations schema vis x in
+        let dt = schema.Schema.dtype_of x in
+        let rec scan state = function
+          | [] -> ()
+          | (op, recorded) :: rest ->
+              let state', actual = dt.Datatype.apply state op in
+              if Value.equal actual recorded then scan state' rest
+              else
+                pr "  %s returned %s, but the committed history implies %s\n"
+                  (Datatype.op_to_string op)
+                  (Value.to_string recorded) (Value.to_string actual)
+        in
+        scan dt.Datatype.init ops
+    | None -> ());
+    match v.cycle with
+    | Some cycle ->
+        pr "serialization graph cycle (no serial order can exist):\n";
+        let witnesses = Conflict.relation_with_witnesses mode schema beta in
+        let arr = Array.of_list cycle in
+        Array.iteri
+          (fun i a ->
+            let b = arr.((i + 1) mod Array.length arr) in
+            match
+              List.find_opt
+                (fun w ->
+                  Txn_id.equal w.Conflict.source a
+                  && Txn_id.equal w.Conflict.target b)
+                witnesses
+            with
+            | Some w ->
+                let ua, va = w.Conflict.source_access in
+                let ub, vb = w.Conflict.target_access in
+                pr "  %s before %s: %s:%s=%s responded before %s:%s=%s\n"
+                  (Txn_id.to_string a) (Txn_id.to_string b)
+                  (Txn_id.to_string ua)
+                  (Datatype.op_to_string (schema.Schema.op_of ua))
+                  (Value.to_string va) (Txn_id.to_string ub)
+                  (Datatype.op_to_string (schema.Schema.op_of ub))
+                  (Value.to_string vb)
+            | None ->
+                pr "  %s before %s: external consistency (reported before \
+                    requested)\n"
+                  (Txn_id.to_string a) (Txn_id.to_string b))
+          arr
+    | None ->
+        if not v.appropriate then ()
+        else pr "rejected: witness order re-verification failed\n"
+  end;
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** The executable Theorem 8 / Theorem 19.
+
+    Given a behavior of a simple (or generic) system, decide the
+    hypotheses of the main theorems — appropriate return values and
+    acyclicity of [SG(serial(beta))] — and, when they hold,
+    {e re-verify the conclusion independently}: extract the witness
+    sibling order by topological sort, check it suitable, and replay
+    every [view(beta, T0, R, X)] against the serial specification.
+    A behavior that passes the full verdict is serially correct for
+    [T0] with an explicitly checked witness, not merely by appeal to
+    the theorem. *)
+
+open Nt_base
+open Nt_spec
+
+type verdict = {
+  appropriate : bool;  (** Appropriate return values (general defn). *)
+  sg_nodes : int;
+  sg_edges : int;
+  acyclic : bool;
+  cycle : Txn_id.t list option;  (** A witness cycle when not acyclic. *)
+  order : Sibling_order.t option;  (** Witness order when acyclic. *)
+  suitable : bool option;
+      (** Re-verification: witness order is suitable ([None] when no
+          witness exists). *)
+  views_legal : bool option;
+      (** Re-verification: every view replays in its [S_X]. *)
+  serially_correct : bool;
+      (** [appropriate && acyclic], with both re-verifications
+          confirming — the theorem's conclusion, independently
+          witnessed. *)
+}
+
+val check : ?mode:Sg.conflict_mode -> Schema.t -> Trace.t -> verdict
+(** Full verdict on a trace (inform actions are stripped first).  The
+    default conflict mode is [Operation_level] (the Section 6
+    construction): its edges are a subset of the access-level ones, so
+    it certifies everything the Section 4 graph does, plus behaviors —
+    produced by commutativity-based protocols — where operations that
+    conflict at the access level but commute with their actual return
+    values run out of completion order.  Pass [~mode:Access_level] for
+    the literal Section 4 construction. *)
+
+val serially_correct : ?mode:Sg.conflict_mode -> Schema.t -> Trace.t -> bool
+(** [(check schema trace).serially_correct]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val explain : ?mode:Sg.conflict_mode -> Schema.t -> Trace.t -> string
+(** A human-readable diagnosis of a rejected behavior: the first
+    return-value violation (object, offending operation, expected
+    value) and/or the witness cycle with the conflicting operations
+    that induced each edge.  For accepted behaviors, a one-line
+    confirmation with the witness order's top-level prefix. *)

@@ -1,0 +1,62 @@
+open Nt_base
+open Nt_spec
+
+type mode = Access_level | Operation_level
+
+let ops_conflict mode schema (u, vu) (u', vu') =
+  match mode with
+  | Operation_level -> Schema.operations_conflict schema (u, vu) (u', vu')
+  | Access_level -> Schema.accesses_conflict schema u u'
+
+type witness = {
+  source : Txn_id.t;
+  target : Txn_id.t;
+  source_access : Txn_id.t * Value.t;
+  target_access : Txn_id.t * Value.t;
+}
+
+let relation_with_witnesses mode (schema : Schema.t) trace =
+  let vis = Trace.visible trace ~to_:Txn_id.root in
+  (* The access REQUEST_COMMIT events of [vis], in order. *)
+  let accesses =
+    List.filter_map
+      (fun a ->
+        match a with
+        | Action.Request_commit (u, v) when System_type.is_access schema.sys u
+          ->
+            Some (u, v)
+        | _ -> None)
+      (Trace.to_list vis)
+  in
+  let pairs = Hashtbl.create 64 in
+  let rec scan = function
+    | [] -> ()
+    | (u, vu) :: rest ->
+        List.iter
+          (fun (u', vu') ->
+            if
+              (not (Txn_id.related u u'))
+              && ops_conflict mode schema (u, vu) (u', vu')
+            then begin
+              let l = Txn_id.lca u u' in
+              let t = Txn_id.child_of_on_path ~ancestor:l u in
+              let t' = Txn_id.child_of_on_path ~ancestor:l u' in
+              if not (Hashtbl.mem pairs (t, t')) then
+                Hashtbl.replace pairs (t, t')
+                  {
+                    source = t;
+                    target = t';
+                    source_access = (u, vu);
+                    target_access = (u', vu');
+                  }
+            end)
+          rest;
+        scan rest
+  in
+  scan accesses;
+  Hashtbl.fold (fun _ w acc -> w :: acc) pairs []
+
+let relation mode schema trace =
+  List.map
+    (fun w -> (w.source, w.target))
+    (relation_with_witnesses mode schema trace)

@@ -1,0 +1,40 @@
+(** The [conflict(beta)] relation on siblings (Sections 4 and 6).
+
+    [(T, T') ∈ conflict(beta)] iff [T] and [T'] are siblings and there
+    are [Request_commit] events [phi] (for an access [U], a descendant
+    of [T]) and [phi'] (for [U'], a descendant of [T']) in
+    [visible(beta, T0)], in that order, whose operations conflict.
+
+    Two notions of operation conflict are supported:
+    {ul
+    {- [Access_level] (Section 4): the {e accesses} conflict — for
+       registers, "at least one is a write" — regardless of the return
+       values actually recorded;}
+    {- [Operation_level] (Section 6): the operations [(U, v)], [(U', v')]
+       fail to commute backwards, taking the recorded values into
+       account (e.g. two writes of the same datum do not conflict).}}
+    [Access_level] edges always include the [Operation_level] ones, so
+    both yield sound serialization graphs; the paper's Section 4
+    construction is the access-level one. *)
+
+open Nt_base
+open Nt_spec
+
+type mode = Access_level | Operation_level
+
+val relation : mode -> Schema.t -> Trace.t -> (Txn_id.t * Txn_id.t) list
+(** All conflict pairs of the given trace (pass [serial(beta)]).
+    Duplicates are removed; order is unspecified. *)
+
+type witness = {
+  source : Txn_id.t;
+  target : Txn_id.t;
+  source_access : Txn_id.t * Value.t;
+      (** The earlier conflicting operation (access name, return). *)
+  target_access : Txn_id.t * Value.t;  (** The later one. *)
+}
+
+val relation_with_witnesses : mode -> Schema.t -> Trace.t -> witness list
+(** Like {!relation}, but each edge carries one pair of conflicting
+    operations that induced it — the provenance {!Checker.explain}
+    prints when a graph turns out cyclic. *)

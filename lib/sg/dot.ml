@@ -1,0 +1,66 @@
+open Nt_base
+open Nt_spec
+
+let node_id t = "\"" ^ Txn_id.to_string t ^ "\""
+
+let of_graph ?(cycle = []) g =
+  let on_cycle t = List.exists (Txn_id.equal t) cycle in
+  let cycle_edges =
+    match cycle with
+    | [] -> []
+    | _ ->
+        let arr = Array.of_list cycle in
+        Array.to_list
+          (Array.mapi
+             (fun i t -> (t, arr.((i + 1) mod Array.length arr)))
+             arr)
+  in
+  let is_cycle_edge a b =
+    List.exists
+      (fun (c, d) -> Txn_id.equal a c && Txn_id.equal b d)
+      cycle_edges
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph SG {\n  rankdir=LR;\n  node [shape=box];\n";
+  (* Group nodes by parent into clusters. *)
+  let by_parent = Txn_id.Tbl.create 16 in
+  List.iter
+    (fun t ->
+      match Txn_id.parent t with
+      | None -> ()
+      | Some p ->
+          let l =
+            match Txn_id.Tbl.find_opt by_parent p with Some l -> l | None -> []
+          in
+          Txn_id.Tbl.replace by_parent p (t :: l))
+    (Graph.nodes g);
+  let cluster_index = ref 0 in
+  Txn_id.Tbl.iter
+    (fun parent children ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"children of %s\";\n"
+           !cluster_index (Txn_id.to_string parent));
+      incr cluster_index;
+      List.iter
+        (fun t ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %s%s;\n" (node_id t)
+               (if on_cycle t then " [color=red, fontcolor=red]" else "")))
+        (List.rev children);
+      Buffer.add_string buf "  }\n")
+    by_parent;
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s%s;\n" (node_id a) (node_id b)
+           (if is_cycle_edge a b then " [color=red, penwidth=2]" else "")))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_trace ?mode (schema : Schema.t) trace =
+  let mode = match mode with Some m -> m | None -> Sg.Operation_level in
+  let beta = Trace.serial trace in
+  let g = Sg.build mode schema beta in
+  let cycle = Option.value ~default:[] (Graph.find_cycle g) in
+  of_graph ~cycle g

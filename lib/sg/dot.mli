@@ -1,0 +1,17 @@
+(** Graphviz rendering of serialization graphs.
+
+    Produces DOT text with one cluster per parent (the disjoint
+    [SG(beta, T)] components), conflict/precedes edges, and an
+    optional highlighted witness cycle — handy for inspecting why a
+    behavior was rejected ([ntsim --dot]). *)
+
+open Nt_base
+open Nt_spec
+
+val of_graph : ?cycle:Txn_id.t list -> Graph.t -> string
+(** Render a graph; nodes on the given cycle (and the edges between
+    consecutive cycle nodes) are drawn in red. *)
+
+val of_trace : ?mode:Sg.conflict_mode -> Schema.t -> Trace.t -> string
+(** Build [SG(serial beta)] and render it, highlighting a witness
+    cycle if one exists.  Default mode as in {!Checker.check}. *)

@@ -1,0 +1,97 @@
+open Nt_base
+
+type t = { adj : Txn_id.Set.t Txn_id.Tbl.t }
+
+let create () = { adj = Txn_id.Tbl.create 64 }
+
+let add_node g n =
+  if not (Txn_id.Tbl.mem g.adj n) then Txn_id.Tbl.add g.adj n Txn_id.Set.empty
+
+let add_edge g a b =
+  add_node g a;
+  add_node g b;
+  let succ = Txn_id.Tbl.find g.adj a in
+  Txn_id.Tbl.replace g.adj a (Txn_id.Set.add b succ)
+
+let mem_edge g a b =
+  match Txn_id.Tbl.find_opt g.adj a with
+  | Some s -> Txn_id.Set.mem b s
+  | None -> false
+
+let nodes g =
+  Txn_id.Tbl.fold (fun n _ acc -> n :: acc) g.adj [] |> List.sort Txn_id.compare
+
+let edges g =
+  Txn_id.Tbl.fold
+    (fun a succ acc -> Txn_id.Set.fold (fun b acc -> (a, b) :: acc) succ acc)
+    g.adj []
+
+let n_nodes g = Txn_id.Tbl.length g.adj
+let n_edges g = Txn_id.Tbl.fold (fun _ s acc -> acc + Txn_id.Set.cardinal s) g.adj 0
+
+let successors g n =
+  match Txn_id.Tbl.find_opt g.adj n with
+  | Some s -> Txn_id.Set.elements s
+  | None -> []
+
+(* Iterative three-color DFS returning a cycle if one exists. *)
+let find_cycle g =
+  let color = Txn_id.Tbl.create (n_nodes g) in
+  (* 0 = white (absent), 1 = gray, 2 = black *)
+  let result = ref None in
+  let rec visit path n =
+    match Txn_id.Tbl.find_opt color n with
+    | Some 2 -> ()
+    | Some 1 ->
+        (* Back edge.  [path] is reversed and its head is the revisited
+           node [n]; the cycle is everything after that head up to and
+           including the previous occurrence of [n]. *)
+        let rec cut = function
+          | [] -> []
+          | x :: rest -> if Txn_id.equal x n then [ x ] else x :: cut rest
+        in
+        result := Some (List.rev (cut (List.tl path)))
+    | _ ->
+        Txn_id.Tbl.replace color n 1;
+        List.iter
+          (fun m -> if !result = None then visit (m :: path) m)
+          (successors g n);
+        Txn_id.Tbl.replace color n 2
+  in
+  List.iter (fun n -> if !result = None then visit [ n ] n) (nodes g);
+  !result
+
+let is_acyclic g = find_cycle g = None
+
+let topological_sort g =
+  let indegree = Txn_id.Tbl.create (n_nodes g) in
+  List.iter (fun n -> Txn_id.Tbl.replace indegree n 0) (nodes g);
+  List.iter
+    (fun (_, b) -> Txn_id.Tbl.replace indegree b (Txn_id.Tbl.find indegree b + 1))
+    (edges g);
+  (* Kahn's algorithm with a sorted frontier for determinism. *)
+  let module S = Set.Make (struct
+    type t = Txn_id.t
+
+    let compare = Txn_id.compare
+  end) in
+  let frontier =
+    ref
+      (List.fold_left
+         (fun acc n -> if Txn_id.Tbl.find indegree n = 0 then S.add n acc else acc)
+         S.empty (nodes g))
+  in
+  let out = ref [] and count = ref 0 in
+  while not (S.is_empty !frontier) do
+    let n = S.min_elt !frontier in
+    frontier := S.remove n !frontier;
+    out := n :: !out;
+    incr count;
+    List.iter
+      (fun m ->
+        let d = Txn_id.Tbl.find indegree m - 1 in
+        Txn_id.Tbl.replace indegree m d;
+        if d = 0 then frontier := S.add m !frontier)
+      (successors g n)
+  done;
+  if !count = n_nodes g then Some (List.rev !out) else None

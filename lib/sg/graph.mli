@@ -1,0 +1,37 @@
+(** Directed graphs over transaction names.
+
+    The serialization graph [SG(beta)] is a union of disjoint directed
+    graphs, one per parent; we keep them in a single structure (edges
+    only ever connect siblings, so the union stays disjoint by
+    construction) and provide cycle detection and topological sorting —
+    the two operations Theorem 8 needs. *)
+
+open Nt_base
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> Txn_id.t -> unit
+(** Idempotent. *)
+
+val add_edge : t -> Txn_id.t -> Txn_id.t -> unit
+(** Adds both endpoints as nodes; duplicate edges are ignored. *)
+
+val mem_edge : t -> Txn_id.t -> Txn_id.t -> bool
+val nodes : t -> Txn_id.t list
+val edges : t -> (Txn_id.t * Txn_id.t) list
+val n_nodes : t -> int
+val n_edges : t -> int
+val successors : t -> Txn_id.t -> Txn_id.t list
+
+val find_cycle : t -> Txn_id.t list option
+(** Some cycle (as a node list, first repeated node omitted) if one
+    exists; [None] iff the graph is acyclic. *)
+
+val is_acyclic : t -> bool
+
+val topological_sort : t -> Txn_id.t list option
+(** A total order of all nodes consistent with every edge, or [None]
+    if cyclic.  Ties are broken deterministically by {!Txn_id.compare}
+    so results are reproducible. *)

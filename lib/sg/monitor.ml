@@ -1,0 +1,294 @@
+open Nt_base
+open Nt_spec
+
+type alarm = Cycle of Txn_id.t list | Inappropriate of Obj_id.t
+
+(* What to do when a transaction becomes visible to T0. *)
+type item =
+  | Activate_op of Obj_id.t * int  (* seq within the object's op table *)
+  | Activate_edge of Txn_id.t * Txn_id.t
+
+type visibility = Visible | Dead | Pending of int
+
+type op_record = {
+  access : Txn_id.t;
+  value : Value.t;
+  seq : int;
+  mutable op_visible : bool;
+}
+
+type obj_state = {
+  mutable ops : op_record list;  (* newest first *)
+  mutable next_seq : int;
+  mutable obj_alarmed : bool;
+}
+
+type t = {
+  schema : Schema.t;
+  mode : Sg.conflict_mode;
+  g : Graph.t;
+  committed : unit Txn_id.Tbl.t;
+  aborted : unit Txn_id.Tbl.t;
+  vis : visibility Txn_id.Tbl.t;
+  waiters : Txn_id.t list Txn_id.Tbl.t;  (* ancestor -> dependents *)
+  items : item list Txn_id.Tbl.t;  (* txn -> actions on visibility *)
+  reported : Txn_id.t list Txn_id.Tbl.t;  (* parent -> reported children *)
+  objects : obj_state Obj_id.Tbl.t;
+  mutable any_alarm : bool;
+}
+
+let create ?mode schema =
+  let mode = match mode with Some m -> m | None -> Sg.Operation_level in
+  let objects = Obj_id.Tbl.create 16 in
+  List.iter
+    (fun x ->
+      Obj_id.Tbl.add objects x { ops = []; next_seq = 0; obj_alarmed = false })
+    schema.Schema.objects;
+  {
+    schema;
+    mode;
+    g = Graph.create ();
+    committed = Txn_id.Tbl.create 64;
+    aborted = Txn_id.Tbl.create 16;
+    vis = Txn_id.Tbl.create 64;
+    waiters = Txn_id.Tbl.create 64;
+    items = Txn_id.Tbl.create 64;
+    reported = Txn_id.Tbl.create 32;
+    objects;
+    any_alarm = false;
+  }
+
+let graph t = t.g
+let alarmed t = t.any_alarm
+
+(* Register [u] in the visibility tracker; returns its status. *)
+let visibility t u =
+  match Txn_id.Tbl.find_opt t.vis u with
+  | Some v -> v
+  | None ->
+      let ancestors =
+        List.filter (fun a -> not (Txn_id.is_root a)) (Txn_id.ancestors u)
+      in
+      let v =
+        if List.exists (fun a -> Txn_id.Tbl.mem t.aborted a) ancestors then Dead
+        else begin
+          let missing =
+            List.filter (fun a -> not (Txn_id.Tbl.mem t.committed a)) ancestors
+          in
+          match missing with
+          | [] -> Visible
+          | _ ->
+              List.iter
+                (fun a ->
+                  let l =
+                    match Txn_id.Tbl.find_opt t.waiters a with
+                    | Some l -> l
+                    | None -> []
+                  in
+                  Txn_id.Tbl.replace t.waiters a (u :: l))
+                missing;
+              Pending (List.length missing)
+        end
+      in
+      Txn_id.Tbl.replace t.vis u v;
+      v
+
+let add_item t u item =
+  let l = match Txn_id.Tbl.find_opt t.items u with Some l -> l | None -> [] in
+  Txn_id.Tbl.replace t.items u (item :: l)
+
+(* Cycle search: after adding edge (a, b), is a reachable from b?
+   Returns the path b ... a if so. *)
+let find_path g src dst =
+  let visited = Txn_id.Tbl.create 16 in
+  let rec dfs path n =
+    if Txn_id.equal n dst then Some (List.rev (n :: path))
+    else if Txn_id.Tbl.mem visited n then None
+    else begin
+      Txn_id.Tbl.add visited n ();
+      List.fold_left
+        (fun acc m -> match acc with Some _ -> acc | None -> dfs (n :: path) m)
+        None (Graph.successors g n)
+    end
+  in
+  dfs [] src
+
+let insert_edge t a b =
+  if Txn_id.equal a b then []
+  else if Graph.mem_edge t.g a b then []
+  else begin
+    Graph.add_edge t.g a b;
+    match find_path t.g b a with
+    | Some path ->
+        (* path is b ... a; the cycle is that path (edge a->b closes it). *)
+        t.any_alarm <- true;
+        [ Cycle path ]
+    | None -> []
+  end
+
+let ops_conflict t (a, va) (b, vb) =
+  match t.mode with
+  | Sg.Operation_level -> Schema.operations_conflict t.schema (a, va) (b, vb)
+  | Sg.Access_level -> Schema.accesses_conflict t.schema a b
+
+(* An operation became visible: emit conflict edges; the replay check
+   is deferred to the end of the fed action (a single commit can wake
+   several operations, and replaying between the wakeups of one batch
+   would examine a state no prefix of the behavior exhibits). *)
+let activate_op t touched x seq =
+  let ost = Obj_id.Tbl.find t.objects x in
+  let record = List.find (fun r -> r.seq = seq) ost.ops in
+  record.op_visible <- true;
+  touched := x :: !touched;
+  let alarms = ref [] in
+  List.iter
+    (fun other ->
+      if
+        other.seq <> seq && other.op_visible
+        && (not (Txn_id.related record.access other.access))
+        && ops_conflict t
+             (record.access, record.value)
+             (other.access, other.value)
+      then begin
+        let earlier, later =
+          if other.seq < seq then (other, record) else (record, other)
+        in
+        let l = Txn_id.lca earlier.access later.access in
+        let a = Txn_id.child_of_on_path ~ancestor:l earlier.access in
+        let b = Txn_id.child_of_on_path ~ancestor:l later.access in
+        alarms := insert_edge t a b @ !alarms
+      end)
+    ost.ops;
+  !alarms
+
+(* Replay an object's visible sequence (end-of-action check). *)
+let replay_object t x =
+  let ost = Obj_id.Tbl.find t.objects x in
+  if ost.obj_alarmed then []
+  else begin
+    let visible_ops =
+      List.filter (fun r -> r.op_visible) ost.ops
+      |> List.sort (fun r1 r2 -> compare r1.seq r2.seq)
+      |> List.map (fun r -> (t.schema.Schema.op_of r.access, r.value))
+    in
+    if not (Serial_spec.legal (t.schema.Schema.dtype_of x) visible_ops) then begin
+      ost.obj_alarmed <- true;
+      t.any_alarm <- true;
+      [ Inappropriate x ]
+    end
+    else []
+  end
+
+let run_item t touched = function
+  | Activate_op (x, seq) -> activate_op t touched x seq
+  | Activate_edge (a, b) -> insert_edge t a b
+
+(* A commit arrived: wake dependents. *)
+let process_commit t touched w =
+  Txn_id.Tbl.replace t.committed w ();
+  let dependents =
+    match Txn_id.Tbl.find_opt t.waiters w with Some l -> l | None -> []
+  in
+  Txn_id.Tbl.remove t.waiters w;
+  List.concat_map
+    (fun u ->
+      match Txn_id.Tbl.find_opt t.vis u with
+      | Some (Pending n) ->
+          if n <= 1 then begin
+            Txn_id.Tbl.replace t.vis u Visible;
+            let items =
+              match Txn_id.Tbl.find_opt t.items u with Some l -> l | None -> []
+            in
+            Txn_id.Tbl.remove t.items u;
+            List.concat_map (run_item t touched) (List.rev items)
+          end
+          else begin
+            Txn_id.Tbl.replace t.vis u (Pending (n - 1));
+            []
+          end
+      | _ -> [])
+    dependents
+
+let process_abort t w =
+  Txn_id.Tbl.replace t.aborted w ();
+  (* Kill dependents transitively reachable via pending status. *)
+  let kill u =
+    match Txn_id.Tbl.find_opt t.vis u with
+    | Some (Pending _) ->
+        Txn_id.Tbl.replace t.vis u Dead;
+        Txn_id.Tbl.remove t.items u
+    | _ -> ()
+  in
+  (match Txn_id.Tbl.find_opt t.waiters w with
+  | Some l -> List.iter kill l
+  | None -> ());
+  Txn_id.Tbl.remove t.waiters w;
+  []
+
+let feed t (a : Action.t) =
+  let touched = ref [] in
+  let alarms =
+    match a with
+  | Action.Request_commit (u, v) when System_type.is_access t.schema.Schema.sys u
+    -> (
+      let x = System_type.object_of_exn t.schema.Schema.sys u in
+      let ost = Obj_id.Tbl.find t.objects x in
+      let seq = ost.next_seq in
+      ost.next_seq <- seq + 1;
+      ost.ops <- { access = u; value = v; seq; op_visible = false } :: ost.ops;
+      match visibility t u with
+      | Visible -> activate_op t touched x seq
+      | Pending _ ->
+          add_item t u (Activate_op (x, seq));
+          []
+      | Dead -> [])
+  | Action.Commit u -> process_commit t touched u
+  | Action.Abort u -> process_abort t u
+  | Action.Report_commit (u, _) | Action.Report_abort u ->
+      (if not (Txn_id.is_root u) then
+         let p = Txn_id.parent_exn u in
+         let l =
+           match Txn_id.Tbl.find_opt t.reported p with Some l -> l | None -> []
+         in
+         if not (List.exists (Txn_id.equal u) l) then
+           Txn_id.Tbl.replace t.reported p (u :: l));
+      []
+  | Action.Request_create u when not (Txn_id.is_root u) ->
+      let p = Txn_id.parent_exn u in
+      let siblings =
+        match Txn_id.Tbl.find_opt t.reported p with Some l -> l | None -> []
+      in
+      List.concat_map
+        (fun sib ->
+          if Txn_id.is_root p then insert_edge t sib u
+          else
+            match visibility t p with
+            | Visible -> insert_edge t sib u
+            | Pending _ ->
+                add_item t p (Activate_edge (sib, u));
+                []
+            | Dead -> [])
+        siblings
+  | Action.Create _ | Action.Inform_commit _ | Action.Inform_abort _
+  | Action.Request_commit _ | Action.Request_create _ ->
+      []
+  in
+  let replay_alarms =
+    List.sort_uniq Obj_id.compare !touched
+    |> List.concat_map (replay_object t)
+  in
+  alarms @ replay_alarms
+
+let feed_trace t trace =
+  let alarms = ref [] in
+  Array.iteri
+    (fun i a ->
+      List.iter (fun al -> alarms := (i, al) :: !alarms) (feed t a))
+    trace;
+  List.rev !alarms
+
+let visible_operations t x =
+  let ost = Obj_id.Tbl.find t.objects x in
+  List.filter (fun r -> r.op_visible) ost.ops
+  |> List.sort (fun r1 r2 -> compare r1.seq r2.seq)
+  |> List.map (fun r -> (r.access, r.value))

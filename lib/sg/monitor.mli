@@ -1,0 +1,55 @@
+(** An online serialization-graph monitor.
+
+    The offline {!Checker} re-derives everything from the whole trace;
+    this monitor consumes a behavior one action at a time and maintains
+    {e incrementally}:
+
+    - visibility to [T0] (per-transaction counters of uncommitted
+      ancestors, decremented as commits arrive);
+    - the visible operation sequence of each object, replayed against
+      its serial specification as operations {e become} visible —
+      raising {!constructor:Inappropriate} the moment a return value
+      is shown impossible;
+    - the serialization graph ([conflict ∪ precedes] over visible
+      activity), with cycle detection on every edge insertion —
+      raising {!constructor:Cycle} with the witness.
+
+    Because every prefix of a generic behavior is itself a behavior,
+    a protocol that is serially correct for all behaviors never trips
+    the monitor (asserted by the tests over Moss, undo-logging and
+    commutativity-locking executions); broken protocols trip it at the
+    earliest prefix that betrays them, which is what makes it usable
+    as a runtime bug detector (Experiment E5 measures the overhead). *)
+
+open Nt_base
+open Nt_spec
+
+type t
+
+type alarm =
+  | Cycle of Txn_id.t list
+      (** Inserting the latest edge closed this cycle in [SG]. *)
+  | Inappropriate of Obj_id.t
+      (** The object's visible operations no longer replay. *)
+
+val create : ?mode:Sg.conflict_mode -> Schema.t -> t
+(** A fresh monitor (conflict mode defaulting to [Operation_level],
+    as in {!Checker}). *)
+
+val feed : t -> Action.t -> alarm list
+(** Consume one action; returns the alarms it triggers (usually
+    none).  The monitor is mutable. *)
+
+val feed_trace : t -> Trace.t -> (int * alarm) list
+(** Feed a whole trace; returns all alarms with the index of the
+    triggering event. *)
+
+val graph : t -> Graph.t
+(** The current serialization graph (shared, do not mutate). *)
+
+val alarmed : t -> bool
+(** Whether any alarm has fired so far. *)
+
+val visible_operations : t -> Obj_id.t -> (Txn_id.t * Value.t) list
+(** The currently-visible operation sequence of an object, in response
+    order — the sequence the monitor replays. *)

@@ -1,0 +1,42 @@
+open Nt_base
+
+let relation trace =
+  let comm = Trace.committed trace in
+  let parent_visible =
+    let memo = Txn_id.Tbl.create 16 in
+    fun p ->
+      match Txn_id.Tbl.find_opt memo p with
+      | Some b -> b
+      | None ->
+          let b =
+            List.for_all
+              (fun u -> Txn_id.Set.mem u comm)
+              (Txn_id.ancestors_upto p ~upto:Txn_id.root)
+          in
+          Txn_id.Tbl.add memo p b;
+          b
+  in
+  (* Earliest report index per transaction. *)
+  let first_report = Txn_id.Tbl.create 64 in
+  let n = Trace.length trace in
+  for i = 0 to n - 1 do
+    match Trace.get trace i with
+    | Action.Report_commit (t, _) | Action.Report_abort t ->
+        if not (Txn_id.Tbl.mem first_report t) then
+          Txn_id.Tbl.add first_report t i
+    | _ -> ()
+  done;
+  let pairs = Hashtbl.create 64 in
+  for j = 0 to n - 1 do
+    match Trace.get trace j with
+    | Action.Request_create t' when not (Txn_id.is_root t') ->
+        let p = Txn_id.parent_exn t' in
+        if parent_visible p then
+          Txn_id.Tbl.iter
+            (fun t i ->
+              if i < j && Txn_id.siblings t t' then
+                Hashtbl.replace pairs (t, t') ())
+            first_report
+    | _ -> ()
+  done;
+  Hashtbl.fold (fun p () acc -> p :: acc) pairs []

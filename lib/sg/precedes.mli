@@ -1,0 +1,14 @@
+(** The [precedes(beta)] relation on siblings (Section 4).
+
+    [(T, T') ∈ precedes(beta)] iff [T] and [T'] are siblings whose
+    common parent is visible to [T0] in [beta], and a report event for
+    [T] (a [Report_commit] or [Report_abort]) occurs in [beta] before a
+    [Request_create(T')].  Informally: the parent learned [T]'s fate
+    before asking for [T'], so external consistency pins their order.
+    These are the "precedence edges" of the serialization graph. *)
+
+open Nt_base
+
+val relation : Trace.t -> (Txn_id.t * Txn_id.t) list
+(** All precedes pairs of the given trace (pass [serial(beta)]).
+    Duplicates removed; order unspecified. *)

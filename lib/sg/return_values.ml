@@ -1,0 +1,80 @@
+open Nt_base
+open Nt_spec
+
+let violating_object (schema : Schema.t) trace =
+  let vis = Trace.visible trace ~to_:Txn_id.root in
+  List.find_opt
+    (fun x ->
+      let ops = Schema.operations schema vis x in
+      not (Serial_spec.legal (schema.dtype_of x) ops))
+    schema.objects
+
+let appropriate_general schema trace = violating_object schema trace = None
+
+let appropriate_rw (schema : Schema.t) trace =
+  let vis = Trace.visible trace ~to_:Txn_id.root in
+  let n = Trace.length vis in
+  let rec go i =
+    if i >= n then true
+    else
+      match Trace.get vis i with
+      | Action.Request_commit (t, v) when System_type.is_access schema.sys t
+        -> (
+          let x = System_type.object_of_exn schema.sys t in
+          match Rw.kind_of schema t with
+          | Some (`Write _) -> Value.equal v Value.Ok && go (i + 1)
+          | Some `Read ->
+              Value.equal v (Rw.final_value schema (Trace.prefix vis i) x)
+              && go (i + 1)
+          | None -> false)
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let read_event (schema : Schema.t) trace i =
+  match Trace.get trace i with
+  | Action.Request_commit (t, v) when System_type.is_access schema.sys t -> (
+      match Rw.kind_of schema t with
+      | Some `Read -> Some (t, v, System_type.object_of_exn schema.sys t)
+      | _ -> None)
+  | _ -> None
+
+let current schema trace i =
+  match read_event schema trace i with
+  | None -> false
+  | Some (_, v, x) ->
+      Value.equal v (Rw.clean_final_value schema (Trace.prefix trace i) x)
+
+let safe schema trace i =
+  match read_event schema trace i with
+  | None -> false
+  | Some (t, _, x) -> (
+      let before = Trace.prefix trace i in
+      match Rw.clean_last_write schema before x with
+      | None -> true
+      | Some w -> Trace.visible_txn before ~to_:t w)
+
+let lemma6_conditions (schema : Schema.t) trace =
+  (* Work on event indices of the full serial trace so that current/safe
+     see the right prefixes; membership in visible(beta,T0) is tested
+     per event. *)
+  let comm = Trace.committed trace in
+  let vis_to_root u =
+    List.for_all
+      (fun a -> Txn_id.Set.mem a comm)
+      (Txn_id.ancestors_upto u ~upto:Txn_id.root)
+  in
+  let n = Trace.length trace in
+  let rec go i =
+    if i >= n then true
+    else
+      match Trace.get trace i with
+      | Action.Request_commit (t, v)
+        when System_type.is_access schema.sys t && vis_to_root t -> (
+          match Rw.kind_of schema t with
+          | Some (`Write _) -> Value.equal v Value.Ok && go (i + 1)
+          | Some `Read -> current schema trace i && safe schema trace i && go (i + 1)
+          | None -> false)
+      | _ -> go (i + 1)
+  in
+  go 0

@@ -1,0 +1,44 @@
+(** Appropriate return values (Sections 3.2, 3.3 and 6.1).
+
+    The hypothesis the classical theory makes implicitly: once aborted
+    and uncommitted activity is discarded, every access response is the
+    one the object's serial specification would give.
+
+    Three formulations are provided, matching the paper:
+    {ul
+    {- the {e general} definition (Section 6.1): for each object [X],
+       [perform(operations(visible(beta,T0)|X))] is a behavior of
+       [S_X];}
+    {- the {e read/write} definition (Section 3.2): writes return [Ok]
+       and each read returns [final-value] of the visible prefix before
+       it — Lemma 5 proves this equivalent to the general one on
+       read/write schemas, and the tests check that equivalence;}
+    {- the {e current & safe} sufficient conditions (Section 3.3,
+       Lemma 6), checkable at the moment a read responds, which is how
+       Moss' algorithm is proved to deliver appropriate values.}} *)
+
+open Nt_base
+open Nt_spec
+
+val appropriate_general : Schema.t -> Trace.t -> bool
+(** Section 6.1 definition.  Pass [serial(beta)]. *)
+
+val violating_object : Schema.t -> Trace.t -> Obj_id.t option
+(** The first object whose visible operations fail to replay, for
+    diagnostics; [None] iff {!appropriate_general}. *)
+
+val appropriate_rw : Schema.t -> Trace.t -> bool
+(** Section 3.2 definition (read/write schemas only). *)
+
+val current : Schema.t -> Trace.t -> int -> bool
+(** [current schema beta i]: event [i] is a read's [Request_commit]
+    and returns [clean-final-value] of the prefix before it. *)
+
+val safe : Schema.t -> Trace.t -> int -> bool
+(** [safe schema beta i]: the [clean-last-write] before event [i] is
+    undefined or visible to the reading access in that prefix. *)
+
+val lemma6_conditions : Schema.t -> Trace.t -> bool
+(** Conditions (1) and (2) of Lemma 6 on [serial(beta)]: every visible
+    write returns [Ok] and every visible read is current and safe.
+    By Lemma 6 this implies {!appropriate_general} (tests assert it). *)

@@ -1,0 +1,103 @@
+open Nt_base
+
+(* Per parent, a map from ranked child to its integer rank. *)
+type t = int Txn_id.Map.t Txn_id.Map.t
+
+let empty : t = Txn_id.Map.empty
+
+let add_chain t chain =
+  match chain with
+  | [] -> t
+  | first :: _ ->
+      let parent =
+        match Txn_id.parent first with
+        | Some p -> p
+        | None -> invalid_arg "Sibling_order: root cannot be ranked"
+      in
+      let existing =
+        match Txn_id.Map.find_opt parent t with
+        | Some m -> m
+        | None -> Txn_id.Map.empty
+      in
+      let base = Txn_id.Map.cardinal existing in
+      let ranked, _ =
+        List.fold_left
+          (fun (m, i) c ->
+            (match Txn_id.parent c with
+            | Some p when Txn_id.equal p parent -> ()
+            | _ -> invalid_arg "Sibling_order: chain mixes parents");
+            if Txn_id.Map.mem c m then
+              invalid_arg "Sibling_order: duplicate child in chain";
+            (Txn_id.Map.add c i m, i + 1))
+          (existing, base) chain
+      in
+      Txn_id.Map.add parent ranked t
+
+let of_chains chains = List.fold_left add_chain empty chains
+
+let rank t child =
+  match Txn_id.parent child with
+  | None -> None
+  | Some p -> (
+      match Txn_id.Map.find_opt p t with
+      | None -> None
+      | Some m -> Txn_id.Map.find_opt child m)
+
+let mem t a b =
+  Txn_id.siblings a b
+  &&
+  match (rank t a, rank t b) with Some i, Some j -> i < j | _ -> false
+
+let orders_pair t a b = mem t a b || mem t b a
+
+let compare_trans t a b =
+  if Txn_id.equal a b || Txn_id.related a b then None
+  else
+    let l = Txn_id.lca a b in
+    let ca = Txn_id.child_of_on_path ~ancestor:l a in
+    let cb = Txn_id.child_of_on_path ~ancestor:l b in
+    if mem t ca cb then Some (-1) else if mem t cb ca then Some 1 else None
+
+let trans_mem t a b = compare_trans t a b = Some (-1)
+
+let event_mem t phi pi =
+  match (Action.lowtransaction phi, Action.lowtransaction pi) with
+  | Some a, Some b -> trans_mem t a b
+  | _ -> false
+
+let ordered_children t parent =
+  match Txn_id.Map.find_opt parent t with
+  | None -> []
+  | Some m ->
+      Txn_id.Map.bindings m
+      |> List.sort (fun (_, i) (_, j) -> Stdlib.compare i j)
+      |> List.map fst
+
+let parents t = List.map fst (Txn_id.Map.bindings t)
+
+let index_order trace =
+  let by_parent = Txn_id.Tbl.create 32 in
+  let note t =
+    List.iter
+      (fun u ->
+        match Txn_id.parent u with
+        | None -> ()
+        | Some p ->
+            let existing =
+              match Txn_id.Tbl.find_opt by_parent p with
+              | Some s -> s
+              | None -> Txn_id.Set.empty
+            in
+            Txn_id.Tbl.replace by_parent p (Txn_id.Set.add u existing))
+      (Txn_id.ancestors t)
+  in
+  Array.iter (fun a -> note (Action.subject a)) trace;
+  Txn_id.Tbl.fold
+    (fun _ children acc ->
+      let chain =
+        Txn_id.Set.elements children
+        |> List.sort (fun a b ->
+               Stdlib.compare (Txn_id.last_index a) (Txn_id.last_index b))
+      in
+      add_chain acc chain)
+    by_parent empty

@@ -1,0 +1,56 @@
+(** Sibling orders and their two extensions (Section 2.3.2).
+
+    A sibling order [R] is an irreflexive partial order relating only
+    siblings.  We store, per parent, a rank for each ordered child;
+    [R_trans] (the descendant extension) and [R_event] (the extension to
+    events of a trace) are derived queries. *)
+
+open Nt_base
+
+type t
+
+val empty : t
+
+val of_chains : Txn_id.t list list -> t
+(** [of_chains chains] orders each listed chain of siblings left to
+    right; chains for distinct parents are independent.  Raises
+    [Invalid_argument] if a chain mixes children of different parents
+    or repeats a name. *)
+
+val add_chain : t -> Txn_id.t list -> t
+(** Functionally extend with one more ordered sibling chain. *)
+
+val mem : t -> Txn_id.t -> Txn_id.t -> bool
+(** [(T, T') ∈ R]: both ranked under their common parent, strictly
+    increasing rank. *)
+
+val orders_pair : t -> Txn_id.t -> Txn_id.t -> bool
+(** [mem t a b || mem t b a]. *)
+
+val trans_mem : t -> Txn_id.t -> Txn_id.t -> bool
+(** [(T, T') ∈ R_trans]: some ancestors [U], [U'] of [T], [T'] are
+    siblings with [(U, U') ∈ R].  Equivalently, [T] and [T'] are
+    unrelated and the children of their lca on the two paths are
+    ordered by [R]. *)
+
+val compare_trans : t -> Txn_id.t -> Txn_id.t -> int option
+(** Three-way [R_trans] comparison; [None] when unordered (including
+    the ancestor/descendant case). *)
+
+val event_mem : t -> Action.t -> Action.t -> bool
+(** [(phi, pi) ∈ R_event(beta)]: both are serial events whose
+    lowtransactions are [R_trans]-ordered in this direction. *)
+
+val ordered_children : t -> Txn_id.t -> Txn_id.t list
+(** The children ranked under the given parent, in rank order. *)
+
+val parents : t -> Txn_id.t list
+(** All parents with at least one ranked child. *)
+
+val index_order : Trace.t -> t
+(** The sibling-index order over every name appearing in the trace
+    (as the subject of any action): per parent, children ranked by
+    their child index.  This is the pseudotime order of depth-first
+    timestamps; with interpreters that request children in index
+    order it contains [precedes(beta)] and is the natural candidate
+    order for timestamp-based protocols (see {!Theorem2}). *)

@@ -1,0 +1,157 @@
+open Nt_base
+
+type failure =
+  | Unordered_siblings of Txn_id.t * Txn_id.t
+  | Event_cycle of int list
+
+let visible_indices trace ~to_ =
+  let comm = Trace.committed trace in
+  let memo = Txn_id.Tbl.create 64 in
+  let vis u =
+    match Txn_id.Tbl.find_opt memo u with
+    | Some b -> b
+    | None ->
+        let b =
+          List.for_all
+            (fun a -> Txn_id.Set.mem a comm)
+            (Txn_id.ancestors_upto u ~upto:to_)
+        in
+        Txn_id.Tbl.add memo u b;
+        b
+    in
+  let n = Trace.length trace in
+  let idx = ref [] in
+  for i = n - 1 downto 0 do
+    let a = Trace.get trace i in
+    if Action.is_serial a then
+      match Action.hightransaction a with
+      | Some u when vis u -> idx := i :: !idx
+      | _ -> ()
+  done;
+  !idx
+
+(* Condition (2) without the quadratic R_event edge set: the union of
+   [affects] and [R_event] is acyclic iff the graph formed by the
+   affects adjacency plus a {e rank-chain gadget} per ordered parent is
+   acyclic.  For parent [P] with ranked children [c_1 < ... < c_k], a
+   visible event whose lowtransaction descends through [c_r] gets an
+   edge into gadget node [F(P, r)]; gadget edges [F(P, r) -> G(P, r+1)]
+   and [G(P, s) -> G(P, s+1)] and [G(P, s) -> e] for events of rank
+   [s] realize exactly the pairs [rank < rank'] — the R_event
+   relation — with O(events x depth + ranks) edges. *)
+let event_order_consistent trace ~to_ order vis =
+  let n = Trace.length trace in
+  (* Gadget node allocation. *)
+  let next_node = ref n in
+  let fresh () =
+    let id = !next_node in
+    incr next_node;
+    id
+  in
+  let extra_edges : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let add_extra i j =
+    let l = match Hashtbl.find_opt extra_edges i with Some l -> l | None -> [] in
+    Hashtbl.replace extra_edges i (j :: l)
+  in
+  (* Per parent: arrays of F and G nodes per rank, built lazily. *)
+  let gadgets = Txn_id.Tbl.create 16 in
+  let gadget_of parent =
+    match Txn_id.Tbl.find_opt gadgets parent with
+    | Some g -> g
+    | None ->
+        let children = Sibling_order.ordered_children order parent in
+        let k = List.length children in
+        let rank_of = Txn_id.Tbl.create k in
+        List.iteri (fun r c -> Txn_id.Tbl.add rank_of c r) children;
+        let f = Array.init k (fun _ -> fresh ()) in
+        let g = Array.init k (fun _ -> fresh ()) in
+        (* F(r) -> G(r+1); G(s) -> G(s+1). *)
+        for r = 0 to k - 2 do
+          add_extra f.(r) g.(r + 1);
+          add_extra g.(r) g.(r + 1)
+        done;
+        let gadget = (rank_of, f, g) in
+        Txn_id.Tbl.add gadgets parent gadget;
+        gadget
+  in
+  (* Wire each visible event into the gadgets of every ordered ancestor
+     parent of its lowtransaction. *)
+  List.iter
+    (fun i ->
+      match Action.lowtransaction (Trace.get trace i) with
+      | None -> ()
+      | Some low ->
+          List.iter
+            (fun parent ->
+              if not (Txn_id.equal parent low) then begin
+                let child = Txn_id.child_of_on_path ~ancestor:parent low in
+                let rank_of, f, g = gadget_of parent in
+                match Txn_id.Tbl.find_opt rank_of child with
+                | Some r ->
+                    add_extra i f.(r);
+                    add_extra g.(r) i
+                | None -> ()
+              end)
+            (Txn_id.ancestors low))
+    vis;
+  (* DFS over affects adjacency + gadget edges. *)
+  let affects = Trace.affects_adjacency trace in
+  let total = !next_node in
+  let succ i =
+    let base = if i < n then affects.(i) else [] in
+    match Hashtbl.find_opt extra_edges i with
+    | Some l -> l @ base
+    | None -> base
+  in
+  let color = Array.make total 0 in
+  let cycle = ref None in
+  let rec visit path i =
+    match color.(i) with
+    | 2 -> ()
+    | 1 ->
+        let rec cut = function
+          | [] -> []
+          | x :: rest -> if x = i then [ x ] else x :: cut rest
+        in
+        (* Report only real event indices in the witness. *)
+        cycle :=
+          Some (List.filter (fun x -> x < n) (List.rev (cut (List.tl path))))
+    | _ ->
+        color.(i) <- 1;
+        List.iter (fun j -> if !cycle = None then visit (j :: path) j) (succ i);
+        color.(i) <- 2
+  in
+  for i = 0 to total - 1 do
+    if !cycle = None then visit [ i ] i
+  done;
+  ignore to_;
+  !cycle
+
+let check trace ~to_ order =
+  let vis = visible_indices trace ~to_ in
+  (* Condition (1): all sibling lowtransaction pairs are ordered. *)
+  let lowtxns =
+    List.filter_map (fun i -> Action.lowtransaction (Trace.get trace i)) vis
+    |> List.sort_uniq Txn_id.compare
+  in
+  let rec pairs_ok = function
+    | [] -> Ok ()
+    | t :: rest -> (
+        match
+          List.find_opt
+            (fun t' ->
+              Txn_id.siblings t t' && not (Sibling_order.orders_pair order t t'))
+            rest
+        with
+        | Some t' -> Error (Unordered_siblings (t, t'))
+        | None -> pairs_ok rest)
+  in
+  match pairs_ok lowtxns with
+  | Error e -> Error e
+  | Ok () -> (
+      match event_order_consistent trace ~to_ order vis with
+      | Some c -> Error (Event_cycle c)
+      | None -> Ok ())
+
+let is_suitable trace ~to_ order =
+  match check trace ~to_ order with Ok () -> true | Error _ -> false

@@ -1,0 +1,28 @@
+(** Suitability of a sibling order (Section 2.3.2).
+
+    [R] is suitable for [beta] and [T] when (1) [R] orders every pair of
+    siblings that are lowtransactions of events of [visible(beta, T)],
+    and (2) [R_event(beta)] and [affects(beta)] are consistent partial
+    orders on those events — i.e. their union has no cycle.
+
+    Consistency is decided without computing a transitive closure: we
+    take the affects adjacency over {e all} events (each edge of which
+    runs forward in the trace) and add the [R_event] edges between
+    visible events; a cycle in that graph exists iff the restricted
+    union has one, because affects-paths between visible events factor
+    through the full graph. *)
+
+open Nt_base
+
+type failure =
+  | Unordered_siblings of Txn_id.t * Txn_id.t
+      (** Condition (1) fails on this pair. *)
+  | Event_cycle of int list
+      (** Condition (2) fails; the event indices of a witness cycle. *)
+
+val check :
+  Trace.t -> to_:Txn_id.t -> Sibling_order.t -> (unit, failure) result
+(** Check suitability of the order for the given trace (pass
+    [serial(beta)]) and transaction. *)
+
+val is_suitable : Trace.t -> to_:Txn_id.t -> Sibling_order.t -> bool

@@ -1,0 +1,49 @@
+open Nt_base
+open Nt_spec
+
+type failure =
+  | Orphan
+  | Not_suitable of Suitability.failure
+  | View_not_ordered of Txn_id.t * Txn_id.t
+  | View_illegal of Obj_id.t
+
+let check ?(for_txn = Txn_id.root) (schema : Schema.t) order trace =
+  let beta = Trace.serial trace in
+  if Trace.is_orphan beta for_txn then Error Orphan
+  else
+    match Suitability.check beta ~to_:for_txn order with
+    | Error f -> Error (Not_suitable f)
+    | Ok () -> (
+        let bad_view =
+          List.find_map
+            (fun x ->
+              match View.view_ops schema beta ~to_:for_txn order x with
+              | ops ->
+                  if Serial_spec.legal (schema.dtype_of x) ops then None
+                  else Some (View_illegal x)
+              | exception View.Not_totally_ordered (a, b) ->
+                  Some (View_not_ordered (a, b)))
+            schema.objects
+        in
+        match bad_view with Some f -> Error f | None -> Ok ())
+
+let holds ?for_txn schema order trace =
+  match check ?for_txn schema order trace with Ok () -> true | Error _ -> false
+
+let pp_failure fmt = function
+  | Orphan -> Format.pp_print_string fmt "the transaction is an orphan"
+  | Not_suitable (Suitability.Unordered_siblings (a, b)) ->
+      Format.fprintf fmt "order does not relate siblings %a and %a" Txn_id.pp a
+        Txn_id.pp b
+  | Not_suitable (Suitability.Event_cycle idxs) ->
+      Format.fprintf fmt
+        "order conflicts with affects(beta): event cycle [%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " -> ")
+           Format.pp_print_int)
+        idxs
+  | View_not_ordered (a, b) ->
+      Format.fprintf fmt "view not totally ordered: %a vs %a" Txn_id.pp a
+        Txn_id.pp b
+  | View_illegal x ->
+      Format.fprintf fmt "view of %a does not replay" Obj_id.pp x

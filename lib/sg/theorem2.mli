@@ -1,0 +1,47 @@
+(** The Serializability Theorem (Theorem 2), used directly.
+
+    The serialization-graph construction (Theorem 8/19) is one way to
+    obtain a suitable order: topologically sort [SG(beta)].  But the
+    underlying Serializability Theorem works with {e any} suitable
+    sibling order whose views replay — which matters for protocols
+    whose serialization order is not the completion order.  A
+    multiversion timestamp protocol ({!Nt_mvts}) serializes by
+    pseudotime; its behaviors can have {e cyclic} serialization graphs
+    while still being serially correct, and this checker certifies
+    them by supplying the timestamp order explicitly.
+
+    [check schema order beta] decides the hypotheses of Theorem 2 for
+    [check ?for_txn schema order beta] decides the hypotheses of
+    Theorem 2 for the given transaction [T] (default [T0]): [T] is not
+    an orphan in [beta], [order] is suitable for [serial beta] and
+    [T], and every [view(beta, T, order, X)] is a behavior of
+    [S_X]. *)
+
+open Nt_base
+open Nt_spec
+
+type failure =
+  | Orphan  (** The theorem only applies to non-orphan transactions. *)
+  | Not_suitable of Suitability.failure
+  | View_not_ordered of Txn_id.t * Txn_id.t
+      (** Two access transactions with visible operations that the
+          order fails to relate. *)
+  | View_illegal of Obj_id.t
+      (** Some object's view does not replay in its serial spec. *)
+
+val check :
+  ?for_txn:Txn_id.t ->
+  Schema.t ->
+  Sibling_order.t ->
+  Trace.t ->
+  (unit, failure) result
+(** Decide Theorem 2's hypotheses for the given witness order and
+    transaction (default [T0]; inform actions are stripped first).
+    [Ok ()] certifies that the behavior is serially correct for the
+    transaction — the paper's full statement, which quantifies over
+    every non-orphan transaction name. *)
+
+val holds :
+  ?for_txn:Txn_id.t -> Schema.t -> Sibling_order.t -> Trace.t -> bool
+
+val pp_failure : Format.formatter -> failure -> unit

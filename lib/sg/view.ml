@@ -1,0 +1,21 @@
+open Nt_base
+open Nt_spec
+
+exception Not_totally_ordered of Txn_id.t * Txn_id.t
+
+let view (schema : Schema.t) trace ~to_ order x =
+  let vis = Trace.visible trace ~to_ in
+  let ops = Trace.operations schema.sys vis x in
+  let compare_ops (t, _) (t', _) =
+    if Txn_id.equal t t' then 0
+    else
+      match Sibling_order.compare_trans order t t' with
+      | Some c -> c
+      | None -> raise (Not_totally_ordered (t, t'))
+  in
+  List.stable_sort compare_ops ops
+
+let view_ops schema trace ~to_ order x =
+  List.map
+    (fun (t, v) -> (schema.Schema.op_of t, v))
+    (view schema trace ~to_ order x)

@@ -1,0 +1,32 @@
+(** The [view(beta, T, R, X)] sequence (Section 2.3.2).
+
+    The operations of [X] visible to [T] in [beta], reordered by
+    [R_trans] on their transaction components.  This is the sequence
+    the Serializability Theorem requires to be a behavior of [S_X]. *)
+
+open Nt_base
+open Nt_spec
+
+exception Not_totally_ordered of Txn_id.t * Txn_id.t
+(** Raised when [R_trans] fails to order two access transactions whose
+    operations both appear — i.e. the supplied order is not suitable. *)
+
+val view :
+  Schema.t ->
+  Trace.t ->
+  to_:Txn_id.t ->
+  Sibling_order.t ->
+  Obj_id.t ->
+  (Txn_id.t * Value.t) list
+(** The ordered operations (with their access names).  Pass
+    [serial(beta)]. *)
+
+val view_ops :
+  Schema.t ->
+  Trace.t ->
+  to_:Txn_id.t ->
+  Sibling_order.t ->
+  Obj_id.t ->
+  Serial_spec.operation list
+(** {!view} translated to [(op, v)] pairs ready for replay against the
+    object's sequential specification. *)

@@ -1,0 +1,55 @@
+open Nt_base
+
+let apply s (op : Datatype.op) =
+  let n = Value.int_exn s in
+  match op with
+  | Datatype.Deposit k -> (Value.Int (n + k), Value.Ok)
+  | Datatype.Withdraw k ->
+      if n >= k then (Value.Int (n - k), Value.Bool true)
+      else (s, Value.Bool false)
+  | Datatype.Balance -> (s, s)
+  | op -> raise (Datatype.Unsupported op)
+
+(* A zero-amount update is the identity and commutes with everything
+   except operations whose return value it could not have preserved —
+   for [Deposit 0] and successful [Withdraw 0] that is nothing. *)
+let commutes (o1, v1) (o2, v2) =
+  let classify op v =
+    match (op, v) with
+    | Datatype.Deposit k, _ -> `Deposit k
+    | Datatype.Withdraw k, Value.Bool true -> `Withdraw_ok k
+    | Datatype.Withdraw k, Value.Bool false -> `Withdraw_fail k
+    | Datatype.Withdraw _, _ ->
+        (* An unrealizable return value; treat conservatively. *)
+        `Other
+    | Datatype.Balance, _ -> `Balance
+    | op, _ -> raise (Datatype.Unsupported op)
+  in
+  match (classify o1 v1, classify o2 v2) with
+  | `Deposit _, `Deposit _ -> true
+  | `Balance, `Balance -> true
+  | `Withdraw_ok _, `Withdraw_ok _ -> true
+  | `Withdraw_fail _, `Withdraw_fail _ -> true
+  | ( (`Deposit 0 | `Withdraw_ok 0),
+      (`Deposit _ | `Withdraw_ok _ | `Withdraw_fail _ | `Balance) )
+  | ( (`Deposit _ | `Withdraw_ok _ | `Withdraw_fail _ | `Balance),
+      (`Deposit 0 | `Withdraw_ok 0) ) ->
+      true
+  | _ -> false
+
+let sample_ops rng =
+  match Rng.int rng 4 with
+  | 0 -> Datatype.Balance
+  | 1 -> Datatype.Withdraw (1 + Rng.int rng 4)
+  | _ -> Datatype.Deposit (1 + Rng.int rng 4)
+
+let make ?(init = 0) () =
+  {
+    Datatype.dt_name = "account";
+    init = Value.Int init;
+    apply;
+    commutes;
+    sample_ops;
+    probe_states =
+      [ Value.Int init; Value.Int 0; Value.Int 1; Value.Int 3; Value.Int 10 ];
+  }

@@ -1,0 +1,19 @@
+(** A bank account with guarded withdrawals — the classic example of
+    {e return-value-dependent} commutativity (Weihl).
+
+    Operations: [Deposit k] (blind, returns [Ok]), [Withdraw k] (returns
+    [Bool true] and subtracts when the balance suffices, else
+    [Bool false] with no change), and [Balance].
+
+    The commutativity structure is the textbook one: deposits commute
+    with deposits; two {e successful} withdrawals commute (each
+    guarantees enough funds for the other, in either order); two
+    {e failed} withdrawals commute (neither changed anything); but a
+    deposit and a withdrawal do not commute (the deposit can flip the
+    withdrawal's outcome), nor do withdrawals with mixed outcomes, nor
+    [Balance] with any update. *)
+
+
+val make : ?init:int -> unit -> Datatype.t
+(** An account with initial balance [init] (default 0); balances are
+    invariantly non-negative given non-negative deposits. *)

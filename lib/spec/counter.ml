@@ -1,0 +1,43 @@
+open Nt_base
+
+let apply s (op : Datatype.op) =
+  let n = Value.int_exn s in
+  match op with
+  | Datatype.Incr k -> (Value.Int (n + k), Value.Ok)
+  | Datatype.Decr k -> (Value.Int (n - k), Value.Ok)
+  | Datatype.Get -> (s, s)
+  | op -> raise (Datatype.Unsupported op)
+
+(* Blind updates commute among themselves; [Get] commutes only with
+   no-op updates (delta 0) and other gets. *)
+let commutes (o1, _v1) (o2, _v2) =
+  let delta = function
+    | Datatype.Incr k -> Some k
+    | Datatype.Decr k -> Some (-k)
+    | _ -> None
+  in
+  match (o1, o2) with
+  | Datatype.Get, Datatype.Get -> true
+  | Datatype.Get, u | u, Datatype.Get -> (
+      match delta u with Some 0 -> true | Some _ -> false
+      | None -> raise (Datatype.Unsupported u))
+  | u1, u2 -> (
+      match (delta u1, delta u2) with
+      | Some _, Some _ -> true
+      | _ -> raise (Datatype.Unsupported o1))
+
+let sample_ops rng =
+  match Rng.int rng 4 with
+  | 0 -> Datatype.Get
+  | 1 -> Datatype.Decr (1 + Rng.int rng 3)
+  | _ -> Datatype.Incr (1 + Rng.int rng 3)
+
+let make ?(init = 0) () =
+  {
+    Datatype.dt_name = "counter";
+    init = Value.Int init;
+    apply;
+    commutes;
+    sample_ops;
+    probe_states = [ Value.Int init; Value.Int 0; Value.Int 1; Value.Int 5 ];
+  }

@@ -1,0 +1,12 @@
+(** An integer counter: the motivating type for Section 6.
+
+    Operations: [Incr k] and [Decr k] (blind updates returning [Ok]) and
+    [Get] (returns the total).  All blind updates commute backward with
+    one another, so under the undo-logging algorithm increment-heavy
+    workloads run with no conflicts at all — the concurrency gain that
+    read/write locking cannot express (increment = read;write there).
+    Experiment E3 measures exactly this. *)
+
+
+val make : ?init:int -> unit -> Datatype.t
+(** A counter starting at [init] (default 0). *)

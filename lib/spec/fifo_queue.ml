@@ -1,0 +1,45 @@
+open Nt_base
+
+let contents = function
+  | Value.List l -> l
+  | s -> invalid_arg ("Fifo_queue: bad state " ^ Value.to_string s)
+
+let apply s (op : Datatype.op) =
+  let l = contents s in
+  match op with
+  | Datatype.Enqueue v -> (Value.List (l @ [ v ]), Value.Ok)
+  | Datatype.Dequeue -> (
+      match l with
+      | [] -> (s, Value.Pair (Value.Bool false, Value.Unit))
+      | hd :: tl -> (Value.List tl, Value.Pair (Value.Bool true, hd)))
+  | op -> raise (Datatype.Unsupported op)
+
+let commutes (o1, v1) (o2, v2) =
+  match (o1, o2) with
+  | Datatype.Enqueue a, Datatype.Enqueue b -> Value.equal a b
+  | Datatype.Dequeue, Datatype.Dequeue -> Value.equal v1 v2
+  | Datatype.Enqueue _, Datatype.Dequeue
+  | Datatype.Dequeue, Datatype.Enqueue _ ->
+      false
+  | (op, _) -> raise (Datatype.Unsupported op)
+
+let sample_ops rng =
+  if Rng.int rng 3 = 0 then Datatype.Dequeue
+  else Datatype.Enqueue (Value.Int (Rng.int rng 4))
+
+let make ?(init = []) () =
+  {
+    Datatype.dt_name = "queue";
+    init = Value.List init;
+    apply;
+    commutes;
+    sample_ops;
+    probe_states =
+      [
+        Value.List init;
+        Value.List [];
+        Value.List [ Value.Int 1 ];
+        Value.List [ Value.Int 1; Value.Int 2 ];
+        Value.List [ Value.Int 2; Value.Int 1 ];
+      ];
+  }

@@ -1,0 +1,18 @@
+(** A FIFO queue — a deliberately low-concurrency data type.
+
+    Operations: [Enqueue v] (returns [Ok]) and [Dequeue] (returns
+    [Pair (Bool true, v)] popping the head, or [Pair (Bool false, Unit)]
+    on an empty queue).
+
+    Almost nothing commutes: two enqueues commute only when they enqueue
+    equal values, two successful dequeues only when they popped equal
+    values, and an enqueue never commutes with a dequeue.  The queue
+    serves as the adversarial end of the commutativity spectrum in the
+    experiments (contrast with {!Counter}). *)
+
+
+open Nt_base
+
+val make : ?init:Value.t list -> unit -> Datatype.t
+(** A queue with the given initial contents, front first (default
+    empty). *)

@@ -1,0 +1,64 @@
+open Nt_base
+
+(* State: a sorted association list [Pair (key, value)] inside a
+   [Value.List]. *)
+let bindings = function
+  | Value.List l ->
+      List.map
+        (function
+          | Value.Pair (k, v) -> (k, v)
+          | v -> invalid_arg ("Keyed_store: bad binding " ^ Value.to_string v))
+        l
+  | s -> invalid_arg ("Keyed_store: bad state " ^ Value.to_string s)
+
+let state_of l =
+  Value.List
+    (List.map (fun (k, v) -> Value.Pair (k, v))
+       (List.sort (fun (a, _) (b, _) -> Value.compare a b) l))
+
+let lookup l k =
+  match List.find_opt (fun (k', _) -> Value.equal k k') l with
+  | Some (_, v) -> v
+  | None -> Value.Unit
+
+let apply s (op : Datatype.op) =
+  let l = bindings s in
+  match op with
+  | Datatype.Kread k -> (s, lookup l k)
+  | Datatype.Kwrite (k, v) ->
+      let l = (k, v) :: List.filter (fun (k', _) -> not (Value.equal k k')) l in
+      (state_of l, Value.Ok)
+  | op -> raise (Datatype.Unsupported op)
+
+let commutes (o1, _v1) (o2, _v2) =
+  match (o1, o2) with
+  | Datatype.Kread _, Datatype.Kread _ -> true
+  | Datatype.Kwrite (k, v), Datatype.Kwrite (k', v') ->
+      (not (Value.equal k k')) || Value.equal v v'
+  | Datatype.Kread k, Datatype.Kwrite (k', _)
+  | Datatype.Kwrite (k', _), Datatype.Kread k ->
+      not (Value.equal k k')
+  | (op, _) -> raise (Datatype.Unsupported op)
+
+let sample_keys = [| Value.Int 0; Value.Int 1; Value.Int 2 |]
+
+let sample_ops rng =
+  let k = Rng.pick rng sample_keys in
+  if Rng.bool rng then Datatype.Kread k
+  else Datatype.Kwrite (k, Value.Int (Rng.int rng 8))
+
+let make () =
+  {
+    Datatype.dt_name = "keyed_store";
+    init = Value.List [];
+    apply;
+    commutes;
+    sample_ops;
+    probe_states =
+      [
+        Value.List [];
+        state_of [ (Value.Int 0, Value.Int 5) ];
+        state_of [ (Value.Int 0, Value.Int 5); (Value.Int 1, Value.Int 7) ];
+        state_of [ (Value.Int 2, Value.Int 1) ];
+      ];
+  }

@@ -1,0 +1,17 @@
+(** A keyed store (string-free map of values to values) — per-key
+    read/write semantics, the closest of the shipped types to a
+    database table.
+
+    Operations: [Kread k] (the value bound to [k], or [Unit] when
+    absent) and [Kwrite (k, v)] (bind, returns [Ok]).
+
+    Commutativity factors through keys: operations on distinct keys
+    always commute; on the same key the register rules apply (reads
+    commute, writes commute iff they bind the same value, a read never
+    commutes with a write).  Under commutativity-based locking or undo
+    logging this yields per-key conflict granularity out of one
+    object — contrast with a single register, where every write
+    conflicts with everything. *)
+
+val make : unit -> Datatype.t
+(** An initially-empty store. *)

@@ -1,0 +1,30 @@
+open Nt_base
+
+let apply s (op : Datatype.op) =
+  match op with
+  | Datatype.Read -> (s, s)
+  | Datatype.Write v -> (v, Value.Ok)
+  | op -> raise (Datatype.Unsupported op)
+
+(* Reads commute with reads; writes commute iff they write equal values;
+   read/write pairs never commute backward in both orders (see the
+   Datatype interface for the symmetric convention). *)
+let commutes (o1, _v1) (o2, _v2) =
+  match (o1, o2) with
+  | Datatype.Read, Datatype.Read -> true
+  | Datatype.Write a, Datatype.Write b -> Value.equal a b
+  | Datatype.Read, Datatype.Write _ | Datatype.Write _, Datatype.Read -> false
+  | _ -> raise (Datatype.Unsupported o1)
+
+let sample_ops rng =
+  if Rng.bool rng then Datatype.Read else Datatype.Write (Value.Int (Rng.int rng 8))
+
+let make ?(init = Value.Int 0) () =
+  {
+    Datatype.dt_name = "register";
+    init;
+    apply;
+    commutes;
+    sample_ops;
+    probe_states = [ init; Value.Int 1; Value.Int 2; Value.Int 7 ];
+  }

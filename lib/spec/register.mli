@@ -1,0 +1,18 @@
+(** The read/write serial object of Section 3.1, as a {!Datatype.t}.
+
+    Operations: [Read] (returns the current value) and [Write v]
+    (overwrites, returns [Ok]).  This is the only type admitted by the
+    first part of the paper; Moss' algorithm ({!Nt_moss}) is specified
+    against it.
+
+    Backward commutativity, on operations: two reads always commute; two
+    writes commute iff they write the same value; a read never commutes
+    with a write.  At the access level this collapses to the paper's
+    read/write conflict table (two accesses conflict unless both are
+    reads). *)
+
+
+open Nt_base
+
+val make : ?init:Value.t -> unit -> Datatype.t
+(** A register with the given initial value (default [Int 0]). *)

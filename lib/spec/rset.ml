@@ -1,0 +1,64 @@
+open Nt_base
+
+(* State: a sorted, duplicate-free [Value.List]. *)
+let normalize l = Value.List (List.sort_uniq Value.compare l)
+
+let elements = function
+  | Value.List l -> l
+  | s -> invalid_arg ("Rset: bad state " ^ Value.to_string s)
+
+let apply s (op : Datatype.op) =
+  let l = elements s in
+  match op with
+  | Datatype.Insert v -> (normalize (v :: l), Value.Ok)
+  | Datatype.Remove v ->
+      (normalize (List.filter (fun w -> not (Value.equal v w)) l), Value.Ok)
+  | Datatype.Member v -> (s, Value.Bool (List.exists (Value.equal v) l))
+  | Datatype.Size -> (s, Value.Int (List.length l))
+  | op -> raise (Datatype.Unsupported op)
+
+let commutes (o1, _v1) (o2, _v2) =
+  match (o1, o2) with
+  | Datatype.Insert _, Datatype.Insert _ -> true
+  | Datatype.Remove _, Datatype.Remove _ -> true
+  | Datatype.Insert x, Datatype.Remove y | Datatype.Remove x, Datatype.Insert y
+    ->
+      not (Value.equal x y)
+  | Datatype.Member x, (Datatype.Insert y | Datatype.Remove y)
+  | (Datatype.Insert y | Datatype.Remove y), Datatype.Member x ->
+      not (Value.equal x y)
+  | Datatype.Member _, Datatype.Member _ -> true
+  | Datatype.Size, Datatype.Size -> true
+  | Datatype.Size, Datatype.Member _ | Datatype.Member _, Datatype.Size -> true
+  | Datatype.Size, (Datatype.Insert _ | Datatype.Remove _)
+  | (Datatype.Insert _ | Datatype.Remove _), Datatype.Size ->
+      false
+  | (op, _) -> raise (Datatype.Unsupported op)
+
+let sample_values = [| Value.Int 0; Value.Int 1; Value.Int 2; Value.Int 3 |]
+
+let sample_ops rng =
+  let v = Rng.pick rng sample_values in
+  match Rng.int rng 4 with
+  | 0 -> Datatype.Member v
+  | 1 -> Datatype.Remove v
+  | 2 -> Datatype.Size
+  | _ -> Datatype.Insert v
+
+let make ?(init = []) () =
+  let init = normalize init in
+  {
+    Datatype.dt_name = "set";
+    init;
+    apply;
+    commutes;
+    sample_ops;
+    probe_states =
+      [
+        init;
+        Value.List [];
+        normalize [ Value.Int 1 ];
+        normalize [ Value.Int 1; Value.Int 2 ];
+        normalize [ Value.Int 0; Value.Int 2; Value.Int 3 ];
+      ];
+  }

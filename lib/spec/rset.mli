@@ -1,0 +1,20 @@
+(** A set of values with blind inserts and removes.
+
+    Operations: [Insert v] / [Remove v] (blind, return [Ok]),
+    [Member v], and [Size].
+
+    Commutativity (symmetric backward commutativity, see {!Datatype}):
+    blind inserts commute with all inserts, and blind removes with all
+    removes; an insert and a remove commute iff they name different
+    elements; [Member v] commutes with updates on {e other} elements and
+    with other membership tests; [Size] conflicts with every update.
+    (One-directional refinements — e.g. a positive [Member v] can move
+    left past an [Insert v] — are deliberately not exploited: the
+    reversed order is not a behavior, so the symmetric relation rejects
+    them.) *)
+
+
+open Nt_base
+
+val make : ?init:Value.t list -> unit -> Datatype.t
+(** A set with the given initial elements (default empty). *)

@@ -1,0 +1,44 @@
+open Nt_base
+
+let kind_of (schema : Schema.t) txn =
+  if not (System_type.is_access schema.sys txn) then None
+  else
+    match schema.op_of txn with
+    | Datatype.Read -> Some `Read
+    | Datatype.Write v -> Some (`Write v)
+    | _ -> None
+
+let write_sequence (schema : Schema.t) trace x =
+  Trace.filter
+    (fun a ->
+      match a with
+      | Action.Request_commit (t, _) -> (
+          match System_type.object_of schema.sys t with
+          | Some y when Obj_id.equal x y -> (
+              match kind_of schema t with Some (`Write _) -> true | _ -> false)
+          | _ -> false)
+      | _ -> false)
+    trace
+
+let last_write schema trace x =
+  let ws = write_sequence schema trace x in
+  let n = Trace.length ws in
+  if n = 0 then None
+  else
+    match Trace.get ws (n - 1) with
+    | Action.Request_commit (t, _) -> Some t
+    | _ -> assert false
+
+let final_value (schema : Schema.t) trace x =
+  match last_write schema trace x with
+  | None -> (schema.dtype_of x).Datatype.init
+  | Some t -> (
+      match kind_of schema t with
+      | Some (`Write v) -> v
+      | _ -> assert false)
+
+let clean_write_sequence schema trace x =
+  write_sequence schema (Trace.clean trace) x
+
+let clean_last_write schema trace x = last_write schema (Trace.clean trace) x
+let clean_final_value schema trace x = final_value schema (Trace.clean trace) x

@@ -1,0 +1,34 @@
+(** Read/write trace functions of Section 3.
+
+    [write-sequence], [last-write] and [final-value] over sequences of
+    serial actions, together with their [clean-*] variants from Section
+    3.3 (the same functions applied to [clean(beta)]).  These underlie
+    the "current" and "safe" conditions of Lemma 6 and the correctness
+    conditions of Moss' algorithm. *)
+
+open Nt_base
+
+val kind_of : Schema.t -> Txn_id.t -> [ `Read | `Write of Value.t ] option
+(** The paper's [kind]/[data] functions: classify an access to a
+    register as a read or a write carrying its datum.  [None] for
+    non-accesses and non-register operations. *)
+
+val write_sequence : Schema.t -> Trace.t -> Obj_id.t -> Trace.t
+(** The subsequence of [Request_commit] events of write accesses to
+    [X]. *)
+
+val last_write : Schema.t -> Trace.t -> Obj_id.t -> Txn_id.t option
+(** The transaction of the last event of {!write_sequence}, if any. *)
+
+val final_value : Schema.t -> Trace.t -> Obj_id.t -> Value.t
+(** The datum of {!last_write}, or the initial value [d] of [S_X] when
+    no write occurs. *)
+
+val clean_write_sequence : Schema.t -> Trace.t -> Obj_id.t -> Trace.t
+(** [write_sequence] of [clean(beta)]. *)
+
+val clean_last_write : Schema.t -> Trace.t -> Obj_id.t -> Txn_id.t option
+(** [last_write] of [clean(beta)]. *)
+
+val clean_final_value : Schema.t -> Trace.t -> Obj_id.t -> Value.t
+(** [final_value] of [clean(beta)]. *)

@@ -1,0 +1,42 @@
+open Nt_base
+
+let version = function
+  | Value.Pair (Value.Int ver, _) -> ver
+  | s -> invalid_arg ("Vreg: bad state " ^ Value.to_string s)
+
+let apply s (op : Datatype.op) =
+  match op with
+  | Datatype.Vread -> (s, s)
+  | Datatype.Vwrite (ver, v) ->
+      if ver > version s then (Value.Pair (Value.Int ver, v), Value.Ok)
+      else (s, Value.Ok)
+  | op -> raise (Datatype.Unsupported op)
+
+let commutes (o1, _v1) (o2, _v2) =
+  match (o1, o2) with
+  | Datatype.Vread, Datatype.Vread -> true
+  | Datatype.Vwrite (v1, a), Datatype.Vwrite (v2, b) ->
+      v1 <> v2 || Value.equal a b
+  | Datatype.Vread, Datatype.Vwrite _ | Datatype.Vwrite _, Datatype.Vread ->
+      false
+  | (op, _) -> raise (Datatype.Unsupported op)
+
+let sample_ops rng =
+  if Rng.bool rng then Datatype.Vread
+  else Datatype.Vwrite (1 + Rng.int rng 4, Value.Int (Rng.int rng 8))
+
+let make ?(init = Value.Int 0) () =
+  let initial = Value.Pair (Value.Int 0, init) in
+  {
+    Datatype.dt_name = "vreg";
+    init = initial;
+    apply;
+    commutes;
+    sample_ops;
+    probe_states =
+      [
+        initial;
+        Value.Pair (Value.Int 1, Value.Int 5);
+        Value.Pair (Value.Int 3, Value.Int 2);
+      ];
+  }

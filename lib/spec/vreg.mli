@@ -1,0 +1,19 @@
+(** A versioned register with the Thomas write rule — the replica
+    substrate for quorum replication ({!Nt_replication}).
+
+    State: [Pair (Int version, value)], initially version 0 with the
+    given value.  [Vwrite (ver, v)] installs [(ver, v)] only when [ver]
+    is strictly newer, so replicas converge to the max-version write
+    regardless of delivery order; [Vread] returns the whole pair.
+
+    Commutativity: two writes commute iff their versions differ (equal
+    versions tie-break by arrival, which is order-dependent) — with
+    globally unique versions, {e all} writes commute, which is what
+    lets a quorum write fan out concurrently under undo logging or
+    commutativity locking.  Reads conflict with writes, commute with
+    reads. *)
+
+open Nt_base
+
+val make : ?init:Value.t -> unit -> Datatype.t
+(** Initial content (default [Int 0]) at version 0. *)

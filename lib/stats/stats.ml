@@ -1,0 +1,24 @@
+let sum = List.fold_left ( +. ) 0.0
+let mean = function [] -> 0.0 | xs -> sum xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) xs))
+
+let percentile p xs =
+  match List.sort Float.compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int n)) |> max 1 |> min n
+      in
+      List.nth sorted (rank - 1)
+
+let median xs = percentile 50.0 xs
+let minimum = function [] -> 0.0 | xs -> List.fold_left Float.min infinity xs
+let maximum = function [] -> 0.0 | xs -> List.fold_left Float.max neg_infinity xs
+let ratio a b = if b = 0.0 then 0.0 else a /. b

@@ -1,0 +1,18 @@
+(** Small numeric summaries for the experiment harness. *)
+
+val mean : float list -> float
+(** 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0, 100], nearest-rank on the sorted
+    list; 0 on the empty list. *)
+
+val median : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+val sum : float list -> float
+val ratio : float -> float -> float
+(** [ratio a b = a /. b], 0 when [b = 0]. *)

@@ -1,0 +1,33 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* newest first *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- row :: t.rows
+
+let cell_f f = Printf.sprintf "%.2f" f
+let cell_i = string_of_int
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map String.length t.columns)
+      rows
+  in
+  let pad w s = s ^ String.make (w - String.length s) ' ' in
+  let line row = String.concat "  " (List.map2 pad widths row) in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    (("== " ^ t.title ^ " ==") :: line t.columns :: sep :: List.map line rows)
+
+let print t = print_string (render t ^ "\n")

@@ -1,0 +1,19 @@
+(** Fixed-width text tables for benchmark output. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the
+    header. *)
+
+val cell_f : float -> string
+(** Format a float with 2 decimals. *)
+
+val cell_i : int -> string
+
+val render : t -> string
+(** The table as a string, column widths fitted to contents. *)
+
+val print : t -> unit
+(** [render] to stdout with a trailing newline. *)

@@ -1,0 +1,87 @@
+open Nt_base
+open Nt_spec
+
+type entry = { txn : Txn_id.t; op : Datatype.op; value : Value.t }
+
+type state = {
+  created : Txn_id.Set.t;
+  commit_requested : Txn_id.Set.t;
+  committed : Txn_id.Set.t;
+  log : entry list;
+}
+
+let initial =
+  {
+    created = Txn_id.Set.empty;
+    commit_requested = Txn_id.Set.empty;
+    committed = Txn_id.Set.empty;
+    log = [];
+  }
+
+let create s t = { s with created = Txn_id.Set.add t s.created }
+let inform_commit s t = { s with committed = Txn_id.Set.add t s.committed }
+
+let inform_abort s t =
+  { s with log = List.filter (fun e -> not (Txn_id.is_descendant e.txn t)) s.log }
+
+let locally_visible s ~to_ t' =
+  List.for_all
+    (fun u -> Txn_id.Set.mem u s.committed)
+    (Txn_id.ancestors_upto t' ~upto:to_)
+
+let log_ops s = List.map (fun e -> (e.op, e.value)) s.log
+
+let respondable s t =
+  Txn_id.Set.mem t s.created && not (Txn_id.Set.mem t s.commit_requested)
+
+let non_commuting_entries (dt : Datatype.t) s t op v =
+  List.filter
+    (fun e ->
+      (not (locally_visible s ~to_:t e.txn))
+      && not (dt.Datatype.commutes (op, v) (e.op, e.value)))
+    s.log
+
+let request_commit (dt : Datatype.t) s t op =
+  if not (respondable s t) then None
+  else
+    (* The log always replays (invariant from construction), so the
+       response is the replay value; then check the commutativity
+       precondition against operations not locally visible to [t]. *)
+    match Serial_spec.response dt (log_ops s) op with
+    | None -> None
+    | Some v ->
+        if non_commuting_entries dt s t op v = [] then
+          Some
+            ( {
+                s with
+                commit_requested = Txn_id.Set.add t s.commit_requested;
+                log = s.log @ [ { txn = t; op; value = v } ];
+              },
+              v )
+        else None
+
+let blockers dt s t op =
+  if not (respondable s t) then []
+  else
+    match Serial_spec.response dt (log_ops s) op with
+    | None -> []
+    | Some v -> List.map (fun e -> e.txn) (non_commuting_entries dt s t op v)
+
+let factory : Nt_gobj.Gobj.factory =
+ fun schema x ->
+  let dt = schema.Schema.dtype_of x in
+  let state = ref initial in
+  {
+    Nt_gobj.Gobj.obj = x;
+    create = (fun t -> state := create !state t);
+    inform_commit = (fun t -> state := inform_commit !state t);
+    inform_abort = (fun t -> state := inform_abort !state t);
+    try_respond =
+      (fun t ->
+        match request_commit dt !state t (schema.Schema.op_of t) with
+        | Some (s', v) ->
+            state := s';
+            Some v
+        | None -> None);
+    waiting_on = (fun t -> blockers dt !state t (schema.Schema.op_of t));
+  }

@@ -1,0 +1,62 @@
+(** The undo logging object [U_X] (Section 6.2).
+
+    State: the [created], [commit-requested] and [committed] transaction
+    sets and an {e operation log} — the sequence of operations that have
+    taken place, with entries removed when an ancestor aborts.
+    A [REQUEST_COMMIT(T, v)] may fire only when
+
+    {ol
+    {- [T] was created and not yet responded to,}
+    {- [(T, v)] commutes backward with every logged operation
+       [(T', v')] some of whose ancestors up to [lca(T, T')] is not yet
+       known committed — i.e. with all operations of transactions not
+       {e locally visible} to [T],}
+    {- the log extended by [(T, v)] replays in [S_X] — which, the
+       specification being deterministic, pins [v] to the replay
+       response.}}
+
+    An [INFORM_ABORT] erases the aborted transaction's descendants from
+    the log (the "undo"); an [INFORM_COMMIT] merely records the commit
+    for the visibility test.  The algorithm works for objects of
+    arbitrary data type and is the paper's showcase for the generalized
+    serialization-graph theorem (Theorem 19). *)
+
+open Nt_base
+open Nt_spec
+
+type entry = { txn : Txn_id.t; op : Datatype.op; value : Value.t }
+
+type state = {
+  created : Txn_id.Set.t;
+  commit_requested : Txn_id.Set.t;
+  committed : Txn_id.Set.t;
+  log : entry list;  (** Oldest first. *)
+}
+
+val initial : state
+val create : state -> Txn_id.t -> state
+val inform_commit : state -> Txn_id.t -> state
+
+val inform_abort : state -> Txn_id.t -> state
+(** Remove every log entry of a descendant of the aborted name. *)
+
+val locally_visible : state -> to_:Txn_id.t -> Txn_id.t -> bool
+(** [locally_visible s ~to_ t']: every ancestor of [t'] not shared with
+    [to_] (i.e. up to, not including, their lca) is in [s.committed] —
+    the object's local approximation of visibility (Section 6.3; note:
+    no ordering requirement, unlike [lock-visible]). *)
+
+val request_commit :
+  Datatype.t -> state -> Txn_id.t -> Datatype.op -> (state * Value.t) option
+(** Fire the response if the commutativity precondition holds; the
+    returned value is the replay response.  [None] when blocked. *)
+
+val blockers : Datatype.t -> state -> Txn_id.t -> Datatype.op -> Txn_id.t list
+(** The logged transactions whose non-visible, non-commuting entries
+    block the access. *)
+
+val log_ops : state -> (Datatype.op * Value.t) list
+(** The log as replayable operations. *)
+
+val factory : Nt_gobj.Gobj.factory
+(** [U_X] as a generic object, for any data type. *)

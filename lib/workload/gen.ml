@@ -1,0 +1,99 @@
+open Nt_base
+open Nt_spec
+open Nt_serial
+
+type profile = {
+  n_top : int;
+  depth : int;
+  fanout : int;
+  n_objects : int;
+  theta : float;
+  par_ratio : float;
+  read_ratio : float;
+}
+
+let default =
+  {
+    n_top = 8;
+    depth = 2;
+    fanout = 3;
+    n_objects = 4;
+    theta = 0.0;
+    par_ratio = 0.5;
+    read_ratio = 0.5;
+  }
+
+let pick_object rng p objs =
+  List.nth objs (Rng.zipf rng ~n:p.n_objects ~theta:p.theta)
+
+(* Generate a program of the given remaining depth; at depth 0 the node
+   is forced to be an access. *)
+let rec gen_node rng p objs sample_op depth =
+  if depth <= 0 then
+    let x = pick_object rng p objs in
+    Program.access x (sample_op rng x)
+  else begin
+    let n_children = 1 + Rng.int rng p.fanout in
+    let comb =
+      if Rng.float rng 1.0 < p.par_ratio then Program.Par else Program.Seq
+    in
+    let children =
+      List.init n_children (fun _ ->
+          (* Children are one level shallower, and may bottom out early. *)
+          let d = if Rng.bool rng then depth - 1 else 0 in
+          gen_node rng p objs sample_op d)
+    in
+    Program.Node (comb, children)
+  end
+
+let gen_forest rng p objs sample_op =
+  List.init p.n_top (fun _ -> gen_node rng p objs sample_op p.depth)
+
+let object_names prefix n = List.init n (fun i -> Obj_id.indexed prefix i)
+
+let registers rng p =
+  let objs = object_names "x" p.n_objects in
+  let dt = Register.make () in
+  let sample_op rng _ =
+    if Rng.float rng 1.0 < p.read_ratio then Datatype.Read
+    else Datatype.Write (Value.Int (Rng.int rng 16))
+  in
+  (gen_forest rng p objs sample_op, List.map (fun x -> (x, dt)) objs)
+
+let counters rng p =
+  let objs = object_names "c" p.n_objects in
+  let dt = Counter.make () in
+  let sample_op rng _ =
+    if Rng.float rng 1.0 < p.read_ratio then Datatype.Get
+    else if Rng.int rng 4 = 0 then Datatype.Decr (1 + Rng.int rng 3)
+    else Datatype.Incr (1 + Rng.int rng 3)
+  in
+  (gen_forest rng p objs sample_op, List.map (fun x -> (x, dt)) objs)
+
+let mixed rng p =
+  let dts =
+    [|
+      Register.make ();
+      Counter.make ();
+      Bank_account.make ~init:10 ();
+      Rset.make ();
+      Fifo_queue.make ();
+      Keyed_store.make ();
+    |]
+  in
+  let objs = object_names "o" p.n_objects in
+  let decls =
+    List.mapi (fun i x -> (x, dts.(i mod Array.length dts))) objs
+  in
+  let dtype_of x =
+    match List.find_opt (fun (y, _) -> Obj_id.equal x y) decls with
+    | Some (_, dt) -> dt
+    | None -> assert false
+  in
+  let sample_op rng x = (dtype_of x).Datatype.sample_ops rng in
+  (gen_forest rng p objs sample_op, decls)
+
+let forest_and_schema gen ~seed p =
+  let rng = Rng.create seed in
+  let forest, objects = gen rng p in
+  (forest, Program.schema_of ~objects forest)

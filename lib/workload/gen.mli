@@ -1,0 +1,45 @@
+(** Random workload generation.
+
+    Produces top-level program forests (plus matching object
+    declarations) with tunable shape and contention.  All generation is
+    driven by {!Nt_base.Rng}, so a (profile, seed) pair fully determines
+    the workload. *)
+
+open Nt_base
+open Nt_spec
+open Nt_serial
+
+type profile = {
+  n_top : int;  (** Top-level transactions (children of [T0]). *)
+  depth : int;  (** Maximum nesting depth below a top-level node. *)
+  fanout : int;  (** Maximum children per inner node (≥ 1). *)
+  n_objects : int;  (** Number of objects. *)
+  theta : float;  (** Zipf skew of object choice; 0 = uniform. *)
+  par_ratio : float;  (** Probability an inner node runs children [Par]. *)
+  read_ratio : float;  (** Read fraction for read/write workloads. *)
+}
+
+val default : profile
+(** 8 top-level transactions, depth 2, fanout 3, 4 objects, uniform
+    access, half [Par], 50% reads. *)
+
+val registers :
+  Rng.t -> profile -> Program.t list * (Obj_id.t * Datatype.t) list
+(** A read/write workload over registers (the Sections 3–5 setting). *)
+
+val counters :
+  Rng.t -> profile -> Program.t list * (Obj_id.t * Datatype.t) list
+(** A counter workload, increment-heavy per the profile's
+    [read_ratio] (reads become [Get]). *)
+
+val mixed :
+  Rng.t -> profile -> Program.t list * (Obj_id.t * Datatype.t) list
+(** Objects drawn round-robin from all five shipped data types, each
+    access sampled from its object's own operation distribution. *)
+
+val forest_and_schema :
+  (Rng.t -> profile -> Program.t list * (Obj_id.t * Datatype.t) list) ->
+  seed:int ->
+  profile ->
+  Program.t list * Schema.t
+(** Generate and package with the induced schema. *)

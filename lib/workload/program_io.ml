@@ -1,0 +1,307 @@
+open Nt_base
+open Nt_spec
+open Nt_serial
+
+(* ----- s-expressions ----- *)
+
+type sexp = Atom of string | Str of string | List of sexp list
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let error = ref None in
+  let i = ref 0 in
+  while !i < n && !error = None do
+    (match text.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | ';' ->
+        while !i < n && text.[!i] <> '\n' do
+          incr i
+        done
+    | '(' ->
+        tokens := `L :: !tokens;
+        incr i
+    | ')' ->
+        tokens := `R :: !tokens;
+        incr i
+    | '"' ->
+        let buf = Buffer.create 8 in
+        incr i;
+        let closed = ref false in
+        while !i < n && not !closed do
+          (match text.[!i] with
+          | '"' -> closed := true
+          | '\\' when !i + 1 < n ->
+              Buffer.add_char buf text.[!i + 1];
+              incr i
+          | c -> Buffer.add_char buf c);
+          incr i
+        done;
+        if !closed then tokens := `S (Buffer.contents buf) :: !tokens
+        else error := Some "unterminated string"
+    | _ ->
+        let j = ref !i in
+        while
+          !j < n
+          && not (List.mem text.[!j] [ ' '; '\t'; '\n'; '\r'; '('; ')'; '"'; ';' ])
+        do
+          incr j
+        done;
+        tokens := `A (String.sub text !i (!j - !i)) :: !tokens;
+        i := !j);
+    ()
+  done;
+  match !error with Some e -> Error e | None -> Ok (List.rev !tokens)
+
+let parse_sexps tokens =
+  let rec parse_one tokens =
+    match tokens with
+    | [] -> Error "unexpected end of input"
+    | `A a :: rest -> Ok (Atom a, rest)
+    | `S s :: rest -> Ok (Str s, rest)
+    | `R :: _ -> Error "unexpected )"
+    | `L :: rest ->
+        let rec items acc rest =
+          match rest with
+          | `R :: rest -> Ok (List (List.rev acc), rest)
+          | [] -> Error "unterminated ("
+          | _ -> (
+              match parse_one rest with
+              | Ok (s, rest) -> items (s :: acc) rest
+              | Error e -> Error e)
+        in
+        items [] rest
+  in
+  let rec all acc tokens =
+    match tokens with
+    | [] -> Ok (List.rev acc)
+    | _ -> (
+        match parse_one tokens with
+        | Ok (s, rest) -> all (s :: acc) rest
+        | Error e -> Error e)
+  in
+  all [] tokens
+
+(* ----- values and operations ----- *)
+
+let rec parse_value = function
+  | Atom "unit" -> Ok Value.Unit
+  | Atom "ok" -> Ok Value.Ok
+  | Atom "true" -> Ok (Value.Bool true)
+  | Atom "false" -> Ok (Value.Bool false)
+  | Atom a -> (
+      match int_of_string_opt a with
+      | Some n -> Ok (Value.Int n)
+      | None -> Error ("bad value " ^ a))
+  | Str s -> Ok (Value.Str s)
+  | List [ Atom "pair"; a; b ] -> (
+      match (parse_value a, parse_value b) with
+      | Ok a, Ok b -> Ok (Value.Pair (a, b))
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | List (Atom "list" :: items) ->
+      let rec go acc = function
+        | [] -> Ok (Value.List (List.rev acc))
+        | x :: rest -> (
+            match parse_value x with
+            | Ok v -> go (v :: acc) rest
+            | Error e -> Error e)
+      in
+      go [] items
+  | List _ -> Error "bad value form"
+
+let parse_int = function
+  | Atom a -> (
+      match int_of_string_opt a with
+      | Some n -> Ok n
+      | None -> Error ("expected integer, got " ^ a))
+  | _ -> Error "expected integer"
+
+let parse_op sexp =
+  let v1 name f = function
+    | [ x ] -> Result.map f (parse_value x)
+    | _ -> Error ("expected one value for " ^ name)
+  in
+  let i1 name f = function
+    | [ x ] -> Result.map f (parse_int x)
+    | _ -> Error ("expected one integer for " ^ name)
+  in
+  match sexp with
+  | Atom "read" -> Ok Datatype.Read
+  | Atom "get" -> Ok Datatype.Get
+  | Atom "balance" -> Ok Datatype.Balance
+  | Atom "size" -> Ok Datatype.Size
+  | Atom "dequeue" -> Ok Datatype.Dequeue
+  | Atom "vread" -> Ok Datatype.Vread
+  | List (Atom "write" :: rest) -> v1 "write" (fun v -> Datatype.Write v) rest
+  | List (Atom "incr" :: rest) -> i1 "incr" (fun n -> Datatype.Incr n) rest
+  | List (Atom "decr" :: rest) -> i1 "decr" (fun n -> Datatype.Decr n) rest
+  | List (Atom "deposit" :: rest) -> i1 "deposit" (fun n -> Datatype.Deposit n) rest
+  | List (Atom "withdraw" :: rest) ->
+      i1 "withdraw" (fun n -> Datatype.Withdraw n) rest
+  | List (Atom "insert" :: rest) -> v1 "insert" (fun v -> Datatype.Insert v) rest
+  | List (Atom "remove" :: rest) -> v1 "remove" (fun v -> Datatype.Remove v) rest
+  | List (Atom "member" :: rest) -> v1 "member" (fun v -> Datatype.Member v) rest
+  | List (Atom "enqueue" :: rest) ->
+      v1 "enqueue" (fun v -> Datatype.Enqueue v) rest
+  | List (Atom "kread" :: rest) -> v1 "kread" (fun v -> Datatype.Kread v) rest
+  | List [ Atom "kwrite"; k; v ] -> (
+      match (parse_value k, parse_value v) with
+      | Ok k, Ok v -> Ok (Datatype.Kwrite (k, v))
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | List [ Atom "vwrite"; n; v ] -> (
+      match (parse_int n, parse_value v) with
+      | Ok n, Ok v -> Ok (Datatype.Vwrite (n, v))
+      | Error e, _ | _, Error e -> Error e)
+  | Atom a -> Error ("unknown operation " ^ a)
+  | _ -> Error "bad operation form"
+
+let parse_dtype = function
+  | Atom "register" -> Ok (Register.make ())
+  | Atom "counter" -> Ok (Counter.make ())
+  | Atom "account" -> Ok (Bank_account.make ())
+  | Atom "set" -> Ok (Rset.make ())
+  | Atom "queue" -> Ok (Fifo_queue.make ())
+  | Atom "keyed-store" -> Ok (Keyed_store.make ())
+  | Atom "vreg" -> Ok (Vreg.make ())
+  | List [ Atom "register"; v ] ->
+      Result.map (fun v -> Register.make ~init:v ()) (parse_value v)
+  | List [ Atom "counter"; n ] ->
+      Result.map (fun n -> Counter.make ~init:n ()) (parse_int n)
+  | List [ Atom "account"; n ] ->
+      Result.map (fun n -> Bank_account.make ~init:n ()) (parse_int n)
+  | List [ Atom "vreg"; v ] ->
+      Result.map (fun v -> Vreg.make ~init:v ()) (parse_value v)
+  | Atom a -> Error ("unknown data type " ^ a)
+  | _ -> Error "bad data type form"
+
+(* ----- programs ----- *)
+
+let rec parse_program sexp =
+  match sexp with
+  | List [ Atom "access"; Atom x; op ] ->
+      Result.map (fun op -> Program.access (Obj_id.make x) op) (parse_op op)
+  | List [ Atom "access"; Str x; op ] ->
+      Result.map (fun op -> Program.access (Obj_id.make x) op) (parse_op op)
+  | List (Atom ("seq" | "par") :: children) -> (
+      let comb =
+        match sexp with
+        | List (Atom "seq" :: _) -> Program.Seq
+        | _ -> Program.Par
+      in
+      let rec go acc = function
+        | [] -> Ok (Program.Node (comb, List.rev acc))
+        | c :: rest -> (
+            match parse_program c with
+            | Ok p -> go (p :: acc) rest
+            | Error e -> Error e)
+      in
+      go [] children)
+  | _ -> Error "expected (access ...), (seq ...) or (par ...)"
+
+let parse text =
+  match tokenize text with
+  | Error e -> Error e
+  | Ok tokens -> (
+      match parse_sexps tokens with
+      | Error e -> Error e
+      | Ok forms ->
+          let objects = ref [] and txns = ref [] and err = ref None in
+          List.iter
+            (fun form ->
+              if !err = None then
+                match form with
+                | List (Atom "objects" :: decls) ->
+                    List.iter
+                      (fun d ->
+                        if !err = None then
+                          match d with
+                          | List [ Atom x; dt ] | List [ Str x; dt ] -> (
+                              match parse_dtype dt with
+                              | Ok dt ->
+                                  objects := (Obj_id.make x, dt) :: !objects
+                              | Error e -> err := Some e)
+                          | _ -> err := Some "bad object declaration")
+                      decls
+                | List [ Atom "txn"; p ] -> (
+                    match parse_program p with
+                    | Ok p -> txns := p :: !txns
+                    | Error e -> err := Some e)
+                | _ -> err := Some "expected (objects ...) or (txn ...)")
+            forms;
+          (match !err with
+          | Some e -> Error e
+          | None ->
+              let objects = List.rev !objects and forest = List.rev !txns in
+              if objects = [] then Error "no (objects ...) declaration"
+              else if forest = [] then Error "no (txn ...) forms"
+              else (
+                match Program.schema_of ~objects forest with
+                | schema -> Ok (forest, schema)
+                | exception Invalid_argument e -> Error e)))
+
+let load path =
+  match open_in path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          parse (really_input_string ic n))
+  | exception Sys_error e -> Error e
+
+(* ----- printing ----- *)
+
+let rec value_to_string (v : Value.t) =
+  match v with
+  | Value.Unit -> "unit"
+  | Value.Ok -> "ok"
+  | Value.Int n -> string_of_int n
+  | Value.Bool b -> string_of_bool b
+  | Value.Str s -> Printf.sprintf "%S" s
+  | Value.Pair (a, b) ->
+      Printf.sprintf "(pair %s %s)" (value_to_string a) (value_to_string b)
+  | Value.List l ->
+      Printf.sprintf "(list%s)"
+        (String.concat "" (List.map (fun v -> " " ^ value_to_string v) l))
+
+let op_to_string (op : Datatype.op) =
+  match op with
+  | Datatype.Read -> "read"
+  | Datatype.Get -> "get"
+  | Datatype.Balance -> "balance"
+  | Datatype.Size -> "size"
+  | Datatype.Dequeue -> "dequeue"
+  | Datatype.Vread -> "vread"
+  | Datatype.Write v -> Printf.sprintf "(write %s)" (value_to_string v)
+  | Datatype.Incr n -> Printf.sprintf "(incr %d)" n
+  | Datatype.Decr n -> Printf.sprintf "(decr %d)" n
+  | Datatype.Deposit n -> Printf.sprintf "(deposit %d)" n
+  | Datatype.Withdraw n -> Printf.sprintf "(withdraw %d)" n
+  | Datatype.Insert v -> Printf.sprintf "(insert %s)" (value_to_string v)
+  | Datatype.Remove v -> Printf.sprintf "(remove %s)" (value_to_string v)
+  | Datatype.Member v -> Printf.sprintf "(member %s)" (value_to_string v)
+  | Datatype.Enqueue v -> Printf.sprintf "(enqueue %s)" (value_to_string v)
+  | Datatype.Kread v -> Printf.sprintf "(kread %s)" (value_to_string v)
+  | Datatype.Kwrite (k, v) ->
+      Printf.sprintf "(kwrite %s %s)" (value_to_string k) (value_to_string v)
+  | Datatype.Vwrite (n, v) ->
+      Printf.sprintf "(vwrite %d %s)" n (value_to_string v)
+
+let rec program_to_string = function
+  | Program.Access (x, op) ->
+      Printf.sprintf "(access %s %s)" (Obj_id.name x) (op_to_string op)
+  | Program.Node (comb, children) ->
+      Printf.sprintf "(%s %s)"
+        (match comb with Program.Seq -> "seq" | Program.Par -> "par")
+        (String.concat " " (List.map program_to_string children))
+
+let to_string ~objects forest =
+  let decls =
+    List.map
+      (fun (x, dt) -> Printf.sprintf "  (%s %s)" (Obj_id.name x) dt)
+      objects
+  in
+  "(objects\n" ^ String.concat "\n" decls ^ ")\n\n"
+  ^ String.concat "\n"
+      (List.map (fun p -> "(txn " ^ program_to_string p ^ ")") forest)
+  ^ "\n"

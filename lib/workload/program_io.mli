@@ -1,0 +1,42 @@
+(** A textual format for workloads — objects, their data types, and the
+    top-level program forest — so [ntsim --program FILE] can run
+    hand-written nested transactions without recompiling.
+
+    Syntax (s-expressions; [;] starts a line comment):
+
+    {v
+    (objects
+      (x register)
+      (c counter)
+      (a (account 100))
+      (s set) (q queue) (k keyed-store) (v vreg))
+
+    (txn (seq (access x read)
+              (access x (write 5))))
+    (txn (par (access c (incr 2))
+              (access c get)
+              (access a (withdraw 3))))
+    v}
+
+    Operations: [read], [(write V)], [(incr N)], [(decr N)], [get],
+    [(deposit N)], [(withdraw N)], [balance], [(insert V)],
+    [(remove V)], [(member V)], [size], [(enqueue V)], [dequeue],
+    [(kread V)], [(kwrite V V)], [vread], [(vwrite N V)].
+
+    Values: integer literals, [true]/[false], [unit], [ok], quoted
+    strings, [(pair V V)], [(list V ...)]. *)
+
+open Nt_spec
+open Nt_serial
+
+val parse : string -> (Program.t list * Schema.t, string) result
+(** Parse a whole workload file (objects + forest) and build the
+    schema.  Errors carry a human-readable reason. *)
+
+val load : string -> (Program.t list * Schema.t, string) result
+(** {!parse} a file by path. *)
+
+val to_string : objects:(Nt_base.Obj_id.t * string) list -> Program.t list -> string
+(** Render a forest back to the textual format; [objects] pairs each
+    object with its declaration text (e.g. ["register"],
+    ["(account 100)"]).  [parse (to_string ...)] round-trips. *)

@@ -1,0 +1,83 @@
+open Nt_base
+open Nt_spec
+open Nt_serial
+
+let banking ~n_accounts ~n_transfers ~seed =
+  let rng = Rng.create seed in
+  let accounts = List.init n_accounts (fun i -> Obj_id.indexed "acct" i) in
+  let account i = List.nth accounts i in
+  let transfer () =
+    let src = Rng.int rng n_accounts in
+    let dst = (src + 1 + Rng.int rng (max 1 (n_accounts - 1))) mod n_accounts in
+    let amount = 1 + Rng.int rng 20 in
+    Program.seq
+      [
+        (* An auditing subtransaction reads both balances concurrently. *)
+        Program.par
+          [
+            Program.access (account src) Datatype.Balance;
+            Program.access (account dst) Datatype.Balance;
+          ];
+        Program.access (account src) (Datatype.Withdraw amount);
+        Program.access (account dst) (Datatype.Deposit amount);
+      ]
+  in
+  let forest = List.init n_transfers (fun _ -> transfer ()) in
+  let objects =
+    List.map (fun x -> (x, Bank_account.make ~init:100 ())) accounts
+  in
+  (forest, Program.schema_of ~objects forest)
+
+let hotspot_counter ~n_txns ~n_counters ~theta ~seed =
+  let rng = Rng.create seed in
+  let counters = List.init n_counters (fun i -> Obj_id.indexed "ctr" i) in
+  let txn () =
+    let n_ops = 2 + Rng.int rng 3 in
+    Program.seq
+      (List.init n_ops (fun _ ->
+           let x = List.nth counters (Rng.zipf rng ~n:n_counters ~theta) in
+           Program.access x (Datatype.Incr (1 + Rng.int rng 3))))
+  in
+  let forest = List.init n_txns (fun _ -> txn ()) in
+  let objects = List.map (fun x -> (x, Counter.make ())) counters in
+  (forest, Program.schema_of ~objects forest)
+
+let rw_equivalent_counter ~n_txns ~n_counters ~theta ~seed =
+  let rng = Rng.create seed in
+  let regs = List.init n_counters (fun i -> Obj_id.indexed "ctr" i) in
+  let txn () =
+    let n_ops = 2 + Rng.int rng 3 in
+    Program.seq
+      (List.init n_ops (fun _ ->
+           let x = List.nth regs (Rng.zipf rng ~n:n_counters ~theta) in
+           let delta = 1 + Rng.int rng 3 in
+           (* read-modify-write: the register shape of an increment *)
+           Program.seq
+             [
+               Program.access x Datatype.Read;
+               Program.access x (Datatype.Write (Value.Int delta));
+             ]))
+  in
+  let forest = List.init n_txns (fun _ -> txn ()) in
+  let objects = List.map (fun x -> (x, Register.make ())) regs in
+  (forest, Program.schema_of ~objects forest)
+
+let queue_producers_consumers ~n_producers ~n_consumers ~seed =
+  let rng = Rng.create seed in
+  let q = Obj_id.make "queue" in
+  let producer () =
+    Program.seq
+      (List.init
+         (1 + Rng.int rng 3)
+         (fun _ -> Program.access q (Datatype.Enqueue (Value.Int (Rng.int rng 100)))))
+  in
+  let consumer () =
+    Program.seq
+      (List.init (1 + Rng.int rng 3) (fun _ -> Program.access q Datatype.Dequeue))
+  in
+  let forest =
+    List.init n_producers (fun _ -> producer ())
+    @ List.init n_consumers (fun _ -> consumer ())
+  in
+  let objects = [ (q, Fifo_queue.make ()) ] in
+  (forest, Program.schema_of ~objects forest)

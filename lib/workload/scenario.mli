@@ -1,0 +1,34 @@
+(** Named workload scenarios used by examples, tests and benchmarks. *)
+
+open Nt_spec
+open Nt_serial
+
+val banking :
+  n_accounts:int -> n_transfers:int -> seed:int -> Program.t list * Schema.t
+(** Nested bank transfers: each top-level transaction is
+    [seq [par [audit reads]; withdraw src; deposit dst]] over
+    {!Nt_spec.Bank_account} objects with initial balance 100 — the kind
+    of multi-step remote-procedure-call transaction the paper's
+    introduction motivates. *)
+
+val hotspot_counter :
+  n_txns:int -> n_counters:int -> theta:float -> seed:int ->
+  Program.t list * Schema.t
+(** Increment-heavy counters with Zipf-skewed object choice — the
+    commuting-updates workload where undo logging shines (E2/E3). *)
+
+val rw_equivalent_counter :
+  n_txns:int -> n_counters:int -> theta:float -> seed:int ->
+  Program.t list * Schema.t
+(** The same logical increments expressed against registers as
+    [seq [read; write]] pairs — what a read/write-only system must do
+    instead of a commuting [Incr].  Note the register writes cannot
+    faithfully reproduce the increment semantics under concurrency
+    (that is the point); the workload only matches shape and footprint
+    for the E3 comparison. *)
+
+val queue_producers_consumers :
+  n_producers:int -> n_consumers:int -> seed:int ->
+  Program.t list * Schema.t
+(** Producers enqueue, consumers dequeue, one shared FIFO queue — the
+    adversarial low-commutativity scenario. *)

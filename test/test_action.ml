@@ -1,0 +1,86 @@
+open Core
+open Util
+
+let t = txn [ 2 ]
+let c = txn [ 2; 1 ]
+
+let t_classification () =
+  check_bool "serial" true (Action.is_serial (Action.Commit t));
+  check_bool "inform not serial" false
+    (Action.is_serial (Action.Inform_commit (x0, t)));
+  check_bool "completion" true (Action.is_completion (Action.Abort t));
+  check_bool "create not completion" false (Action.is_completion (Action.Create t))
+
+let opt_txn = Alcotest.option txn_testable
+
+let t_transaction () =
+  Alcotest.check opt_txn "create" (Some t) (Action.transaction (Action.Create t));
+  Alcotest.check opt_txn "request_commit" (Some t)
+    (Action.transaction (Action.Request_commit (t, Value.Ok)));
+  Alcotest.check opt_txn "request_create at parent" (Some t)
+    (Action.transaction (Action.Request_create c));
+  Alcotest.check opt_txn "report_commit at parent" (Some t)
+    (Action.transaction (Action.Report_commit (c, Value.Ok)));
+  Alcotest.check opt_txn "report_abort at parent" (Some t)
+    (Action.transaction (Action.Report_abort c));
+  Alcotest.check opt_txn "commit undefined" None
+    (Action.transaction (Action.Commit t));
+  Alcotest.check opt_txn "inform undefined" None
+    (Action.transaction (Action.Inform_commit (x0, t)))
+
+let t_high_low () =
+  Alcotest.check opt_txn "high of commit is parent" (Some t)
+    (Action.hightransaction (Action.Commit c));
+  Alcotest.check opt_txn "low of commit is self" (Some c)
+    (Action.lowtransaction (Action.Commit c));
+  Alcotest.check opt_txn "high = transaction otherwise" (Some t)
+    (Action.hightransaction (Action.Create t));
+  Alcotest.check opt_txn "low = transaction otherwise" (Some t)
+    (Action.lowtransaction (Action.Create t));
+  Alcotest.check opt_txn "high of root commit" None
+    (Action.hightransaction (Action.Commit Txn_id.root))
+
+let t_object_of () =
+  let schema =
+    Program.schema_of
+      ~objects:[ (x0, Register.make ()) ]
+      [ Program.seq [ Program.access x0 Datatype.Read ] ]
+  in
+  let a = txn [ 0; 0 ] in
+  check_bool "access create has object" true
+    (Action.object_of schema.Schema.sys (Action.Create a) = Some x0);
+  check_bool "non-access create has none" true
+    (Action.object_of schema.Schema.sys (Action.Create (txn [ 0 ])) = None);
+  check_bool "commit has none" true
+    (Action.object_of schema.Schema.sys (Action.Commit a) = None)
+
+let t_value_projections () =
+  check_int "int_exn" 7 (Value.int_exn (Value.Int 7));
+  check_bool "bool_exn" true (Value.bool_exn (Value.Bool true));
+  Alcotest.check_raises "int_exn bad" (Invalid_argument "Value.int_exn: OK")
+    (fun () -> ignore (Value.int_exn Value.Ok));
+  check_bool "equal structural" true
+    (Value.equal
+       (Value.Pair (Value.Int 1, Value.List [ Value.Ok ]))
+       (Value.Pair (Value.Int 1, Value.List [ Value.Ok ])));
+  check_bool "compare distinguishes" true
+    (Value.compare (Value.Int 1) (Value.Int 2) <> 0)
+
+let t_pp () =
+  Alcotest.(check string) "action pp" "COMMIT(T0.2)"
+    (Action.to_string (Action.Commit t));
+  Alcotest.(check string) "nested txn pp" "T0.2.1" (Txn_id.to_string c);
+  Alcotest.(check string) "root pp" "T0" (Txn_id.to_string Txn_id.root);
+  Alcotest.(check string) "value pp" "(1, [OK; true])"
+    (Value.to_string (Value.Pair (Value.Int 1, Value.List [ Value.Ok; Value.Bool true ])))
+
+let suite =
+  ( "action",
+    [
+      Alcotest.test_case "classification" `Quick t_classification;
+      Alcotest.test_case "transaction" `Quick t_transaction;
+      Alcotest.test_case "high/low transaction" `Quick t_high_low;
+      Alcotest.test_case "object_of" `Quick t_object_of;
+      Alcotest.test_case "value projections" `Quick t_value_projections;
+      Alcotest.test_case "pretty printing" `Quick t_pp;
+    ] )

@@ -1,0 +1,275 @@
+(* The randomized model-checking suite: every theorem of the paper,
+   asserted over generated executions of every protocol. *)
+open Core
+open Util
+
+let profiles =
+  [
+    ("small rw", Gen.registers, { Gen.default with n_top = 4; depth = 1; n_objects = 2 });
+    ("deep rw", Gen.registers, { Gen.default with n_top = 4; depth = 3; n_objects = 3 });
+    ( "hot rw",
+      Gen.registers,
+      { Gen.default with n_top = 6; depth = 2; n_objects = 1; theta = 0.9 } );
+    ("counters", Gen.counters, { Gen.default with n_top = 6; depth = 2; n_objects = 2 });
+    ("mixed", Gen.mixed, { Gen.default with n_top = 5; depth = 2; n_objects = 5 });
+  ]
+
+let seeds = List.init 6 (fun i -> (i * 37) + 1)
+
+let assert_correct name schema (r : Runtime.result) =
+  check_bool (name ^ ": not truncated") false r.stats.truncated;
+  check_bool
+    (name ^ ": well-formed")
+    true
+    (Simple_db.is_well_formed schema.Schema.sys r.trace);
+  let v = Checker.check schema r.trace in
+  if not v.Checker.serially_correct then
+    Alcotest.failf "%s: verdict failed:@.%a" name Checker.pp_verdict v
+
+(* Theorem 17: Moss' algorithm is serially correct for T0, on every
+   workload shape, with and without aborts, under both policies. *)
+let t_moss_correct () =
+  List.iter
+    (fun (pname, gen, profile) ->
+      List.iter
+        (fun seed ->
+          if Schema.all_read_write (snd (Gen.forest_and_schema gen ~seed profile))
+          then begin
+            let forest, schema = Gen.forest_and_schema gen ~seed profile in
+            let r = run_protocol ~seed schema Moss_object.factory forest in
+            assert_correct (pname ^ " moss") schema r;
+            let r =
+              run_protocol ~abort_prob:0.05 ~seed:(seed + 1) schema
+                Moss_object.factory forest
+            in
+            assert_correct (pname ^ " moss+aborts") schema r;
+            let r =
+              run_protocol ~policy:Runtime.Bsp_rounds ~seed:(seed + 2) schema
+                Moss_object.factory forest
+            in
+            assert_correct (pname ^ " moss bsp") schema r
+          end)
+        seeds)
+    profiles
+
+(* Theorem 25: the undo logging algorithm is serially correct for T0 —
+   on arbitrary data types. *)
+let t_undo_correct () =
+  List.iter
+    (fun (pname, gen, profile) ->
+      List.iter
+        (fun seed ->
+          let forest, schema = Gen.forest_and_schema gen ~seed profile in
+          let r = run_protocol ~seed schema Undo_object.factory forest in
+          assert_correct (pname ^ " undo") schema r;
+          let r =
+            run_protocol ~abort_prob:0.05 ~seed:(seed + 1) schema
+              Undo_object.factory forest
+          in
+          assert_correct (pname ^ " undo+aborts") schema r)
+        seeds)
+    profiles
+
+(* Both conflict modes give sound (acyclic implies correct) graphs on
+   correct protocols; access-level edges contain operation-level ones. *)
+let t_conflict_mode_containment () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 5; depth = 2; n_objects = 2 }
+      in
+      let r = run_protocol ~seed schema Moss_object.factory forest in
+      let beta = Trace.serial r.Runtime.trace in
+      let acc = Conflict.relation Conflict.Access_level schema beta in
+      let op = Conflict.relation Conflict.Operation_level schema beta in
+      List.iter
+        (fun (a, b) ->
+          check_bool "op-level edge also access-level" true
+            (List.exists
+               (fun (c, d) -> Txn_id.equal a c && Txn_id.equal b d)
+               acc))
+        op;
+      check_bool "op-level verdict also correct" true
+        (Checker.serially_correct ~mode:Sg.Operation_level schema r.Runtime.trace))
+    seeds
+
+(* Negative controls: the broken protocols must be caught under
+   contention.  We require rejection on a decisive majority of seeds,
+   and additionally that at least one seed yields a cyclic graph or a
+   return-value violation (not merely suitability trouble). *)
+let count_rejections schema_factory protocol n =
+  let rejected = ref 0 and bad_values = ref 0 and cycles = ref 0 in
+  for seed = 1 to n do
+    let forest, schema = schema_factory seed in
+    let r = run_protocol ~seed schema protocol forest in
+    let v = Checker.check schema r.Runtime.trace in
+    if not v.Checker.serially_correct then incr rejected;
+    if not v.Checker.appropriate then incr bad_values;
+    if not v.Checker.acyclic then incr cycles
+  done;
+  (!rejected, !bad_values, !cycles)
+
+let hot_rw seed =
+  Gen.forest_and_schema Gen.registers ~seed
+    { Gen.default with n_top = 8; depth = 1; n_objects = 1; theta = 0.0;
+      read_ratio = 0.5 }
+
+let t_no_control_rejected () =
+  let rejected, _, cycles = count_rejections hot_rw Broken.no_control 30 in
+  check_bool "mostly rejected" true (rejected >= 20);
+  (* Without aborts, update-in-place reads replay fine; the violation
+     shows up as serialization-graph cycles. *)
+  check_bool "cyclic graph somewhere" true (cycles >= 1);
+  (* With aborts in flight, dirty data also breaks return values. *)
+  let bad_values = ref 0 in
+  for seed = 1 to 30 do
+    let forest, schema = hot_rw seed in
+    let r =
+      run_protocol ~abort_prob:0.1 ~seed schema Broken.no_control forest
+    in
+    let v = Checker.check schema r.Runtime.trace in
+    if not v.Checker.appropriate then incr bad_values
+  done;
+  check_bool "return values violated under aborts" true (!bad_values >= 1)
+
+let t_unsafe_read_rejected () =
+  (* Unsafe reads only show up with aborts in flight: inject them. *)
+  let rejected = ref 0 in
+  for seed = 1 to 30 do
+    let forest, schema = hot_rw seed in
+    let r =
+      run_protocol ~abort_prob:0.1 ~seed schema Broken.unsafe_read forest
+    in
+    if not (Checker.serially_correct schema r.Runtime.trace) then incr rejected
+  done;
+  check_bool "rejected somewhere" true (!rejected >= 5)
+
+let t_no_undo_rejected () =
+  let counters seed =
+    Gen.forest_and_schema Gen.mixed ~seed
+      { Gen.default with n_top = 8; depth = 1; n_objects = 2 }
+  in
+  let rejected = ref 0 in
+  for seed = 1 to 30 do
+    let forest, schema = counters seed in
+    let r = run_protocol ~abort_prob:0.1 ~seed schema Broken.no_undo forest in
+    if not (Checker.serially_correct schema r.Runtime.trace) then incr rejected
+  done;
+  check_bool "rejected somewhere" true (!rejected >= 5)
+
+(* The re-verification arm of the checker: on correct protocols the
+   witness order is always suitable and every view replays — i.e. the
+   proof of Theorem 8 goes through constructively. *)
+let t_witness_reverification () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 6; depth = 2; n_objects = 2 }
+      in
+      let r = run_protocol ~abort_prob:0.04 ~seed schema Moss_object.factory forest in
+      let v = Checker.check schema r.Runtime.trace in
+      check_bool "suitable witness" true (v.Checker.suitable = Some true);
+      check_bool "views legal" true (v.Checker.views_legal = Some true))
+    seeds
+
+(* Propositions 16/24: conflict and precedes are subrelations of the
+   completion order on correct protocols. *)
+let t_completion_subrelation () =
+  List.iter
+    (fun (factory, name) ->
+      List.iter
+        (fun seed ->
+          let forest, schema =
+            Gen.forest_and_schema Gen.registers ~seed
+              { Gen.default with n_top = 5; depth = 2 }
+          in
+          let r = run_protocol ~seed schema factory forest in
+          let beta = Trace.serial r.Runtime.trace in
+          let mode =
+            (* Moss orders access-level conflicts by completion; the
+               commutativity-based undo object only orders the
+               operation-level (non-commuting) ones - Lemma 22. *)
+            if name = "moss" then Conflict.Access_level
+            else Conflict.Operation_level
+          in
+          List.iter
+            (fun (a, b) ->
+              check_bool (name ^ ": conflict within completion") true
+                (Trace.completion_before beta a b))
+            (Conflict.relation mode schema beta);
+          List.iter
+            (fun (a, b) ->
+              check_bool (name ^ ": precedes within completion") true
+                (Trace.completion_before beta a b))
+            (Precedes.relation beta))
+        seeds)
+    [ (Moss_object.factory, "moss"); (Undo_object.factory, "undo") ]
+
+
+(* Deep nesting stress: depth 5, all protocols still correct and the
+   machinery does not blow up. *)
+let t_deep_nesting () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 3; depth = 5; fanout = 2; n_objects = 2 }
+      in
+      let r =
+        run_protocol ~abort_prob:0.03 ~seed schema Moss_object.factory forest
+      in
+      assert_correct "deep moss" schema r;
+      let forest, schema =
+        Gen.forest_and_schema Gen.mixed ~seed
+          { Gen.default with n_top = 3; depth = 5; fanout = 2; n_objects = 4 }
+      in
+      let r =
+        run_protocol ~abort_prob:0.03 ~seed schema Undo_object.factory forest
+      in
+      assert_correct "deep undo" schema r)
+    [ 1; 2; 3 ]
+
+
+
+(* Regression (found by bench E12): commutativity-based protocols may
+   run same-datum register writes out of completion order; the
+   Section 4 access-level graph then has cycles, and only the
+   operation-level default certifies the behavior.  Seeds 104/306
+   exhibited it. *)
+let t_same_value_write_reorder_regression () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 8; depth = 2; n_objects = 2 }
+      in
+      List.iter
+        (fun (name, factory) ->
+          let r =
+            run_protocol ~policy:Runtime.Bsp_rounds ~seed schema factory forest
+          in
+          if not (Checker.serially_correct schema r.Runtime.trace) then
+            Alcotest.failf "%s seed %d rejected under default mode" name seed)
+        [ ("undo", Undo_object.factory); ("commlock", Commlock_object.factory) ])
+    [ 104; 306; 3; 205; 407 ]
+
+
+let suite =
+  ( "checker",
+    [
+      Alcotest.test_case "moss serially correct (Thm 17)" `Slow t_moss_correct;
+      Alcotest.test_case "undo serially correct (Thm 25)" `Slow t_undo_correct;
+      Alcotest.test_case "conflict mode containment" `Quick
+        t_conflict_mode_containment;
+      Alcotest.test_case "no_control rejected" `Quick t_no_control_rejected;
+      Alcotest.test_case "unsafe_read rejected" `Quick t_unsafe_read_rejected;
+      Alcotest.test_case "no_undo rejected" `Quick t_no_undo_rejected;
+      Alcotest.test_case "witness re-verification" `Quick t_witness_reverification;
+      Alcotest.test_case "Props 16/24 completion order" `Quick
+        t_completion_subrelation;
+      Alcotest.test_case "deep nesting stress" `Slow t_deep_nesting;
+      Alcotest.test_case "same-value write reorder regression" `Quick
+        t_same_value_write_reorder_regression;
+    ] )

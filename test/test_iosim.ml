@@ -1,0 +1,113 @@
+open Core
+open Util
+
+(* A toy component: emits CREATE for each of a fixed list of names, in
+   order (it "outputs" actions the serial scheduler normally owns; fine
+   in isolation). *)
+let emitter names =
+  Automaton.component
+    {
+      Automaton.name = "emitter";
+      state = names;
+      signature =
+        (fun a ->
+          match a with
+          | Action.Create t when List.exists (Txn_id.equal t) names -> `Output
+          | _ -> `Not_mine);
+      step =
+        (fun st a ->
+          match (st, a) with
+          | next :: rest, Action.Create t when Txn_id.equal t next -> rest
+          | _ -> st);
+      enabled =
+        (fun st -> match st with [] -> [] | next :: _ -> [ Action.Create next ]);
+    }
+
+(* A counter component that observes those creates as inputs. *)
+let observer names =
+  Automaton.component
+    {
+      Automaton.name = "observer";
+      state = 0;
+      signature =
+        (fun a ->
+          match a with
+          | Action.Create t when List.exists (Txn_id.equal t) names -> `Input
+          | _ -> `Not_mine);
+      step = (fun st _ -> st + 1);
+      enabled = (fun _ -> []);
+    }
+
+let names = [ txn [ 0 ]; txn [ 1 ]; txn [ 2 ] ]
+
+let t_run_to_quiescence () =
+  let auto = Automaton.compose [ emitter names; observer names ] in
+  let tr, _ = Executor.run ~seed:1 auto in
+  check_int "three actions" 3 (Trace.length tr);
+  Alcotest.(check (list txn_testable)) "in order" names
+    (List.filter_map
+       (fun a -> match a with Action.Create t -> Some t | _ -> None)
+       (Trace.to_list tr))
+
+let t_inputs_are_stepped () =
+  let auto = Automaton.compose [ emitter names; observer names ] in
+  (* Fire manually and inspect enabled set shrinking. *)
+  let auto = Automaton.fire auto (Action.Create (txn [ 0 ])) in
+  check_int "two left" 1 (List.length (Automaton.enabled auto));
+  check_bool "next is T0.1" true
+    (Automaton.enabled auto = [ Action.Create (txn [ 1 ]) ])
+
+let t_unowned_action_rejected () =
+  let auto = Automaton.compose [ observer names ] in
+  Alcotest.check_raises "no owner"
+    (Invalid_argument "Automaton.fire: no component outputs CREATE(T0.0)")
+    (fun () -> ignore (Automaton.fire auto (Action.Create (txn [ 0 ]))))
+
+let t_conflicting_outputs_rejected () =
+  let auto = Automaton.compose [ emitter names; emitter names ] in
+  Alcotest.check_raises "two owners"
+    (Invalid_argument
+       "Automaton.fire: CREATE(T0.0) claimed as output by emitter and emitter")
+    (fun () -> ignore (Automaton.fire auto (Action.Create (txn [ 0 ]))))
+
+let t_custom_policy () =
+  let auto = Automaton.compose [ emitter names; observer names ] in
+  (* A policy that stops after the first action. *)
+  let stop_after_one = ref false in
+  let choose _rng actions =
+    if !stop_after_one then None
+    else begin
+      stop_after_one := true;
+      match actions with a :: _ -> Some a | [] -> None
+    end
+  in
+  let tr, _ = Executor.run_with ~choose ~seed:1 auto in
+  check_int "one action" 1 (Trace.length tr)
+
+let t_max_steps () =
+  (* An endless component: always enabled. *)
+  let endless =
+    Automaton.component
+      {
+        Automaton.name = "endless";
+        state = ();
+        signature =
+          (fun a -> match a with Action.Commit _ -> `Output | _ -> `Not_mine);
+        step = (fun () _ -> ());
+        enabled = (fun () -> [ Action.Commit (txn [ 9 ]) ]);
+      }
+  in
+  let tr, _ = Executor.run ~max_steps:25 ~seed:1 endless in
+  check_int "bounded" 25 (Trace.length tr)
+
+let suite =
+  ( "iosim",
+    [
+      Alcotest.test_case "run to quiescence" `Quick t_run_to_quiescence;
+      Alcotest.test_case "inputs stepped" `Quick t_inputs_are_stepped;
+      Alcotest.test_case "unowned action" `Quick t_unowned_action_rejected;
+      Alcotest.test_case "conflicting outputs" `Quick
+        t_conflicting_outputs_rejected;
+      Alcotest.test_case "custom policy" `Quick t_custom_policy;
+      Alcotest.test_case "max steps" `Quick t_max_steps;
+    ] )

@@ -1,0 +1,159 @@
+open Core
+open Util
+
+(* The monitor must stay silent on every correct protocol's behavior. *)
+let t_silent_on_correct () =
+  List.iter
+    (fun (factory, name, gen) ->
+      List.iter
+        (fun seed ->
+          let forest, schema =
+            Gen.forest_and_schema gen ~seed
+              { Gen.default with n_top = 6; depth = 2; n_objects = 3 }
+          in
+          let r = run_protocol ~abort_prob:0.05 ~seed schema factory forest in
+          let m = Monitor.create schema in
+          let alarms = Monitor.feed_trace m r.Runtime.trace in
+          if alarms <> [] then
+            Alcotest.failf "%s seed %d: unexpected alarms (%d)" name seed
+              (List.length alarms);
+          check_bool "not alarmed" false (Monitor.alarmed m))
+        (List.init 6 (fun i -> i + 1)))
+    [
+      (Moss_object.factory, "moss", Gen.registers);
+      (Undo_object.factory, "undo", Gen.mixed);
+      (Commlock_object.factory, "commlock", Gen.counters);
+    ]
+
+(* Agreement with the offline construction: same edges at end of
+   trace, and an alarm iff the offline graph is cyclic or returns are
+   inappropriate. *)
+let t_agrees_with_offline () =
+  List.iter
+    (fun (factory, abort_prob) ->
+      List.iter
+        (fun seed ->
+          let forest, schema =
+            Gen.forest_and_schema Gen.registers ~seed
+              { Gen.default with n_top = 7; depth = 1; n_objects = 2;
+                read_ratio = 0.4 }
+          in
+          let r = run_protocol ~abort_prob ~seed schema factory forest in
+          let beta = Trace.serial r.Runtime.trace in
+          let offline = Sg.build Sg.Access_level schema beta in
+          let m = Monitor.create ~mode:Sg.Access_level schema in
+          let alarms = Monitor.feed_trace m r.Runtime.trace in
+          let sorted_edges g =
+            List.sort compare
+              (List.map
+                 (fun (a, b) -> (Txn_id.to_string a, Txn_id.to_string b))
+                 (Graph.edges g))
+          in
+          check_bool "same edges" true
+            (sorted_edges offline = sorted_edges (Monitor.graph m));
+          (* The incremental visible-operation sequences agree with the
+             offline definition at end of trace. *)
+          let vis = Trace.visible beta ~to_:Txn_id.root in
+          List.iter
+            (fun x ->
+              check_bool "visible ops agree" true
+                (Trace.operations schema.Schema.sys vis x
+                = Monitor.visible_operations m x))
+            schema.Schema.objects;
+          let offline_cyclic = not (Graph.is_acyclic offline) in
+          let online_cycle =
+            List.exists (fun (_, a) -> match a with Monitor.Cycle _ -> true | _ -> false) alarms
+          in
+          check_bool "cycle agreement" offline_cyclic online_cycle;
+          (* Return-value monitoring is per-prefix, hence stricter than
+             the end-of-trace check on broken protocols (a dirty read
+             can be "legalized" by its writer committing later): the
+             end-of-trace violation must be caught online, and every
+             online alarm must be justified by its own prefix. *)
+          let offline_inappropriate =
+            not (Return_values.appropriate_general schema beta)
+          in
+          let online_inappropriate =
+            List.exists
+              (fun (_, a) -> match a with Monitor.Inappropriate _ -> true | _ -> false)
+              alarms
+          in
+          if offline_inappropriate then
+            check_bool "offline violation caught online" true online_inappropriate;
+          List.iter
+            (fun (i, a) ->
+              match a with
+              | Monitor.Inappropriate _ ->
+                  check_bool "alarm justified by its prefix" false
+                    (Return_values.appropriate_general schema
+                       (Trace.serial (Trace.prefix r.Runtime.trace (i + 1))))
+              | Monitor.Cycle _ -> ())
+            alarms)
+        (List.init 10 (fun i -> i + 1)))
+    [ (Moss_object.factory, 0.05); (Broken.no_control, 0.0);
+      (Broken.no_control, 0.1); (Broken.unsafe_read, 0.1) ]
+
+(* The alarm fires before the end: its index is a strict prefix
+   position, and feeding only that prefix to the offline checker
+   already shows the violation. *)
+let t_early_detection () =
+  let forest, schema =
+    Gen.forest_and_schema Gen.registers ~seed:3
+      { Gen.default with n_top = 8; depth = 1; n_objects = 1; read_ratio = 0.4 }
+  in
+  let rec find seed =
+    if seed > 100 then Alcotest.fail "no violating run found"
+    else
+      let r = run_protocol ~seed schema Broken.no_control forest in
+      let m = Monitor.create schema in
+      match Monitor.feed_trace m r.Runtime.trace with
+      | [] -> find (seed + 1)
+      | (i, _) :: _ ->
+          check_bool "alarm strictly inside trace" true
+            (i < Trace.length r.Runtime.trace);
+          (* The offline verdict on the prefix ending at the alarm is
+             already negative. *)
+          let prefix = Trace.prefix r.Runtime.trace (i + 1) in
+          check_bool "offline agrees on prefix" false
+            (Checker.serially_correct schema prefix)
+  in
+  find 1
+
+let t_cycle_witness_is_a_cycle () =
+  let forest, schema =
+    Gen.forest_and_schema Gen.registers ~seed:1
+      { Gen.default with n_top = 8; depth = 1; n_objects = 1; read_ratio = 0.3 }
+  in
+  let rec find seed =
+    if seed > 100 then Alcotest.fail "no cycle found"
+    else
+      let r = run_protocol ~seed schema Broken.no_control forest in
+      let m = Monitor.create schema in
+      let cycles =
+        List.filter_map
+          (fun (_, a) -> match a with Monitor.Cycle c -> Some c | _ -> None)
+          (Monitor.feed_trace m r.Runtime.trace)
+      in
+      match cycles with
+      | [] -> find (seed + 1)
+      | c :: _ ->
+          let g = Monitor.graph m in
+          let arr = Array.of_list c in
+          Array.iteri
+            (fun i a ->
+              let b = arr.((i + 1) mod Array.length arr) in
+              check_bool "cycle edge in graph" true (Graph.mem_edge g a b))
+            arr
+  in
+  find 1
+
+let suite =
+  ( "monitor",
+    [
+      Alcotest.test_case "silent on correct protocols" `Slow t_silent_on_correct;
+      Alcotest.test_case "agrees with offline construction" `Slow
+        t_agrees_with_offline;
+      Alcotest.test_case "early detection" `Quick t_early_detection;
+      Alcotest.test_case "cycle witness is a cycle" `Quick
+        t_cycle_witness_is_a_cycle;
+    ] )

@@ -1,0 +1,82 @@
+open Core
+open Util
+
+let t_obj_id () =
+  let a = Obj_id.make "table" and b = Obj_id.indexed "table" 0 in
+  check_bool "equal by name" true (Obj_id.equal a (Obj_id.make "table"));
+  check_bool "indexed differs" false (Obj_id.equal a b);
+  Alcotest.(check string) "indexed name" "table0" (Obj_id.name b);
+  check_bool "compare consistent" true
+    (Obj_id.compare a b <> 0 && Obj_id.compare a a = 0);
+  check_bool "set/map usable" true
+    (Obj_id.Set.cardinal (Obj_id.Set.of_list [ a; b; a ]) = 2);
+  let tbl = Obj_id.Tbl.create 4 in
+  Obj_id.Tbl.add tbl a 1;
+  check_bool "tbl" true (Obj_id.Tbl.find_opt tbl a = Some 1)
+
+let t_system_type () =
+  let sys =
+    System_type.make (fun t ->
+        if Txn_id.depth t = 2 then System_type.Access x0 else System_type.Inner)
+  in
+  check_bool "inner" true (System_type.kind sys (txn [ 1 ]) = System_type.Inner);
+  check_bool "access" true (System_type.is_access sys (txn [ 1; 0 ]));
+  check_bool "object_of" true (System_type.object_of sys (txn [ 1; 0 ]) = Some x0);
+  check_bool "object_of inner" true (System_type.object_of sys (txn [ 1 ]) = None);
+  Alcotest.check_raises "object_of_exn"
+    (Invalid_argument "System_type.object_of_exn: T0.1 is not an access")
+    (fun () -> ignore (System_type.object_of_exn sys (txn [ 1 ])));
+  Alcotest.check_raises "root must be inner"
+    (Invalid_argument "System_type.make: root must be a non-access")
+    (fun () -> ignore (System_type.make (fun _ -> System_type.Access x0)))
+
+(* The lemma invariants hold under lazy inform delivery too — the
+   protocols never depend on promptness, only on the controller's
+   ordering guarantees. *)
+let t_lemmas_under_lazy_informs () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 5; depth = 2; n_objects = 2 }
+      in
+      let r =
+        Runtime.run ~policy:Runtime.Bsp_rounds ~inform_policy:Runtime.Lazy
+          ~abort_prob:0.05 ~seed schema Moss_object.factory forest
+      in
+      check_bool "moss lazy correct" true
+        (Checker.serially_correct schema r.Runtime.trace);
+      List.iter
+        (fun x ->
+          let proj = Moss_invariants.project schema x r.Runtime.trace in
+          check_bool "lemma 9 lazy" true (Moss_invariants.lemma9 schema x proj);
+          check_bool "lemma 10 lazy" true (Moss_invariants.lemma10 schema x proj);
+          check_bool "lemma 12/13 lazy" true
+            (Moss_invariants.lemma12_13 schema x proj))
+        schema.Schema.objects;
+      let forest, schema =
+        Gen.forest_and_schema Gen.mixed ~seed
+          { Gen.default with n_top = 5; depth = 2; n_objects = 4 }
+      in
+      let r =
+        Runtime.run ~policy:Runtime.Bsp_rounds ~inform_policy:Runtime.Lazy
+          ~abort_prob:0.05 ~seed schema Undo_object.factory forest
+      in
+      check_bool "undo lazy correct" true
+        (Checker.serially_correct schema r.Runtime.trace);
+      List.iter
+        (fun x ->
+          let proj = Undo_invariants.project schema x r.Runtime.trace in
+          check_bool "lemma 20 lazy" true (Undo_invariants.lemma20 schema x proj);
+          check_bool "lemma 22 lazy" true (Undo_invariants.lemma22 schema x proj))
+        schema.Schema.objects)
+    [ 1; 2; 3; 4 ]
+
+let suite =
+  ( "obj_system",
+    [
+      Alcotest.test_case "obj_id" `Quick t_obj_id;
+      Alcotest.test_case "system_type" `Quick t_system_type;
+      Alcotest.test_case "lemmas under lazy informs" `Slow
+        t_lemmas_under_lazy_informs;
+    ] )

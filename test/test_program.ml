@@ -1,0 +1,91 @@
+open Core
+open Util
+
+let forest () =
+  [
+    Program.seq
+      [
+        Program.access x0 Datatype.Read;
+        Program.par
+          [
+            Program.access y0 (Datatype.Write (Value.Int 1));
+            Program.access x0 (Datatype.Write (Value.Int 2));
+          ];
+      ];
+    Program.access y0 Datatype.Read;
+  ]
+
+let schema () =
+  Program.schema_of
+    ~objects:[ (x0, Register.make ()); (y0, Register.make ()) ]
+    (forest ())
+
+let t_subprogram () =
+  let f = forest () in
+  check_bool "root has no subprogram" true (Program.subprogram f Txn_id.root = None);
+  (match Program.subprogram f (txn [ 0 ]) with
+  | Some (Program.Node (Program.Seq, [ _; _ ])) -> ()
+  | _ -> Alcotest.fail "expected seq node");
+  (match Program.subprogram f (txn [ 0; 1; 0 ]) with
+  | Some (Program.Access (y, Datatype.Write (Value.Int 1))) ->
+      check_bool "object" true (Obj_id.equal y y0)
+  | _ -> Alcotest.fail "expected access");
+  check_bool "out of range" true (Program.subprogram f (txn [ 5 ]) = None);
+  check_bool "below access" true (Program.subprogram f (txn [ 1; 0 ]) = None)
+
+let t_schema_classification () =
+  let s = schema () in
+  check_bool "inner" true (System_type.kind s.Schema.sys (txn [ 0 ]) = System_type.Inner);
+  check_bool "access" true
+    (System_type.kind s.Schema.sys (txn [ 0; 0 ]) = System_type.Access x0);
+  check_bool "nested access" true
+    (System_type.kind s.Schema.sys (txn [ 0; 1; 1 ]) = System_type.Access x0);
+  check_bool "top access" true
+    (System_type.kind s.Schema.sys (txn [ 1 ]) = System_type.Access y0);
+  check_bool "unknown names are inner" true
+    (System_type.kind s.Schema.sys (txn [ 9; 9 ]) = System_type.Inner);
+  check_bool "root inner" true
+    (System_type.kind s.Schema.sys Txn_id.root = System_type.Inner)
+
+let t_schema_ops () =
+  let s = schema () in
+  check_bool "op_of read" true (s.Schema.op_of (txn [ 0; 0 ]) = Datatype.Read);
+  check_bool "op_of write" true
+    (s.Schema.op_of (txn [ 0; 1; 0 ]) = Datatype.Write (Value.Int 1));
+  check_bool "all_read_write" true (Schema.all_read_write s)
+
+let t_undeclared_object () =
+  Alcotest.check_raises "undeclared"
+    (Invalid_argument "Program.schema_of: undeclared object z")
+    (fun () ->
+      ignore
+        (Program.schema_of ~objects:[]
+           [ Program.access (Obj_id.make "z") Datatype.Read ]))
+
+let t_size_accesses () =
+  let f = forest () in
+  check_int "size of first" 5 (Program.size (List.hd f));
+  check_int "accesses of first" 3 (List.length (Program.accesses (List.hd f)));
+  check_int "accesses of second" 1 (List.length (Program.accesses (List.nth f 1)))
+
+let t_combinators () =
+  (match Program.seq [] with
+  | Program.Node (Program.Seq, []) -> ()
+  | _ -> Alcotest.fail "seq");
+  (match Program.par [ Program.access x0 Datatype.Read ] with
+  | Program.Node (Program.Par, [ _ ]) -> ()
+  | _ -> Alcotest.fail "par");
+  match Program.access x0 Datatype.Read with
+  | Program.Access (x, Datatype.Read) -> check_bool "access" true (Obj_id.equal x x0)
+  | _ -> Alcotest.fail "access"
+
+let suite =
+  ( "program",
+    [
+      Alcotest.test_case "subprogram" `Quick t_subprogram;
+      Alcotest.test_case "schema classification" `Quick t_schema_classification;
+      Alcotest.test_case "schema ops" `Quick t_schema_ops;
+      Alcotest.test_case "undeclared object" `Quick t_undeclared_object;
+      Alcotest.test_case "size/accesses" `Quick t_size_accesses;
+      Alcotest.test_case "combinators" `Quick t_combinators;
+    ] )

@@ -1,0 +1,117 @@
+open Core
+open Util
+
+let sample =
+  {|
+; comment line
+(objects
+  (x register)
+  (c (counter 3))
+  (a (account 50))
+  (s set) (q queue) (k keyed-store) (v vreg))
+
+(txn (seq (access x read)
+          (access x (write 7))
+          (access c (incr 2))
+          (access c (decr 1))
+          (access c get)))
+(txn (par (access a (deposit 5))
+          (access a (withdraw 2))
+          (access a balance)))
+(txn (seq (access s (insert 1)) (access s (remove 2))
+          (access s (member 1)) (access s size)))
+(txn (seq (access q (enqueue "job")) (access q dequeue)))
+(txn (seq (access k (kread 0)) (access k (kwrite 0 9))))
+(txn (seq (access v vread) (access v (vwrite 3 8))))
+|}
+
+let t_parse_and_run () =
+  match Program_io.parse sample with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok (forest, schema) ->
+      check_int "six transactions" 6 (List.length forest);
+      check_int "seven objects" 7 (List.length schema.Schema.objects);
+      (* The parsed workload runs and verifies. *)
+      let tr = Serial_exec.run schema forest in
+      check_bool "serial correct" true (Checker.serially_correct schema tr);
+      let r = run_protocol ~seed:1 schema Undo_object.factory forest in
+      check_bool "concurrent correct" true
+        (Checker.serially_correct schema r.Runtime.trace)
+
+let t_initial_values_respected () =
+  match Program_io.parse "(objects (c (counter 3))) (txn (access c get))" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok (forest, schema) -> (
+      let tr = Serial_exec.run schema forest in
+      match
+        Trace.find_first
+          (fun a ->
+            match a with
+            | Action.Request_commit (t, Value.Int 3) ->
+                System_type.is_access schema.Schema.sys t
+            | _ -> false)
+          tr
+      with
+      | Some _ -> ()
+      | None -> Alcotest.fail "get should return the declared initial 3")
+
+let t_round_trip () =
+  match Program_io.parse sample with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok (forest, _) -> (
+      let text =
+        Program_io.to_string
+          ~objects:
+            [
+              (Obj_id.make "x", "register"); (Obj_id.make "c", "(counter 3)");
+              (Obj_id.make "a", "(account 50)"); (Obj_id.make "s", "set");
+              (Obj_id.make "q", "queue"); (Obj_id.make "k", "keyed-store");
+              (Obj_id.make "v", "vreg");
+            ]
+          forest
+      in
+      match Program_io.parse text with
+      | Error e -> Alcotest.failf "re-parse failed: %s" e
+      | Ok (forest', _) -> check_bool "round trip" true (forest = forest'))
+
+let t_errors () =
+  let bad text =
+    match Program_io.parse text with
+    | Ok _ -> Alcotest.failf "expected failure: %s" text
+    | Error _ -> ()
+  in
+  bad "";
+  bad "(objects (x register))";
+  bad "(txn (access x read))";
+  bad "(objects (x frobnicator)) (txn (access x read))";
+  bad "(objects (x register)) (txn (access x frob))";
+  bad "(objects (x register)) (txn (access y read))";
+  bad "(objects (x register)) (txn (access x (write)))";
+  bad "(objects (x register)) (txn (access x read)";
+  bad "(objects (x register)) (txn (access x \"unterminated))";
+  bad "(objects (x (counter banana))) (txn (access x get))"
+
+let t_comments_and_strings () =
+  match
+    Program_io.parse
+      "(objects (\"odd name\" register)) ; trailing\n(txn (access \"odd \
+       name\" read))"
+  with
+  | Ok (forest, schema) ->
+      check_int "one txn" 1 (List.length forest);
+      check_bool "object with space" true
+        (List.exists
+           (fun x -> Obj_id.name x = "odd name")
+           schema.Schema.objects)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let suite =
+  ( "program_io",
+    [
+      Alcotest.test_case "parse and run" `Quick t_parse_and_run;
+      Alcotest.test_case "initial values" `Quick t_initial_values_respected;
+      Alcotest.test_case "round trip" `Quick t_round_trip;
+      Alcotest.test_case "errors" `Quick t_errors;
+      Alcotest.test_case "comments and quoted names" `Quick
+        t_comments_and_strings;
+    ] )

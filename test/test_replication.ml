@@ -1,0 +1,164 @@
+open Core
+open Util
+
+let lx = Obj_id.make "LX"
+let ly = Obj_id.make "LY"
+
+let logical_forest seed n_txns =
+  let rng = Rng.create seed in
+  List.init n_txns (fun _ ->
+      Program.seq
+        (List.init
+           (1 + Rng.int rng 3)
+           (fun _ ->
+             let x = if Rng.bool rng then lx else ly in
+             if Rng.bool rng then Program.access x Datatype.Read
+             else Program.access x (Datatype.Write (Value.Int (1 + Rng.int rng 9))))))
+
+let cfg ~r ~w = { Replication.n_replicas = 3; read_quorum = r; write_quorum = w }
+
+let t_transform_shape () =
+  let forest = [ Program.access lx (Datatype.Write (Value.Int 5)) ] in
+  let plan = Replication.replicate (cfg ~r:2 ~w:2) ~objects:[ lx ] forest in
+  (* The write becomes a Par node with two replica accesses. *)
+  (match plan.Replication.physical_forest with
+  | [ Program.Node (Program.Par, children) ] ->
+      check_int "write quorum size" 2 (List.length children);
+      List.iter
+        (fun c ->
+          match c with
+          | Program.Access (x, Datatype.Vwrite (1, Value.Int 5)) ->
+              check_bool "replica name" true
+                (String.length (Obj_id.name x) > 2)
+          | _ -> Alcotest.fail "expected versioned write access")
+        children
+  | _ -> Alcotest.fail "expected transformed node");
+  (* Bookkeeping maps the node back. *)
+  match plan.Replication.logical_of (txn [ 0 ]) with
+  | Some (x, Replication.L_write (1, Value.Int 5)) ->
+      check_bool "logical object" true (Obj_id.equal x lx)
+  | _ -> Alcotest.fail "logical_of missing"
+
+let t_bad_config () =
+  Alcotest.check_raises "quorum out of range"
+    (Invalid_argument "Replication.replicate: quorums out of range")
+    (fun () ->
+      ignore (Replication.replicate (cfg ~r:4 ~w:1) ~objects:[ lx ] []));
+  Alcotest.check_raises "foreign op"
+    (Invalid_argument "Replication.replicate: not a read/write access: get")
+    (fun () ->
+      ignore
+        (Replication.replicate (cfg ~r:1 ~w:1) ~objects:[ lx ]
+           [ Program.access lx Datatype.Get ]))
+
+(* Physical serializability + one-copy under intersecting quorums. *)
+let t_intersecting_quorums_one_copy () =
+  List.iter
+    (fun (r, w) ->
+      List.iter
+        (fun seed ->
+          let plan =
+            Replication.replicate (cfg ~r ~w) ~objects:[ lx; ly ]
+              (logical_forest seed 6)
+          in
+          let res =
+            run_protocol ~seed plan.Replication.physical_schema
+              Undo_object.factory plan.Replication.physical_forest
+          in
+          check_bool "physical serializability" true
+            (Checker.serially_correct plan.Replication.physical_schema
+               res.Runtime.trace);
+          if res.Runtime.stats.deadlock_aborts = 0 then
+            match Replication.check_one_copy plan res.Runtime.trace with
+            | Ok () -> ()
+            | Error v ->
+                Alcotest.failf "one-copy violated (r=%d w=%d seed=%d): %a" r w
+                  seed Replication.pp_violation v)
+        (List.init 8 (fun i -> i + 1)))
+    [ (2, 2); (1, 3); (3, 1) ]
+
+(* Non-intersecting quorums must be caught violating one-copy on some
+   seeds. *)
+let t_non_intersecting_fails () =
+  let violations = ref 0 in
+  for seed = 1 to 25 do
+    let plan =
+      Replication.replicate (cfg ~r:1 ~w:1) ~objects:[ lx; ly ]
+        (logical_forest seed 6)
+    in
+    (* Sequential top level maximizes reads-after-committed-writes,
+       the situation where non-intersection shows. *)
+    let res =
+      Runtime.run ~policy:Runtime.Bsp_rounds ~top_comb:Program.Seq ~seed
+        plan.Replication.physical_schema Undo_object.factory
+        plan.Replication.physical_forest
+    in
+    (* Physical behavior is still serializable - the failure is purely
+       at the logical (one-copy) level. *)
+    check_bool "physical still serializable" true
+      (Checker.serially_correct plan.Replication.physical_schema
+         res.Runtime.trace);
+    match Replication.check_one_copy plan res.Runtime.trace with
+    | Error _ -> incr violations
+    | Ok () -> ()
+  done;
+  check_bool "staleness observed" true (!violations > 0)
+
+let t_read_result () =
+  (* Serial execution: a write of 7 then a read; the read's logical
+     result must be (1, 7). *)
+  let forest =
+    [
+      Program.seq
+        [
+          Program.access lx (Datatype.Write (Value.Int 7));
+          Program.access lx Datatype.Read;
+        ];
+    ]
+  in
+  let plan = Replication.replicate (cfg ~r:2 ~w:2) ~objects:[ lx ] forest in
+  let tr =
+    Serial_exec.run plan.Replication.physical_schema
+      plan.Replication.physical_forest
+  in
+  (* The read node is T0.0.1. *)
+  match Replication.read_result plan tr (txn [ 0; 1 ]) with
+  | Some (1, Value.Int 7) -> ()
+  | Some (ver, v) ->
+      Alcotest.failf "wrong read result: (%d, %s)" ver (Value.to_string v)
+  | None -> Alcotest.fail "no read result"
+
+let t_vreg_oracle_cases () =
+  let dt = Vreg.make () in
+  check_bool "distinct-version writes commute" true
+    (dt.Datatype.commutes
+       (Datatype.Vwrite (1, Value.Int 5), Value.Ok)
+       (Datatype.Vwrite (2, Value.Int 6), Value.Ok));
+  check_bool "same-version distinct writes conflict" false
+    (dt.Datatype.commutes
+       (Datatype.Vwrite (1, Value.Int 5), Value.Ok)
+       (Datatype.Vwrite (1, Value.Int 6), Value.Ok));
+  check_bool "read/write conflict" false
+    (dt.Datatype.commutes
+       (Datatype.Vread, Value.Pair (Value.Int 0, Value.Int 0))
+       (Datatype.Vwrite (1, Value.Int 5), Value.Ok));
+  (* Thomas write rule semantics. *)
+  let s, _ = dt.Datatype.apply dt.Datatype.init (Datatype.Vwrite (3, Value.Int 9)) in
+  let s, _ = dt.Datatype.apply s (Datatype.Vwrite (2, Value.Int 1)) in
+  let _, v = dt.Datatype.apply s Datatype.Vread in
+  Alcotest.check value_testable "stale write ignored"
+    (Value.Pair (Value.Int 3, Value.Int 9))
+    v
+
+let suite =
+  ( "replication",
+    [
+      Alcotest.test_case "transform shape" `Quick t_transform_shape;
+      Alcotest.test_case "bad config" `Quick t_bad_config;
+      Alcotest.test_case "intersecting quorums: one-copy" `Slow
+        t_intersecting_quorums_one_copy;
+      Alcotest.test_case "non-intersecting quorums fail" `Quick
+        t_non_intersecting_fails;
+      Alcotest.test_case "read_result" `Quick t_read_result;
+      Alcotest.test_case "vreg oracle" `Quick t_vreg_oracle_cases;
+    ] )

@@ -1,0 +1,143 @@
+open Core
+open Util
+
+let t1 = txn [ 0 ]
+let w1 = txn [ 0; 0 ]
+let t2 = txn [ 1 ]
+let r2 = txn [ 1; 0 ]
+
+let schema () =
+  Program.schema_of
+    ~objects:[ (x0, Register.make ()) ]
+    [
+      Program.seq [ Program.access x0 (Datatype.Write (Value.Int 5)) ];
+      Program.seq [ Program.access x0 Datatype.Read ];
+    ]
+
+let trace_with_read v =
+  Trace.of_list
+    Action.
+      [
+        Request_create t1; Create t1; Request_create w1; Create w1;
+        Request_commit (w1, Value.Ok); Commit w1; Report_commit (w1, Value.Ok);
+        Request_commit (t1, Value.Unit); Commit t1; Report_commit (t1, Value.Unit);
+        Request_create t2; Create t2; Request_create r2; Create r2;
+        Request_commit (r2, v); Commit r2; Report_commit (r2, v);
+        Request_commit (t2, Value.Unit); Commit t2; Report_commit (t2, Value.Unit);
+      ]
+
+let t_appropriate_good () =
+  let s = schema () in
+  let tr = trace_with_read (Value.Int 5) in
+  check_bool "general" true (Return_values.appropriate_general s tr);
+  check_bool "rw" true (Return_values.appropriate_rw s tr);
+  check_bool "lemma6" true (Return_values.lemma6_conditions s tr);
+  check_bool "no violator" true (Return_values.violating_object s tr = None)
+
+let t_appropriate_bad () =
+  let s = schema () in
+  let tr = trace_with_read (Value.Int 99) in
+  check_bool "general rejects" false (Return_values.appropriate_general s tr);
+  check_bool "rw rejects" false (Return_values.appropriate_rw s tr);
+  check_bool "lemma6 rejects" false (Return_values.lemma6_conditions s tr);
+  check_bool "violator named" true (Return_values.violating_object s tr = Some x0)
+
+let t_aborted_write_ignored () =
+  (* The writer aborts: a read of the initial value is appropriate, a
+     read of the aborted value is not. *)
+  let s = schema () in
+  let mk v =
+    Trace.of_list
+      Action.
+        [
+          Request_create t1; Create t1; Request_create w1; Create w1;
+          Request_commit (w1, Value.Ok); Commit w1;
+          Abort t1; Report_abort t1;
+          Request_create t2; Create t2; Request_create r2; Create r2;
+          Request_commit (r2, v); Commit r2; Report_commit (r2, v);
+          Request_commit (t2, Value.Unit); Commit t2; Report_commit (t2, Value.Unit);
+        ]
+  in
+  check_bool "initial value ok" true
+    (Return_values.appropriate_general s (mk (Value.Int 0)));
+  check_bool "dirty value rejected" false
+    (Return_values.appropriate_general s (mk (Value.Int 5)))
+
+let t_wrong_ack () =
+  let s = schema () in
+  let tr =
+    Trace.of_list
+      Action.
+        [
+          Request_create t1; Create t1; Request_create w1; Create w1;
+          Request_commit (w1, Value.Int 5); Commit w1;
+          Request_commit (t1, Value.Unit); Commit t1;
+        ]
+  in
+  check_bool "write must return OK" false (Return_values.appropriate_general s tr)
+
+let t_current_safe () =
+  let s = schema () in
+  let tr = trace_with_read (Value.Int 5) in
+  (* The read's REQUEST_COMMIT is at index 13 of the serial trace. *)
+  let idx =
+    match Trace.find_first (fun a -> a = Action.Request_commit (r2, Value.Int 5)) tr with
+    | Some i -> i
+    | None -> Alcotest.fail "read event missing"
+  in
+  check_bool "current" true (Return_values.current s tr idx);
+  check_bool "safe" true (Return_values.safe s tr idx);
+  (* An unsafe read: writer responded but its ancestors have not
+     committed when the read fires. *)
+  let unsafe =
+    Trace.of_list
+      Action.
+        [
+          Request_create t1; Create t1; Request_create w1; Create w1;
+          Request_commit (w1, Value.Ok);
+          Request_create t2; Create t2; Request_create r2; Create r2;
+          Request_commit (r2, Value.Int 5);
+        ]
+  in
+  let idx =
+    Option.get
+      (Trace.find_first
+         (fun a -> a = Action.Request_commit (r2, Value.Int 5))
+         unsafe)
+  in
+  check_bool "dirty read is current" true (Return_values.current s unsafe idx);
+  check_bool "dirty read is not safe" false (Return_values.safe s unsafe idx)
+
+(* Lemma 5: on read/write schemas the two formulations agree, and
+   Lemma 6: current+safe+OK-writes implies appropriateness — validated
+   on traces produced by the Moss protocol under many seeds, including
+   aborts. *)
+let t_equivalence_on_generated () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 6; depth = 2; n_objects = 3 }
+      in
+      let r =
+        run_protocol ~abort_prob:0.03 ~seed schema Moss_object.factory forest
+      in
+      let beta = Trace.serial r.Runtime.trace in
+      let general = Return_values.appropriate_general schema beta in
+      let rw = Return_values.appropriate_rw schema beta in
+      check_bool "lemma 5 equivalence" general rw;
+      if Return_values.lemma6_conditions schema beta then
+        check_bool "lemma 6 implication" true general)
+    (List.init 15 (fun i -> i + 100))
+
+let suite =
+  ( "return_values",
+    [
+      Alcotest.test_case "appropriate (good)" `Quick t_appropriate_good;
+      Alcotest.test_case "appropriate (bad)" `Quick t_appropriate_bad;
+      Alcotest.test_case "aborted write ignored" `Quick t_aborted_write_ignored;
+      Alcotest.test_case "wrong write ack" `Quick t_wrong_ack;
+      Alcotest.test_case "current/safe" `Quick t_current_safe;
+      Alcotest.test_case "lemma 5/6 on generated traces" `Quick
+        t_equivalence_on_generated;
+    ] )

@@ -1,0 +1,86 @@
+open Core
+open Util
+
+let t_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let t_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let da = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let db = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  check_bool "different seeds differ" true (da <> db)
+
+let t_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 13 in
+    if v < 0 || v >= 13 then Alcotest.failf "out of bounds: %d" v
+  done;
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let t_bad_bound () =
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int (Rng.create 1) 0))
+
+let t_copy_split () =
+  let a = Rng.create 5 in
+  let b = Rng.copy a in
+  check_int "copy same next" (Rng.int a 1000) (Rng.int b 1000);
+  let c = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int c 1000) in
+  check_bool "split independent" true (xs <> ys)
+
+let t_pick_shuffle () =
+  let rng = Rng.create 11 in
+  let arr = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 100 do
+    check_bool "pick member" true (Array.mem (Rng.pick rng arr) arr)
+  done;
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  Array.sort compare a;
+  check_bool "shuffle is a permutation" true (a = Array.init 50 Fun.id);
+  check_bool "pick_list member" true (List.mem (Rng.pick_list rng [ 9; 8 ]) [ 9; 8 ])
+
+let t_zipf () =
+  let rng = Rng.create 3 in
+  let n = 10 in
+  let counts = Array.make n 0 in
+  let samples = 20_000 in
+  for _ = 1 to samples do
+    let i = Rng.zipf rng ~n ~theta:1.0 in
+    if i < 0 || i >= n then Alcotest.failf "zipf out of bounds: %d" i;
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* Skewed: the hottest item should dominate the coldest clearly. *)
+  check_bool "zipf skew" true (counts.(0) > 3 * counts.(n - 1));
+  (* theta = 0 is uniform-ish. *)
+  let u = Array.make n 0 in
+  for _ = 1 to samples do
+    let i = Rng.zipf rng ~n ~theta:0.0 in
+    u.(i) <- u.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_bool "uniform within 30%" true
+        (abs (c - (samples / n)) < samples * 3 / 10))
+    u
+
+let suite =
+  ( "rng",
+    [
+      Alcotest.test_case "determinism" `Quick t_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick t_seed_sensitivity;
+      Alcotest.test_case "bounds" `Quick t_bounds;
+      Alcotest.test_case "bad bound" `Quick t_bad_bound;
+      Alcotest.test_case "copy/split" `Quick t_copy_split;
+      Alcotest.test_case "pick/shuffle" `Quick t_pick_shuffle;
+      Alcotest.test_case "zipf" `Quick t_zipf;
+    ] )

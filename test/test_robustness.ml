@@ -1,0 +1,158 @@
+(* Robustness: the analysis functions are total on arbitrary action
+   sequences — even ill-formed ones — because the paper defines its
+   sequence machinery "for arbitrary sequences of actions" (footnote
+   5).  Random, unconstrained traces must never crash the checker, the
+   monitor, the relations, or the serializers. *)
+open Core
+open Util
+
+let schema () =
+  Program.schema_of
+    ~objects:[ (x0, Register.make ()); (y0, Register.make ()) ]
+    [
+      Program.seq
+        [ Program.access x0 Datatype.Read; Program.access y0 (Datatype.Write (Value.Int 1)) ];
+      Program.par
+        [ Program.access x0 (Datatype.Write (Value.Int 2)); Program.access y0 Datatype.Read ];
+      Program.access x0 Datatype.Read;
+    ]
+
+let gen_txn =
+  QCheck.Gen.(
+    oneof
+      [
+        return (txn [ 0 ]); return (txn [ 1 ]); return (txn [ 2 ]);
+        return (txn [ 0; 0 ]); return (txn [ 0; 1 ]); return (txn [ 1; 0 ]);
+        return (txn [ 1; 1 ]); return Txn_id.root; return (txn [ 7 ]);
+      ])
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Ok; return Value.Unit;
+        map (fun n -> Value.Int n) (int_bound 4);
+        return (Value.Bool true);
+      ])
+
+let gen_action =
+  QCheck.Gen.(
+    gen_txn >>= fun t ->
+    gen_value >>= fun v ->
+    oneofl
+      [
+        Action.Request_create t; Action.Create t;
+        Action.Request_commit (t, v); Action.Commit t; Action.Abort t;
+        Action.Report_commit (t, v); Action.Report_abort t;
+        Action.Inform_commit (x0, t); Action.Inform_abort (y0, t);
+      ])
+
+let gen_trace = QCheck.Gen.(list_size (int_bound 40) gen_action >|= Trace.of_list)
+
+let arb_trace =
+  QCheck.make
+    ~print:(fun tr -> Format.asprintf "%a" Trace.pp tr)
+    gen_trace
+
+let prop_checker_total =
+  QCheck.Test.make ~name:"checker total on arbitrary traces" ~count:300
+    arb_trace
+    (fun tr ->
+      let s = schema () in
+      let v = Checker.check s tr in
+      (* The verdict is internally consistent. *)
+      (v.Checker.acyclic = (v.Checker.cycle = None))
+      && (v.Checker.serially_correct
+          = (v.Checker.appropriate && v.Checker.acyclic
+            && v.Checker.suitable = Some true
+            && v.Checker.views_legal = Some true)))
+
+let prop_monitor_total =
+  QCheck.Test.make ~name:"monitor total on arbitrary traces" ~count:300
+    arb_trace
+    (fun tr ->
+      let s = schema () in
+      let m = Monitor.create s in
+      ignore (Monitor.feed_trace m tr);
+      true)
+
+let prop_relations_total =
+  QCheck.Test.make ~name:"relations total and within visibility" ~count:300
+    arb_trace
+    (fun tr ->
+      let s = schema () in
+      let conf = Conflict.relation Conflict.Access_level s tr in
+      let prec = Precedes.relation tr in
+      List.for_all (fun (a, b) -> Txn_id.siblings a b) (conf @ prec))
+
+let prop_trace_io_total =
+  QCheck.Test.make ~name:"trace io round trips arbitrary traces" ~count:300
+    arb_trace
+    (fun tr ->
+      match Trace_io.of_string (Trace_io.to_string tr) with
+      | Ok tr' -> Trace.to_list tr = Trace.to_list tr'
+      | Error _ -> false)
+
+let prop_visible_subset =
+  QCheck.Test.make ~name:"visible and clean are subsequences of serial"
+    ~count:300 arb_trace
+    (fun tr ->
+      let serial_len = Trace.length (Trace.serial tr) in
+      Trace.length (Trace.visible tr ~to_:Txn_id.root) <= serial_len
+      && Trace.length (Trace.clean tr) <= serial_len)
+
+let prop_wf_decision_total =
+  QCheck.Test.make ~name:"well-formedness decision total" ~count:300 arb_trace
+    (fun tr ->
+      let s = schema () in
+      match Simple_db.well_formed s.Schema.sys tr with
+      | Ok () | Error _ -> true)
+
+(* Prefix monotonicity of the graph: edges only ever accumulate. *)
+let prop_graph_monotone =
+  QCheck.Test.make ~name:"SG edges accumulate along prefixes" ~count:100
+    arb_trace
+    (fun tr ->
+      let s = schema () in
+      let n = Trace.length tr in
+      let edge_count k =
+        Graph.n_edges (Sg.build Sg.Access_level s (Trace.prefix tr k))
+      in
+      let rec go k prev =
+        if k > n then true
+        else
+          let e = edge_count k in
+          e >= prev && go (k + 1) e
+      in
+      go 0 0)
+
+
+(* Inform actions never influence the verdict: they are invisible to
+   serial(beta). *)
+let prop_informs_inert =
+  QCheck.Test.make ~name:"verdict invariant under appended informs" ~count:150
+    arb_trace
+    (fun tr ->
+      let s = schema () in
+      let with_informs =
+        Trace.concat tr
+          (Trace.of_list
+             [ Action.Inform_commit (x0, txn [ 0 ]);
+               Action.Inform_abort (y0, txn [ 1 ]) ])
+      in
+      Checker.serially_correct s tr
+      = Checker.serially_correct s with_informs)
+
+
+let suite =
+  ( "robustness",
+    [
+      QCheck_alcotest.to_alcotest prop_checker_total;
+      QCheck_alcotest.to_alcotest prop_monitor_total;
+      QCheck_alcotest.to_alcotest prop_relations_total;
+      QCheck_alcotest.to_alcotest prop_trace_io_total;
+      QCheck_alcotest.to_alcotest prop_visible_subset;
+      QCheck_alcotest.to_alcotest prop_wf_decision_total;
+      QCheck_alcotest.to_alcotest prop_graph_monotone;
+      QCheck_alcotest.to_alcotest prop_informs_inert;
+    ] )

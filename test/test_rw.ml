@@ -1,0 +1,115 @@
+open Core
+open Util
+
+(* Schema: two top transactions, each a single write/read access to x. *)
+let schema () =
+  Program.schema_of
+    ~objects:[ (x0, Register.make ()) ]
+    [
+      Program.seq
+        [
+          Program.access x0 (Datatype.Write (Value.Int 1));
+          Program.access x0 (Datatype.Write (Value.Int 2));
+          Program.access x0 Datatype.Read;
+        ];
+    ]
+
+let w1 = txn [ 0; 0 ]
+let w2 = txn [ 0; 1 ]
+let r1 = txn [ 0; 2 ]
+
+let trace_all =
+  Trace.of_list
+    Action.
+      [
+        Request_commit (w1, Value.Ok);
+        Request_commit (w2, Value.Ok);
+        Request_commit (r1, Value.Int 2);
+      ]
+
+let t_kind_of () =
+  let s = schema () in
+  check_bool "write kind" true (Rw.kind_of s w1 = Some (`Write (Value.Int 1)));
+  check_bool "read kind" true (Rw.kind_of s r1 = Some `Read);
+  check_bool "non access" true (Rw.kind_of s (txn [ 0 ]) = None)
+
+let t_write_sequence () =
+  let s = schema () in
+  check_int "two writes" 2 (Trace.length (Rw.write_sequence s trace_all x0));
+  Alcotest.check (Alcotest.option txn_testable) "last write" (Some w2)
+    (Rw.last_write s trace_all x0);
+  Alcotest.check value_testable "final value" (Value.Int 2)
+    (Rw.final_value s trace_all x0)
+
+let t_empty () =
+  let s = schema () in
+  Alcotest.check (Alcotest.option txn_testable) "no writes" None
+    (Rw.last_write s Trace.empty x0);
+  Alcotest.check value_testable "initial value" (Value.Int 0)
+    (Rw.final_value s Trace.empty x0)
+
+let t_clean_variants () =
+  let s = schema () in
+  (* Abort the parent of w2?  w2's parent is txn [0]; aborting it orphans
+     every access.  Instead abort only w2 itself via a dedicated
+     two-transaction trace. *)
+  let tr =
+    Trace.of_list
+      Action.
+        [
+          Request_commit (w1, Value.Ok);
+          Request_commit (w2, Value.Ok);
+          Abort w2;
+        ]
+  in
+  Alcotest.check (Alcotest.option txn_testable) "clean last write skips aborted"
+    (Some w1)
+    (Rw.clean_last_write s tr x0);
+  Alcotest.check value_testable "clean final value" (Value.Int 1)
+    (Rw.clean_final_value s tr x0);
+  (* The unclean final value still sees w2. *)
+  Alcotest.check value_testable "raw final value" (Value.Int 2)
+    (Rw.final_value s tr x0);
+  check_int "clean write sequence" 1
+    (Trace.length (Rw.clean_write_sequence s tr x0))
+
+
+(* Lemmas 3/4: a register sequence is a behavior of S_X exactly when
+   writes ack OK and each read returns the final-value of its prefix. *)
+let prop_lemma4 =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 10)
+        (oneof
+           [
+             map (fun n -> (Datatype.Write (Value.Int n), Value.Ok)) (int_bound 3);
+             map (fun n -> (Datatype.Read, Value.Int n)) (int_bound 3);
+             return (Datatype.Write (Value.Int 1), Value.Unit) (* bad ack *);
+           ]))
+  in
+  QCheck.Test.make ~name:"Lemma 4: register behaviors = final-value reads"
+    ~count:500 (QCheck.make gen)
+    (fun ops ->
+      let dt = Register.make () in
+      let legal = Serial_spec.legal dt ops in
+      (* Independent characterization. *)
+      let rec characterize current = function
+        | [] -> true
+        | (Datatype.Write v, ack) :: rest ->
+            Value.equal ack Value.Ok && characterize v rest
+        | (Datatype.Read, v) :: rest ->
+            Value.equal v current && characterize current rest
+        | _ -> false
+      in
+      legal = characterize (Value.Int 0) ops)
+
+
+let suite =
+  ( "rw",
+    [
+      Alcotest.test_case "kind_of" `Quick t_kind_of;
+      Alcotest.test_case "write sequence/final value" `Quick t_write_sequence;
+      Alcotest.test_case "empty trace" `Quick t_empty;
+      Alcotest.test_case "clean variants" `Quick t_clean_variants;
+      QCheck_alcotest.to_alcotest prop_lemma4;
+    ] )

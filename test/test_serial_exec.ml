@@ -1,0 +1,126 @@
+open Core
+open Util
+
+let t_well_formed_and_correct () =
+  let forest, schema = rw_pair () in
+  let tr = Serial_exec.run schema forest in
+  check_bool "well formed" true (Simple_db.is_well_formed schema.Schema.sys tr);
+  let v = Checker.check schema tr in
+  check_bool "appropriate" true v.Checker.appropriate;
+  check_bool "acyclic" true v.Checker.acyclic;
+  check_bool "serially correct" true v.Checker.serially_correct
+
+let t_values_flow () =
+  (* Program reads its own write through the serial object. *)
+  let p =
+    Program.seq
+      [
+        Program.access x0 (Datatype.Write (Value.Int 42));
+        Program.access x0 Datatype.Read;
+      ]
+  in
+  let schema = Program.schema_of ~objects:[ (x0, Register.make ()) ] [ p ] in
+  let tr = Serial_exec.run schema [ p ] in
+  (* The read access T0.0.1 must return 42. *)
+  let read_value =
+    Array.to_list tr
+    |> List.find_map (fun a ->
+           match a with
+           | Action.Request_commit (t, v) when Txn_id.equal t (txn [ 0; 1 ]) ->
+               Some v
+           | _ -> None)
+  in
+  Alcotest.check (Alcotest.option value_testable) "read own write"
+    (Some (Value.Int 42)) read_value
+
+let t_aborts () =
+  let forest, schema = rw_pair () in
+  (* Abort the second top-level transaction before creation. *)
+  let tr =
+    Serial_exec.run ~should_abort:(fun t -> Txn_id.equal t (txn [ 1 ])) schema
+      forest
+  in
+  check_bool "well formed with aborts" true
+    (Simple_db.is_well_formed schema.Schema.sys tr);
+  check_bool "abort recorded" true
+    (Trace.find_first (fun a -> a = Action.Abort (txn [ 1 ])) tr <> None);
+  check_bool "aborted txn never created" true
+    (Trace.find_first (fun a -> a = Action.Create (txn [ 1 ])) tr = None);
+  check_bool "still serially correct" true (Checker.serially_correct schema tr)
+
+let t_abort_subtransaction () =
+  (* Abort a nested child: the parent must still commit, with the
+     aborted child summarized as failed. *)
+  let p =
+    Program.seq
+      [
+        Program.access x0 (Datatype.Write (Value.Int 1));
+        Program.access x0 Datatype.Read;
+      ]
+  in
+  let schema = Program.schema_of ~objects:[ (x0, Register.make ()) ] [ p ] in
+  let tr =
+    Serial_exec.run ~should_abort:(fun t -> Txn_id.equal t (txn [ 0; 0 ])) schema
+      [ p ]
+  in
+  check_bool "wf" true (Simple_db.is_well_formed schema.Schema.sys tr);
+  check_bool "parent committed" true
+    (Trace.find_first (fun a -> a = Action.Commit (txn [ 0 ])) tr <> None);
+  (* The read now sees the initial value, not 1. *)
+  let read_value =
+    Array.to_list tr
+    |> List.find_map (fun a ->
+           match a with
+           | Action.Request_commit (t, v) when Txn_id.equal t (txn [ 0; 1 ]) ->
+               Some v
+           | _ -> None)
+  in
+  Alcotest.check (Alcotest.option value_testable) "read initial"
+    (Some (Value.Int 0)) read_value;
+  check_bool "correct" true (Checker.serially_correct schema tr)
+
+let t_final_states () =
+  let forest, schema = rw_pair () in
+  let tr = Serial_exec.run schema forest in
+  let states = Serial_exec.final_states schema tr in
+  (* Program 2 writes x last in serial order: x = 2; y = 10. *)
+  let find x = List.assoc x states in
+  Alcotest.check value_testable "x final" (Value.Int 2) (find x0);
+  Alcotest.check value_testable "y final" (Value.Int 10) (find y0)
+
+(* Serial executions of random workloads are always serially correct. *)
+let t_random_workloads () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 5; depth = 2 }
+      in
+      let tr = Serial_exec.run schema forest in
+      check_bool "wf" true (Simple_db.is_well_formed schema.Schema.sys tr);
+      check_bool "correct" true (Checker.serially_correct schema tr))
+    [ 1; 2; 3; 4; 5 ]
+
+let t_random_mixed_workloads () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.mixed ~seed
+          { Gen.default with n_top = 5; depth = 2; n_objects = 5 }
+      in
+      let tr = Serial_exec.run schema forest in
+      check_bool "wf" true (Simple_db.is_well_formed schema.Schema.sys tr);
+      check_bool "correct" true (Checker.serially_correct schema tr))
+    [ 10; 11; 12; 13; 14 ]
+
+let suite =
+  ( "serial_exec",
+    [
+      Alcotest.test_case "well formed and correct" `Quick t_well_formed_and_correct;
+      Alcotest.test_case "values flow" `Quick t_values_flow;
+      Alcotest.test_case "aborts before creation" `Quick t_aborts;
+      Alcotest.test_case "abort subtransaction" `Quick t_abort_subtransaction;
+      Alcotest.test_case "final states" `Quick t_final_states;
+      Alcotest.test_case "random rw workloads" `Quick t_random_workloads;
+      Alcotest.test_case "random mixed workloads" `Quick t_random_mixed_workloads;
+    ] )

@@ -1,0 +1,169 @@
+open Core
+open Util
+
+(* Tiny workloads so the search is exhaustive. *)
+let tiny_profile = { Gen.default with n_top = 3; depth = 1; fanout = 2; n_objects = 1 }
+
+let t_serial_trace_found () =
+  let forest, schema = Gen.forest_and_schema Gen.registers ~seed:1 tiny_profile in
+  let tr = Serial_exec.run schema forest in
+  check_bool "serial behavior matches itself" true
+    (Serial_search.exists_matching_serial schema forest tr = Serial_search.Found)
+
+let t_impossible_projection () =
+  (* A top-level report value no serial execution can produce. *)
+  let forest, schema = Gen.forest_and_schema Gen.registers ~seed:1 tiny_profile in
+  let t0 = txn [ 0 ] in
+  let beta =
+    Trace.of_list
+      Action.
+        [
+          Request_create t0; Create t0;
+          Request_commit (t0, Value.Str "impossible");
+          Commit t0;
+          Report_commit (t0, Value.Str "impossible");
+        ]
+  in
+  check_bool "rejected" true
+    (Serial_search.exists_matching_serial schema forest beta
+    = Serial_search.Not_found)
+
+(* The headline soundness test: every behavior the SG checker
+   certifies has a serial witness, across protocols (including broken
+   ones when they happen to pass).  Also: behaviors the ground truth
+   rejects are never certified. *)
+let t_checker_sound () =
+  let protocols =
+    [
+      ("moss", Moss_object.factory, 0.0);
+      ("moss+aborts", Moss_object.factory, 0.15);
+      ("undo", Undo_object.factory, 0.1);
+      ("commlock", Commlock_object.factory, 0.1);
+      ("no_control", Broken.no_control, 0.0);
+      ("no_control+aborts", Broken.no_control, 0.15);
+      ("unsafe_read", Broken.unsafe_read, 0.1);
+    ]
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun (name, factory, abort_prob) ->
+      List.iter
+        (fun seed ->
+          let forest, schema =
+            Gen.forest_and_schema Gen.registers ~seed tiny_profile
+          in
+          let r = run_protocol ~abort_prob ~seed schema factory forest in
+          let verdict = Checker.serially_correct schema r.Runtime.trace in
+          match
+            Serial_search.serially_correct_ground_truth schema forest
+              r.Runtime.trace
+          with
+          | Some truth ->
+              incr checked;
+              if verdict && not truth then
+                Alcotest.failf
+                  "%s seed %d: checker certified a behavior with no serial \
+                   witness"
+                  name seed
+          | None -> ())
+        (List.init 10 (fun i -> i + 1)))
+    protocols;
+  (* The experiment must actually have decided a sizeable majority. *)
+  check_bool "ground truth mostly conclusive" true (!checked > 50)
+
+(* MVTS soundness through Theorem 2: certified behaviors have serial
+   witnesses too. *)
+let t_theorem2_sound () =
+  List.iter
+    (fun seed ->
+      let forest, schema = Gen.forest_and_schema Gen.registers ~seed tiny_profile in
+      let r = run_protocol ~seed schema Mvts_object.factory forest in
+      let order = Sibling_order.index_order (Trace.serial r.Runtime.trace) in
+      if Theorem2.holds schema order r.Runtime.trace then
+        match
+          Serial_search.serially_correct_ground_truth schema forest
+            r.Runtime.trace
+        with
+        | Some truth ->
+            if not truth then
+              Alcotest.failf "seed %d: Theorem 2 certified without witness" seed
+        | None -> ())
+    (List.init 10 (fun i -> i + 1))
+
+(* Completeness is not claimed, but measure the gap: behaviors with a
+   serial witness that the checker rejects must come only from
+   rejected hypotheses, not from re-verification. *)
+let t_incompleteness_is_hypothesis_side () =
+  List.iter
+    (fun seed ->
+      let forest, schema = Gen.forest_and_schema Gen.registers ~seed tiny_profile in
+      let r = run_protocol ~seed schema Broken.no_control forest in
+      let v = Checker.check schema r.Runtime.trace in
+      if (not v.Checker.serially_correct) && v.Checker.appropriate && v.Checker.acyclic
+      then
+        (* Hypotheses passed but re-verification failed: must not happen. *)
+        Alcotest.failf "seed %d: re-verification diverged from the theorem" seed)
+    (List.init 20 (fun i -> i + 1))
+
+
+(* Serial correctness for arbitrary (non-root) transactions: the
+   paper's guarantee to implementors of T.  Under Moss, every
+   non-orphan top-level transaction's projection has a serial witness;
+   the Theorem-2 checker with a per-T suitable order agrees. *)
+let t_per_transaction_correctness () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed tiny_profile
+      in
+      let r =
+        run_protocol ~abort_prob:0.1 ~seed schema Moss_object.factory forest
+      in
+      List.iteri
+        (fun i _ ->
+          let t = txn [ i ] in
+          if not (Trace.is_orphan r.Runtime.trace t) then
+            match
+              Serial_search.serially_correct_ground_truth ~for_txn:t schema
+                forest r.Runtime.trace
+            with
+            | Some truth ->
+                if not truth then
+                  Alcotest.failf
+                    "seed %d: no serial witness for non-orphan %s" seed
+                    (Txn_id.to_string t)
+            | None -> ())
+        forest)
+    (List.init 8 (fun i -> i + 1))
+
+let t_theorem2_orphan_rejected () =
+  let forest, schema = Gen.forest_and_schema Gen.registers ~seed:1 tiny_profile in
+  let tr =
+    Trace.of_list
+      Action.[ Request_create (txn [ 0 ]); Abort (txn [ 0 ]) ]
+  in
+  ignore forest;
+  match
+    Theorem2.check ~for_txn:(txn [ 0 ]) schema Sibling_order.empty tr
+  with
+  | Error Theorem2.Orphan -> ()
+  | _ -> Alcotest.fail "expected orphan rejection"
+
+let suite =
+  ( "serial_search",
+    [
+      Alcotest.test_case "serial behavior matches itself" `Quick
+        t_serial_trace_found;
+      Alcotest.test_case "impossible projection rejected" `Quick
+        t_impossible_projection;
+      Alcotest.test_case "checker soundness vs ground truth" `Slow
+        t_checker_sound;
+      Alcotest.test_case "Theorem 2 soundness vs ground truth" `Slow
+        t_theorem2_sound;
+      Alcotest.test_case "incompleteness only from hypotheses" `Quick
+        t_incompleteness_is_hypothesis_side;
+      Alcotest.test_case "per-transaction serial correctness" `Slow
+        t_per_transaction_correctness;
+      Alcotest.test_case "Theorem 2 rejects orphans" `Quick
+        t_theorem2_orphan_rejected;
+    ] )

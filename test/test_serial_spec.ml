@@ -1,0 +1,134 @@
+open Core
+open Util
+
+let reg = Register.make ()
+let ctr = Counter.make ()
+
+let t_legal () =
+  check_bool "empty legal" true (Serial_spec.legal reg []);
+  check_bool "write-read legal" true
+    (Serial_spec.legal reg
+       [ (Datatype.Write (Value.Int 4), Value.Ok); (Datatype.Read, Value.Int 4) ]);
+  check_bool "stale read illegal" false
+    (Serial_spec.legal reg
+       [ (Datatype.Write (Value.Int 4), Value.Ok); (Datatype.Read, Value.Int 0) ]);
+  check_bool "wrong ack illegal" false
+    (Serial_spec.legal reg [ (Datatype.Write (Value.Int 4), Value.Int 4) ])
+
+let t_final_state () =
+  check_bool "final state tracks writes" true
+    (Serial_spec.final_state reg
+       [ (Datatype.Write (Value.Int 4), Value.Ok); (Datatype.Read, Value.Int 4) ]
+    = Some (Value.Int 4));
+  check_bool "illegal has no state" true
+    (Serial_spec.final_state reg [ (Datatype.Read, Value.Int 9) ] = None)
+
+let t_response () =
+  Alcotest.check (Alcotest.option value_testable) "read response"
+    (Some (Value.Int 7))
+    (Serial_spec.response reg
+       [ (Datatype.Write (Value.Int 7), Value.Ok) ]
+       Datatype.Read);
+  Alcotest.check (Alcotest.option value_testable) "illegal prefix"
+    None
+    (Serial_spec.response reg [ (Datatype.Read, Value.Int 1) ] Datatype.Read)
+
+let t_equieffective () =
+  check_bool "reordered increments equieffective" true
+    (Serial_spec.equieffective ctr
+       [ (Datatype.Incr 1, Value.Ok); (Datatype.Incr 2, Value.Ok) ]
+       [ (Datatype.Incr 2, Value.Ok); (Datatype.Incr 1, Value.Ok) ]);
+  check_bool "different totals not equieffective" false
+    (Serial_spec.equieffective ctr
+       [ (Datatype.Incr 1, Value.Ok) ]
+       [ (Datatype.Incr 2, Value.Ok) ])
+
+(* The semantic commutativity check agrees with hand analysis on the
+   canonical read/write cases. *)
+let t_semantic_commutes () =
+  check_bool "reads commute" true
+    (Serial_spec.commutes_backward_semantic reg (Datatype.Read, Value.Int 0)
+       (Datatype.Read, Value.Int 0));
+  check_bool "read/write do not (symmetric)" false
+    (Serial_spec.commutes_backward_semantic reg (Datatype.Read, Value.Int 1)
+       (Datatype.Write (Value.Int 1), Value.Ok));
+  check_bool "same-value writes commute" true
+    (Serial_spec.commutes_backward_semantic reg
+       (Datatype.Write (Value.Int 2), Value.Ok)
+       (Datatype.Write (Value.Int 2), Value.Ok));
+  check_bool "distinct writes do not" false
+    (Serial_spec.commutes_backward_semantic reg
+       (Datatype.Write (Value.Int 1), Value.Ok)
+       (Datatype.Write (Value.Int 2), Value.Ok))
+
+(* Replay legality is prefix-closed. *)
+let prop_prefix_closed =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 8)
+        (oneof
+           [
+             return (Datatype.Incr 1, Value.Ok);
+             return (Datatype.Decr 1, Value.Ok);
+             map (fun n -> (Datatype.Get, Value.Int n)) (int_bound 5);
+           ]))
+  in
+  QCheck.Test.make ~name:"legal sequences are prefix closed" ~count:300
+    (QCheck.make gen)
+    (fun ops ->
+      if Serial_spec.legal ctr ops then
+        List.for_all
+          (fun n ->
+            Serial_spec.legal ctr (List.filteri (fun i _ -> i < n) ops))
+          (List.init (List.length ops) Fun.id)
+      else true)
+
+
+(* Propositions 7/18: reordering non-conflicting (backward-commuting)
+   operations preserves behavior-hood.  Random legal sequences with a
+   random adjacent commuting swap must stay legal and equieffective. *)
+let prop_commuting_reorder =
+  let gen =
+    QCheck.Gen.(
+      pair (int_bound 1000) (int_range 2 8) >|= fun (seed, len) -> (seed, len))
+  in
+  QCheck.Test.make ~name:"Prop 7/18: commuting swaps preserve behaviors"
+    ~count:400 (QCheck.make gen)
+    (fun (seed, len) ->
+      let rng = Rng.create seed in
+      List.for_all
+        (fun (dt : Datatype.t) ->
+          (* Build a legal sequence by replaying sampled ops. *)
+          let rec build s acc k =
+            if k = 0 then List.rev acc
+            else
+              let op = dt.sample_ops rng in
+              let s', v = dt.apply s op in
+              build s' ((op, v) :: acc) (k - 1)
+          in
+          let xi = build dt.init [] len in
+          (* Pick an adjacent pair; swap if the oracle commutes them. *)
+          let i = Rng.int rng (len - 1) in
+          let arr = Array.of_list xi in
+          if dt.commutes arr.(i) arr.(i + 1) then begin
+            let eta = Array.copy arr in
+            eta.(i) <- arr.(i + 1);
+            eta.(i + 1) <- arr.(i);
+            let eta = Array.to_list eta in
+            Serial_spec.legal dt eta && Serial_spec.equieffective dt xi eta
+          end
+          else true)
+        (Util.datatypes ()))
+
+
+let suite =
+  ( "serial_spec",
+    [
+      Alcotest.test_case "legal" `Quick t_legal;
+      Alcotest.test_case "final_state" `Quick t_final_state;
+      Alcotest.test_case "response" `Quick t_response;
+      Alcotest.test_case "equieffective" `Quick t_equieffective;
+      Alcotest.test_case "semantic commutes" `Quick t_semantic_commutes;
+      QCheck_alcotest.to_alcotest prop_prefix_closed;
+      QCheck_alcotest.to_alcotest prop_commuting_reorder;
+    ] )

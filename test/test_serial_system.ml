@@ -1,0 +1,149 @@
+(* The serial system as a composition of I/O automata: its random
+   executions are the specification family of serial behaviors. *)
+open Core
+open Util
+
+let t_quiescent_run () =
+  let forest, schema = rw_pair () in
+  let tr = Nt_serial.Serial_system.run ~seed:1 schema forest in
+  check_bool "nonempty" true (Trace.length tr > 0);
+  check_bool "well-formed" true (Simple_db.is_well_formed schema.Schema.sys tr);
+  check_bool "serially correct" true (Checker.serially_correct schema tr);
+  (* Both top-level transactions committed. *)
+  check_bool "t0.0 committed" true
+    (Txn_id.Set.mem (txn [ 0 ]) (Trace.committed tr));
+  check_bool "t0.1 committed" true
+    (Txn_id.Set.mem (txn [ 1 ]) (Trace.committed tr))
+
+(* Siblings never overlap: between CREATE(T) and the completion of T,
+   no sibling of T is created. *)
+let siblings_serial tr =
+  let open_set = ref Txn_id.Set.empty in
+  Array.for_all
+    (fun a ->
+      match a with
+      | Action.Create t ->
+          let ok =
+            not (Txn_id.Set.exists (fun u -> Txn_id.siblings t u) !open_set)
+          in
+          open_set := Txn_id.Set.add t !open_set;
+          ok
+      | Action.Commit t | Action.Abort t ->
+          open_set := Txn_id.Set.remove t !open_set;
+          true
+      | _ -> true)
+    tr
+
+let t_siblings_never_overlap () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 5; depth = 2 }
+      in
+      let tr = Nt_serial.Serial_system.run ~seed schema forest in
+      check_bool "siblings serial" true (siblings_serial tr);
+      check_bool "wf" true (Simple_db.is_well_formed schema.Schema.sys tr);
+      check_bool "correct" true (Checker.serially_correct schema tr))
+    (List.init 10 (fun i -> i + 1))
+
+let t_nondeterministic_aborts () =
+  let forest, schema = rw_pair () in
+  (* Allow aborting the second top-level transaction; over seeds, both
+     outcomes (created vs aborted) must occur, and all runs stay
+     correct. *)
+  let abortable t = Txn_id.equal t (txn [ 1 ]) in
+  let aborted_runs = ref 0 and created_runs = ref 0 in
+  for seed = 1 to 20 do
+    let tr =
+      Nt_serial.Serial_system.run ~allow_abort:abortable ~seed schema forest
+    in
+    check_bool "wf" true (Simple_db.is_well_formed schema.Schema.sys tr);
+    check_bool "correct" true (Checker.serially_correct schema tr);
+    if Txn_id.Set.mem (txn [ 1 ]) (Trace.aborted tr) then begin
+      incr aborted_runs;
+      check_bool "aborted txn never created" true
+        (Trace.find_first (fun a -> a = Action.Create (txn [ 1 ])) tr = None)
+    end
+    else incr created_runs
+  done;
+  check_bool "both outcomes explored" true (!aborted_runs > 0 && !created_runs > 0)
+
+let t_matches_canonical_semantics () =
+  (* Without aborts, the final object states agree with the canonical
+     depth-first executor whenever the top level runs in requested
+     order...  The serial scheduler may run top-level transactions in
+     any *requested* order; since T0 requests sequentially (awaiting
+     each report), the order is fixed and states must match. *)
+  let forest, schema = rw_pair () in
+  let canonical = Serial_exec.run schema forest in
+  let auto =
+    Nt_serial.Serial_system.run ~top_comb:Program.Seq ~seed:5 schema forest
+  in
+  let s1 = Serial_exec.final_states schema canonical in
+  let s2 = Serial_exec.final_states schema auto in
+  List.iter2
+    (fun (x1, v1) (x2, v2) ->
+      check_bool "same object" true (Obj_id.equal x1 x2);
+      Alcotest.check value_testable "same final state" v1 v2)
+    s1 s2
+
+let t_mixed_types () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.mixed ~seed
+          { Gen.default with n_top = 4; depth = 2; n_objects = 5 }
+      in
+      let tr = Nt_serial.Serial_system.run ~seed schema forest in
+      check_bool "wf" true (Simple_db.is_well_formed schema.Schema.sys tr);
+      check_bool "correct" true (Checker.serially_correct schema tr))
+    [ 2; 4; 6 ]
+
+let t_fire_unknown_action () =
+  let forest, schema = rw_pair () in
+  let auto = Nt_serial.Serial_system.make schema forest in
+  Alcotest.check_raises "foreign output rejected"
+    (Invalid_argument
+       "Automaton.fire: no component outputs INFORM_COMMIT_AT(x)OF(T0.0)")
+    (fun () ->
+      ignore
+        (Nt_iosim.Automaton.fire auto (Action.Inform_commit (x0, txn [ 0 ]))))
+
+
+(* Random serial-system executions with nondeterministic aborts across
+   many seeds form a broad specification family; each is certified by
+   the checker and by Theorem 2 with the index order. *)
+let t_broad_serial_family () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.mixed ~seed
+          { Gen.default with n_top = 4; depth = 2; n_objects = 4 }
+      in
+      let tr =
+        Nt_serial.Serial_system.run ~allow_abort:(fun _ -> true) ~seed schema
+          forest
+      in
+      check_bool "wf" true (Simple_db.is_well_formed schema.Schema.sys tr);
+      check_bool "checker certifies" true (Checker.serially_correct schema tr);
+      check_bool "theorem 2 certifies" true
+        (Theorem2.holds schema (Sibling_order.index_order tr) tr))
+    (List.init 10 (fun i -> i + 21))
+
+
+let suite =
+  ( "serial_system",
+    [
+      Alcotest.test_case "quiescent run" `Quick t_quiescent_run;
+      Alcotest.test_case "siblings never overlap" `Quick
+        t_siblings_never_overlap;
+      Alcotest.test_case "nondeterministic aborts" `Quick
+        t_nondeterministic_aborts;
+      Alcotest.test_case "matches canonical executor" `Quick
+        t_matches_canonical_semantics;
+      Alcotest.test_case "mixed data types" `Quick t_mixed_types;
+      Alcotest.test_case "foreign action rejected" `Quick t_fire_unknown_action;
+      Alcotest.test_case "broad serial family certified" `Slow
+        t_broad_serial_family;
+    ] )

@@ -1,0 +1,231 @@
+open Core
+open Util
+
+(* Two top-level transactions, each with one access to x; T1 writes, T2
+   reads, and both commit fully.  Conflict edge must be T1 -> T2 when
+   the write responds first. *)
+let t1 = txn [ 0 ]
+let a1 = txn [ 0; 0 ]
+let t2 = txn [ 1 ]
+let a2 = txn [ 1; 0 ]
+
+let schema () =
+  Program.schema_of
+    ~objects:[ (x0, Register.make ()) ]
+    [
+      Program.seq [ Program.access x0 (Datatype.Write (Value.Int 1)) ];
+      Program.seq [ Program.access x0 Datatype.Read ];
+    ]
+
+let committed_trace =
+  Trace.of_list
+    Action.
+      [
+        Request_create t1;
+        Create t1;
+        Request_create t2;
+        Create t2;
+        Request_create a1;
+        Create a1;
+        Request_create a2;
+        Create a2;
+        Request_commit (a1, Value.Ok);
+        Commit a1;
+        Report_commit (a1, Value.Ok);
+        Request_commit (t1, Value.Unit);
+        Commit t1;
+        Request_commit (a2, Value.Int 1);
+        Commit a2;
+        Report_commit (a2, Value.Int 1);
+        Request_commit (t2, Value.Unit);
+        Commit t2;
+        Report_commit (t1, Value.Unit);
+        Report_commit (t2, Value.Unit);
+      ]
+
+let t_conflict_relation () =
+  let rel = Conflict.relation Conflict.Access_level (schema ()) committed_trace in
+  check_int "one conflict pair" 1 (List.length rel);
+  let a, b = List.hd rel in
+  Alcotest.check txn_testable "edge source" t1 a;
+  Alcotest.check txn_testable "edge target" t2 b
+
+let t_conflict_needs_visibility () =
+  (* Without COMMIT(t1) the write's parent chain is not committed, so a1
+     is not visible to T0 and there is no conflict edge. *)
+  let tr =
+    Trace.filter
+      (fun a -> a <> Action.Commit t1 && a <> Action.Report_commit (t1, Value.Unit))
+      committed_trace
+  in
+  check_int "no visible conflict" 0
+    (List.length (Conflict.relation Conflict.Access_level (schema ()) tr))
+
+let t_conflict_modes () =
+  (* Two writes of the SAME value conflict at access level but not at
+     operation level. *)
+  let schema2 =
+    Program.schema_of
+      ~objects:[ (x0, Register.make ()) ]
+      [
+        Program.seq [ Program.access x0 (Datatype.Write (Value.Int 7)) ];
+        Program.seq [ Program.access x0 (Datatype.Write (Value.Int 7)) ];
+      ]
+  in
+  let tr =
+    Trace.of_list
+      Action.
+        [
+          Request_create t1; Create t1; Request_create a1; Create a1;
+          Request_commit (a1, Value.Ok); Commit a1; Commit t1;
+          Request_create t2; Create t2; Request_create a2; Create a2;
+          Request_commit (a2, Value.Ok); Commit a2; Commit t2;
+        ]
+  in
+  check_int "access level sees conflict" 1
+    (List.length (Conflict.relation Conflict.Access_level schema2 tr));
+  check_int "operation level sees none" 0
+    (List.length (Conflict.relation Conflict.Operation_level schema2 tr))
+
+let t_precedes_relation () =
+  (* T1 reported before REQUEST_CREATE(T2): a precedes edge. *)
+  let tr =
+    Trace.of_list
+      Action.
+        [
+          Request_create t1; Create t1;
+          Request_commit (t1, Value.Unit); Commit t1;
+          Report_commit (t1, Value.Unit);
+          Request_create t2; Create t2;
+          Request_commit (t2, Value.Unit); Commit t2;
+          Report_commit (t2, Value.Unit);
+        ]
+  in
+  let rel = Precedes.relation tr in
+  check_int "one precedes pair" 1 (List.length rel);
+  let a, b = List.hd rel in
+  Alcotest.check txn_testable "before" t1 a;
+  Alcotest.check txn_testable "after" t2 b;
+  (* Concurrent issue order produces no precedes edge. *)
+  let tr2 =
+    Trace.of_list
+      Action.
+        [
+          Request_create t1; Request_create t2; Create t1; Create t2;
+          Request_commit (t1, Value.Unit); Commit t1; Report_commit (t1, Value.Unit);
+          Request_commit (t2, Value.Unit); Commit t2; Report_commit (t2, Value.Unit);
+        ]
+  in
+  check_int "no precedes" 0 (List.length (Precedes.relation tr2))
+
+let t_sg_build () =
+  let g = Sg.build Sg.Access_level (schema ()) committed_trace in
+  check_bool "conflict edge present" true (Graph.mem_edge g t1 t2);
+  check_bool "acyclic" true (Graph.is_acyclic g);
+  (* Nodes include accesses (lowtransactions of visible events). *)
+  check_bool "access node" true (List.exists (Txn_id.equal a1) (Graph.nodes g))
+
+let t_sg_cycle_detected () =
+  (* Force a cycle: T1 writes then T2 writes (conflict T1->T2), and T2's
+     report precedes T1's REQUEST_CREATE... impossible in one trace; use
+     two objects instead: on x, a1 before a2; on y, b2 before b1. *)
+  let schema2 =
+    Program.schema_of
+      ~objects:[ (x0, Register.make ()); (y0, Register.make ()) ]
+      [
+        Program.par
+          [
+            Program.access x0 (Datatype.Write (Value.Int 1));
+            Program.access y0 (Datatype.Write (Value.Int 1));
+          ];
+        Program.par
+          [
+            Program.access x0 (Datatype.Write (Value.Int 2));
+            Program.access y0 (Datatype.Write (Value.Int 2));
+          ];
+      ]
+  in
+  let b1 = txn [ 0; 1 ] and b2 = txn [ 1; 1 ] in
+  let tr =
+    Trace.of_list
+      Action.
+        [
+          Request_create t1; Create t1; Request_create t2; Create t2;
+          Request_create a1; Create a1; Request_create b1; Create b1;
+          Request_create a2; Create a2; Request_create b2; Create b2;
+          Request_commit (a1, Value.Ok);
+          Request_commit (b2, Value.Ok);
+          Request_commit (a2, Value.Ok);
+          Request_commit (b1, Value.Ok);
+          Commit a1; Commit b1; Commit a2; Commit b2;
+          Request_commit (t1, Value.Unit); Commit t1;
+          Request_commit (t2, Value.Unit); Commit t2;
+        ]
+  in
+  let g = Sg.build Sg.Access_level schema2 tr in
+  check_bool "t1 -> t2 on x" true (Graph.mem_edge g t1 t2);
+  check_bool "t2 -> t1 on y" true (Graph.mem_edge g t2 t1);
+  check_bool "cyclic" false (Graph.is_acyclic g);
+  check_bool "no witness order" true (Sg.witness_order g = None)
+
+let t_witness_order_and_view () =
+  let g = Sg.build Sg.Access_level (schema ()) committed_trace in
+  match Sg.witness_order g with
+  | None -> Alcotest.fail "expected witness order"
+  | Some r ->
+      check_bool "t1 before t2" true (Sibling_order.mem r t1 t2);
+      check_bool "suitable" true
+        (Suitability.is_suitable committed_trace ~to_:Txn_id.root r);
+      let view = View.view (schema ()) committed_trace ~to_:Txn_id.root r x0 in
+      check_int "two operations in view" 2 (List.length view);
+      let ops = View.view_ops (schema ()) committed_trace ~to_:Txn_id.root r x0 in
+      check_bool "view replays" true
+        (Serial_spec.legal (Register.make ()) ops)
+
+let t_suitability_unordered () =
+  (* An empty order cannot order the sibling lowtransactions. *)
+  match Suitability.check committed_trace ~to_:Txn_id.root Sibling_order.empty with
+  | Error (Suitability.Unordered_siblings _) -> ()
+  | _ -> Alcotest.fail "expected unordered siblings failure"
+
+let t_suitability_event_cycle () =
+  (* Order t2 before t1, but t1's report affects REQUEST_CREATE(t2)
+     (both have transaction T0) in a sequential trace: R_event then
+     contradicts affects. *)
+  let tr =
+    Trace.of_list
+      Action.
+        [
+          Request_create t1; Create t1;
+          Request_commit (t1, Value.Unit); Commit t1;
+          Report_commit (t1, Value.Unit);
+          Request_create t2; Create t2;
+          Request_commit (t2, Value.Unit); Commit t2;
+          Report_commit (t2, Value.Unit);
+        ]
+  in
+  let bad = Sibling_order.of_chains [ [ t2; t1 ] ] in
+  (match Suitability.check tr ~to_:Txn_id.root bad with
+  | Error (Suitability.Event_cycle _) -> ()
+  | Ok () -> Alcotest.fail "expected event cycle"
+  | Error (Suitability.Unordered_siblings _) ->
+      Alcotest.fail "expected event cycle, got unordered");
+  let good = Sibling_order.of_chains [ [ t1; t2 ] ] in
+  check_bool "correct order suitable" true
+    (Suitability.is_suitable tr ~to_:Txn_id.root good)
+
+let suite =
+  ( "sg",
+    [
+      Alcotest.test_case "conflict relation" `Quick t_conflict_relation;
+      Alcotest.test_case "conflict needs visibility" `Quick
+        t_conflict_needs_visibility;
+      Alcotest.test_case "conflict modes" `Quick t_conflict_modes;
+      Alcotest.test_case "precedes relation" `Quick t_precedes_relation;
+      Alcotest.test_case "sg build" `Quick t_sg_build;
+      Alcotest.test_case "sg cycle detected" `Quick t_sg_cycle_detected;
+      Alcotest.test_case "witness order and view" `Quick t_witness_order_and_view;
+      Alcotest.test_case "suitability: unordered" `Quick t_suitability_unordered;
+      Alcotest.test_case "suitability: event cycle" `Quick
+        t_suitability_event_cycle;
+    ] )

@@ -1,0 +1,93 @@
+open Core
+open Util
+
+(* Order: children of root 0 < 1 < 2; children of [0]: [0;1] < [0;0]. *)
+let order () =
+  Sibling_order.of_chains
+    [ [ txn [ 0 ]; txn [ 1 ]; txn [ 2 ] ]; [ txn [ 0; 1 ]; txn [ 0; 0 ] ] ]
+
+let t_mem () =
+  let r = order () in
+  check_bool "0 < 1" true (Sibling_order.mem r (txn [ 0 ]) (txn [ 1 ]));
+  check_bool "1 < 2" true (Sibling_order.mem r (txn [ 1 ]) (txn [ 2 ]));
+  check_bool "0 < 2" true (Sibling_order.mem r (txn [ 0 ]) (txn [ 2 ]));
+  check_bool "not reversed" false (Sibling_order.mem r (txn [ 1 ]) (txn [ 0 ]));
+  check_bool "irreflexive" false (Sibling_order.mem r (txn [ 0 ]) (txn [ 0 ]));
+  check_bool "nested chain" true (Sibling_order.mem r (txn [ 0; 1 ]) (txn [ 0; 0 ]));
+  check_bool "unranked sibling" false (Sibling_order.mem r (txn [ 0 ]) (txn [ 7 ]));
+  check_bool "orders_pair" true (Sibling_order.orders_pair r (txn [ 2 ]) (txn [ 0 ]))
+
+let t_trans () =
+  let r = order () in
+  (* Descendants inherit the order of their ancestors. *)
+  check_bool "descendants ordered" true
+    (Sibling_order.trans_mem r (txn [ 0; 5; 5 ]) (txn [ 1; 9 ]));
+  check_bool "reverse false" false
+    (Sibling_order.trans_mem r (txn [ 1; 9 ]) (txn [ 0; 5; 5 ]));
+  (* Related names are never R_trans ordered. *)
+  check_bool "ancestor unordered" false
+    (Sibling_order.trans_mem r (txn [ 0 ]) (txn [ 0; 0 ]));
+  check_bool "self unordered" false
+    (Sibling_order.trans_mem r (txn [ 0 ]) (txn [ 0 ]));
+  (* Nested chain decides cousins below [0]. *)
+  check_bool "nested cousins" true
+    (Sibling_order.trans_mem r (txn [ 0; 1; 3 ]) (txn [ 0; 0; 8 ]));
+  check_bool "compare -1" true
+    (Sibling_order.compare_trans r (txn [ 0 ]) (txn [ 1 ]) = Some (-1));
+  check_bool "compare +1" true
+    (Sibling_order.compare_trans r (txn [ 1 ]) (txn [ 0 ]) = Some 1);
+  check_bool "compare unordered" true
+    (Sibling_order.compare_trans r (txn [ 0 ]) (txn [ 7 ]) = None)
+
+let t_event_mem () =
+  let r = order () in
+  let phi = Action.Commit (txn [ 0; 3 ]) in
+  (* lowtransaction of COMMIT is the transaction itself: [0;3] vs [1]. *)
+  let pi = Action.Create (txn [ 1 ]) in
+  check_bool "event ordered" true (Sibling_order.event_mem r phi pi);
+  check_bool "event reversed" false (Sibling_order.event_mem r pi phi);
+  check_bool "inform never ordered" false
+    (Sibling_order.event_mem r (Action.Inform_commit (x0, txn [ 0 ])) pi)
+
+let t_children_parents () =
+  let r = order () in
+  Alcotest.(check (list txn_testable)) "ordered children of root"
+    [ txn [ 0 ]; txn [ 1 ]; txn [ 2 ] ]
+    (Sibling_order.ordered_children r Txn_id.root);
+  Alcotest.(check (list txn_testable)) "ordered children of [0]"
+    [ txn [ 0; 1 ]; txn [ 0; 0 ] ]
+    (Sibling_order.ordered_children r (txn [ 0 ]));
+  check_int "two parents" 2 (List.length (Sibling_order.parents r));
+  Alcotest.(check (list txn_testable)) "no children elsewhere" []
+    (Sibling_order.ordered_children r (txn [ 5 ]))
+
+let t_add_chain () =
+  let r = Sibling_order.add_chain (order ()) [ txn [ 7 ]; txn [ 8 ] ] in
+  check_bool "extended" true (Sibling_order.mem r (txn [ 7 ]) (txn [ 8 ]));
+  (* Ranks continue after existing children: 2 < 7 holds because 7 was
+     appended after the first chain. *)
+  check_bool "appended after" true (Sibling_order.mem r (txn [ 2 ]) (txn [ 7 ]))
+
+let t_invalid_chains () =
+  Alcotest.check_raises "mixed parents"
+    (Invalid_argument "Sibling_order: chain mixes parents")
+    (fun () ->
+      ignore (Sibling_order.of_chains [ [ txn [ 0 ]; txn [ 1; 1 ] ] ]));
+  Alcotest.check_raises "root in chain"
+    (Invalid_argument "Sibling_order: root cannot be ranked")
+    (fun () -> ignore (Sibling_order.of_chains [ [ Txn_id.root ] ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Sibling_order: duplicate child in chain")
+    (fun () ->
+      ignore (Sibling_order.of_chains [ [ txn [ 0 ]; txn [ 0 ] ] ]))
+
+let suite =
+  ( "sibling_order",
+    [
+      Alcotest.test_case "mem" `Quick t_mem;
+      Alcotest.test_case "trans" `Quick t_trans;
+      Alcotest.test_case "event_mem" `Quick t_event_mem;
+      Alcotest.test_case "children/parents" `Quick t_children_parents;
+      Alcotest.test_case "add_chain" `Quick t_add_chain;
+      Alcotest.test_case "invalid chains" `Quick t_invalid_chains;
+    ] )

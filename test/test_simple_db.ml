@@ -1,0 +1,89 @@
+open Core
+open Util
+
+let schema () =
+  Program.schema_of
+    ~objects:[ (x0, Register.make ()) ]
+    [ Program.seq [ Program.access x0 Datatype.Read ] ]
+
+let sys () = (schema ()).Schema.sys
+let t1 = txn [ 0 ]
+let a1 = txn [ 0; 0 ]
+
+let expect_ok tr =
+  match Simple_db.well_formed (sys ()) (Trace.of_list tr) with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "unexpected violation: %a" Simple_db.pp_violation v
+
+let expect_err reason tr =
+  match Simple_db.well_formed (sys ()) (Trace.of_list tr) with
+  | Ok () -> Alcotest.failf "expected violation %S, got none" reason
+  | Error v -> Alcotest.(check string) "reason" reason v.Simple_db.reason
+
+let t_ok_sequence () =
+  expect_ok
+    Action.
+      [
+        Request_create t1;
+        Create t1;
+        Request_create a1;
+        Create a1;
+        Request_commit (a1, Value.Int 0);
+        Commit a1;
+        Report_commit (a1, Value.Int 0);
+        Request_commit (t1, Value.Unit);
+        Commit t1;
+        Report_commit (t1, Value.Unit);
+      ]
+
+let t_violations () =
+  expect_err "CREATE without request" Action.[ Create t1 ];
+  expect_err "duplicate REQUEST_CREATE"
+    Action.[ Request_create t1; Request_create t1 ];
+  expect_err "parent not created"
+    Action.[ Request_create a1 ];
+  expect_err "REQUEST_CREATE of T0" Action.[ Request_create Txn_id.root ];
+  expect_err "duplicate CREATE"
+    Action.[ Request_create t1; Create t1; Create t1 ];
+  expect_err "COMMIT without REQUEST_COMMIT"
+    Action.[ Request_create t1; Create t1; Commit t1 ];
+  expect_err "ABORT without REQUEST_CREATE" Action.[ Abort t1 ];
+  expect_err "duplicate completion"
+    Action.
+      [ Request_create t1; Create t1; Request_commit (t1, Value.Unit);
+        Commit t1; Abort t1 ];
+  expect_err "REPORT_COMMIT without COMMIT"
+    Action.[ Request_create t1; Report_commit (t1, Value.Unit) ];
+  expect_err "REPORT_ABORT without ABORT"
+    Action.[ Request_create t1; Report_abort t1 ];
+  expect_err "REQUEST_COMMIT before CREATE"
+    Action.[ Request_create t1; Request_commit (t1, Value.Unit) ];
+  expect_err "REQUEST_COMMIT with unreported children"
+    Action.
+      [ Request_create t1; Create t1; Request_create a1;
+        Request_commit (t1, Value.Unit) ];
+  expect_err "REPORT_COMMIT value mismatch"
+    Action.
+      [ Request_create t1; Create t1; Request_commit (t1, Value.Unit);
+        Commit t1; Report_commit (t1, Value.Int 3) ]
+
+let t_abort_after_create_ok () =
+  (* The generic controller may abort created transactions. *)
+  expect_ok Action.[ Request_create t1; Create t1; Abort t1; Report_abort t1 ]
+
+let t_informs_ignored () =
+  expect_ok
+    Action.
+      [
+        Request_create t1; Create t1; Request_commit (t1, Value.Unit); Commit t1;
+        Inform_commit (x0, t1); Inform_abort (x0, txn [ 9 ]);
+      ]
+
+let suite =
+  ( "simple_db",
+    [
+      Alcotest.test_case "accepting run" `Quick t_ok_sequence;
+      Alcotest.test_case "violations" `Quick t_violations;
+      Alcotest.test_case "abort after create" `Quick t_abort_after_create_ok;
+      Alcotest.test_case "informs ignored" `Quick t_informs_ignored;
+    ] )

@@ -1,0 +1,51 @@
+open Core
+open Util
+
+let feq name a b = Alcotest.(check (float 1e-9)) name a b
+
+let t_mean () =
+  feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  feq "empty" 0.0 (Stats.mean []);
+  feq "sum" 6.0 (Stats.sum [ 1.0; 2.0; 3.0 ])
+
+let t_stddev () =
+  feq "constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  feq "singleton" 0.0 (Stats.stddev [ 5.0 ]);
+  feq "spread" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let t_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  feq "p50" 50.0 (Stats.percentile 50.0 xs);
+  feq "p99" 99.0 (Stats.percentile 99.0 xs);
+  feq "p100" 100.0 (Stats.percentile 100.0 xs);
+  feq "median alias" (Stats.median xs) (Stats.percentile 50.0 xs);
+  feq "unsorted input" 3.0 (Stats.median [ 5.0; 1.0; 3.0; 2.0; 4.0 ]);
+  feq "empty" 0.0 (Stats.percentile 50.0 [])
+
+let t_min_max_ratio () =
+  feq "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  feq "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  feq "ratio" 2.0 (Stats.ratio 4.0 2.0);
+  feq "ratio by zero" 0.0 (Stats.ratio 4.0 0.0)
+
+let t_table () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "long header"; "c" ] in
+  Table.add_row t [ "1"; "2"; "3" ];
+  Table.add_row t [ "wide cell"; "x"; Table.cell_f 1.5 ];
+  let s = Table.render t in
+  check_bool "title present" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  check_bool "cell rendered" true
+    (Astring_like.contains s "wide cell" && Astring_like.contains s "1.50");
+  Alcotest.check_raises "width mismatch" (Invalid_argument "Table.add_row: width mismatch")
+    (fun () -> Table.add_row t [ "too"; "few" ])
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "mean/sum" `Quick t_mean;
+      Alcotest.test_case "stddev" `Quick t_stddev;
+      Alcotest.test_case "percentile" `Quick t_percentile;
+      Alcotest.test_case "min/max/ratio" `Quick t_min_max_ratio;
+      Alcotest.test_case "table" `Quick t_table;
+    ] )

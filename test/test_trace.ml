@@ -1,0 +1,171 @@
+open Core
+open Util
+
+(* Hand-built trace: two top-level transactions over one object.
+   T1 = txn [0] with access A1 = txn [0;0]; T2 = txn [1] with access
+   A2 = txn [1;0].  T1 commits fully; T2 aborts. *)
+let t1 = txn [ 0 ]
+let a1 = txn [ 0; 0 ]
+let t2 = txn [ 1 ]
+let a2 = txn [ 1; 0 ]
+
+let sample =
+  Trace.of_list
+    Action.
+      [
+        Request_create t1;
+        Create t1;
+        Request_create a1;
+        Create a1;
+        Request_commit (a1, Value.Ok);
+        Commit a1;
+        Report_commit (a1, Value.Ok);
+        Request_commit (t1, Value.Int 1);
+        Commit t1;
+        Report_commit (t1, Value.Int 1);
+        Request_create t2;
+        Create t2;
+        Request_create a2;
+        Create a2;
+        Inform_commit (x0, a1);
+        Abort t2;
+        Report_abort t2;
+        Inform_abort (x0, t2);
+      ]
+
+let t_serial () =
+  check_int "serial drops informs" (Trace.length sample - 2)
+    (Trace.length (Trace.serial sample))
+
+let t_proj_txn () =
+  (* Events with transaction = t1: Create t1, Request_create a1,
+     Report_commit a1, Request_commit t1. *)
+  check_int "proj t1" 4 (Trace.length (Trace.proj_txn sample t1));
+  (* Events with transaction = T0: Request_create t1, Report_commit t1,
+     Request_create t2, Report_abort t2. *)
+  check_int "proj root" 4 (Trace.length (Trace.proj_txn sample Txn_id.root));
+  check_int "proj access" 2 (Trace.length (Trace.proj_txn sample a1))
+
+let t_orphan_live () =
+  check_bool "a2 orphan (ancestor aborted)" true (Trace.is_orphan sample a2);
+  check_bool "t2 orphan (self aborted)" true (Trace.is_orphan sample t2);
+  check_bool "a1 not orphan" false (Trace.is_orphan sample a1);
+  check_bool "a2 live" true (Trace.is_live sample a2);
+  check_bool "a1 not live (committed)" false (Trace.is_live sample a1);
+  check_bool "t2 not live (aborted)" false (Trace.is_live sample t2)
+
+let t_committed_aborted () =
+  check_int "committed" 2 (Txn_id.Set.cardinal (Trace.committed sample));
+  check_int "aborted" 1 (Txn_id.Set.cardinal (Trace.aborted sample));
+  check_bool "t1 committed" true (Txn_id.Set.mem t1 (Trace.committed sample))
+
+let t_visible () =
+  check_bool "a1 visible to root (all ancestors committed)" true
+    (Trace.visible_txn sample ~to_:Txn_id.root a1);
+  check_bool "a2 not visible to root" false
+    (Trace.visible_txn sample ~to_:Txn_id.root a2);
+  check_bool "a2 visible to itself" true (Trace.visible_txn sample ~to_:a2 a2);
+  (* A live transaction is not yet visible to its parent — visibility
+     demands COMMITs for every ancestor not shared, including itself. *)
+  check_bool "live a2 not visible to t2" false
+    (Trace.visible_txn sample ~to_:t2 a2);
+  check_bool "a2 visible to its own descendant" true
+    (Trace.visible_txn sample ~to_:(Txn_id.child a2 0) a2);
+  (* visible(sample, T0) keeps events whose hightransaction is visible:
+     everything of T1's committed subtree and T0's own events, but not
+     the events high at t2/a2. *)
+  let vis = Trace.visible sample ~to_:Txn_id.root in
+  check_bool "no CREATE(t2) in visible" true
+    (Trace.find_first (fun a -> a = Action.Create t2) vis = None);
+  check_bool "CREATE(t1) in visible" true
+    (Trace.find_first (fun a -> a = Action.Create t1) vis <> None);
+  (* ABORT(t2) has hightransaction T0, which is visible. *)
+  check_bool "ABORT(t2) visible (high at T0)" true
+    (Trace.find_first (fun a -> a = Action.Abort t2) vis <> None)
+
+let t_clean () =
+  let cl = Trace.clean sample in
+  check_bool "clean drops t2 subtree events" true
+    (Trace.find_first (fun a -> a = Action.Create t2) cl = None);
+  check_bool "clean drops REQUEST_CREATE(a2): high at t2 which is orphan" true
+    (Trace.find_first (fun a -> a = Action.Request_create a2) cl = None);
+  check_bool "clean keeps t1 events" true
+    (Trace.find_first (fun a -> a = Action.Create t1) cl <> None)
+
+let t_operations () =
+  let schema =
+    Program.schema_of
+      ~objects:[ (x0, Register.make ()) ]
+      [
+        Program.seq [ Program.access x0 (Datatype.Write (Value.Int 5)) ];
+        Program.seq [ Program.access x0 Datatype.Read ];
+      ]
+  in
+  let ops = Trace.operations schema.Schema.sys sample x0 in
+  check_int "one operation of x" 1 (List.length ops);
+  let t, v = List.hd ops in
+  Alcotest.check txn_testable "op txn" a1 t;
+  Alcotest.check value_testable "op value" Value.Ok v
+
+let t_affects () =
+  (* REQUEST_CREATE(t1) directly affects CREATE(t1): indices 0, 1. *)
+  check_bool "rc -> create" true (Trace.directly_affects sample 0 1);
+  (* REQUEST_COMMIT(a1) -> COMMIT(a1): indices 4, 5. *)
+  check_bool "rq -> commit" true (Trace.directly_affects sample 4 5);
+  (* COMMIT(a1) -> REPORT_COMMIT(a1): 5, 6. *)
+  check_bool "commit -> report" true (Trace.directly_affects sample 5 6);
+  (* Same transaction t1: CREATE(t1) at 1 and REQUEST_CREATE(a1) at 2. *)
+  check_bool "same txn" true (Trace.directly_affects sample 1 2);
+  check_bool "unrelated events" false (Trace.directly_affects sample 1 11);
+  (* Transitivity: REQUEST_CREATE(t1) affects REQUEST_COMMIT(t1) at 7. *)
+  check_bool "affects transitive" true (Trace.affects sample 0 7);
+  check_bool "affects not backward" false (Trace.affects sample 7 0);
+  (* Cross-transaction affects path via T0: REQUEST_CREATE(t2) at 10
+     is affected by REPORT_COMMIT(t1) at 9?  Both have transaction T0:
+     9 before 10, same transaction -> directly affects. *)
+  check_bool "t0 chaining" true (Trace.affects sample 9 10)
+
+let t_completion_before () =
+  check_bool "t1 before t2" true (Trace.completion_before sample t1 t2);
+  check_bool "not reversed" false (Trace.completion_before sample t2 t1);
+  check_bool "not siblings" false (Trace.completion_before sample t1 a2);
+  (* a1 and a2 are not siblings (different parents). *)
+  check_bool "different parents" false (Trace.completion_before sample a1 a2)
+
+let t_prefix_append () =
+  let p = Trace.prefix sample 3 in
+  check_int "prefix length" 3 (Trace.length p);
+  let q = Trace.append p (Action.Create a2) in
+  check_int "append length" 4 (Trace.length q);
+  check_bool "append content" true (Trace.get q 3 = Action.Create a2);
+  check_int "concat" 7 (Trace.length (Trace.concat p q))
+
+
+let t_trace_stats () =
+  let s = Trace_stats.of_trace sample in
+  Alcotest.(check int) "events" (Trace.length sample) s.Trace_stats.events;
+  Alcotest.(check int) "informs" 2 s.Trace_stats.informs;
+  Alcotest.(check int) "creates" 4 s.Trace_stats.creates;
+  Alcotest.(check int) "commits" 2 s.Trace_stats.commits;
+  Alcotest.(check int) "aborts" 1 s.Trace_stats.aborts;
+  Alcotest.(check int) "responses" 2 s.Trace_stats.responses;
+  Alcotest.(check int) "max depth" 2 s.Trace_stats.max_depth;
+  (* T1 completes before T2 is created: never two live top siblings. *)
+  Alcotest.(check int) "peak live siblings" 1 s.Trace_stats.max_live_siblings
+
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "serial" `Quick t_serial;
+      Alcotest.test_case "proj_txn" `Quick t_proj_txn;
+      Alcotest.test_case "orphan/live" `Quick t_orphan_live;
+      Alcotest.test_case "committed/aborted" `Quick t_committed_aborted;
+      Alcotest.test_case "visible" `Quick t_visible;
+      Alcotest.test_case "clean" `Quick t_clean;
+      Alcotest.test_case "operations" `Quick t_operations;
+      Alcotest.test_case "affects" `Quick t_affects;
+      Alcotest.test_case "completion_before" `Quick t_completion_before;
+      Alcotest.test_case "prefix/append" `Quick t_prefix_append;
+      Alcotest.test_case "trace stats" `Quick t_trace_stats;
+    ] )

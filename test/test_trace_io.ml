@@ -1,0 +1,95 @@
+open Core
+open Util
+
+let sample_actions =
+  Action.
+    [
+      Request_create (txn [ 0 ]);
+      Create (txn [ 0 ]);
+      Request_commit (txn [ 0; 1 ], Value.Int (-3));
+      Request_commit (txn [ 0 ], Value.Pair (Value.Bool true, Value.Str "a \"b\"\\c"));
+      Commit (txn [ 0 ]);
+      Abort (txn [ 2 ]);
+      Report_commit (txn [ 0 ], Value.List [ Value.Ok; Value.Unit ]);
+      Report_abort (txn [ 2 ]);
+      Inform_commit (Obj_id.make "weird name (x)", txn [ 0 ]);
+      Inform_abort (x0, txn [ 2 ]);
+    ]
+
+let t_roundtrip_actions () =
+  List.iter
+    (fun a ->
+      match Trace_io.action_of_string (Trace_io.action_to_string a) with
+      | Ok a' ->
+          Alcotest.(check string) "round trip" (Action.to_string a)
+            (Action.to_string a')
+      | Error e ->
+          Alcotest.failf "parse of %S failed: %s" (Trace_io.action_to_string a) e)
+    sample_actions
+
+let t_roundtrip_trace () =
+  let tr = Trace.of_list sample_actions in
+  match Trace_io.of_string (Trace_io.to_string tr) with
+  | Ok tr' -> check_bool "trace equal" true (Trace.to_list tr = Trace.to_list tr')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let t_roundtrip_generated () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.mixed ~seed
+          { Gen.default with n_top = 4; n_objects = 5 }
+      in
+      let r = run_protocol ~abort_prob:0.05 ~seed schema Undo_object.factory forest in
+      match Trace_io.of_string (Trace_io.to_string r.Runtime.trace) with
+      | Ok tr' ->
+          check_bool "generated trace round trips" true
+            (Trace.to_list r.Runtime.trace = Trace.to_list tr');
+          (* The checker verdict survives serialization. *)
+          check_bool "verdict stable" true (Checker.serially_correct schema tr')
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    [ 1; 2; 3 ]
+
+let t_comments_and_blanks () =
+  let text = "# a comment\n\nCREATE T0.1\n   \nCOMMIT T0.1\n" in
+  match Trace_io.of_string text with
+  | Ok tr -> check_int "two actions" 2 (Trace.length tr)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let t_errors () =
+  let bad l =
+    match Trace_io.of_string l with
+    | Ok _ -> Alcotest.failf "expected failure on %S" l
+    | Error _ -> ()
+  in
+  bad "FROB T0.1";
+  bad "CREATE";
+  bad "CREATE X9";
+  bad "CREATE T1.2";
+  bad "REQUEST_COMMIT T0.1 (int x)";
+  bad "REQUEST_COMMIT T0.1 (pair ok)";
+  bad "REQUEST_COMMIT T0.1 (list ok";
+  bad "REQUEST_COMMIT T0.1 ok trailing";
+  bad "INFORM_COMMIT x T0.1";
+  bad "REQUEST_COMMIT T0.1 (str \"oops)"
+
+let t_file_io () =
+  let tr = Trace.of_list sample_actions in
+  let path = Filename.temp_file "nested_sg" ".trace" in
+  Trace_io.save path tr;
+  (match Trace_io.load path with
+  | Ok tr' -> check_bool "file round trip" true (Trace.to_list tr = Trace.to_list tr')
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  Sys.remove path
+
+let suite =
+  ( "trace_io",
+    [
+      Alcotest.test_case "action round trips" `Quick t_roundtrip_actions;
+      Alcotest.test_case "trace round trips" `Quick t_roundtrip_trace;
+      Alcotest.test_case "generated traces round trip" `Quick
+        t_roundtrip_generated;
+      Alcotest.test_case "comments and blanks" `Quick t_comments_and_blanks;
+      Alcotest.test_case "parse errors" `Quick t_errors;
+      Alcotest.test_case "file io" `Quick t_file_io;
+    ] )

@@ -1,0 +1,158 @@
+open Core
+open Util
+
+let t_root () =
+  check_bool "root is root" true (Txn_id.is_root Txn_id.root);
+  check_int "root depth" 0 (Txn_id.depth Txn_id.root);
+  check_bool "root has no parent" true (Txn_id.parent Txn_id.root = None);
+  Alcotest.check txn_testable "of_path []" Txn_id.root (txn [])
+
+let t_child_parent () =
+  let c = Txn_id.child Txn_id.root 3 in
+  Alcotest.check txn_testable "parent of child" Txn_id.root (Txn_id.parent_exn c);
+  check_int "depth" 1 (Txn_id.depth c);
+  check_bool "last index" true (Txn_id.last_index c = Some 3);
+  let gc = Txn_id.child c 0 in
+  Alcotest.check txn_testable "grandchild parent" c (Txn_id.parent_exn gc);
+  Alcotest.check txn_testable "path round trip" gc (txn [ 3; 0 ]);
+  Alcotest.(check (list int)) "path" [ 3; 0 ] (Txn_id.path gc)
+
+let t_child_negative () =
+  Alcotest.check_raises "negative index" (Invalid_argument "Txn_id.child: negative index")
+    (fun () -> ignore (Txn_id.child Txn_id.root (-1)))
+
+let t_ancestors () =
+  let t = txn [ 1; 2; 3 ] in
+  Alcotest.(check (list txn_testable))
+    "ancestors leaf to root"
+    [ txn [ 1; 2; 3 ]; txn [ 1; 2 ]; txn [ 1 ]; Txn_id.root ]
+    (Txn_id.ancestors t);
+  check_int "proper ancestors" 3 (List.length (Txn_id.proper_ancestors t))
+
+let t_ancestor_tests () =
+  let a = txn [ 0 ] and b = txn [ 0; 1 ] and c = txn [ 1 ] in
+  check_bool "self ancestor" true (Txn_id.is_ancestor a a);
+  check_bool "parent ancestor" true (Txn_id.is_ancestor a b);
+  check_bool "not ancestor" false (Txn_id.is_ancestor b a);
+  check_bool "unrelated" false (Txn_id.is_ancestor a c);
+  check_bool "descendant" true (Txn_id.is_descendant b a);
+  check_bool "related sym" true (Txn_id.related b a && Txn_id.related a b);
+  check_bool "proper" true (Txn_id.is_proper_ancestor a b);
+  check_bool "not proper self" false (Txn_id.is_proper_ancestor a a);
+  check_bool "root ancestor of all" true (Txn_id.is_ancestor Txn_id.root b)
+
+let t_siblings () =
+  check_bool "siblings" true (Txn_id.siblings (txn [ 0; 1 ]) (txn [ 0; 2 ]));
+  check_bool "not self" false (Txn_id.siblings (txn [ 0; 1 ]) (txn [ 0; 1 ]));
+  check_bool "different parents" false (Txn_id.siblings (txn [ 0; 1 ]) (txn [ 1; 1 ]));
+  check_bool "top level" true (Txn_id.siblings (txn [ 0 ]) (txn [ 5 ]))
+
+let t_lca () =
+  Alcotest.check txn_testable "lca cousins" (txn [ 2 ])
+    (Txn_id.lca (txn [ 2; 0; 1 ]) (txn [ 2; 1 ]));
+  Alcotest.check txn_testable "lca unrelated" Txn_id.root
+    (Txn_id.lca (txn [ 0 ]) (txn [ 1 ]));
+  Alcotest.check txn_testable "lca ancestor" (txn [ 3 ])
+    (Txn_id.lca (txn [ 3 ]) (txn [ 3; 4; 5 ]));
+  Alcotest.check txn_testable "lca self" (txn [ 7; 7 ])
+    (Txn_id.lca (txn [ 7; 7 ]) (txn [ 7; 7 ]))
+
+let t_child_on_path () =
+  Alcotest.check txn_testable "child on path" (txn [ 2; 0 ])
+    (Txn_id.child_of_on_path ~ancestor:(txn [ 2 ]) (txn [ 2; 0; 1; 5 ]));
+  Alcotest.check txn_testable "direct child" (txn [ 2; 0 ])
+    (Txn_id.child_of_on_path ~ancestor:(txn [ 2 ]) (txn [ 2; 0 ]));
+  Alcotest.check_raises "not descendant"
+    (Invalid_argument "Txn_id.child_of_on_path: not a proper descendant")
+    (fun () ->
+      ignore (Txn_id.child_of_on_path ~ancestor:(txn [ 2 ]) (txn [ 3 ])))
+
+let t_ancestors_upto () =
+  let t = txn [ 1; 2; 3 ] and u = txn [ 1; 4 ] in
+  (* ancestors(t) - ancestors(u) = {[1;2;3], [1;2]}: [1] is shared. *)
+  Alcotest.(check int) "upto cousin" 2
+    (List.length (Txn_id.ancestors_upto t ~upto:u));
+  Alcotest.(check int) "upto self" 0
+    (List.length (Txn_id.ancestors_upto t ~upto:t));
+  Alcotest.(check int) "upto root keeps all but root" 3
+    (List.length (Txn_id.ancestors_upto t ~upto:Txn_id.root))
+
+(* Property tests. *)
+let gen_txn =
+  QCheck.Gen.(list_size (int_bound 5) (int_bound 4) >|= Txn_id.of_path)
+
+let arb_txn = QCheck.make ~print:Txn_id.to_string gen_txn
+
+let prop_lca_is_common_ancestor =
+  QCheck.Test.make ~name:"lca is a common ancestor ordered below any other"
+    ~count:500
+    (QCheck.pair arb_txn arb_txn)
+    (fun (a, b) ->
+      let l = Txn_id.lca a b in
+      Txn_id.is_ancestor l a && Txn_id.is_ancestor l b
+      && List.for_all
+           (fun c ->
+             if Txn_id.is_ancestor c a && Txn_id.is_ancestor c b then
+               Txn_id.is_ancestor c l
+             else true)
+           (Txn_id.ancestors a))
+
+let prop_ancestor_antisym =
+  QCheck.Test.make ~name:"ancestor antisymmetry" ~count:500
+    (QCheck.pair arb_txn arb_txn)
+    (fun (a, b) ->
+      if Txn_id.is_ancestor a b && Txn_id.is_ancestor b a then Txn_id.equal a b
+      else true)
+
+let prop_ancestors_chain =
+  QCheck.Test.make ~name:"ancestors form a chain ending at root" ~count:500
+    arb_txn
+    (fun t ->
+      let ancs = Txn_id.ancestors t in
+      List.length ancs = Txn_id.depth t + 1
+      && Txn_id.equal (List.nth ancs (List.length ancs - 1)) Txn_id.root
+      && List.for_all2
+           (fun a b -> Txn_id.equal (Txn_id.parent_exn a) b)
+           (List.filteri (fun i _ -> i < List.length ancs - 1) ancs)
+           (List.tl ancs))
+
+let prop_child_of_on_path =
+  QCheck.Test.make ~name:"child_of_on_path is a child and an ancestor"
+    ~count:500
+    (QCheck.pair arb_txn (QCheck.int_bound 4))
+    (fun (t, i) ->
+      let d = Txn_id.child (Txn_id.child t i) 0 in
+      let c = Txn_id.child_of_on_path ~ancestor:t d in
+      Txn_id.equal (Txn_id.parent_exn c) t && Txn_id.is_ancestor c d)
+
+let prop_upto_disjoint =
+  QCheck.Test.make ~name:"ancestors_upto excludes exactly shared ancestors"
+    ~count:500
+    (QCheck.pair arb_txn arb_txn)
+    (fun (t, u) ->
+      let upto = Txn_id.ancestors_upto t ~upto:u in
+      List.for_all
+        (fun a ->
+          let in_t = Txn_id.is_ancestor a t and in_u = Txn_id.is_ancestor a u in
+          if in_t && not in_u then List.exists (Txn_id.equal a) upto
+          else not (List.exists (Txn_id.equal a) upto))
+        (Txn_id.ancestors t))
+
+let suite =
+  ( "txn_id",
+    [
+      Alcotest.test_case "root" `Quick t_root;
+      Alcotest.test_case "child/parent" `Quick t_child_parent;
+      Alcotest.test_case "negative child" `Quick t_child_negative;
+      Alcotest.test_case "ancestors" `Quick t_ancestors;
+      Alcotest.test_case "ancestor tests" `Quick t_ancestor_tests;
+      Alcotest.test_case "siblings" `Quick t_siblings;
+      Alcotest.test_case "lca" `Quick t_lca;
+      Alcotest.test_case "child_of_on_path" `Quick t_child_on_path;
+      Alcotest.test_case "ancestors_upto" `Quick t_ancestors_upto;
+      QCheck_alcotest.to_alcotest prop_lca_is_common_ancestor;
+      QCheck_alcotest.to_alcotest prop_ancestor_antisym;
+      QCheck_alcotest.to_alcotest prop_ancestors_chain;
+      QCheck_alcotest.to_alcotest prop_child_of_on_path;
+      QCheck_alcotest.to_alcotest prop_upto_disjoint;
+    ] )

@@ -1,0 +1,149 @@
+open Core
+open Util
+
+let t1 = txn [ 0 ]
+let a1 = txn [ 0; 0 ]
+let t2 = txn [ 1 ]
+let a2 = txn [ 1; 0 ]
+let ctr = Counter.make ()
+let acct = Bank_account.make ~init:10 ()
+
+let t_commuting_ops_interleave () =
+  (* Two increments from different top-level transactions can both
+     respond with neither committed: increments commute. *)
+  let s = Undo_object.initial in
+  let s = Undo_object.create s a1 in
+  let s = Undo_object.create s a2 in
+  let s, v =
+    Option.get (Undo_object.request_commit ctr s a1 (Datatype.Incr 2))
+  in
+  Alcotest.check value_testable "ack" Value.Ok v;
+  match Undo_object.request_commit ctr s a2 (Datatype.Incr 3) with
+  | Some (s', _) -> check_int "log holds both" 2 (List.length s'.Undo_object.log)
+  | None -> Alcotest.fail "commuting increment should fire"
+
+let t_conflicting_blocked_until_visible () =
+  (* A Get conflicts with an uncommitted sibling's Incr: blocked until
+     the writer's chain is known committed. *)
+  let s = Undo_object.initial in
+  let s = Undo_object.create s a1 in
+  let s = Undo_object.create s a2 in
+  let s, _ = Option.get (Undo_object.request_commit ctr s a1 (Datatype.Incr 2)) in
+  check_bool "get blocked" true (Undo_object.request_commit ctr s a2 Datatype.Get = None);
+  Alcotest.(check (list txn_testable)) "blocker" [ a1 ]
+    (Undo_object.blockers ctr s a2 Datatype.Get);
+  let s = Undo_object.inform_commit s a1 in
+  check_bool "still blocked (t1 uncommitted)" true
+    (Undo_object.request_commit ctr s a2 Datatype.Get = None);
+  let s = Undo_object.inform_commit s t1 in
+  match Undo_object.request_commit ctr s a2 Datatype.Get with
+  | Some (_, v) -> Alcotest.check value_testable "get sees increment" (Value.Int 2) v
+  | None -> Alcotest.fail "get should fire once writer visible"
+
+let t_undo_on_abort () =
+  let s = Undo_object.initial in
+  let s = Undo_object.create s a1 in
+  let s, _ = Option.get (Undo_object.request_commit ctr s a1 (Datatype.Incr 5)) in
+  let s = Undo_object.inform_abort s t1 in
+  check_int "log purged" 0 (List.length s.Undo_object.log);
+  let s = Undo_object.create s a2 in
+  match Undo_object.request_commit ctr s a2 Datatype.Get with
+  | Some (_, v) -> Alcotest.check value_testable "abort undone" (Value.Int 0) v
+  | None -> Alcotest.fail "get should fire after undo"
+
+let t_own_descendant_ops_visible () =
+  (* Operations of one's own ancestors' completed children do not block:
+     sibling accesses under the same parent conflict until the first is
+     committed, but an access never conflicts with entries from its own
+     ancestor chain. *)
+  let w = txn [ 0; 0 ] and r = txn [ 0; 1 ] in
+  let s = Undo_object.initial in
+  let s = Undo_object.create s w in
+  let s, _ = Option.get (Undo_object.request_commit ctr s w (Datatype.Incr 1)) in
+  let s = Undo_object.create s r in
+  check_bool "sibling get blocked pre-commit" true
+    (Undo_object.request_commit ctr s r Datatype.Get = None);
+  let s = Undo_object.inform_commit s w in
+  (* ancestors(w) - ancestors(r) = {w}, now committed. *)
+  match Undo_object.request_commit ctr s r Datatype.Get with
+  | Some (_, v) -> Alcotest.check value_testable "sees sibling" (Value.Int 1) v
+  | None -> Alcotest.fail "should fire after sibling commit"
+
+let t_withdraw_commutativity_in_action () =
+  (* Two successful withdrawals interleave; a balance is blocked. *)
+  let s = Undo_object.initial in
+  let s = Undo_object.create s a1 in
+  let s = Undo_object.create s a2 in
+  let s, v = Option.get (Undo_object.request_commit acct s a1 (Datatype.Withdraw 3)) in
+  Alcotest.check value_testable "first ok" (Value.Bool true) v;
+  (match Undo_object.request_commit acct s a2 (Datatype.Withdraw 4) with
+  | Some (_, v) -> Alcotest.check value_testable "second ok" (Value.Bool true) v
+  | None -> Alcotest.fail "successful withdrawals commute");
+  let b = txn [ 2; 0 ] in
+  let s = Undo_object.create s b in
+  check_bool "balance blocked" true
+    (Undo_object.request_commit acct s b Datatype.Balance = None)
+
+let t_failed_withdraw_conflicts_with_success () =
+  (* A withdrawal that would fail conflicts with the pending successful
+     one (mixed outcomes do not commute): blocked, not failed. *)
+  let s = Undo_object.initial in
+  let s = Undo_object.create s a1 in
+  let s = Undo_object.create s a2 in
+  let s, _ = Option.get (Undo_object.request_commit acct s a1 (Datatype.Withdraw 8)) in
+  check_bool "would-fail withdrawal blocked" true
+    (Undo_object.request_commit acct s a2 (Datatype.Withdraw 5) = None)
+
+let t_locally_visible () =
+  let s = Undo_object.initial in
+  check_bool "self visible" true (Undo_object.locally_visible s ~to_:a1 a1);
+  check_bool "sibling not visible" false (Undo_object.locally_visible s ~to_:a2 a1);
+  let s = Undo_object.inform_commit s a1 in
+  let s = Undo_object.inform_commit s t1 in
+  check_bool "visible after chain commits" true
+    (Undo_object.locally_visible s ~to_:a2 a1)
+
+(* Lemma invariants over generated executions. *)
+let t_lemmas_on_generated () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.mixed ~seed
+          { Gen.default with n_top = 5; depth = 2; n_objects = 4 }
+      in
+      let r = run_protocol ~abort_prob:0.06 ~seed schema Undo_object.factory forest in
+      List.iter
+        (fun x ->
+          let proj = Undo_invariants.project schema x r.Runtime.trace in
+          (match Undo_invariants.replay schema x proj with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "replay failed: %s" e);
+          (* Victim sample sets for Lemma 21: live top-level txns. *)
+          let samples = [ [ t1 ]; [ t2 ]; [ t1; t2 ] ] in
+          List.iter
+            (fun prefix ->
+              check_bool "lemma 20" true (Undo_invariants.lemma20 schema x prefix);
+              check_bool "lemma 21" true
+                (Undo_invariants.lemma21 schema x prefix ~samples);
+              check_bool "lemma 22" true (Undo_invariants.lemma22 schema x prefix))
+            (sampled_prefixes ~stride:6 proj))
+        schema.Schema.objects)
+    (List.init 8 (fun i -> i + 1))
+
+let suite =
+  ( "undo",
+    [
+      Alcotest.test_case "commuting ops interleave" `Quick
+        t_commuting_ops_interleave;
+      Alcotest.test_case "conflicting blocked until visible" `Quick
+        t_conflicting_blocked_until_visible;
+      Alcotest.test_case "undo on abort" `Quick t_undo_on_abort;
+      Alcotest.test_case "sibling visibility" `Quick t_own_descendant_ops_visible;
+      Alcotest.test_case "withdraw commutativity" `Quick
+        t_withdraw_commutativity_in_action;
+      Alcotest.test_case "mixed withdrawals block" `Quick
+        t_failed_withdraw_conflicts_with_success;
+      Alcotest.test_case "locally visible" `Quick t_locally_visible;
+      Alcotest.test_case "lemmas 20/21/22 on generated" `Slow
+        t_lemmas_on_generated;
+    ] )

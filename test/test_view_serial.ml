@@ -1,0 +1,98 @@
+open Core
+open Util
+
+(* Conflict-serializable history: also view serializable. *)
+let h_chain =
+  History.
+    [
+      Op (1, x0, Write); Commit 1; Op (2, x0, Read); Op (2, y0, Write);
+      Commit 2; Op (3, y0, Read); Commit 3;
+    ]
+
+(* The classic blind-write history: view serializable (as T1 T2 T3)
+   but not conflict serializable.  H = w1[x] w2[x] w2[y] w1[y] w3[x] w3[y]:
+   T3 performs the final writes on both objects and there are no reads,
+   so T1 T2 T3 is view equivalent; but the w1/w2 conflicts on x and y
+   point in opposite directions. *)
+let h_blind =
+  History.
+    [
+      Op (1, x0, Write); Op (2, x0, Write); Op (2, y0, Write);
+      Op (1, y0, Write); Op (3, x0, Write); Op (3, y0, Write);
+      Commit 1; Commit 2; Commit 3;
+    ]
+
+let t_chain () =
+  check_bool "conflict-serializable" true (Flat_sg.is_serializable h_chain);
+  check_bool "view-serializable" true (View_serial.is_view_serializable h_chain)
+
+let t_blind_write_gap () =
+  check_bool "not conflict serializable" false (Flat_sg.is_serializable h_blind);
+  check_bool "view serializable" true (View_serial.is_view_serializable h_blind)
+
+let t_not_view_serializable () =
+  (* r1[x] w2[x] r1[x] with both committed: T1 reads initial then T2's
+     value - no serial order gives that. *)
+  let h =
+    History.
+      [ Op (1, x0, Read); Op (2, x0, Write); Op (1, x0, Read); Commit 1; Commit 2 ]
+  in
+  check_bool "rejected" false (View_serial.is_view_serializable h)
+
+let t_reads_from () =
+  let rf = View_serial.reads_from h_chain in
+  (* Two reads: T2 reads x from T1; T3 reads y from T2. *)
+  check_int "two reads" 2 (List.length rf);
+  check_bool "t2 from t1" true
+    (List.exists (fun (_, x, src) -> Obj_id.equal x x0 && src = Some 1) rf);
+  check_bool "t3 from t2" true
+    (List.exists (fun (_, y, src) -> Obj_id.equal y y0 && src = Some 2) rf);
+  (* Initial reads are None. *)
+  let h = History.[ Op (1, x0, Read); Commit 1 ] in
+  check_bool "initial read" true
+    (List.for_all (fun (_, _, src) -> src = None) (View_serial.reads_from h))
+
+let t_view_equivalent_specific () =
+  check_bool "equivalent to 1,2,3" true
+    (View_serial.view_equivalent h_chain [ 1; 2; 3 ]);
+  check_bool "not equivalent to 2,1,3" false
+    (View_serial.view_equivalent h_chain [ 2; 1; 3 ])
+
+(* Conflict serializability implies view serializability, on random
+   flat histories extracted from generated runs. *)
+let t_conflict_implies_view () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 5; depth = 1; n_objects = 2 }
+      in
+      let r = run_protocol ~seed schema Broken.no_control forest in
+      let h = History.of_trace schema r.Runtime.trace in
+      if Flat_sg.is_serializable h then
+        check_bool "conflict => view" true (View_serial.is_view_serializable h))
+    (List.init 12 (fun i -> i + 1))
+
+let t_too_large () =
+  let h =
+    List.concat_map
+      (fun i -> History.[ Op (i, x0, Write); Commit i ])
+      (List.init 10 (fun i -> i))
+  in
+  check_bool "raises on >9 txns" true
+    (try
+       ignore (View_serial.is_view_serializable h);
+       false
+     with View_serial.Too_large 10 -> true)
+
+let suite =
+  ( "view_serial",
+    [
+      Alcotest.test_case "serializable chain" `Quick t_chain;
+      Alcotest.test_case "blind-write gap" `Quick t_blind_write_gap;
+      Alcotest.test_case "non view serializable" `Quick t_not_view_serializable;
+      Alcotest.test_case "reads_from" `Quick t_reads_from;
+      Alcotest.test_case "view_equivalent" `Quick t_view_equivalent_specific;
+      Alcotest.test_case "conflict implies view" `Quick t_conflict_implies_view;
+      Alcotest.test_case "search bound" `Quick t_too_large;
+    ] )

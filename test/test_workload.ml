@@ -1,0 +1,130 @@
+open Core
+open Util
+
+let rec max_depth = function
+  | Program.Access _ -> 0
+  | Program.Node (_, children) ->
+      1 + List.fold_left (fun m p -> max m (max_depth p)) 0 children
+
+let rec max_fanout = function
+  | Program.Access _ -> 0
+  | Program.Node (_, children) ->
+      List.fold_left
+        (fun m p -> max m (max_fanout p))
+        (List.length children) children
+
+let t_shape_bounds () =
+  List.iter
+    (fun seed ->
+      let p = { Gen.default with n_top = 7; depth = 3; fanout = 4 } in
+      let forest, _ = Gen.forest_and_schema Gen.registers ~seed p in
+      check_int "n_top" 7 (List.length forest);
+      List.iter
+        (fun prog ->
+          check_bool "depth bound" true (max_depth prog <= p.Gen.depth);
+          check_bool "fanout bound" true (max_fanout prog <= p.Gen.fanout))
+        forest)
+    [ 1; 2; 3 ]
+
+let t_objects_declared () =
+  List.iter
+    (fun (gen, name) ->
+      let forest, schema =
+        Gen.forest_and_schema gen ~seed:11 { Gen.default with n_objects = 3 }
+      in
+      check_int (name ^ " object count") 3 (List.length schema.Schema.objects);
+      List.iter
+        (fun prog ->
+          List.iter
+            (fun (x, _) ->
+              check_bool (name ^ " access hits declared object") true
+                (List.exists (Obj_id.equal x) schema.Schema.objects))
+            (Program.accesses prog))
+        forest)
+    [ (Gen.registers, "registers"); (Gen.counters, "counters"); (Gen.mixed, "mixed") ]
+
+let t_determinism () =
+  let p = Gen.default in
+  let f1, _ = Gen.forest_and_schema Gen.registers ~seed:42 p in
+  let f2, _ = Gen.forest_and_schema Gen.registers ~seed:42 p in
+  check_bool "same seed same forest" true (f1 = f2);
+  let f3, _ = Gen.forest_and_schema Gen.registers ~seed:43 p in
+  check_bool "different seeds differ" true (f1 <> f3)
+
+let t_read_ratio () =
+  let count_kind forest =
+    let reads = ref 0 and writes = ref 0 in
+    List.iter
+      (fun prog ->
+        List.iter
+          (fun (_, op) ->
+            match op with
+            | Datatype.Read -> incr reads
+            | Datatype.Write _ -> incr writes
+            | _ -> ())
+          (Program.accesses prog))
+      forest;
+    (!reads, !writes)
+  in
+  let f_reads, _ =
+    Gen.forest_and_schema Gen.registers ~seed:1
+      { Gen.default with n_top = 30; read_ratio = 1.0 }
+  in
+  let r, w = count_kind f_reads in
+  check_bool "all reads" true (r > 0 && w = 0);
+  let f_writes, _ =
+    Gen.forest_and_schema Gen.registers ~seed:1
+      { Gen.default with n_top = 30; read_ratio = 0.0 }
+  in
+  let r, w = count_kind f_writes in
+  check_bool "all writes" true (w > 0 && r = 0)
+
+let t_scenarios_run () =
+  let check_scenario name (forest, schema) factory =
+    let r = run_protocol ~seed:9 schema factory forest in
+    check_bool (name ^ " wf") true
+      (Simple_db.is_well_formed schema.Schema.sys r.Runtime.trace);
+    check_bool (name ^ " correct") true
+      (Checker.serially_correct schema r.Runtime.trace)
+  in
+  check_scenario "banking"
+    (Scenario.banking ~n_accounts:4 ~n_transfers:5 ~seed:1)
+    Undo_object.factory;
+  check_scenario "hotspot"
+    (Scenario.hotspot_counter ~n_txns:6 ~n_counters:2 ~theta:0.9 ~seed:2)
+    Undo_object.factory;
+  check_scenario "rw-equivalent"
+    (Scenario.rw_equivalent_counter ~n_txns:6 ~n_counters:2 ~theta:0.9 ~seed:3)
+    Moss_object.factory;
+  check_scenario "queue"
+    (Scenario.queue_producers_consumers ~n_producers:3 ~n_consumers:3 ~seed:4)
+    Undo_object.factory
+
+let t_zipf_concentrates () =
+  (* With high skew, most accesses hit object 0. *)
+  let forest, _ =
+    Gen.forest_and_schema Gen.registers ~seed:5
+      { Gen.default with n_top = 150; depth = 1; n_objects = 8; theta = 1.2 }
+  in
+  let hits = Hashtbl.create 8 in
+  List.iter
+    (fun prog ->
+      List.iter
+        (fun (x, _) ->
+          Hashtbl.replace hits x (1 + Option.value ~default:0 (Hashtbl.find_opt hits x)))
+        (Program.accesses prog))
+    forest;
+  let hot = Option.value ~default:0 (Hashtbl.find_opt hits (Obj_id.indexed "x" 0)) in
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) hits 0 in
+  check_bool "hot object dominates" true (hot * 3 > total)
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "shape bounds" `Quick t_shape_bounds;
+      Alcotest.test_case "objects declared" `Quick t_objects_declared;
+      Alcotest.test_case "determinism" `Quick t_determinism;
+      Alcotest.test_case "read ratio extremes" `Quick t_read_ratio;
+      Alcotest.test_case "scenarios run correctly" `Quick t_scenarios_run;
+      Alcotest.test_case "zipf concentrates" `Quick t_zipf_concentrates;
+    ] )
