@@ -17,6 +17,15 @@ let run ?(abort_prob = 0.0) ~seed schema factory forest =
 
 let fi = float_of_int
 
+(* Every experiment prints its table as it finishes; with [--json FILE]
+   the same tables are also collected and dumped as one JSON array at
+   exit, so plots and dashboards need not scrape the text output. *)
+let emitted : Table.t list ref = ref []
+
+let report t =
+  emitted := t :: !emitted;
+  Table.print t
+
 (* ------------------------------------------------------------------ *)
 (* E1: concurrency of Moss' locking vs the serial scheduler.           *)
 
@@ -56,7 +65,7 @@ let e1 () =
           string_of_bool !all_correct;
         ])
     [ 4; 8; 16; 32; 64 ];
-  Table.print t
+  report t
 
 (* ------------------------------------------------------------------ *)
 (* E2: blocking and aborts under contention, locking vs undo logging.  *)
@@ -101,7 +110,7 @@ let e2 () =
             ])
         [ 1; 4; 16 ])
     [ 0.0; 0.5; 0.9 ];
-  Table.print t
+  report t
 
 (* ------------------------------------------------------------------ *)
 (* E3: type-specific commutativity: throughput of the same logical     *)
@@ -148,7 +157,7 @@ let e3 () =
           Table.cell_f (Stats.ratio (Stats.mean !ut) (Stats.mean !mt));
         ])
     [ 4; 8; 16; 32 ];
-  Table.print t
+  report t
 
 (* ------------------------------------------------------------------ *)
 (* E4: agreement of the nested construction with the classical flat    *)
@@ -189,7 +198,7 @@ let e4 () =
   in
   experiment "moss" Moss_object.factory 40;
   experiment "no_control" Broken.no_control 40;
-  Table.print t
+  report t
 
 (* ------------------------------------------------------------------ *)
 (* E5: cost of the construction as traces grow.                        *)
@@ -231,7 +240,7 @@ let e5 () =
           string_of_bool (v.Checker.serially_correct && alarms = []);
         ])
     [ 4; 8; 16; 32; 64; 128 ];
-  Table.print t
+  report t
 
 (* ------------------------------------------------------------------ *)
 (* E6: insensitivity to tree shape.                                    *)
@@ -277,7 +286,7 @@ let e6 () =
             ])
         [ 1; 2; 4 ])
     [ 1; 2; 3; 4 ];
-  Table.print t
+  report t
 
 (* ------------------------------------------------------------------ *)
 (* E7: discriminating power: detection of broken protocols.            *)
@@ -316,7 +325,7 @@ let e7 () =
   case "unsafe_read" Broken.unsafe_read ~hot:true ~abort_prob:0.0;
   case "no_undo" Broken.no_undo ~hot:true ~abort_prob:0.1;
   case "moss (control)" Moss_object.factory ~hot:true ~abort_prob:0.1;
-  Table.print t
+  report t
 
 (* ------------------------------------------------------------------ *)
 (* E8: sufficiency, not necessity: access-level cycles on behaviors    *)
@@ -369,7 +378,7 @@ let e8 () =
       Table.cell_i n; Table.cell_i !acc_cyc; Table.cell_i !op_cyc;
       Table.cell_i !gap; Table.cell_i !ok;
     ];
-  Table.print t
+  report t
 
 
 (* ------------------------------------------------------------------ *)
@@ -411,7 +420,7 @@ let e9 () =
       Table.cell_i n; Table.cell_i !certified; Table.cell_i !cyclic;
       Table.cell_i !inappropriate; Table.cell_i !thm8;
     ];
-  Table.print t
+  report t
 
 
 (* ------------------------------------------------------------------ *)
@@ -474,7 +483,7 @@ let e10 () =
           | _ -> ())
         protocols)
     workloads;
-  Table.print t
+  report t
 
 
 (* ------------------------------------------------------------------ *)
@@ -538,7 +547,7 @@ let e11 () =
           Table.cell_f (Stats.mean !events);
         ])
     [ (1, 3); (2, 2); (3, 1); (1, 1); (2, 1); (1, 2) ];
-  Table.print t
+  report t
 
 
 (* ------------------------------------------------------------------ *)
@@ -599,7 +608,90 @@ let e12 () =
       ("undo", Undo_object.factory);
       ("mvts", Mvts_object.factory);
     ];
-  Table.print t
+  report t
+
+(* ------------------------------------------------------------------ *)
+(* obs: overhead of the observability layer.  Every run above uses the *)
+(* default disabled recorder; this entry prices the alternatives by    *)
+(* timing the same E1-style Moss campaign un-instrumented, with an     *)
+(* enabled recorder draining to the null sink (metrics only), and with *)
+(* full span events into an in-memory sink.                            *)
+
+let obs () =
+  let profile =
+    { Gen.default with n_top = 32; depth = 2; fanout = 3; n_objects = 8 }
+  in
+  let cells =
+    List.map
+      (fun seed -> (seed, Gen.forest_and_schema Gen.registers ~seed profile))
+      (seeds 4)
+  in
+  let campaign recorder =
+    List.iter
+      (fun (seed, (forest, schema)) ->
+        ignore
+          (Runtime.run ~policy:Runtime.Bsp_rounds ~obs:recorder ~seed schema
+             Moss_object.factory forest))
+      cells
+  in
+  (* Sys.time ticks at ~10 ms, far too coarse for these campaigns; use
+     the wall clock, interleave the configurations within each rep, and
+     judge overhead by the median of per-rep ratios against the same
+     rep's baseline — pairing cancels machine-load drift, the median
+     drops bursty outliers. *)
+  let configs =
+    [|
+      (fun () -> campaign Obs.null);
+      (fun () -> campaign (Obs.create ()));
+      (fun () ->
+        let sink, _events = Obs_sink.memory () in
+        let recorder = Obs.create ~sink () in
+        campaign recorder;
+        Obs.close recorder);
+    |]
+  in
+  let n_configs = Array.length configs in
+  let reps = 60 in
+  let samples = Array.make_matrix n_configs reps 0.0 in
+  Array.iter (fun f -> f ()) configs;
+  (* warm-up *)
+  for r = 0 to reps - 1 do
+    Array.iteri
+      (fun i f ->
+        (* Settle the previous sample's garbage outside the timed
+           window, or each config pays for its predecessor's heap. *)
+        Gc.full_major ();
+        let t0 = Unix.gettimeofday () in
+        f ();
+        samples.(i).(r) <- Unix.gettimeofday () -. t0)
+      configs
+  done;
+  let median a =
+    let b = Array.copy a in
+    Array.sort compare b;
+    b.(Array.length b / 2)
+  in
+  let ms i = median samples.(i) *. 1000.0 in
+  let overhead i =
+    let ratios =
+      Array.init reps (fun r -> samples.(i).(r) /. samples.(0).(r))
+    in
+    (median ratios -. 1.0) *. 100.0
+  in
+  let t =
+    Table.create
+      ~title:
+        "obs: recorder overhead on E1-style Moss runs (median of 60 paired \
+         reps)"
+      ~columns:[ "configuration"; "ms"; "overhead_pct" ]
+  in
+  let row name i =
+    Table.add_row t [ name; Table.cell_f (ms i); Table.cell_f (overhead i) ]
+  in
+  row "uninstrumented (Obs.null)" 0;
+  row "metrics only (null sink)" 1;
+  row "full spans (memory sink)" 2;
+  report t
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations.                   *)
@@ -664,21 +756,33 @@ let micro () =
     (fun (name, est, r2) ->
       Table.add_row t [ name; Printf.sprintf "%.0f" est; Table.cell_f r2 ])
     (List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows);
-  Table.print t
+  report t
 
 (* ------------------------------------------------------------------ *)
 
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("micro", micro);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
+    ("obs", obs); ("micro", micro);
   ]
 
 let () =
+  let json_out = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        parse acc rest
+    | [ "--json" ] ->
+        Format.eprintf "--json requires a file argument@.";
+        exit 2
+    | name :: rest -> parse (name :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst all
+    | names -> names
   in
   List.iter
     (fun name ->
@@ -690,4 +794,12 @@ let () =
           Format.eprintf "unknown experiment %S (have: %s)@." name
             (String.concat ", " (List.map fst all));
           exit 2)
-    requested
+    requested;
+  match !json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Obs_json.output oc (Obs_json.Arr (List.rev_map Table.to_json !emitted));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote %d table(s) to %s@." (List.length !emitted) path

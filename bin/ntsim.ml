@@ -42,6 +42,52 @@ let protocol_conv =
 let policy_conv =
   Arg.enum [ ("random", Runtime.Random_step); ("bsp", Runtime.Bsp_rounds) ]
 
+type obs_format = Obs_jsonl | Obs_chrome | Obs_table
+
+let obs_format_conv =
+  Arg.enum
+    [ ("jsonl", Obs_jsonl); ("chrome", Obs_chrome); ("table", Obs_table) ]
+
+(* Build the recorder selected by --obs-out/--obs-format, plus the
+   finalizer that closes the sink and dumps the metrics registry. *)
+let setup_obs obs_format obs_out =
+  match (obs_format, obs_out) with
+  | None, None -> (Obs.null, fun () -> ())
+  | _ ->
+      let fmt = Option.value ~default:Obs_table obs_format in
+      let sink =
+        match (fmt, obs_out) with
+        | Obs_jsonl, Some path -> Obs_sink.jsonl_file path
+        | Obs_chrome, Some path -> Chrome_trace.sink_file path
+        | (Obs_jsonl | Obs_chrome), None ->
+            Format.eprintf
+              "--obs-format jsonl/chrome requires --obs-out FILE@.";
+            exit 2
+        | Obs_table, _ -> Obs_sink.null
+      in
+      let obs = Obs.create ~sink () in
+      let finish () =
+        Obs.close obs;
+        (match (fmt, obs_out) with
+        | Obs_table, Some path ->
+            let oc = open_out path in
+            let f = Format.formatter_of_out_channel oc in
+            Format.fprintf f "%a@." Metrics.pp (Obs.metrics obs);
+            close_out oc;
+            Format.printf "@.metrics written to %s@." path
+        | Obs_jsonl, Some path ->
+            Format.printf "@.telemetry streamed to %s (jsonl)@." path
+        | Obs_chrome, Some path ->
+            Format.printf
+              "@.trace written to %s (load it in chrome://tracing or \
+               https://ui.perfetto.dev)@."
+              path
+        | _, None -> ());
+        Format.printf "@.observability metrics:@.%a@." Metrics.pp
+          (Obs.metrics obs)
+      in
+      (obs, finish)
+
 let build_workload workload ~seed ~n_top ~depth ~fanout ~n_objects ~theta
     ~read_ratio =
   let profile =
@@ -70,7 +116,8 @@ let factory_of = function
 
 let run_cmd workload protocol seed n_top depth fanout n_objects theta
     read_ratio abort_prob policy check print_trace save_path dot_path
-    load_path monitor program_path =
+    load_path monitor program_path obs_format obs_out =
+  let obs, finish_obs = setup_obs obs_format obs_out in
   let forest, schema =
     match program_path with
     | Some path -> (
@@ -91,6 +138,7 @@ let run_cmd workload protocol seed n_top depth fanout n_objects theta
         match Trace_io.load path with
         | Ok tr ->
             Format.printf "loaded %d events from %s@." (Trace.length tr) path;
+            Array.iter (Obs.on_action obs) tr;
             tr
         | Error e ->
             Format.eprintf "cannot load %s: %s@." path e;
@@ -100,9 +148,12 @@ let run_cmd workload protocol seed n_top depth fanout n_objects theta
     | None ->
         let tr = Serial_exec.run schema forest in
         Format.printf "serial execution: %d events@." (Trace.length tr);
+        Array.iter (Obs.on_action obs) tr;
         tr
     | Some factory ->
-        let r = Runtime.run ~policy ~abort_prob ~seed schema factory forest in
+        let r =
+          Runtime.run ~policy ~abort_prob ~obs ~seed schema factory forest
+        in
         Format.printf
           "events %d  rounds %d  blocked %d  deadlock-aborts %d  \
            injected-aborts %d@."
@@ -130,7 +181,7 @@ let run_cmd workload protocol seed n_top depth fanout n_objects theta
   | None -> ());
   if monitor then begin
     let m = Monitor.create schema in
-    match Monitor.feed_trace m trace with
+    (match Monitor.feed_trace ~obs m trace with
     | [] -> Format.printf "online monitor: no alarms@."
     | alarms ->
         List.iter
@@ -144,7 +195,13 @@ let run_cmd workload protocol seed n_top depth fanout n_objects theta
                 Format.printf
                   "online monitor: event %d made %s's returns impossible@." i
                   (Obj_id.name x))
-          alarms
+          alarms);
+    let c = Monitor.counters m in
+    Format.printf
+      "online monitor: %d feeds, %d operations, %d edges, %d cycle + %d \
+       inappropriate alarms@."
+      c.Monitor.feeds c.Monitor.operations c.Monitor.edges
+      c.Monitor.cycle_alarms c.Monitor.inappropriate_alarms
   end;
   (match Simple_db.well_formed schema.Schema.sys trace with
   | Ok () -> ()
@@ -177,7 +234,8 @@ let run_cmd workload protocol seed n_top depth fanout n_objects theta
   List.iter
     (fun (x, v) ->
       Format.printf "  %-8s %s@." (Obj_id.name x) (Value.to_string v))
-    finals
+    finals;
+  finish_obs ()
 
 let cmd =
   let workload =
@@ -275,12 +333,32 @@ let cmd =
           ~doc:"Feed the behavior through the online monitor and report \
                 alarms with their event indices.")
   in
+  let obs_format =
+    Arg.(
+      value
+      & opt (some obs_format_conv) None
+      & info [ "obs-format" ]
+          ~doc:
+            "Telemetry output format: $(b,jsonl) (one event per line, \
+             streamed), $(b,chrome) (Chrome trace-event JSON for \
+             chrome://tracing / Perfetto), or $(b,table) (metrics \
+             registry dump; the default when only --obs-out is given).")
+  in
+  let obs_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-out" ] ~docv:"FILE"
+          ~doc:
+            "Write telemetry to $(docv).  Required for jsonl/chrome \
+             formats; optional for table (stdout otherwise).")
+  in
   let term =
     Term.(
       const run_cmd $ workload $ protocol $ seed $ n_top $ depth $ fanout
       $ n_objects $ theta $ read_ratio $ abort_prob $ policy $ check
       $ print_trace $ save_path $ dot_path $ load_path $ monitor
-      $ program_path)
+      $ program_path $ obs_format $ obs_out)
   in
   Cmd.v
     (Cmd.info "ntsim" ~version:"1.0.0"

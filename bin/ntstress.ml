@@ -15,7 +15,11 @@
    Any failure prints the seed and a diagnosis and exits nonzero, so
    the campaign is reproducible.
 
-   Usage: ntstress [seeds-per-cell]          (default 50) *)
+   Usage: ntstress [seeds-per-cell] [--obs-out FILE]
+                   [--obs-format jsonl|chrome|table]
+   (default 50 seeds per cell; telemetry of the whole campaign is
+   aggregated into one recorder, so --obs-format table summarizes
+   thousands of runs and jsonl/chrome stream every run's spans) *)
 
 open Core
 
@@ -59,19 +63,62 @@ let check_lemmas name schema (trace : Trace.t) =
         schema.Schema.objects
   | _ -> true
 
+let usage () =
+  prerr_endline
+    "usage: ntstress [seeds-per-cell] [--obs-out FILE] [--obs-format \
+     jsonl|chrome|table]";
+  exit 2
+
 let () =
-  let seeds_per_cell =
-    match Sys.argv with
-    | [| _ |] -> 50
-    | [| _; n |] -> (
-        match int_of_string_opt n with
-        | Some n when n > 0 -> n
-        | _ ->
-            prerr_endline "usage: ntstress [seeds-per-cell]";
-            exit 2)
-    | _ ->
-        prerr_endline "usage: ntstress [seeds-per-cell]";
-        exit 2
+  let seeds_per_cell = ref 50
+  and obs_out = ref None
+  and obs_format = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--obs-out" :: path :: rest ->
+        obs_out := Some path;
+        parse rest
+    | "--obs-format" :: fmt :: rest ->
+        (match fmt with
+        | "jsonl" | "chrome" | "table" -> obs_format := Some fmt
+        | _ -> usage ());
+        parse rest
+    | arg :: rest -> (
+        match int_of_string_opt arg with
+        | Some n when n > 0 ->
+            seeds_per_cell := n;
+            parse rest
+        | _ -> usage ())
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let seeds_per_cell = !seeds_per_cell in
+  let obs, finish_obs =
+    match (!obs_format, !obs_out) with
+    | None, None -> (Obs.null, fun () -> ())
+    | fmt, out ->
+        let fmt = Option.value ~default:"table" fmt in
+        let sink =
+          match (fmt, out) with
+          | "jsonl", Some path -> Obs_sink.jsonl_file path
+          | "chrome", Some path -> Chrome_trace.sink_file path
+          | ("jsonl" | "chrome"), None ->
+              prerr_endline "--obs-format jsonl/chrome requires --obs-out";
+              exit 2
+          | _ -> Obs_sink.null
+        in
+        let obs = Obs.create ~sink () in
+        ( obs,
+          fun () ->
+            Obs.close obs;
+            (match (fmt, out) with
+            | "table", Some path ->
+                let oc = open_out path in
+                let f = Format.formatter_of_out_channel oc in
+                Format.fprintf f "%a@." Metrics.pp (Obs.metrics obs);
+                close_out oc
+            | _ -> ());
+            Format.printf "campaign metrics:@.%a@." Metrics.pp
+              (Obs.metrics obs) )
   in
   let total = ref 0 and failures = ref 0 in
   let t0 = Sys.time () in
@@ -95,8 +142,8 @@ let () =
               in
               let abort_prob = if seed mod 4 = 0 then 0.08 else 0.0 in
               let r =
-                Runtime.run ~policy ~inform_policy ~abort_prob ~seed schema
-                  factory forest
+                Runtime.run ~policy ~inform_policy ~abort_prob ~obs ~seed
+                  schema factory forest
               in
               let ok_wf = Simple_db.is_well_formed schema.Schema.sys r.trace in
               let ok_thm =
@@ -122,4 +169,5 @@ let () =
     protocols;
   Format.printf "ntstress: %d runs, %d failures, %.1f s@." !total !failures
     (Sys.time () -. t0);
+  finish_obs ();
   if !failures > 0 then exit 1

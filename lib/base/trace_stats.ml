@@ -5,7 +5,7 @@ type t = {
   creates : int;
   commits : int;
   aborts : int;
-  responses : int;
+  commit_requests : int;
   transactions : int;
   max_depth : int;
   max_live_siblings : int;
@@ -18,12 +18,20 @@ let of_trace trace =
   and creates = ref 0
   and commits = ref 0
   and aborts = ref 0
-  and responses = ref 0 in
+  and commit_requests = ref 0 in
   let names = Txn_id.Tbl.create 64 in
   let max_depth = ref 0 in
   (* live children per parent *)
   let live = Txn_id.Tbl.create 16 in
   let max_live = ref 0 in
+  let one_fewer_live t =
+    match Txn_id.parent t with
+    | Some p -> (
+        match Txn_id.Tbl.find_opt live p with
+        | Some n when n > 0 -> Txn_id.Tbl.replace live p (n - 1)
+        | _ -> ())
+    | None -> ()
+  in
   Array.iter
     (fun a ->
       if Action.is_serial a then incr serial_events else incr informs;
@@ -41,15 +49,13 @@ let of_trace trace =
               Txn_id.Tbl.replace live p n;
               max_live := max !max_live n
           | None -> ())
-      | Action.Commit t | Action.Abort t ->
-          (if a = Action.Commit t then incr commits else incr aborts);
-          (match Txn_id.parent t with
-          | Some p -> (
-              match Txn_id.Tbl.find_opt live p with
-              | Some n when n > 0 -> Txn_id.Tbl.replace live p (n - 1)
-              | _ -> ())
-          | None -> ())
-      | Action.Request_commit _ -> incr responses
+      | Action.Commit t ->
+          incr commits;
+          one_fewer_live t
+      | Action.Abort t ->
+          incr aborts;
+          one_fewer_live t
+      | Action.Request_commit _ -> incr commit_requests
       | _ -> ())
     trace;
   {
@@ -59,7 +65,7 @@ let of_trace trace =
     creates = !creates;
     commits = !commits;
     aborts = !aborts;
-    responses = !responses;
+    commit_requests = !commit_requests;
     transactions = Txn_id.Tbl.length names;
     max_depth = !max_depth;
     max_live_siblings = !max_live;
@@ -68,7 +74,7 @@ let of_trace trace =
 let pp fmt s =
   Format.fprintf fmt
     "@[<v>events %d (serial %d, informs %d)@,\
-     creates %d  commits %d  aborts %d  responses %d@,\
+     creates %d  commits %d  aborts %d  commit-requests %d@,\
      transactions %d  max depth %d  peak live siblings %d@]"
     s.events s.serial_events s.informs s.creates s.commits s.aborts
-    s.responses s.transactions s.max_depth s.max_live_siblings
+    s.commit_requests s.transactions s.max_depth s.max_live_siblings

@@ -10,7 +10,10 @@ type t = {
   creates : int;
   commits : int;
   aborts : int;
-  responses : int;  (** [Request_commit] events. *)
+  commit_requests : int;
+      (** [Request_commit] events — commit {e requests} issued by
+          transactions and accesses (the response to the requester is
+          the later [Report_commit]). *)
   transactions : int;  (** Distinct names with any event. *)
   max_depth : int;  (** Deepest name appearing. *)
   max_live_siblings : int;

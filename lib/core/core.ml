@@ -16,7 +16,9 @@
        {!Return_values}, {!Graph} and the Theorem 8/19 {!Checker};}
     {- the classical baseline: {!History}, {!Flat_sg};}
     {- workloads and measurement: {!Gen}, {!Scenario}, {!Stats},
-       {!Table}.}} *)
+       {!Table};}
+    {- observability: {!Obs}, {!Metrics}, {!Obs_event}, {!Obs_sink},
+       {!Chrome_trace}, {!Obs_json}.}} *)
 
 module Txn_id = Nt_base.Txn_id
 module Obj_id = Nt_base.Obj_id
@@ -76,3 +78,9 @@ module Scenario = Nt_workload.Scenario
 module Program_io = Nt_workload.Program_io
 module Stats = Nt_stats.Stats
 module Table = Nt_stats.Table
+module Obs = Nt_obs.Obs
+module Metrics = Nt_obs.Metrics
+module Obs_event = Nt_obs.Event
+module Obs_sink = Nt_obs.Sink
+module Chrome_trace = Nt_obs.Chrome
+module Obs_json = Nt_obs.Json

@@ -1,6 +1,7 @@
 open Nt_base
 open Nt_spec
 open Nt_serial
+open Nt_obs
 
 type policy = Random_step | Bsp_rounds
 
@@ -31,8 +32,37 @@ type status = {
   mutable commit_value : Value.t option;
   mutable completed : completion;
   mutable reported : bool;
+  mutable created_round : int;  (* round of the Create action *)
+  mutable created_tick : int;  (* recorder tick of the Create action *)
+  mutable blocked_streak : int;  (* consecutive try_respond refusals *)
   program : Program.t option;  (* None for T0 *)
 }
+
+(* The recorder plus its pre-resolved instruments, so the hot path
+   never looks instruments up by name. *)
+type obs_cache = {
+  o : Obs.t;
+  c_rounds : Metrics.counter;
+  c_blocked : Metrics.counter;
+  c_dlk_aborts : Metrics.counter;
+  c_dlk_cycles : Metrics.counter;
+  c_injected : Metrics.counter;
+  h_commit_rounds : Metrics.histogram;
+  h_blocked_streak : Metrics.histogram;
+}
+
+let obs_cache o =
+  let m = Obs.metrics o in
+  {
+    o;
+    c_rounds = Metrics.counter m "runtime.rounds";
+    c_blocked = Metrics.counter m "runtime.blocked";
+    c_dlk_aborts = Metrics.counter m "runtime.deadlock.aborts";
+    c_dlk_cycles = Metrics.counter m "runtime.deadlock.cycles";
+    c_injected = Metrics.counter m "runtime.injected.aborts";
+    h_commit_rounds = Metrics.histogram m "txn.commit.rounds";
+    h_blocked_streak = Metrics.histogram m "runtime.blocked.streak";
+  }
 
 (* A controller/runtime action candidate.  [Try_respond] may refuse. *)
 type candidate =
@@ -49,16 +79,25 @@ type sim = {
   statuses : status Txn_id.Tbl.t;
   interps : Txn_interp.t Txn_id.Tbl.t;
   objects : (Obj_id.t * Nt_gobj.Gobj.t) list;
+  obs : obs_cache;
+  obs_on : bool;  (* Obs.enabled obs.o, hoisted for the hot path *)
+  obs_emit : bool;  (* Obs.emitting obs.o, likewise *)
+  obs_base : int;  (* recorder clock at run start; ticks = base + n_actions *)
   mutable informed : (Obj_id.t * Txn_id.t) list;
       (* pending informs, newest first *)
   mutable buf : Action.t list;  (* trace, newest first *)
   mutable n_actions : int;
+  mutable round_no : int;
   mutable blocked_attempts : int;
   mutable deadlock_aborts : int;
   mutable deadlock_cycles : int;
   mutable injected_aborts : int;
 }
 
+(* The recorder runs the timestamp-passing protocol (span hooks carry
+   tick [obs_base + n_actions], totals settled once at the end of the
+   run), so actions that neither open nor close a span never touch it
+   at all. *)
 let emit sim a =
   sim.buf <- a :: sim.buf;
   sim.n_actions <- sim.n_actions + 1
@@ -76,6 +115,9 @@ let add_status sim t program =
       commit_value = None;
       completed = No;
       reported = false;
+      created_round = 0;
+      created_tick = 0;
+      blocked_streak = 0;
       program;
     }
 
@@ -120,6 +162,12 @@ let do_abort sim t =
   let s = status sim t in
   s.completed <- Aborted;
   emit sim (Action.Abort t);
+  (if sim.obs_on then
+     let ts = sim.obs_base + sim.n_actions in
+     (* A transaction can abort before it was ever created; give such a
+        span zero duration, as the recorder's generic path does. *)
+     let began = if s.created then s.created_tick else ts in
+     Obs.span_end sim.obs.o ts ~began t Event.Aborted);
   List.iter (fun (x, _) -> sim.informed <- (x, t) :: sim.informed) sim.objects
 
 (* Fire a candidate; returns whether an action was emitted. *)
@@ -141,6 +189,7 @@ let fire sim c =
   | C_create t ->
       let s = status sim t in
       s.created <- true;
+      s.created_round <- sim.round_no;
       (if is_access sim t then
          (object_of sim (System_type.object_of_exn sim.schema.Schema.sys t)).create
            t
@@ -150,21 +199,47 @@ let fire sim c =
              Txn_id.Tbl.replace sim.interps t (Txn_interp.make t comb children)
          | Some (Program.Access _) | None -> assert false);
       emit sim (Action.Create t);
+      if sim.obs_on then begin
+        let ts = sim.obs_base + sim.n_actions in
+        s.created_tick <- ts;
+        Obs.span_begin sim.obs.o ts t
+      end;
       true
   | C_try_respond t -> (
       let x = System_type.object_of_exn sim.schema.Schema.sys t in
+      let s = status sim t in
       match (object_of sim x).try_respond t with
       | Some v ->
-          (status sim t).commit_value <- Some v;
+          s.commit_value <- Some v;
+          if s.blocked_streak > 0 then begin
+            if sim.obs_on then
+              Metrics.observe sim.obs.h_blocked_streak s.blocked_streak;
+            s.blocked_streak <- 0
+          end;
           emit sim (Action.Request_commit (t, v));
           true
       | None ->
           sim.blocked_attempts <- sim.blocked_attempts + 1;
+          s.blocked_streak <- s.blocked_streak + 1;
+          (* The [runtime.blocked] counter is settled once at the end of
+             the run from [sim.blocked_attempts]; only the event stream
+             needs a per-attempt hook. *)
+          if sim.obs_emit then
+            Obs.instant ~txn:t ~obj:x
+              ~ts:(sim.obs_base + sim.n_actions)
+              sim.obs.o "blocked";
           false)
   | C_commit t ->
       let s = status sim t in
       s.completed <- Committed;
       emit sim (Action.Commit t);
+      if sim.obs_on then begin
+        Metrics.observe sim.obs.h_commit_rounds
+          (sim.round_no - s.created_round);
+        let ts = sim.obs_base + sim.n_actions in
+        let began = if s.created then s.created_tick else ts in
+        Obs.span_end sim.obs.o ts ~began t Event.Committed
+      end;
       List.iter (fun (x, _) -> sim.informed <- (x, t) :: sim.informed) sim.objects;
       true
   | C_report t ->
@@ -217,6 +292,10 @@ let maybe_inject sim abort_prob =
     | _ ->
         let t = Rng.pick_list sim.rng victims in
         sim.injected_aborts <- sim.injected_aborts + 1;
+        if sim.obs_emit then
+          Obs.instant ~txn:t
+            ~ts:(sim.obs_base + sim.n_actions)
+            sim.obs.o "abort.injected";
         do_abort sim t
   end
 
@@ -275,6 +354,10 @@ let break_deadlock sim =
         | None -> Rng.pick_list sim.rng blocked
       in
       sim.deadlock_aborts <- sim.deadlock_aborts + 1;
+      if sim.obs_emit then
+        Obs.instant ~txn:t
+          ~ts:(sim.obs_base + sim.n_actions)
+          sim.obs.o "deadlock.victim";
       do_abort sim t;
       true
 
@@ -283,7 +366,7 @@ let is_inform = function C_inform _ -> true | _ -> false
 
 let run ?(policy = Random_step) ?(inform_policy = Eager)
     ?(abort_prob = 0.0) ?(top_comb = Program.Par) ?(max_steps = 1_000_000)
-    ~seed (schema : Schema.t) factory forest =
+    ?(obs = Obs.null) ~seed (schema : Schema.t) factory forest =
   let sim =
     {
       schema;
@@ -291,9 +374,14 @@ let run ?(policy = Random_step) ?(inform_policy = Eager)
       statuses = Txn_id.Tbl.create 128;
       interps = Txn_id.Tbl.create 64;
       objects = List.map (fun x -> (x, factory schema x)) schema.objects;
+      obs = obs_cache obs;
+      obs_on = Obs.enabled obs;
+      obs_emit = Obs.emitting obs;
+      obs_base = Obs.now obs;
       informed = [];
       buf = [];
       n_actions = 0;
+      round_no = 0;
       blocked_attempts = 0;
       deadlock_aborts = 0;
       deadlock_cycles = 0;
@@ -305,7 +393,7 @@ let run ?(policy = Random_step) ?(inform_policy = Eager)
   (status sim Txn_id.root).created <- true;
   Txn_id.Tbl.replace sim.interps Txn_id.root
     (Txn_interp.make ~no_commit:true Txn_id.root top_comb forest);
-  let rounds = ref 0 and steps = ref 0 and truncated = ref false in
+  let steps = ref 0 and truncated = ref false in
   let continue = ref true in
   while !continue do
     if !steps >= max_steps then begin
@@ -327,7 +415,7 @@ let run ?(policy = Random_step) ?(inform_policy = Eager)
       if Array.length plain = 0 && Array.length informs = 0 then
         continue := false
       else begin
-        incr rounds;
+        sim.round_no <- sim.round_no + 1;
         Rng.shuffle sim.rng plain;
         Rng.shuffle sim.rng informs;
         match policy with
@@ -357,6 +445,19 @@ let run ?(policy = Random_step) ?(inform_policy = Eager)
       end
     end
   done;
+  (* Counters the simulator already tracks are settled in one batch
+     here rather than incremented on the hot path. *)
+  if Obs.enabled obs then begin
+    let oc = sim.obs in
+    Obs.settle oc.o
+      ~clock:(sim.obs_base + sim.n_actions)
+      ~actions:sim.n_actions;
+    Metrics.incr ~by:sim.round_no oc.c_rounds;
+    Metrics.incr ~by:sim.blocked_attempts oc.c_blocked;
+    Metrics.incr ~by:sim.deadlock_aborts oc.c_dlk_aborts;
+    Metrics.incr ~by:sim.deadlock_cycles oc.c_dlk_cycles;
+    Metrics.incr ~by:sim.injected_aborts oc.c_injected
+  end;
   let committed_top = ref 0 and aborted_top = ref 0 in
   Txn_id.Tbl.iter
     (fun t s ->
@@ -371,7 +472,7 @@ let run ?(policy = Random_step) ?(inform_policy = Eager)
     stats =
       {
         actions = sim.n_actions;
-        rounds = !rounds;
+        rounds = sim.round_no;
         blocked_attempts = sim.blocked_attempts;
         deadlock_aborts = sim.deadlock_aborts;
         deadlock_cycles = sim.deadlock_cycles;

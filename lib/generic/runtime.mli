@@ -28,6 +28,7 @@
 open Nt_base
 open Nt_spec
 open Nt_serial
+open Nt_obs
 
 type policy = Random_step | Bsp_rounds
 
@@ -64,6 +65,7 @@ val run :
   ?abort_prob:float ->
   ?top_comb:Program.comb ->
   ?max_steps:int ->
+  ?obs:Obs.t ->
   seed:int ->
   Schema.t ->
   Nt_gobj.Gobj.factory ->
@@ -73,4 +75,10 @@ val run :
     per-step probability of aborting a random live transaction
     (default 0).  [top_comb] is how [T0] issues its children (default
     [Par] — full top-level concurrency).  Defaults: [Random_step]
-    policy, [max_steps = 1_000_000]. *)
+    policy, [max_steps = 1_000_000].
+
+    [obs] (default {!Nt_obs.Obs.null}) receives the full telemetry of
+    the run: a span per transaction ([Create] to [Commit]/[Abort]),
+    instants for blocked-access retries, deadlock victims and injected
+    aborts, and the [runtime.*]/[txn.*] metrics (rounds, blocked
+    attempts and streaks, commit latency in rounds and in ticks). *)

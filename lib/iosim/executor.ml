@@ -1,6 +1,7 @@
 open Nt_base
+open Nt_obs
 
-let run_with ~choose ?(max_steps = 100_000) ~seed automaton =
+let run_with ~choose ?(max_steps = 100_000) ?(obs = Obs.null) ~seed automaton =
   let rng = Rng.create seed in
   let rec go auto acc steps =
     if steps >= max_steps then (Trace.of_list (List.rev acc), auto)
@@ -10,11 +11,13 @@ let run_with ~choose ?(max_steps = 100_000) ~seed automaton =
       | actions -> (
           match choose rng actions with
           | None -> (Trace.of_list (List.rev acc), auto)
-          | Some a -> go (Automaton.fire auto a) (a :: acc) (steps + 1))
+          | Some a ->
+              if Obs.enabled obs then Obs.on_action obs a;
+              go (Automaton.fire auto a) (a :: acc) (steps + 1))
   in
   go automaton [] 0
 
-let run ?max_steps ~seed automaton =
+let run ?max_steps ?obs ~seed automaton =
   run_with
     ~choose:(fun rng actions -> Some (Rng.pick_list rng actions))
-    ?max_steps ~seed automaton
+    ?max_steps ?obs ~seed automaton

@@ -6,15 +6,22 @@
     locally-controlled steps) made executable and reproducible. *)
 
 open Nt_base
+open Nt_obs
 
 val run :
-  ?max_steps:int -> seed:int -> Automaton.t -> Trace.t * Automaton.t
+  ?max_steps:int ->
+  ?obs:Obs.t ->
+  seed:int ->
+  Automaton.t ->
+  Trace.t * Automaton.t
 (** Run to quiescence (no enabled actions) or [max_steps] (default
-    100_000), returning the trace and the final composition. *)
+    100_000), returning the trace and the final composition.  [obs]
+    (default {!Obs.null}) receives every fired action. *)
 
 val run_with :
   choose:(Rng.t -> Action.t list -> Action.t option) ->
   ?max_steps:int ->
+  ?obs:Obs.t ->
   seed:int ->
   Automaton.t ->
   Trace.t * Automaton.t

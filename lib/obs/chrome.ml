@@ -1,0 +1,159 @@
+open Nt_base
+
+type state = {
+  oc : out_channel;
+  mutable first : bool;  (* no event written yet *)
+  ids : (int * int) Txn_id.Tbl.t;  (* txn -> (pid, tid) *)
+  next_tid : (int, int) Hashtbl.t;  (* pid -> next thread row *)
+  named_pids : (int, unit) Hashtbl.t;
+}
+
+let make oc =
+  {
+    oc;
+    first = true;
+    ids = Txn_id.Tbl.create 64;
+    next_tid = Hashtbl.create 16;
+    named_pids = Hashtbl.create 16;
+  }
+
+let put st json =
+  if st.first then st.first <- false else output_char st.oc ',';
+  output_char st.oc '\n';
+  Json.output st.oc json
+
+let meta st ~pid ~tid ~what ~name =
+  put st
+    (Json.Obj
+       [
+         ("name", Json.Str what);
+         ("ph", Json.Str "M");
+         ("pid", Json.Int pid);
+         ("tid", Json.Int tid);
+         ("args", Json.Obj [ ("name", Json.Str name) ]);
+       ])
+
+let name_pid st pid label =
+  if not (Hashtbl.mem st.named_pids pid) then begin
+    Hashtbl.replace st.named_pids pid ();
+    meta st ~pid ~tid:0 ~what:"process_name" ~name:label
+  end
+
+(* One process group per top-level transaction; one thread row per
+   transaction, numbered in first-seen (creation) order so parents
+   sort above their descendants. *)
+let ids_of st txn =
+  match Txn_id.Tbl.find_opt st.ids txn with
+  | Some ids -> ids
+  | None ->
+      let pid =
+        match Txn_id.path txn with [] -> 0 | i :: _ -> i + 1
+      in
+      let tid =
+        match Hashtbl.find_opt st.next_tid pid with
+        | Some n ->
+            Hashtbl.replace st.next_tid pid (n + 1);
+            n
+        | None ->
+            Hashtbl.replace st.next_tid pid 2;
+            1
+      in
+      Txn_id.Tbl.replace st.ids txn (pid, tid);
+      name_pid st pid ("top " ^ string_of_int (pid - 1));
+      meta st ~pid ~tid ~what:"thread_name" ~name:(Txn_id.to_string txn);
+      (pid, tid)
+
+let slice_fields ~name ~cat ~ph ~ts ~pid ~tid =
+  [
+    ("name", Json.Str name);
+    ("cat", Json.Str cat);
+    ("ph", Json.Str ph);
+    ("ts", Json.Int ts);
+    ("pid", Json.Int pid);
+    ("tid", Json.Int tid);
+  ]
+
+let emit st (e : Event.t) =
+  match e with
+  | Event.Begin { txn; ts } ->
+      let pid, tid = ids_of st txn in
+      put st
+        (Json.Obj
+           (slice_fields ~name:(Txn_id.to_string txn) ~cat:"txn" ~ph:"B" ~ts
+              ~pid ~tid))
+  | Event.End { txn; ts; outcome; _ } ->
+      let pid, tid = ids_of st txn in
+      put st
+        (Json.Obj
+           (slice_fields ~name:(Txn_id.to_string txn) ~cat:"txn" ~ph:"E" ~ts
+              ~pid ~tid
+           @ [
+               ( "args",
+                 Json.Obj
+                   [ ("outcome", Json.Str (Event.outcome_string outcome)) ] );
+             ]))
+  | Event.Instant { name; ts; txn; obj } ->
+      let pid, tid, scope =
+        match txn with
+        | Some t ->
+            let pid, tid = ids_of st t in
+            (pid, tid, "t")
+        | None ->
+            name_pid st 0 "runtime";
+            (0, 0, "g")
+      in
+      put st
+        (Json.Obj
+           (slice_fields ~name ~cat:"event" ~ph:"i" ~ts ~pid ~tid
+           @ ("s", Json.Str scope)
+             ::
+             (match obj with
+             | Some x ->
+                 [ ("args", Json.Obj [ ("obj", Json.Str (Obj_id.name x)) ]) ]
+             | None -> [])))
+  | Event.Counter { name; ts; value } ->
+      name_pid st 0 "runtime";
+      put st
+        (Json.Obj
+           [
+             ("name", Json.Str name);
+             ("ph", Json.Str "C");
+             ("ts", Json.Int ts);
+             ("pid", Json.Int 0);
+             ("args", Json.Obj [ ("value", Json.Int value) ]);
+           ])
+
+let finish st = output_string st.oc "\n]\n"
+
+let sink oc =
+  let st = make oc in
+  output_char oc '[';
+  let closed = ref false in
+  {
+    Sink.emit = (fun e -> emit st e);
+    flush = (fun () -> flush oc);
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          finish st;
+          flush oc
+        end);
+  }
+
+let sink_file path =
+  let oc = open_out path in
+  let st = make oc in
+  output_char oc '[';
+  let closed = ref false in
+  {
+    Sink.emit = (fun e -> emit st e);
+    flush = (fun () -> flush oc);
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          finish st;
+          close_out oc
+        end);
+  }

@@ -1,0 +1,22 @@
+(** Chrome trace-event exporter.
+
+    Streams the JSON array format that [chrome://tracing] and Perfetto
+    load: a nested-transaction execution renders as a timeline, one
+    process group per {e top-level} transaction, one named thread row
+    per transaction within it (rows appear in creation order, so a
+    parent's row precedes its children's), with duration slices for
+    transaction spans, thread-scoped instants for attached events, and
+    counter tracks for sampled series.  Logical ticks are reported as
+    microseconds.
+
+    The mapping works for arbitrary interleavings: sibling spans
+    overlap in time, which per-transaction rows render faithfully
+    where a single stack of [B]/[E] events could not. *)
+
+val sink : out_channel -> Sink.t
+(** Stream onto a channel the caller owns; [close] completes the JSON
+    array and flushes but does not close the channel. *)
+
+val sink_file : string -> Sink.t
+(** Stream to a fresh file; [close] completes the array and closes
+    the file. *)

@@ -1,0 +1,59 @@
+open Nt_base
+
+type outcome = Committed | Aborted
+
+type t =
+  | Begin of { txn : Txn_id.t; ts : int }
+  | End of { txn : Txn_id.t; ts : int; outcome : outcome; dur : int }
+  | Instant of {
+      name : string;
+      ts : int;
+      txn : Txn_id.t option;
+      obj : Obj_id.t option;
+    }
+  | Counter of { name : string; ts : int; value : int }
+
+let ts = function
+  | Begin { ts; _ } | End { ts; _ } | Instant { ts; _ } | Counter { ts; _ } ->
+      ts
+
+let outcome_string = function Committed -> "commit" | Aborted -> "abort"
+
+let to_json = function
+  | Begin { txn; ts } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "begin");
+          ("txn", Json.Str (Txn_id.to_string txn));
+          ("ts", Json.Int ts);
+        ]
+  | End { txn; ts; outcome; dur } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "end");
+          ("txn", Json.Str (Txn_id.to_string txn));
+          ("ts", Json.Int ts);
+          ("outcome", Json.Str (outcome_string outcome));
+          ("dur", Json.Int dur);
+        ]
+  | Instant { name; ts; txn; obj } ->
+      Json.Obj
+        (("ev", Json.Str "instant")
+         :: ("name", Json.Str name)
+         :: ("ts", Json.Int ts)
+         :: (match txn with
+            | Some t -> [ ("txn", Json.Str (Txn_id.to_string t)) ]
+            | None -> [])
+        @ (match obj with
+          | Some x -> [ ("obj", Json.Str (Obj_id.name x)) ]
+          | None -> []))
+  | Counter { name; ts; value } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "counter");
+          ("name", Json.Str name);
+          ("ts", Json.Int ts);
+          ("value", Json.Int value);
+        ]
+
+let pp fmt e = Format.pp_print_string fmt (Json.to_string (to_json e))

@@ -1,0 +1,41 @@
+(** Telemetry events.
+
+    The span model: every transaction is a span, opened by its
+    [CREATE] and closed by its [COMMIT]/[ABORT], nested by
+    {!Nt_base.Txn_id.parent} — accesses are transactions, so object
+    activity gets spans for free.  Everything else (blocked-access
+    retries, deadlock victims, monitor alarms) is an {!constructor:
+    Instant}, and {!constructor:Counter} carries sampled time series
+    (e.g. cumulative SG edges) for timeline viewers.
+
+    Timestamps are logical ticks — one tick per executed action — so
+    an exported timeline is a deterministic function of the trace, not
+    of wall-clock noise. *)
+
+open Nt_base
+
+type outcome = Committed | Aborted
+
+type t =
+  | Begin of { txn : Txn_id.t; ts : int }
+      (** The transaction's [CREATE] fired at tick [ts]. *)
+  | End of { txn : Txn_id.t; ts : int; outcome : outcome; dur : int }
+      (** Completion; [dur] is ticks since the matching [Begin] (0 if
+          the begin was never seen, e.g. on a partial replay). *)
+  | Instant of {
+      name : string;
+      ts : int;
+      txn : Txn_id.t option;
+      obj : Obj_id.t option;
+    }
+  | Counter of { name : string; ts : int; value : int }
+
+val ts : t -> int
+val outcome_string : outcome -> string
+
+val to_json : t -> Json.t
+(** The JSONL line shape: [{"ev":"begin","txn":"0.1","ts":3}],
+    [{"ev":"end","txn":"0.1","ts":9,"outcome":"commit","dur":6}],
+    [{"ev":"instant","name":...}], [{"ev":"counter",...}]. *)
+
+val pp : Format.formatter -> t -> unit

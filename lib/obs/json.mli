@@ -1,0 +1,29 @@
+(** A minimal JSON tree and printer.
+
+    The observability exporters (JSONL sink, Chrome trace, metrics
+    dump, benchmark tables) all need to produce JSON; the toolchain
+    deliberately has no JSON dependency, so this is the one shared
+    implementation.  Printing only — nothing in the library parses
+    JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** The JSON-escaped content of a string literal, without the
+    surrounding quotes. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Append the compact (single-line) rendering. *)
+
+val to_string : t -> string
+
+val output : out_channel -> t -> unit
+(** Compact rendering straight to a channel (no intermediate
+    string). *)

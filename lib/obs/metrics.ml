@@ -1,0 +1,188 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+(* Bucket [i] counts observations [v] with [bucket_of v = i]:
+   bucket 0 holds v <= 0, bucket i holds 2^(i-1) <= v < 2^i. *)
+let n_buckets = 64
+
+type histogram = {
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = (string, instrument) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let get_or_make t name make =
+  match Hashtbl.find_opt t name with
+  | Some i -> i
+  | None ->
+      let i = make () in
+      Hashtbl.replace t name i;
+      i
+
+let kind_error name =
+  invalid_arg ("Metrics: " ^ name ^ " already registered as another kind")
+
+let counter t name =
+  match get_or_make t name (fun () -> Counter { c = 0 }) with
+  | Counter c -> c
+  | _ -> kind_error name
+
+let gauge t name =
+  match get_or_make t name (fun () -> Gauge { g = 0.0 }) with
+  | Gauge g -> g
+  | _ -> kind_error name
+
+let histogram t name =
+  match
+    get_or_make t name (fun () ->
+        Histogram
+          {
+            buckets = Array.make n_buckets 0;
+            h_count = 0;
+            h_sum = 0;
+            h_min = 0;
+            h_max = 0;
+          })
+  with
+  | Histogram h -> h
+  | _ -> kind_error name
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    (* 1 + floor(log2 v), capped. *)
+    let rec go i v = if v = 0 then i else go (i + 1) (v lsr 1) in
+    min (n_buckets - 1) (go 0 v)
+
+let observe h v =
+  let v = max 0 v in
+  let i = bucket_of v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  if h.h_count = 0 then begin
+    h.h_min <- v;
+    h.h_max <- v
+  end
+  else begin
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v
+
+type hstats = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  p50 : int;
+  p99 : int;
+}
+
+(* Quantile as the upper bound (2^i - 1, i.e. the largest value the
+   bucket can hold) of the bucket where the cumulative count crosses
+   the rank, clamped to the observed max. *)
+let quantile h q =
+  if h.h_count = 0 then 0
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (ceil (q *. float_of_int h.h_count)))
+    in
+    let rec go i acc =
+      if i >= n_buckets then h.h_max
+      else
+        let acc = acc + h.buckets.(i) in
+        if acc >= rank then
+          if i = 0 then 0 else Stdlib.min h.h_max ((1 lsl i) - 1)
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let histogram_stats h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = h.h_min;
+    max = h.h_max;
+    p50 = quantile h 0.5;
+    p99 = quantile h 0.99;
+  }
+
+let is_empty t = Hashtbl.length t = 0
+
+let reset t =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | Counter c -> c.c <- 0
+      | Gauge g -> g.g <- 0.0
+      | Histogram h ->
+          Array.fill h.buckets 0 n_buckets 0;
+          h.h_count <- 0;
+          h.h_sum <- 0;
+          h.h_min <- 0;
+          h.h_max <- 0)
+    t
+
+let sorted t =
+  Hashtbl.fold (fun name i acc -> (name, i) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp fmt t =
+  let items = sorted t in
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i (name, inst) ->
+      if i > 0 then Format.fprintf fmt "@,";
+      match inst with
+      | Counter c -> Format.fprintf fmt "%-32s %d" name c.c
+      | Gauge g -> Format.fprintf fmt "%-32s %g" name g.g
+      | Histogram h ->
+          let s = histogram_stats h in
+          Format.fprintf fmt
+            "%-32s count %d  sum %d  min %d  p50 %d  p99 %d  max %d" name
+            s.count s.sum s.min s.p50 s.p99 s.max)
+    items;
+  Format.fprintf fmt "@]"
+
+let to_json t =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (name, inst) ->
+      match inst with
+      | Counter c -> counters := (name, Json.Int c.c) :: !counters
+      | Gauge g -> gauges := (name, Json.Float g.g) :: !gauges
+      | Histogram h ->
+          let s = histogram_stats h in
+          histograms :=
+            ( name,
+              Json.Obj
+                [
+                  ("count", Json.Int s.count);
+                  ("sum", Json.Int s.sum);
+                  ("min", Json.Int s.min);
+                  ("max", Json.Int s.max);
+                  ("p50", Json.Int s.p50);
+                  ("p99", Json.Int s.p99);
+                ] )
+            :: !histograms)
+    (sorted t);
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.rev !counters));
+      ("gauges", Json.Obj (List.rev !gauges));
+      ("histograms", Json.Obj (List.rev !histograms));
+    ]

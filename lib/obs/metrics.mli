@@ -1,0 +1,66 @@
+(** A registry of named counters, gauges and log-scale histograms.
+
+    Instruments are created (or retrieved) by name; callers on hot
+    paths should resolve an instrument once and keep it, after which
+    every update is a couple of field mutations — no hashing, no
+    allocation.  Histograms bucket observations by powers of two
+    (64 buckets cover the non-negative integers), which is exact
+    enough for latencies-in-rounds and streak lengths while keeping
+    observation O(1) and the registry bounded.
+
+    The registry renders as a fixed-width table ({!pp}) or as JSON
+    ({!to_json}), the machine-readable form the benchmark harness and
+    the CLI dump. *)
+
+type t
+(** A registry.  Mutable; not thread-safe. *)
+
+type counter = { mutable c : int }
+(** Concrete so that the one-instruction increment inlines into hot
+    paths even without flambda; treat as opaque outside them and use
+    {!incr}/{!counter_value}. *)
+
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or create.  Raises [Invalid_argument] if the name is already
+    registered as a different kind of instrument. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> int -> unit
+(** Record a non-negative observation (negative values clamp to 0). *)
+
+type hstats = {
+  count : int;
+  sum : int;
+  min : int;  (** 0 when empty. *)
+  max : int;  (** 0 when empty. *)
+  p50 : int;  (** Bucket upper bounds — approximate. *)
+  p99 : int;
+}
+
+val histogram_stats : histogram -> hstats
+
+val is_empty : t -> bool
+(** No instrument registered (not merely all-zero). *)
+
+val reset : t -> unit
+(** Zero every instrument, keeping registrations. *)
+
+val pp : Format.formatter -> t -> unit
+(** All instruments, sorted by name, one per line. *)
+
+val to_json : t -> Json.t
+(** [{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
+    min,max,p50,p99},...}}]. *)

@@ -1,0 +1,40 @@
+type t = {
+  emit : Event.t -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+let null = { emit = ignore; flush = ignore; close = ignore }
+
+let memory () =
+  let events = ref [] in
+  ( {
+      emit = (fun e -> events := e :: !events);
+      flush = ignore;
+      close = ignore;
+    },
+    fun () -> List.rev !events )
+
+let jsonl oc =
+  {
+    emit =
+      (fun e ->
+        Json.output oc (Event.to_json e);
+        output_char oc '\n');
+    flush = (fun () -> flush oc);
+    close = (fun () -> flush oc);
+  }
+
+let jsonl_file path =
+  let oc = open_out path in
+  let closed = ref false in
+  let s = jsonl oc in
+  {
+    s with
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          close_out oc
+        end);
+  }

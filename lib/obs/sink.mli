@@ -1,0 +1,28 @@
+(** Where telemetry events go.
+
+    A sink is three closures; the recorder calls [emit] once per
+    event.  {!null} drops everything (the zero-cost default — the
+    recorder does not even build events for it), {!memory} retains
+    them for tests and ad-hoc analysis, {!jsonl} streams one JSON
+    object per line without retaining anything, and {!Chrome} (its own
+    module) streams the Chrome trace-event format. *)
+
+type t = {
+  emit : Event.t -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;  (** Also flushes.  Idempotent. *)
+}
+
+val null : t
+(** Physical equality with [null] is how the recorder recognizes the
+    no-op sink. *)
+
+val memory : unit -> t * (unit -> Event.t list)
+(** The callback returns everything emitted so far, in order. *)
+
+val jsonl : out_channel -> t
+(** One event per line, streamed as emitted.  [close] flushes but
+    leaves the channel open (the caller owns it). *)
+
+val jsonl_file : string -> t
+(** {!jsonl} on a fresh file; [close] closes the file. *)

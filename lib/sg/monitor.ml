@@ -1,7 +1,16 @@
 open Nt_base
 open Nt_spec
+open Nt_obs
 
 type alarm = Cycle of Txn_id.t list | Inappropriate of Obj_id.t
+
+type counters = {
+  feeds : int;
+  operations : int;
+  edges : int;
+  cycle_alarms : int;
+  inappropriate_alarms : int;
+}
 
 (* What to do when a transaction becomes visible to T0. *)
 type item =
@@ -35,6 +44,11 @@ type t = {
   reported : Txn_id.t list Txn_id.Tbl.t;  (* parent -> reported children *)
   objects : obj_state Obj_id.Tbl.t;
   mutable any_alarm : bool;
+  mutable n_feeds : int;
+  mutable n_operations : int;
+  mutable n_edges : int;
+  mutable n_cycle_alarms : int;
+  mutable n_inappropriate_alarms : int;
 }
 
 let create ?mode schema =
@@ -56,10 +70,24 @@ let create ?mode schema =
     reported = Txn_id.Tbl.create 32;
     objects;
     any_alarm = false;
+    n_feeds = 0;
+    n_operations = 0;
+    n_edges = 0;
+    n_cycle_alarms = 0;
+    n_inappropriate_alarms = 0;
   }
 
 let graph t = t.g
 let alarmed t = t.any_alarm
+
+let counters t =
+  {
+    feeds = t.n_feeds;
+    operations = t.n_operations;
+    edges = t.n_edges;
+    cycle_alarms = t.n_cycle_alarms;
+    inappropriate_alarms = t.n_inappropriate_alarms;
+  }
 
 (* Register [u] in the visibility tracker; returns its status. *)
 let visibility t u =
@@ -118,6 +146,7 @@ let insert_edge t a b =
   else if Graph.mem_edge t.g a b then []
   else begin
     Graph.add_edge t.g a b;
+    t.n_edges <- t.n_edges + 1;
     match find_path t.g b a with
     | Some path ->
         (* path is b ... a; the cycle is that path (edge a->b closes it). *)
@@ -225,7 +254,9 @@ let process_abort t w =
   Txn_id.Tbl.remove t.waiters w;
   []
 
-let feed t (a : Action.t) =
+let feed ?(obs = Obs.null) t (a : Action.t) =
+  t.n_feeds <- t.n_feeds + 1;
+  let edges_before = t.n_edges in
   let touched = ref [] in
   let alarms =
     match a with
@@ -234,6 +265,7 @@ let feed t (a : Action.t) =
       let x = System_type.object_of_exn t.schema.Schema.sys u in
       let ost = Obj_id.Tbl.find t.objects x in
       let seq = ost.next_seq in
+      t.n_operations <- t.n_operations + 1;
       ost.next_seq <- seq + 1;
       ost.ops <- { access = u; value = v; seq; op_visible = false } :: ost.ops;
       match visibility t u with
@@ -277,13 +309,39 @@ let feed t (a : Action.t) =
     List.sort_uniq Obj_id.compare !touched
     |> List.concat_map (replay_object t)
   in
-  alarms @ replay_alarms
+  let all = alarms @ replay_alarms in
+  List.iter
+    (fun alarm ->
+      match alarm with
+      | Cycle c ->
+          t.n_cycle_alarms <- t.n_cycle_alarms + 1;
+          if Obs.enabled obs then
+            Obs.instant
+              ?txn:(match c with u :: _ -> Some u | [] -> None)
+              obs "monitor.cycle"
+      | Inappropriate x ->
+          t.n_inappropriate_alarms <- t.n_inappropriate_alarms + 1;
+          if Obs.enabled obs then
+            Obs.instant ~obj:x obs "monitor.inappropriate")
+    all;
+  if Obs.enabled obs then begin
+    let m = Obs.metrics obs in
+    let inserted = t.n_edges - edges_before in
+    if inserted > 0 then begin
+      Metrics.incr ~by:inserted (Metrics.counter m "monitor.edges");
+      Obs.counter_sample obs "sg.edges" t.n_edges
+    end;
+    Metrics.observe (Metrics.histogram m "monitor.feed.edges") inserted;
+    if all <> [] then
+      Metrics.incr ~by:(List.length all) (Metrics.counter m "monitor.alarms")
+  end;
+  all
 
-let feed_trace t trace =
+let feed_trace ?obs t trace =
   let alarms = ref [] in
   Array.iteri
     (fun i a ->
-      List.iter (fun al -> alarms := (i, al) :: !alarms) (feed t a))
+      List.iter (fun al -> alarms := (i, al) :: !alarms) (feed ?obs t a))
     trace;
   List.rev !alarms
 

@@ -23,6 +23,7 @@
 
 open Nt_base
 open Nt_spec
+open Nt_obs
 
 type t
 
@@ -32,17 +33,31 @@ type alarm =
   | Inappropriate of Obj_id.t
       (** The object's visible operations no longer replay. *)
 
+type counters = {
+  feeds : int;  (** Actions consumed. *)
+  operations : int;  (** Access responses recorded. *)
+  edges : int;  (** SG edges inserted (deduplicated). *)
+  cycle_alarms : int;
+  inappropriate_alarms : int;
+}
+(** Cumulative health counters, so a caller can report on the monitor
+    without retaining every {!feed} result. *)
+
 val create : ?mode:Sg.conflict_mode -> Schema.t -> t
 (** A fresh monitor (conflict mode defaulting to [Operation_level],
     as in {!Checker}). *)
 
-val feed : t -> Action.t -> alarm list
+val feed : ?obs:Obs.t -> t -> Action.t -> alarm list
 (** Consume one action; returns the alarms it triggers (usually
-    none).  The monitor is mutable. *)
+    none).  The monitor is mutable.  When [obs] is given, alarms
+    become instant events, edge insertions feed the [monitor.*]
+    metrics and a [sg.edges] counter track. *)
 
-val feed_trace : t -> Trace.t -> (int * alarm) list
+val feed_trace : ?obs:Obs.t -> t -> Trace.t -> (int * alarm) list
 (** Feed a whole trace; returns all alarms with the index of the
     triggering event. *)
+
+val counters : t -> counters
 
 val graph : t -> Graph.t
 (** The current serialization graph (shared, do not mutate). *)

@@ -31,3 +31,16 @@ let render t =
     (("== " ^ t.title ^ " ==") :: line t.columns :: sep :: List.map line rows)
 
 let print t = print_string (render t ^ "\n")
+
+let to_json t =
+  let open Nt_obs in
+  Json.Obj
+    [
+      ("title", Json.Str t.title);
+      ("columns", Json.Arr (List.map (fun c -> Json.Str c) t.columns));
+      ( "rows",
+        Json.Arr
+          (List.rev_map
+             (fun row -> Json.Arr (List.map (fun c -> Json.Str c) row))
+             t.rows) );
+    ]

@@ -17,3 +17,7 @@ val render : t -> string
 
 val print : t -> unit
 (** [render] to stdout with a trailing newline. *)
+
+val to_json : t -> Nt_obs.Json.t
+(** [{"title":...,"columns":[...],"rows":[[cell,...],...]}] — the
+    machine-readable form behind [bench --json]. *)

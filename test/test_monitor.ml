@@ -147,6 +147,49 @@ let t_cycle_witness_is_a_cycle () =
   in
   find 1
 
+(* The cumulative counters must agree with what the monitor actually
+   did: feeds = trace length, edges = the graph's edge count, and the
+   alarm tallies = the alarms returned by [feed]. *)
+let t_counters () =
+  List.iter
+    (fun (factory, name) ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed:5
+          { Gen.default with n_top = 6; depth = 1; n_objects = 2;
+            read_ratio = 0.4 }
+      in
+      let r = run_protocol ~seed:5 schema factory forest in
+      let m = Monitor.create schema in
+      let cycles = ref 0 and inapps = ref 0 in
+      Array.iter
+        (fun a ->
+          List.iter
+            (function
+              | Monitor.Cycle _ -> incr cycles
+              | Monitor.Inappropriate _ -> incr inapps)
+            (Monitor.feed m a))
+        r.Runtime.trace;
+      let c = Monitor.counters m in
+      check_int (name ^ " feeds") (Trace.length r.Runtime.trace)
+        c.Monitor.feeds;
+      check_int (name ^ " edges") (Graph.n_edges (Monitor.graph m))
+        c.Monitor.edges;
+      check_int (name ^ " cycle alarms") !cycles c.Monitor.cycle_alarms;
+      check_int (name ^ " inappropriate alarms") !inapps
+        c.Monitor.inappropriate_alarms;
+      check_bool (name ^ " operations seen") true (c.Monitor.operations > 0);
+      check_bool (name ^ " alarmed agrees") (!cycles + !inapps > 0)
+        (Monitor.alarmed m))
+    [ (Moss_object.factory, "moss"); (Broken.no_control, "broken") ]
+
+let t_counters_fresh () =
+  let _, schema = Gen.forest_and_schema Gen.registers ~seed:1 Gen.default in
+  let c = Monitor.counters (Monitor.create schema) in
+  check_int "no feeds" 0 c.Monitor.feeds;
+  check_int "no operations" 0 c.Monitor.operations;
+  check_int "no edges" 0 c.Monitor.edges;
+  check_int "no alarms" 0 (c.Monitor.cycle_alarms + c.Monitor.inappropriate_alarms)
+
 let suite =
   ( "monitor",
     [
@@ -156,4 +199,6 @@ let suite =
       Alcotest.test_case "early detection" `Quick t_early_detection;
       Alcotest.test_case "cycle witness is a cycle" `Quick
         t_cycle_witness_is_a_cycle;
+      Alcotest.test_case "counters agree with activity" `Quick t_counters;
+      Alcotest.test_case "counters start at zero" `Quick t_counters_fresh;
     ] )

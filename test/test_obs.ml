@@ -1,0 +1,266 @@
+(* Tests for the observability layer: the metrics registry, the span
+   derivation (both the generic [on_action] path and the runtime's
+   timestamp-passing path), the streaming sinks, and the Chrome
+   exporter's output shape. *)
+open Core
+open Util
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- metrics registry ------------------------------------------------ *)
+
+let t_metrics_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check_int "counter" 5 (Metrics.counter_value c);
+  (* get-or-create returns the same instrument *)
+  Metrics.incr (Metrics.counter m "a");
+  check_int "shared" 6 (Metrics.counter_value c);
+  let g = Metrics.gauge m "g" in
+  Metrics.set g 2.5;
+  check_bool "gauge" true (Metrics.gauge_value g = 2.5);
+  (* a name cannot change kind *)
+  check_bool "kind clash" true
+    (try
+       ignore (Metrics.histogram m "a");
+       false
+     with Invalid_argument _ -> true);
+  Metrics.reset m;
+  check_int "reset" 0 (Metrics.counter_value c)
+
+let t_metrics_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "h" in
+  List.iter (Metrics.observe h) [ 0; 1; 1; 7; 100 ];
+  let s = Metrics.histogram_stats h in
+  check_int "count" 5 s.Metrics.count;
+  check_int "sum" 109 s.Metrics.sum;
+  check_int "min" 0 s.Metrics.min;
+  check_int "max" 100 s.Metrics.max;
+  check_bool "p50 bounds median" true (s.Metrics.p50 >= 1);
+  check_bool "p99 bounds max" true (s.Metrics.p99 >= 100)
+
+let t_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter m "n");
+  Metrics.observe (Metrics.histogram m "lat") 4;
+  let s = Obs_json.to_string (Metrics.to_json m) in
+  check_bool "has counter" true (contains s "\"n\":3");
+  check_bool "has histogram" true (contains s "\"lat\"");
+  check_bool "has count" true (contains s "\"count\":1")
+
+(* --- span derivation from an action stream --------------------------- *)
+
+let t_span_from_actions () =
+  let sink, events = Obs_sink.memory () in
+  let o = Obs.create ~sink () in
+  List.iter
+    (Obs.on_action o)
+    [
+      Action.Create (txn [ 0 ]);
+      Action.Create (txn [ 0; 0 ]);
+      Action.Request_commit (txn [ 0; 0 ], Value.Int 1);
+      Action.Commit (txn [ 0; 0 ]);
+      Action.Request_commit (txn [ 0 ], Value.Int 0);
+      Action.Abort (txn [ 0 ]);
+    ];
+  Obs.close o;
+  check_int "clock" 6 (Obs.now o);
+  (match events () with
+  | [
+   Obs_event.Begin { txn = a; ts = 1 };
+   Obs_event.Begin { txn = b; ts = 2 };
+   Obs_event.End { txn = c; ts = 4; outcome = Obs_event.Committed; dur = 2 };
+   Obs_event.End { txn = d; ts = 6; outcome = Obs_event.Aborted; dur = 5 };
+  ] ->
+      check_bool "span txns" true
+        (Txn_id.equal a (txn [ 0 ])
+        && Txn_id.equal b (txn [ 0; 0 ])
+        && Txn_id.equal c (txn [ 0; 0 ])
+        && Txn_id.equal d (txn [ 0 ]))
+  | evs -> Alcotest.failf "unexpected events (%d)" (List.length evs));
+  let m = Obs.metrics o in
+  check_int "created" 2 (Metrics.counter_value (Metrics.counter m "txn.created"));
+  check_int "committed" 1
+    (Metrics.counter_value (Metrics.counter m "txn.committed"));
+  check_int "aborted" 1 (Metrics.counter_value (Metrics.counter m "txn.aborted"));
+  check_int "actions" 6 (Metrics.counter_value (Metrics.counter m "actions"))
+
+let t_null_is_inert () =
+  check_bool "disabled" false (Obs.enabled Obs.null);
+  Obs.on_action Obs.null (Action.Create (txn [ 0 ]));
+  Obs.instant Obs.null "nothing";
+  check_int "clock untouched" 0 (Obs.now Obs.null)
+
+(* --- the runtime's timestamp-passing path ---------------------------- *)
+
+(* Replaying the produced trace through [on_action] must yield the
+   same span events (same ticks, outcomes, durations) the runtime
+   emitted live, and the metrics the runtime settles must match the
+   trace profile. *)
+let t_runtime_spans () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 5; depth = 2; fanout = 2; n_objects = 3 }
+      in
+      let sink, events = Obs_sink.memory () in
+      let o = Obs.create ~sink () in
+      let r =
+        Runtime.run ~policy:Runtime.Bsp_rounds ~obs:o ~seed schema
+          Moss_object.factory forest
+      in
+      Obs.close o;
+      let live =
+        List.filter
+          (function
+            | Obs_event.Begin _ | Obs_event.End _ -> true | _ -> false)
+          (events ())
+      in
+      let sink2, events2 = Obs_sink.memory () in
+      let o2 = Obs.create ~sink:sink2 () in
+      Trace.to_list r.Runtime.trace |> List.iter (Obs.on_action o2);
+      Obs.close o2;
+      let replay =
+        List.filter
+          (function
+            | Obs_event.Begin _ | Obs_event.End _ -> true | _ -> false)
+          (events2 ())
+      in
+      check_int "same span count" (List.length replay) (List.length live);
+      List.iter2
+        (fun a b ->
+          check_bool "span event equal" true
+            (match (a, b) with
+            | ( Obs_event.Begin { txn = t1; ts = s1 },
+                Obs_event.Begin { txn = t2; ts = s2 } ) ->
+                Txn_id.equal t1 t2 && s1 = s2
+            | ( Obs_event.End { txn = t1; ts = s1; outcome = o1; dur = d1 },
+                Obs_event.End { txn = t2; ts = s2; outcome = o2; dur = d2 } )
+              ->
+                Txn_id.equal t1 t2 && s1 = s2 && o1 = o2 && d1 = d2
+            | _ -> false))
+        live replay;
+      (* nesting: a child's span begins after its parent's *)
+      let begins = Txn_id.Tbl.create 32 in
+      List.iter
+        (function
+          | Obs_event.Begin { txn; ts } -> Txn_id.Tbl.replace begins txn ts
+          | _ -> ())
+        live;
+      Txn_id.Tbl.iter
+        (fun t ts ->
+          if Txn_id.depth t > 1 then
+            match Txn_id.Tbl.find_opt begins (Txn_id.parent_exn t) with
+            | Some pts -> check_bool "parent began first" true (pts < ts)
+            | None -> Alcotest.failf "child %s has no parent span"
+                        (Txn_id.to_string t))
+        begins;
+      (* settled metrics agree with the trace profile *)
+      let s = Trace_stats.of_trace r.Runtime.trace in
+      let m = Obs.metrics o in
+      let cv n = Metrics.counter_value (Metrics.counter m n) in
+      check_int "actions" s.Trace_stats.events (cv "actions");
+      check_int "created" s.Trace_stats.creates (cv "txn.created");
+      check_int "committed" s.Trace_stats.commits (cv "txn.committed");
+      check_int "aborted" s.Trace_stats.aborts (cv "txn.aborted");
+      check_int "clock = events" s.Trace_stats.events (Obs.now o))
+    [ 1; 2; 3; 4 ]
+
+(* --- streaming sinks -------------------------------------------------- *)
+
+let count_lines path =
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !n
+
+let t_jsonl_streams () =
+  let path = Filename.temp_file "nested_sg_obs" ".jsonl" in
+  let sink = Obs_sink.jsonl_file path in
+  let o = Obs.create ~sink () in
+  Obs.on_action o (Action.Create (txn [ 0 ]));
+  Obs.on_action o (Action.Create (txn [ 1 ]));
+  sink.Obs_sink.flush ();
+  (* visible mid-stream, before close: nothing is being retained *)
+  check_int "streamed" 2 (count_lines path);
+  Obs.on_action o (Action.Commit (txn [ 0 ]));
+  Obs.on_action o (Action.Abort (txn [ 1 ]));
+  Obs.close o;
+  check_int "complete" 4 (count_lines path);
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  check_bool "line shape" true
+    (contains first "\"ev\":\"begin\"" && contains first "\"ts\":1");
+  Sys.remove path
+
+(* --- Chrome exporter -------------------------------------------------- *)
+
+let occurrences needle hay =
+  let n = String.length needle and h = String.length hay in
+  let count = ref 0 in
+  for i = 0 to h - n do
+    if String.sub hay i n = needle then incr count
+  done;
+  !count
+
+let t_chrome_export () =
+  let seed = 7 in
+  let forest, schema =
+    Gen.forest_and_schema Gen.registers ~seed
+      { Gen.default with n_top = 4; depth = 2; fanout = 2; n_objects = 3 }
+  in
+  let path = Filename.temp_file "nested_sg_obs" ".json" in
+  let o = Obs.create ~sink:(Chrome_trace.sink_file path) () in
+  let r =
+    Runtime.run ~policy:Runtime.Bsp_rounds ~obs:o ~seed schema
+      Moss_object.factory forest
+  in
+  Obs.close o;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  let trimmed = String.trim body in
+  check_bool "is a JSON array" true
+    (String.length trimmed > 2
+    && trimmed.[0] = '['
+    && trimmed.[String.length trimmed - 1] = ']');
+  let s = Trace_stats.of_trace r.Runtime.trace in
+  check_bool "deep workload" true (s.Trace_stats.max_depth >= 2);
+  check_int "one B per create" s.Trace_stats.creates
+    (occurrences "\"ph\":\"B\"" body);
+  check_int "one E per completion"
+    (s.Trace_stats.commits + s.Trace_stats.aborts)
+    (occurrences "\"ph\":\"E\"" body);
+  check_bool "thread metadata" true (occurrences "\"ph\":\"M\"" body > 0);
+  check_bool "no trailing comma" true (not (contains body ",]"))
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "metrics counters and gauges" `Quick t_metrics_counters;
+      Alcotest.test_case "metrics histogram stats" `Quick t_metrics_histogram;
+      Alcotest.test_case "metrics JSON export" `Quick t_metrics_json;
+      Alcotest.test_case "span derivation from actions" `Quick
+        t_span_from_actions;
+      Alcotest.test_case "null recorder is inert" `Quick t_null_is_inert;
+      Alcotest.test_case "runtime spans match trace replay" `Quick
+        t_runtime_spans;
+      Alcotest.test_case "jsonl sink streams" `Quick t_jsonl_streams;
+      Alcotest.test_case "chrome export shape" `Quick t_chrome_export;
+    ] )

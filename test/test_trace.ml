@@ -148,7 +148,7 @@ let t_trace_stats () =
   Alcotest.(check int) "creates" 4 s.Trace_stats.creates;
   Alcotest.(check int) "commits" 2 s.Trace_stats.commits;
   Alcotest.(check int) "aborts" 1 s.Trace_stats.aborts;
-  Alcotest.(check int) "responses" 2 s.Trace_stats.responses;
+  Alcotest.(check int) "commit requests" 2 s.Trace_stats.commit_requests;
   Alcotest.(check int) "max depth" 2 s.Trace_stats.max_depth;
   (* T1 completes before T2 is created: never two live top siblings. *)
   Alcotest.(check int) "peak live siblings" 1 s.Trace_stats.max_live_siblings

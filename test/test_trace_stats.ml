@@ -1,0 +1,137 @@
+(* Unit tests for Trace_stats: exact field values on a hand-built
+   trace, and agreement with the runtime's own accounting on a
+   generated run. *)
+open Core
+open Util
+
+let v i = Value.Int i
+
+(* A depth-2 trace with two overlapping top-level transactions, one
+   nested child each, one abort, and a pair of informs.  Every field
+   of the profile is pinned by hand. *)
+let hand_trace () =
+  Trace.of_list
+    [
+      Action.Request_create (txn [ 0 ]);
+      Action.Create (txn [ 0 ]);
+      Action.Request_create (txn [ 1 ]);
+      Action.Create (txn [ 1 ]);
+      (* both children of T0's root are now live: peak siblings = 2 *)
+      Action.Request_create (txn [ 0; 0 ]);
+      Action.Create (txn [ 0; 0 ]);
+      Action.Request_commit (txn [ 0; 0 ], v 1);
+      Action.Commit (txn [ 0; 0 ]);
+      Action.Report_commit (txn [ 0; 0 ], v 1);
+      Action.Inform_commit (x0, txn [ 0; 0 ]);
+      Action.Request_create (txn [ 1; 0 ]);
+      Action.Create (txn [ 1; 0 ]);
+      Action.Abort (txn [ 1; 0 ]);
+      Action.Report_abort (txn [ 1; 0 ]);
+      Action.Inform_abort (x0, txn [ 1; 0 ]);
+      Action.Request_commit (txn [ 0 ], v 0);
+      Action.Commit (txn [ 0 ]);
+      Action.Abort (txn [ 1 ]);
+    ]
+
+let t_hand_built () =
+  let s = Trace_stats.of_trace (hand_trace ()) in
+  check_int "events" 18 s.Trace_stats.events;
+  check_int "serial events" 16 s.Trace_stats.serial_events;
+  check_int "informs" 2 s.Trace_stats.informs;
+  check_int "creates" 4 s.Trace_stats.creates;
+  check_int "commits" 2 s.Trace_stats.commits;
+  check_int "aborts" 2 s.Trace_stats.aborts;
+  check_int "commit requests" 2 s.Trace_stats.commit_requests;
+  (* T0.0, T0.1, T0.0.0, T0.1.0 *)
+  check_int "transactions" 4 s.Trace_stats.transactions;
+  check_int "max depth" 2 s.Trace_stats.max_depth;
+  check_int "peak live siblings" 2 s.Trace_stats.max_live_siblings
+
+let t_empty () =
+  let s = Trace_stats.of_trace (Trace.of_list []) in
+  check_int "events" 0 s.Trace_stats.events;
+  check_int "transactions" 0 s.Trace_stats.transactions;
+  check_int "max depth" 0 s.Trace_stats.max_depth;
+  check_int "peak live siblings" 0 s.Trace_stats.max_live_siblings
+
+(* The live-sibling counter must peak at the overlap, not the total:
+   three successive children that never overlap peak at 1. *)
+let t_siblings_sequential () =
+  let trace =
+    Trace.of_list
+      [
+        Action.Create (txn [ 0 ]);
+        Action.Commit (txn [ 0 ]);
+        Action.Create (txn [ 1 ]);
+        Action.Abort (txn [ 1 ]);
+        Action.Create (txn [ 2 ]);
+        Action.Commit (txn [ 2 ]);
+      ]
+  in
+  let s = Trace_stats.of_trace trace in
+  check_int "creates" 3 s.Trace_stats.creates;
+  check_int "peak live siblings" 1 s.Trace_stats.max_live_siblings
+
+(* On a real run the profile must agree with the runtime's own
+   accounting: events = stats.actions, every create resolves to a
+   commit or abort (the runtime drives executions to quiescence), and
+   the committed/aborted top-level split is visible in the trace. *)
+let t_agrees_with_runtime () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 6; depth = 2; n_objects = 3 }
+      in
+      let r =
+        run_protocol ~abort_prob:0.05 ~seed schema Moss_object.factory forest
+      in
+      let s = Trace_stats.of_trace r.Runtime.trace in
+      check_int "events = actions" r.Runtime.stats.Runtime.actions
+        s.Trace_stats.events;
+      (* every created transaction completes (quiescence), but aborts
+         may also hit requested-not-yet-created transactions *)
+      check_bool "creates resolved" true
+        (s.Trace_stats.commits + s.Trace_stats.aborts >= s.Trace_stats.creates);
+      check_bool "commits bounded by creates" true
+        (s.Trace_stats.commits <= s.Trace_stats.creates);
+      let top_completions =
+        Trace.to_list r.Runtime.trace
+        |> List.filter (fun a ->
+               match a with
+               | Action.Commit t | Action.Abort t -> Txn_id.depth t = 1
+               | _ -> false)
+        |> List.length
+      in
+      check_int "top-level completions"
+        (r.Runtime.committed_top + r.Runtime.aborted_top)
+        top_completions;
+      check_bool "some concurrency" true (s.Trace_stats.max_live_siblings >= 1))
+    (List.init 5 (fun i -> i + 1))
+
+(* A serial execution never has two live siblings. *)
+let t_serial_is_sequential () =
+  List.iter
+    (fun seed ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed
+          { Gen.default with n_top = 5; depth = 2; n_objects = 2 }
+      in
+      let trace = Serial_exec.run schema forest in
+      let s = Trace_stats.of_trace trace in
+      check_int "serial peak siblings" 1 s.Trace_stats.max_live_siblings;
+      check_int "no informs" 0 s.Trace_stats.informs)
+    [ 1; 2; 3 ]
+
+let suite =
+  ( "trace_stats",
+    [
+      Alcotest.test_case "hand-built trace" `Quick t_hand_built;
+      Alcotest.test_case "empty trace" `Quick t_empty;
+      Alcotest.test_case "sequential siblings peak at 1" `Quick
+        t_siblings_sequential;
+      Alcotest.test_case "agrees with runtime accounting" `Quick
+        t_agrees_with_runtime;
+      Alcotest.test_case "serial runs have no concurrency" `Quick
+        t_serial_is_sequential;
+    ] )
