@@ -1,0 +1,107 @@
+(* ntprof: root-cause reports over JSONL telemetry traces.
+
+   Point it at one or more traces produced with
+   `ntsim --obs-format jsonl --obs-out FILE` (multiple files merge into
+   one profile) and it prints the contention report: top-K contended
+   objects with wait-time quantiles, the hottest serialization-graph
+   edges with their witnessing actions, abort/alarm causes, and the
+   metrics registry.  Optionally writes the rebuilt SG as annotated
+   DOT (--dot) and the registry as Prometheus text (--prom).
+
+   Examples:
+     ntsim -p commlock --obs-format jsonl --obs-out run.jsonl
+     ntprof run.jsonl
+     ntprof --top 5 --dot sg.dot --prom metrics.prom run1.jsonl run2.jsonl *)
+
+open Core
+open Cmdliner
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run_cmd files top dot_path prom_path =
+  let profiles =
+    List.map
+      (fun path ->
+        let p = Profile.create () in
+        (try
+           List.iter
+             (fun e -> Format.eprintf "warning: %s@." e)
+             (Profile.load p path)
+         with Sys_error e ->
+           Format.eprintf "ntprof: %s@." e;
+           exit 2);
+        p)
+      files
+  in
+  let p =
+    match profiles with
+    | [] -> assert false (* Arg.non_empty *)
+    | first :: rest ->
+        List.iter (fun q -> Profile.merge first q) rest;
+        first
+  in
+  if Profile.events p = 0 then
+    Format.eprintf "ntprof: no events parsed from %s@."
+      (String.concat ", " files);
+  Format.printf "%a" (Profile.report ~top) p;
+  (match dot_path with
+  | Some path ->
+      write_file path (Profile.dot p);
+      Format.printf "serialization graph written to %s (graphviz%s)@." path
+        (if Profile.has_cycle p then ", cycle highlighted" else "")
+  | None -> ());
+  (match prom_path with
+  | Some "-" -> print_string (Profile.prometheus p)
+  | Some path ->
+      write_file path (Profile.prometheus p);
+      Format.printf "metrics written to %s (prometheus text)@." path
+  | None -> ());
+  if Profile.events p = 0 then exit 1
+
+let cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "JSONL telemetry trace(s) from ntsim/ntstress --obs-format \
+             jsonl.  Multiple files are merged into one profile.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "k"; "top" ] ~docv:"K"
+          ~doc:"Rows in the top-contended-objects and hottest-edges tables.")
+  in
+  let dot_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Write the serialization graph rebuilt from the trace as \
+             Graphviz DOT, edges labelled with their witnessing actions \
+             and any cycle highlighted.")
+  in
+  let prom_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry as Prometheus text exposition \
+             ($(b,-) for stdout).")
+  in
+  let term = Term.(const run_cmd $ files $ top $ dot_path $ prom_path) in
+  Cmd.v
+    (Cmd.info "ntprof" ~version:"1.0.0"
+       ~doc:
+         "Contention and conflict-attribution reports over nested-sg \
+          telemetry traces.")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -48,14 +48,16 @@ let obs_format_conv =
   Arg.enum
     [ ("jsonl", Obs_jsonl); ("chrome", Obs_chrome); ("table", Obs_table) ]
 
-(* Build the recorder selected by --obs-out/--obs-format, plus the
-   finalizer that closes the sink and dumps the metrics registry. *)
-let setup_obs obs_format obs_out =
-  match (obs_format, obs_out) with
-  | None, None -> (Obs.null, fun () -> ())
+(* Build the recorder selected by --obs-out/--obs-format/--report, plus
+   the finalizer that closes the sink and dumps the metrics registry
+   (and, under --report, the in-process contention profile fed through
+   a teed sink). *)
+let setup_obs ?(report = false) obs_format obs_out =
+  match (obs_format, obs_out, report) with
+  | None, None, false -> (Obs.null, fun () -> ())
   | _ ->
       let fmt = Option.value ~default:Obs_table obs_format in
-      let sink =
+      let base_sink =
         match (fmt, obs_out) with
         | Obs_jsonl, Some path -> Obs_sink.jsonl_file path
         | Obs_chrome, Some path -> Chrome_trace.sink_file path
@@ -64,6 +66,14 @@ let setup_obs obs_format obs_out =
               "--obs-format jsonl/chrome requires --obs-out FILE@.";
             exit 2
         | Obs_table, _ -> Obs_sink.null
+      in
+      let profile = if report then Some (Profile.create ()) else None in
+      let sink =
+        match profile with
+        | None -> base_sink
+        | Some p ->
+            if base_sink == Obs_sink.null then Profile.sink p
+            else Obs_sink.tee base_sink (Profile.sink p)
       in
       let obs = Obs.create ~sink () in
       let finish () =
@@ -83,8 +93,13 @@ let setup_obs obs_format obs_out =
                https://ui.perfetto.dev)@."
               path
         | _, None -> ());
-        Format.printf "@.observability metrics:@.%a@." Metrics.pp
-          (Obs.metrics obs)
+        (match profile with
+        | Some p ->
+            Format.printf "@.contention profile:@.%a" (Profile.report ~top:10)
+              p
+        | None ->
+            Format.printf "@.observability metrics:@.%a@." Metrics.pp
+              (Obs.metrics obs))
       in
       (obs, finish)
 
@@ -116,8 +131,8 @@ let factory_of = function
 
 let run_cmd workload protocol seed n_top depth fanout n_objects theta
     read_ratio abort_prob policy check print_trace save_path dot_path
-    load_path monitor program_path obs_format obs_out =
-  let obs, finish_obs = setup_obs obs_format obs_out in
+    load_path monitor report program_path obs_format obs_out =
+  let obs, finish_obs = setup_obs ~report obs_format obs_out in
   let forest, schema =
     match program_path with
     | Some path -> (
@@ -172,37 +187,49 @@ let run_cmd workload protocol seed n_top depth fanout n_objects theta
       Trace_io.save path trace;
       Format.printf "trace saved to %s@." path
   | None -> ());
+  let mon =
+    if monitor then begin
+      let m = Monitor.create schema in
+      (match Monitor.feed_trace ~obs m trace with
+      | [] -> Format.printf "online monitor: no alarms@."
+      | alarms ->
+          List.iter
+            (fun (i, a) ->
+              match a with
+              | Monitor.Cycle c ->
+                  Format.printf "online monitor: event %d closed a cycle: %s@."
+                    i
+                    (String.concat " -> " (List.map Txn_id.to_string c));
+                  Format.printf "%s" (Monitor.explain_cycle m c)
+              | Monitor.Inappropriate x ->
+                  Format.printf
+                    "online monitor: event %d made %s's returns impossible@." i
+                    (Obj_id.name x))
+            alarms);
+      let c = Monitor.counters m in
+      Format.printf
+        "online monitor: %d feeds, %d operations, %d edges, %d cycle + %d \
+         inappropriate alarms@."
+        c.Monitor.feeds c.Monitor.operations c.Monitor.edges
+        c.Monitor.cycle_alarms c.Monitor.inappropriate_alarms;
+      Some m
+    end
+    else None
+  in
   (match dot_path with
   | Some path ->
+      (* With the monitor on, render its graph: edges carry witness
+         labels and the first detected cycle is highlighted. *)
+      let dot =
+        match mon with
+        | Some m -> Monitor.dot m
+        | None -> Dot.of_trace schema trace
+      in
       let oc = open_out path in
-      output_string oc (Dot.of_trace schema trace);
+      output_string oc dot;
       close_out oc;
       Format.printf "serialization graph written to %s (graphviz)@." path
   | None -> ());
-  if monitor then begin
-    let m = Monitor.create schema in
-    (match Monitor.feed_trace ~obs m trace with
-    | [] -> Format.printf "online monitor: no alarms@."
-    | alarms ->
-        List.iter
-          (fun (i, a) ->
-            match a with
-            | Monitor.Cycle c ->
-                Format.printf "online monitor: event %d closed a cycle: %s@."
-                  i
-                  (String.concat " -> " (List.map Txn_id.to_string c))
-            | Monitor.Inappropriate x ->
-                Format.printf
-                  "online monitor: event %d made %s's returns impossible@." i
-                  (Obj_id.name x))
-          alarms);
-    let c = Monitor.counters m in
-    Format.printf
-      "online monitor: %d feeds, %d operations, %d edges, %d cycle + %d \
-       inappropriate alarms@."
-      c.Monitor.feeds c.Monitor.operations c.Monitor.edges
-      c.Monitor.cycle_alarms c.Monitor.inappropriate_alarms
-  end;
   (match Simple_db.well_formed schema.Schema.sys trace with
   | Ok () -> ()
   | Error v ->
@@ -333,6 +360,15 @@ let cmd =
           ~doc:"Feed the behavior through the online monitor and report \
                 alarms with their event indices.")
   in
+  let report =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:
+            "Accumulate an in-process contention profile (same pipeline as \
+             $(b,ntprof) over a JSONL trace) and print it at the end of the \
+             run.")
+  in
   let obs_format =
     Arg.(
       value
@@ -357,7 +393,7 @@ let cmd =
     Term.(
       const run_cmd $ workload $ protocol $ seed $ n_top $ depth $ fanout
       $ n_objects $ theta $ read_ratio $ abort_prob $ policy $ check
-      $ print_trace $ save_path $ dot_path $ load_path $ monitor
+      $ print_trace $ save_path $ dot_path $ load_path $ monitor $ report
       $ program_path $ obs_format $ obs_out)
   in
   Cmd.v

@@ -10,7 +10,10 @@
      completion-order protocols, Theorem 2 with the pseudotime order
      for MVTS);
    - on a sample of object projections, the per-protocol lemma
-     invariants (Moss Lemmas 9/10/12-13, undo Lemmas 20/22).
+     invariants (Moss Lemmas 9/10/12-13, undo Lemmas 20/22);
+   - that the online SG monitor raises no alarm (completion-order
+     protocols only: under pseudotime ordering the completion-order SG
+     is legitimately cyclic, so MVTS is exempt).
 
    Any failure prints the seed and a diagnosis and exits nonzero, so
    the campaign is reproducible.
@@ -157,10 +160,36 @@ let () =
               let ok_lemmas =
                 seed mod 5 <> 0 || check_lemmas pname schema r.trace
               in
-              if not (ok_wf && ok_thm && ok_lemmas) then begin
+              let ok_monitor =
+                match kind with
+                | Pseudotime -> true
+                | Sg_checker ->
+                    let m = Monitor.create schema in
+                    let alarms = Monitor.feed_trace m r.trace in
+                    List.iter
+                      (fun (i, a) ->
+                        match a with
+                        | Monitor.Cycle c ->
+                            Format.printf
+                              "ALARM %s/%s seed %d: event %d closed a cycle \
+                               %s@.%s"
+                              pname wname seed i
+                              (String.concat " -> "
+                                 (List.map Txn_id.to_string c))
+                              (Monitor.explain_cycle m c)
+                        | Monitor.Inappropriate x ->
+                            Format.printf
+                              "ALARM %s/%s seed %d: event %d made %s's \
+                               returns impossible@."
+                              pname wname seed i (Obj_id.name x))
+                      alarms;
+                    alarms = []
+              in
+              if not (ok_wf && ok_thm && ok_lemmas && ok_monitor) then begin
                 incr failures;
-                Format.printf "FAIL %s/%s seed %d (wf %b, thm %b, lemmas %b)@."
-                  pname wname seed ok_wf ok_thm ok_lemmas;
+                Format.printf
+                  "FAIL %s/%s seed %d (wf %b, thm %b, lemmas %b, monitor %b)@."
+                  pname wname seed ok_wf ok_thm ok_lemmas ok_monitor;
                 if not ok_thm && kind = Sg_checker then
                   print_string (Checker.explain schema r.trace)
               end

@@ -80,7 +80,10 @@ let homemade ~release_early : Gobj.factory =
               Some v)
     ;
     waiting_on =
-      (fun _ -> match !holder with Some h -> [ h ] | None -> []);
+      (fun _ ->
+        match !holder with
+        | Some h -> [ (h, Gobj.Other "exclusive") ]
+        | None -> []);
   }
 
 let () =

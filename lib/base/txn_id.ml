@@ -77,6 +77,19 @@ let pp fmt t = Format.pp_print_string fmt (to_string t)
 let of_path p = List.rev p
 let path t = List.rev t
 
+let of_string s =
+  match String.split_on_char '.' s with
+  | "T0" :: rest ->
+      let rec parse acc = function
+        | [] -> Some (of_path (List.rev acc))
+        | seg :: rest -> (
+            match int_of_string_opt seg with
+            | Some i when i >= 0 -> parse (i :: acc) rest
+            | _ -> None)
+      in
+      parse [] rest
+  | _ -> None
+
 module Ord = struct
   type nonrec t = t
 

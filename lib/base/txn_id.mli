@@ -79,6 +79,11 @@ val of_path : int list -> t
 (** Build a name from the root-to-leaf list of child indices.
     [of_path [] = root]. *)
 
+val of_string : string -> t option
+(** Parse the {!to_string} rendering ("T0", "T0.1.0", ...); [None] on
+    anything else.  Inverse of {!to_string} — used by telemetry
+    consumers reading names back from JSONL traces. *)
+
 val path : t -> int list
 (** Root-to-leaf child indices; inverse of {!of_path}. *)
 

@@ -18,7 +18,7 @@
     {- workloads and measurement: {!Gen}, {!Scenario}, {!Stats},
        {!Table};}
     {- observability: {!Obs}, {!Metrics}, {!Obs_event}, {!Obs_sink},
-       {!Chrome_trace}, {!Obs_json}.}} *)
+       {!Chrome_trace}, {!Obs_json}, {!Profile}.}} *)
 
 module Txn_id = Nt_base.Txn_id
 module Obj_id = Nt_base.Obj_id
@@ -84,3 +84,4 @@ module Obs_event = Nt_obs.Event
 module Obs_sink = Nt_obs.Sink
 module Chrome_trace = Nt_obs.Chrome
 module Obs_json = Nt_obs.Json
+module Profile = Nt_prof.Profile

@@ -35,6 +35,9 @@ type status = {
   mutable created_round : int;  (* round of the Create action *)
   mutable created_tick : int;  (* recorder tick of the Create action *)
   mutable blocked_streak : int;  (* consecutive try_respond refusals *)
+  mutable blocked_since : int;  (* tick of the streak's first refusal *)
+  mutable last_blockers : (Txn_id.t * Nt_gobj.Gobj.lock_kind) list;
+      (* holders reported at the latest refusal; event-emitting runs only *)
   program : Program.t option;  (* None for T0 *)
 }
 
@@ -47,8 +50,14 @@ type obs_cache = {
   c_dlk_aborts : Metrics.counter;
   c_dlk_cycles : Metrics.counter;
   c_injected : Metrics.counter;
+  c_wf_edges : Metrics.counter;
+  c_wf_near : Metrics.counter;
+  c_abort_lock : Metrics.counter;
+  c_abort_parent : Metrics.counter;
+  c_abort_injected : Metrics.counter;
   h_commit_rounds : Metrics.histogram;
   h_blocked_streak : Metrics.histogram;
+  h_wait_ticks : Metrics.histogram;
 }
 
 let obs_cache o =
@@ -60,8 +69,14 @@ let obs_cache o =
     c_dlk_aborts = Metrics.counter m "runtime.deadlock.aborts";
     c_dlk_cycles = Metrics.counter m "runtime.deadlock.cycles";
     c_injected = Metrics.counter m "runtime.injected.aborts";
+    c_wf_edges = Metrics.counter m "runtime.waitfor.edges";
+    c_wf_near = Metrics.counter m "runtime.waitfor.near_cycles";
+    c_abort_lock = Metrics.counter m "abort.cause.lock_conflict";
+    c_abort_parent = Metrics.counter m "abort.cause.parent";
+    c_abort_injected = Metrics.counter m "abort.cause.injected";
     h_commit_rounds = Metrics.histogram m "txn.commit.rounds";
     h_blocked_streak = Metrics.histogram m "runtime.blocked.streak";
+    h_wait_ticks = Metrics.histogram m "txn.wait.ticks";
   }
 
 (* A controller/runtime action candidate.  [Try_respond] may refuse. *)
@@ -83,6 +98,9 @@ type sim = {
   obs_on : bool;  (* Obs.enabled obs.o, hoisted for the hot path *)
   obs_emit : bool;  (* Obs.emitting obs.o, likewise *)
   obs_base : int;  (* recorder clock at run start; ticks = base + n_actions *)
+  blocked_now : (int, unit Txn_id.Tbl.t) Hashtbl.t;
+      (* accesses whose latest try_respond refused; maintained only on
+         event-emitting runs (entries validated against status at use) *)
   mutable informed : (Obj_id.t * Txn_id.t) list;
       (* pending informs, newest first *)
   mutable buf : Action.t list;  (* trace, newest first *)
@@ -118,6 +136,8 @@ let add_status sim t program =
       created_round = 0;
       created_tick = 0;
       blocked_streak = 0;
+      blocked_since = 0;
+      last_blockers = [];
       program;
     }
 
@@ -158,17 +178,107 @@ let candidates sim =
     sim.informed;
   !acc
 
-let do_abort sim t =
+(* Root-cause taxonomy for the metrics registry: an abort whose proper
+   ancestor is already aborted is collateral of that ancestor's fate,
+   whatever mechanism delivered it; otherwise the trigger (deadlock
+   breaking = lock conflict, or fault injection) is the cause. *)
+let record_abort_cause sim t cause =
+  let ancestor_aborted =
+    List.exists
+      (fun a ->
+        match Txn_id.Tbl.find_opt sim.statuses a with
+        | Some sa -> sa.completed = Aborted
+        | None -> false)
+      (Txn_id.proper_ancestors t)
+  in
+  if ancestor_aborted then Metrics.incr sim.obs.c_abort_parent
+  else
+    match cause with
+    | `Deadlock -> Metrics.incr sim.obs.c_abort_lock
+    | `Injected -> Metrics.incr sim.obs.c_abort_injected
+
+let do_abort sim ~cause t =
   let s = status sim t in
   s.completed <- Aborted;
   emit sim (Action.Abort t);
-  (if sim.obs_on then
+  (if sim.obs_on then begin
+     record_abort_cause sim t cause;
      let ts = sim.obs_base + sim.n_actions in
      (* A transaction can abort before it was ever created; give such a
         span zero duration, as the recorder's generic path does. *)
      let began = if s.created then s.created_tick else ts in
-     Obs.span_end sim.obs.o ts ~began t Event.Aborted);
+     Obs.span_end sim.obs.o ts ~began t Event.Aborted
+   end);
   List.iter (fun (x, _) -> sim.informed <- (x, t) :: sim.informed) sim.objects
+
+(* Blocked accesses, indexed by their top-level transaction so the
+   wait-for scan below only visits candidates that can possibly lie
+   inside a holder's subtree. *)
+let top_component t =
+  match Txn_id.path t with [] -> -1 | i :: _ -> i
+
+let blocked_add sim t =
+  let top = top_component t in
+  let tbl =
+    match Hashtbl.find_opt sim.blocked_now top with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Txn_id.Tbl.create 8 in
+        Hashtbl.add sim.blocked_now top tbl;
+        tbl
+  in
+  Txn_id.Tbl.replace tbl t ()
+
+let blocked_remove sim t =
+  match Hashtbl.find_opt sim.blocked_now (top_component t) with
+  | Some tbl -> Txn_id.Tbl.remove tbl t
+  | None -> ()
+
+(* Wait-for accounting (event-emitting runs only): [t] was refused
+   because of the non-ancestral [holders].  Every other currently
+   blocked access [b] inside a holder's subtree is one [t] now waits
+   for (that subtree cannot release its locks while [b] is stuck); if
+   [b]'s own latest blockers put [t]'s subtree in the way as well, the
+   pair is a near-cycle — the shape {!break_deadlock} would abort. *)
+let record_waitfor sim t holders =
+  let seen_tops = ref [] in
+  List.iter
+    (fun (h0, _) ->
+      let top = top_component h0 in
+      if not (List.mem top !seen_tops) then begin
+        seen_tops := top :: !seen_tops;
+        match Hashtbl.find_opt sim.blocked_now top with
+        | None -> ()
+        | Some tbl ->
+            (* Entries gone stale without an observed unblock (the
+               transaction aborted, or committed straight from a retry)
+               are dropped as they are met, keeping the index bounded
+               by the currently blocked set. *)
+            let stale = ref [] in
+            Txn_id.Tbl.iter
+              (fun b () ->
+                if not (Txn_id.equal t b) then
+                  match Txn_id.Tbl.find_opt sim.statuses b with
+                  | Some sb
+                    when sb.completed = No && sb.commit_value = None
+                         && sb.blocked_streak > 0 ->
+                      if
+                        List.exists
+                          (fun (h, _) -> Txn_id.is_descendant b h)
+                          holders
+                      then begin
+                        Metrics.incr sim.obs.c_wf_edges;
+                        if
+                          List.exists
+                            (fun (h', _) -> Txn_id.is_descendant t h')
+                            sb.last_blockers
+                        then Metrics.incr sim.obs.c_wf_near
+                      end
+                  | Some _ | None -> stale := b :: !stale)
+              tbl;
+            List.iter (Txn_id.Tbl.remove tbl) !stale
+      end)
+    holders
 
 (* Fire a candidate; returns whether an action was emitted. *)
 let fire sim c =
@@ -212,8 +322,15 @@ let fire sim c =
       | Some v ->
           s.commit_value <- Some v;
           if s.blocked_streak > 0 then begin
-            if sim.obs_on then
+            if sim.obs_on then begin
               Metrics.observe sim.obs.h_blocked_streak s.blocked_streak;
+              Metrics.observe sim.obs.h_wait_ticks
+                (sim.obs_base + sim.n_actions - s.blocked_since);
+              if sim.obs_emit then begin
+                blocked_remove sim t;
+                s.last_blockers <- []
+              end
+            end;
             s.blocked_streak <- 0
           end;
           emit sim (Action.Request_commit (t, v));
@@ -223,11 +340,25 @@ let fire sim c =
           s.blocked_streak <- s.blocked_streak + 1;
           (* The [runtime.blocked] counter is settled once at the end of
              the run from [sim.blocked_attempts]; only the event stream
-             needs a per-attempt hook. *)
-          if sim.obs_emit then
-            Obs.instant ~txn:t ~obj:x
-              ~ts:(sim.obs_base + sim.n_actions)
-              sim.obs.o "blocked";
+             needs per-attempt work — the wait-for bookkeeping included,
+             so a metrics-only recorder pays two field writes here. *)
+          (if sim.obs_on then begin
+             let ts = sim.obs_base + sim.n_actions in
+             if s.blocked_streak = 1 then s.blocked_since <- ts;
+             if sim.obs_emit then begin
+               let holders = (object_of sim x).waiting_on t in
+               s.last_blockers <- holders;
+               blocked_add sim t;
+               record_waitfor sim t holders;
+               Obs.instant ~txn:t ~obj:x ~ts sim.obs.o "blocked";
+               Obs.wait ~ts sim.obs.o ~txn:t ~obj:x
+                 ~holders:
+                   (List.map
+                      (fun (h, k) -> (h, Nt_gobj.Gobj.lock_kind_string k))
+                      holders)
+                 ~waited:(ts - s.blocked_since)
+             end
+           end);
           false)
   | C_commit t ->
       let s = status sim t in
@@ -296,7 +427,7 @@ let maybe_inject sim abort_prob =
           Obs.instant ~txn:t
             ~ts:(sim.obs_base + sim.n_actions)
             sim.obs.o "abort.injected";
-        do_abort sim t
+        do_abort sim ~cause:`Injected t
   end
 
 (* Break a global stall.  Build the waits-for graph among blocked
@@ -326,7 +457,7 @@ let break_deadlock sim =
         List.filter
           (fun b ->
             (not (Txn_id.equal a b))
-            && List.exists (fun u -> Txn_id.is_descendant b u) blockers)
+            && List.exists (fun (u, _) -> Txn_id.is_descendant b u) blockers)
           blocked
       in
       let victim =
@@ -358,7 +489,7 @@ let break_deadlock sim =
         Obs.instant ~txn:t
           ~ts:(sim.obs_base + sim.n_actions)
           sim.obs.o "deadlock.victim";
-      do_abort sim t;
+      do_abort sim ~cause:`Deadlock t;
       true
 
 
@@ -378,6 +509,7 @@ let run ?(policy = Random_step) ?(inform_policy = Eager)
       obs_on = Obs.enabled obs;
       obs_emit = Obs.emitting obs;
       obs_base = Obs.now obs;
+      blocked_now = Hashtbl.create 16;
       informed = [];
       buf = [];
       n_actions = 0;

@@ -94,7 +94,8 @@ let unsafe_read : Gobj.factory =
     waiting_on =
       (fun t ->
         Txn_id.Map.fold
-          (fun u _ acc -> if Txn_id.is_ancestor u t then acc else u :: acc)
+          (fun u _ acc ->
+            if Txn_id.is_ancestor u t then acc else (u, Gobj.Write) :: acc)
           !write_locks []);
   }
 

@@ -1,12 +1,41 @@
 open Nt_base
 
+type lock_kind = Read | Write | Update | Other of string
+
+let lock_kind_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Update -> "update"
+  | Other s -> s
+
+let lock_kind_of_op (op : Nt_spec.Datatype.op) : lock_kind =
+  match op with
+  | Nt_spec.Datatype.Read -> Read
+  | Nt_spec.Datatype.Write _ -> Write
+  | Nt_spec.Datatype.Incr _ -> Other "incr"
+  | Nt_spec.Datatype.Decr _ -> Other "decr"
+  | Nt_spec.Datatype.Get -> Other "get"
+  | Nt_spec.Datatype.Deposit _ -> Other "deposit"
+  | Nt_spec.Datatype.Withdraw _ -> Other "withdraw"
+  | Nt_spec.Datatype.Balance -> Other "balance"
+  | Nt_spec.Datatype.Insert _ -> Other "insert"
+  | Nt_spec.Datatype.Remove _ -> Other "remove"
+  | Nt_spec.Datatype.Member _ -> Other "member"
+  | Nt_spec.Datatype.Size -> Other "size"
+  | Nt_spec.Datatype.Enqueue _ -> Other "enqueue"
+  | Nt_spec.Datatype.Dequeue -> Other "dequeue"
+  | Nt_spec.Datatype.Kread _ -> Other "kread"
+  | Nt_spec.Datatype.Kwrite _ -> Other "kwrite"
+  | Nt_spec.Datatype.Vread -> Other "vread"
+  | Nt_spec.Datatype.Vwrite _ -> Other "vwrite"
+
 type t = {
   obj : Obj_id.t;
   create : Txn_id.t -> unit;
   inform_commit : Txn_id.t -> unit;
   inform_abort : Txn_id.t -> unit;
   try_respond : Txn_id.t -> Value.t option;
-  waiting_on : Txn_id.t -> Txn_id.t list;
+  waiting_on : Txn_id.t -> (Txn_id.t * lock_kind) list;
 }
 
 type factory = Nt_spec.Schema.t -> Obj_id.t -> t

@@ -15,6 +15,21 @@
 
 open Nt_base
 
+type lock_kind = Read | Write | Update | Other of string
+(** What a blocking holder holds, in a protocol-neutral vocabulary:
+    Moss locks are [Read]/[Write], commutativity-locking log entries
+    map operation kinds onto the same names, and protocols with richer
+    modes can use [Other].  Used for wait-for diagnostics and the
+    lock-wait telemetry. *)
+
+val lock_kind_string : lock_kind -> string
+(** ["read"], ["write"], ["update"], or the [Other] payload. *)
+
+val lock_kind_of_op : Nt_spec.Datatype.op -> lock_kind
+(** The lock kind a logged operation represents, for protocols whose
+    "locks" are log entries: [Read]/[Write] for the register
+    operations, [Other] with the operation's name for the rest. *)
+
 type t = {
   obj : Obj_id.t;
   create : Txn_id.t -> unit;  (** The [CREATE(T)] input. *)
@@ -23,9 +38,10 @@ type t = {
   try_respond : Txn_id.t -> Value.t option;
       (** Fire [REQUEST_COMMIT(T, v)] if enabled, returning [v];
           [None] when the precondition fails (caller retries). *)
-  waiting_on : Txn_id.t -> Txn_id.t list;
+  waiting_on : Txn_id.t -> (Txn_id.t * lock_kind) list;
       (** Diagnostic: the transactions whose locks / log entries
-          currently block the given access (empty when not blocked). *)
+          currently block the given access, each tagged with the kind
+          of lock held (empty when not blocked). *)
 }
 
 type factory = Nt_spec.Schema.t -> Obj_id.t -> t

@@ -69,6 +69,22 @@ let blockers dt s t op =
         List.map (fun e -> e.holder) (conflicting_entries dt s t op v)
         |> List.sort_uniq Txn_id.compare
 
+(* As [blockers], but keeps one representative log entry per holder so
+   the kind of the blocking entry can be reported alongside. *)
+let blockers_kinded dt s t op =
+  if not (respondable s t) then []
+  else
+    match replay_response dt s op with
+    | None -> []
+    | Some v ->
+        List.fold_left
+          (fun acc e ->
+            if List.mem_assoc e.holder acc then acc
+            else (e.holder, Nt_gobj.Gobj.lock_kind_of_op e.op) :: acc)
+          []
+          (conflicting_entries dt s t op v)
+        |> List.sort (fun (a, _) (b, _) -> Txn_id.compare a b)
+
 let factory : Nt_gobj.Gobj.factory =
  fun schema x ->
   let dt = schema.Schema.dtype_of x in
@@ -85,5 +101,5 @@ let factory : Nt_gobj.Gobj.factory =
             state := s';
             Some v
         | None -> None);
-    waiting_on = (fun t -> blockers dt !state t (schema.Schema.op_of t));
+    waiting_on = (fun t -> blockers_kinded dt !state t (schema.Schema.op_of t));
   }

@@ -115,6 +115,24 @@ let blockers s t kind =
         (fun u acc -> if Txn_id.is_ancestor u t then acc else u :: acc)
         s.read_lockholders writes
 
+(* As [blockers], but each holder tagged with the kind of lock it
+   holds — the shape [Gobj.waiting_on] (and the lock-wait telemetry)
+   wants. *)
+let blockers_kinded s t kind =
+  let writes =
+    Txn_id.Map.fold
+      (fun u _ acc ->
+        if Txn_id.is_ancestor u t then acc else (u, Nt_gobj.Gobj.Write) :: acc)
+      s.write_lockholders []
+  in
+  match kind with
+  | `Read -> writes
+  | `Write _ ->
+      Txn_id.Set.fold
+        (fun u acc ->
+          if Txn_id.is_ancestor u t then acc else (u, Nt_gobj.Gobj.Read) :: acc)
+        s.read_lockholders writes
+
 let lock_chain_ok s =
   Txn_id.Map.for_all
     (fun t _ ->
@@ -144,5 +162,5 @@ let factory : Nt_gobj.Gobj.factory =
             Some v
         | None -> None);
     waiting_on =
-      (fun t -> blockers !state t (kind_of_op (schema.Schema.op_of t)));
+      (fun t -> blockers_kinded !state t (kind_of_op (schema.Schema.op_of t)));
   }

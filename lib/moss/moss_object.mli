@@ -54,6 +54,15 @@ val blockers : state -> Txn_id.t -> [ `Read | `Write of Value.t ] -> Txn_id.t li
 (** The non-ancestral holders of conflicting locks — why a
     [request_commit] would return [None]. *)
 
+val blockers_kinded :
+  state ->
+  Txn_id.t ->
+  [ `Read | `Write of Value.t ] ->
+  (Txn_id.t * Nt_gobj.Gobj.lock_kind) list
+(** {!blockers} with each holder tagged by the lock it holds
+    ([Write] for write-lockholders, [Read] for read-lockholders) —
+    the shape [Gobj.waiting_on] reports for wait-for diagnostics. *)
+
 val lock_chain_ok : state -> bool
 (** Lemma 9 invariant: any write-lockholder is related (ancestor or
     descendant) to every other lockholder. *)

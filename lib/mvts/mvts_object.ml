@@ -132,5 +132,14 @@ let factory : Nt_gobj.Gobj.factory =
             Some v
         | None -> None);
     waiting_on =
-      (fun t -> blockers !state t (kind_of_op (schema.Schema.op_of t)));
+      (fun t ->
+        (* A read waits on the selected version's writer; a write on
+           the readers it would invalidate. *)
+        let kind = kind_of_op (schema.Schema.op_of t) in
+        let tag =
+          match kind with
+          | `Read -> Nt_gobj.Gobj.Write
+          | `Write _ -> Nt_gobj.Gobj.Read
+        in
+        List.map (fun u -> (u, tag)) (blockers !state t kind));
   }

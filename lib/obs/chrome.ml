@@ -122,6 +122,53 @@ let emit st (e : Event.t) =
              ("pid", Json.Int 0);
              ("args", Json.Obj [ ("value", Json.Int value) ]);
            ])
+  | Event.Wait { txn; obj; holders; ts; waited } ->
+      let pid, tid = ids_of st txn in
+      put st
+        (Json.Obj
+           (slice_fields
+              ~name:("wait " ^ Obj_id.name obj)
+              ~cat:"wait" ~ph:"i" ~ts ~pid ~tid
+           @ [
+               ("s", Json.Str "t");
+               ( "args",
+                 Json.Obj
+                   [
+                     ("obj", Json.Str (Obj_id.name obj));
+                     ("waited", Json.Int waited);
+                     ( "holders",
+                       Json.Str
+                         (String.concat ","
+                            (List.map
+                               (fun (h, k) -> Txn_id.to_string h ^ ":" ^ k)
+                               holders)) );
+                   ] );
+             ]))
+  | Event.Edge { src; dst; kind; obj; w1; w1_ts; w2; w2_ts; ts } ->
+      (* Edges are monitor-scoped, not per-transaction: show them on
+         the runtime row like counters. *)
+      name_pid st 0 "runtime";
+      put st
+        (Json.Obj
+           (slice_fields
+              ~name:
+                ("edge " ^ Txn_id.to_string src ^ "->" ^ Txn_id.to_string dst)
+              ~cat:"sg" ~ph:"i" ~ts ~pid:0 ~tid:0
+           @ [
+               ("s", Json.Str "g");
+               ( "args",
+                 Json.Obj
+                   ([ ("kind", Json.Str kind) ]
+                   @ (match obj with
+                     | Some x -> [ ("obj", Json.Str (Obj_id.name x)) ]
+                     | None -> [])
+                   @ [
+                       ("w1", Json.Str (Txn_id.to_string w1));
+                       ("w1_ts", Json.Int w1_ts);
+                       ("w2", Json.Str (Txn_id.to_string w2));
+                       ("w2_ts", Json.Int w2_ts);
+                     ]) );
+             ]))
 
 let finish st = output_string st.oc "\n]\n"
 

@@ -12,9 +12,32 @@ type t =
       obj : Obj_id.t option;
     }
   | Counter of { name : string; ts : int; value : int }
+  | Wait of {
+      txn : Txn_id.t;
+      obj : Obj_id.t;
+      holders : (Txn_id.t * string) list;
+      ts : int;
+      waited : int;
+    }
+  | Edge of {
+      src : Txn_id.t;
+      dst : Txn_id.t;
+      kind : string;
+      obj : Obj_id.t option;
+      w1 : Txn_id.t;
+      w1_ts : int;
+      w2 : Txn_id.t;
+      w2_ts : int;
+      ts : int;
+    }
 
 let ts = function
-  | Begin { ts; _ } | End { ts; _ } | Instant { ts; _ } | Counter { ts; _ } ->
+  | Begin { ts; _ }
+  | End { ts; _ }
+  | Instant { ts; _ }
+  | Counter { ts; _ }
+  | Wait { ts; _ }
+  | Edge { ts; _ } ->
       ts
 
 let outcome_string = function Committed -> "commit" | Aborted -> "abort"
@@ -55,5 +78,142 @@ let to_json = function
           ("ts", Json.Int ts);
           ("value", Json.Int value);
         ]
+  | Wait { txn; obj; holders; ts; waited } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "wait");
+          ("txn", Json.Str (Txn_id.to_string txn));
+          ("obj", Json.Str (Obj_id.name obj));
+          ( "holders",
+            Json.Arr
+              (List.map
+                 (fun (h, k) ->
+                   Json.Obj
+                     [
+                       ("txn", Json.Str (Txn_id.to_string h));
+                       ("kind", Json.Str k);
+                     ])
+                 holders) );
+          ("ts", Json.Int ts);
+          ("waited", Json.Int waited);
+        ]
+  | Edge { src; dst; kind; obj; w1; w1_ts; w2; w2_ts; ts } ->
+      Json.Obj
+        ([
+           ("ev", Json.Str "edge");
+           ("src", Json.Str (Txn_id.to_string src));
+           ("dst", Json.Str (Txn_id.to_string dst));
+           ("kind", Json.Str kind);
+         ]
+        @ (match obj with
+          | Some x -> [ ("obj", Json.Str (Obj_id.name x)) ]
+          | None -> [])
+        @ [
+            ("w1", Json.Str (Txn_id.to_string w1));
+            ("w1_ts", Json.Int w1_ts);
+            ("w2", Json.Str (Txn_id.to_string w2));
+            ("w2_ts", Json.Int w2_ts);
+            ("ts", Json.Int ts);
+          ])
 
 let pp fmt e = Format.pp_print_string fmt (Json.to_string (to_json e))
+
+(* --- Reading events back ----------------------------------------------- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field j k conv what =
+  match Option.bind (Json.member k j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "event: missing or ill-typed %S (%s)" k what)
+
+let txn_of_string s what =
+  match Txn_id.of_string s with
+  | Some t -> Ok t
+  | None -> Error (Printf.sprintf "event: bad transaction name %S (%s)" s what)
+
+let str j k = field j k Json.to_str_opt "string"
+let int j k = field j k Json.to_int_opt "int"
+
+let txn j k =
+  let* s = str j k in
+  txn_of_string s k
+
+let of_json j =
+  let* ev = str j "ev" in
+  match ev with
+  | "begin" ->
+      let* txn = txn j "txn" in
+      let* ts = int j "ts" in
+      Ok (Begin { txn; ts })
+  | "end" ->
+      let* txn = txn j "txn" in
+      let* ts = int j "ts" in
+      let* dur = int j "dur" in
+      let* outcome =
+        let* s = str j "outcome" in
+        match s with
+        | "commit" -> Ok Committed
+        | "abort" -> Ok Aborted
+        | s -> Error (Printf.sprintf "event: unknown outcome %S" s)
+      in
+      Ok (End { txn; ts; outcome; dur })
+  | "instant" ->
+      let* name = str j "name" in
+      let* ts = int j "ts" in
+      let* txn =
+        match Json.member "txn" j with
+        | None -> Ok None
+        | Some v -> (
+            match Json.to_str_opt v with
+            | None -> Error "event: ill-typed \"txn\""
+            | Some s ->
+                let* t = txn_of_string s "txn" in
+                Ok (Some t))
+      in
+      let obj =
+        Option.map Obj_id.make
+          (Option.bind (Json.member "obj" j) Json.to_str_opt)
+      in
+      Ok (Instant { name; ts; txn; obj })
+  | "counter" ->
+      let* name = str j "name" in
+      let* ts = int j "ts" in
+      let* value = int j "value" in
+      Ok (Counter { name; ts; value })
+  | "wait" ->
+      let* t = txn j "txn" in
+      let* obj = str j "obj" in
+      let* ts = int j "ts" in
+      let* waited = int j "waited" in
+      let* holders =
+        match Json.member "holders" j with
+        | Some (Json.Arr hs) ->
+            List.fold_left
+              (fun acc h ->
+                let* acc = acc in
+                let* ht = txn h "txn" in
+                let* k = str h "kind" in
+                Ok ((ht, k) :: acc))
+              (Ok []) hs
+            |> fun r ->
+            let* hs = r in
+            Ok (List.rev hs)
+        | _ -> Error "event: missing or ill-typed \"holders\""
+      in
+      Ok (Wait { txn = t; obj = Obj_id.make obj; holders; ts; waited })
+  | "edge" ->
+      let* src = txn j "src" in
+      let* dst = txn j "dst" in
+      let* kind = str j "kind" in
+      let obj =
+        Option.map Obj_id.make
+          (Option.bind (Json.member "obj" j) Json.to_str_opt)
+      in
+      let* w1 = txn j "w1" in
+      let* w1_ts = int j "w1_ts" in
+      let* w2 = txn j "w2" in
+      let* w2_ts = int j "w2_ts" in
+      let* ts = int j "ts" in
+      Ok (Edge { src; dst; kind; obj; w1; w1_ts; w2; w2_ts; ts })
+  | ev -> Error (Printf.sprintf "event: unknown \"ev\" %S" ev)

@@ -3,8 +3,8 @@
     The observability exporters (JSONL sink, Chrome trace, metrics
     dump, benchmark tables) all need to produce JSON; the toolchain
     deliberately has no JSON dependency, so this is the one shared
-    implementation.  Printing only — nothing in the library parses
-    JSON. *)
+    implementation.  {!parse} reads the same subset back so that
+    [ntprof] can consume the traces the JSONL sink writes. *)
 
 type t =
   | Null
@@ -27,3 +27,17 @@ val to_string : t -> string
 val output : out_channel -> t -> unit
 (** Compact rendering straight to a channel (no intermediate
     string). *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value (leading/trailing whitespace
+    allowed; anything after the value is an error).  Handles the full
+    escape set including [\uXXXX] and surrogate pairs (decoded to
+    UTF-8).  Numbers without ['.'], ['e'] or ['E'] parse as {!Int};
+    the rest as {!Float}.  Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the first binding of [k]; [None] on
+    missing keys and non-objects. *)
+
+val to_int_opt : t -> int option
+val to_str_opt : t -> string option

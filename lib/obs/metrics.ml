@@ -137,6 +137,31 @@ let reset t =
           h.h_max <- 0)
     t
 
+let merge dst src =
+  Hashtbl.iter
+    (fun name inst ->
+      match inst with
+      | Counter c -> incr ~by:c.c (counter dst name)
+      | Gauge g -> set (gauge dst name) g.g
+      | Histogram h ->
+          let d = histogram dst name in
+          if h.h_count > 0 then begin
+            if d.h_count = 0 then begin
+              d.h_min <- h.h_min;
+              d.h_max <- h.h_max
+            end
+            else begin
+              if h.h_min < d.h_min then d.h_min <- h.h_min;
+              if h.h_max > d.h_max then d.h_max <- h.h_max
+            end;
+            d.h_count <- d.h_count + h.h_count;
+            d.h_sum <- d.h_sum + h.h_sum;
+            Array.iteri
+              (fun i n -> d.buckets.(i) <- d.buckets.(i) + n)
+              h.buckets
+          end)
+    src
+
 let sorted t =
   Hashtbl.fold (fun name i acc -> (name, i) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -157,6 +182,38 @@ let pp fmt t =
             s.count s.sum s.min s.p50 s.p99 s.max)
     items;
   Format.fprintf fmt "@]"
+
+(* Prometheus text exposition format.  Instrument names here use dots
+   ("monitor.feed.edges"); Prometheus metric names allow only
+   [a-zA-Z0-9_:], so everything else maps to '_'. *)
+let prom_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  if s = "" then "_"
+  else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+let pp_prometheus fmt t =
+  List.iter
+    (fun (name, inst) ->
+      let p = prom_name name in
+      match inst with
+      | Counter c ->
+          Format.fprintf fmt "# TYPE %s counter@\n%s %d@\n" p p c.c
+      | Gauge g -> Format.fprintf fmt "# TYPE %s gauge@\n%s %g@\n" p p g.g
+      | Histogram h ->
+          let s = histogram_stats h in
+          Format.fprintf fmt "# TYPE %s summary@\n" p;
+          Format.fprintf fmt "%s{quantile=\"0.5\"} %d@\n" p s.p50;
+          Format.fprintf fmt "%s{quantile=\"0.99\"} %d@\n" p s.p99;
+          Format.fprintf fmt "%s_sum %d@\n" p s.sum;
+          Format.fprintf fmt "%s_count %d@\n" p s.count)
+    (sorted t)
 
 let to_json t =
   let counters = ref [] and gauges = ref [] and histograms = ref [] in

@@ -58,9 +58,23 @@ val is_empty : t -> bool
 val reset : t -> unit
 (** Zero every instrument, keeping registrations. *)
 
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst]: counters add, gauges take
+    the source's value, histograms merge exactly (per-bucket sums, so
+    merged quantiles equal the quantiles of the combined stream).
+    [src] is unchanged.  Raises [Invalid_argument] if a name is
+    registered with different instrument kinds in the two registries.
+    This is how [ntprof] combines registries across trace files. *)
+
 val pp : Format.formatter -> t -> unit
 (** All instruments, sorted by name, one per line. *)
 
 val to_json : t -> Json.t
 (** [{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
     min,max,p50,p99},...}}]. *)
+
+val pp_prometheus : Format.formatter -> t -> unit
+(** Prometheus text exposition: counters and gauges as themselves,
+    histograms as summaries with 0.5/0.99 quantile lines plus
+    [_sum]/[_count].  Names are sanitized to the Prometheus charset
+    (every other character becomes ['_']). *)

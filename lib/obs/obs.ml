@@ -134,3 +134,16 @@ let instant ?txn ?obj ?ts t name =
 let counter_sample t name value =
   if t.enabled && t.emit_events then
     t.sink.Sink.emit (Event.Counter { name; ts = t.clock; value })
+
+let wait ?ts t ~txn ~obj ~holders ~waited =
+  if t.enabled && t.emit_events then begin
+    (match ts with Some ts when ts > t.clock -> t.clock <- ts | _ -> ());
+    t.sink.Sink.emit (Event.Wait { txn; obj; holders; ts = t.clock; waited })
+  end
+
+let sg_edge ?obj ?ts t ~src ~dst ~kind ~w1 ~w1_ts ~w2 ~w2_ts =
+  if t.enabled && t.emit_events then begin
+    (match ts with Some ts when ts > t.clock -> t.clock <- ts | _ -> ());
+    t.sink.Sink.emit
+      (Event.Edge { src; dst; kind; obj; w1; w1_ts; w2; w2_ts; ts = t.clock })
+  end

@@ -78,3 +78,34 @@ val counter_sample : t -> string -> int -> unit
 (** Emit a counter-track sample at the current tick (for timeline
     viewers; independent of the metrics registry).  No-op on
     {!null}. *)
+
+val wait :
+  ?ts:int ->
+  t ->
+  txn:Txn_id.t ->
+  obj:Obj_id.t ->
+  holders:(Txn_id.t * string) list ->
+  waited:int ->
+  unit
+(** Emit an {!Event.Wait}: [txn]'s access to [obj] was refused because
+    of [holders] (with their lock kinds), after [waited] ticks blocked
+    so far.  Callers must check {!emitting} before building [holders]
+    — this helper only exists for the event stream, there is no
+    metrics side.  No-op unless emitting. *)
+
+val sg_edge :
+  ?obj:Obj_id.t ->
+  ?ts:int ->
+  t ->
+  src:Txn_id.t ->
+  dst:Txn_id.t ->
+  kind:string ->
+  w1:Txn_id.t ->
+  w1_ts:int ->
+  w2:Txn_id.t ->
+  w2_ts:int ->
+  unit
+(** Emit an {!Event.Edge}: the monitor inserted SG edge [src -> dst]
+    of [kind] (["conflict"]/["precedes"]) witnessed by actions
+    [w1]/[w2] at feed indices [w1_ts]/[w2_ts].  No-op unless
+    emitting. *)

@@ -25,6 +25,22 @@ let jsonl oc =
     close = (fun () -> flush oc);
   }
 
+let tee a b =
+  {
+    emit =
+      (fun e ->
+        a.emit e;
+        b.emit e);
+    flush =
+      (fun () ->
+        a.flush ();
+        b.flush ());
+    close =
+      (fun () ->
+        a.close ();
+        b.close ());
+  }
+
 let jsonl_file path =
   let oc = open_out path in
   let closed = ref false in

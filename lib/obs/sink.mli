@@ -26,3 +26,8 @@ val jsonl : out_channel -> t
 
 val jsonl_file : string -> t
 (** {!jsonl} on a fresh file; [close] closes the file. *)
+
+val tee : t -> t -> t
+(** Duplicate every event (and flush/close) to both sinks, first
+    argument first.  Lets [ntsim --report] feed an in-process profiler
+    while still writing the JSONL artifact. *)

@@ -1,0 +1,93 @@
+(** Contention profiles from telemetry streams.
+
+    A profile consumes {!Nt_obs.Event.t} values — live, through
+    {!sink}, or replayed from a JSONL trace file ({!load}) — and
+    accumulates the answers [ntprof] reports: which objects accesses
+    waited on (and for how long), which SG edges the monitor inserted
+    (with their witnessing actions), what the runs aborted over, and a
+    rebuilt serialization graph that can be rendered with the first
+    cycle highlighted.
+
+    Everything scalar lands in a {!Nt_obs.Metrics.t} registry
+    (per-object wait histograms under ["wait.ticks.<obj>"]), so
+    {!merge} combines profiles from multiple trace files with
+    {!Nt_obs.Metrics.merge} semantics and the result still renders as
+    a registry or as Prometheus text. *)
+
+open Nt_base
+open Nt_obs
+
+type t
+(** A mutable profile accumulator. *)
+
+type obj_stat = {
+  mutable waits : int;  (** Completed wait streaks. *)
+  mutable wait_events : int;  (** Individual refusals (retries). *)
+  mutable total_waited : int;  (** Sum of streak durations, ticks. *)
+  mutable max_waited : int;
+}
+
+type edge_stat = {
+  e_src : Txn_id.t;
+  e_dst : Txn_id.t;
+  e_kind : string;  (** ["conflict"] or ["precedes"]. *)
+  e_obj : Obj_id.t option;
+  e_w1 : Txn_id.t;
+  e_w1_ts : int;
+  e_w2 : Txn_id.t;
+  e_w2_ts : int;
+  mutable e_count : int;  (** Recurrences across merged runs. *)
+}
+
+val create : unit -> t
+
+val feed : t -> Event.t -> unit
+(** Consume one event. *)
+
+val feed_line : t -> string -> (unit, string) result
+(** Parse one JSONL trace line and feed it; blank lines are ignored,
+    malformed lines are counted ({!bad_lines}) and reported. *)
+
+val load : t -> string -> string list
+(** Feed a whole JSONL trace file, then {!finish}.  Returns the first
+    few per-line error messages (empty when the file was clean).
+    Raises [Sys_error] if the file cannot be opened. *)
+
+val finish : t -> unit
+(** Close still-open wait streaks (trace ended while accesses were
+    blocked).  Idempotent; {!report}/{!prometheus} call it. *)
+
+val sink : t -> Sink.t
+(** A live sink feeding this profile — [ntsim --report] tees it with
+    the trace-file sink. *)
+
+val merge : t -> t -> unit
+(** [merge dst src]: fold [src]'s registry (via
+    {!Nt_obs.Metrics.merge}), object stats, edges and graph into
+    [dst].  [src] is unchanged. *)
+
+val metrics : t -> Metrics.t
+val events : t -> int
+val bad_lines : t -> int
+
+val top_objects : t -> int -> (string * obj_stat) list
+(** The [k] most contended objects, by total wait ticks. *)
+
+val hot_edges : t -> int -> edge_stat list
+(** The [k] hottest SG edges, by recurrence count then insertion
+    order. *)
+
+val has_cycle : t -> bool
+(** Whether the rebuilt serialization graph contains a cycle. *)
+
+val dot : t -> string
+(** The rebuilt SG as DOT, edges labelled with their witnesses and a
+    cycle (if any) highlighted in red. *)
+
+val report : ?top:int -> Format.formatter -> t -> unit
+(** The full text report: summary, abort/alarm causes, top-[top]
+    contended objects with wait-time quantiles, hottest SG edges, and
+    the metrics registry. *)
+
+val prometheus : t -> string
+(** The registry as Prometheus text exposition. *)

@@ -3,7 +3,19 @@ open Nt_spec
 
 let node_id t = "\"" ^ Txn_id.to_string t ^ "\""
 
-let of_graph ?(cycle = []) g =
+let escape_label s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let of_graph ?(cycle = []) ?edge_label g =
   let on_cycle t = List.exists (Txn_id.equal t) cycle in
   let cycle_edges =
     match cycle with
@@ -51,9 +63,21 @@ let of_graph ?(cycle = []) g =
     by_parent;
   List.iter
     (fun (a, b) ->
+      let attrs =
+        (if is_cycle_edge a b then [ "color=red"; "penwidth=2" ] else [])
+        @
+        match edge_label with
+        | None -> []
+        | Some f -> (
+            match f a b with
+            | None -> []
+            | Some l -> [ Printf.sprintf "label=\"%s\"" (escape_label l) ])
+      in
       Buffer.add_string buf
         (Printf.sprintf "  %s -> %s%s;\n" (node_id a) (node_id b)
-           (if is_cycle_edge a b then " [color=red, penwidth=2]" else "")))
+           (match attrs with
+           | [] -> ""
+           | _ -> " [" ^ String.concat ", " attrs ^ "]")))
     (Graph.edges g);
   Buffer.add_string buf "}\n";
   Buffer.contents buf

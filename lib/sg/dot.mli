@@ -8,9 +8,15 @@
 open Nt_base
 open Nt_spec
 
-val of_graph : ?cycle:Txn_id.t list -> Graph.t -> string
+val of_graph :
+  ?cycle:Txn_id.t list ->
+  ?edge_label:(Txn_id.t -> Txn_id.t -> string option) ->
+  Graph.t ->
+  string
 (** Render a graph; nodes on the given cycle (and the edges between
-    consecutive cycle nodes) are drawn in red. *)
+    consecutive cycle nodes) are drawn in red.  [edge_label] may
+    attach a label to any edge (escaped for DOT) — {!Monitor.dot}
+    uses it to print each edge's witnessing accesses. *)
 
 val of_trace : ?mode:Sg.conflict_mode -> Schema.t -> Trace.t -> string
 (** Build [SG(serial beta)] and render it, highlighting a witness

@@ -12,10 +12,16 @@ type counters = {
   inappropriate_alarms : int;
 }
 
+type edge_kind = Conflict | Precedes
+
+type endpoint = { who : Txn_id.t; at : int; where : Obj_id.t option }
+
+type provenance = { kind : edge_kind; before : endpoint; after : endpoint }
+
 (* What to do when a transaction becomes visible to T0. *)
 type item =
   | Activate_op of Obj_id.t * int  (* seq within the object's op table *)
-  | Activate_edge of Txn_id.t * Txn_id.t
+  | Activate_edge of Txn_id.t * Txn_id.t * provenance
 
 type visibility = Visible | Dead | Pending of int
 
@@ -23,6 +29,7 @@ type op_record = {
   access : Txn_id.t;
   value : Value.t;
   seq : int;
+  at : int;  (* feed index of the recording Request_commit *)
   mutable op_visible : bool;
 }
 
@@ -41,8 +48,14 @@ type t = {
   vis : visibility Txn_id.Tbl.t;
   waiters : Txn_id.t list Txn_id.Tbl.t;  (* ancestor -> dependents *)
   items : item list Txn_id.Tbl.t;  (* txn -> actions on visibility *)
-  reported : Txn_id.t list Txn_id.Tbl.t;  (* parent -> reported children *)
+  reported : (Txn_id.t * int) list Txn_id.Tbl.t;
+      (* parent -> reported children, each with the report's feed index *)
   objects : obj_state Obj_id.Tbl.t;
+  edge_prov : (Txn_id.t * Txn_id.t, provenance) Hashtbl.t;
+      (* first witness per inserted edge (edges are deduplicated) *)
+  mutable pending_edges : (Txn_id.t * Txn_id.t * provenance) list;
+      (* edges inserted by the current feed, for the event stream *)
+  mutable first_cycle : Txn_id.t list option;
   mutable any_alarm : bool;
   mutable n_feeds : int;
   mutable n_operations : int;
@@ -69,6 +82,9 @@ let create ?mode schema =
     items = Txn_id.Tbl.create 64;
     reported = Txn_id.Tbl.create 32;
     objects;
+    edge_prov = Hashtbl.create 64;
+    pending_edges = [];
+    first_cycle = None;
     any_alarm = false;
     n_feeds = 0;
     n_operations = 0;
@@ -141,16 +157,19 @@ let find_path g src dst =
   in
   dfs [] src
 
-let insert_edge t a b =
+let insert_edge t ~prov a b =
   if Txn_id.equal a b then []
   else if Graph.mem_edge t.g a b then []
   else begin
     Graph.add_edge t.g a b;
     t.n_edges <- t.n_edges + 1;
+    Hashtbl.replace t.edge_prov (a, b) prov;
+    t.pending_edges <- (a, b, prov) :: t.pending_edges;
     match find_path t.g b a with
     | Some path ->
         (* path is b ... a; the cycle is that path (edge a->b closes it). *)
         t.any_alarm <- true;
+        if t.first_cycle = None then t.first_cycle <- Some path;
         [ Cycle path ]
     | None -> []
   end
@@ -185,7 +204,14 @@ let activate_op t touched x seq =
         let l = Txn_id.lca earlier.access later.access in
         let a = Txn_id.child_of_on_path ~ancestor:l earlier.access in
         let b = Txn_id.child_of_on_path ~ancestor:l later.access in
-        alarms := insert_edge t a b @ !alarms
+        let prov =
+          {
+            kind = Conflict;
+            before = { who = earlier.access; at = earlier.at; where = Some x };
+            after = { who = later.access; at = later.at; where = Some x };
+          }
+        in
+        alarms := insert_edge t ~prov a b @ !alarms
       end)
     ost.ops;
   !alarms
@@ -210,7 +236,7 @@ let replay_object t x =
 
 let run_item t touched = function
   | Activate_op (x, seq) -> activate_op t touched x seq
-  | Activate_edge (a, b) -> insert_edge t a b
+  | Activate_edge (a, b, prov) -> insert_edge t ~prov a b
 
 (* A commit arrived: wake dependents. *)
 let process_commit t touched w =
@@ -256,8 +282,10 @@ let process_abort t w =
 
 let feed ?(obs = Obs.null) t (a : Action.t) =
   t.n_feeds <- t.n_feeds + 1;
+  let now = t.n_feeds in
   let edges_before = t.n_edges in
   let touched = ref [] in
+  t.pending_edges <- [];
   let alarms =
     match a with
   | Action.Request_commit (u, v) when System_type.is_access t.schema.Schema.sys u
@@ -267,7 +295,8 @@ let feed ?(obs = Obs.null) t (a : Action.t) =
       let seq = ost.next_seq in
       t.n_operations <- t.n_operations + 1;
       ost.next_seq <- seq + 1;
-      ost.ops <- { access = u; value = v; seq; op_visible = false } :: ost.ops;
+      ost.ops <-
+        { access = u; value = v; seq; at = now; op_visible = false } :: ost.ops;
       match visibility t u with
       | Visible -> activate_op t touched x seq
       | Pending _ ->
@@ -282,8 +311,8 @@ let feed ?(obs = Obs.null) t (a : Action.t) =
          let l =
            match Txn_id.Tbl.find_opt t.reported p with Some l -> l | None -> []
          in
-         if not (List.exists (Txn_id.equal u) l) then
-           Txn_id.Tbl.replace t.reported p (u :: l));
+         if not (List.exists (fun (s, _) -> Txn_id.equal u s) l) then
+           Txn_id.Tbl.replace t.reported p ((u, now) :: l));
       []
   | Action.Request_create u when not (Txn_id.is_root u) ->
       let p = Txn_id.parent_exn u in
@@ -291,13 +320,20 @@ let feed ?(obs = Obs.null) t (a : Action.t) =
         match Txn_id.Tbl.find_opt t.reported p with Some l -> l | None -> []
       in
       List.concat_map
-        (fun sib ->
-          if Txn_id.is_root p then insert_edge t sib u
+        (fun (sib, reported_at) ->
+          let prov =
+            {
+              kind = Precedes;
+              before = { who = sib; at = reported_at; where = None };
+              after = { who = u; at = now; where = None };
+            }
+          in
+          if Txn_id.is_root p then insert_edge t ~prov sib u
           else
             match visibility t p with
-            | Visible -> insert_edge t sib u
+            | Visible -> insert_edge t ~prov sib u
             | Pending _ ->
-                add_item t p (Activate_edge (sib, u));
+                add_item t p (Activate_edge (sib, u, prov));
                 []
             | Dead -> [])
         siblings
@@ -329,12 +365,23 @@ let feed ?(obs = Obs.null) t (a : Action.t) =
     let inserted = t.n_edges - edges_before in
     if inserted > 0 then begin
       Metrics.incr ~by:inserted (Metrics.counter m "monitor.edges");
-      Obs.counter_sample obs "sg.edges" t.n_edges
+      Obs.counter_sample obs "sg.edges" t.n_edges;
+      if Obs.emitting obs then
+        List.iter
+          (fun (a, b, p) ->
+            Obs.sg_edge ?obj:p.before.where obs ~src:a ~dst:b
+              ~kind:(match p.kind with
+                    | Conflict -> "conflict"
+                    | Precedes -> "precedes")
+              ~w1:p.before.who ~w1_ts:p.before.at ~w2:p.after.who
+              ~w2_ts:p.after.at)
+          (List.rev t.pending_edges)
     end;
     Metrics.observe (Metrics.histogram m "monitor.feed.edges") inserted;
     if all <> [] then
       Metrics.incr ~by:(List.length all) (Metrics.counter m "monitor.alarms")
   end;
+  t.pending_edges <- [];
   all
 
 let feed_trace ?obs t trace =
@@ -350,3 +397,77 @@ let visible_operations t x =
   List.filter (fun r -> r.op_visible) ost.ops
   |> List.sort (fun r1 r2 -> compare r1.seq r2.seq)
   |> List.map (fun r -> (r.access, r.value))
+
+(* --- Attribution ------------------------------------------------------- *)
+
+let edge_provenance t a b = Hashtbl.find_opt t.edge_prov (a, b)
+let first_cycle t = t.first_cycle
+
+(* The consecutive (wrapping) edges of a cycle, with what inserted
+   each.  Every edge of a cycle reported by [feed] was inserted by
+   this monitor, so the provenance is only [None] for a list that is
+   not one of its cycles. *)
+let cycle_witness t cycle =
+  match cycle with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list cycle in
+      let n = Array.length arr in
+      List.init n (fun i ->
+          let a = arr.(i) and b = arr.((i + 1) mod n) in
+          (a, b, edge_provenance t a b))
+
+let pp_provenance fmt p =
+  match p.kind with
+  | Conflict ->
+      Format.fprintf fmt "conflict at %s: %s@%d vs %s@%d"
+        (match p.before.where with Some x -> Obj_id.name x | None -> "?")
+        (Txn_id.to_string p.before.who)
+        p.before.at
+        (Txn_id.to_string p.after.who)
+        p.after.at
+  | Precedes ->
+      Format.fprintf fmt "precedes: %s reported@%d before %s requested@%d"
+        (Txn_id.to_string p.before.who)
+        p.before.at
+        (Txn_id.to_string p.after.who)
+        p.after.at
+
+let explain_cycle t cycle =
+  let b = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer b in
+  List.iter
+    (fun (a, bb, prov) ->
+      Format.fprintf fmt "%s -> %s [%a]@\n" (Txn_id.to_string a)
+        (Txn_id.to_string bb)
+        (fun fmt -> function
+          | Some p -> pp_provenance fmt p
+          | None -> Format.pp_print_string fmt "unknown edge")
+        prov)
+    (cycle_witness t cycle);
+  Format.pp_print_flush fmt ();
+  Buffer.contents b
+
+(* A compact per-edge label for DOT: the witnessing actions with their
+   feed indices (and the conflicting object). *)
+let edge_label t a b =
+  match edge_provenance t a b with
+  | None -> None
+  | Some p ->
+      Some
+        (match p.kind with
+        | Conflict ->
+            Printf.sprintf "%s: %s@%d ~ %s@%d"
+              (match p.before.where with
+              | Some x -> Obj_id.name x
+              | None -> "?")
+              (Txn_id.to_string p.before.who)
+              p.before.at
+              (Txn_id.to_string p.after.who)
+              p.after.at
+        | Precedes ->
+            Printf.sprintf "precedes @%d -> @%d" p.before.at p.after.at)
+
+let dot t =
+  let cycle = Option.value ~default:[] t.first_cycle in
+  Dot.of_graph ~cycle ~edge_label:(edge_label t) t.g

@@ -68,3 +68,51 @@ val alarmed : t -> bool
 val visible_operations : t -> Obj_id.t -> (Txn_id.t * Value.t) list
 (** The currently-visible operation sequence of an object, in response
     order — the sequence the monitor replays. *)
+
+(** {2 Attribution}
+
+    Every inserted edge remembers which pair of actions created it, so
+    a {!constructor:Cycle} alarm can be explained access by access
+    instead of as a bare list of transaction names.  Feed indices
+    (1-based positions in the fed action sequence) serve as the
+    logical timestamps. *)
+
+type edge_kind = Conflict | Precedes
+
+type endpoint = {
+  who : Txn_id.t;
+      (** The witnessing action's transaction: the access for conflict
+          edges; the reported sibling / requested transaction for
+          precedes edges. *)
+  at : int;  (** Feed index of the witnessing action. *)
+  where : Obj_id.t option;  (** The object, for conflict witnesses. *)
+}
+
+type provenance = { kind : edge_kind; before : endpoint; after : endpoint }
+(** Why edge [a -> b] exists: [before] happened, then [after], and the
+    pair forced the edge — the two conflicting accesses (in response
+    order), or the sibling's report before the new sibling's request. *)
+
+val edge_provenance : t -> Txn_id.t -> Txn_id.t -> provenance option
+(** The first witness recorded for edge [a -> b] ([None] if the edge
+    was never inserted). *)
+
+val first_cycle : t -> Txn_id.t list option
+(** The witness of the first {!constructor:Cycle} alarm, retained for
+    rendering ({!dot}). *)
+
+val cycle_witness :
+  t -> Txn_id.t list -> (Txn_id.t * Txn_id.t * provenance option) list
+(** The consecutive (wrapping) edges of a cycle with their provenance.
+    For a cycle this monitor reported, every edge has [Some]. *)
+
+val explain_cycle : t -> Txn_id.t list -> string
+(** A human-readable witness chain, one line per edge:
+    ["T0.1 -> T0.2 [conflict at X: T0.1.0.1@12 vs T0.2.3@17]"]. *)
+
+val pp_provenance : Format.formatter -> provenance -> unit
+
+val dot : t -> string
+(** The current graph rendered via {!Dot.of_graph}, each edge labelled
+    with its witnessing actions and the first cycle (if any)
+    highlighted. *)

@@ -67,6 +67,18 @@ let blockers dt s t op =
     | None -> []
     | Some v -> List.map (fun e -> e.txn) (non_commuting_entries dt s t op v)
 
+(* As [blockers], tagging each blocking transaction with the kind of
+   its non-commuting log entry. *)
+let blockers_kinded dt s t op =
+  if not (respondable s t) then []
+  else
+    match Serial_spec.response dt (log_ops s) op with
+    | None -> []
+    | Some v ->
+        List.map
+          (fun e -> (e.txn, Nt_gobj.Gobj.lock_kind_of_op e.op))
+          (non_commuting_entries dt s t op v)
+
 let factory : Nt_gobj.Gobj.factory =
  fun schema x ->
   let dt = schema.Schema.dtype_of x in
@@ -83,5 +95,5 @@ let factory : Nt_gobj.Gobj.factory =
             state := s';
             Some v
         | None -> None);
-    waiting_on = (fun t -> blockers dt !state t (schema.Schema.op_of t));
+    waiting_on = (fun t -> blockers_kinded dt !state t (schema.Schema.op_of t));
   }

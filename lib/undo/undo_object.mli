@@ -55,6 +55,15 @@ val blockers : Datatype.t -> state -> Txn_id.t -> Datatype.op -> Txn_id.t list
 (** The logged transactions whose non-visible, non-commuting entries
     block the access. *)
 
+val blockers_kinded :
+  Datatype.t ->
+  state ->
+  Txn_id.t ->
+  Datatype.op ->
+  (Txn_id.t * Nt_gobj.Gobj.lock_kind) list
+(** {!blockers} with each blocker tagged by the operation kind of its
+    non-commuting entry. *)
+
 val log_ops : state -> (Datatype.op * Value.t) list
 (** The log as replayable operations. *)
 
