@@ -18,11 +18,14 @@
    Any failure prints the seed and a diagnosis and exits nonzero, so
    the campaign is reproducible.
 
-   Usage: ntstress [seeds-per-cell] [--obs-out FILE]
+   Usage: ntstress [seeds-per-cell] [--seed N] [--obs-out FILE]
                    [--obs-format jsonl|chrome|table]
    (default 50 seeds per cell; telemetry of the whole campaign is
    aggregated into one recorder, so --obs-format table summarizes
-   thousands of runs and jsonl/chrome stream every run's spans) *)
+   thousands of runs and jsonl/chrome stream every run's spans)
+
+   --seed N runs exactly seed N in every cell — the exact-replay knob
+   for a seed printed by a FAIL line. *)
 
 open Core
 
@@ -68,16 +71,22 @@ let check_lemmas name schema (trace : Trace.t) =
 
 let usage () =
   prerr_endline
-    "usage: ntstress [seeds-per-cell] [--obs-out FILE] [--obs-format \
-     jsonl|chrome|table]";
+    "usage: ntstress [seeds-per-cell] [--seed N] [--obs-out FILE] \
+     [--obs-format jsonl|chrome|table]";
   exit 2
 
 let () =
   let seeds_per_cell = ref 50
+  and seed_only = ref None
   and obs_out = ref None
   and obs_format = ref None in
   let rec parse = function
     | [] -> ()
+    | "--seed" :: s :: rest ->
+        (match int_of_string_opt s with
+        | Some n -> seed_only := Some n
+        | None -> usage ());
+        parse rest
     | "--obs-out" :: path :: rest ->
         obs_out := Some path;
         parse rest
@@ -94,7 +103,11 @@ let () =
         | _ -> usage ())
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let seeds_per_cell = !seeds_per_cell in
+  let seeds =
+    match !seed_only with
+    | Some s -> [ s ]
+    | None -> List.init !seeds_per_cell (fun i -> i + 1)
+  in
   let obs, finish_obs =
     match (!obs_format, !obs_out) with
     | None, None -> (Obs.null, fun () -> ())
@@ -133,7 +146,7 @@ let () =
             Schema.all_read_write (snd (Gen.forest_and_schema gen ~seed:1 profile))
           in
           if (not rw_only) || is_rw then
-            for seed = 1 to seeds_per_cell do
+            List.iter (fun seed ->
               incr total;
               let forest, schema = Gen.forest_and_schema gen ~seed profile in
               (* Alternate policies, abort rates and inform latencies. *)
@@ -190,10 +203,11 @@ let () =
                 Format.printf
                   "FAIL %s/%s seed %d (wf %b, thm %b, lemmas %b, monitor %b)@."
                   pname wname seed ok_wf ok_thm ok_lemmas ok_monitor;
+                Format.printf "  replay: ntstress --seed %d@." seed;
                 if not ok_thm && kind = Sg_checker then
                   print_string (Checker.explain schema r.trace)
-              end
-            done)
+              end)
+            seeds)
         profiles)
     protocols;
   Format.printf "ntstress: %d runs, %d failures, %.1f s@." !total !failures

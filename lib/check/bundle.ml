@@ -1,0 +1,143 @@
+open Nt_generic
+open Nt_workload
+
+type t = {
+  backend : Check.backend;
+  scenario : Check.scenario;
+  failure_tag : string option;
+}
+
+let policy_name = function
+  | Runtime.Random_step -> "random-step"
+  | Runtime.Bsp_rounds -> "bsp-rounds"
+
+let policy_of_name = function
+  | "random-step" -> Some Runtime.Random_step
+  | "bsp-rounds" -> Some Runtime.Bsp_rounds
+  | _ -> None
+
+let inform_name = function Runtime.Eager -> "eager" | Runtime.Lazy -> "lazy"
+
+let inform_of_name = function
+  | "eager" -> Some Runtime.Eager
+  | "lazy" -> Some Runtime.Lazy
+  | _ -> None
+
+let to_string ?failure backend (sc : Check.scenario) =
+  let b = Buffer.create 512 in
+  let header k v = Buffer.add_string b (Printf.sprintf "; %s: %s\n" k v) in
+  Buffer.add_string b "; ntcheck replay bundle\n";
+  header "backend" (Check.backend_name backend);
+  header "sched-seed" (string_of_int sc.Check.sched_seed);
+  header "policy" (policy_name sc.Check.policy);
+  header "inform" (inform_name sc.Check.inform_policy);
+  header "abort-prob" (Printf.sprintf "%.17g" sc.Check.abort_prob);
+  (match failure with
+  | Some f ->
+      header "failure" (Check.failure_tag f);
+      header "failure-detail" (Format.asprintf "%a" Check.pp_failure f)
+  | None -> ());
+  let objects =
+    List.map
+      (fun (x, dt) -> (x, Program_io.dtype_decl dt))
+      sc.Check.objects
+  in
+  Buffer.add_string b (Program_io.to_string ~objects sc.Check.forest);
+  Buffer.contents b
+
+let headers_of_string s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if String.length line = 0 || line.[0] <> ';' then None
+         else
+           let body = String.trim (String.sub line 1 (String.length line - 1)) in
+           match String.index_opt body ':' with
+           | None -> None
+           | Some i ->
+               Some
+                 ( String.trim (String.sub body 0 i),
+                   String.trim
+                     (String.sub body (i + 1) (String.length body - i - 1)) ))
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let headers = headers_of_string s in
+  let find k = List.assoc_opt k headers in
+  let require k =
+    match find k with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "bundle: missing '; %s:' header" k)
+  in
+  let* backend_s = require "backend" in
+  let* backend =
+    match Check.backend_of_name backend_s with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "bundle: unknown backend %S" backend_s)
+  in
+  let* seed_s = require "sched-seed" in
+  let* sched_seed =
+    match int_of_string_opt seed_s with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "bundle: bad sched-seed %S" seed_s)
+  in
+  let* policy =
+    match find "policy" with
+    | None -> Ok Runtime.Random_step
+    | Some p -> (
+        match policy_of_name p with
+        | Some p -> Ok p
+        | None -> Error (Printf.sprintf "bundle: unknown policy %S" p))
+  in
+  let* inform_policy =
+    match find "inform" with
+    | None -> Ok Runtime.Eager
+    | Some p -> (
+        match inform_of_name p with
+        | Some p -> Ok p
+        | None -> Error (Printf.sprintf "bundle: unknown inform policy %S" p))
+  in
+  let* abort_prob =
+    match find "abort-prob" with
+    | None -> Ok 0.0
+    | Some p -> (
+        match float_of_string_opt p with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "bundle: bad abort-prob %S" p))
+  in
+  let* forest, schema = Program_io.parse s in
+  let objects =
+    List.map
+      (fun x -> (x, schema.Nt_spec.Schema.dtype_of x))
+      schema.Nt_spec.Schema.objects
+  in
+  Ok
+    {
+      backend;
+      scenario =
+        {
+          Check.forest;
+          objects;
+          sched_seed;
+          policy;
+          inform_policy;
+          abort_prob;
+        };
+      failure_tag = find "failure";
+    }
+
+let save ?failure path backend sc =
+  let oc = open_out path in
+  output_string oc (to_string ?failure backend sc);
+  close_out oc
+
+let load path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | s -> of_string s
+  | exception Sys_error e -> Error e

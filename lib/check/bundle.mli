@@ -1,0 +1,40 @@
+(** Replay bundles: a failing (or interesting) scenario persisted as
+    one self-describing text file.
+
+    The body is the {!Nt_workload.Program_io} workload format, so a
+    bundle can also be fed directly to [ntsim --program].  Everything
+    the workload syntax cannot carry — backend, scheduling seed,
+    policy, inform latency, fault-injection rate, the failed oracle —
+    rides in [; key: value] comment headers, which the workload
+    parser skips:
+
+    {v
+    ; ntcheck replay bundle
+    ; backend: commlock
+    ; sched-seed: 724623118
+    ; policy: random-step
+    ; inform: eager
+    ; abort-prob: 0
+    ; failure: sg-cycle
+    (objects (w0 (register 0)))
+    (txn (par (access w0 read) (access w0 (write 3))))
+    v} *)
+
+type t = {
+  backend : Check.backend;
+  scenario : Check.scenario;
+  failure_tag : string option;
+      (** The [failure_tag] recorded when the bundle was written, if
+          any; replay re-derives the actual failure. *)
+}
+
+val to_string :
+  ?failure:Check.failure -> Check.backend -> Check.scenario -> string
+
+val of_string : string -> (t, string) result
+
+val save :
+  ?failure:Check.failure -> string -> Check.backend -> Check.scenario -> unit
+(** [save path backend scenario] writes {!to_string} to [path]. *)
+
+val load : string -> (t, string) result

@@ -1,0 +1,428 @@
+open Nt_base
+open Nt_spec
+open Nt_serial
+open Nt_generic
+open Nt_workload
+open Nt_sg
+open Nt_obs
+
+(* ----- backends ----- *)
+
+type backend =
+  | Moss
+  | Commlock
+  | Undo
+  | Mvts
+  | Replication
+  | No_control
+  | Unsafe_read
+  | No_undo
+
+let backend_name = function
+  | Moss -> "moss"
+  | Commlock -> "commlock"
+  | Undo -> "undo"
+  | Mvts -> "mvts"
+  | Replication -> "replication"
+  | No_control -> "no-control"
+  | Unsafe_read -> "unsafe-read"
+  | No_undo -> "no-undo"
+
+let backend_of_name = function
+  | "moss" -> Some Moss
+  | "commlock" -> Some Commlock
+  | "undo" -> Some Undo
+  | "mvts" -> Some Mvts
+  | "replication" -> Some Replication
+  | "no-control" -> Some No_control
+  | "unsafe-read" -> Some Unsafe_read
+  | "no-undo" -> Some No_undo
+  | _ -> None
+
+let correct_backends = [ Moss; Commlock; Undo; Mvts; Replication ]
+let broken_backends = [ No_control; Unsafe_read; No_undo ]
+
+(* Moss' locking and the timestamp protocol are stated for read/write
+   objects, replication transforms a logical register forest, and the
+   unsafe-read fault model is Moss' lock stack minus read locks. *)
+let rw_only = function
+  | Moss | Mvts | Replication | Unsafe_read -> true
+  | _ -> false
+
+(* The physical protocol running each backend.  Replication has no
+   factory of its own: the transformed forest runs under undo logging
+   (any verified protocol would do). *)
+let factory_of = function
+  | Moss -> Nt_moss.Moss_object.factory
+  | Commlock -> Nt_locking.Commlock_object.factory
+  | Undo | Replication -> Nt_undo.Undo_object.factory
+  | Mvts -> Nt_mvts.Mvts_object.factory
+  | No_control -> Nt_gobj.Broken.no_control
+  | Unsafe_read -> Nt_gobj.Broken.unsafe_read
+  | No_undo -> Nt_gobj.Broken.no_undo
+
+(* ----- scenarios ----- *)
+
+type scenario = {
+  forest : Program.t list;
+  objects : (Obj_id.t * Datatype.t) list;
+  sched_seed : int;
+  policy : Runtime.policy;
+  inform_policy : Runtime.inform_policy;
+  abort_prob : float;
+}
+
+let schema_of_scenario sc = Program.schema_of ~objects:sc.objects sc.forest
+
+type grammar = Rw | Counters | Mixed | Weighted
+
+type shape = Default | Lock_heavy | Deep_nesting | Abort_storm
+
+let profile_of_shape = function
+  | Default -> { Gen.default with Gen.n_top = 6; n_objects = 3 }
+  | Lock_heavy -> Gen.lock_heavy
+  | Deep_nesting -> Gen.deep_nesting
+  | Abort_storm -> Gen.abort_storm
+
+let gen_scenario ?grammar ?shape backend rng =
+  let shape =
+    match shape with
+    | Some s -> s
+    | None ->
+        [| Default; Lock_heavy; Deep_nesting; Abort_storm |].(Rng.int rng 4)
+  in
+  let grammar =
+    match grammar with
+    | _ when rw_only backend -> Rw
+    | Some g -> g
+    | None -> [| Rw; Counters; Mixed; Weighted |].(Rng.int rng 4)
+  in
+  let profile = profile_of_shape shape in
+  let weights = if Rng.bool rng then Gen.balanced else Gen.contended in
+  (* Splitting isolates the program stream from the scheduling knobs:
+     the same (seed, run index) regenerates the same scenario no
+     matter how each sub-generator evolves. *)
+  let prog_rng = Rng.split rng in
+  let forest, objects =
+    match grammar with
+    | Rw -> Gen.registers prog_rng profile
+    | Counters -> Gen.counters prog_rng profile
+    | Mixed -> Gen.mixed prog_rng profile
+    | Weighted -> Gen.weighted ~weights prog_rng profile
+  in
+  let sched_seed =
+    Int64.to_int (Int64.logand (Rng.bits64 rng) 0x3FFF_FFFF_FFFF_FFFFL)
+  in
+  let policy =
+    if Rng.bool rng then Runtime.Random_step else Runtime.Bsp_rounds
+  in
+  let inform_policy =
+    if Rng.int rng 3 = 0 then Runtime.Lazy else Runtime.Eager
+  in
+  let abort_prob =
+    match shape with
+    | Abort_storm -> 0.12
+    | _ -> if Rng.int rng 4 = 0 then 0.05 else 0.0
+  in
+  { forest; objects; sched_seed; policy; inform_policy; abort_prob }
+
+(* ----- oracles ----- *)
+
+type failure =
+  | Ill_formed of string
+  | Inappropriate of Obj_id.t
+  | Sg_cycle of Txn_id.t list
+  | Not_correct of string
+  | Differential of string
+  | One_copy of string
+
+let failure_tag = function
+  | Ill_formed _ -> "ill-formed"
+  | Inappropriate _ -> "returns"
+  | Sg_cycle _ -> "sg-cycle"
+  | Not_correct _ -> "not-correct"
+  | Differential _ -> "differential"
+  | One_copy _ -> "one-copy"
+
+let pp_failure f fl =
+  match fl with
+  | Ill_formed s -> Format.fprintf f "ill-formed behavior: %s" s
+  | Inappropriate x ->
+      Format.fprintf f "inappropriate return values at %s" (Obj_id.name x)
+  | Sg_cycle c ->
+      Format.fprintf f "serialization-graph cycle: %s"
+        (String.concat " -> " (List.map Txn_id.to_string c))
+  | Not_correct s -> Format.fprintf f "not serially correct: %s" s
+  | Differential s -> Format.fprintf f "differential mismatch: %s" s
+  | One_copy s -> Format.fprintf f "one-copy violation: %s" s
+
+type outcome = {
+  trace : Trace.t;
+  truncated : bool;
+  failure : failure option;
+}
+
+(* The value a transaction committed with in the trace. *)
+let committed_value trace t =
+  let n = Trace.length trace in
+  let rec go i =
+    if i >= n then None
+    else
+      match Trace.get trace i with
+      | Action.Request_commit (u, v) when Txn_id.equal u t -> Some v
+      | _ -> go (i + 1)
+  in
+  go 0
+
+(* Differential oracle: replay the committed part of the forest through
+   the serial reference semantics, executing [Par] siblings in the
+   witness order, and demand (a) every committed top-level transaction
+   reports exactly the value the reference computes and (b) final
+   object states agree with the run's committed-visible projection.
+   Transactions that did not commit in the run are treated as aborted
+   before creation (the serial scheduler's one failure mode), which is
+   how they look from T0's interface. *)
+let differential ?(check_finals = true) (schema : Schema.t) order
+    (r : Runtime.result) forest =
+  let committed = Trace.committed r.trace in
+  let states = Hashtbl.create 8 in
+  let state_of x =
+    match Hashtbl.find_opt states (Obj_id.name x) with
+    | Some s -> s
+    | None -> (schema.Schema.dtype_of x).Datatype.init
+  in
+  let replay_order parent comb children =
+    let indexed = List.mapi (fun i p -> (i, p)) children in
+    match comb with
+    | Program.Seq -> indexed
+    | Program.Par ->
+        let ranked = Sibling_order.ordered_children order parent in
+        let rank t =
+          let rec pos k = function
+            | [] -> max_int
+            | u :: rest -> if Txn_id.equal t u then k else pos (k + 1) rest
+          in
+          pos 0 ranked
+        in
+        List.stable_sort
+          (fun (i, _) (j, _) ->
+            compare
+              (rank (Txn_id.child parent i), i)
+              (rank (Txn_id.child parent j), j))
+          indexed
+  in
+  let rec replay t prog =
+    if not (Txn_id.Set.mem t committed) then
+      Value.Pair (Value.Bool false, Value.Unit)
+    else
+      let v =
+        match prog with
+        | Program.Access (x, op) ->
+            let s', v = (schema.Schema.dtype_of x).Datatype.apply (state_of x) op in
+            Hashtbl.replace states (Obj_id.name x) s';
+            v
+        | Program.Node (comb, children) ->
+            let arr = Array.make (List.length children) Value.Unit in
+            List.iter
+              (fun (i, p) -> arr.(i) <- replay (Txn_id.child t i) p)
+              (replay_order t comb children);
+            Value.List (Array.to_list arr)
+      in
+      Value.Pair (Value.Bool true, v)
+  in
+  (* The runtime roots the forest as [Node (Par, forest)] under T0, so
+     the top-level transactions are themselves [Par] siblings ranked by
+     the witness order — replay them in that order, not forest order. *)
+  let expected = Array.make (List.length forest) Value.Unit in
+  List.iter
+    (fun (i, p) ->
+      expected.(i) <- replay (Txn_id.child Txn_id.root i) p)
+    (replay_order Txn_id.root Program.Par forest);
+  let mismatch = ref None in
+  List.iteri
+    (fun i _ ->
+      let t = Txn_id.child Txn_id.root i in
+      if !mismatch = None && Txn_id.Set.mem t committed then
+        match (expected.(i), committed_value r.trace t) with
+        | Value.Pair (_, ve), Some vb when not (Value.equal ve vb) ->
+            mismatch :=
+              Some
+                (Differential
+                   (Format.sprintf "%s reported %s, serial reference gives %s"
+                      (Txn_id.to_string t) (Value.to_string vb)
+                      (Value.to_string ve)))
+        | _ -> ())
+    forest;
+  match !mismatch with
+  | Some f -> Some f
+  | None when not check_finals -> None
+  | None -> (
+      let run_finals = Serial_exec.final_states schema r.trace in
+      match
+        List.find_opt
+          (fun (x, v) -> not (Value.equal v (state_of x)))
+          run_finals
+      with
+      | Some (x, v) ->
+          Some
+            (Differential
+               (Format.sprintf
+                  "final state of %s: run has %s, serial reference %s"
+                  (Obj_id.name x) (Value.to_string v)
+                  (Value.to_string (state_of x))))
+      | None -> None)
+
+let judge backend (schema : Schema.t) (r : Runtime.result) forest =
+  match Simple_db.well_formed schema.Schema.sys r.trace with
+  | Error v ->
+      Some (Ill_formed (Format.asprintf "%a" Simple_db.pp_violation v))
+  | Ok () -> (
+      match backend with
+      | Mvts ->
+          (* Multiversion behaviors serialize by pseudotime; the
+             completion-order SG may legitimately be cyclic. *)
+          let order = Sibling_order.index_order (Trace.serial r.trace) in
+          (match Theorem2.check schema order r.trace with
+          | Error f ->
+              Some (Not_correct (Format.asprintf "%a" Theorem2.pp_failure f))
+          | Ok () ->
+              (* [Serial_exec.final_states] replays committed writes in
+                 completion order, but a multiversion object's final
+                 state is the pseudotime-order replay; Theorem 2's view
+                 check already validates every read, so only compare
+                 the reported values here. *)
+              differential ~check_finals:false schema order r forest)
+      | _ -> (
+          let v = Checker.check schema r.trace in
+          if not v.Checker.appropriate then
+            match Return_values.violating_object schema (Trace.serial r.trace) with
+            | Some x -> Some (Inappropriate x)
+            | None -> Some (Not_correct "appropriateness rejected, no witness")
+          else if not v.Checker.acyclic then
+            Some (Sg_cycle (Option.value ~default:[] v.Checker.cycle))
+          else if not v.Checker.serially_correct then
+            Some
+              (Not_correct
+                 (Format.sprintf "witness order suitable=%b views_legal=%b"
+                    (Option.value ~default:false v.Checker.suitable)
+                    (Option.value ~default:false v.Checker.views_legal)))
+          else
+            match v.Checker.order with
+            | Some order -> differential schema order r forest
+            | None -> Some (Not_correct "acyclic but no witness order")))
+
+let replication_config =
+  { Nt_replication.Replication.n_replicas = 3; read_quorum = 2; write_quorum = 2 }
+
+let run_scenario ?(obs = Obs.null) ?(max_steps = 200_000) backend sc =
+  match backend with
+  | Replication ->
+      let plan =
+        Nt_replication.Replication.replicate replication_config
+          ~objects:(List.map fst sc.objects) sc.forest
+      in
+      let schema = plan.Nt_replication.Replication.physical_schema in
+      let forest = plan.Nt_replication.Replication.physical_forest in
+      let r =
+        Runtime.run ~policy:sc.policy ~inform_policy:sc.inform_policy
+          ~abort_prob:sc.abort_prob ~max_steps ~obs ~seed:sc.sched_seed schema
+          (factory_of backend) forest
+      in
+      if r.Runtime.stats.truncated then
+        { trace = r.Runtime.trace; truncated = true; failure = None }
+      else
+        let failure =
+          match judge Undo schema r forest with
+          | Some f -> Some f
+          | None ->
+              (* Deadlock victims and injected faults can abort replica
+                 subtransactions mid-quorum; the one-copy claim is only
+                 made for runs whose quorums completed (as in the E11
+                 setup), so those runs are judged on serializability
+                 alone. *)
+              if
+                r.Runtime.stats.deadlock_aborts > 0
+                || r.Runtime.stats.injected_aborts > 0
+              then None
+              else (
+                match
+                  Nt_replication.Replication.check_one_copy plan r.Runtime.trace
+                with
+                | Ok () -> None
+                | Error v ->
+                    Some
+                      (One_copy
+                         (Format.asprintf "%a"
+                            Nt_replication.Replication.pp_violation v)))
+        in
+        { trace = r.Runtime.trace; truncated = false; failure }
+  | _ ->
+      let schema = schema_of_scenario sc in
+      let r =
+        Runtime.run ~policy:sc.policy ~inform_policy:sc.inform_policy
+          ~abort_prob:sc.abort_prob ~max_steps ~obs ~seed:sc.sched_seed schema
+          (factory_of backend) sc.forest
+      in
+      if r.Runtime.stats.truncated then
+        { trace = r.Runtime.trace; truncated = true; failure = None }
+      else
+        {
+          trace = r.Runtime.trace;
+          truncated = false;
+          failure = judge backend schema r sc.forest;
+        }
+
+(* ----- campaigns ----- *)
+
+type report = {
+  runs : int;
+  passed : int;
+  truncations : int;
+  failures : (int * scenario * failure) list;
+}
+
+let campaign ?(obs = Obs.null) ?max_steps ?grammar ?shape
+    ?(stop_at_first = true) backend ~seed ~runs =
+  let master = Rng.create seed in
+  let bump name =
+    if Obs.enabled obs then Metrics.incr (Metrics.counter (Obs.metrics obs) name)
+  in
+  let passed = ref 0 and truncations = ref 0 and failures = ref [] in
+  let executed = ref 0 in
+  (try
+     for i = 0 to runs - 1 do
+       let rng = Rng.split master in
+       let sc = gen_scenario ?grammar ?shape backend rng in
+       incr executed;
+       bump "check.runs";
+       let o = run_scenario ~obs ?max_steps backend sc in
+       if o.truncated then incr truncations;
+       match o.failure with
+       | None ->
+           incr passed;
+           bump "check.pass"
+       | Some f ->
+           bump "check.fail";
+           bump ("check.fail." ^ failure_tag f);
+           Obs.instant obs ("check.fail." ^ failure_tag f);
+           failures := (i, sc, f) :: !failures;
+           if stop_at_first then raise Exit
+     done
+   with Exit -> ());
+  (* Final counter samples so a streamed trace (ntprof) carries the
+     campaign totals, not just the in-process registry. *)
+  if Obs.enabled obs then begin
+    let sample name =
+      Obs.counter_sample obs name
+        (Metrics.counter_value (Metrics.counter (Obs.metrics obs) name))
+    in
+    sample "check.runs";
+    sample "check.pass";
+    if !failures <> [] then sample "check.fail"
+  end;
+  {
+    runs = !executed;
+    passed = !passed;
+    truncations = !truncations;
+    failures = List.rev !failures;
+  }

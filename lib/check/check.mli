@@ -1,0 +1,154 @@
+(** Property-based differential checking of concurrency-control
+    backends against the paper's theorems.
+
+    The paper's central claim (Theorem 8 / Theorem 19) is an oracle:
+    a behavior whose serialization graph is acyclic and whose return
+    values are appropriate is serially correct.  This module turns
+    every object implementation in the repository into a continuously
+    fuzzed subject of that oracle.  One {e run}:
+
+    + generates a random {!scenario} — a program forest over a
+      weighted action grammar ({!Nt_workload.Gen.weighted} and
+      friends), plus an adversarial interleaving configuration
+      (scheduling policy, inform latency, fault-injection rate) —
+      from a {e splittable} {!Nt_base.Rng}, so the whole scenario is
+      a pure function of one integer seed;
+    + executes it under the chosen {!backend};
+    + judges the resulting behavior with four oracles, in order:
+      well-formedness ({!Nt_serial.Simple_db}), appropriate return
+      values ({!Nt_sg.Return_values}), SG acyclicity / serial
+      correctness ({!Nt_sg.Checker}, or Theorem 2 with the pseudotime
+      order for the multiversion backend), and {e differential
+      agreement}: every committed top-level transaction's reported
+      value, and every final object state, must equal what the serial
+      reference executor produces when replaying the committed part
+      of the forest in the checker's witness order.
+
+    Failures carry the complete scenario, so {!Nt_check.Shrink} can
+    minimize them and {!Nt_check.Bundle} can persist them for exact
+    replay. *)
+
+open Nt_base
+open Nt_spec
+open Nt_serial
+open Nt_generic
+
+(** {1 Backends} *)
+
+type backend =
+  | Moss  (** Read/write locking (Section 5.2); register workloads. *)
+  | Commlock  (** Commutativity-based locking. *)
+  | Undo  (** Undo logging (Section 7). *)
+  | Mvts  (** Multiversion timestamps; register workloads, judged by
+              Theorem 2 with the pseudotime order. *)
+  | Replication
+      (** Quorum replication (3 replicas, 2/2 quorums) of a logical
+          register forest, physically run under undo logging; adds the
+          one-copy oracle. *)
+  | No_control  (** {!Nt_gobj.Broken.no_control} — negative control. *)
+  | Unsafe_read  (** {!Nt_gobj.Broken.unsafe_read} — negative control. *)
+  | No_undo  (** {!Nt_gobj.Broken.no_undo} — negative control. *)
+
+val backend_name : backend -> string
+val backend_of_name : string -> backend option
+
+val correct_backends : backend list
+(** The five verified backends, expected to never fail an oracle. *)
+
+val broken_backends : backend list
+(** The fault-injection subjects the checker must catch. *)
+
+(** {1 Scenarios} *)
+
+type scenario = {
+  forest : Program.t list;
+  objects : (Obj_id.t * Datatype.t) list;
+  sched_seed : int;  (** Seed of the runtime's interleaving RNG. *)
+  policy : Runtime.policy;
+  inform_policy : Runtime.inform_policy;
+  abort_prob : float;
+}
+(** Everything needed to reproduce one execution exactly (together
+    with the backend). *)
+
+val schema_of_scenario : scenario -> Schema.t
+
+type grammar = Rw | Counters | Mixed | Weighted
+
+type shape = Default | Lock_heavy | Deep_nesting | Abort_storm
+
+val gen_scenario :
+  ?grammar:grammar -> ?shape:shape -> backend -> Rng.t -> scenario
+(** Draw a scenario from the RNG.  When [grammar]/[shape] are omitted
+    they are themselves drawn from the RNG (sweeping the adversarial
+    presets).  Backends that only support read/write schemas ([Moss],
+    [Mvts], [Replication], [Unsafe_read]) force [Rw]. *)
+
+(** {1 Oracles} *)
+
+type failure =
+  | Ill_formed of string  (** The behavior violates well-formedness. *)
+  | Inappropriate of Obj_id.t
+      (** Some object's visible return values fail to replay. *)
+  | Sg_cycle of Txn_id.t list
+      (** The serialization graph of the behavior is cyclic. *)
+  | Not_correct of string
+      (** Serial correctness failed beyond the two named hypotheses
+          (suitability or view replay of the witness order, or a
+          Theorem 2 failure for [Mvts]). *)
+  | Differential of string
+      (** Committed top-level results or final states disagree with
+          the ordered serial reference execution. *)
+  | One_copy of string  (** Replication's one-copy condition failed. *)
+
+val failure_tag : failure -> string
+(** A short stable tag (["sg-cycle"], ["returns"], ["differential"],
+    ...) used in metrics names and bundle headers. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type outcome = {
+  trace : Trace.t;
+  truncated : bool;  (** Run hit [max_steps]; oracles were skipped. *)
+  failure : failure option;
+}
+
+val replication_config : Nt_replication.Replication.config
+(** The quorum configuration the [Replication] backend runs under
+    (3 replicas, 2/2 intersecting quorums) — exposed so tools can
+    rebuild the physical schema of a replicated scenario. *)
+
+val run_scenario :
+  ?obs:Nt_obs.Obs.t -> ?max_steps:int -> backend -> scenario -> outcome
+(** Execute and judge one scenario.  Fully deterministic: the same
+    (backend, scenario) pair always yields the same outcome.
+    [max_steps] defaults to 200_000. *)
+
+(** {1 Campaigns} *)
+
+type report = {
+  runs : int;  (** Runs executed (≤ requested when failing fast). *)
+  passed : int;
+  truncations : int;
+  failures : (int * scenario * failure) list;
+      (** [(run index, scenario, failure)], in discovery order. *)
+}
+
+val campaign :
+  ?obs:Nt_obs.Obs.t ->
+  ?max_steps:int ->
+  ?grammar:grammar ->
+  ?shape:shape ->
+  ?stop_at_first:bool ->
+  backend ->
+  seed:int ->
+  runs:int ->
+  report
+(** Run [runs] independent scenarios derived from [seed] by RNG
+    splitting (run [i]'s generator does not depend on how earlier
+    runs consumed entropy).  [stop_at_first] (default [true]) stops
+    at the first oracle failure.  When [obs] is given, each run bumps
+    [check.runs] and [check.pass] / [check.fail] (plus
+    [check.fail.<tag>]) counters and failures emit a
+    [check.fail.<tag>] instant event, so campaign telemetry flows
+    through the usual {!Nt_obs} pipeline into [ntprof]. *)

@@ -1,0 +1,203 @@
+open Nt_base
+open Nt_serial
+
+let n_accesses forest =
+  List.fold_left (fun n p -> n + List.length (Program.accesses p)) 0 forest
+
+type shrunk = {
+  scenario : Check.scenario;
+  failure : Check.failure;
+  trace : Trace.t;
+  attempts : int;
+  deterministic : bool;
+}
+
+(* Split [xs] into [n] contiguous chunks (at most [n]; never empty). *)
+let chunks n xs =
+  let len = List.length xs in
+  let base = len / n and extra = len mod n in
+  let rec take k xs =
+    if k = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: rest ->
+          let hd, tl = take (k - 1) rest in
+          (x :: hd, tl)
+  in
+  let rec go i xs =
+    if xs = [] then []
+    else
+      let k = base + if i < extra then 1 else 0 in
+      let c, rest = take (max k 1) xs in
+      c :: go (i + 1) rest
+  in
+  go 0 xs
+
+let complement_of i cs =
+  List.concat (List.filteri (fun j _ -> j <> i) cs)
+
+(* Classic ddmin over a list, with [test] deciding whether a sublist
+   still fails.  [test] is expected to handle the attempt budget. *)
+let ddmin test xs =
+  let rec go xs n =
+    let len = List.length xs in
+    if len < 2 then xs
+    else
+      let cs = chunks (min n len) xs in
+      match List.find_opt test cs with
+      | Some c -> go c 2
+      | None -> (
+          let comps = List.mapi (fun i _ -> complement_of i cs) cs in
+          match List.find_opt (fun c -> c <> [] && c <> xs && test c) comps with
+          | Some c -> go c (max (n - 1) 2)
+          | None -> if n < len then go xs (min len (2 * n)) else xs)
+  in
+  go xs 2
+
+(* One-step reductions of a program tree, roughly most aggressive
+   first: hoist a child over the node, then drop a child, then recurse
+   into a child. *)
+let rec reductions p =
+  match p with
+  | Program.Access _ -> []
+  | Program.Node (comb, children) ->
+      let n = List.length children in
+      let hoists = children in
+      let drops =
+        if n < 2 then []
+        else
+          List.mapi
+            (fun i _ ->
+              Program.Node (comb, List.filteri (fun j _ -> j <> i) children))
+            children
+      in
+      let inner =
+        List.concat
+          (List.mapi
+             (fun i c ->
+               List.map
+                 (fun c' ->
+                   Program.Node
+                     (comb, List.mapi (fun j x -> if j = i then c' else x) children))
+                 (reductions c))
+             children)
+      in
+      hoists @ drops @ inner
+
+(* Candidate forests differing from [forest] in exactly one tree. *)
+let forest_reductions forest =
+  List.concat
+    (List.mapi
+       (fun i p ->
+         List.map
+           (fun p' -> List.mapi (fun j q -> if j = i then p' else q) forest)
+           (reductions p))
+       forest)
+
+let referenced forest =
+  List.fold_left
+    (fun acc p ->
+      List.fold_left
+        (fun acc (x, _) -> Obj_id.Set.add x acc)
+        acc (Program.accesses p))
+    Obj_id.Set.empty forest
+
+let minimize ?(max_attempts = 2000) backend (sc : Check.scenario) =
+  let attempts = ref 0 in
+  let run s =
+    incr attempts;
+    Check.run_scenario backend s
+  in
+  let fails s =
+    if !attempts >= max_attempts then false
+    else (run s).Check.failure <> None
+  in
+  match (run sc).Check.failure with
+  | None -> None
+  | Some _ ->
+      let current = ref sc in
+      let improved = ref true in
+      while !improved && !attempts < max_attempts do
+        improved := false;
+        (* 1. ddmin over the top-level transaction list. *)
+        let forest' =
+          ddmin (fun f -> fails { !current with forest = f }) !current.forest
+        in
+        if n_accesses forest' < n_accesses !current.forest then begin
+          current := { !current with forest = forest' };
+          improved := true
+        end;
+        (* 2. Structural reductions, first acceptable candidate wins;
+           loop until none applies. *)
+        let continue_struct = ref true in
+        while !continue_struct && !attempts < max_attempts do
+          match
+            List.find_opt
+              (fun f -> fails { !current with forest = f })
+              (forest_reductions !current.forest)
+          with
+          | Some f ->
+              current := { !current with forest = f };
+              improved := true
+          | None -> continue_struct := false
+        done;
+        (* 3. Drop objects no access mentions.  Best-effort: the
+           runtime enumerates objects, so a smaller schema can shift
+           the interleaving; the candidate is kept only if it still
+           fails. *)
+        let live = referenced !current.forest in
+        let objects' =
+          List.filter (fun (x, _) -> Obj_id.Set.mem x live) !current.objects
+        in
+        if List.length objects' < List.length !current.objects then begin
+          let cand = { !current with objects = objects' } in
+          if fails cand then begin
+            current := cand;
+            improved := true
+          end
+        end;
+        (* 4. Simplify the interleaving knobs.  (Compare fields, not
+           whole scenarios: [objects] holds closures.) *)
+        if !current.Check.abort_prob <> 0.0 then begin
+          let cand = { !current with abort_prob = 0.0 } in
+          if fails cand then begin
+            current := cand;
+            improved := true
+          end
+        end;
+        if !current.Check.inform_policy <> Nt_generic.Runtime.Eager then begin
+          let cand = { !current with inform_policy = Nt_generic.Runtime.Eager } in
+          if fails cand then begin
+            current := cand;
+            improved := true
+          end
+        end
+      done;
+      (* Re-verify determinism of the minimized counterexample. *)
+      let o1 = run !current and o2 = run !current in
+      let failure =
+        match o1.Check.failure with
+        | Some f -> f
+        | None -> assert false (* [current] only ever holds failing scenarios *)
+      in
+      let deterministic =
+        o1.Check.failure = o2.Check.failure
+        && Trace.length o1.Check.trace = Trace.length o2.Check.trace
+        &&
+        let n = Trace.length o1.Check.trace in
+        let rec eq i =
+          i >= n
+          || Action.equal (Trace.get o1.Check.trace i) (Trace.get o2.Check.trace i)
+             && eq (i + 1)
+        in
+        eq 0
+      in
+      Some
+        {
+          scenario = !current;
+          failure;
+          trace = o1.Check.trace;
+          attempts = !attempts;
+          deterministic;
+        }

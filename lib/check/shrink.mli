@@ -1,0 +1,43 @@
+(** Counterexample minimization.
+
+    A failing {!Check.scenario} is shrunk by delta debugging: ddmin
+    over the top-level transaction list, then structural reductions
+    inside each remaining tree (replace a node by one of its children,
+    drop one child), then pruning of unreferenced objects and
+    simplification of the interleaving knobs (zero the fault-injection
+    rate, eager informs) — iterated to a fixpoint.  A candidate is
+    accepted iff re-running it under the same backend and scheduling
+    seed still fails {e some} oracle (not necessarily the original
+    one: a smaller program may surface the same bug through a
+    different symptom).
+
+    Because {!Check.run_scenario} is a pure function of the scenario,
+    shrinking is deterministic: the same failing seed always reduces
+    to the same minimal counterexample.  This is re-verified on every
+    shrink — the minimized scenario is executed twice and the
+    outcomes compared. *)
+
+open Nt_base
+
+val n_accesses : Nt_serial.Program.t list -> int
+(** Total number of leaf accesses in a forest — the size metric
+    minimized by {!minimize}. *)
+
+type shrunk = {
+  scenario : Check.scenario;  (** The minimized scenario. *)
+  failure : Check.failure;  (** The oracle it still fails. *)
+  trace : Trace.t;  (** The behavior of the minimized run. *)
+  attempts : int;  (** Candidate executions spent shrinking. *)
+  deterministic : bool;
+      (** Two replays of the minimized scenario produced identical
+          traces and failures (always [true] in practice; recorded so
+          replay bundles can assert it). *)
+}
+
+val minimize :
+  ?max_attempts:int -> Check.backend -> Check.scenario -> shrunk option
+(** Shrink a failing scenario to a (locally) minimal one.  Returns
+    [None] if the scenario does not fail in the first place.
+    [max_attempts] (default [2000]) caps candidate executions; the
+    best scenario found so far is returned when the budget runs
+    out. *)

@@ -18,7 +18,8 @@
     {- workloads and measurement: {!Gen}, {!Scenario}, {!Stats},
        {!Table};}
     {- observability: {!Obs}, {!Metrics}, {!Obs_event}, {!Obs_sink},
-       {!Chrome_trace}, {!Obs_json}, {!Profile}.}} *)
+       {!Chrome_trace}, {!Obs_json}, {!Profile};}
+    {- property-based checking: {!Check}, {!Shrink}, {!Bundle}.}} *)
 
 module Txn_id = Nt_base.Txn_id
 module Obj_id = Nt_base.Obj_id
@@ -85,3 +86,6 @@ module Obs_sink = Nt_obs.Sink
 module Chrome_trace = Nt_obs.Chrome
 module Obs_json = Nt_obs.Json
 module Profile = Nt_prof.Profile
+module Check = Nt_check.Check
+module Shrink = Nt_check.Shrink
+module Bundle = Nt_check.Bundle

@@ -23,6 +23,39 @@ let default =
     read_ratio = 0.5;
   }
 
+let lock_heavy =
+  {
+    n_top = 10;
+    depth = 1;
+    fanout = 2;
+    n_objects = 1;
+    theta = 0.0;
+    par_ratio = 0.7;
+    read_ratio = 0.2;
+  }
+
+let deep_nesting =
+  {
+    n_top = 4;
+    depth = 4;
+    fanout = 2;
+    n_objects = 3;
+    theta = 0.0;
+    par_ratio = 0.5;
+    read_ratio = 0.5;
+  }
+
+let abort_storm =
+  {
+    n_top = 8;
+    depth = 2;
+    fanout = 2;
+    n_objects = 2;
+    theta = 0.5;
+    par_ratio = 0.5;
+    read_ratio = 0.4;
+  }
+
 let pick_object rng p objs =
   List.nth objs (Rng.zipf rng ~n:p.n_objects ~theta:p.theta)
 
@@ -91,6 +124,92 @@ let mixed rng p =
     | None -> assert false
   in
   let sample_op rng x = (dtype_of x).Datatype.sample_ops rng in
+  (gen_forest rng p objs sample_op, decls)
+
+type weights = {
+  w_observe : int;
+  w_update : int;
+  w_overwrite : int;
+  w_mutate : int;
+}
+
+let balanced = { w_observe = 1; w_update = 1; w_overwrite = 1; w_mutate = 1 }
+let contended = { w_observe = 1; w_update = 1; w_overwrite = 3; w_mutate = 3 }
+let observers = { w_observe = 1; w_update = 0; w_overwrite = 0; w_mutate = 0 }
+
+type op_class = Observe | Update | Overwrite | Mutate
+
+(* Concrete operations of a class supported by a data type; [] when the
+   type has no operation of that shape. *)
+let ops_of_class rng (dt : Datatype.t) cls =
+  let small () = Value.Int (Rng.int rng 4) in
+  match (dt.Datatype.dt_name, cls) with
+  | "register", Observe -> [ Datatype.Read ]
+  | "register", Overwrite -> [ Datatype.Write (Value.Int (Rng.int rng 16)) ]
+  | "counter", Observe -> [ Datatype.Get ]
+  | "counter", Update ->
+      [ Datatype.Incr (1 + Rng.int rng 3); Datatype.Decr (1 + Rng.int rng 3) ]
+  | "account", Observe -> [ Datatype.Balance ]
+  | "account", Update -> [ Datatype.Deposit (1 + Rng.int rng 4) ]
+  | "account", Mutate -> [ Datatype.Withdraw (1 + Rng.int rng 6) ]
+  | "set", Observe -> [ Datatype.Member (small ()); Datatype.Size ]
+  | "set", Update -> [ Datatype.Insert (small ()); Datatype.Remove (small ()) ]
+  | "queue", Mutate -> [ Datatype.Enqueue (small ()); Datatype.Dequeue ]
+  | "keyed_store", Observe -> [ Datatype.Kread (small ()) ]
+  | "keyed_store", Overwrite ->
+      [ Datatype.Kwrite (small (), Value.Int (Rng.int rng 16)) ]
+  | _ -> []
+
+let pick_class rng w =
+  let total = w.w_observe + w.w_update + w.w_overwrite + w.w_mutate in
+  if total <= 0 then invalid_arg "Gen.weighted: weights sum to zero";
+  let r = Rng.int rng total in
+  if r < w.w_observe then Observe
+  else if r < w.w_observe + w.w_update then Update
+  else if r < w.w_observe + w.w_update + w.w_overwrite then Overwrite
+  else Mutate
+
+(* Nearest supported class when the drawn one is missing on this type.
+   Fallbacks stay within the drawn class's family first (a mutating
+   draw tries the other mutating classes before degrading to an
+   observer), so weight skews survive across heterogeneous schemas. *)
+let fallback_order = function
+  | Observe -> [ Observe; Update; Overwrite; Mutate ]
+  | Update -> [ Update; Overwrite; Mutate; Observe ]
+  | Overwrite -> [ Overwrite; Mutate; Update; Observe ]
+  | Mutate -> [ Mutate; Overwrite; Update; Observe ]
+
+let sample_weighted rng w (dt : Datatype.t) =
+  let rec scan = function
+    | [] -> dt.Datatype.sample_ops rng
+    | cls :: rest -> (
+        match ops_of_class rng dt cls with
+        | [] -> scan rest
+        | ops -> List.nth ops (Rng.int rng (List.length ops)))
+  in
+  scan (fallback_order (pick_class rng w))
+
+let weighted ?(weights = balanced) rng p =
+  let dts =
+    [|
+      Register.make ();
+      Counter.make ();
+      Bank_account.make ~init:10 ();
+      Rset.make ();
+      Fifo_queue.make ();
+      Keyed_store.make ();
+    |]
+  in
+  let objs = object_names "w" p.n_objects in
+  let decls =
+    List.mapi (fun i x -> (x, dts.(i mod Array.length dts))) objs
+  in
+  let dtype_of x =
+    match List.find_opt (fun (y, _) -> Obj_id.equal x y) decls with
+    | Some (_, dt) -> dt
+    | None -> assert false
+  in
+  let sample_op rng x = sample_weighted rng weights (dtype_of x) in
   (gen_forest rng p objs sample_op, decls)
 
 let forest_and_schema gen ~seed p =

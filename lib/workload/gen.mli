@@ -23,6 +23,63 @@ val default : profile
 (** 8 top-level transactions, depth 2, fanout 3, 4 objects, uniform
     access, half [Par], 50% reads. *)
 
+(** {2 Adversarial shapes}
+
+    Profiles tuned to stress specific protocol weaknesses; used by
+    {!Nt_check} to bias exploration towards the behaviors that
+    historically betray broken concurrency control. *)
+
+val lock_heavy : profile
+(** Everyone fights over one object, write-heavy — maximal lock
+    conflicts and deadlock pressure. *)
+
+val deep_nesting : profile
+(** Few top-level transactions, nesting depth 4 — exercises lock
+    inheritance and abort propagation along long ancestor chains. *)
+
+val abort_storm : profile
+(** A moderately contended shape meant to be run with a high
+    fault-injection rate ([abort_prob]), so recovery paths (undo,
+    inform handling, orphan discard) dominate the execution. *)
+
+(** {2 Weighted action grammars}
+
+    The plain generators draw operations from each data type's own
+    [sample_ops].  A {!weights} value instead draws the {e class} of
+    the next access from an explicit distribution — observers,
+    commuting updates, absolute overwrites, low-commutativity
+    mutators — and then picks a concrete operation of that class
+    supported by the chosen object's type (falling back to the
+    nearest supported class, in the order above, when the type lacks
+    one). *)
+
+type weights = {
+  w_observe : int;  (** [Read]/[Get]/[Balance]/[Member]/[Size]/[Kread]. *)
+  w_update : int;  (** Commuting updates: [Incr]/[Decr]/[Deposit]/[Insert]/[Remove]. *)
+  w_overwrite : int;  (** Absolute writes: [Write]/[Kwrite]. *)
+  w_mutate : int;  (** Low-commutativity: [Withdraw]/[Enqueue]/[Dequeue]. *)
+}
+
+val balanced : weights
+(** Equal weight on all four classes. *)
+
+val contended : weights
+(** Overwrite/mutate-heavy — the grammar that makes conflicts (and
+    serialization-graph edges) dense. *)
+
+val observers : weights
+(** Observe-only (weight zero elsewhere) — useful as a distribution
+    sanity check and as a conflict-free control. *)
+
+val weighted :
+  ?weights:weights ->
+  Rng.t ->
+  profile ->
+  Program.t list * (Obj_id.t * Datatype.t) list
+(** A mixed-type workload (objects round-robin over the shipped data
+    types, like {!mixed}) whose accesses follow the weighted grammar
+    (default {!balanced}). *)
+
 val registers :
   Rng.t -> profile -> Program.t list * (Obj_id.t * Datatype.t) list
 (** A read/write workload over registers (the Sections 3–5 setting). *)

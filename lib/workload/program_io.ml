@@ -295,6 +295,17 @@ let rec program_to_string = function
         (match comb with Program.Seq -> "seq" | Program.Par -> "par")
         (String.concat " " (List.map program_to_string children))
 
+let dtype_decl (dt : Datatype.t) =
+  match (dt.Datatype.dt_name, dt.Datatype.init) with
+  | "register", v -> Printf.sprintf "(register %s)" (value_to_string v)
+  | "counter", Value.Int n -> Printf.sprintf "(counter %d)" n
+  | "account", Value.Int n -> Printf.sprintf "(account %d)" n
+  | "set", _ -> "set"
+  | "queue", _ -> "queue"
+  | "keyed_store", _ -> "keyed-store"
+  | "vreg", _ -> "vreg"
+  | name, _ -> invalid_arg ("Program_io.dtype_decl: unknown type " ^ name)
+
 let to_string ~objects forest =
   let decls =
     List.map

@@ -40,3 +40,10 @@ val to_string : objects:(Nt_base.Obj_id.t * string) list -> Program.t list -> st
 (** Render a forest back to the textual format; [objects] pairs each
     object with its declaration text (e.g. ["register"],
     ["(account 100)"]).  [parse (to_string ...)] round-trips. *)
+
+val dtype_decl : Datatype.t -> string
+(** The declaration text for a shipped data type (including its
+    initial state where the syntax supports one), suitable for
+    {!to_string}'s [objects] argument: parsing the result yields a
+    type with the same name and initial state.  Raises
+    [Invalid_argument] on an unknown [dt_name]. *)

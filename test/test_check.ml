@@ -1,0 +1,172 @@
+(* The property-based checking engine (lib/check): oracles on seed
+   scenarios, campaign determinism, detection of the broken subjects,
+   shrinking to small deterministic counterexamples, bundle roundtrip. *)
+open Core
+open Util
+
+(* Scenario generation is a pure function of the RNG: same seed, same
+   scenario (modulo closures — compare the printable projection). *)
+let t_gen_deterministic () =
+  let render sc =
+    Format.asprintf "%d|%d|%s"
+      sc.Check.sched_seed
+      (Shrink.n_accesses sc.Check.forest)
+      (String.concat ","
+         (List.map (fun (x, _) -> Obj_id.name x) sc.Check.objects))
+  in
+  List.iter
+    (fun backend ->
+      let sc1 = Check.gen_scenario backend (Rng.create 42) in
+      let sc2 = Check.gen_scenario backend (Rng.create 42) in
+      check_bool "same scenario from same seed" true (render sc1 = render sc2))
+    (Check.correct_backends @ Check.broken_backends)
+
+(* Small campaigns over every verified backend must report zero oracle
+   failures, and replaying any generated scenario is deterministic. *)
+let t_correct_backends_pass () =
+  List.iter
+    (fun backend ->
+      let r = Check.campaign backend ~seed:11 ~runs:8 in
+      Alcotest.(check int)
+        (Check.backend_name backend ^ " failures")
+        0
+        (List.length r.Check.failures);
+      check_int (Check.backend_name backend ^ " runs") 8 r.Check.runs)
+    Check.correct_backends
+
+(* Oracle agreement on curated workloads: run the banking and queue
+   scenarios under a verified protocol and judge them — the checker
+   and the differential oracle must both accept. *)
+let t_oracles_on_seed_scenarios () =
+  List.iter
+    (fun (forest, schema) ->
+      let objects =
+        List.map
+          (fun x -> (x, schema.Schema.dtype_of x))
+          schema.Schema.objects
+      in
+      let sc =
+        {
+          Check.forest;
+          objects;
+          sched_seed = 5;
+          policy = Runtime.Random_step;
+          inform_policy = Runtime.Eager;
+          abort_prob = 0.0;
+        }
+      in
+      let o = Check.run_scenario Check.Undo sc in
+      check_bool "curated scenario passes all oracles" true
+        (o.Check.failure = None))
+    [
+      Scenario.banking ~n_accounts:3 ~n_transfers:5 ~seed:2;
+      Scenario.queue_producers_consumers ~n_producers:2 ~n_consumers:2 ~seed:2;
+    ]
+
+(* Every broken subject is detected within a modest campaign. *)
+let t_broken_detected () =
+  List.iter
+    (fun backend ->
+      let r = Check.campaign backend ~seed:3 ~runs:100 in
+      check_bool
+        (Check.backend_name backend ^ " caught")
+        true
+        (r.Check.failures <> []))
+    Check.broken_backends
+
+let first_failure backend ~seed ~runs =
+  let r = Check.campaign backend ~seed ~runs in
+  match r.Check.failures with
+  | (_, sc, _) :: _ -> sc
+  | [] -> Alcotest.fail (Check.backend_name backend ^ ": no failure found")
+
+(* A no-control violation shrinks to a tiny counterexample that still
+   fails, deterministically. *)
+let t_shrink_small () =
+  let sc = first_failure Check.No_control ~seed:3 ~runs:100 in
+  match Shrink.minimize Check.No_control sc with
+  | None -> Alcotest.fail "minimize lost the failure"
+  | Some m ->
+      check_bool "minimal counterexample has at most 6 accesses" true
+        (Shrink.n_accesses m.Shrink.scenario.Check.forest <= 6);
+      check_bool "determinism re-verified" true m.Shrink.deterministic;
+      (* The minimized scenario still fails on a fresh run. *)
+      let o = Check.run_scenario Check.No_control m.Shrink.scenario in
+      check_bool "still failing" true (o.Check.failure <> None)
+
+(* Shrinking twice from the same failing scenario yields the same
+   minimal counterexample (the whole pipeline is seed-deterministic). *)
+let t_shrink_deterministic () =
+  let sc = first_failure Check.No_control ~seed:3 ~runs:100 in
+  match
+    (Shrink.minimize Check.No_control sc, Shrink.minimize Check.No_control sc)
+  with
+  | Some m1, Some m2 ->
+      check_bool "same size" true
+        (Shrink.n_accesses m1.Shrink.scenario.Check.forest
+        = Shrink.n_accesses m2.Shrink.scenario.Check.forest);
+      check_bool "same failure" true (m1.Shrink.failure = m2.Shrink.failure);
+      check_bool "same rendered bundle" true
+        (Bundle.to_string Check.No_control m1.Shrink.scenario
+        = Bundle.to_string Check.No_control m2.Shrink.scenario)
+  | _ -> Alcotest.fail "minimize lost the failure"
+
+(* Bundles roundtrip: save a shrunk counterexample, load it back, and
+   the replayed run reproduces the same failure tag. *)
+let t_bundle_roundtrip () =
+  let sc = first_failure Check.No_control ~seed:3 ~runs:100 in
+  let m =
+    match Shrink.minimize Check.No_control sc with
+    | Some m -> m
+    | None -> Alcotest.fail "minimize lost the failure"
+  in
+  let s =
+    Bundle.to_string ~failure:m.Shrink.failure Check.No_control
+      m.Shrink.scenario
+  in
+  match Bundle.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok b ->
+      check_bool "backend survives" true (b.Bundle.backend = Check.No_control);
+      check_bool "failure tag recorded" true
+        (b.Bundle.failure_tag = Some (Check.failure_tag m.Shrink.failure));
+      check_int "sched seed survives" m.Shrink.scenario.Check.sched_seed
+        b.Bundle.scenario.Check.sched_seed;
+      let o = Check.run_scenario b.Bundle.backend b.Bundle.scenario in
+      (match o.Check.failure with
+      | None -> Alcotest.fail "replayed bundle no longer fails"
+      | Some f ->
+          check_bool "same failure tag on replay" true
+            (Check.failure_tag f = Check.failure_tag m.Shrink.failure))
+
+(* Campaign outcomes flow into the Nt_obs metrics registry. *)
+let t_campaign_metrics () =
+  let obs = Obs.create () in
+  let r = Check.campaign ~obs Check.Undo ~seed:11 ~runs:5 in
+  let get name = Metrics.counter_value (Metrics.counter (Obs.metrics obs) name) in
+  check_int "check.runs counted" r.Check.runs (get "check.runs");
+  check_int "check.pass counted" r.Check.passed (get "check.pass");
+  check_int "no check.fail" 0 (get "check.fail");
+  let obs_fail = Obs.create () in
+  let rf = Check.campaign ~obs:obs_fail Check.No_control ~seed:3 ~runs:100 in
+  check_bool "failure campaign failed" true (rf.Check.failures <> []);
+  let getf name = Metrics.counter_value (Metrics.counter (Obs.metrics obs_fail) name) in
+  check_int "check.fail counted" (List.length rf.Check.failures)
+    (getf "check.fail")
+
+let suite =
+  ( "check",
+    [
+      Alcotest.test_case "scenario generation deterministic" `Quick
+        t_gen_deterministic;
+      Alcotest.test_case "verified backends pass campaigns" `Slow
+        t_correct_backends_pass;
+      Alcotest.test_case "oracles accept curated scenarios" `Quick
+        t_oracles_on_seed_scenarios;
+      Alcotest.test_case "broken subjects detected" `Quick t_broken_detected;
+      Alcotest.test_case "shrinks to <= 6 accesses" `Quick t_shrink_small;
+      Alcotest.test_case "shrinking is deterministic" `Quick
+        t_shrink_deterministic;
+      Alcotest.test_case "bundle roundtrip" `Quick t_bundle_roundtrip;
+      Alcotest.test_case "campaign metrics" `Quick t_campaign_metrics;
+    ] )

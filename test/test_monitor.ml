@@ -101,51 +101,45 @@ let t_early_detection () =
     Gen.forest_and_schema Gen.registers ~seed:3
       { Gen.default with n_top = 8; depth = 1; n_objects = 1; read_ratio = 0.4 }
   in
-  let rec find seed =
-    if seed > 100 then Alcotest.fail "no violating run found"
-    else
-      let r = run_protocol ~seed schema Broken.no_control forest in
-      let m = Monitor.create schema in
-      match Monitor.feed_trace m r.Runtime.trace with
-      | [] -> find (seed + 1)
-      | (i, _) :: _ ->
-          check_bool "alarm strictly inside trace" true
-            (i < Trace.length r.Runtime.trace);
-          (* The offline verdict on the prefix ending at the alarm is
-             already negative. *)
-          let prefix = Trace.prefix r.Runtime.trace (i + 1) in
-          check_bool "offline agrees on prefix" false
-            (Checker.serially_correct schema prefix)
+  let i, trace =
+    find_seed "no violating run found" (fun seed ->
+        let r = run_protocol ~seed schema Broken.no_control forest in
+        let m = Monitor.create schema in
+        match Monitor.feed_trace m r.Runtime.trace with
+        | [] -> None
+        | (i, _) :: _ -> Some (i, r.Runtime.trace))
   in
-  find 1
+  check_bool "alarm strictly inside trace" true (i < Trace.length trace);
+  (* The offline verdict on the prefix ending at the alarm is already
+     negative. *)
+  let prefix = Trace.prefix trace (i + 1) in
+  check_bool "offline agrees on prefix" false
+    (Checker.serially_correct schema prefix)
 
 let t_cycle_witness_is_a_cycle () =
   let forest, schema =
     Gen.forest_and_schema Gen.registers ~seed:1
       { Gen.default with n_top = 8; depth = 1; n_objects = 1; read_ratio = 0.3 }
   in
-  let rec find seed =
-    if seed > 100 then Alcotest.fail "no cycle found"
-    else
-      let r = run_protocol ~seed schema Broken.no_control forest in
-      let m = Monitor.create schema in
-      let cycles =
-        List.filter_map
-          (fun (_, a) -> match a with Monitor.Cycle c -> Some c | _ -> None)
-          (Monitor.feed_trace m r.Runtime.trace)
-      in
-      match cycles with
-      | [] -> find (seed + 1)
-      | c :: _ ->
-          let g = Monitor.graph m in
-          let arr = Array.of_list c in
-          Array.iteri
-            (fun i a ->
-              let b = arr.((i + 1) mod Array.length arr) in
-              check_bool "cycle edge in graph" true (Graph.mem_edge g a b))
-            arr
+  let c, g =
+    find_seed "no cycle found" (fun seed ->
+        let r = run_protocol ~seed schema Broken.no_control forest in
+        let m = Monitor.create schema in
+        let cycles =
+          List.filter_map
+            (fun (_, a) -> match a with Monitor.Cycle c -> Some c | _ -> None)
+            (Monitor.feed_trace m r.Runtime.trace)
+        in
+        match cycles with
+        | [] -> None
+        | c :: _ -> Some (c, Monitor.graph m))
   in
-  find 1
+  let arr = Array.of_list c in
+  Array.iteri
+    (fun i a ->
+      let b = arr.((i + 1) mod Array.length arr) in
+      check_bool "cycle edge in graph" true (Graph.mem_edge g a b))
+    arr
 
 (* The cumulative counters must agree with what the monitor actually
    did: feeds = trace length, edges = the graph's edge count, and the

@@ -18,30 +18,19 @@ let schema () =
     ]
 
 let committed_trace =
-  Trace.of_list
-    Action.
-      [
-        Request_create t1;
-        Create t1;
-        Request_create t2;
-        Create t2;
-        Request_create a1;
-        Create a1;
-        Request_create a2;
-        Create a2;
-        Request_commit (a1, Value.Ok);
-        Commit a1;
-        Report_commit (a1, Value.Ok);
-        Request_commit (t1, Value.Unit);
-        Commit t1;
-        Request_commit (a2, Value.Int 1);
-        Commit a2;
-        Report_commit (a2, Value.Int 1);
-        Request_commit (t2, Value.Unit);
-        Commit t2;
-        Report_commit (t1, Value.Unit);
-        Report_commit (t2, Value.Unit);
-      ]
+  trace_of
+    [
+      open_txn t1;
+      open_txn t2;
+      open_txn a1;
+      open_txn a2;
+      commit_txn a1 Value.Ok;
+      commit_txn ~report:false t1 Value.Unit;
+      commit_txn a2 (Value.Int 1);
+      commit_txn ~report:false t2 Value.Unit;
+      [ Action.Report_commit (t1, Value.Unit);
+        Action.Report_commit (t2, Value.Unit) ];
+    ]
 
 let t_conflict_relation () =
   let rel = Conflict.relation Conflict.Access_level (schema ()) committed_trace in
@@ -73,14 +62,13 @@ let t_conflict_modes () =
       ]
   in
   let tr =
-    Trace.of_list
-      Action.
-        [
-          Request_create t1; Create t1; Request_create a1; Create a1;
-          Request_commit (a1, Value.Ok); Commit a1; Commit t1;
-          Request_create t2; Create t2; Request_create a2; Create a2;
-          Request_commit (a2, Value.Ok); Commit a2; Commit t2;
-        ]
+    trace_of
+      [
+        open_txn t1; open_txn a1;
+        commit_txn ~report:false a1 Value.Ok; [ Action.Commit t1 ];
+        open_txn t2; open_txn a2;
+        commit_txn ~report:false a2 Value.Ok; [ Action.Commit t2 ];
+      ]
   in
   check_int "access level sees conflict" 1
     (List.length (Conflict.relation Conflict.Access_level schema2 tr));
@@ -89,18 +77,7 @@ let t_conflict_modes () =
 
 let t_precedes_relation () =
   (* T1 reported before REQUEST_CREATE(T2): a precedes edge. *)
-  let tr =
-    Trace.of_list
-      Action.
-        [
-          Request_create t1; Create t1;
-          Request_commit (t1, Value.Unit); Commit t1;
-          Report_commit (t1, Value.Unit);
-          Request_create t2; Create t2;
-          Request_commit (t2, Value.Unit); Commit t2;
-          Report_commit (t2, Value.Unit);
-        ]
-  in
+  let tr = trace_of [ leaf_txn t1 Value.Unit; leaf_txn t2 Value.Unit ] in
   let rel = Precedes.relation tr in
   check_int "one precedes pair" 1 (List.length rel);
   let a, b = List.hd rel in
@@ -108,13 +85,13 @@ let t_precedes_relation () =
   Alcotest.check txn_testable "after" t2 b;
   (* Concurrent issue order produces no precedes edge. *)
   let tr2 =
-    Trace.of_list
-      Action.
-        [
-          Request_create t1; Request_create t2; Create t1; Create t2;
-          Request_commit (t1, Value.Unit); Commit t1; Report_commit (t1, Value.Unit);
-          Request_commit (t2, Value.Unit); Commit t2; Report_commit (t2, Value.Unit);
-        ]
+    trace_of
+      [
+        [ Action.Request_create t1; Action.Request_create t2;
+          Action.Create t1; Action.Create t2 ];
+        commit_txn t1 Value.Unit;
+        commit_txn t2 Value.Unit;
+      ]
   in
   check_int "no precedes" 0 (List.length (Precedes.relation tr2))
 
@@ -147,20 +124,19 @@ let t_sg_cycle_detected () =
   in
   let b1 = txn [ 0; 1 ] and b2 = txn [ 1; 1 ] in
   let tr =
-    Trace.of_list
-      Action.
-        [
-          Request_create t1; Create t1; Request_create t2; Create t2;
-          Request_create a1; Create a1; Request_create b1; Create b1;
-          Request_create a2; Create a2; Request_create b2; Create b2;
-          Request_commit (a1, Value.Ok);
-          Request_commit (b2, Value.Ok);
-          Request_commit (a2, Value.Ok);
-          Request_commit (b1, Value.Ok);
-          Commit a1; Commit b1; Commit a2; Commit b2;
-          Request_commit (t1, Value.Unit); Commit t1;
-          Request_commit (t2, Value.Unit); Commit t2;
-        ]
+    trace_of
+      [
+        open_txn t1; open_txn t2;
+        open_txn a1; open_txn b1; open_txn a2; open_txn b2;
+        [ Action.Request_commit (a1, Value.Ok);
+          Action.Request_commit (b2, Value.Ok);
+          Action.Request_commit (a2, Value.Ok);
+          Action.Request_commit (b1, Value.Ok);
+          Action.Commit a1; Action.Commit b1;
+          Action.Commit a2; Action.Commit b2 ];
+        commit_txn ~report:false t1 Value.Unit;
+        commit_txn ~report:false t2 Value.Unit;
+      ]
   in
   let g = Sg.build Sg.Access_level schema2 tr in
   check_bool "t1 -> t2 on x" true (Graph.mem_edge g t1 t2);
@@ -192,18 +168,7 @@ let t_suitability_event_cycle () =
   (* Order t2 before t1, but t1's report affects REQUEST_CREATE(t2)
      (both have transaction T0) in a sequential trace: R_event then
      contradicts affects. *)
-  let tr =
-    Trace.of_list
-      Action.
-        [
-          Request_create t1; Create t1;
-          Request_commit (t1, Value.Unit); Commit t1;
-          Report_commit (t1, Value.Unit);
-          Request_create t2; Create t2;
-          Request_commit (t2, Value.Unit); Commit t2;
-          Report_commit (t2, Value.Unit);
-        ]
-  in
+  let tr = trace_of [ leaf_txn t1 Value.Unit; leaf_txn t2 Value.Unit ] in
   let bad = Sibling_order.of_chains [ [ t2; t1 ] ] in
   (match Suitability.check tr ~to_:Txn_id.root bad with
   | Error (Suitability.Event_cycle _) -> ()

@@ -118,6 +118,116 @@ let t_zipf_concentrates () =
   let total = Hashtbl.fold (fun _ c acc -> acc + c) hits 0 in
   check_bool "hot object dominates" true (hot * 3 > total)
 
+(* ----- weighted grammar and shape presets ----- *)
+
+let is_observer = function
+  | Datatype.Read | Datatype.Get | Datatype.Balance | Datatype.Member _
+  | Datatype.Size | Datatype.Kread _ | Datatype.Vread ->
+      true
+  | _ -> false
+
+let weighted_accesses weights seed profile =
+  let forest, objects = Gen.weighted ~weights (Rng.create seed) profile in
+  let dt_name x =
+    match List.find_opt (fun (y, _) -> Obj_id.equal x y) objects with
+    | Some (_, dt) -> dt.Datatype.dt_name
+    | None -> Alcotest.fail ("undeclared object " ^ Obj_id.name x)
+  in
+  List.concat_map
+    (fun p -> List.map (fun (x, op) -> (dt_name x, op)) (Program.accesses p))
+    forest
+
+(* Pure-observer weights generate only observer operations — except on
+   types with no observer in their signature (the queue), where the
+   generator falls back to a supported class.  Contended weights are
+   mutation-dominated. *)
+let t_weighted_distribution () =
+  let profile = { Gen.default with n_top = 40; n_objects = 6 } in
+  let obs_ops = weighted_accesses Gen.observers 3 profile in
+  check_bool "observer ops generated" true (obs_ops <> []);
+  check_bool "observers weights yield only observers" true
+    (List.for_all
+       (fun (dt_name, op) -> dt_name = "queue" || is_observer op)
+       obs_ops);
+  let cont_ops = weighted_accesses Gen.contended 3 profile in
+  let mutations =
+    List.length (List.filter (fun (_, o) -> not (is_observer o)) cont_ops)
+  in
+  check_bool "contended weights mutation-dominated" true
+    (2 * mutations > List.length cont_ops)
+
+(* The weighted generator respects the profile's structural bounds and
+   only touches declared objects, like the fixed-grammar generators. *)
+let t_weighted_bounds () =
+  List.iter
+    (fun seed ->
+      let profile = { Gen.default with n_top = 7; depth = 3; fanout = 4 } in
+      let forest, objects = Gen.weighted (Rng.create seed) profile in
+      check_int "weighted n_top" 7 (List.length forest);
+      List.iter
+        (fun prog ->
+          check_bool "weighted depth bound" true
+            (max_depth prog <= profile.Gen.depth);
+          check_bool "weighted fanout bound" true
+            (max_fanout prog <= profile.Gen.fanout);
+          List.iter
+            (fun (x, _) ->
+              check_bool "weighted access hits declared object" true
+                (List.exists (fun (y, _) -> Obj_id.equal x y) objects))
+            (Program.accesses prog))
+        forest)
+    [ 1; 2; 3 ]
+
+(* A weighted forest roundtrips through the Program_io text format:
+   rendering with dtype_decl and parsing back preserves the forest and
+   the objects' types. *)
+let t_weighted_program_io_roundtrip () =
+  let forest, objects =
+    Gen.weighted (Rng.create 9) { Gen.default with n_top = 6; n_objects = 5 }
+  in
+  let text =
+    Program_io.to_string
+      ~objects:(List.map (fun (x, dt) -> (x, Program_io.dtype_decl dt)) objects)
+      forest
+  in
+  match Program_io.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok (forest', schema') ->
+      check_bool "forest roundtrips" true (forest = forest');
+      check_int "object count roundtrips" (List.length objects)
+        (List.length schema'.Schema.objects);
+      List.iter
+        (fun (x, dt) ->
+          let dt' = schema'.Schema.dtype_of x in
+          check_bool
+            ("type of " ^ Obj_id.name x ^ " roundtrips")
+            true
+            (dt.Datatype.dt_name = dt'.Datatype.dt_name
+            && Value.equal dt.Datatype.init dt'.Datatype.init))
+        objects
+
+(* The adversarial shape presets hold their advertised structure. *)
+let t_shape_presets () =
+  check_int "lock-heavy is one hot object" 1 Gen.lock_heavy.Gen.n_objects;
+  check_bool "lock-heavy is contention-biased" true
+    (Gen.lock_heavy.Gen.read_ratio < 0.5);
+  check_bool "deep-nesting nests deeper than default" true
+    (Gen.deep_nesting.Gen.depth > Gen.default.Gen.depth);
+  List.iter
+    (fun (name, profile) ->
+      let forest, _ = Gen.registers (Rng.create 4) profile in
+      check_int (name ^ " n_top") profile.Gen.n_top (List.length forest);
+      List.iter
+        (fun prog ->
+          check_bool (name ^ " depth bound") true
+            (max_depth prog <= profile.Gen.depth))
+        forest)
+    [
+      ("lock-heavy", Gen.lock_heavy);
+      ("deep-nesting", Gen.deep_nesting);
+      ("abort-storm", Gen.abort_storm);
+    ]
+
 let suite =
   ( "workload",
     [
@@ -127,4 +237,9 @@ let suite =
       Alcotest.test_case "read ratio extremes" `Quick t_read_ratio;
       Alcotest.test_case "scenarios run correctly" `Quick t_scenarios_run;
       Alcotest.test_case "zipf concentrates" `Quick t_zipf_concentrates;
+      Alcotest.test_case "weighted distribution" `Quick t_weighted_distribution;
+      Alcotest.test_case "weighted bounds" `Quick t_weighted_bounds;
+      Alcotest.test_case "weighted program_io roundtrip" `Quick
+        t_weighted_program_io_roundtrip;
+      Alcotest.test_case "shape presets" `Quick t_shape_presets;
     ] )

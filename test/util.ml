@@ -42,6 +42,29 @@ let sampled_prefixes ?(stride = 7) trace =
   let rec go i acc = if i > n then acc else go (i + stride) (Trace.prefix trace i :: acc) in
   go 0 [ trace ]
 
+(* Trace-builder helpers: the action bursts that open, commit and
+   abort a transaction, so hand-written expected traces read as a list
+   of lifecycle fragments instead of raw action lists. *)
+let open_txn t = [ Action.Request_create t; Action.Create t ]
+
+let commit_txn ?(report = true) t v =
+  [ Action.Request_commit (t, v); Action.Commit t ]
+  @ if report then [ Action.Report_commit (t, v) ] else []
+
+(* A leaf access's whole life: created, then committed with value [v]. *)
+let leaf_txn ?report t v = open_txn t @ commit_txn ?report t v
+
+let trace_of fragments = Trace.of_list (List.concat fragments)
+
+(* Search seeds [1..max_seed] for one where [f seed] yields a witness;
+   fail the test with [msg] when none does. *)
+let find_seed ?(max_seed = 100) msg f =
+  let rec go seed =
+    if seed > max_seed then Alcotest.fail msg
+    else match f seed with Some x -> x | None -> go (seed + 1)
+  in
+  go 1
+
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
