@@ -759,12 +759,80 @@ let micro () =
   report t
 
 (* ------------------------------------------------------------------ *)
+(* E16: monitor cost, incremental vs recompute-per-edge detection.     *)
+
+(* The online monitor routes every SG insertion through the
+   Pearce-Kelly incremental detector ([Graph.add_edge_checked]).  This
+   experiment isolates that choice: the same edge sequence is replayed
+   (a) through the incremental detector and (b) through the
+   pre-incremental regime — insert, then decide acyclicity with a
+   from-scratch DFS ([Graph.find_cycle_scratch]), the O(E) work the
+   old core repeated per edge.  [monitor_ms] is the full online
+   monitor over the trace (visibility + replay + detection);
+   [reorder_ops] counts how often an insertion actually disturbed the
+   maintained order. *)
+let e16 () =
+  let t =
+    Table.create ~title:"E16: monitor detection, incremental vs recompute"
+      ~columns:
+        [ "events"; "sg_edges"; "monitor_ms"; "inc_ms"; "scratch_ms";
+          "reorder_ops" ]
+  in
+  List.iter
+    (fun n_top ->
+      let forest, schema =
+        Gen.forest_and_schema Gen.registers ~seed:11
+          { Gen.default with n_top; depth = 2; n_objects = 8 }
+      in
+      let r = run ~seed:11 schema Moss_object.factory forest in
+      let time f =
+        let t0 = Sys.time () in
+        let x = f () in
+        (x, (Sys.time () -. t0) *. 1000.0)
+      in
+      let m, t_monitor =
+        time (fun () ->
+            let m = Monitor.create schema in
+            ignore (Monitor.feed_trace m r.Runtime.trace);
+            m)
+      in
+      let edges = Graph.edges (Monitor.graph m) in
+      let g_inc, t_inc =
+        time (fun () ->
+            let g = Graph.create () in
+            List.iter
+              (fun (a, b) -> ignore (Graph.add_edge_checked g a b))
+              edges;
+            g)
+      in
+      let _, t_scratch =
+        time (fun () ->
+            let g = Graph.create () in
+            List.iter
+              (fun (a, b) ->
+                Graph.add_edge g a b;
+                ignore (Graph.find_cycle_scratch g))
+              edges)
+      in
+      Table.add_row t
+        [
+          Table.cell_i (Trace.length r.Runtime.trace);
+          Table.cell_i (List.length edges);
+          Table.cell_f t_monitor;
+          Table.cell_f t_inc;
+          Table.cell_f t_scratch;
+          Table.cell_i (Graph.reorders g_inc);
+        ])
+    [ 4; 8; 16; 32; 64; 128 ];
+  report t
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("obs", obs); ("micro", micro);
+    ("e16", e16); ("obs", obs); ("micro", micro);
   ]
 
 let () =

@@ -20,12 +20,17 @@
 
    Usage: ntstress [seeds-per-cell] [--seed N] [--obs-out FILE]
                    [--obs-format jsonl|chrome|table]
+                   [--perf-budget SECONDS]
    (default 50 seeds per cell; telemetry of the whole campaign is
    aggregated into one recorder, so --obs-format table summarizes
    thousands of runs and jsonl/chrome stream every run's spans)
 
    --seed N runs exactly seed N in every cell — the exact-replay knob
-   for a seed printed by a FAIL line. *)
+   for a seed printed by a FAIL line.
+
+   --perf-budget SECONDS fails the campaign (exit 1) if its wall time
+   exceeds the budget — CI uses this as a cheap regression tripwire
+   for the monitor's incremental detection path. *)
 
 open Core
 
@@ -72,20 +77,26 @@ let check_lemmas name schema (trace : Trace.t) =
 let usage () =
   prerr_endline
     "usage: ntstress [seeds-per-cell] [--seed N] [--obs-out FILE] \
-     [--obs-format jsonl|chrome|table]";
+     [--obs-format jsonl|chrome|table] [--perf-budget SECONDS]";
   exit 2
 
 let () =
   let seeds_per_cell = ref 50
   and seed_only = ref None
   and obs_out = ref None
-  and obs_format = ref None in
+  and obs_format = ref None
+  and perf_budget = ref None in
   let rec parse = function
     | [] -> ()
     | "--seed" :: s :: rest ->
         (match int_of_string_opt s with
         | Some n -> seed_only := Some n
         | None -> usage ());
+        parse rest
+    | "--perf-budget" :: s :: rest ->
+        (match float_of_string_opt s with
+        | Some b when b > 0.0 -> perf_budget := Some b
+        | _ -> usage ());
         parse rest
     | "--obs-out" :: path :: rest ->
         obs_out := Some path;
@@ -138,6 +149,7 @@ let () =
   in
   let total = ref 0 and failures = ref 0 in
   let t0 = Sys.time () in
+  let wall0 = Unix.gettimeofday () in
   List.iter
     (fun (pname, factory, kind, rw_only) ->
       List.iter
@@ -196,7 +208,10 @@ let () =
                                returns impossible@."
                               pname wname seed i (Obj_id.name x))
                       alarms;
-                    alarms = []
+                    (* No alarm ⇒ the incremental detector still holds a
+                       topological order, so a witness sibling order for
+                       Theorem 8 must be available for free. *)
+                    alarms = [] && Monitor.witness_order m <> None
               in
               if not (ok_wf && ok_thm && ok_lemmas && ok_monitor) then begin
                 incr failures;
@@ -213,4 +228,16 @@ let () =
   Format.printf "ntstress: %d runs, %d failures, %.1f s@." !total !failures
     (Sys.time () -. t0);
   finish_obs ();
-  if !failures > 0 then exit 1
+  let wall = Unix.gettimeofday () -. wall0 in
+  let over_budget =
+    match !perf_budget with
+    | Some budget when wall > budget ->
+        Format.printf "PERF BUDGET EXCEEDED: %.1f s wall > %.1f s budget@."
+          wall budget;
+        true
+    | Some budget ->
+        Format.printf "perf budget: %.1f s wall <= %.1f s budget@." wall budget;
+        false
+    | None -> false
+  in
+  if !failures > 0 || over_budget then exit 1

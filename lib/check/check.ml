@@ -372,6 +372,48 @@ let run_scenario ?(obs = Obs.null) ?(max_steps = 200_000) backend sc =
           failure = judge backend schema r sc.forest;
         }
 
+(* ----- SG oracle equivalence ----- *)
+
+type sg_agreement = {
+  checker_acyclic : bool;  (* O(1) incremental verdict on Sg.build *)
+  monitor_acyclic : bool;  (* online incremental detector *)
+  scratch_acyclic : bool;  (* from-scratch three-color DFS *)
+  cycle_alarms : int;
+  inappropriate_alarms : int;
+}
+
+(* Run the SG acyclicity oracle three ways over one behavior: the
+   batch checker (incremental verdict over [Sg.build]), the online
+   monitor (incremental detection per feed), and the pre-incremental
+   reference ([Graph.find_cycle_scratch]).  The three must agree —
+   this is the cross-implementation oracle the differential tests and
+   ntcheck sweeps pin. *)
+let sg_agreement ?mode (schema : Schema.t) trace =
+  let mode = match mode with Some m -> m | None -> Sg.Operation_level in
+  let beta = Trace.serial trace in
+  let g = Sg.build mode schema beta in
+  let m = Nt_sg.Monitor.create ~mode schema in
+  let alarms = Nt_sg.Monitor.feed_trace m trace in
+  let cycle_alarms, inappropriate_alarms =
+    List.fold_left
+      (fun (c, i) (_, a) ->
+        match a with
+        | Nt_sg.Monitor.Cycle _ -> (c + 1, i)
+        | Nt_sg.Monitor.Inappropriate _ -> (c, i + 1))
+      (0, 0) alarms
+  in
+  {
+    checker_acyclic = Graph.is_acyclic g;
+    monitor_acyclic = cycle_alarms = 0;
+    scratch_acyclic = Graph.find_cycle_scratch g = None;
+    cycle_alarms;
+    inappropriate_alarms;
+  }
+
+let sg_agrees a =
+  a.checker_acyclic = a.monitor_acyclic
+  && a.checker_acyclic = a.scratch_acyclic
+
 (* ----- campaigns ----- *)
 
 type report = {

@@ -124,6 +124,30 @@ val run_scenario :
     (backend, scenario) pair always yields the same outcome.
     [max_steps] defaults to 200_000. *)
 
+(** {1 SG oracle equivalence} *)
+
+type sg_agreement = {
+  checker_acyclic : bool;
+      (** The batch checker's verdict: O(1) acyclicity of
+          {!Nt_sg.Sg.build} via the incremental detector. *)
+  monitor_acyclic : bool;
+      (** The online monitor raised no cycle alarm over the trace. *)
+  scratch_acyclic : bool;
+      (** The pre-incremental reference:
+          {!Nt_sg.Graph.find_cycle_scratch} over the built graph. *)
+  cycle_alarms : int;  (** Monitor cycle alarms (deterministic). *)
+  inappropriate_alarms : int;  (** Monitor return-value alarms. *)
+}
+
+val sg_agreement : ?mode:Nt_sg.Sg.conflict_mode -> Schema.t -> Trace.t -> sg_agreement
+(** Decide SG acyclicity of one behavior three independent ways —
+    incremental batch, incremental online, from-scratch DFS — for the
+    differential oracle-equivalence tests and ntcheck sweeps.  The
+    default mode is [Operation_level], matching {!Nt_sg.Checker}. *)
+
+val sg_agrees : sg_agreement -> bool
+(** All three verdicts coincide. *)
+
 (** {1 Campaigns} *)
 
 type report = {

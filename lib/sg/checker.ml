@@ -26,6 +26,10 @@ let check ?mode (schema : Schema.t) trace =
   let mode = match mode with Some m -> m | None -> default_mode schema in
   let beta = Trace.serial trace in
   let appropriate = Return_values.appropriate_general schema beta in
+  (* [Sg.build] inserts every edge through the incremental detector,
+     so by the time the graph exists its acyclicity is already decided
+     (Pearce-Kelly order consistency) and both queries below are O(1):
+     batch checking reuses the same core the online monitor runs on. *)
   let g = Sg.build mode schema beta in
   let cycle = Graph.find_cycle g in
   let acyclic = cycle = None in

@@ -1,35 +1,102 @@
-(** Directed graphs over transaction names.
+(** Directed graphs over transaction names, with incremental cycle
+    detection.
 
     The serialization graph [SG(beta)] is a union of disjoint directed
     graphs, one per parent; we keep them in a single structure (edges
     only ever connect siblings, so the union stays disjoint by
     construction) and provide cycle detection and topological sorting —
-    the two operations Theorem 8 needs. *)
+    the two operations Theorem 8 needs.
+
+    Cycle detection is {e incremental} (Pearce–Kelly): the graph
+    maintains a topological order of its nodes, updated on each edge
+    insertion by a two-way search limited to the affected region
+    (nodes ordered between the new edge's endpoints).  An insertion
+    [a -> b] with [ord a < ord b] is O(1); one that closes a cycle
+    returns the witness path immediately.  Order consistency implies
+    acyclicity, so {!is_acyclic} and {!find_cycle} are O(1) whatever
+    the insertion history.  Once a cycle-closing edge is accepted no
+    topological order exists; further insertions degrade to a plain
+    reachability search per edge, preserving exact cycle reporting. *)
 
 open Nt_base
 
 type t
 
+type add_result =
+  | Ok of int
+      (** The edge kept the graph acyclic; the payload is the number of
+          nodes renumbered to restore the maintained order (0 for the
+          O(1) fast path and for duplicate edges). *)
+  | Cycle of Txn_id.t list
+      (** The edge [a -> b] closed this cycle: the path [b ... a], so
+          consecutive elements (wrapping) are edges.  The edge is
+          still added — the graph records cyclic history faithfully. *)
+
 val create : unit -> t
 
 val add_node : t -> Txn_id.t -> unit
-(** Idempotent. *)
+(** Idempotent.  New nodes enter at the end of the maintained order. *)
+
+val add_edge_checked : t -> Txn_id.t -> Txn_id.t -> add_result
+(** Insert an edge and report whether it closed a cycle.  Adds both
+    endpoints as nodes; duplicate edges are ignored ([Ok 0]). *)
 
 val add_edge : t -> Txn_id.t -> Txn_id.t -> unit
-(** Adds both endpoints as nodes; duplicate edges are ignored. *)
+(** [ignore (add_edge_checked t a b)]. *)
 
 val mem_edge : t -> Txn_id.t -> Txn_id.t -> bool
 val nodes : t -> Txn_id.t list
 val edges : t -> (Txn_id.t * Txn_id.t) list
+
 val n_nodes : t -> int
+(** O(1) (cached). *)
+
 val n_edges : t -> int
+(** O(1) (cached; duplicates were never counted). *)
+
 val successors : t -> Txn_id.t -> Txn_id.t list
+val predecessors : t -> Txn_id.t -> Txn_id.t list
+
+val iter_nodes : t -> (Txn_id.t -> unit) -> unit
+(** Iterate nodes without building the sorted list {!nodes} allocates
+    (iteration order is unspecified). *)
+
+val iter_edges : t -> (Txn_id.t -> Txn_id.t -> unit) -> unit
+(** Iterate edges allocation-free (order unspecified). *)
+
+val fold_nodes : t -> ('a -> Txn_id.t -> 'a) -> 'a -> 'a
+val fold_edges : t -> ('a -> Txn_id.t -> Txn_id.t -> 'a) -> 'a -> 'a
 
 val find_cycle : t -> Txn_id.t list option
 (** Some cycle (as a node list, first repeated node omitted) if one
-    exists; [None] iff the graph is acyclic. *)
+    exists; [None] iff the graph is acyclic.  O(1): the witness of the
+    first cycle-closing insertion is cached. *)
+
+val find_cycle_scratch : t -> Txn_id.t list option
+(** The pre-incremental reference: a full three-color DFS over the
+    current graph.  Kept for differential testing of the incremental
+    detector (and for callers that want a cycle through the {e current}
+    search order rather than the first historical witness). *)
 
 val is_acyclic : t -> bool
+(** O(1). *)
+
+val order : t -> Txn_id.t list option
+(** The maintained topological order (all nodes, every edge forward),
+    or [None] once the graph is cyclic.  Reflects insertion history;
+    for a canonical insertion-independent order use
+    {!topological_sort}. *)
+
+val rank : t -> Txn_id.t -> int option
+(** The node's position key in the maintained order ([None] for
+    unknown nodes).  Keys are distinct and order-consistent; treat
+    them as opaque (contiguity is not part of the contract). *)
+
+val reorders : t -> int
+(** Cumulative number of node renumberings performed by incremental
+    insertions — the work the limited two-way search actually did
+    (0 for an insertion-order that never violated the maintained
+    order). *)
 
 val topological_sort : t -> Txn_id.t list option
 (** A total order of all nodes consistent with every edge, or [None]

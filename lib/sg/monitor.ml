@@ -22,6 +22,7 @@ type provenance = { kind : edge_kind; before : endpoint; after : endpoint }
 type item =
   | Activate_op of Obj_id.t * int  (* seq within the object's op table *)
   | Activate_edge of Txn_id.t * Txn_id.t * provenance
+  | Activate_node of Txn_id.t
 
 type visibility = Visible | Dead | Pending of int
 
@@ -55,11 +56,16 @@ type t = {
       (* first witness per inserted edge (edges are deduplicated) *)
   mutable pending_edges : (Txn_id.t * Txn_id.t * provenance) list;
       (* edges inserted by the current feed, for the event stream *)
+  mutable batch :
+    ((Txn_id.t * Txn_id.t, unit) Hashtbl.t
+    * (Txn_id.t * Txn_id.t * provenance) list ref)
+    option;
+      (* when feeding a batch, edges are coalesced here and inserted
+         (deduplicated) at the batch boundary *)
   mutable first_cycle : Txn_id.t list option;
   mutable any_alarm : bool;
   mutable n_feeds : int;
   mutable n_operations : int;
-  mutable n_edges : int;
   mutable n_cycle_alarms : int;
   mutable n_inappropriate_alarms : int;
 }
@@ -84,11 +90,11 @@ let create ?mode schema =
     objects;
     edge_prov = Hashtbl.create 64;
     pending_edges = [];
+    batch = None;
     first_cycle = None;
     any_alarm = false;
     n_feeds = 0;
     n_operations = 0;
-    n_edges = 0;
     n_cycle_alarms = 0;
     n_inappropriate_alarms = 0;
   }
@@ -100,10 +106,19 @@ let counters t =
   {
     feeds = t.n_feeds;
     operations = t.n_operations;
-    edges = t.n_edges;
+    edges = Graph.n_edges t.g;
     cycle_alarms = t.n_cycle_alarms;
     inappropriate_alarms = t.n_inappropriate_alarms;
   }
+
+(* The witness sibling order, read directly off the topological order
+   the incremental detector maintains (Pearce-Kelly invariant: while
+   no cycle has been detected, every inserted edge is forward in that
+   order).  SG edges only relate siblings, so grouping the order by
+   parent yields per-parent chains consistent with every edge — a
+   valid witness order for Theorem 8, with no final topological sort
+   over the finished graph.  [None] once a cycle alarm has fired. *)
+let witness_order t = Option.map Sg.sibling_order_of_topo (Graph.order t.g)
 
 (* Register [u] in the visibility tracker; returns its status. *)
 let visibility t u =
@@ -141,38 +156,36 @@ let add_item t u item =
   let l = match Txn_id.Tbl.find_opt t.items u with Some l -> l | None -> [] in
   Txn_id.Tbl.replace t.items u (item :: l)
 
-(* Cycle search: after adding edge (a, b), is a reachable from b?
-   Returns the path b ... a if so. *)
-let find_path g src dst =
-  let visited = Txn_id.Tbl.create 16 in
-  let rec dfs path n =
-    if Txn_id.equal n dst then Some (List.rev (n :: path))
-    else if Txn_id.Tbl.mem visited n then None
-    else begin
-      Txn_id.Tbl.add visited n ();
-      List.fold_left
-        (fun acc m -> match acc with Some _ -> acc | None -> dfs (n :: path) m)
-        None (Graph.successors g n)
-    end
-  in
-  dfs [] src
+(* Insert through the incremental detector: {!Graph.add_edge_checked}
+   maintains a topological order and searches only the region the new
+   edge can disturb, so most insertions are O(1) and none re-walks the
+   whole graph. *)
+let really_insert t ~prov a b =
+  Hashtbl.replace t.edge_prov (a, b) prov;
+  t.pending_edges <- (a, b, prov) :: t.pending_edges;
+  match Graph.add_edge_checked t.g a b with
+  | Graph.Ok _ -> []
+  | Graph.Cycle path ->
+      (* path is b ... a; the cycle is that path (edge a->b closes it). *)
+      t.any_alarm <- true;
+      if t.first_cycle = None then t.first_cycle <- Some path;
+      [ Cycle path ]
 
 let insert_edge t ~prov a b =
   if Txn_id.equal a b then []
   else if Graph.mem_edge t.g a b then []
-  else begin
-    Graph.add_edge t.g a b;
-    t.n_edges <- t.n_edges + 1;
-    Hashtbl.replace t.edge_prov (a, b) prov;
-    t.pending_edges <- (a, b, prov) :: t.pending_edges;
-    match find_path t.g b a with
-    | Some path ->
-        (* path is b ... a; the cycle is that path (edge a->b closes it). *)
-        t.any_alarm <- true;
-        if t.first_cycle = None then t.first_cycle <- Some path;
-        [ Cycle path ]
-    | None -> []
-  end
+  else
+    match t.batch with
+    | None -> really_insert t ~prov a b
+    | Some (seen, queue) ->
+        (* Coalesce: first witness wins, the search happens once per
+           distinct edge at the batch boundary. *)
+        if Hashtbl.mem seen (a, b) then []
+        else begin
+          Hashtbl.add seen (a, b) ();
+          queue := (a, b, prov) :: !queue;
+          []
+        end
 
 let ops_conflict t (a, va) (b, vb) =
   match t.mode with
@@ -237,6 +250,9 @@ let replay_object t x =
 let run_item t touched = function
   | Activate_op (x, seq) -> activate_op t touched x seq
   | Activate_edge (a, b, prov) -> insert_edge t ~prov a b
+  | Activate_node u ->
+      Graph.add_node t.g u;
+      []
 
 (* A commit arrived: wake dependents. *)
 let process_commit t touched w =
@@ -280,12 +296,73 @@ let process_abort t w =
   Txn_id.Tbl.remove t.waiters w;
   []
 
+(* Alarm bookkeeping and telemetry shared by {!feed} and the batch
+   flush: count the alarms, emit instants for them, and stream the
+   edges inserted since [edges_before]. *)
+let account ~obs t ~edges_before alarms =
+  List.iter
+    (fun alarm ->
+      match alarm with
+      | Cycle c ->
+          t.n_cycle_alarms <- t.n_cycle_alarms + 1;
+          if Obs.enabled obs then
+            Obs.instant
+              ?txn:(match c with u :: _ -> Some u | [] -> None)
+              obs "monitor.cycle"
+      | Inappropriate x ->
+          t.n_inappropriate_alarms <- t.n_inappropriate_alarms + 1;
+          if Obs.enabled obs then
+            Obs.instant ~obj:x obs "monitor.inappropriate")
+    alarms;
+  if Obs.enabled obs then begin
+    let m = Obs.metrics obs in
+    let inserted = Graph.n_edges t.g - edges_before in
+    if inserted > 0 then begin
+      Metrics.incr ~by:inserted (Metrics.counter m "monitor.edges");
+      Obs.counter_sample obs "sg.edges" (Graph.n_edges t.g);
+      if Obs.emitting obs then
+        List.iter
+          (fun (a, b, p) ->
+            Obs.sg_edge ?obj:p.before.where obs ~src:a ~dst:b
+              ~kind:(match p.kind with
+                    | Conflict -> "conflict"
+                    | Precedes -> "precedes")
+              ~w1:p.before.who ~w1_ts:p.before.at ~w2:p.after.who
+              ~w2_ts:p.after.at)
+          (List.rev t.pending_edges)
+    end;
+    Metrics.observe (Metrics.histogram m "monitor.feed.edges") inserted;
+    if alarms <> [] then
+      Metrics.incr ~by:(List.length alarms) (Metrics.counter m "monitor.alarms")
+  end;
+  t.pending_edges <- []
+
 let feed ?(obs = Obs.null) t (a : Action.t) =
   t.n_feeds <- t.n_feeds + 1;
   let now = t.n_feeds in
-  let edges_before = t.n_edges in
+  let edges_before = Graph.n_edges t.g in
   let touched = ref [] in
   t.pending_edges <- [];
+  (* Node tracking: the offline construction adds a node for the
+     lowtransaction of every visible serial event.  Online it suffices
+     to watch Commit/Abort actions — for any other serial event of u,
+     visibility of the event implies Commit u occurred and is itself
+     visible, so the Commit already supplies u's node; and a
+     Request_create/Report event's lowtransaction is the parent, whose
+     own Commit/Abort (or an ancestor chain ending at T0) covers it.
+     This keeps isolated nodes no edge ever reaches in the graph,
+     which the witness sibling order must still cover (suitability
+     condition (1)). *)
+  (match a with
+  | Action.Commit u | Action.Abort u when not (Txn_id.is_root u) -> (
+      let p = Txn_id.parent_exn u in
+      if Txn_id.is_root p then Graph.add_node t.g u
+      else
+        match visibility t p with
+        | Visible -> Graph.add_node t.g u
+        | Pending _ -> add_item t p (Activate_node u)
+        | Dead -> ())
+  | _ -> ());
   let alarms =
     match a with
   | Action.Request_commit (u, v) when System_type.is_access t.schema.Schema.sys u
@@ -346,43 +423,38 @@ let feed ?(obs = Obs.null) t (a : Action.t) =
     |> List.concat_map (replay_object t)
   in
   let all = alarms @ replay_alarms in
-  List.iter
-    (fun alarm ->
-      match alarm with
-      | Cycle c ->
-          t.n_cycle_alarms <- t.n_cycle_alarms + 1;
-          if Obs.enabled obs then
-            Obs.instant
-              ?txn:(match c with u :: _ -> Some u | [] -> None)
-              obs "monitor.cycle"
-      | Inappropriate x ->
-          t.n_inappropriate_alarms <- t.n_inappropriate_alarms + 1;
-          if Obs.enabled obs then
-            Obs.instant ~obj:x obs "monitor.inappropriate")
-    all;
-  if Obs.enabled obs then begin
-    let m = Obs.metrics obs in
-    let inserted = t.n_edges - edges_before in
-    if inserted > 0 then begin
-      Metrics.incr ~by:inserted (Metrics.counter m "monitor.edges");
-      Obs.counter_sample obs "sg.edges" t.n_edges;
-      if Obs.emitting obs then
-        List.iter
-          (fun (a, b, p) ->
-            Obs.sg_edge ?obj:p.before.where obs ~src:a ~dst:b
-              ~kind:(match p.kind with
-                    | Conflict -> "conflict"
-                    | Precedes -> "precedes")
-              ~w1:p.before.who ~w1_ts:p.before.at ~w2:p.after.who
-              ~w2_ts:p.after.at)
-          (List.rev t.pending_edges)
-    end;
-    Metrics.observe (Metrics.histogram m "monitor.feed.edges") inserted;
-    if all <> [] then
-      Metrics.incr ~by:(List.length all) (Metrics.counter m "monitor.alarms")
-  end;
-  t.pending_edges <- [];
+  account ~obs t ~edges_before all;
   all
+
+(* Feed a burst of actions with their edge insertions coalesced: every
+   edge the burst produces is queued (deduplicated, first witness
+   wins) and inserted through the incremental detector only at the
+   batch boundary.  Verdict-equivalent to feeding the actions one by
+   one — the same edges enter the same graph — but cycle alarms are
+   reported at the boundary rather than mid-batch, including a cycle
+   closed by the batch's last edge. *)
+let feed_batch ?(obs = Obs.null) t actions =
+  let base =
+    match t.batch with
+    | Some _ -> invalid_arg "Monitor.feed_batch: already batching"
+    | None ->
+        t.batch <- Some (Hashtbl.create 16, ref []);
+        List.concat_map (fun a -> feed ~obs t a) actions
+  in
+  let queued =
+    match t.batch with Some (_, q) -> List.rev !q | None -> []
+  in
+  t.batch <- None;
+  t.pending_edges <- [];
+  let edges_before = Graph.n_edges t.g in
+  let cycle_alarms =
+    List.concat_map
+      (fun (a, b, prov) ->
+        if Graph.mem_edge t.g a b then [] else really_insert t ~prov a b)
+      queued
+  in
+  account ~obs t ~edges_before cycle_alarms;
+  base @ cycle_alarms
 
 let feed_trace ?obs t trace =
   let alarms = ref [] in

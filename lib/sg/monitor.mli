@@ -11,8 +11,13 @@
       raising {!constructor:Inappropriate} the moment a return value
       is shown impossible;
     - the serialization graph ([conflict ∪ precedes] over visible
-      activity), with cycle detection on every edge insertion —
-      raising {!constructor:Cycle} with the witness.
+      activity), with {e incremental} cycle detection on every edge
+      insertion — raising {!constructor:Cycle} with the witness.  The
+      graph maintains a topological order (Pearce–Kelly; see
+      {!Graph.add_edge_checked}), so an insertion that respects the
+      order is O(1) and the rest search only the affected region:
+      monitoring a trace costs near-linearly in its length instead of
+      a full graph traversal per edge.
 
     Because every prefix of a generic behavior is itself a behavior,
     a protocol that is serially correct for all behaviors never trips
@@ -53,6 +58,16 @@ val feed : ?obs:Obs.t -> t -> Action.t -> alarm list
     become instant events, edge insertions feed the [monitor.*]
     metrics and a [sg.edges] counter track. *)
 
+val feed_batch : ?obs:Obs.t -> t -> Action.t list -> alarm list
+(** Feed a burst of actions with their edge insertions coalesced:
+    duplicates across the batch collapse to one insertion (first
+    witness wins) and the cycle search runs once per distinct edge at
+    the batch boundary.  Verdict-equivalent to feeding the actions
+    one at a time — same final graph, same alarms — but cycle alarms
+    (including one closed by the batch's last edge) are reported at
+    the boundary, so per-action attribution is coarser.  Telemetry
+    for the deferred edges is likewise emitted at the boundary. *)
+
 val feed_trace : ?obs:Obs.t -> t -> Trace.t -> (int * alarm) list
 (** Feed a whole trace; returns all alarms with the index of the
     triggering event. *)
@@ -64,6 +79,14 @@ val graph : t -> Graph.t
 
 val alarmed : t -> bool
 (** Whether any alarm has fired so far. *)
+
+val witness_order : t -> Sibling_order.t option
+(** The witness sibling order of Theorem 8, read directly off the
+    topological order the incremental detector maintains (no final
+    sort): the per-parent chains of {!Graph.order}.  Because SG edges
+    only relate siblings, those chains respect every conflict and
+    precedes edge, which is exactly what Theorem 8's proof requires
+    of the order [R].  [None] once a cycle has been detected. *)
 
 val visible_operations : t -> Obj_id.t -> (Txn_id.t * Value.t) list
 (** The currently-visible operation sequence of an object, in response

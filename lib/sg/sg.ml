@@ -18,26 +18,31 @@ let build mode (schema : Schema.t) trace =
   List.iter (fun (a, b) -> Graph.add_edge g a b) (Precedes.relation trace);
   g
 
+(* Group a global topological sort by parent, preserving order; each
+   group is a chain for that parent.  SG edges only connect siblings,
+   so the per-parent subsequences of any topological order of SG are
+   themselves consistent with every edge — the grouped order is a
+   valid witness sibling order whichever topological order is fed in
+   (the canonical {!Graph.topological_sort} or the insertion-history
+   order {!Graph.order} an online monitor maintains). *)
+let sibling_order_of_topo sorted =
+  let by_parent = Txn_id.Tbl.create 16 in
+  List.iter
+    (fun t ->
+      match Txn_id.parent t with
+      | None -> ()
+      | Some p ->
+          let l =
+            match Txn_id.Tbl.find_opt by_parent p with
+            | Some l -> l
+            | None -> []
+          in
+          Txn_id.Tbl.replace by_parent p (t :: l))
+    sorted;
+  let chains = Txn_id.Tbl.fold (fun _ l acc -> List.rev l :: acc) by_parent [] in
+  Sibling_order.of_chains chains
+
 let witness_order g =
   match Graph.topological_sort g with
   | None -> None
-  | Some sorted ->
-      (* Group the global sort by parent, preserving order; each group is
-         a chain for that parent. *)
-      let by_parent = Txn_id.Tbl.create 16 in
-      List.iter
-        (fun t ->
-          match Txn_id.parent t with
-          | None -> ()
-          | Some p ->
-              let l =
-                match Txn_id.Tbl.find_opt by_parent p with
-                | Some l -> l
-                | None -> []
-              in
-              Txn_id.Tbl.replace by_parent p (t :: l))
-        sorted;
-      let chains =
-        Txn_id.Tbl.fold (fun _ l acc -> List.rev l :: acc) by_parent []
-      in
-      Some (Sibling_order.of_chains chains)
+  | Some sorted -> Some (sibling_order_of_topo sorted)

@@ -139,6 +139,64 @@ let t_bundle_roundtrip () =
           check_bool "same failure tag on replay" true
             (Check.failure_tag f = Check.failure_tag m.Shrink.failure))
 
+(* Oracle equivalence: on generated scenarios — verified and broken
+   backends alike — the incremental batch checker, the online
+   incremental monitor, and the from-scratch DFS reference must return
+   the same SG-acyclicity verdict, and running the monitor twice over
+   the same trace must report identical alarm counts.  (Replication is
+   excluded: its physical schema differs from the scenario's logical
+   one.) *)
+let t_sg_oracle_equivalence () =
+  List.iter
+    (fun backend ->
+      let master = Rng.create 19 in
+      for _ = 1 to 5 do
+        let rng = Rng.split master in
+        let sc = Check.gen_scenario backend rng in
+        let o = Check.run_scenario backend sc in
+        if not o.Check.truncated then begin
+          let schema = Check.schema_of_scenario sc in
+          let a = Check.sg_agreement schema o.Check.trace in
+          check_bool
+            (Check.backend_name backend ^ " verdicts agree")
+            true (Check.sg_agrees a);
+          let a' = Check.sg_agreement schema o.Check.trace in
+          check_bool
+            (Check.backend_name backend ^ " alarm counts deterministic")
+            true (a = a')
+        end
+      done)
+    [
+      Check.Moss;
+      Check.Commlock;
+      Check.Undo;
+      Check.Mvts;
+      Check.No_control;
+      Check.Unsafe_read;
+      Check.No_undo;
+    ]
+
+(* On a scenario the cycle-prone broken subject fails, the three
+   detectors must also agree on the *cyclic* side: replay the first
+   sg-cycle failure's trace and require a unanimous rejection. *)
+let t_sg_oracle_equivalence_on_cycle () =
+  let r = Check.campaign Check.No_control ~seed:3 ~runs:100 ~stop_at_first:false in
+  let cyclic =
+    List.filter_map
+      (fun (_, sc, f) ->
+        match f with Check.Sg_cycle _ -> Some sc | _ -> None)
+      r.Check.failures
+  in
+  check_bool "campaign produced an sg-cycle failure" true (cyclic <> []);
+  List.iter
+    (fun sc ->
+      let o = Check.run_scenario Check.No_control sc in
+      let a = Check.sg_agreement (Check.schema_of_scenario sc) o.Check.trace in
+      check_bool "all three detectors reject" true
+        (Check.sg_agrees a && not a.Check.checker_acyclic);
+      check_bool "monitor alarmed with a cycle" true (a.Check.cycle_alarms > 0))
+    cyclic
+
 (* Campaign outcomes flow into the Nt_obs metrics registry. *)
 let t_campaign_metrics () =
   let obs = Obs.create () in
@@ -168,5 +226,9 @@ let suite =
       Alcotest.test_case "shrinking is deterministic" `Quick
         t_shrink_deterministic;
       Alcotest.test_case "bundle roundtrip" `Quick t_bundle_roundtrip;
+      Alcotest.test_case "sg oracle equivalence" `Quick
+        t_sg_oracle_equivalence;
+      Alcotest.test_case "sg oracle equivalence on a cycle" `Quick
+        t_sg_oracle_equivalence_on_cycle;
       Alcotest.test_case "campaign metrics" `Quick t_campaign_metrics;
     ] )

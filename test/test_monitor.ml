@@ -176,6 +176,108 @@ let t_counters () =
         (Monitor.alarmed m))
     [ (Moss_object.factory, "moss"); (Broken.no_control, "broken") ]
 
+(* [feed_batch] is verdict-equivalent to feeding one action at a
+   time: same final graph, same alarmed verdict, same cumulative
+   counters — on correct and broken runs alike, across batch sizes
+   (including a batch whose last action's edge closes the cycle). *)
+let t_feed_batch_equivalent () =
+  List.iter
+    (fun (factory, name) ->
+      List.iter
+        (fun batch_size ->
+          let forest, schema =
+            Gen.forest_and_schema Gen.registers ~seed:7
+              { Gen.default with n_top = 6; depth = 1; n_objects = 2;
+                read_ratio = 0.4 }
+          in
+          let r = run_protocol ~seed:7 schema factory forest in
+          let actions = Array.to_list r.Runtime.trace in
+          let m1 = Monitor.create schema in
+          let a1 = List.concat_map (Monitor.feed m1) actions in
+          let m2 = Monitor.create schema in
+          let rec chunks = function
+            | [] -> []
+            | l ->
+                let rec take k = function
+                  | x :: r when k > 0 ->
+                      let h, t = take (k - 1) r in
+                      (x :: h, t)
+                  | r -> ([], r)
+                in
+                let h, t = take batch_size l in
+                h :: chunks t
+          in
+          let a2 =
+            List.concat_map (Monitor.feed_batch m2) (chunks actions)
+          in
+          let tag = Printf.sprintf "%s/batch=%d" name batch_size in
+          let sorted_edges m =
+            List.sort compare
+              (List.map
+                 (fun (a, b) -> (Txn_id.to_string a, Txn_id.to_string b))
+                 (Graph.edges (Monitor.graph m)))
+          in
+          check_bool (tag ^ " same edges") true
+            (sorted_edges m1 = sorted_edges m2);
+          check_bool (tag ^ " same alarmed verdict") (Monitor.alarmed m1)
+            (Monitor.alarmed m2);
+          let cycle = function Monitor.Cycle _ -> true | _ -> false in
+          check_bool (tag ^ " same cycle verdict")
+            (List.exists cycle a1) (List.exists cycle a2);
+          let c1 = Monitor.counters m1 and c2 = Monitor.counters m2 in
+          check_int (tag ^ " same feeds") c1.Monitor.feeds c2.Monitor.feeds;
+          check_int (tag ^ " same edges count") c1.Monitor.edges
+            c2.Monitor.edges;
+          check_int (tag ^ " same inappropriate alarms")
+            c1.Monitor.inappropriate_alarms c2.Monitor.inappropriate_alarms)
+        [ 1; 3; 16; 1000 ])
+    [ (Moss_object.factory, "moss"); (Broken.no_control, "broken");
+      (Broken.unsafe_read, "unsafe-read") ]
+
+(* The witness order read off the maintained topological order is a
+   real Theorem-8 witness on alarm-free runs: defined, it orders the
+   endpoints of every SG edge (all edges relate siblings), and it is
+   suitable for T0. *)
+let t_witness_order () =
+  let forest, schema =
+    Gen.forest_and_schema Gen.registers ~seed:9
+      { Gen.default with n_top = 6; depth = 2; n_objects = 3 }
+  in
+  let r = run_protocol ~abort_prob:0.05 ~seed:9 schema Moss_object.factory forest in
+  let m = Monitor.create schema in
+  let alarms = Monitor.feed_trace m r.Runtime.trace in
+  check_bool "no alarms" true (alarms = []);
+  match Monitor.witness_order m with
+  | None -> Alcotest.fail "alarm-free monitor has no witness order"
+  | Some order ->
+      Graph.iter_edges (Monitor.graph m) (fun a b ->
+          check_bool "witness order respects every SG edge" true
+            (Sibling_order.mem order a b));
+      check_bool "witness order is suitable for T0" true
+        (Suitability.is_suitable
+           (Trace.serial r.Runtime.trace)
+           ~to_:Txn_id.root order)
+
+(* Once a cycle alarm fires, there is no witness order to read. *)
+let t_witness_order_gone_on_cycle () =
+  let forest, schema =
+    Gen.forest_and_schema Gen.registers ~seed:1
+      { Gen.default with n_top = 8; depth = 1; n_objects = 1; read_ratio = 0.3 }
+  in
+  let m =
+    find_seed "no cycle found" (fun seed ->
+        let r = run_protocol ~seed schema Broken.no_control forest in
+        let m = Monitor.create schema in
+        let cycles =
+          List.filter
+            (fun (_, a) -> match a with Monitor.Cycle _ -> true | _ -> false)
+            (Monitor.feed_trace m r.Runtime.trace)
+        in
+        if cycles = [] then None else Some m)
+  in
+  check_bool "no witness order after a cycle" true
+    (Monitor.witness_order m = None)
+
 let t_counters_fresh () =
   let _, schema = Gen.forest_and_schema Gen.registers ~seed:1 Gen.default in
   let c = Monitor.counters (Monitor.create schema) in
@@ -194,5 +296,11 @@ let suite =
       Alcotest.test_case "cycle witness is a cycle" `Quick
         t_cycle_witness_is_a_cycle;
       Alcotest.test_case "counters agree with activity" `Quick t_counters;
+      Alcotest.test_case "feed_batch is verdict-equivalent" `Quick
+        t_feed_batch_equivalent;
+      Alcotest.test_case "witness order from the maintained order" `Quick
+        t_witness_order;
+      Alcotest.test_case "witness order gone on cycle" `Quick
+        t_witness_order_gone_on_cycle;
       Alcotest.test_case "counters start at zero" `Quick t_counters_fresh;
     ] )
