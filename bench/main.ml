@@ -827,12 +827,103 @@ let e16 () =
   report t
 
 (* ------------------------------------------------------------------ *)
+(* E17: serving overhead — open-loop Engine vs closed-loop Runtime,    *)
+(* and the wire codec's round-trip cost.                               *)
+
+(* The same forest is executed three ways: the closed-loop
+   [Runtime.run] baseline, the open-loop [Engine] with the admission
+   gate off (isolating the stepper + always-on monitor), and the
+   Engine with the gate on (adding the commit-time speculation).
+   [wire_us] is one full client round trip through the codec —
+   encode a Submit, reassemble it through a Reader, decode it, then
+   the same for the State response — measured standalone. *)
+let e17 () =
+  let t =
+    Table.create ~title:"E17: serving overhead (engine and wire)"
+      ~columns:
+        [ "n_top"; "actions"; "run_ms"; "engine_ms"; "gated_ms"; "vetoes";
+          "wire_us" ]
+  in
+  let time f =
+    let t0 = Sys.time () in
+    let x = f () in
+    (x, (Sys.time () -. t0) *. 1000.0)
+  in
+  let wire_us =
+    let submit =
+      Wire.Submit
+        { program = "(seq (access r0 read) (access r1 (write 42)))" }
+    in
+    let state =
+      Wire.State (Txn_id.of_path [ 3 ], Wire.Committed "[(true, ok)]")
+    in
+    let n = 20_000 in
+    let _, ms =
+      time (fun () ->
+          for _ = 1 to n do
+            let r = Wire.Reader.create () in
+            Wire.Reader.feed r (Wire.encode_request submit);
+            (match Wire.Reader.next r with
+            | Ok (Some p) -> ignore (Wire.decode_request p)
+            | _ -> assert false);
+            Wire.Reader.feed r (Wire.encode_response state);
+            match Wire.Reader.next r with
+            | Ok (Some p) -> ignore (Wire.decode_response p)
+            | _ -> assert false
+          done)
+    in
+    ms *. 1000.0 /. fi n
+  in
+  List.iter
+    (fun n_top ->
+      let rng = Rng.create 11 in
+      let forest, objects =
+        Gen.registers rng { Gen.default with n_top; depth = 2; n_objects = 8 }
+      in
+      let schema = Program.schema_of ~objects forest in
+      let r, t_run =
+        time (fun () -> run ~seed:11 schema Moss_object.factory forest)
+      in
+      let open_loop ~admission () =
+        let eng =
+          Engine.create ~policy:Runtime.Bsp_rounds ~admission ~seed:11 objects
+            Moss_object.factory
+        in
+        List.iter
+          (fun p ->
+            (match Engine.submit eng p with
+            | Ok _ -> ()
+            | Error e -> failwith e);
+            ignore (Engine.step eng))
+          forest;
+        (match Engine.drain eng with
+        | `Quiescent -> ()
+        | _ -> failwith "engine did not quiesce");
+        ignore (Engine.finish eng);
+        eng
+      in
+      let _, t_engine = time (open_loop ~admission:false) in
+      let gated, t_gated = time (open_loop ~admission:true) in
+      Table.add_row t
+        [
+          Table.cell_i n_top;
+          Table.cell_i r.Runtime.stats.actions;
+          Table.cell_f t_run;
+          Table.cell_f t_engine;
+          Table.cell_f t_gated;
+          Table.cell_i (Engine.vetoed gated);
+          Table.cell_f wire_us;
+        ])
+    [ 8; 16; 32; 64 ];
+  report t
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e16", e16); ("obs", obs); ("micro", micro);
+    ("e16", e16); ("e17", e17); ("obs", obs); ("micro", micro);
   ]
 
 let () =

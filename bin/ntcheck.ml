@@ -281,7 +281,7 @@ let cmd =
       $ obs_out)
   in
   Cmd.v
-    (Cmd.info "ntcheck" ~version:"%%VERSION%%"
+    (Cmd.info "ntcheck" ~version:Version.string
        ~doc:
          "Property-based differential checking of nested-transaction \
           backends")

@@ -1,0 +1,449 @@
+(* ntload: a closed-loop load generator for ntserved.
+
+   Each simulated client connects, learns the servable objects from the
+   Welcome response, and then loops: generate a random program over
+   those objects, Submit it, poll Status until the transaction commits
+   or aborts, record the latency, repeat.  Fault injection:
+
+     --drop-rate P    disconnect (without waiting) right after a
+                      Submit with probability P — the server must
+                      orphan-abort the transaction and stay serializable;
+     --slow-clients N the first N clients dribble their frames a few
+                      bytes per tick, exercising partial-frame reads.
+
+   Exits nonzero if the server's Quiesced report carries monitor
+   alarms.
+
+   Example:
+     ntload --socket /tmp/nt.sock --clients 8 --requests 50 --drop-rate 0.1 *)
+
+open Core
+open Cmdliner
+
+(* ----- program generation from the advertised object table ----- *)
+
+let gen_program rng objects ~depth ~fanout =
+  let leaf () =
+    let x, dt = Rng.pick_list rng objects in
+    Program.access x (dt.Datatype.sample_ops rng)
+  in
+  let rec node d =
+    if d = 0 then leaf ()
+    else
+      let n = 1 + Rng.int rng fanout in
+      let comb = if Rng.bool rng then Program.Seq else Program.Par in
+      Program.Node
+        ( comb,
+          List.init n (fun _ -> if Rng.int rng 3 = 0 then leaf () else node (d - 1))
+        )
+  in
+  node depth
+
+(* ----- client state machines ----- *)
+
+type phase =
+  | Greeting  (* Hello sent, Welcome pending *)
+  | Idle  (* about to submit *)
+  | Submitting of float  (* Submit sent at this time *)
+  | Dropping  (* Submit sent; close as soon as it flushes *)
+  | Polling of Txn_id.t * float
+  | Done
+
+type client = {
+  id : int;
+  rng : Rng.t;
+  slow : bool;
+  mutable fd : Unix.file_descr option;
+  mutable reader : Wire.Reader.t;
+  mutable out : string;
+  mutable out_off : int;
+  mutable phase : phase;
+  mutable remaining : int;
+}
+
+type stats = {
+  mutable submitted : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable vetoed_seen : int;
+  mutable rejected : int;
+  mutable dropped : int;
+  mutable proto_errors : int;
+}
+
+let connect addr =
+  let domain =
+    match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () ->
+      Unix.set_nonblock fd;
+      fd
+  | exception e ->
+      (try Unix.close fd with _ -> ());
+      raise e
+
+let connect_retry addr =
+  let rec go n =
+    match connect addr with
+    | fd -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when n > 0 ->
+        Unix.sleepf 0.1;
+        go (n - 1)
+  in
+  go 50
+
+let send c req = c.out <- c.out ^ Wire.encode_request req
+
+let open_client addr c =
+  c.fd <- Some (connect_retry addr);
+  c.reader <- Wire.Reader.create ();
+  c.out <- "";
+  c.out_off <- 0;
+  c.phase <- Greeting;
+  send c (Wire.Hello { client = Printf.sprintf "ntload-%d" c.id })
+
+let close_client c =
+  (match c.fd with
+  | Some fd -> ( try Unix.close fd with _ -> ())
+  | None -> ());
+  c.fd <- None
+
+let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
+    ~slow_clients ~shutdown ~json =
+  let master = Rng.create seed in
+  let stats =
+    {
+      submitted = 0;
+      committed = 0;
+      aborted = 0;
+      vetoed_seen = 0;
+      rejected = 0;
+      dropped = 0;
+      proto_errors = 0;
+    }
+  in
+  let metrics = Metrics.create () in
+  let latency = Metrics.histogram metrics "ntload.latency_us" in
+  let objects = ref [] in
+  let cs =
+    List.init clients (fun id ->
+        {
+          id;
+          rng = Rng.split master;
+          slow = id < slow_clients;
+          fd = None;
+          reader = Wire.Reader.create ();
+          out = "";
+          out_off = 0;
+          phase = Done;
+          remaining = requests;
+        })
+  in
+  List.iter (open_client addr) cs;
+  let t_start = Unix.gettimeofday () in
+  let submit c =
+    if c.remaining <= 0 then begin
+      c.phase <- Done;
+      close_client c
+    end
+    else begin
+      let prog = gen_program c.rng !objects ~depth ~fanout in
+      let now = Unix.gettimeofday () in
+      send c (Wire.Submit { program = Program_io.program_to_string prog });
+      stats.submitted <- stats.submitted + 1;
+      c.remaining <- c.remaining - 1;
+      if drop_rate > 0.0 && Rng.float c.rng 1.0 < drop_rate then
+        c.phase <- Dropping
+      else c.phase <- Submitting now
+    end
+  in
+  let handle c (resp : Wire.response) =
+    match (c.phase, resp) with
+    | Greeting, Wire.Welcome w ->
+        if !objects = [] then
+          objects :=
+            List.map
+              (fun (name, decl) ->
+                match Program_io.parse_dtype_decl decl with
+                | Ok dt -> (Obj_id.make name, dt)
+                | Error e ->
+                    Format.eprintf "ntload: bad decl for %s: %s@." name e;
+                    exit 2)
+              w.objects;
+        c.phase <- Idle;
+        submit c
+    | Submitting t0, Wire.Accepted txn ->
+        c.phase <- Polling (txn, t0);
+        send c (Wire.Status txn)
+    | _, Wire.Rejected why ->
+        stats.rejected <- stats.rejected + 1;
+        Format.eprintf "ntload: submission rejected: %s@." why;
+        submit c
+    | Polling (txn, t0), Wire.State (txn', st) when Txn_id.equal txn txn' -> (
+        match st with
+        | Wire.Committed _ ->
+            stats.committed <- stats.committed + 1;
+            Metrics.observe latency
+              (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+            submit c
+        | Wire.Aborted veto ->
+            stats.aborted <- stats.aborted + 1;
+            if veto <> None then stats.vetoed_seen <- stats.vetoed_seen + 1;
+            Metrics.observe latency
+              (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+            submit c
+        | Wire.Pending | Wire.Running -> send c (Wire.Status txn))
+    | _, Wire.Error_msg why ->
+        stats.proto_errors <- stats.proto_errors + 1;
+        Format.eprintf "ntload: protocol error: %s@." why;
+        c.phase <- Done;
+        close_client c
+    | _, _ ->
+        stats.proto_errors <- stats.proto_errors + 1;
+        c.phase <- Done;
+        close_client c
+  in
+  let buf = Bytes.create 8192 in
+  let all_done () = List.for_all (fun c -> c.phase = Done) cs in
+  while not (all_done ()) do
+    let fds c = match c.fd with Some fd -> [ fd ] | None -> [] in
+    let rfds = List.concat_map fds cs in
+    let wfds =
+      List.concat_map
+        (fun c -> if String.length c.out > c.out_off then fds c else [])
+        cs
+    in
+    let r, w, _ =
+      try Unix.select rfds wfds [] 0.005
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun c ->
+        match c.fd with
+        | Some fd when List.mem fd w && String.length c.out > c.out_off -> (
+            let pending = String.length c.out - c.out_off in
+            let chunk = if c.slow then min pending 7 else pending in
+            match Unix.write_substring fd c.out c.out_off chunk with
+            | n ->
+                c.out_off <- c.out_off + n;
+                if c.out_off >= String.length c.out then begin
+                  c.out <- "";
+                  c.out_off <- 0;
+                  if c.phase = Dropping then begin
+                    (* mid-transaction disconnect: the server must
+                       orphan the submission we never awaited *)
+                    stats.dropped <- stats.dropped + 1;
+                    close_client c;
+                    if c.remaining <= 0 then c.phase <- Done
+                    else open_client addr c
+                  end
+                end
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                ()
+            | exception Unix.Unix_error _ ->
+                c.phase <- Done;
+                close_client c)
+        | _ -> ())
+      cs;
+    List.iter
+      (fun c ->
+        match c.fd with
+        | Some fd when List.mem fd r -> (
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 ->
+                if c.phase <> Done then begin
+                  stats.proto_errors <- stats.proto_errors + 1;
+                  c.phase <- Done
+                end;
+                close_client c
+            | n ->
+                Wire.Reader.feed c.reader (Bytes.sub_string buf 0 n);
+                let rec drain () =
+                  if c.phase <> Done then
+                    match Wire.Reader.next c.reader with
+                    | Ok None -> ()
+                    | Ok (Some payload) -> (
+                        match Wire.decode_response payload with
+                        | Ok resp ->
+                            handle c resp;
+                            drain ()
+                        | Error e ->
+                            Format.eprintf "ntload: bad frame: %s@." e;
+                            stats.proto_errors <- stats.proto_errors + 1;
+                            c.phase <- Done;
+                            close_client c)
+                    | Error e ->
+                        Format.eprintf "ntload: framing error: %s@." e;
+                        stats.proto_errors <- stats.proto_errors + 1;
+                        c.phase <- Done;
+                        close_client c
+                in
+                drain ()
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                ()
+            | exception Unix.Unix_error _ ->
+                c.phase <- Done;
+                close_client c)
+        | _ -> ())
+      cs
+  done;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  (* a fresh control connection: drain the server and fetch its tallies *)
+  let quiesced = ref None in
+  (let fd = connect_retry addr in
+   Unix.clear_nonblock fd;
+   let write_all s =
+     let n = String.length s in
+     let rec go off =
+       if off < n then go (off + Unix.write_substring fd s off (n - off))
+     in
+     go 0
+   in
+   write_all (Wire.encode_request (Wire.Hello { client = "ntload-control" }));
+   write_all (Wire.encode_request Wire.Quiesce);
+   let reader = Wire.Reader.create () in
+   let b = Bytes.create 8192 in
+   let stop = ref false in
+   while not !stop do
+     (match Wire.Reader.next reader with
+     | Ok (Some payload) -> (
+         match Wire.decode_response payload with
+         | Ok (Wire.Quiesced _ as q) ->
+             quiesced := Some q;
+             if shutdown then write_all (Wire.encode_request Wire.Shutdown)
+             else stop := true
+         | Ok Wire.Goodbye -> stop := true
+         | Ok _ -> ()
+         | Error e ->
+             Format.eprintf "ntload: control: %s@." e;
+             stop := true)
+     | Ok None -> (
+         match Unix.read fd b 0 (Bytes.length b) with
+         | 0 -> stop := true
+         | n -> Wire.Reader.feed reader (Bytes.sub_string b 0 n)
+         | exception Unix.Unix_error _ -> stop := true)
+     | Error e ->
+         Format.eprintf "ntload: control: %s@." e;
+         stop := true)
+   done;
+   try Unix.close fd with _ -> ());
+  let h = Metrics.histogram_stats latency in
+  let alarms, srv_committed, srv_aborted, srv_vetoed =
+    match !quiesced with
+    | Some (Wire.Quiesced q) -> (q.alarms, q.committed, q.aborted, q.vetoed)
+    | _ -> (-1, -1, -1, -1)
+  in
+  if json then
+    print_endline
+      (Obs_json.to_string
+         (Obs_json.Obj
+            [
+              ("clients", Obs_json.Int clients);
+              ("requests", Obs_json.Int requests);
+              ("submitted", Obs_json.Int stats.submitted);
+              ("committed", Obs_json.Int stats.committed);
+              ("aborted", Obs_json.Int stats.aborted);
+              ("vetoed_seen", Obs_json.Int stats.vetoed_seen);
+              ("rejected", Obs_json.Int stats.rejected);
+              ("dropped", Obs_json.Int stats.dropped);
+              ("proto_errors", Obs_json.Int stats.proto_errors);
+              ("elapsed_s", Obs_json.Float elapsed);
+              ( "throughput_per_s",
+                Obs_json.Float
+                  (float_of_int (stats.committed + stats.aborted) /. elapsed) );
+              ("latency_us_p50", Obs_json.Int h.Metrics.p50);
+              ("latency_us_p99", Obs_json.Int h.Metrics.p99);
+              ("latency_us_max", Obs_json.Int h.Metrics.max);
+              ("server_committed", Obs_json.Int srv_committed);
+              ("server_aborted", Obs_json.Int srv_aborted);
+              ("server_vetoed", Obs_json.Int srv_vetoed);
+              ("server_alarms", Obs_json.Int alarms);
+            ]))
+  else begin
+    Format.printf
+      "ntload: %d submitted, %d committed, %d aborted (%d vetoed), %d \
+       dropped, %d rejected in %.2fs (%.0f txn/s)@."
+      stats.submitted stats.committed stats.aborted stats.vetoed_seen
+      stats.dropped stats.rejected elapsed
+      (float_of_int (stats.committed + stats.aborted) /. elapsed);
+    Format.printf "ntload: latency p50 %dus  p99 %dus  max %dus (%d samples)@."
+      h.Metrics.p50 h.Metrics.p99 h.Metrics.max h.Metrics.count;
+    match !quiesced with
+    | Some (Wire.Quiesced q) ->
+        Format.printf
+          "server: %d committed, %d aborted, %d vetoed, %d alarms@."
+          q.committed q.aborted q.vetoed q.alarms
+    | _ -> Format.printf "server: no quiesced report@."
+  end;
+  if stats.proto_errors > 0 then exit 1;
+  if alarms > 0 then exit 1;
+  if alarms < 0 then exit 1
+
+let load_cmd socket port clients requests seed depth fanout drop_rate
+    slow_clients shutdown json =
+  let addr =
+    match (socket, port) with
+    | Some path, None -> Unix.ADDR_UNIX path
+    | None, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+    | _ ->
+        Format.eprintf "ntload: pass exactly one of --socket or --port@.";
+        exit 2
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
+    ~slow_clients ~shutdown ~json
+
+let cmd =
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH")
+  in
+  let port = Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT") in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Client count.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 25
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N") in
+  let depth =
+    Arg.(value & opt int 2 & info [ "depth" ] ~docv:"N" ~doc:"Program depth.")
+  in
+  let fanout =
+    Arg.(value & opt int 3 & info [ "fanout" ] ~docv:"N" ~doc:"Max fanout.")
+  in
+  let drop_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:"Probability of disconnecting right after a Submit.")
+  in
+  let slow_clients =
+    Arg.(
+      value & opt int 0
+      & info [ "slow-clients" ] ~docv:"N"
+          ~doc:"How many clients dribble their frames byte by byte.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Send Shutdown once the run completes.")
+  in
+  let json = Arg.(value & flag & info [ "json" ]) in
+  let term =
+    Term.(
+      const load_cmd $ socket $ port $ clients $ requests $ seed $ depth
+      $ fanout $ drop_rate $ slow_clients $ shutdown $ json)
+  in
+  Cmd.v
+    (Cmd.info "ntload" ~version:Version.string
+       ~doc:"Closed-loop load generator for ntserved, with fault injection.")
+    term
+
+let () = exit (Cmd.eval cmd)

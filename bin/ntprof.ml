@@ -98,7 +98,7 @@ let cmd =
   in
   let term = Term.(const run_cmd $ files $ top $ dot_path $ prom_path) in
   Cmd.v
-    (Cmd.info "ntprof" ~version:"1.0.0"
+    (Cmd.info "ntprof" ~version:Version.string
        ~doc:
          "Contention and conflict-attribution reports over nested-sg \
           telemetry traces.")

@@ -1,0 +1,495 @@
+(* ntserved: a nested-transaction server.
+
+   Clients speak the length-prefixed JSON protocol of [Core.Wire] over a
+   Unix-domain socket (--socket) or a loopback TCP port (--port):
+   programs arrive as text, run open-loop on the [Core.Engine] under the
+   chosen backend, and commits are gated by the online serialization-
+   graph admission controller (disable with --no-admission to watch the
+   monitor catch what the gate would have refused).
+
+   Examples:
+     ntserved --socket /tmp/nt.sock --backend undo
+     ntserved --port 7477 --backend moss --obs-format jsonl --obs-out t.jsonl
+     ntserved --socket /tmp/nt.sock --backend replication --objects 3
+
+   Single-threaded: one select loop interleaves accepts, reads, writes
+   and engine steps, so served executions are sequential interleavings —
+   exactly the generic-system behaviors the paper's theorems cover. *)
+
+open Core
+open Cmdliner
+
+(* ----- object tables ----- *)
+
+type table = T_rw | T_mixed
+
+let table_conv = Arg.enum [ ("rw", T_rw); ("mixed", T_mixed) ]
+
+let build_objects table n =
+  match table with
+  | T_rw ->
+      List.init n (fun i -> (Obj_id.indexed "r" i, Register.make ()))
+  | T_mixed ->
+      List.init n (fun i ->
+          let x = Obj_id.indexed "x" i in
+          match i mod 5 with
+          | 0 -> (x, Register.make ())
+          | 1 -> (x, Counter.make ())
+          | 2 -> (x, Bank_account.make ~init:10 ())
+          | 3 -> (x, Rset.make ())
+          | _ -> (x, Fifo_queue.make ()))
+
+(* ----- connections ----- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  reader : Wire.Reader.t;
+  mutable out : string;
+  mutable out_off : int;
+  mutable greeted : bool;
+  mutable live : Txn_id.t list;  (* this client's incomplete submissions *)
+  mutable wants_quiesce : bool;
+  mutable closing : bool;  (* close once the out buffer drains *)
+  mutable last_rx : float;
+}
+
+type server = {
+  eng : Engine.t;
+  backend : Check.backend;
+  objects : (Obj_id.t * Datatype.t) list;  (* logical (advertised) table *)
+  replicated : bool;
+  mutable logical_rev : Program.t list;  (* replication: forest so far *)
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  metrics : Metrics.t;
+  mutable draining : bool;  (* no new conns/submissions *)
+}
+
+let send conn resp = conn.out <- conn.out ^ Wire.encode_response resp
+
+let close_conn srv conn =
+  Hashtbl.remove srv.conns conn.fd;
+  List.iter (fun t -> ignore (Engine.kill srv.eng t)) conn.live;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+
+(* Replication serves logical registers: re-transform the grown logical
+   forest (version assignment is prefix-stable, so already-submitted
+   programs keep their physical form) and submit the new program's
+   physical image. *)
+let physical_of srv prog =
+  if not srv.replicated then Ok prog
+  else begin
+    srv.logical_rev <- prog :: srv.logical_rev;
+    let forest = List.rev srv.logical_rev in
+    match
+      Replication.replicate Check.replication_config
+        ~objects:(List.map fst srv.objects) forest
+    with
+    | plan -> (
+        match List.rev plan.Replication.physical_forest with
+        | p :: _ -> Ok p
+        | [] -> Error "empty physical forest")
+    | exception Invalid_argument e ->
+        srv.logical_rev <- List.tl srv.logical_rev;
+        Error e
+  end
+
+let wire_state srv t : Wire.txn_state =
+  match Engine.state srv.eng t with
+  | Engine.Unknown | Engine.Pending -> Wire.Pending
+  | Engine.Running -> Wire.Running
+  | Engine.Committed v -> Wire.Committed (Value.to_string v)
+  | Engine.Aborted None -> Wire.Aborted None
+  | Engine.Aborted (Some veto) ->
+      Wire.Aborted (Some veto.Admission.witness)
+
+(* A multiversion backend serializes by pseudotime; the completion-order
+   monitor then flags its reads as inappropriate even when correct, so
+   mvts is judged on cycle alarms alone. *)
+let actionable_alarms srv =
+  if srv.backend = Check.Mvts then Engine.cycle_alarms srv.eng
+  else Engine.alarms srv.eng
+
+let quiesced_response srv =
+  Wire.Quiesced
+    {
+      committed = Engine.committed_top srv.eng;
+      aborted = Engine.aborted_top srv.eng;
+      vetoed = Engine.vetoed srv.eng;
+      alarms = actionable_alarms srv;
+    }
+
+let handle_request srv conn (req : Wire.request) =
+  Metrics.incr (Metrics.counter srv.metrics "served.requests");
+  match req with
+  | Wire.Hello _ ->
+      conn.greeted <- true;
+      send conn
+        (Wire.Welcome
+           {
+             server = "ntserved";
+             version = Version.string;
+             backend = Check.backend_name srv.backend;
+             objects =
+               List.map
+                 (fun (x, dt) -> (Obj_id.name x, Program_io.dtype_decl dt))
+                 srv.objects;
+           })
+  | Wire.Submit _ when not conn.greeted ->
+      send conn (Wire.Rejected "say hello first")
+  | Wire.Submit _ when srv.draining ->
+      send conn (Wire.Rejected "server is draining")
+  | Wire.Submit { program } -> (
+      match Program_io.parse_program_text program with
+      | Error e -> send conn (Wire.Rejected e)
+      | Ok prog -> (
+          match Result.bind (physical_of srv prog) (Engine.submit srv.eng) with
+          | Error e -> send conn (Wire.Rejected e)
+          | Ok txn ->
+              conn.live <- txn :: conn.live;
+              Metrics.incr (Metrics.counter srv.metrics "served.submissions");
+              send conn (Wire.Accepted txn)))
+  | Wire.Status t ->
+      (match Engine.state srv.eng t with
+      | Engine.Committed _ | Engine.Aborted _ ->
+          conn.live <- List.filter (fun u -> not (Txn_id.equal u t)) conn.live
+      | _ -> ());
+      send conn (Wire.State (t, wire_state srv t))
+  | Wire.Metrics -> send conn (Wire.Metrics_dump (Metrics.to_json srv.metrics))
+  | Wire.Quiesce -> conn.wants_quiesce <- true
+  | Wire.Shutdown ->
+      srv.draining <- true;
+      send conn Wire.Goodbye;
+      conn.closing <- true
+
+let pump_frames srv conn =
+  let rec go () =
+    if not conn.closing then
+      match Wire.Reader.next conn.reader with
+      | Ok None -> ()
+      | Ok (Some payload) ->
+          (match Wire.decode_request payload with
+          | Ok req -> handle_request srv conn req
+          | Error e ->
+              send conn (Wire.Error_msg e);
+              conn.closing <- true);
+          go ()
+      | Error e ->
+          send conn (Wire.Error_msg e);
+          conn.closing <- true
+  in
+  go ()
+
+(* ----- the select loop ----- *)
+
+let terminate = ref false
+
+let run_server listen_fd srv ~read_timeout ~burst ~verbose =
+  let buf = Bytes.create 8192 in
+  let idle = ref false in
+  let continue = ref true in
+  while !continue do
+    if !terminate then srv.draining <- true;
+    let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) srv.conns [] in
+    let rfds =
+      (if srv.draining then [] else [ listen_fd ])
+      @ List.filter
+          (fun fd -> not (Hashtbl.find srv.conns fd).closing)
+          conn_fds
+    in
+    let wfds =
+      List.filter
+        (fun fd ->
+          let c = Hashtbl.find srv.conns fd in
+          String.length c.out > c.out_off)
+        conn_fds
+    in
+    let timeout = if !idle then 0.05 else 0.0 in
+    let r, w, _ =
+      try Unix.select rfds wfds [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    (* accepts *)
+    if List.mem listen_fd r then begin
+      match Unix.accept listen_fd with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          Hashtbl.replace srv.conns fd
+            {
+              fd;
+              reader = Wire.Reader.create ();
+              out = "";
+              out_off = 0;
+              greeted = false;
+              live = [];
+              wants_quiesce = false;
+              closing = false;
+              last_rx = Unix.gettimeofday ();
+            };
+          Metrics.incr (Metrics.counter srv.metrics "served.accepts")
+      | exception Unix.Unix_error _ -> ()
+    end;
+    (* reads *)
+    List.iter
+      (fun fd ->
+        if fd != listen_fd then
+          match Hashtbl.find_opt srv.conns fd with
+          | None -> ()
+          | Some conn -> (
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> close_conn srv conn
+              | n ->
+                  conn.last_rx <- Unix.gettimeofday ();
+                  Wire.Reader.feed conn.reader (Bytes.sub_string buf 0 n);
+                  pump_frames srv conn
+              | exception
+                  Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                  ()
+              | exception Unix.Unix_error _ -> close_conn srv conn))
+      r;
+    (* engine work *)
+    let status = Engine.drain ~burst srv.eng in
+    idle := status <> `Progress;
+    if status = `Truncated then begin
+      if verbose then Format.eprintf "ntserved: step budget exhausted@.";
+      srv.draining <- true
+    end;
+    (* quiesce waiters are answered only when truly idle *)
+    if status = `Quiescent then
+      Hashtbl.iter
+        (fun _ conn ->
+          if conn.wants_quiesce then begin
+            conn.wants_quiesce <- false;
+            send conn (quiesced_response srv)
+          end)
+        srv.conns;
+    (* writes *)
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt srv.conns fd with
+        | None -> ()
+        | Some conn -> (
+            let pending = String.length conn.out - conn.out_off in
+            if pending > 0 then
+              match Unix.write_substring fd conn.out conn.out_off pending with
+              | n ->
+                  conn.out_off <- conn.out_off + n;
+                  if conn.out_off >= String.length conn.out then begin
+                    conn.out <- "";
+                    conn.out_off <- 0;
+                    if conn.closing then close_conn srv conn
+                  end
+              | exception
+                  Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                  ()
+              | exception Unix.Unix_error _ -> close_conn srv conn))
+      w;
+    (* read timeouts *)
+    if read_timeout > 0.0 then begin
+      let now = Unix.gettimeofday () in
+      let stale =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if now -. c.last_rx > read_timeout && String.length c.out = c.out_off
+            then c :: acc
+            else acc)
+          srv.conns []
+      in
+      List.iter (fun c -> close_conn srv c) stale
+    end;
+    (* drain exit: idle engine, nothing buffered *)
+    if srv.draining && !idle then begin
+      let flushed =
+        Hashtbl.fold
+          (fun _ c acc -> acc && String.length c.out = c.out_off)
+          srv.conns true
+      in
+      if flushed then begin
+        Hashtbl.iter (fun _ c -> try Unix.close c.fd with _ -> ()) srv.conns;
+        Hashtbl.reset srv.conns;
+        continue := false
+      end
+    end
+  done
+
+(* ----- obs plumbing (mirrors ntsim) ----- *)
+
+type obs_format = Obs_jsonl | Obs_chrome
+
+let obs_format_conv =
+  Arg.enum [ ("jsonl", Obs_jsonl); ("chrome", Obs_chrome) ]
+
+let setup_obs metrics obs_format obs_out =
+  match (obs_format, obs_out) with
+  | _, None -> (Obs.create ~metrics (), fun () -> ())
+  | fmt, Some path ->
+      let sink =
+        match Option.value ~default:Obs_jsonl fmt with
+        | Obs_jsonl -> Obs_sink.jsonl_file path
+        | Obs_chrome -> Chrome_trace.sink_file path
+      in
+      let obs = Obs.create ~metrics ~sink () in
+      (obs, fun () -> Obs.close obs)
+
+(* ----- command line ----- *)
+
+let serve_cmd socket port backend_name table n_objects seed policy admission
+    max_steps burst read_timeout obs_format obs_out verbose =
+  let backend =
+    match Check.backend_of_name backend_name with
+    | Some b when List.mem b Check.correct_backends -> b
+    | Some _ ->
+        Format.eprintf "ntserved: broken backends are for ntcheck only@.";
+        exit 2
+    | None ->
+        Format.eprintf "ntserved: unknown backend %s@." backend_name;
+        exit 2
+  in
+  let table = if Check.rw_only backend then T_rw else table in
+  let objects = build_objects table n_objects in
+  let replicated = backend = Check.Replication in
+  let engine_objects =
+    if not replicated then objects
+    else begin
+      let plan =
+        Replication.replicate Check.replication_config
+          ~objects:(List.map fst objects) []
+      in
+      let schema = plan.Replication.physical_schema in
+      List.map (fun x -> (x, schema.Schema.dtype_of x)) schema.Schema.objects
+    end
+  in
+  let metrics = Metrics.create () in
+  let obs, finish_obs = setup_obs metrics obs_format obs_out in
+  let eng =
+    Engine.create ~policy ~max_steps ~obs ~admission ~seed engine_objects
+      (match Check.factory_of backend with f -> f)
+  in
+  let srv =
+    {
+      eng;
+      backend;
+      objects;
+      replicated;
+      logical_rev = [];
+      conns = Hashtbl.create 16;
+      metrics;
+      draining = false;
+    }
+  in
+  let listen_fd, cleanup =
+    match (socket, port) with
+    | Some path, None ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        (fd, fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())
+    | None, Some p ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+        Unix.listen fd 64;
+        (fd, fun () -> ())
+    | _ ->
+        Format.eprintf "ntserved: pass exactly one of --socket or --port@.";
+        exit 2
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let on_term = Sys.Signal_handle (fun _ -> terminate := true) in
+  Sys.set_signal Sys.sigterm on_term;
+  Sys.set_signal Sys.sigint on_term;
+  if verbose then
+    Format.printf "ntserved: %s backend, %d objects, admission %s@."
+      (Check.backend_name backend)
+      (List.length objects)
+      (if admission then "on" else "off");
+  run_server listen_fd srv ~read_timeout ~burst ~verbose;
+  Unix.close listen_fd;
+  cleanup ();
+  let r = Engine.finish eng in
+  finish_obs ();
+  Format.printf
+    "ntserved: served %d submissions: %d committed, %d aborted (%d vetoed, \
+     %d orphaned), %d monitor alarms@."
+    (Engine.submitted eng) r.Runtime.committed_top r.Runtime.aborted_top
+    (Engine.vetoed eng) (Engine.orphan_aborts eng) (actionable_alarms srv);
+  if actionable_alarms srv > 0 then exit 1
+
+let cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Listen on loopback TCP.")
+  in
+  let backend =
+    Arg.(
+      value & opt string "undo"
+      & info [ "backend" ] ~docv:"NAME"
+          ~doc:"Concurrency control: moss, commlock, undo, mvts, replication.")
+  in
+  let table =
+    Arg.(
+      value & opt table_conv T_mixed
+      & info [ "types" ] ~doc:"Object table flavor (rw or mixed).")
+  in
+  let n_objects =
+    Arg.(value & opt int 4 & info [ "objects" ] ~docv:"N" ~doc:"Object count.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N") in
+  let policy =
+    Arg.(
+      value
+      & opt (enum [ ("random", Runtime.Random_step); ("bsp", Runtime.Bsp_rounds) ])
+          Runtime.Random_step
+      & info [ "policy" ])
+  in
+  let admission =
+    Arg.(
+      value & flag
+      & info [ "no-admission" ]
+          ~doc:"Disable the commit gate (the monitor still runs).")
+    |> Term.app (Term.const not)
+  in
+  let max_steps =
+    Arg.(value & opt int 100_000_000 & info [ "max-steps" ] ~docv:"N")
+  in
+  let burst =
+    Arg.(
+      value & opt int 256
+      & info [ "burst" ] ~docv:"N"
+          ~doc:"Max engine steps per select-loop turn.")
+  in
+  let read_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "read-timeout" ] ~docv:"SECONDS"
+          ~doc:"Drop connections idle this long (0 disables).")
+  in
+  let obs_format =
+    Arg.(value & opt (some obs_format_conv) None & info [ "obs-format" ])
+  in
+  let obs_out =
+    Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"FILE")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ]) in
+  let term =
+    Term.(
+      const serve_cmd $ socket $ port $ backend $ table $ n_objects $ seed
+      $ policy $ admission $ max_steps $ burst $ read_timeout $ obs_format
+      $ obs_out $ verbose)
+  in
+  Cmd.v
+    (Cmd.info "ntserved" ~version:Version.string
+       ~doc:
+         "Serve nested transactions over a socket with online \
+          serialization-graph admission control.")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -136,12 +136,12 @@ let run_cmd workload protocol seed n_top depth fanout n_objects theta
   let forest, schema =
     match program_path with
     | Some path -> (
-        match Program_io.load path with
+        match Bundle.load_program path with
         | Ok fs ->
             Format.printf "workload loaded from %s@." path;
             fs
         | Error e ->
-            Format.eprintf "cannot load workload %s: %s@." path e;
+            Format.eprintf "cannot load workload: %s@." e;
             exit 2)
     | None ->
         build_workload workload ~seed ~n_top ~depth ~fanout ~n_objects ~theta
@@ -444,7 +444,7 @@ let cmd =
       $ report $ program_path $ obs_format $ obs_out)
   in
   Cmd.v
-    (Cmd.info "ntsim" ~version:"1.0.0"
+    (Cmd.info "ntsim" ~version:Version.string
        ~doc:
          "Simulate nested transaction systems and verify serial correctness \
           with the Fekete-Lynch-Weihl serialization-graph construction.")

@@ -77,7 +77,7 @@ let check_lemmas name schema (trace : Trace.t) =
 let usage () =
   prerr_endline
     "usage: ntstress [seeds-per-cell] [--seed N] [--obs-out FILE] \
-     [--obs-format jsonl|chrome|table] [--perf-budget SECONDS]";
+     [--obs-format jsonl|chrome|table] [--perf-budget SECONDS] [--version]";
   exit 2
 
 let () =
@@ -88,6 +88,9 @@ let () =
   and perf_budget = ref None in
   let rec parse = function
     | [] -> ()
+    | "--version" :: _ ->
+        print_endline Version.string;
+        exit 0
     | "--seed" :: s :: rest ->
         (match int_of_string_opt s with
         | Some n -> seed_only := Some n

@@ -131,6 +131,10 @@ let save ?failure path backend sc =
   output_string oc (to_string ?failure backend sc);
   close_out oc
 
+let at_path path = function
+  | Ok _ as ok -> ok
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
 let load path =
   match
     let ic = open_in path in
@@ -139,5 +143,7 @@ let load path =
     close_in ic;
     s
   with
-  | s -> of_string s
+  | s -> at_path path (of_string s)
   | exception Sys_error e -> Error e
+
+let load_program path = at_path path (Program_io.load path)

@@ -38,3 +38,11 @@ val save :
 (** [save path backend scenario] writes {!to_string} to [path]. *)
 
 val load : string -> (t, string) result
+(** Errors (including the body's line-numbered parse errors) are
+    prefixed with the path. *)
+
+val load_program :
+  string -> (Nt_serial.Program.t list * Nt_spec.Schema.t, string) result
+(** The shared workload-file loader behind [ntsim --program] and the
+    bundle body: {!Nt_workload.Program_io.load} with the path prefixed
+    onto its line-numbered errors. *)

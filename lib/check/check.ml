@@ -372,6 +372,134 @@ let run_scenario ?(obs = Obs.null) ?(max_steps = 200_000) backend sc =
           failure = judge backend schema r sc.forest;
         }
 
+(* ----- in-process serving harness ----- *)
+
+type serve_report = {
+  s_trace : Trace.t;
+  s_submitted : int;
+  s_committed : int;
+  s_aborted : int;
+  s_vetoed : int;
+  s_dropped : int;
+  s_orphans : int;
+  s_alarms : int;
+  s_cycle_alarms : int;
+  s_truncated : bool;
+  s_failure : failure option;
+}
+
+let serve ?(obs = Obs.null) ?(max_steps = 200_000) ?(drop_prob = 0.0)
+    ?(admission = true) ~seed backend sc =
+  let factory = factory_of backend in
+  let objects, progs, plan =
+    match backend with
+    | Replication ->
+        (* Replicate the whole logical forest up front (version numbers
+           are globally generation-ordered across the forest), then
+           serve the physical programs one at a time: submission order
+           preserves forest positions, so the plan's [logical_of] maps
+           the served trace back exactly. *)
+        let plan =
+          Nt_replication.Replication.replicate replication_config
+            ~objects:(List.map fst sc.objects) sc.forest
+        in
+        let schema = plan.Nt_replication.Replication.physical_schema in
+        let objects =
+          List.map
+            (fun x -> (x, schema.Schema.dtype_of x))
+            schema.Schema.objects
+        in
+        (objects, plan.Nt_replication.Replication.physical_forest, Some plan)
+    | _ -> (sc.objects, sc.forest, None)
+  in
+  let eng =
+    Nt_net.Engine.create ~policy:sc.policy ~inform_policy:sc.inform_policy
+      ~abort_prob:sc.abort_prob ~max_steps ~obs ~admission ~seed:sc.sched_seed
+      objects factory
+  in
+  let rng = Rng.create seed in
+  let pending = ref progs in
+  let drops = ref [] in
+  let dropped = ref 0 in
+  let last = ref `Progress in
+  let continue = ref true in
+  while !continue do
+    (match !pending with
+    | prog :: rest when !last = `Quiescent || Rng.int rng 3 = 0 ->
+        pending := rest;
+        (match Nt_net.Engine.submit eng prog with
+        | Ok txn ->
+            if drop_prob > 0.0 && Rng.float rng 1.0 < drop_prob then
+              drops := (txn, ref (1 + Rng.int rng 8)) :: !drops
+        | Error e ->
+            invalid_arg ("Check.serve: generated program rejected: " ^ e))
+    | _ -> ());
+    last := Nt_net.Engine.step eng;
+    drops :=
+      List.filter
+        (fun (txn, left) ->
+          decr left;
+          if !left <= 0 then begin
+            (match Nt_net.Engine.kill eng txn with
+            | `Aborted | `Doomed -> incr dropped
+            | `Already_complete | `Unknown -> ());
+            false
+          end
+          else true)
+        !drops;
+    match !last with
+    | `Truncated -> continue := false
+    | `Quiescent -> if !pending = [] then continue := false
+    | `Progress -> ()
+  done;
+  let r = Nt_net.Engine.finish eng in
+  let forest = Nt_net.Engine.forest eng in
+  let schema = Nt_net.Engine.schema eng in
+  let truncated = r.Runtime.stats.truncated in
+  let failure =
+    if truncated then None
+    else
+      let judged_as = match backend with Replication -> Undo | b -> b in
+      match judge judged_as schema r forest with
+      | Some f -> Some f
+      | None -> (
+          match plan with
+          | Some plan
+            when r.Runtime.stats.deadlock_aborts = 0
+                 && r.Runtime.stats.injected_aborts = 0
+                 && Nt_net.Engine.orphan_aborts eng = 0
+                 && Nt_net.Engine.vetoed eng = 0 -> (
+              (* As in [run_scenario]: the one-copy claim is only made
+                 for runs whose quorums completed, so drops and vetoes
+                 (which abort replica subtransactions mid-quorum) judge
+                 on serializability alone. *)
+              match
+                Nt_replication.Replication.check_one_copy plan r.Runtime.trace
+              with
+              | Ok () -> None
+              | Error v ->
+                  Some
+                    (One_copy
+                       (Format.asprintf "%a"
+                          Nt_replication.Replication.pp_violation v)))
+          | _ -> None)
+  in
+  {
+    s_trace = r.Runtime.trace;
+    s_submitted = Nt_net.Engine.submitted eng;
+    s_committed = r.Runtime.committed_top;
+    s_aborted = r.Runtime.aborted_top;
+    s_vetoed = Nt_net.Engine.vetoed eng;
+    s_dropped = !dropped;
+    s_orphans = Nt_net.Engine.orphan_aborts eng;
+    s_alarms = Nt_net.Engine.alarms eng;
+    s_cycle_alarms =
+      (Monitor.counters (Nt_net.Admission.monitor (Nt_net.Engine.admission eng)))
+        .Monitor.cycle_alarms;
+    s_truncated = truncated;
+    s_failure = failure;
+  }
+
 (* ----- SG oracle equivalence ----- *)
 
 type sg_agreement = {

@@ -58,6 +58,13 @@ val correct_backends : backend list
 val broken_backends : backend list
 (** The fault-injection subjects the checker must catch. *)
 
+val rw_only : backend -> bool
+(** Backends restricted to read/write (register) schemas. *)
+
+val factory_of : backend -> Nt_gobj.Gobj.factory
+(** The generic-object factory physically running the backend
+    ([Replication] runs under undo logging). *)
+
 (** {1 Scenarios} *)
 
 type scenario = {
@@ -123,6 +130,54 @@ val run_scenario :
 (** Execute and judge one scenario.  Fully deterministic: the same
     (backend, scenario) pair always yields the same outcome.
     [max_steps] defaults to 200_000. *)
+
+(** {1 Serving harness}
+
+    The oracles above, pointed at the open-loop serving engine
+    ({!Nt_net.Engine}) instead of the closed-loop runtime: the
+    scenario's forest arrives as a stream of submissions interleaved
+    with scheduling steps, a fraction of clients "disconnect"
+    mid-transaction (their transactions are orphan-killed, as
+    [ntserved] does on a dropped connection), and the admission
+    controller gates commits online.  The final trace is judged by the
+    same four oracles — served executions are still generic-system
+    behaviors, so everything proved about [run_scenario] outcomes
+    applies. *)
+
+type serve_report = {
+  s_trace : Trace.t;
+  s_submitted : int;
+  s_committed : int;  (** Top-level commits. *)
+  s_aborted : int;  (** Top-level aborts (all causes). *)
+  s_vetoed : int;  (** Admission vetoes. *)
+  s_dropped : int;  (** Simulated disconnects that orphaned a txn. *)
+  s_orphans : int;  (** Orphan aborts actually performed. *)
+  s_alarms : int;  (** Monitor alarms — [0] for correct backends. *)
+  s_cycle_alarms : int;
+      (** Cycle alarms specifically — [0] whenever admission gating is
+          on, for {e any} backend (the zero-false-negative claim). *)
+  s_truncated : bool;
+  s_failure : failure option;
+}
+
+val serve :
+  ?obs:Nt_obs.Obs.t ->
+  ?max_steps:int ->
+  ?drop_prob:float ->
+  ?admission:bool ->
+  seed:int ->
+  backend ->
+  scenario ->
+  serve_report
+(** Serve the scenario's forest through an {!Nt_net.Engine} under the
+    given backend.  [seed] drives the arrival interleaving and the
+    disconnect injection ([drop_prob], default [0.] — per-submission
+    probability of a mid-flight disconnect); the scenario's own
+    [sched_seed] drives the runtime exactly as in {!run_scenario}.
+    Deterministic: same arguments, same report.  [Replication]
+    scenarios are physically transformed up front and served as
+    physical programs (judged as [Undo], plus one-copy when no abort
+    interfered — mirroring {!run_scenario}). *)
 
 (** {1 SG oracle equivalence} *)
 

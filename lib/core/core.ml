@@ -19,7 +19,8 @@
        {!Table};}
     {- observability: {!Obs}, {!Metrics}, {!Obs_event}, {!Obs_sink},
        {!Chrome_trace}, {!Obs_json}, {!Profile};}
-    {- property-based checking: {!Check}, {!Shrink}, {!Bundle}.}} *)
+    {- property-based checking: {!Check}, {!Shrink}, {!Bundle};}
+    {- serving: {!Wire}, {!Admission}, {!Engine} (plus {!Version}).}} *)
 
 module Txn_id = Nt_base.Txn_id
 module Obj_id = Nt_base.Obj_id
@@ -89,3 +90,7 @@ module Profile = Nt_prof.Profile
 module Check = Nt_check.Check
 module Shrink = Nt_check.Shrink
 module Bundle = Nt_check.Bundle
+module Version = Nt_base.Version
+module Wire = Nt_net.Wire
+module Admission = Nt_net.Admission
+module Engine = Nt_net.Engine

@@ -55,6 +55,8 @@ type obs_cache = {
   c_abort_lock : Metrics.counter;
   c_abort_parent : Metrics.counter;
   c_abort_injected : Metrics.counter;
+  c_abort_admission : Metrics.counter;
+  c_abort_orphan : Metrics.counter;
   h_commit_rounds : Metrics.histogram;
   h_blocked_streak : Metrics.histogram;
   h_wait_ticks : Metrics.histogram;
@@ -74,6 +76,8 @@ let obs_cache o =
     c_abort_lock = Metrics.counter m "abort.cause.lock_conflict";
     c_abort_parent = Metrics.counter m "abort.cause.parent";
     c_abort_injected = Metrics.counter m "abort.cause.injected";
+    c_abort_admission = Metrics.counter m "abort.cause.admission";
+    c_abort_orphan = Metrics.counter m "abort.cause.orphan";
     h_commit_rounds = Metrics.histogram m "txn.commit.rounds";
     h_blocked_streak = Metrics.histogram m "runtime.blocked.streak";
     h_wait_ticks = Metrics.histogram m "txn.wait.ticks";
@@ -98,6 +102,18 @@ type sim = {
   obs_on : bool;  (* Obs.enabled obs.o, hoisted for the hot path *)
   obs_emit : bool;  (* Obs.emitting obs.o, likewise *)
   obs_base : int;  (* recorder clock at run start; ticks = base + n_actions *)
+  policy : policy;
+  inform_policy : inform_policy;
+  abort_prob : float;
+  max_steps : int;
+  on_action : Action.t -> unit;
+      (* invoked at every emit, in trace order — the open-loop engine
+         feeds the online monitor here so a commit gate consulted
+         mid-step sees a monitor that is exactly current *)
+  commit_gate : (Txn_id.t -> bool) option;
+      (* admission: a [C_commit t] fires only if the gate allows it;
+         a refusal aborts [t] instead (the permissive controller may
+         abort anything requested and incomplete) *)
   blocked_now : (int, unit Txn_id.Tbl.t) Hashtbl.t;
       (* accesses whose latest try_respond refused; maintained only on
          event-emitting runs (entries validated against status at use) *)
@@ -106,11 +122,17 @@ type sim = {
   mutable buf : Action.t list;  (* trace, newest first *)
   mutable n_actions : int;
   mutable round_no : int;
+  mutable steps : int;
+  mutable truncated : bool;
   mutable blocked_attempts : int;
   mutable deadlock_aborts : int;
   mutable deadlock_cycles : int;
   mutable injected_aborts : int;
+  mutable admission_aborts : int;
+  mutable orphan_aborts : int;
 }
+
+type t = sim
 
 (* The recorder runs the timestamp-passing protocol (span hooks carry
    tick [obs_base + n_actions], totals settled once at the end of the
@@ -118,7 +140,8 @@ type sim = {
    at all. *)
 let emit sim a =
   sim.buf <- a :: sim.buf;
-  sim.n_actions <- sim.n_actions + 1
+  sim.n_actions <- sim.n_actions + 1;
+  sim.on_action a
 
 let status sim t =
   match Txn_id.Tbl.find_opt sim.statuses t with
@@ -196,6 +219,8 @@ let record_abort_cause sim t cause =
     match cause with
     | `Deadlock -> Metrics.incr sim.obs.c_abort_lock
     | `Injected -> Metrics.incr sim.obs.c_abort_injected
+    | `Admission -> Metrics.incr sim.obs.c_abort_admission
+    | `Orphan -> Metrics.incr sim.obs.c_abort_orphan
 
 let do_abort sim ~cause t =
   let s = status sim t in
@@ -360,6 +385,20 @@ let fire sim c =
              end
            end);
           false)
+  | C_commit t
+    when (match sim.commit_gate with Some g -> not (g t) | None -> false) ->
+      (* Admission veto: performing this commit would close an SG
+         cycle.  The permissive controller may abort anything
+         requested and incomplete, so the veto is delivered as an
+         abort — the resulting behavior is still one the generic
+         system allows. *)
+      sim.admission_aborts <- sim.admission_aborts + 1;
+      if sim.obs_emit then
+        Obs.instant ~txn:t
+          ~ts:(sim.obs_base + sim.n_actions)
+          sim.obs.o "abort.admission";
+      do_abort sim ~cause:`Admission t;
+      true
   | C_commit t ->
       let s = status sim t in
       s.completed <- Committed;
@@ -495,9 +534,10 @@ let break_deadlock sim =
 
 let is_inform = function C_inform _ -> true | _ -> false
 
-let run ?(policy = Random_step) ?(inform_policy = Eager)
-    ?(abort_prob = 0.0) ?(top_comb = Program.Par) ?(max_steps = 1_000_000)
-    ?(obs = Obs.null) ~seed (schema : Schema.t) factory forest =
+let make ?(policy = Random_step) ?(inform_policy = Eager) ?(abort_prob = 0.0)
+    ?(top_comb = Program.Par) ?(max_steps = 1_000_000) ?(obs = Obs.null)
+    ?(on_action = fun _ -> ()) ?commit_gate ~seed (schema : Schema.t) factory
+    forest =
   let sim =
     {
       schema;
@@ -509,15 +549,25 @@ let run ?(policy = Random_step) ?(inform_policy = Eager)
       obs_on = Obs.enabled obs;
       obs_emit = Obs.emitting obs;
       obs_base = Obs.now obs;
+      policy;
+      inform_policy;
+      abort_prob;
+      max_steps;
+      on_action;
+      commit_gate;
       blocked_now = Hashtbl.create 16;
       informed = [];
       buf = [];
       n_actions = 0;
       round_no = 0;
+      steps = 0;
+      truncated = false;
       blocked_attempts = 0;
       deadlock_aborts = 0;
       deadlock_cycles = 0;
       injected_aborts = 0;
+      admission_aborts = 0;
+      orphan_aborts = 0;
     }
   in
   (* T0: an always-created interpreter that never commits. *)
@@ -525,61 +575,105 @@ let run ?(policy = Random_step) ?(inform_policy = Eager)
   (status sim Txn_id.root).created <- true;
   Txn_id.Tbl.replace sim.interps Txn_id.root
     (Txn_interp.make ~no_commit:true Txn_id.root top_comb forest);
-  let steps = ref 0 and truncated = ref false in
-  let continue = ref true in
-  while !continue do
-    if !steps >= max_steps then begin
-      truncated := true;
-      continue := false
-    end
+  sim
+
+let add_top sim prog =
+  let root = Txn_id.Tbl.find sim.interps Txn_id.root in
+  let i = Txn_interp.append_child root prog in
+  Txn_id.child Txn_id.root i
+
+(* One scheduling step: exactly one iteration of the closed-loop run's
+   main loop, so [run] (a [step] loop) consumes the RNG identically to
+   the pre-stepper implementation and seeded results are preserved.
+   [`Quiescent] means nothing is enabled {e now}; an open-loop caller
+   may {!add_top} more work and step again. *)
+let step sim =
+  if sim.steps >= sim.max_steps then begin
+    sim.truncated <- true;
+    `Truncated
+  end
+  else begin
+    maybe_inject sim sim.abort_prob;
+    let all = candidates sim in
+    (* Under lazy informs, completion information is delivered only
+       when nothing else in the system can move - the worst case for
+       protocols that block on visibility or lock inheritance. *)
+    let plain, informs =
+      match sim.inform_policy with
+      | Eager -> (all, [])
+      | Lazy -> List.partition (fun c -> not (is_inform c)) all
+    in
+    let plain = Array.of_list plain and informs = Array.of_list informs in
+    if Array.length plain = 0 && Array.length informs = 0 then `Quiescent
     else begin
-      maybe_inject sim abort_prob;
-      let all = candidates sim in
-      (* Under lazy informs, completion information is delivered only
-         when nothing else in the system can move - the worst case for
-         protocols that block on visibility or lock inheritance. *)
-      let plain, informs =
-        match inform_policy with
-        | Eager -> (all, [])
-        | Lazy -> List.partition (fun c -> not (is_inform c)) all
-      in
-      let plain = Array.of_list plain and informs = Array.of_list informs in
-      if Array.length plain = 0 && Array.length informs = 0 then
-        continue := false
-      else begin
-        sim.round_no <- sim.round_no + 1;
-        Rng.shuffle sim.rng plain;
-        Rng.shuffle sim.rng informs;
-        match policy with
-        | Random_step ->
-            (* Fire the first candidate that succeeds, informs last. *)
-            let fired =
-              Array.exists (fun c -> fire sim c) plain
-              || Array.exists (fun c -> fire sim c) informs
-            in
-            incr steps;
-            if not fired then if not (break_deadlock sim) then continue := false
-        | Bsp_rounds ->
-            let fired = ref false in
+      sim.round_no <- sim.round_no + 1;
+      Rng.shuffle sim.rng plain;
+      Rng.shuffle sim.rng informs;
+      match sim.policy with
+      | Random_step ->
+          (* Fire the first candidate that succeeds, informs last. *)
+          let fired =
+            Array.exists (fun c -> fire sim c) plain
+            || Array.exists (fun c -> fire sim c) informs
+          in
+          sim.steps <- sim.steps + 1;
+          if fired then `Progress
+          else if break_deadlock sim then `Progress
+          else `Quiescent
+      | Bsp_rounds ->
+          let fired = ref false in
+          Array.iter
+            (fun c ->
+              sim.steps <- sim.steps + 1;
+              if fire sim c then fired := true)
+            plain;
+          if not !fired then
             Array.iter
               (fun c ->
-                incr steps;
+                sim.steps <- sim.steps + 1;
                 if fire sim c then fired := true)
-              plain;
-            if not !fired then
-              Array.iter
-                (fun c ->
-                  incr steps;
-                  if fire sim c then fired := true)
-                informs;
-            if not !fired then
-              if not (break_deadlock sim) then continue := false
-      end
+              informs;
+          if !fired then `Progress
+          else if break_deadlock sim then `Progress
+          else `Quiescent
     end
-  done;
+  end
+
+let abort_txn sim ?(cause = `Orphan) t =
+  match Txn_id.Tbl.find_opt sim.statuses t with
+  | Some s when s.requested && s.completed = No ->
+      (match cause with
+      | `Orphan -> sim.orphan_aborts <- sim.orphan_aborts + 1
+      | `Injected -> sim.injected_aborts <- sim.injected_aborts + 1);
+      if sim.obs_emit then
+        Obs.instant ~txn:t
+          ~ts:(sim.obs_base + sim.n_actions)
+          sim.obs.o
+          (match cause with
+          | `Orphan -> "abort.orphan"
+          | `Injected -> "abort.injected");
+      do_abort sim ~cause:(match cause with `Orphan -> `Orphan | `Injected -> `Injected) t;
+      true
+  | Some _ | None -> false
+
+let top_state sim t =
+  match Txn_id.Tbl.find_opt sim.statuses t with
+  | None -> `Unknown
+  | Some s -> (
+      match s.completed with
+      | Committed -> `Committed (Option.get s.commit_value)
+      | Aborted -> `Aborted
+      | No -> `Running)
+
+let actions_so_far sim = sim.n_actions
+let steps_so_far sim = sim.steps
+let admission_aborts sim = sim.admission_aborts
+let orphan_aborts sim = sim.orphan_aborts
+
+let finish sim =
   (* Counters the simulator already tracks are settled in one batch
      here rather than incremented on the hot path. *)
-  if Obs.enabled obs then begin
+  if sim.obs_on then begin
     let oc = sim.obs in
     Obs.settle oc.o
       ~clock:(sim.obs_base + sim.n_actions)
@@ -609,8 +703,20 @@ let run ?(policy = Random_step) ?(inform_policy = Eager)
         deadlock_aborts = sim.deadlock_aborts;
         deadlock_cycles = sim.deadlock_cycles;
         injected_aborts = sim.injected_aborts;
-        truncated = !truncated;
+        truncated = sim.truncated;
       };
     committed_top = !committed_top;
     aborted_top = !aborted_top;
   }
+
+let run ?policy ?inform_policy ?abort_prob ?top_comb ?max_steps ?obs ~seed
+    (schema : Schema.t) factory forest =
+  let sim =
+    make ?policy ?inform_policy ?abort_prob ?top_comb ?max_steps ?obs ~seed
+      schema factory forest
+  in
+  let rec loop () =
+    match step sim with `Progress -> loop () | `Quiescent | `Truncated -> ()
+  in
+  loop ();
+  finish sim

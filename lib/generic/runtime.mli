@@ -59,6 +59,85 @@ type result = {
   aborted_top : int;  (** Top-level transactions that aborted. *)
 }
 
+(** {2 Open-loop stepping}
+
+    The closed-loop {!run} below is a [make]/[step]-to-quiescence/
+    [finish] loop; the pieces are exposed so a server can interleave
+    scheduling with arrivals: top-level programs submitted while the
+    automaton runs are attached as new children of [T0]
+    ({!Txn_interp.append_child}) and stepped under the same policies.
+    [`Quiescent] is not termination in that setting — it means nothing
+    is enabled {e until the next arrival}. *)
+
+type t
+(** A running simulation (mutable). *)
+
+val make :
+  ?policy:policy ->
+  ?inform_policy:inform_policy ->
+  ?abort_prob:float ->
+  ?top_comb:Program.comb ->
+  ?max_steps:int ->
+  ?obs:Obs.t ->
+  ?on_action:(Action.t -> unit) ->
+  ?commit_gate:(Txn_id.t -> bool) ->
+  seed:int ->
+  Schema.t ->
+  Nt_gobj.Gobj.factory ->
+  Program.t list ->
+  t
+(** Build a simulation over an initial (possibly empty) forest.
+    Parameters shared with {!run} mean the same thing.
+
+    [on_action] is invoked at every emitted action, in trace order and
+    synchronously within the step that emits it — so a [commit_gate]
+    consulted later in the same step observes state that is exactly
+    current (the open-loop engine feeds the online {!Nt_sg.Monitor}
+    here).
+
+    [commit_gate t] is consulted when the controller is about to
+    perform [COMMIT t]; returning [false] vetoes the commit and aborts
+    [t] instead (cause [abort.cause.admission]) — a move the fully
+    permissive controller allows, so gated executions are still
+    behaviors of the generic system. *)
+
+val add_top : t -> Program.t -> Txn_id.t
+(** Attach a new top-level program as the next child of [T0] and
+    return its name.  The transaction starts unrequested; the
+    controller requests and creates it in subsequent {!step}s. *)
+
+val step : t -> [ `Progress | `Quiescent | `Truncated ]
+(** One scheduling step (one candidate under [Random_step]; one sweep
+    under [Bsp_rounds]).  [`Progress]: an action fired (possibly a
+    deadlock-breaking abort).  [`Quiescent]: nothing enabled.
+    [`Truncated]: the step budget is exhausted. *)
+
+val abort_txn : t -> ?cause:[ `Orphan | `Injected ] -> Txn_id.t -> bool
+(** Abort a transaction from outside the scheduler, if the permissive
+    controller currently may (requested and incomplete): emits
+    [ABORT], records the cause (default [`Orphan] — the serving-time
+    "client vanished" cause) and queues the informs.  Returns [false]
+    if the transaction is unknown, not yet requested, or complete. *)
+
+val top_state :
+  t -> Txn_id.t -> [ `Unknown | `Running | `Committed of Value.t | `Aborted ]
+(** The fate of a transaction as far as the controller knows.
+    [`Unknown] also covers a child attached by {!add_top} whose
+    [REQUEST_CREATE] has not fired yet. *)
+
+val actions_so_far : t -> int
+val steps_so_far : t -> int
+
+val admission_aborts : t -> int
+(** Commits vetoed by the [commit_gate] so far. *)
+
+val orphan_aborts : t -> int
+(** {!abort_txn} aborts with cause [`Orphan] so far. *)
+
+val finish : t -> result
+(** Settle telemetry and package the trace and statistics.  Call once,
+    after the last {!step}. *)
+
 val run :
   ?policy:policy ->
   ?inform_policy:inform_policy ->

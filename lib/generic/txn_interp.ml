@@ -4,9 +4,10 @@ open Nt_serial
 type t = {
   txn : Txn_id.t;
   comb : Program.comb;
-  children : Program.t array;
-  summaries : Value.t option array;
-  requested : bool array;
+  mutable children : Program.t array;
+  mutable summaries : Value.t option array;
+  mutable requested : bool array;
+  mutable n_children : int;  (* live prefix of the (growable) arrays *)
   mutable awaiting : int;  (* requested but not yet reported *)
   mutable next : int;  (* lowest unrequested child index *)
   mutable commit_requested : bool;
@@ -24,6 +25,7 @@ let make ?(no_commit = false) txn comb children =
     children;
     summaries = Array.make n None;
     requested = Array.make n false;
+    n_children = n;
     awaiting = 0;
     next = 0;
     commit_requested = false;
@@ -32,10 +34,31 @@ let make ?(no_commit = false) txn comb children =
 
 let txn t = t.txn
 
+let append_child t prog =
+  if t.commit_requested then
+    invalid_arg "Txn_interp.append_child: commit already requested";
+  if t.n_children = Array.length t.children then begin
+    let cap = max 4 (2 * t.n_children) in
+    let grow a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 t.n_children;
+      b
+    in
+    t.children <- grow t.children prog;
+    t.summaries <- grow t.summaries None;
+    t.requested <- grow t.requested false
+  end;
+  let i = t.n_children in
+  t.children.(i) <- prog;
+  t.summaries.(i) <- None;
+  t.requested.(i) <- false;
+  t.n_children <- i + 1;
+  i
+
 let enabled_outputs t =
   if t.commit_requested then []
   else
-    let n = Array.length t.children in
+    let n = t.n_children in
     let child_requests =
       match t.comb with
       | Program.Seq ->
@@ -49,10 +72,8 @@ let enabled_outputs t =
     if child_requests <> [] then child_requests
     else if t.next >= n && t.awaiting = 0 && not t.no_commit then
       let summaries =
-        Array.to_list
-          (Array.map
-             (fun s -> match s with Some v -> v | None -> assert false)
-             t.summaries)
+        List.init t.n_children (fun i ->
+            match t.summaries.(i) with Some v -> v | None -> assert false)
       in
       [ Request_commit (Value.List summaries) ]
     else []

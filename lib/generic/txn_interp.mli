@@ -25,6 +25,15 @@ val make : ?no_commit:bool -> Txn_id.t -> Program.comb -> Program.t list -> t
 
 val txn : t -> Txn_id.t
 
+val append_child : t -> Program.t -> int
+(** Append one more child program, returning its index (= the last
+    component of the child's {!Nt_base.Txn_id.t}).  This is how open-loop
+    serving attaches a newly submitted top-level transaction to the
+    running [T0] interpreter: under [Par] the child is requested like
+    any other; under [Seq] it runs after the children before it.
+    Raises [Invalid_argument] once the interpreter has requested its
+    own commit (never the case for [no_commit] interpreters). *)
+
 val enabled_outputs : t -> output list
 (** The outputs currently enabled (zero or more child requests, or the
     commit request). *)

@@ -1,0 +1,59 @@
+open Nt_base
+open Nt_sg
+open Nt_obs
+
+type veto = { node : Txn_id.t; cycle : Txn_id.t list; witness : string }
+
+type t = {
+  monitor : Monitor.t;
+  obs : Obs.t;
+  gating : bool;
+  mutable admitted : int;
+  mutable vetoed : int;
+  vetoes : veto Txn_id.Tbl.t;  (* keyed by top-level ancestor *)
+}
+
+let create ?mode ?(obs = Obs.null) ?(gating = true) schema =
+  {
+    monitor = Monitor.create ?mode schema;
+    obs;
+    gating;
+    admitted = 0;
+    vetoed = 0;
+    vetoes = Txn_id.Tbl.create 64;
+  }
+
+let monitor t = t.monitor
+let gating t = t.gating
+let admitted t = t.admitted
+let vetoed t = t.vetoed
+
+let alarms t =
+  let c = Monitor.counters t.monitor in
+  c.Monitor.cycle_alarms + c.Monitor.inappropriate_alarms
+
+let cycle_alarms t = (Monitor.counters t.monitor).Monitor.cycle_alarms
+
+let on_action t a = ignore (Monitor.feed ~obs:t.obs t.monitor a)
+
+let top_of u =
+  match Txn_id.path u with
+  | [] -> u
+  | i :: _ -> Txn_id.child Txn_id.root i
+
+let gate t u =
+  if not t.gating then true
+  else
+    match Monitor.commit_would_cycle t.monitor u with
+    | None ->
+        t.admitted <- t.admitted + 1;
+        true
+    | Some (cycle, edges) ->
+        t.vetoed <- t.vetoed + 1;
+        let witness = Monitor.explain_cycle_with t.monitor edges cycle in
+        Txn_id.Tbl.replace t.vetoes (top_of u) { node = u; cycle; witness };
+        if Obs.enabled t.obs then
+          Metrics.incr (Metrics.counter (Obs.metrics t.obs) "admission.vetoed");
+        false
+
+let veto_of t u = Txn_id.Tbl.find_opt t.vetoes (top_of u)

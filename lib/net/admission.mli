@@ -1,0 +1,63 @@
+(** Online serialization-graph admission control.
+
+    Wraps the incremental {!Nt_sg.Monitor}: {!on_action} feeds it every
+    emitted action (wired through [Runtime.make ~on_action], so the
+    monitor is exactly current at every point of the step), and {!gate}
+    is the [Runtime] commit gate — it asks
+    {!Nt_sg.Monitor.commit_would_cycle} whether performing the commit
+    would close an SG cycle, and vetoes it if so, recording a witness
+    ({!Nt_sg.Monitor.explain_cycle_with}) keyed by the transaction's
+    top-level ancestor so the server can report {e why} a submission
+    aborted.
+
+    Soundness: in this construction only [Commit] actions can close a
+    cycle (see the Admission-speculation section of
+    {!Nt_sg.Monitor}), so gating every commit keeps the graph acyclic
+    with zero false negatives — a gated server never raises a [Cycle]
+    alarm.  With [gating:false] the monitor still runs (telemetry and
+    alarms), but nothing is vetoed. *)
+
+open Nt_base
+open Nt_spec
+open Nt_sg
+open Nt_obs
+
+type t
+
+type veto = {
+  node : Txn_id.t;  (** The transaction whose commit was vetoed. *)
+  cycle : Txn_id.t list;  (** The cycle it would have closed. *)
+  witness : string;  (** Edge-by-edge explanation. *)
+}
+
+val create : ?mode:Sg.conflict_mode -> ?obs:Obs.t -> ?gating:bool -> Schema.t -> t
+(** Fresh controller over a fresh monitor ([gating] defaults to
+    [true]; [obs] receives the monitor telemetry plus an
+    [admission.vetoed] counter). *)
+
+val on_action : t -> Action.t -> unit
+(** Feed one action to the monitor (alarms are absorbed into
+    {!alarms}; under gating none should ever fire). *)
+
+val gate : t -> Txn_id.t -> bool
+(** The commit gate: [false] vetoes. *)
+
+val veto_of : t -> Txn_id.t -> veto option
+(** The recorded veto under this transaction's top-level ancestor, if
+    its abort was an admission veto. *)
+
+val monitor : t -> Monitor.t
+val gating : t -> bool
+val admitted : t -> int
+(** Commits the gate let through. *)
+
+val vetoed : t -> int
+val alarms : t -> int
+(** Monitor alarms so far (cycle + inappropriate); always [0] under
+    gating unless the backend is broken in a non-cycle way. *)
+
+val cycle_alarms : t -> int
+(** Cycle alarms alone — [0] under gating for {e any} backend.
+    (A multiversion backend legitimately trips [Inappropriate]: its
+    reads serialize by pseudotime, not by the completion order the
+    monitor replays — so judge it on cycles only.) *)

@@ -1,0 +1,97 @@
+(** The open-loop serving engine.
+
+    Wraps the {!Nt_generic.Runtime} stepper for a server: top-level
+    programs {!submit}ted while the automaton runs are validated
+    against the object table, attached as new children of [T0] and
+    stepped under the usual policies; an {!Admission} controller is
+    fed every action and (by default) vetoes commits that would close
+    a serialization-graph cycle.
+
+    The engine owns a {e growable} top-level forest, so its schema is
+    a closure over the submission vector — names classify by the
+    program node they denote at lookup time, exactly as
+    {!Nt_serial.Program.schema_of} classifies a fixed forest.  The
+    engine applies no replication transform: callers serving
+    replicated objects submit physically transformed programs (see
+    [Nt_check.Check.serve]). *)
+
+open Nt_base
+open Nt_spec
+open Nt_serial
+open Nt_generic
+open Nt_obs
+open Nt_sg
+
+type t
+
+type state =
+  | Unknown  (** Never submitted here. *)
+  | Pending  (** Submitted; [REQUEST_CREATE] not yet fired. *)
+  | Running
+  | Committed of Value.t
+  | Aborted of Admission.veto option
+      (** With the veto record when admission was the cause. *)
+
+val create :
+  ?policy:Runtime.policy ->
+  ?inform_policy:Runtime.inform_policy ->
+  ?abort_prob:float ->
+  ?max_steps:int ->
+  ?obs:Obs.t ->
+  ?mode:Sg.conflict_mode ->
+  ?admission:bool ->
+  ?max_program:int ->
+  seed:int ->
+  (Obj_id.t * Datatype.t) list ->
+  Nt_gobj.Gobj.factory ->
+  t
+(** An engine over the given object table, starting with an empty
+    forest.  [admission] (default [true]) turns the commit gate on;
+    the monitor runs either way.  [max_program] (default 10000) bounds
+    accepted program sizes. *)
+
+val submit : t -> Program.t -> (Txn_id.t, string) result
+(** Validate (size, declared objects, offered operations) and attach.
+    [Ok t] names the new top-level transaction — nothing has run yet;
+    {!step} drives it. *)
+
+val step : t -> [ `Progress | `Quiescent | `Truncated ]
+(** One {!Nt_generic.Runtime.step}, then retire any doomed
+    transactions that became abortable.  [`Quiescent] means idle until
+    the next {!submit}. *)
+
+val drain : ?burst:int -> t -> [ `Progress | `Quiescent | `Truncated ]
+(** Step until quiescent/truncated, or until [burst] steps elapsed
+    ([`Progress] — still working). *)
+
+val kill :
+  t -> Txn_id.t -> [ `Aborted | `Doomed | `Already_complete | `Unknown ]
+(** Orphan a submission (its client vanished): abort it now if the
+    controller may, else mark it doomed — the sweep after each
+    subsequent {!step} aborts it at the first legal moment, so no
+    locks outlive the disconnect. *)
+
+val state : t -> Txn_id.t -> state
+
+val finish : t -> Runtime.result
+(** Settle telemetry and package the run.  Call once, when serving
+    stops; the trace judges against the offline oracles. *)
+
+val forest : t -> Program.t list
+(** All submissions so far, in [T0]-child order — with the trace from
+    {!finish}, exactly what the offline {!Nt_check} oracles need. *)
+
+val schema : t -> Schema.t
+val objects : t -> (Obj_id.t * Datatype.t) list
+val admission : t -> Admission.t
+val submitted : t -> int
+val committed_top : t -> int
+val aborted_top : t -> int
+val vetoed : t -> int
+val alarms : t -> int
+val cycle_alarms : t -> int
+val truncated : t -> bool
+val doomed_count : t -> int
+val actions_so_far : t -> int
+val steps_so_far : t -> int
+val orphan_aborts : t -> int

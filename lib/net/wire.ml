@@ -1,0 +1,251 @@
+open Nt_base
+open Nt_obs
+
+let protocol_version = 1
+let max_frame = 4 * 1024 * 1024
+let max_header = 20
+
+let frame payload = Printf.sprintf "%d\n%s" (String.length payload) payload
+
+module Reader = struct
+  type t = { mutable acc : string }
+
+  let create () = { acc = "" }
+  let feed t s = if s <> "" then t.acc <- t.acc ^ s
+  let buffered t = String.length t.acc
+
+  let digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+  let next t =
+    match String.index_opt t.acc '\n' with
+    | None ->
+        if String.length t.acc > max_header then
+          Error "frame header too long (no newline)"
+        else Ok None
+    | Some i -> (
+        let hdr = String.sub t.acc 0 i in
+        if not (digits hdr) then
+          Error (Printf.sprintf "bad frame header %S" hdr)
+        else
+          match int_of_string_opt hdr with
+          | None -> Error (Printf.sprintf "bad frame header %S" hdr)
+          | Some len when len > max_frame ->
+              Error (Printf.sprintf "frame of %d bytes exceeds max_frame" len)
+          | Some len ->
+              let start = i + 1 in
+              if String.length t.acc - start < len then Ok None
+              else begin
+                let payload = String.sub t.acc start len in
+                t.acc <-
+                  String.sub t.acc (start + len)
+                    (String.length t.acc - start - len);
+                Ok (Some payload)
+              end)
+end
+
+type request =
+  | Hello of { client : string }
+  | Submit of { program : string }
+  | Status of Txn_id.t
+  | Metrics
+  | Quiesce
+  | Shutdown
+
+type txn_state =
+  | Pending
+  | Running
+  | Committed of string
+  | Aborted of string option
+
+type response =
+  | Welcome of {
+      server : string;
+      version : string;
+      backend : string;
+      objects : (string * string) list;
+    }
+  | Accepted of Txn_id.t
+  | Rejected of string
+  | State of Txn_id.t * txn_state
+  | Metrics_dump of Json.t
+  | Quiesced of { committed : int; aborted : int; vetoed : int; alarms : int }
+  | Goodbye
+  | Error_msg of string
+
+(* --- encoding --- *)
+
+let obj fields = Json.Obj fields
+let str s = Json.Str s
+let int n = Json.Int n
+let txn t = str (Txn_id.to_string t)
+
+let request_to_json = function
+  | Hello { client } -> obj [ ("type", str "hello"); ("client", str client) ]
+  | Submit { program } ->
+      obj [ ("type", str "submit"); ("program", str program) ]
+  | Status t -> obj [ ("type", str "status"); ("txn", txn t) ]
+  | Metrics -> obj [ ("type", str "metrics") ]
+  | Quiesce -> obj [ ("type", str "quiesce") ]
+  | Shutdown -> obj [ ("type", str "shutdown") ]
+
+let state_fields = function
+  | Pending -> [ ("state", str "pending") ]
+  | Running -> [ ("state", str "running") ]
+  | Committed v -> [ ("state", str "committed"); ("value", str v) ]
+  | Aborted None -> [ ("state", str "aborted") ]
+  | Aborted (Some why) -> [ ("state", str "aborted"); ("veto", str why) ]
+
+let response_to_json = function
+  | Welcome { server; version; backend; objects } ->
+      obj
+        [
+          ("type", str "welcome");
+          ("server", str server);
+          ("version", str version);
+          ("protocol", int protocol_version);
+          ("backend", str backend);
+          ( "objects",
+            Json.Arr
+              (List.map
+                 (fun (name, decl) ->
+                   obj [ ("name", str name); ("decl", str decl) ])
+                 objects) );
+        ]
+  | Accepted t -> obj [ ("type", str "accepted"); ("txn", txn t) ]
+  | Rejected why -> obj [ ("type", str "rejected"); ("why", str why) ]
+  | State (t, st) -> obj (("type", str "state") :: ("txn", txn t) :: state_fields st)
+  | Metrics_dump j -> obj [ ("type", str "metrics"); ("metrics", j) ]
+  | Quiesced { committed; aborted; vetoed; alarms } ->
+      obj
+        [
+          ("type", str "quiesced");
+          ("committed", int committed);
+          ("aborted", int aborted);
+          ("vetoed", int vetoed);
+          ("alarms", int alarms);
+        ]
+  | Goodbye -> obj [ ("type", str "goodbye") ]
+  | Error_msg why -> obj [ ("type", str "error"); ("why", str why) ]
+
+(* --- decoding --- *)
+
+let ( let* ) r f = Result.bind r f
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let str_field name j =
+  let* v = field name j in
+  match Json.to_str_opt v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let int_field name j =
+  let* v = field name j in
+  match Json.to_int_opt v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let txn_field name j =
+  let* s = str_field name j in
+  match Txn_id.of_string s with
+  | Some t -> Ok t
+  | None -> Error (Printf.sprintf "field %S: bad transaction name %S" name s)
+
+let request_of_json j =
+  let* ty = str_field "type" j in
+  match ty with
+  | "hello" ->
+      let* client = str_field "client" j in
+      Ok (Hello { client })
+  | "submit" ->
+      let* program = str_field "program" j in
+      Ok (Submit { program })
+  | "status" ->
+      let* t = txn_field "txn" j in
+      Ok (Status t)
+  | "metrics" -> Ok Metrics
+  | "quiesce" -> Ok Quiesce
+  | "shutdown" -> Ok Shutdown
+  | other -> Error (Printf.sprintf "unknown request type %S" other)
+
+let state_of_json j =
+  let* st = str_field "state" j in
+  match st with
+  | "pending" -> Ok Pending
+  | "running" -> Ok Running
+  | "committed" ->
+      let* v = str_field "value" j in
+      Ok (Committed v)
+  | "aborted" -> (
+      match Json.member "veto" j with
+      | Some v -> (
+          match Json.to_str_opt v with
+          | Some why -> Ok (Aborted (Some why))
+          | None -> Error "field \"veto\": expected a string")
+      | None -> Ok (Aborted None))
+  | other -> Error (Printf.sprintf "unknown transaction state %S" other)
+
+let response_of_json j =
+  let* ty = str_field "type" j in
+  match ty with
+  | "welcome" ->
+      let* server = str_field "server" j in
+      let* version = str_field "version" j in
+      let* backend = str_field "backend" j in
+      let* objects =
+        match Json.member "objects" j with
+        | Some (Json.Arr items) ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                let* name = str_field "name" item in
+                let* decl = str_field "decl" item in
+                Ok ((name, decl) :: acc))
+              (Ok []) items
+            |> Result.map List.rev
+        | Some _ -> Error "field \"objects\": expected an array"
+        | None -> Error "missing field \"objects\""
+      in
+      Ok (Welcome { server; version; backend; objects })
+  | "accepted" ->
+      let* t = txn_field "txn" j in
+      Ok (Accepted t)
+  | "rejected" ->
+      let* why = str_field "why" j in
+      Ok (Rejected why)
+  | "state" ->
+      let* t = txn_field "txn" j in
+      let* st = state_of_json j in
+      Ok (State (t, st))
+  | "metrics" ->
+      let* m = field "metrics" j in
+      Ok (Metrics_dump m)
+  | "quiesced" ->
+      let* committed = int_field "committed" j in
+      let* aborted = int_field "aborted" j in
+      let* vetoed = int_field "vetoed" j in
+      let* alarms = int_field "alarms" j in
+      Ok (Quiesced { committed; aborted; vetoed; alarms })
+  | "goodbye" -> Ok Goodbye
+  | "error" ->
+      let* why = str_field "why" j in
+      Ok (Error_msg why)
+  | other -> Error (Printf.sprintf "unknown response type %S" other)
+
+let decode_with of_json payload =
+  let* j = Json.parse payload in
+  of_json j
+
+let encode_request r = frame (Json.to_string (request_to_json r))
+let decode_request payload = decode_with request_of_json payload
+let encode_response r = frame (Json.to_string (response_to_json r))
+let decode_response payload = decode_with response_of_json payload
+
+let pp_request ppf r =
+  Format.pp_print_string ppf (Json.to_string (request_to_json r))
+
+let pp_response ppf r =
+  Format.pp_print_string ppf (Json.to_string (response_to_json r))

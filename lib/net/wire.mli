@@ -1,0 +1,92 @@
+(** The [ntserved] wire protocol.
+
+    Frames are an ASCII decimal byte count, a newline, then that many
+    bytes of JSON payload ([{!frame}]).  Payloads are single JSON
+    objects tagged by a ["type"] field; programs travel as
+    {!Nt_workload.Program_io} text and values as their rendered
+    strings, so the protocol needs no schema negotiation beyond the
+    object declarations in {!constructor:Welcome}.
+
+    The codec is symmetric — both directions are exposed so the server,
+    the client ([ntload]) and the in-process harness
+    ([Nt_check.Check.serve]) share one definition. *)
+
+open Nt_base
+open Nt_obs
+
+val protocol_version : int
+
+val max_frame : int
+(** Upper bound on payload bytes; oversized frames are a protocol
+    error (the reader reports it rather than buffering without
+    bound). *)
+
+val frame : string -> string
+(** ["<len>\n<payload>"]. *)
+
+(** Incremental frame extraction for a [select] loop: {!Reader.feed}
+    whatever bytes arrived, then {!Reader.next} until it returns
+    [Ok None].  A reader that returned [Error] is poisoned — the
+    connection should be dropped. *)
+module Reader : sig
+  type t
+
+  val create : unit -> t
+  val feed : t -> string -> unit
+
+  val next : t -> (string option, string) result
+  (** [Ok (Some payload)] — one complete frame; [Ok None] — need more
+      bytes; [Error] — malformed or oversized header. *)
+
+  val buffered : t -> int
+  (** Bytes currently buffered (for backpressure accounting). *)
+end
+
+type request =
+  | Hello of { client : string }
+  | Submit of { program : string }  (** One {!Nt_serial.Program} as text. *)
+  | Status of Txn_id.t
+  | Metrics
+  | Quiesce  (** Drain: answer once nothing is enabled. *)
+  | Shutdown
+
+type txn_state =
+  | Pending  (** Accepted, [REQUEST_CREATE] not yet fired. *)
+  | Running
+  | Committed of string  (** The rendered commit value. *)
+  | Aborted of string option
+      (** With the admission veto witness, when that was the cause. *)
+
+type response =
+  | Welcome of {
+      server : string;
+      version : string;
+      backend : string;
+      objects : (string * string) list;
+          (** Name and {!Nt_workload.Program_io.dtype_decl} of every
+              servable object — enough for a client to generate
+              well-typed programs. *)
+    }
+  | Accepted of Txn_id.t  (** The name under which the program runs. *)
+  | Rejected of string  (** Parse/validation failure; nothing ran. *)
+  | State of Txn_id.t * txn_state
+  | Metrics_dump of Json.t  (** {!Nt_obs.Metrics.to_json} of the server. *)
+  | Quiesced of { committed : int; aborted : int; vetoed : int; alarms : int }
+  | Goodbye
+  | Error_msg of string  (** Protocol-level error; connection closes. *)
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+val response_to_json : response -> Json.t
+val response_of_json : Json.t -> (response, string) result
+
+val encode_request : request -> string
+(** Framed and ready to write. *)
+
+val decode_request : string -> (request, string) result
+(** From one {!Reader.next} payload. *)
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit

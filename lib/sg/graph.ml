@@ -316,6 +316,60 @@ let add_edge_checked g a b =
 
 let add_edge g a b = ignore (add_edge_checked g a b)
 
+(* Read-only joint cycle test over G u extra, for admission control:
+   would inserting all of [extra] at once close a cycle?  Nothing is
+   interned or recorded, so a veto leaves the graph untouched — the
+   speculating caller can simply not perform the commit.  Endpoints
+   unknown to the graph are fine (they have no recorded edges).  An
+   extra edge (a, b) closes a cycle iff a path b ~> a exists in the
+   joint graph; the witness follows the {!add_result} convention:
+   the path [b ... a], so consecutive elements (wrapping) are edges. *)
+let would_close_cycle g extra =
+  let extra = List.filter (fun (a, b) -> not (mem_edge g a b)) extra in
+  match List.find_opt (fun (a, b) -> Txn_id.equal a b) extra with
+  | Some (a, _) -> Some [ a ]
+  | None when extra = [] -> None
+  | None ->
+      let adj = Txn_id.Tbl.create 8 in
+      List.iter
+        (fun (a, b) ->
+          let cur = Option.value ~default:[] (Txn_id.Tbl.find_opt adj a) in
+          Txn_id.Tbl.replace adj a (b :: cur))
+        extra;
+      let succs t =
+        Option.value ~default:[] (Txn_id.Tbl.find_opt adj t) @ successors g t
+      in
+      let check (a, b) =
+        let parent = Txn_id.Tbl.create 16 in
+        Txn_id.Tbl.replace parent b b;
+        let stack = ref [ b ] in
+        let found = ref false in
+        while (not !found) && !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | u :: rest ->
+              stack := rest;
+              if Txn_id.equal u a then found := true
+              else
+                List.iter
+                  (fun v ->
+                    if not (Txn_id.Tbl.mem parent v) then begin
+                      Txn_id.Tbl.replace parent v u;
+                      stack := v :: !stack
+                    end)
+                  (succs u)
+        done;
+        if not !found then None
+        else begin
+          let rec walk acc u =
+            if Txn_id.equal u b then u :: acc
+            else walk (u :: acc) (Txn_id.Tbl.find parent u)
+          in
+          Some (walk [] a)
+        end
+      in
+      List.find_map check extra
+
 (* Iterative three-color DFS returning a cycle if one exists — the
    from-scratch reference the incremental detector is differentially
    tested against.  Roots are taken in {!Txn_id.compare} order so the

@@ -44,6 +44,18 @@ val add_edge_checked : t -> Txn_id.t -> Txn_id.t -> add_result
 val add_edge : t -> Txn_id.t -> Txn_id.t -> unit
 (** [ignore (add_edge_checked t a b)]. *)
 
+val would_close_cycle :
+  t -> (Txn_id.t * Txn_id.t) list -> Txn_id.t list option
+(** [would_close_cycle g extra] — would inserting all of [extra] at
+    once close a cycle?  A {e read-only} joint reachability test over
+    the union of [g] and [extra]: nothing is interned or recorded, so
+    a positive answer lets admission control veto the insertion with
+    the graph untouched.  Endpoints unknown to [g], duplicate edges
+    and edges already present are all fine.  The witness follows the
+    {!add_result} convention: for the closing edge [a -> b], the path
+    [b ... a] (consecutive elements, wrapping, are edges of the joint
+    graph). *)
+
 val mem_edge : t -> Txn_id.t -> Txn_id.t -> bool
 val nodes : t -> Txn_id.t list
 val edges : t -> (Txn_id.t * Txn_id.t) list

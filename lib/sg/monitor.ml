@@ -475,11 +475,13 @@ let visible_operations t x =
 let edge_provenance t a b = Hashtbl.find_opt t.edge_prov (a, b)
 let first_cycle t = t.first_cycle
 
-(* The consecutive (wrapping) edges of a cycle, with what inserted
-   each.  Every edge of a cycle reported by [feed] was inserted by
-   this monitor, so the provenance is only [None] for a list that is
-   not one of its cycles. *)
-let cycle_witness t cycle =
+(* The consecutive (wrapping) edges of a cycle, with what inserted (or
+   would insert) each.  [extra] supplies provenance for edges that are
+   only prospective (admission speculation); everything else resolves
+   against the recorded witnesses.  Every edge of a cycle reported by
+   [feed] was inserted by this monitor, so the provenance is only
+   [None] for a list that is not one of its cycles. *)
+let cycle_witness_with t extra cycle =
   match cycle with
   | [] -> []
   | _ ->
@@ -487,7 +489,18 @@ let cycle_witness t cycle =
       let n = Array.length arr in
       List.init n (fun i ->
           let a = arr.(i) and b = arr.((i + 1) mod n) in
-          (a, b, edge_provenance t a b))
+          let prov =
+            match
+              List.find_opt
+                (fun (a', b', _) -> Txn_id.equal a a' && Txn_id.equal b b')
+                extra
+            with
+            | Some (_, _, p) -> Some p
+            | None -> edge_provenance t a b
+          in
+          (a, b, prov))
+
+let cycle_witness t cycle = cycle_witness_with t [] cycle
 
 let pp_provenance fmt p =
   match p.kind with
@@ -505,7 +518,7 @@ let pp_provenance fmt p =
         (Txn_id.to_string p.after.who)
         p.after.at
 
-let explain_cycle t cycle =
+let explain_witness witness =
   let b = Buffer.create 256 in
   let fmt = Format.formatter_of_buffer b in
   List.iter
@@ -516,9 +529,111 @@ let explain_cycle t cycle =
           | Some p -> pp_provenance fmt p
           | None -> Format.pp_print_string fmt "unknown edge")
         prov)
-    (cycle_witness t cycle);
+    witness;
   Format.pp_print_flush fmt ();
   Buffer.contents b
+
+let explain_cycle t cycle = explain_witness (cycle_witness t cycle)
+
+let explain_cycle_with t extra cycle =
+  explain_witness (cycle_witness_with t extra cycle)
+
+(* --- Admission speculation --------------------------------------------- *)
+
+type prospective = (Txn_id.t * Txn_id.t * provenance) list
+
+(* The edges [feed (Commit w)] would insert, computed without mutating
+   anything: simulate the wakeups of {!process_commit} — dependents of
+   [w] whose pending count would reach zero become visible and their
+   queued items run — but collect the edges instead of inserting them.
+   Operations "activated" earlier in the simulated batch are visible
+   to later ones, exactly as in the real path, via the local [newly]
+   set.  All other feed actions are edge-free or target fresh nodes
+   (a [Request_commit] of an uncommitted access is always deferred as
+   an item; a [Request_create] precedes-edge points at a brand-new
+   node with no outgoing edges), so only commits can close a cycle and
+   gating them on this edge set is a complete admission test. *)
+let prospective_commit_edges t w =
+  let dependents =
+    match Txn_id.Tbl.find_opt t.waiters w with Some l -> l | None -> []
+  in
+  let woken =
+    List.filter
+      (fun u ->
+        match Txn_id.Tbl.find_opt t.vis u with
+        | Some (Pending n) -> n <= 1
+        | _ -> false)
+      dependents
+  in
+  let newly : (Obj_id.t * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let candidate a b prov =
+    if
+      (not (Txn_id.equal a b))
+      && (not (Graph.mem_edge t.g a b))
+      && not (Hashtbl.mem seen (a, b))
+    then begin
+      Hashtbl.add seen (a, b) ();
+      out := (a, b, prov) :: !out
+    end
+  in
+  let simulate_op x seq =
+    let ost = Obj_id.Tbl.find t.objects x in
+    let record = List.find (fun r -> r.seq = seq) ost.ops in
+    List.iter
+      (fun other ->
+        if
+          other.seq <> seq
+          && (other.op_visible || Hashtbl.mem newly (x, other.seq))
+          && (not (Txn_id.related record.access other.access))
+          && ops_conflict t
+               (record.access, record.value)
+               (other.access, other.value)
+        then begin
+          let earlier, later =
+            if other.seq < seq then (other, record) else (record, other)
+          in
+          let l = Txn_id.lca earlier.access later.access in
+          let a = Txn_id.child_of_on_path ~ancestor:l earlier.access in
+          let b = Txn_id.child_of_on_path ~ancestor:l later.access in
+          let prov =
+            {
+              kind = Conflict;
+              before = { who = earlier.access; at = earlier.at; where = Some x };
+              after = { who = later.access; at = later.at; where = Some x };
+            }
+          in
+          candidate a b prov
+        end)
+      ost.ops;
+    Hashtbl.replace newly (x, seq) ()
+  in
+  List.iter
+    (fun u ->
+      let items =
+        match Txn_id.Tbl.find_opt t.items u with Some l -> l | None -> []
+      in
+      List.iter
+        (function
+          | Activate_op (x, seq) -> simulate_op x seq
+          | Activate_edge (a, b, prov) -> candidate a b prov
+          | Activate_node _ -> ())
+        (List.rev items))
+    woken;
+  List.rev !out
+
+let commit_would_cycle t w =
+  if t.batch <> None then
+    invalid_arg "Monitor.commit_would_cycle: mid-batch speculation";
+  match prospective_commit_edges t w with
+  | [] -> None
+  | edges -> (
+      match
+        Graph.would_close_cycle t.g (List.map (fun (a, b, _) -> (a, b)) edges)
+      with
+      | None -> None
+      | Some path -> Some (path, edges))
 
 (* A compact per-edge label for DOT: the witnessing actions with their
    feed indices (and the conflicting object). *)

@@ -135,6 +135,39 @@ val explain_cycle : t -> Txn_id.t list -> string
 
 val pp_provenance : Format.formatter -> provenance -> unit
 
+(** {2 Admission speculation}
+
+    For serving-time admission control (see [Nt_net.Admission]): decide
+    {e before} performing a commit whether feeding it would close an SG
+    cycle, without mutating the monitor.  The key structural fact (see
+    DESIGN.md) is that in this construction only [Commit] actions can
+    close a cycle — an access response of an uncommitted transaction is
+    always deferred as a visibility item, and a [Request_create]
+    precedes-edge targets a brand-new node with no outgoing edges — so
+    vetoing exactly the cycle-closing commits keeps the graph acyclic
+    with zero false negatives. *)
+
+type prospective = (Txn_id.t * Txn_id.t * provenance) list
+(** Edges a speculated action would insert, with the provenance each
+    would be recorded under. *)
+
+val commit_would_cycle :
+  t -> Txn_id.t -> (Txn_id.t list * prospective) option
+(** [commit_would_cycle t w] — would [feed t (Commit w)] close an SG
+    cycle?  Read-only: simulates the visibility wakeups the commit
+    triggers, collects the edges they would insert and runs a joint
+    reachability test ({!Graph.would_close_cycle}) over the current
+    graph plus those edges.  [Some (cycle, edges)] gives the witness
+    cycle (same convention as {!constructor:Cycle}) and the full
+    prospective edge set for explanation.  Raises [Invalid_argument]
+    mid-{!feed_batch} (the queued batch edges are not in the graph
+    yet, so speculation would be unsound). *)
+
+val explain_cycle_with : t -> prospective -> Txn_id.t list -> string
+(** {!explain_cycle}, but resolving edges of the cycle against the
+    prospective set first — for explaining a {!commit_would_cycle}
+    verdict, whose closing edges were never inserted. *)
+
 val dot : t -> string
 (** The current graph rendered via {!Dot.of_graph}, each edge labelled
     with its witnessing actions and the first cycle (if any)

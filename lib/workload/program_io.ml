@@ -6,25 +6,32 @@ open Nt_serial
 
 type sexp = Atom of string | Str of string | List of sexp list
 
+(* Tokens carry the 1-based line they start on, so every parse failure
+   can point at a place in the file instead of raising bare. *)
 let tokenize text =
   let n = String.length text in
   let tokens = ref [] in
   let error = ref None in
   let i = ref 0 in
+  let line = ref 1 in
   while !i < n && !error = None do
     (match text.[!i] with
-    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '\n' ->
+        incr line;
+        incr i
+    | ' ' | '\t' | '\r' -> incr i
     | ';' ->
         while !i < n && text.[!i] <> '\n' do
           incr i
         done
     | '(' ->
-        tokens := `L :: !tokens;
+        tokens := (!line, `L) :: !tokens;
         incr i
     | ')' ->
-        tokens := `R :: !tokens;
+        tokens := (!line, `R) :: !tokens;
         incr i
     | '"' ->
+        let start = !line in
         let buf = Buffer.create 8 in
         incr i;
         let closed = ref false in
@@ -32,13 +39,17 @@ let tokenize text =
           (match text.[!i] with
           | '"' -> closed := true
           | '\\' when !i + 1 < n ->
+              if text.[!i + 1] = '\n' then incr line;
               Buffer.add_char buf text.[!i + 1];
               incr i
+          | '\n' ->
+              incr line;
+              Buffer.add_char buf '\n'
           | c -> Buffer.add_char buf c);
           incr i
         done;
-        if !closed then tokens := `S (Buffer.contents buf) :: !tokens
-        else error := Some "unterminated string"
+        if !closed then tokens := (start, `S (Buffer.contents buf)) :: !tokens
+        else error := Some (Printf.sprintf "line %d: unterminated string" start)
     | _ ->
         let j = ref !i in
         while
@@ -47,24 +58,26 @@ let tokenize text =
         do
           incr j
         done;
-        tokens := `A (String.sub text !i (!j - !i)) :: !tokens;
+        tokens := (!line, `A (String.sub text !i (!j - !i))) :: !tokens;
         i := !j);
     ()
   done;
   match !error with Some e -> Error e | None -> Ok (List.rev !tokens)
 
+(* Parses annotated tokens into sexps; each returned top-level form is
+   paired with the line it starts on so semantic errors can cite it. *)
 let parse_sexps tokens =
   let rec parse_one tokens =
     match tokens with
     | [] -> Error "unexpected end of input"
-    | `A a :: rest -> Ok (Atom a, rest)
-    | `S s :: rest -> Ok (Str s, rest)
-    | `R :: _ -> Error "unexpected )"
-    | `L :: rest ->
+    | (_, `A a) :: rest -> Ok (Atom a, rest)
+    | (_, `S s) :: rest -> Ok (Str s, rest)
+    | (l, `R) :: _ -> Error (Printf.sprintf "line %d: unexpected )" l)
+    | (l, `L) :: rest ->
         let rec items acc rest =
           match rest with
-          | `R :: rest -> Ok (List (List.rev acc), rest)
-          | [] -> Error "unterminated ("
+          | (_, `R) :: rest -> Ok (List (List.rev acc), rest)
+          | [] -> Error (Printf.sprintf "line %d: unterminated (" l)
           | _ -> (
               match parse_one rest with
               | Ok (s, rest) -> items (s :: acc) rest
@@ -75,9 +88,9 @@ let parse_sexps tokens =
   let rec all acc tokens =
     match tokens with
     | [] -> Ok (List.rev acc)
-    | _ -> (
+    | (l, _) :: _ -> (
         match parse_one tokens with
-        | Ok (s, rest) -> all (s :: acc) rest
+        | Ok (s, rest) -> all ((l, s) :: acc) rest
         | Error e -> Error e)
   in
   all [] tokens
@@ -198,6 +211,30 @@ let rec parse_program sexp =
       go [] children)
   | _ -> Error "expected (access ...), (seq ...) or (par ...)"
 
+let at line = function
+  | Ok _ as ok -> ok
+  | Error e -> Error (Printf.sprintf "line %d: %s" line e)
+
+let single_form text =
+  match tokenize text with
+  | Error e -> Error e
+  | Ok tokens -> (
+      match parse_sexps tokens with
+      | Error e -> Error e
+      | Ok [ (l, form) ] -> Ok (l, form)
+      | Ok [] -> Error "empty input"
+      | Ok ((l, _) :: _) -> Error (Printf.sprintf "line %d: expected one form" l))
+
+let parse_program_text text =
+  match single_form text with
+  | Error e -> Error e
+  | Ok (l, form) -> at l (parse_program form)
+
+let parse_dtype_decl text =
+  match single_form text with
+  | Error e -> Error e
+  | Ok (l, form) -> at l (parse_dtype form)
+
 let parse text =
   match tokenize text with
   | Error e -> Error e
@@ -207,7 +244,7 @@ let parse text =
       | Ok forms ->
           let objects = ref [] and txns = ref [] and err = ref None in
           List.iter
-            (fun form ->
+            (fun (line, form) ->
               if !err = None then
                 match form with
                 | List (Atom "objects" :: decls) ->
@@ -216,17 +253,25 @@ let parse text =
                         if !err = None then
                           match d with
                           | List [ Atom x; dt ] | List [ Str x; dt ] -> (
-                              match parse_dtype dt with
+                              match at line (parse_dtype dt) with
                               | Ok dt ->
                                   objects := (Obj_id.make x, dt) :: !objects
                               | Error e -> err := Some e)
-                          | _ -> err := Some "bad object declaration")
+                          | _ ->
+                              err :=
+                                Some
+                                  (Printf.sprintf
+                                     "line %d: bad object declaration" line))
                       decls
                 | List [ Atom "txn"; p ] -> (
-                    match parse_program p with
+                    match at line (parse_program p) with
                     | Ok p -> txns := p :: !txns
                     | Error e -> err := Some e)
-                | _ -> err := Some "expected (objects ...) or (txn ...)")
+                | _ ->
+                    err :=
+                      Some
+                        (Printf.sprintf
+                           "line %d: expected (objects ...) or (txn ...)" line))
             forms;
           (match !err with
           | Some e -> Error e

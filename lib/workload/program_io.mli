@@ -31,10 +31,26 @@ open Nt_serial
 
 val parse : string -> (Program.t list * Schema.t, string) result
 (** Parse a whole workload file (objects + forest) and build the
-    schema.  Errors carry a human-readable reason. *)
+    schema.  Errors carry a human-readable reason prefixed with the
+    1-based line of the offending form ("line 3: ..."). *)
 
 val load : string -> (Program.t list * Schema.t, string) result
 (** {!parse} a file by path. *)
+
+val parse_program_text : string -> (Program.t, string) result
+(** Parse exactly one program form — [(access ...)], [(seq ...)] or
+    [(par ...)] — from [text].  Used by the wire protocol, where a
+    [Submit] body is a single program and the objects are the server's.
+    Errors carry line numbers like {!parse}. *)
+
+val parse_dtype_decl : string -> (Datatype.t, string) result
+(** Parse exactly one data-type declaration (the {!dtype_decl} syntax,
+    e.g. ["(counter 3)"]).  Round-trips with {!dtype_decl}; network
+    clients use it to decode the server's advertised schema. *)
+
+val program_to_string : Program.t -> string
+(** Render one program in the same syntax {!parse_program_text}
+    accepts. *)
 
 val to_string : objects:(Nt_base.Obj_id.t * string) list -> Program.t list -> string
 (** Render a forest back to the textual format; [objects] pairs each
