@@ -852,10 +852,18 @@ let e17 () =
   let wire_us =
     let submit =
       Wire.Submit
-        { program = "(seq (access r0 read) (access r1 (write 42)))" }
+        {
+          program = "(seq (access r0 read) (access r1 (write 42)))";
+          req = Some "bench-1";
+        }
     in
     let state =
-      Wire.State (Txn_id.of_path [ 3 ], Wire.Committed "[(true, ok)]")
+      Wire.State
+        {
+          txn = Txn_id.of_path [ 3 ];
+          state = Wire.Committed "[(true, ok)]";
+          req = Some "bench-1";
+        }
     in
     let n = 20_000 in
     let _, ms =
@@ -918,12 +926,205 @@ let e17 () =
   report t
 
 (* ------------------------------------------------------------------ *)
+(* E18: telemetry overhead and window fidelity.                        *)
+
+(* The e17 open-loop engine run in three serving configurations:
+   [bare_ms] with no recorder at all (e17's own engine columns),
+   [plain_ms] with the metrics-only recorder ntserved has always run
+   (the PR-5 serving baseline), and [telem_ms] with the full telemetry
+   stack live on top of that — the completion hook observing
+   latencies, the hub ranking hot objects off [runtime.refused.*]
+   counter deltas (no event stream), and a Telemetry frame cut +
+   encoded every 8 submissions (a busy subscriber).  [overhead_pct] is
+   telem against plain — what this PR adds to a serving engine — and
+   the acceptance bar is 3% at the largest size.  The per-8-submission
+   cadence is ~1000x harsher than the 1s production interval, so at
+   the small sizes (sub-2ms runs) the fixed ~50us cost of a frame cut
+   dominates the percentage; the absolute cost is the same.  Window fidelity: the p99 of the
+   latency histogram merged back out of the cut frames must land
+   within one power-of-two bucket of the p99 of the cumulative
+   histogram fed by the same hook ([bucket_dist] — this is what
+   [ntload --subscribe] checks over a real socket). *)
+let e18 () =
+  let t =
+    Table.create ~title:"E18: telemetry overhead and window fidelity"
+      ~columns:
+        [ "n_top"; "bare_ms"; "plain_ms"; "telem_ms"; "overhead_pct";
+          "frames"; "frame_bytes"; "p99_cum_us"; "p99_win_us";
+          "bucket_dist" ]
+  in
+  (* Interleaved best-of-N: a single Sys.time sample of a ~20ms run
+     swings by 10-20% with scheduler and frequency noise, and timing
+     the configurations in separate blocks lets that drift masquerade
+     as overhead.  Alternating samples and keeping each side's best
+     bounds every run by the same quiet-machine floor.  Each thunk
+     reports its own elapsed ms, so per-run setup (registry and hub
+     construction on the telemetry side) stays untimed. *)
+  let time3 f g h =
+    let best = Array.make 3 infinity in
+    let sample i k =
+      let dt = k () in
+      if dt < best.(i) then best.(i) <- dt
+    in
+    for _ = 1 to 7 do
+      sample 0 f;
+      sample 1 g;
+      sample 2 h
+    done;
+    (best.(0), best.(1), best.(2))
+  in
+  let timed f =
+    let t0 = Sys.time () in
+    f ();
+    (Sys.time () -. t0) *. 1000.0
+  in
+  let bucket_index_of v =
+    let rec go i =
+      if i >= 63 || Metrics.bucket_upper i >= v then i else go (i + 1)
+    in
+    go 0
+  in
+  List.iter
+    (fun n_top ->
+      let rng = Rng.create 11 in
+      let forest, objects =
+        Gen.registers rng { Gen.default with n_top; depth = 2; n_objects = 8 }
+      in
+      let drive eng =
+        List.iter
+          (fun p ->
+            (match Engine.submit eng p with
+            | Ok _ -> ()
+            | Error e -> failwith e);
+            ignore (Engine.step eng))
+          forest;
+        (match Engine.drain eng with
+        | `Quiescent -> ()
+        | _ -> failwith "engine did not quiesce");
+        ignore (Engine.finish eng)
+      in
+      let frames = ref [] and frame_bytes = ref 0 in
+      let last_metrics = ref (Metrics.create ()) in
+      let t_bare, t_plain, t_telem =
+        time3
+          (fun () ->
+            let eng =
+              Engine.create ~policy:Runtime.Bsp_rounds ~admission:true
+                ~seed:11 objects Moss_object.factory
+            in
+            timed (fun () -> drive eng))
+          (fun () ->
+            let eng =
+              Engine.create ~policy:Runtime.Bsp_rounds ~admission:true
+                ~obs:(Obs.create ~metrics:(Metrics.create ()) ())
+                ~seed:11 objects Moss_object.factory
+            in
+            timed (fun () -> drive eng))
+          (fun () ->
+            let metrics = Metrics.create () in
+            last_metrics := metrics;
+            let hub = Telemetry.Hub.create ~interval_s:1.0 metrics in
+            frames := [];
+            frame_bytes := 0;
+            let obs = Obs.create ~metrics () in
+            let submit_at = Hashtbl.create 256 in
+            let eng =
+              Engine.create ~policy:Runtime.Bsp_rounds ~admission:true ~obs
+                ~on_top_complete:(fun u _ ->
+                  match Hashtbl.find_opt submit_at (Txn_id.to_string u) with
+                  | None -> ()
+                  | Some t0 ->
+                      Telemetry.Hub.observe_latency hub
+                        (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)))
+                ~seed:11 objects Moss_object.factory
+            in
+            let cut () =
+              let f =
+                Telemetry.Hub.cut hub ~eng ~alarms:(Engine.alarms eng)
+                  ~conns:1 ~subscribers:1 ~now:0.0
+              in
+              frames := f :: !frames;
+              frame_bytes :=
+                !frame_bytes
+                + String.length (Wire.encode_response (Wire.Telemetry f))
+            in
+            timed (fun () ->
+                List.iteri
+                  (fun i p ->
+                    (match Engine.submit eng p with
+                    | Ok txn ->
+                        Hashtbl.replace submit_at (Txn_id.to_string txn)
+                          (Unix.gettimeofday ())
+                    | Error e -> failwith e);
+                    ignore (Engine.step eng);
+                    if (i + 1) mod 8 = 0 then cut ())
+                  forest;
+                (match Engine.drain eng with
+                | `Quiescent -> ()
+                | _ -> failwith "engine did not quiesce");
+                cut ();
+                ignore (Engine.finish eng)))
+      in
+      (* merge the windowed histograms back out of the frames *)
+      let buckets = Array.make 64 0 in
+      let count = ref 0 and maxv = ref 0 in
+      List.iter
+        (fun (f : Wire.telemetry) ->
+          let h = f.Wire.w_latency in
+          count := !count + h.Wire.h_count;
+          if h.Wire.h_max > !maxv then maxv := h.Wire.h_max;
+          List.iter
+            (fun (i, n) -> buckets.(i) <- buckets.(i) + n)
+            h.Wire.h_buckets)
+        !frames;
+      let p99_win =
+        if !count = 0 then 0
+        else begin
+          let rank =
+            Stdlib.max 1 (int_of_float (ceil (0.99 *. fi !count)))
+          in
+          let acc = ref 0 and res = ref !maxv in
+          (try
+             Array.iteri
+               (fun i n ->
+                 acc := !acc + n;
+                 if n > 0 && !acc >= rank then begin
+                   res := Metrics.bucket_upper i;
+                   raise Exit
+                 end)
+               buckets
+           with Exit -> ());
+          Stdlib.min !res !maxv
+        end
+      in
+      let cum =
+        Metrics.histogram_stats
+          (Metrics.histogram !last_metrics "served.latency_us")
+      in
+      Table.add_row t
+        [
+          Table.cell_i n_top;
+          Table.cell_f t_bare;
+          Table.cell_f t_plain;
+          Table.cell_f t_telem;
+          Table.cell_f ((t_telem -. t_plain) /. t_plain *. 100.0);
+          Table.cell_i (List.length !frames);
+          Table.cell_i !frame_bytes;
+          Table.cell_i cum.Metrics.p99;
+          Table.cell_i p99_win;
+          Table.cell_i
+            (abs (bucket_index_of p99_win - bucket_index_of cum.Metrics.p99));
+        ])
+    [ 8; 16; 32; 64 ];
+  report t
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e16", e16); ("e17", e17); ("obs", obs); ("micro", micro);
+    ("e16", e16); ("e17", e17); ("e18", e18); ("obs", obs); ("micro", micro);
   ]
 
 let () =

@@ -11,8 +11,14 @@
      --slow-clients N the first N clients dribble their frames a few
                       bytes per tick, exercising partial-frame reads.
 
+   Every Submit carries a client request id ("c<client>-<n>") and the
+   echoes are verified, so a captured exchange is attributable end to
+   end.  --subscribe opens a telemetry side channel and cross-checks
+   the server's windowed latency p99 against the client-side histogram
+   (reported as a power-of-two bucket distance).
+
    Exits nonzero if the server's Quiesced report carries monitor
-   alarms.
+   alarms, or if any echoed request id mismatches.
 
    Example:
      ntload --socket /tmp/nt.sock --clients 8 --requests 50 --drop-rate 0.1 *)
@@ -44,9 +50,9 @@ let gen_program rng objects ~depth ~fanout =
 type phase =
   | Greeting  (* Hello sent, Welcome pending *)
   | Idle  (* about to submit *)
-  | Submitting of float  (* Submit sent at this time *)
+  | Submitting of float * string  (* Submit sent at this time, with req id *)
   | Dropping  (* Submit sent; close as soon as it flushes *)
-  | Polling of Txn_id.t * float
+  | Polling of Txn_id.t * float * string
   | Done
 
 type client = {
@@ -59,6 +65,7 @@ type client = {
   mutable out_off : int;
   mutable phase : phase;
   mutable remaining : int;
+  mutable reqno : int;  (* request-id sequence: "c<id>-<reqno>" *)
 }
 
 type stats = {
@@ -69,7 +76,74 @@ type stats = {
   mutable rejected : int;
   mutable dropped : int;
   mutable proto_errors : int;
+  mutable req_mismatches : int;  (* echoed request id <> the one sent *)
 }
+
+(* ----- the telemetry side channel (--subscribe) ----- *)
+
+type sub = {
+  s_fd : Unix.file_descr;
+  s_reader : Wire.Reader.t;
+  mutable s_out : string;
+  mutable s_out_off : int;
+  mutable s_frames : Wire.telemetry list;  (* newest first *)
+  mutable s_alive : bool;
+}
+
+let sub_last_seq s =
+  match s.s_frames with [] -> 0 | f :: _ -> f.Wire.seq
+
+(* Merge the windowed latency histograms of the pushed (cut) frames.
+   The first frame a subscriber receives is the immediate peek of the
+   open interval; its counts reappear in the next cut, so skip it. *)
+let sub_merged_latency s =
+  let frames = List.rev s.s_frames in
+  let cuts = match frames with _ :: rest -> rest | [] -> [] in
+  let buckets = Array.make 64 0 in
+  let count = ref 0 and sum = ref 0 in
+  let minv = ref max_int and maxv = ref 0 in
+  List.iter
+    (fun (f : Wire.telemetry) ->
+      let h = f.Wire.w_latency in
+      if h.Wire.h_count > 0 then begin
+        count := !count + h.Wire.h_count;
+        sum := !sum + h.Wire.h_sum;
+        if h.Wire.h_min < !minv then minv := h.Wire.h_min;
+        if h.Wire.h_max > !maxv then maxv := h.Wire.h_max;
+        List.iter
+          (fun (i, n) ->
+            if i >= 0 && i < 64 then buckets.(i) <- buckets.(i) + n)
+          h.Wire.h_buckets
+      end)
+    cuts;
+  (buckets, !count, !sum, (if !count = 0 then 0 else !minv), !maxv)
+
+(* Same convention as Metrics.histogram_stats: the value at quantile q
+   is the upper bound of the bucket holding the rank-q observation,
+   clamped to the exact maximum. *)
+let quantile_of_buckets buckets count maxv q =
+  if count = 0 then 0
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (ceil (q *. float_of_int count)))
+    in
+    let acc = ref 0 and res = ref maxv in
+    (try
+       Array.iteri
+         (fun i n ->
+           acc := !acc + n;
+           if n > 0 && !acc >= rank then begin
+             res := Metrics.bucket_upper i;
+             raise Exit
+           end)
+         buckets
+     with Exit -> ());
+    Stdlib.min !res maxv
+  end
+
+let bucket_index_of v =
+  let rec go i = if i >= 63 || Metrics.bucket_upper i >= v then i else go (i + 1) in
+  go 0
 
 let connect addr =
   let domain =
@@ -112,7 +186,7 @@ let close_client c =
   c.fd <- None
 
 let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
-    ~slow_clients ~shutdown ~json =
+    ~slow_clients ~shutdown ~subscribe ~json =
   let master = Rng.create seed in
   let stats =
     {
@@ -123,6 +197,7 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
       rejected = 0;
       dropped = 0;
       proto_errors = 0;
+      req_mismatches = 0;
     }
   in
   let metrics = Metrics.create () in
@@ -140,9 +215,32 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
           out_off = 0;
           phase = Done;
           remaining = requests;
+          reqno = 0;
         })
   in
   List.iter (open_client addr) cs;
+  (* the telemetry side channel: a read-mostly observer alongside the
+     load connections, so server windows can be cross-checked against
+     the client-side histogram *)
+  let sub =
+    if not subscribe then None
+    else begin
+      let fd = connect_retry addr in
+      let s =
+        {
+          s_fd = fd;
+          s_reader = Wire.Reader.create ();
+          s_out =
+            Wire.encode_request (Wire.Hello { client = "ntload-sub" })
+            ^ Wire.encode_request Wire.Subscribe;
+          s_out_off = 0;
+          s_frames = [];
+          s_alive = true;
+        }
+      in
+      Some s
+    end
+  in
   let t_start = Unix.gettimeofday () in
   let submit c =
     if c.remaining <= 0 then begin
@@ -152,13 +250,20 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
     else begin
       let prog = gen_program c.rng !objects ~depth ~fanout in
       let now = Unix.gettimeofday () in
-      send c (Wire.Submit { program = Program_io.program_to_string prog });
+      let rid = Printf.sprintf "c%d-%d" c.id c.reqno in
+      c.reqno <- c.reqno + 1;
+      send c
+        (Wire.Submit
+           { program = Program_io.program_to_string prog; req = Some rid });
       stats.submitted <- stats.submitted + 1;
       c.remaining <- c.remaining - 1;
       if drop_rate > 0.0 && Rng.float c.rng 1.0 < drop_rate then
         c.phase <- Dropping
-      else c.phase <- Submitting now
+      else c.phase <- Submitting (now, rid)
     end
+  in
+  let check_echo rid req =
+    if req <> Some rid then stats.req_mismatches <- stats.req_mismatches + 1
   in
   let handle c (resp : Wire.response) =
     match (c.phase, resp) with
@@ -175,21 +280,25 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
               w.objects;
         c.phase <- Idle;
         submit c
-    | Submitting t0, Wire.Accepted txn ->
-        c.phase <- Polling (txn, t0);
+    | Submitting (t0, rid), Wire.Accepted { txn; req } ->
+        check_echo rid req;
+        c.phase <- Polling (txn, t0, rid);
         send c (Wire.Status txn)
-    | _, Wire.Rejected why ->
+    | _, Wire.Rejected { why; req = _ } ->
         stats.rejected <- stats.rejected + 1;
         Format.eprintf "ntload: submission rejected: %s@." why;
         submit c
-    | Polling (txn, t0), Wire.State (txn', st) when Txn_id.equal txn txn' -> (
+    | Polling (txn, t0, rid), Wire.State { txn = txn'; state = st; req }
+      when Txn_id.equal txn txn' -> (
         match st with
         | Wire.Committed _ ->
+            check_echo rid req;
             stats.committed <- stats.committed + 1;
             Metrics.observe latency
               (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
             submit c
         | Wire.Aborted veto ->
+            check_echo rid req;
             stats.aborted <- stats.aborted + 1;
             if veto <> None then stats.vetoed_seen <- stats.vetoed_seen + 1;
             Metrics.observe latency
@@ -208,18 +317,91 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
   in
   let buf = Bytes.create 8192 in
   let all_done () = List.for_all (fun c -> c.phase = Done) cs in
-  while not (all_done ()) do
+  let done_seq = ref None and t_done = ref 0.0 in
+  (* With --subscribe, linger after the load completes until one more
+     cut frame arrives (it covers the tail interval), bounded by 5s. *)
+  let sub_waiting () =
+    match sub with
+    | None -> false
+    | Some s -> (
+        s.s_alive
+        &&
+        match !done_seq with
+        | None -> true
+        | Some dseq ->
+            sub_last_seq s <= dseq
+            && Unix.gettimeofday () -. !t_done < 5.0)
+  in
+  while (not (all_done ())) || sub_waiting () do
+    (if all_done () && !done_seq = None then
+       match sub with
+       | Some s ->
+           done_seq := Some (sub_last_seq s);
+           t_done := Unix.gettimeofday ()
+       | None -> ());
     let fds c = match c.fd with Some fd -> [ fd ] | None -> [] in
-    let rfds = List.concat_map fds cs in
+    let sub_fds alive writing =
+      match sub with
+      | Some s
+        when s.s_alive && alive
+             && ((not writing) || String.length s.s_out > s.s_out_off) ->
+          [ s.s_fd ]
+      | _ -> []
+    in
+    let rfds = List.concat_map fds cs @ sub_fds true false in
     let wfds =
       List.concat_map
         (fun c -> if String.length c.out > c.out_off then fds c else [])
         cs
+      @ sub_fds true true
     in
     let r, w, _ =
       try Unix.select rfds wfds [] 0.005
       with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
     in
+    (* telemetry side channel *)
+    (match sub with
+    | Some s when s.s_alive ->
+        (if List.mem s.s_fd w && String.length s.s_out > s.s_out_off then
+           let pending = String.length s.s_out - s.s_out_off in
+           match Unix.write_substring s.s_fd s.s_out s.s_out_off pending with
+           | n ->
+               s.s_out_off <- s.s_out_off + n;
+               if s.s_out_off >= String.length s.s_out then begin
+                 s.s_out <- "";
+                 s.s_out_off <- 0
+               end
+           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+             ->
+               ()
+           | exception Unix.Unix_error _ -> s.s_alive <- false);
+        if s.s_alive && List.mem s.s_fd r then begin
+          match Unix.read s.s_fd buf 0 (Bytes.length buf) with
+          | 0 -> s.s_alive <- false
+          | n ->
+              Wire.Reader.feed s.s_reader (Bytes.sub_string buf 0 n);
+              let rec drain () =
+                match Wire.Reader.next s.s_reader with
+                | Ok None -> ()
+                | Ok (Some payload) ->
+                    (match Wire.decode_response payload with
+                    | Ok (Wire.Telemetry f) -> s.s_frames <- f :: s.s_frames
+                    | Ok _ -> ()
+                    | Error e ->
+                        Format.eprintf "ntload: subscribe: %s@." e;
+                        s.s_alive <- false);
+                    if s.s_alive then drain ()
+                | Error e ->
+                    Format.eprintf "ntload: subscribe: %s@." e;
+                    s.s_alive <- false
+              in
+              drain ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              ()
+          | exception Unix.Unix_error _ -> s.s_alive <- false
+        end
+    | _ -> ());
     List.iter
       (fun c ->
         match c.fd with
@@ -293,6 +475,9 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
       cs
   done;
   let elapsed = Unix.gettimeofday () -. t_start in
+  (match sub with
+  | Some s -> ( try Unix.close s.s_fd with _ -> ())
+  | None -> ());
   (* a fresh control connection: drain the server and fetch its tallies *)
   let quiesced = ref None in
   (let fd = connect_retry addr in
@@ -338,32 +523,63 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
     | Some (Wire.Quiesced q) -> (q.alarms, q.committed, q.aborted, q.vetoed)
     | _ -> (-1, -1, -1, -1)
   in
+  (* server-side window p99 from the subscription, and its distance to
+     the client-side p99 in power-of-two buckets *)
+  let frames_seen, srv_p99, p99_distance =
+    match sub with
+    | None -> (0, -1, -1)
+    | Some s ->
+        let buckets, count, _sum, _min, maxv = sub_merged_latency s in
+        if count = 0 then (List.length s.s_frames, -1, -1)
+        else
+          let p99 = quantile_of_buckets buckets count maxv 0.99 in
+          ( List.length s.s_frames,
+            p99,
+            abs (bucket_index_of p99 - bucket_index_of h.Metrics.p99) )
+  in
   if json then
     print_endline
       (Obs_json.to_string
          (Obs_json.Obj
-            [
-              ("clients", Obs_json.Int clients);
-              ("requests", Obs_json.Int requests);
-              ("submitted", Obs_json.Int stats.submitted);
-              ("committed", Obs_json.Int stats.committed);
-              ("aborted", Obs_json.Int stats.aborted);
-              ("vetoed_seen", Obs_json.Int stats.vetoed_seen);
-              ("rejected", Obs_json.Int stats.rejected);
-              ("dropped", Obs_json.Int stats.dropped);
-              ("proto_errors", Obs_json.Int stats.proto_errors);
-              ("elapsed_s", Obs_json.Float elapsed);
-              ( "throughput_per_s",
-                Obs_json.Float
-                  (float_of_int (stats.committed + stats.aborted) /. elapsed) );
-              ("latency_us_p50", Obs_json.Int h.Metrics.p50);
-              ("latency_us_p99", Obs_json.Int h.Metrics.p99);
-              ("latency_us_max", Obs_json.Int h.Metrics.max);
-              ("server_committed", Obs_json.Int srv_committed);
-              ("server_aborted", Obs_json.Int srv_aborted);
-              ("server_vetoed", Obs_json.Int srv_vetoed);
-              ("server_alarms", Obs_json.Int alarms);
-            ]))
+            ([
+               ("clients", Obs_json.Int clients);
+               ("requests", Obs_json.Int requests);
+               ("submitted", Obs_json.Int stats.submitted);
+               ("committed", Obs_json.Int stats.committed);
+               ("aborted", Obs_json.Int stats.aborted);
+               ("vetoed_seen", Obs_json.Int stats.vetoed_seen);
+               ("rejected", Obs_json.Int stats.rejected);
+               ("dropped", Obs_json.Int stats.dropped);
+               ("proto_errors", Obs_json.Int stats.proto_errors);
+               ("req_mismatches", Obs_json.Int stats.req_mismatches);
+               ("elapsed_s", Obs_json.Float elapsed);
+               ( "throughput_per_s",
+                 Obs_json.Float
+                   (float_of_int (stats.committed + stats.aborted) /. elapsed)
+               );
+               ("latency_us_p50", Obs_json.Int h.Metrics.p50);
+               ("latency_us_p99", Obs_json.Int h.Metrics.p99);
+               ("latency_us_p999", Obs_json.Int h.Metrics.p999);
+               ("latency_us_max", Obs_json.Int h.Metrics.max);
+               ( "latency_us_buckets",
+                 Obs_json.Arr
+                   (List.map
+                      (fun (i, n) ->
+                        Obs_json.Arr [ Obs_json.Int i; Obs_json.Int n ])
+                      (Metrics.histogram_buckets latency)) );
+               ("server_committed", Obs_json.Int srv_committed);
+               ("server_aborted", Obs_json.Int srv_aborted);
+               ("server_vetoed", Obs_json.Int srv_vetoed);
+               ("server_alarms", Obs_json.Int alarms);
+             ]
+            @
+            if sub = None then []
+            else
+              [
+                ("telemetry_frames", Obs_json.Int frames_seen);
+                ("server_latency_us_p99", Obs_json.Int srv_p99);
+                ("p99_bucket_distance", Obs_json.Int p99_distance);
+              ])))
   else begin
     Format.printf
       "ntload: %d submitted, %d committed, %d aborted (%d vetoed), %d \
@@ -371,8 +587,20 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
       stats.submitted stats.committed stats.aborted stats.vetoed_seen
       stats.dropped stats.rejected elapsed
       (float_of_int (stats.committed + stats.aborted) /. elapsed);
-    Format.printf "ntload: latency p50 %dus  p99 %dus  max %dus (%d samples)@."
-      h.Metrics.p50 h.Metrics.p99 h.Metrics.max h.Metrics.count;
+    Format.printf
+      "ntload: latency p50 %dus  p99 %dus  p999 %dus  max %dus (%d samples)@."
+      h.Metrics.p50 h.Metrics.p99 h.Metrics.p999 h.Metrics.max
+      h.Metrics.count;
+    (match sub with
+    | Some _ when srv_p99 >= 0 ->
+        Format.printf
+          "ntload: server window p99 %dus (client %dus; bucket distance %d; \
+           %d frames)@."
+          srv_p99 h.Metrics.p99 p99_distance frames_seen
+    | Some _ ->
+        Format.printf "ntload: subscription saw %d frames, no latency data@."
+          frames_seen
+    | None -> ());
     match !quiesced with
     | Some (Wire.Quiesced q) ->
         Format.printf
@@ -381,11 +609,12 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
     | _ -> Format.printf "server: no quiesced report@."
   end;
   if stats.proto_errors > 0 then exit 1;
+  if stats.req_mismatches > 0 then exit 1;
   if alarms > 0 then exit 1;
   if alarms < 0 then exit 1
 
 let load_cmd socket port clients requests seed depth fanout drop_rate
-    slow_clients shutdown json =
+    slow_clients shutdown subscribe json =
   let addr =
     match (socket, port) with
     | Some path, None -> Unix.ADDR_UNIX path
@@ -396,7 +625,7 @@ let load_cmd socket port clients requests seed depth fanout drop_rate
   in
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
-    ~slow_clients ~shutdown ~json
+    ~slow_clients ~shutdown ~subscribe ~json
 
 let cmd =
   let socket =
@@ -435,11 +664,19 @@ let cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"Send Shutdown once the run completes.")
   in
+  let subscribe =
+    Arg.(
+      value & flag
+      & info [ "subscribe" ]
+          ~doc:
+            "Open a telemetry side channel and cross-check the server's \
+             window p99 against the client-side histogram.")
+  in
   let json = Arg.(value & flag & info [ "json" ]) in
   let term =
     Term.(
       const load_cmd $ socket $ port $ clients $ requests $ seed $ depth
-      $ fanout $ drop_rate $ slow_clients $ shutdown $ json)
+      $ fanout $ drop_rate $ slow_clients $ shutdown $ subscribe $ json)
   in
   Cmd.v
     (Cmd.info "ntload" ~version:Version.string

@@ -47,11 +47,18 @@ type conn = {
   mutable out : string;
   mutable out_off : int;
   mutable greeted : bool;
+  mutable client_name : string;
+  mutable subscribed : bool;  (* push Telemetry frames here *)
   mutable live : Txn_id.t list;  (* this client's incomplete submissions *)
   mutable wants_quiesce : bool;
   mutable closing : bool;  (* close once the out buffer drains *)
   mutable last_rx : float;
 }
+
+(* Submission provenance, kept for the life of the server: the client's
+   request id is echoed in every State answer and in audit entries, and
+   t_submit anchors the submit-to-completion latency. *)
+type txn_rec = { req : string option; client : string; t_submit : float }
 
 type server = {
   eng : Engine.t;
@@ -61,8 +68,17 @@ type server = {
   mutable logical_rev : Program.t list;  (* replication: forest so far *)
   conns : (Unix.file_descr, conn) Hashtbl.t;
   metrics : Metrics.t;
+  hub : Telemetry.Hub.t;
+  audit : Telemetry.Audit.t option;
+  txns : txn_rec Txn_id.Tbl.t;
+  t0 : float;  (* server start; frame times are seconds since this *)
+  telemetry_interval : float;  (* 0 = no periodic frames *)
+  slow_us : int;  (* audit threshold, µs *)
+  prom : string option;  (* prometheus text export path *)
   mutable draining : bool;  (* no new conns/submissions *)
 }
+
+let mono srv = Unix.gettimeofday () -. srv.t0
 
 let send conn resp = conn.out <- conn.out ^ Wire.encode_response resp
 
@@ -118,11 +134,59 @@ let quiesced_response srv =
       alarms = actionable_alarms srv;
     }
 
+let req_of srv t =
+  match Txn_id.Tbl.find_opt srv.txns t with
+  | Some r -> r.req
+  | None -> None
+
+let subscriber_count srv =
+  Hashtbl.fold (fun _ c n -> if c.subscribed then n + 1 else n) srv.conns 0
+
+let build_frame srv ~cut =
+  (if cut then Telemetry.Hub.cut else Telemetry.Hub.peek)
+    srv.hub ~eng:srv.eng ~alarms:(actionable_alarms srv)
+    ~conns:(Hashtbl.length srv.conns) ~subscribers:(subscriber_count srv)
+    ~now:(mono srv)
+
+(* The completion hook: runs inside Engine.step at every top-level
+   Commit/Abort, while the admission record is fresh. *)
+let on_complete srv txn outcome =
+  match Txn_id.Tbl.find_opt srv.txns txn with
+  | None -> ()
+  | Some r -> (
+      let now = mono srv in
+      let latency_us =
+        int_of_float (Float.max 0.0 ((now -. r.t_submit) *. 1e6))
+      in
+      Telemetry.Hub.observe_latency srv.hub latency_us;
+      match srv.audit with
+      | None -> ()
+      | Some audit -> (
+          let veto =
+            if outcome = `Aborted then
+              Admission.veto_of (Engine.admission srv.eng) txn
+            else None
+          in
+          match veto with
+          | Some v ->
+              Telemetry.Audit.veto audit ~now ~req:r.req ~client:r.client ~txn
+                ~latency_us v
+          | None ->
+              if latency_us >= srv.slow_us then
+                let outcome =
+                  match outcome with
+                  | `Committed -> "committed"
+                  | `Aborted -> "aborted"
+                in
+                Telemetry.Audit.slow audit ~now ~req:r.req ~client:r.client
+                  ~txn ~latency_us ~outcome))
+
 let handle_request srv conn (req : Wire.request) =
   Metrics.incr (Metrics.counter srv.metrics "served.requests");
   match req with
-  | Wire.Hello _ ->
+  | Wire.Hello { client } ->
       conn.greeted <- true;
+      conn.client_name <- client;
       send conn
         (Wire.Welcome
            {
@@ -134,27 +198,35 @@ let handle_request srv conn (req : Wire.request) =
                  (fun (x, dt) -> (Obj_id.name x, Program_io.dtype_decl dt))
                  srv.objects;
            })
-  | Wire.Submit _ when not conn.greeted ->
-      send conn (Wire.Rejected "say hello first")
-  | Wire.Submit _ when srv.draining ->
-      send conn (Wire.Rejected "server is draining")
-  | Wire.Submit { program } -> (
+  | Wire.Submit { req; _ } when not conn.greeted ->
+      send conn (Wire.Rejected { why = "say hello first"; req })
+  | Wire.Submit { req; _ } when srv.draining ->
+      send conn (Wire.Rejected { why = "server is draining"; req })
+  | Wire.Submit { program; req } -> (
       match Program_io.parse_program_text program with
-      | Error e -> send conn (Wire.Rejected e)
+      | Error why -> send conn (Wire.Rejected { why; req })
       | Ok prog -> (
           match Result.bind (physical_of srv prog) (Engine.submit srv.eng) with
-          | Error e -> send conn (Wire.Rejected e)
+          | Error why -> send conn (Wire.Rejected { why; req })
           | Ok txn ->
               conn.live <- txn :: conn.live;
+              Txn_id.Tbl.replace srv.txns txn
+                { req; client = conn.client_name; t_submit = mono srv };
               Metrics.incr (Metrics.counter srv.metrics "served.submissions");
-              send conn (Wire.Accepted txn)))
+              send conn (Wire.Accepted { txn; req })))
   | Wire.Status t ->
       (match Engine.state srv.eng t with
       | Engine.Committed _ | Engine.Aborted _ ->
           conn.live <- List.filter (fun u -> not (Txn_id.equal u t)) conn.live
       | _ -> ());
-      send conn (Wire.State (t, wire_state srv t))
+      send conn
+        (Wire.State { txn = t; state = wire_state srv t; req = req_of srv t })
   | Wire.Metrics -> send conn (Wire.Metrics_dump (Metrics.to_json srv.metrics))
+  | Wire.Subscribe ->
+      conn.subscribed <- true;
+      Metrics.incr (Metrics.counter srv.metrics "served.subscribes");
+      (* One frame right away (the open interval), then one per tick. *)
+      send conn (Wire.Telemetry (build_frame srv ~cut:false))
   | Wire.Quiesce -> conn.wants_quiesce <- true
   | Wire.Shutdown ->
       srv.draining <- true;
@@ -183,10 +255,25 @@ let pump_frames srv conn =
 
 let terminate = ref false
 
+(* Prometheus text export: write-then-rename so scrapers never see a
+   torn file. *)
+let export_prom srv =
+  match srv.prom with
+  | None -> ()
+  | Some path ->
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
+      let fmt = Format.formatter_of_out_channel oc in
+      Metrics.pp_prometheus fmt srv.metrics;
+      Format.pp_print_flush fmt ();
+      close_out oc;
+      Sys.rename tmp path
+
 let run_server listen_fd srv ~read_timeout ~burst ~verbose =
   let buf = Bytes.create 8192 in
   let idle = ref false in
   let continue = ref true in
+  let last_frame = ref (mono srv) in
   while !continue do
     if !terminate then srv.draining <- true;
     let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) srv.conns [] in
@@ -220,6 +307,8 @@ let run_server listen_fd srv ~read_timeout ~burst ~verbose =
               out = "";
               out_off = 0;
               greeted = false;
+              client_name = "?";
+              subscribed = false;
               live = [];
               wants_quiesce = false;
               closing = false;
@@ -252,6 +341,21 @@ let run_server listen_fd srv ~read_timeout ~burst ~verbose =
     if status = `Truncated then begin
       if verbose then Format.eprintf "ntserved: step budget exhausted@.";
       srv.draining <- true
+    end;
+    (* telemetry tick: close the window, push a frame to every
+       subscriber, refresh the prometheus export *)
+    if srv.telemetry_interval > 0.0 then begin
+      let now = mono srv in
+      if now -. !last_frame >= srv.telemetry_interval then begin
+        last_frame := now;
+        let frame = build_frame srv ~cut:true in
+        Hashtbl.iter
+          (fun _ c ->
+            if c.subscribed && not c.closing then
+              send c (Wire.Telemetry frame))
+          srv.conns;
+        export_prom srv
+      end
     end;
     (* quiesce waiters are answered only when truly idle *)
     if status = `Quiescent then
@@ -318,6 +422,10 @@ type obs_format = Obs_jsonl | Obs_chrome
 let obs_format_conv =
   Arg.enum [ ("jsonl", Obs_jsonl); ("chrome", Obs_chrome) ]
 
+(* Telemetry needs only a metrics-enabled recorder: the hub ranks hot
+   objects off the [runtime.refused.*] counter deltas, so the default
+   recorder emits no events at all and the wait path stays as cheap as
+   an unobserved run.  [--obs-out] opts into the full event stream. *)
 let setup_obs metrics obs_format obs_out =
   match (obs_format, obs_out) with
   | _, None -> (Obs.create ~metrics (), fun () -> ())
@@ -333,7 +441,8 @@ let setup_obs metrics obs_format obs_out =
 (* ----- command line ----- *)
 
 let serve_cmd socket port backend_name table n_objects seed policy admission
-    max_steps burst read_timeout obs_format obs_out verbose =
+    max_steps burst read_timeout obs_format obs_out telemetry_interval
+    audit_log prom slow_ms verbose =
   let backend =
     match Check.backend_of_name backend_name with
     | Some b when List.mem b Check.correct_backends -> b
@@ -359,11 +468,20 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
     end
   in
   let metrics = Metrics.create () in
+  let hub =
+    Telemetry.Hub.create ~interval_s:telemetry_interval metrics
+  in
   let obs, finish_obs = setup_obs metrics obs_format obs_out in
+  (* The engine's completion hook needs the server record, which needs
+     the engine; tie the knot through a cell. *)
+  let post_complete = ref (fun _ _ -> ()) in
   let eng =
-    Engine.create ~policy ~max_steps ~obs ~admission ~seed engine_objects
+    Engine.create ~policy ~max_steps ~obs ~admission
+      ~on_top_complete:(fun u o -> !post_complete u o)
+      ~seed engine_objects
       (match Check.factory_of backend with f -> f)
   in
+  let audit = Option.map Telemetry.Audit.open_file audit_log in
   let srv =
     {
       eng;
@@ -373,9 +491,17 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
       logical_rev = [];
       conns = Hashtbl.create 16;
       metrics;
+      hub;
+      audit;
+      txns = Txn_id.Tbl.create 256;
+      t0 = Unix.gettimeofday ();
+      telemetry_interval;
+      slow_us = slow_ms * 1000;
+      prom;
       draining = false;
     }
   in
+  post_complete := on_complete srv;
   let listen_fd, cleanup =
     match (socket, port) with
     | Some path, None ->
@@ -408,6 +534,8 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
   cleanup ();
   let r = Engine.finish eng in
   finish_obs ();
+  export_prom srv;
+  Option.iter Telemetry.Audit.close audit;
   Format.printf
     "ntserved: served %d submissions: %d committed, %d aborted (%d vetoed, \
      %d orphaned), %d monitor alarms@."
@@ -478,12 +606,44 @@ let cmd =
   let obs_out =
     Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"FILE")
   in
+  let telemetry_interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "telemetry-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Window-rotation and Telemetry-push period (0 disables \
+             periodic frames; Subscribe still answers immediately).")
+  in
+  let audit_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON line per admission veto (with the cycle \
+             witness chain) and per slow request.")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Rewrite FILE atomically with the Prometheus text rendering \
+             of the metrics registry at every telemetry interval.")
+  in
+  let slow_ms =
+    Arg.(
+      value & opt int 250
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Audit-log submissions slower than this, milliseconds.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ]) in
   let term =
     Term.(
       const serve_cmd $ socket $ port $ backend $ table $ n_objects $ seed
       $ policy $ admission $ max_steps $ burst $ read_timeout $ obs_format
-      $ obs_out $ verbose)
+      $ obs_out $ telemetry_interval $ audit_log $ prom $ slow_ms $ verbose)
   in
   Cmd.v
     (Cmd.info "ntserved" ~version:Version.string

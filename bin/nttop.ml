@@ -1,0 +1,187 @@
+(* nttop: a terminal dashboard over ntserved's Telemetry stream.
+
+   Connects, subscribes, and repaints a panel per pushed frame: the
+   window's rates and latency percentiles, engine occupancy, cumulative
+   totals, serialization-graph size and the hottest objects, plus the
+   windowed latency histogram as a bar chart.
+
+     nttop --socket /tmp/nt.sock
+     nttop --port 7477 --frames 10
+     nttop --socket /tmp/nt.sock --once     # one frame, no clearing: CI-able
+
+   Exits nonzero if the stream dies before the requested frames, or if
+   frame sequence numbers ever fail to increase. *)
+
+open Core
+open Cmdliner
+
+let connect addr =
+  let domain =
+    match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with _ -> ());
+      raise e
+
+let connect_retry addr =
+  let rec go n =
+    match connect addr with
+    | fd -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when n > 0 ->
+        Unix.sleepf 0.1;
+        go (n - 1)
+  in
+  go 50
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+(* ----- rendering ----- *)
+
+let bar width n maxn =
+  let w =
+    if maxn <= 0 then 0
+    else Stdlib.max 1 (n * width / Stdlib.max 1 maxn)
+  in
+  String.make (Stdlib.min w width) '#'
+
+let render ~clear (f : Wire.telemetry) =
+  if clear then print_string "\027[2J\027[H";
+  let p = Format.printf in
+  p "ntserved  seq %d  t=%.1fs  interval %.1fs@." f.Wire.seq f.Wire.t_mono
+    f.Wire.interval_s;
+  p "window  : %d req  %d submitted  %d committed  %d aborted  (%d vetoed, \
+     %d orphans)  %d alarms@."
+    f.Wire.w_requests f.Wire.w_submitted f.Wire.w_committed f.Wire.w_aborted
+    f.Wire.w_vetoed f.Wire.w_orphans f.Wire.w_alarms;
+  let rate n = float_of_int n /. f.Wire.interval_s in
+  p "rates   : %.1f req/s  %.1f commit/s@."
+    (rate f.Wire.w_requests)
+    (rate f.Wire.w_committed);
+  let h = f.Wire.w_latency in
+  p "latency : p50 %dus  p99 %dus  p999 %dus  max %dus  (%d samples)@."
+    h.Wire.h_p50 h.Wire.h_p99 h.Wire.h_p999 h.Wire.h_max h.Wire.h_count;
+  p "engine  : %d live  %d doomed  %d conns  %d subscribers@." f.Wire.o_live
+    f.Wire.o_doomed f.Wire.o_conns f.Wire.o_subscribers;
+  p "totals  : %d submitted  %d committed  %d aborted  %d vetoed  %d alarms@."
+    f.Wire.c_submitted f.Wire.c_committed f.Wire.c_aborted f.Wire.c_vetoed
+    f.Wire.c_alarms;
+  p "sg      : %d nodes  %d edges  %d reorders@." f.Wire.sg_nodes
+    f.Wire.sg_edges f.Wire.sg_reorders;
+  (match f.Wire.hot with
+  | [] -> p "hot     : -@."
+  | hot ->
+      p "hot     : %s@."
+        (String.concat "  "
+           (List.map (fun (x, n) -> Printf.sprintf "%s:%d" x n) hot)));
+  if h.Wire.h_buckets <> [] then begin
+    p "latency histogram (window):@.";
+    let maxn =
+      List.fold_left (fun m (_, n) -> Stdlib.max m n) 0 h.Wire.h_buckets
+    in
+    List.iter
+      (fun (i, n) ->
+        p "  [%7d,%7d] %-24s %d@." (Metrics.bucket_lower i)
+          (Metrics.bucket_upper i) (bar 24 n maxn) n)
+      h.Wire.h_buckets
+  end;
+  Format.print_flush ()
+
+(* ----- the loop ----- *)
+
+let run addr ~frames ~once =
+  let want = if once then 1 else frames in
+  let fd = connect_retry addr in
+  write_all fd (Wire.encode_request (Wire.Hello { client = "nttop" }));
+  write_all fd (Wire.encode_request Wire.Subscribe);
+  let reader = Wire.Reader.create () in
+  let buf = Bytes.create 8192 in
+  let seen = ref 0 in
+  let last_seq = ref 0 in
+  let bad = ref false in
+  let stop = ref false in
+  while (not !stop) && ((want <= 0 && not once) || !seen < want) do
+    match Wire.Reader.next reader with
+    | Ok (Some payload) -> (
+        match Wire.decode_response payload with
+        | Ok (Wire.Telemetry f) ->
+            if f.Wire.seq <= !last_seq then begin
+              Format.eprintf "nttop: sequence went backwards (%d after %d)@."
+                f.Wire.seq !last_seq;
+              bad := true;
+              stop := true
+            end
+            else begin
+              last_seq := f.Wire.seq;
+              incr seen;
+              render ~clear:(not once) f
+            end
+        | Ok Wire.Goodbye -> stop := true
+        | Ok _ -> ()
+        | Error e ->
+            Format.eprintf "nttop: %s@." e;
+            bad := true;
+            stop := true)
+    | Ok None -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> stop := true
+        | n -> Wire.Reader.feed reader (Bytes.sub_string buf 0 n)
+        | exception Unix.Unix_error _ -> stop := true)
+    | Error e ->
+        Format.eprintf "nttop: framing error: %s@." e;
+        bad := true;
+        stop := true
+  done;
+  (try Unix.close fd with _ -> ());
+  if !bad then exit 1;
+  if want > 0 && !seen < want then begin
+    Format.eprintf "nttop: stream ended after %d/%d frames@." !seen want;
+    exit 1
+  end
+
+let top_cmd socket port frames once =
+  let addr =
+    match (socket, port) with
+    | Some path, None -> Unix.ADDR_UNIX path
+    | None, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+    | _ ->
+        Format.eprintf "nttop: pass exactly one of --socket or --port@.";
+        exit 2
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  run addr ~frames ~once
+
+let cmd =
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH")
+  in
+  let port = Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT") in
+  let frames =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Exit after N frames (0: run until the stream ends).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Render the first frame without clearing the screen, then \
+             exit — for CI and snapshots.")
+  in
+  let term = Term.(const top_cmd $ socket $ port $ frames $ once) in
+  Cmd.v
+    (Cmd.info "nttop" ~version:Version.string
+       ~doc:"Terminal dashboard over ntserved's Telemetry stream.")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -17,10 +17,12 @@
     {- the classical baseline: {!History}, {!Flat_sg};}
     {- workloads and measurement: {!Gen}, {!Scenario}, {!Stats},
        {!Table};}
-    {- observability: {!Obs}, {!Metrics}, {!Obs_event}, {!Obs_sink},
-       {!Chrome_trace}, {!Obs_json}, {!Profile};}
+    {- observability: {!Obs}, {!Metrics}, {!Obs_window},
+       {!Obs_snapshot}, {!Obs_event}, {!Obs_sink}, {!Chrome_trace},
+       {!Obs_json}, {!Profile};}
     {- property-based checking: {!Check}, {!Shrink}, {!Bundle};}
-    {- serving: {!Wire}, {!Admission}, {!Engine} (plus {!Version}).}} *)
+    {- serving: {!Wire}, {!Admission}, {!Engine}, {!Telemetry} (plus
+       {!Version}).}} *)
 
 module Txn_id = Nt_base.Txn_id
 module Obj_id = Nt_base.Obj_id
@@ -82,6 +84,8 @@ module Stats = Nt_stats.Stats
 module Table = Nt_stats.Table
 module Obs = Nt_obs.Obs
 module Metrics = Nt_obs.Metrics
+module Obs_window = Nt_obs.Window
+module Obs_snapshot = Nt_obs.Snapshot
 module Obs_event = Nt_obs.Event
 module Obs_sink = Nt_obs.Sink
 module Chrome_trace = Nt_obs.Chrome
@@ -94,3 +98,4 @@ module Version = Nt_base.Version
 module Wire = Nt_net.Wire
 module Admission = Nt_net.Admission
 module Engine = Nt_net.Engine
+module Telemetry = Nt_net.Telemetry

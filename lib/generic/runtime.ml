@@ -38,6 +38,10 @@ type status = {
   mutable blocked_since : int;  (* tick of the streak's first refusal *)
   mutable last_blockers : (Txn_id.t * Nt_gobj.Gobj.lock_kind) list;
       (* holders reported at the latest refusal; event-emitting runs only *)
+  mutable refused_c : Metrics.counter option;
+      (* the [runtime.refused.<obj>] counter for this access's object,
+         resolved on the first refusal and reused: a leaf only ever
+         touches one object, so the cache never invalidates *)
   program : Program.t option;  (* None for T0 *)
 }
 
@@ -99,8 +103,15 @@ type sim = {
   interps : Txn_interp.t Txn_id.Tbl.t;
   objects : (Obj_id.t * Nt_gobj.Gobj.t) list;
   obs : obs_cache;
+  c_refused : Metrics.counter Obj_id.Tbl.t;
+      (* one [runtime.refused.<obj>] counter per schema object, resolved
+         up front so a refusal costs a table probe plus an increment;
+         empty (and untouched) when the recorder is disabled *)
   obs_on : bool;  (* Obs.enabled obs.o, hoisted for the hot path *)
   obs_emit : bool;  (* Obs.emitting obs.o, likewise *)
+  obs_emit_waits : bool;  (* Obs.emitting_waits obs.o: blocked-access
+                             bookkeeping is maintained exactly when the
+                             sink wants Wait events *)
   obs_base : int;  (* recorder clock at run start; ticks = base + n_actions *)
   policy : policy;
   inform_policy : inform_policy;
@@ -161,6 +172,7 @@ let add_status sim t program =
       blocked_streak = 0;
       blocked_since = 0;
       last_blockers = [];
+      refused_c = None;
       program;
     }
 
@@ -351,7 +363,7 @@ let fire sim c =
               Metrics.observe sim.obs.h_blocked_streak s.blocked_streak;
               Metrics.observe sim.obs.h_wait_ticks
                 (sim.obs_base + sim.n_actions - s.blocked_since);
-              if sim.obs_emit then begin
+              if sim.obs_emit_waits then begin
                 blocked_remove sim t;
                 s.last_blockers <- []
               end
@@ -370,7 +382,15 @@ let fire sim c =
           (if sim.obs_on then begin
              let ts = sim.obs_base + sim.n_actions in
              if s.blocked_streak = 1 then s.blocked_since <- ts;
-             if sim.obs_emit then begin
+             (match s.refused_c with
+             | Some c -> Metrics.incr c
+             | None -> (
+                 match Obj_id.Tbl.find_opt sim.c_refused x with
+                 | Some c ->
+                     s.refused_c <- Some c;
+                     Metrics.incr c
+                 | None -> ()));
+             if sim.obs_emit_waits then begin
                let holders = (object_of sim x).waiting_on t in
                s.last_blockers <- holders;
                blocked_add sim t;
@@ -546,8 +566,19 @@ let make ?(policy = Random_step) ?(inform_policy = Eager) ?(abort_prob = 0.0)
       interps = Txn_id.Tbl.create 64;
       objects = List.map (fun x -> (x, factory schema x)) schema.objects;
       obs = obs_cache obs;
+      c_refused =
+        (let tbl = Obj_id.Tbl.create 16 in
+         if Obs.enabled obs then
+           List.iter
+             (fun x ->
+               Obj_id.Tbl.replace tbl x
+                 (Metrics.counter (Obs.metrics obs)
+                    ("runtime.refused." ^ Obj_id.name x)))
+             schema.objects;
+         tbl);
       obs_on = Obs.enabled obs;
       obs_emit = Obs.emitting obs;
+      obs_emit_waits = Obs.emitting_waits obs;
       obs_base = Obs.now obs;
       policy;
       inform_policy;

@@ -42,7 +42,8 @@ let subprogram progs n_progs txn =
   | i :: rest -> if i < !n_progs then walk !progs.(i) rest else None
 
 let create ?policy ?inform_policy ?abort_prob ?max_steps ?(obs = Obs.null)
-    ?mode ?(admission = true) ?(max_program = 10_000) ~seed objects factory =
+    ?mode ?(admission = true) ?(max_program = 10_000)
+    ?(on_top_complete = fun _ _ -> ()) ~seed objects factory =
   let dtypes = Obj_id.Tbl.create 16 in
   List.iter (fun (x, dt) -> Obj_id.Tbl.replace dtypes x dt) objects;
   let progs = ref [||] and n_progs = ref 0 in
@@ -74,8 +75,12 @@ let create ?policy ?inform_policy ?abort_prob ?max_steps ?(obs = Obs.null)
   let committed_top = ref 0 and aborted_top = ref 0 in
   let on_action a =
     (match a with
-    | Action.Commit u when Txn_id.depth u = 1 -> incr committed_top
-    | Action.Abort u when Txn_id.depth u = 1 -> incr aborted_top
+    | Action.Commit u when Txn_id.depth u = 1 ->
+        incr committed_top;
+        on_top_complete u `Committed
+    | Action.Abort u when Txn_id.depth u = 1 ->
+        incr aborted_top;
+        on_top_complete u `Aborted
     | _ -> ());
     Admission.on_action adm a
   in
@@ -214,6 +219,7 @@ let admission t = t.adm
 let submitted t = t.submitted
 let committed_top t = !(t.committed_top)
 let aborted_top t = !(t.aborted_top)
+let live_top t = t.submitted - !(t.committed_top) - !(t.aborted_top)
 let vetoed t = Admission.vetoed t.adm
 let alarms t = Admission.alarms t.adm
 let cycle_alarms t = Admission.cycle_alarms t.adm

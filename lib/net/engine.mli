@@ -41,6 +41,7 @@ val create :
   ?mode:Sg.conflict_mode ->
   ?admission:bool ->
   ?max_program:int ->
+  ?on_top_complete:(Txn_id.t -> [ `Committed | `Aborted ] -> unit) ->
   seed:int ->
   (Obj_id.t * Datatype.t) list ->
   Nt_gobj.Gobj.factory ->
@@ -48,7 +49,11 @@ val create :
 (** An engine over the given object table, starting with an empty
     forest.  [admission] (default [true]) turns the commit gate on;
     the monitor runs either way.  [max_program] (default 10000) bounds
-    accepted program sizes. *)
+    accepted program sizes.  [on_top_complete] fires synchronously, in
+    trace order, at every top-level [Commit]/[Abort] — the hook a
+    server uses to measure submit-to-completion latency and attribute
+    the outcome (e.g. audit-log a veto) while the admission record is
+    fresh; keep it cheap, it runs inside {!step}. *)
 
 val submit : t -> Program.t -> (Txn_id.t, string) result
 (** Validate (size, declared objects, offered operations) and attach.
@@ -87,6 +92,10 @@ val admission : t -> Admission.t
 val submitted : t -> int
 val committed_top : t -> int
 val aborted_top : t -> int
+
+val live_top : t -> int
+(** Occupancy: submissions not yet committed or aborted. *)
+
 val vetoed : t -> int
 val alarms : t -> int
 val cycle_alarms : t -> int

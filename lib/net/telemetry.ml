@@ -1,0 +1,162 @@
+open Nt_base
+open Nt_obs
+open Nt_sg
+
+module Hub = struct
+  type t = {
+    interval_s : float;
+    win : Window.t;
+    latency_w : Window.whistogram;
+    latency_c : Metrics.histogram;  (* cumulative twin, for --prom *)
+    registry : Metrics.t;
+    mutable prev_snap : Snapshot.t;
+    top_k : int;
+    mutable seq : int;
+    (* previous cumulative engine readings, for window deltas *)
+    mutable p_submitted : int;
+    mutable p_committed : int;
+    mutable p_aborted : int;
+    mutable p_vetoed : int;
+    mutable p_orphans : int;
+    mutable p_alarms : int;
+  }
+
+  let create ?(slots = 8) ?(top_k = 5) ~interval_s metrics =
+    let win = Window.create ~slots () in
+    {
+      interval_s;
+      win;
+      latency_w = Window.histogram win "latency_us";
+      latency_c = Metrics.histogram metrics "served.latency_us";
+      registry = metrics;
+      prev_snap = Snapshot.capture metrics;
+      top_k;
+      seq = 0;
+      p_submitted = 0;
+      p_committed = 0;
+      p_aborted = 0;
+      p_vetoed = 0;
+      p_orphans = 0;
+      p_alarms = 0;
+    }
+
+  let seq t = t.seq
+  let interval_s t = t.interval_s
+
+  let observe_latency t us =
+    Window.observe t.latency_w us;
+    Metrics.observe t.latency_c us
+
+  (* The runtime registers one [runtime.refused.<obj>] counter per
+     schema object and bumps it on every refused access, so the
+     interval delta of that family ranks this window's contended
+     objects without any event stream in the loop. *)
+  let refused_prefix = "runtime.refused."
+
+  let hot_top t delta =
+    let plen = String.length refused_prefix in
+    Metrics.counters delta
+    |> List.filter_map (fun (name, n) ->
+           if
+             n > 0
+             && String.length name > plen
+             && String.sub name 0 plen = refused_prefix
+           then Some (String.sub name plen (String.length name - plen), n)
+           else None)
+    |> List.sort (fun (a, na) (b, nb) ->
+           if na <> nb then compare nb na else compare a b)
+    |> List.filteri (fun i _ -> i < t.top_k)
+
+  let peek t ~eng ~alarms ~conns ~subscribers ~now =
+    t.seq <- t.seq + 1;
+    let delta, _ = Snapshot.delta_live ~at:now ~prev:t.prev_snap t.registry in
+    let w_requests =
+      Metrics.counter_value (Metrics.counter delta "served.requests")
+    in
+    let graph = Monitor.graph (Admission.monitor (Engine.admission eng)) in
+    {
+      Wire.seq = t.seq;
+      t_mono = now;
+      interval_s = t.interval_s;
+      w_requests;
+      w_submitted = Engine.submitted eng - t.p_submitted;
+      w_committed = Engine.committed_top eng - t.p_committed;
+      w_aborted = Engine.aborted_top eng - t.p_aborted;
+      w_vetoed = Engine.vetoed eng - t.p_vetoed;
+      w_orphans = Engine.orphan_aborts eng - t.p_orphans;
+      w_alarms = alarms - t.p_alarms;
+      w_latency = Wire.hist_of_view (Window.histogram_current t.latency_w);
+      o_live = Engine.live_top eng;
+      o_doomed = Engine.doomed_count eng;
+      o_conns = conns;
+      o_subscribers = subscribers;
+      c_submitted = Engine.submitted eng;
+      c_committed = Engine.committed_top eng;
+      c_aborted = Engine.aborted_top eng;
+      c_vetoed = Engine.vetoed eng;
+      c_alarms = alarms;
+      sg_nodes = Graph.n_nodes graph;
+      sg_edges = Graph.n_edges graph;
+      sg_reorders = Graph.reorders graph;
+      hot = hot_top t delta;
+    }
+
+  let cut t ~eng ~alarms ~conns ~subscribers ~now =
+    let frame = peek t ~eng ~alarms ~conns ~subscribers ~now in
+    t.p_submitted <- Engine.submitted eng;
+    t.p_committed <- Engine.committed_top eng;
+    t.p_aborted <- Engine.aborted_top eng;
+    t.p_vetoed <- Engine.vetoed eng;
+    t.p_orphans <- Engine.orphan_aborts eng;
+    t.p_alarms <- alarms;
+    t.prev_snap <- Snapshot.capture ~at:now t.registry;
+    Window.tick t.win;
+    frame
+end
+
+module Audit = struct
+  type t = { oc : out_channel; mutable entries : int }
+
+  let open_file path = { oc = open_out path; entries = 0 }
+  let entries t = t.entries
+
+  let write t fields =
+    Json.output t.oc (Json.Obj fields);
+    output_char t.oc '\n';
+    flush t.oc;
+    t.entries <- t.entries + 1
+
+  let common ~ev ~now ~req ~client ~txn ~latency_us =
+    let base =
+      [
+        ("ev", Json.Str ev);
+        ("t", Json.Float now);
+        ("client", Json.Str client);
+        ("txn", Json.Str (Txn_id.to_string txn));
+        ("latency_us", Json.Int latency_us);
+      ]
+    in
+    match req with
+    | None -> base
+    | Some r -> ("req", Json.Str r) :: base
+
+  let veto t ~now ~req ~client ~txn ~latency_us (v : Admission.veto) =
+    write t
+      (common ~ev:"veto" ~now ~req ~client ~txn ~latency_us
+      @ [
+          ("node", Json.Str (Txn_id.to_string v.Admission.node));
+          ( "cycle",
+            Json.Arr
+              (List.map
+                 (fun u -> Json.Str (Txn_id.to_string u))
+                 v.Admission.cycle) );
+          ("witness", Json.Str v.Admission.witness);
+        ])
+
+  let slow t ~now ~req ~client ~txn ~latency_us ~outcome =
+    write t
+      (common ~ev:"slow" ~now ~req ~client ~txn ~latency_us
+      @ [ ("outcome", Json.Str outcome) ])
+
+  let close t = close_out t.oc
+end

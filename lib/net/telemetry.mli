@@ -1,0 +1,103 @@
+(** Server-side telemetry: the windowed hub behind [Telemetry] frames
+    and the structured audit log.
+
+    The {!Hub} owns the one sliding-window instrument a serving loop
+    cannot read straight off the engine: submit-to-completion latency,
+    fed from {!Engine.create}'s [on_top_complete] hook.  Everything
+    else in a frame — request counts, the per-object
+    [runtime.refused.*] family behind the hot-object ranking, engine
+    totals — is computed by differencing cumulative sources at frame
+    time: engine counters against their previous readings, and the
+    server's {!Nt_obs.Metrics} registry against a {!Nt_obs.Snapshot}.
+    The submit path pays nothing for telemetry beyond the hook's two
+    histogram updates; in particular no event stream is required, so
+    the server runs a metrics-only recorder by default.
+
+    The {!Audit} writer emits one JSON object per line: an entry for
+    every admission veto (carrying the full cycle and the
+    [explain_cycle] witness chain) and for every slow request, each
+    with the client's request id when one was supplied — the server
+    half of the trace-propagation contract in {!Wire}. *)
+
+open Nt_base
+open Nt_obs
+
+module Hub : sig
+  type t
+
+  val create : ?slots:int -> ?top_k:int -> interval_s:float -> Metrics.t -> t
+  (** A hub windowing over [slots] intervals (default 8), reporting at
+      most [top_k] hot objects (default 5).  The registry is the one
+      the server counts wire requests in ([served.requests]) and hands
+      to the engine's recorder — frames rank hot objects by the
+      interval delta of its [runtime.refused.<obj>] counters, which
+      the runtime maintains whenever the recorder is enabled.  The hub
+      also registers the cumulative [served.latency_us] histogram
+      there so [--prom] exports see totals. *)
+
+  val observe_latency : t -> int -> unit
+  (** Record one submit-to-completion latency (µs) into both the
+      window and the cumulative registry histogram. *)
+
+  val seq : t -> int
+  (** Frames built so far. *)
+
+  val interval_s : t -> float
+
+  val peek :
+    t ->
+    eng:Engine.t ->
+    alarms:int ->
+    conns:int ->
+    subscribers:int ->
+    now:float ->
+    Wire.telemetry
+  (** Build a frame for the {e open} (partial) interval without
+      closing it — what a fresh subscriber gets immediately.  [alarms]
+      is the server's actionable-alarm count (backend-dependent, so
+      the caller supplies it).  Increments {!seq}. *)
+
+  val cut :
+    t ->
+    eng:Engine.t ->
+    alarms:int ->
+    conns:int ->
+    subscribers:int ->
+    now:float ->
+    Wire.telemetry
+  (** {!peek}, then close the interval: remember current cumulative
+      readings as the new baseline, snapshot the registry and rotate
+      the window.  Call once per telemetry interval. *)
+end
+
+module Audit : sig
+  type t
+
+  val open_file : string -> t
+  val entries : t -> int
+
+  val veto :
+    t ->
+    now:float ->
+    req:string option ->
+    client:string ->
+    txn:Txn_id.t ->
+    latency_us:int ->
+    Admission.veto ->
+    unit
+  (** One JSONL entry: [ev:"veto"] with the vetoed node, the cycle as
+      a transaction list, and the multi-line witness chain from
+      [explain_cycle]. *)
+
+  val slow :
+    t ->
+    now:float ->
+    req:string option ->
+    client:string ->
+    txn:Txn_id.t ->
+    latency_us:int ->
+    outcome:string ->
+    unit
+
+  val close : t -> unit
+end

@@ -1,11 +1,16 @@
 open Nt_base
 open Nt_obs
 
-let protocol_version = 1
+let protocol_version = 2
 let max_frame = 4 * 1024 * 1024
 let max_header = 20
 
 let frame payload = Printf.sprintf "%d\n%s" (String.length payload) payload
+
+let prefix_for_error s =
+  let n = min 20 (String.length s) in
+  let p = String.sub s 0 n in
+  if String.length s > n then p ^ "..." else p
 
 module Reader = struct
   type t = { mutable acc : string }
@@ -20,17 +25,24 @@ module Reader = struct
     match String.index_opt t.acc '\n' with
     | None ->
         if String.length t.acc > max_header then
-          Error "frame header too long (no newline)"
+          Error
+            (Printf.sprintf
+               "frame header too long: no newline in first %d bytes (%S)"
+               (String.length t.acc)
+               (prefix_for_error t.acc))
         else Ok None
     | Some i -> (
         let hdr = String.sub t.acc 0 i in
         if not (digits hdr) then
-          Error (Printf.sprintf "bad frame header %S" hdr)
+          Error (Printf.sprintf "bad frame header %S" (prefix_for_error hdr))
         else
           match int_of_string_opt hdr with
           | None -> Error (Printf.sprintf "bad frame header %S" hdr)
           | Some len when len > max_frame ->
-              Error (Printf.sprintf "frame of %d bytes exceeds max_frame" len)
+              Error
+                (Printf.sprintf
+                   "frame of %d bytes exceeds max_frame (%d bytes)" len
+                   max_frame)
           | Some len ->
               let start = i + 1 in
               if String.length t.acc - start < len then Ok None
@@ -45,9 +57,10 @@ end
 
 type request =
   | Hello of { client : string }
-  | Submit of { program : string }
+  | Submit of { program : string; req : string option }
   | Status of Txn_id.t
   | Metrics
+  | Subscribe
   | Quiesce
   | Shutdown
 
@@ -57,6 +70,56 @@ type txn_state =
   | Committed of string
   | Aborted of string option
 
+type hist = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;
+  h_max : int;
+  h_p50 : int;
+  h_p99 : int;
+  h_p999 : int;
+  h_buckets : (int * int) list;
+}
+
+let empty_hist =
+  {
+    h_count = 0;
+    h_sum = 0;
+    h_min = 0;
+    h_max = 0;
+    h_p50 = 0;
+    h_p99 = 0;
+    h_p999 = 0;
+    h_buckets = [];
+  }
+
+type telemetry = {
+  seq : int;
+  t_mono : float;
+  interval_s : float;
+  w_requests : int;
+  w_submitted : int;
+  w_committed : int;
+  w_aborted : int;
+  w_vetoed : int;
+  w_orphans : int;
+  w_alarms : int;
+  w_latency : hist;
+  o_live : int;
+  o_doomed : int;
+  o_conns : int;
+  o_subscribers : int;
+  c_submitted : int;
+  c_committed : int;
+  c_aborted : int;
+  c_vetoed : int;
+  c_alarms : int;
+  sg_nodes : int;
+  sg_edges : int;
+  sg_reorders : int;
+  hot : (string * int) list;
+}
+
 type response =
   | Welcome of {
       server : string;
@@ -64,10 +127,11 @@ type response =
       backend : string;
       objects : (string * string) list;
     }
-  | Accepted of Txn_id.t
-  | Rejected of string
-  | State of Txn_id.t * txn_state
+  | Accepted of { txn : Txn_id.t; req : string option }
+  | Rejected of { why : string; req : string option }
+  | State of { txn : Txn_id.t; state : txn_state; req : string option }
   | Metrics_dump of Json.t
+  | Telemetry of telemetry
   | Quiesced of { committed : int; aborted : int; vetoed : int; alarms : int }
   | Goodbye
   | Error_msg of string
@@ -79,12 +143,16 @@ let str s = Json.Str s
 let int n = Json.Int n
 let txn t = str (Txn_id.to_string t)
 
+let opt_req req fields =
+  match req with None -> fields | Some r -> ("req", str r) :: fields
+
 let request_to_json = function
   | Hello { client } -> obj [ ("type", str "hello"); ("client", str client) ]
-  | Submit { program } ->
-      obj [ ("type", str "submit"); ("program", str program) ]
+  | Submit { program; req } ->
+      obj (("type", str "submit") :: opt_req req [ ("program", str program) ])
   | Status t -> obj [ ("type", str "status"); ("txn", txn t) ]
   | Metrics -> obj [ ("type", str "metrics") ]
+  | Subscribe -> obj [ ("type", str "subscribe") ]
   | Quiesce -> obj [ ("type", str "quiesce") ]
   | Shutdown -> obj [ ("type", str "shutdown") ]
 
@@ -94,6 +162,69 @@ let state_fields = function
   | Committed v -> [ ("state", str "committed"); ("value", str v) ]
   | Aborted None -> [ ("state", str "aborted") ]
   | Aborted (Some why) -> [ ("state", str "aborted"); ("veto", str why) ]
+
+let hist_to_json h =
+  obj
+    [
+      ("count", int h.h_count);
+      ("sum", int h.h_sum);
+      ("min", int h.h_min);
+      ("max", int h.h_max);
+      ("p50", int h.h_p50);
+      ("p99", int h.h_p99);
+      ("p999", int h.h_p999);
+      ( "buckets",
+        Json.Arr
+          (List.map (fun (i, n) -> Json.Arr [ int i; int n ]) h.h_buckets) );
+    ]
+
+let telemetry_to_json t =
+  obj
+    [
+      ("type", str "telemetry");
+      ("seq", int t.seq);
+      ("t", Json.Float t.t_mono);
+      ("interval_s", Json.Float t.interval_s);
+      ( "win",
+        obj
+          [
+            ("requests", int t.w_requests);
+            ("submitted", int t.w_submitted);
+            ("committed", int t.w_committed);
+            ("aborted", int t.w_aborted);
+            ("vetoed", int t.w_vetoed);
+            ("orphans", int t.w_orphans);
+            ("alarms", int t.w_alarms);
+            ("latency_us", hist_to_json t.w_latency);
+          ] );
+      ( "occ",
+        obj
+          [
+            ("live", int t.o_live);
+            ("doomed", int t.o_doomed);
+            ("conns", int t.o_conns);
+            ("subscribers", int t.o_subscribers);
+          ] );
+      ( "total",
+        obj
+          [
+            ("submitted", int t.c_submitted);
+            ("committed", int t.c_committed);
+            ("aborted", int t.c_aborted);
+            ("vetoed", int t.c_vetoed);
+            ("alarms", int t.c_alarms);
+          ] );
+      ( "sg",
+        obj
+          [
+            ("nodes", int t.sg_nodes);
+            ("edges", int t.sg_edges);
+            ("reorders", int t.sg_reorders);
+          ] );
+      ( "hot",
+        Json.Arr
+          (List.map (fun (x, w) -> Json.Arr [ str x; int w ]) t.hot) );
+    ]
 
 let response_to_json = function
   | Welcome { server; version; backend; objects } ->
@@ -111,10 +242,16 @@ let response_to_json = function
                    obj [ ("name", str name); ("decl", str decl) ])
                  objects) );
         ]
-  | Accepted t -> obj [ ("type", str "accepted"); ("txn", txn t) ]
-  | Rejected why -> obj [ ("type", str "rejected"); ("why", str why) ]
-  | State (t, st) -> obj (("type", str "state") :: ("txn", txn t) :: state_fields st)
+  | Accepted { txn = t; req } ->
+      obj (("type", str "accepted") :: opt_req req [ ("txn", txn t) ])
+  | Rejected { why; req } ->
+      obj (("type", str "rejected") :: opt_req req [ ("why", str why) ])
+  | State { txn = t; state; req } ->
+      obj
+        (("type", str "state")
+        :: opt_req req (("txn", txn t) :: state_fields state))
   | Metrics_dump j -> obj [ ("type", str "metrics"); ("metrics", j) ]
+  | Telemetry t -> telemetry_to_json t
   | Quiesced { committed; aborted; vetoed; alarms } ->
       obj
         [
@@ -148,6 +285,21 @@ let int_field name j =
   | Some n -> Ok n
   | None -> Error (Printf.sprintf "field %S: expected an integer" name)
 
+let float_field name j =
+  let* v = field name j in
+  match v with
+  | Json.Float f -> Ok f
+  | Json.Int n -> Ok (float_of_int n)
+  | _ -> Error (Printf.sprintf "field %S: expected a number" name)
+
+let req_field j =
+  match Json.member "req" j with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_str_opt v with
+      | Some r -> Ok (Some r)
+      | None -> Error "field \"req\": expected a string")
+
 let txn_field name j =
   let* s = str_field name j in
   match Txn_id.of_string s with
@@ -162,11 +314,13 @@ let request_of_json j =
       Ok (Hello { client })
   | "submit" ->
       let* program = str_field "program" j in
-      Ok (Submit { program })
+      let* req = req_field j in
+      Ok (Submit { program; req })
   | "status" ->
       let* t = txn_field "txn" j in
       Ok (Status t)
   | "metrics" -> Ok Metrics
+  | "subscribe" -> Ok Subscribe
   | "quiesce" -> Ok Quiesce
   | "shutdown" -> Ok Shutdown
   | other -> Error (Printf.sprintf "unknown request type %S" other)
@@ -187,6 +341,98 @@ let state_of_json j =
           | None -> Error "field \"veto\": expected a string")
       | None -> Ok (Aborted None))
   | other -> Error (Printf.sprintf "unknown transaction state %S" other)
+
+let pairs_field ~name ~of_fst ~of_snd j =
+  match Json.member name j with
+  | Some (Json.Arr items) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          match item with
+          | Json.Arr [ a; b ] -> (
+              match (of_fst a, of_snd b) with
+              | Some a, Some b -> Ok ((a, b) :: acc)
+              | _ ->
+                  Error (Printf.sprintf "field %S: bad pair element" name))
+          | _ -> Error (Printf.sprintf "field %S: expected pairs" name))
+        (Ok []) items
+      |> Result.map List.rev
+  | Some _ -> Error (Printf.sprintf "field %S: expected an array" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let hist_of_json j =
+  let* h_count = int_field "count" j in
+  let* h_sum = int_field "sum" j in
+  let* h_min = int_field "min" j in
+  let* h_max = int_field "max" j in
+  let* h_p50 = int_field "p50" j in
+  let* h_p99 = int_field "p99" j in
+  let* h_p999 = int_field "p999" j in
+  let* h_buckets =
+    pairs_field ~name:"buckets" ~of_fst:Json.to_int_opt
+      ~of_snd:Json.to_int_opt j
+  in
+  Ok { h_count; h_sum; h_min; h_max; h_p50; h_p99; h_p999; h_buckets }
+
+let telemetry_of_json j =
+  let* seq = int_field "seq" j in
+  let* t_mono = float_field "t" j in
+  let* interval_s = float_field "interval_s" j in
+  let* win = field "win" j in
+  let* w_requests = int_field "requests" win in
+  let* w_submitted = int_field "submitted" win in
+  let* w_committed = int_field "committed" win in
+  let* w_aborted = int_field "aborted" win in
+  let* w_vetoed = int_field "vetoed" win in
+  let* w_orphans = int_field "orphans" win in
+  let* w_alarms = int_field "alarms" win in
+  let* lat = field "latency_us" win in
+  let* w_latency = hist_of_json lat in
+  let* occ = field "occ" j in
+  let* o_live = int_field "live" occ in
+  let* o_doomed = int_field "doomed" occ in
+  let* o_conns = int_field "conns" occ in
+  let* o_subscribers = int_field "subscribers" occ in
+  let* total = field "total" j in
+  let* c_submitted = int_field "submitted" total in
+  let* c_committed = int_field "committed" total in
+  let* c_aborted = int_field "aborted" total in
+  let* c_vetoed = int_field "vetoed" total in
+  let* c_alarms = int_field "alarms" total in
+  let* sg = field "sg" j in
+  let* sg_nodes = int_field "nodes" sg in
+  let* sg_edges = int_field "edges" sg in
+  let* sg_reorders = int_field "reorders" sg in
+  let* hot =
+    pairs_field ~name:"hot" ~of_fst:Json.to_str_opt ~of_snd:Json.to_int_opt j
+  in
+  Ok
+    {
+      seq;
+      t_mono;
+      interval_s;
+      w_requests;
+      w_submitted;
+      w_committed;
+      w_aborted;
+      w_vetoed;
+      w_orphans;
+      w_alarms;
+      w_latency;
+      o_live;
+      o_doomed;
+      o_conns;
+      o_subscribers;
+      c_submitted;
+      c_committed;
+      c_aborted;
+      c_vetoed;
+      c_alarms;
+      sg_nodes;
+      sg_edges;
+      sg_reorders;
+      hot;
+    }
 
 let response_of_json j =
   let* ty = str_field "type" j in
@@ -212,17 +458,23 @@ let response_of_json j =
       Ok (Welcome { server; version; backend; objects })
   | "accepted" ->
       let* t = txn_field "txn" j in
-      Ok (Accepted t)
+      let* req = req_field j in
+      Ok (Accepted { txn = t; req })
   | "rejected" ->
       let* why = str_field "why" j in
-      Ok (Rejected why)
+      let* req = req_field j in
+      Ok (Rejected { why; req })
   | "state" ->
       let* t = txn_field "txn" j in
-      let* st = state_of_json j in
-      Ok (State (t, st))
+      let* state = state_of_json j in
+      let* req = req_field j in
+      Ok (State { txn = t; state; req })
   | "metrics" ->
       let* m = field "metrics" j in
       Ok (Metrics_dump m)
+  | "telemetry" ->
+      let* t = telemetry_of_json j in
+      Ok (Telemetry t)
   | "quiesced" ->
       let* committed = int_field "committed" j in
       let* aborted = int_field "aborted" j in
@@ -243,6 +495,18 @@ let encode_request r = frame (Json.to_string (request_to_json r))
 let decode_request payload = decode_with request_of_json payload
 let encode_response r = frame (Json.to_string (response_to_json r))
 let decode_response payload = decode_with response_of_json payload
+
+let hist_of_view (v : Nt_obs.Window.view) =
+  {
+    h_count = v.Window.count;
+    h_sum = v.Window.sum;
+    h_min = v.Window.min;
+    h_max = v.Window.max;
+    h_p50 = v.Window.p50;
+    h_p99 = v.Window.p99;
+    h_p999 = v.Window.p999;
+    h_buckets = v.Window.buckets;
+  }
 
 let pp_request ppf r =
   Format.pp_print_string ppf (Json.to_string (request_to_json r))

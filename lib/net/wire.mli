@@ -7,8 +7,26 @@
     strings, so the protocol needs no schema negotiation beyond the
     object declarations in {!constructor:Welcome}.
 
+    {b Trace propagation.}  A client may attach an opaque request id
+    to {!constructor:Submit} (["req"], omitted from the JSON when
+    absent); the server stores it with the submission and echoes it in
+    the {!constructor:Accepted}/{!constructor:Rejected} answer, in
+    every {!constructor:State} about that transaction, and in the
+    audit-log entry if the transaction is vetoed or slow — so a client
+    span, the server-side transaction span and the audit record all
+    link into one trace without the server interpreting the id.
+
+    {b Telemetry streaming.}  {!constructor:Subscribe} registers the
+    connection for server-push {!constructor:Telemetry} frames: one
+    immediately, then one per server telemetry interval, each carrying
+    a sequence number, monotonic server time, the closing interval's
+    windowed counters and latency histogram, engine occupancy,
+    cumulative totals, serialization-graph size and the top-K
+    lock-contended objects.  Subscribers are read-only observers — the
+    submit path is not perturbed beyond buffering their frames.
+
     The codec is symmetric — both directions are exposed so the server,
-    the client ([ntload]) and the in-process harness
+    the clients ([ntload], [nttop]) and the in-process harness
     ([Nt_check.Check.serve]) share one definition. *)
 
 open Nt_base
@@ -27,7 +45,9 @@ val frame : string -> string
 (** Incremental frame extraction for a [select] loop: {!Reader.feed}
     whatever bytes arrived, then {!Reader.next} until it returns
     [Ok None].  A reader that returned [Error] is poisoned — the
-    connection should be dropped. *)
+    connection should be dropped.  Errors carry the offending size or
+    a bounded prefix of the offending bytes, so a protocol log names
+    what poisoned the stream. *)
 module Reader : sig
   type t
 
@@ -36,7 +56,9 @@ module Reader : sig
 
   val next : t -> (string option, string) result
   (** [Ok (Some payload)] — one complete frame; [Ok None] — need more
-      bytes; [Error] — malformed or oversized header. *)
+      bytes; [Error] — malformed or oversized header (the message
+      reports the claimed size and the limit, or the first bytes of
+      the bad header). *)
 
   val buffered : t -> int
   (** Bytes currently buffered (for backpressure accounting). *)
@@ -44,9 +66,12 @@ end
 
 type request =
   | Hello of { client : string }
-  | Submit of { program : string }  (** One {!Nt_serial.Program} as text. *)
+  | Submit of { program : string; req : string option }
+      (** One {!Nt_serial.Program} as text, with an optional opaque
+          client request id echoed in every answer about it. *)
   | Status of Txn_id.t
   | Metrics
+  | Subscribe  (** Register for server-push {!constructor:Telemetry}. *)
   | Quiesce  (** Drain: answer once nothing is enabled. *)
   | Shutdown
 
@@ -56,6 +81,55 @@ type txn_state =
   | Committed of string  (** The rendered commit value. *)
   | Aborted of string option
       (** With the admission veto witness, when that was the cause. *)
+
+type hist = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;  (** Exact raw extremes. *)
+  h_max : int;
+  h_p50 : int;  (** Bucket-upper-bound approximations (see
+                    {!Nt_obs.Metrics.hstats}). *)
+  h_p99 : int;
+  h_p999 : int;
+  h_buckets : (int * int) list;
+      (** Non-empty power-of-two buckets as [(index, count)] pairs,
+          ascending — enough for a consumer to re-aggregate across
+          frames without re-bucketing error. *)
+}
+(** A histogram as it travels on the wire. *)
+
+val empty_hist : hist
+
+type telemetry = {
+  seq : int;  (** Monotonically increasing per server. *)
+  t_mono : float;  (** Monotonic server clock, seconds. *)
+  interval_s : float;  (** Configured telemetry interval. *)
+  w_requests : int;  (** Window: wire requests handled. *)
+  w_submitted : int;
+  w_committed : int;
+  w_aborted : int;
+  w_vetoed : int;
+  w_orphans : int;
+  w_alarms : int;
+  w_latency : hist;  (** Window: submit-to-completion latency, µs. *)
+  o_live : int;  (** Occupancy: submitted, not yet complete. *)
+  o_doomed : int;
+  o_conns : int;
+  o_subscribers : int;
+  c_submitted : int;  (** Cumulative totals since server start. *)
+  c_committed : int;
+  c_aborted : int;
+  c_vetoed : int;
+  c_alarms : int;
+  sg_nodes : int;  (** Serialization-graph size (monitor). *)
+  sg_edges : int;
+  sg_reorders : int;
+  hot : (string * int) list;
+      (** Top-K objects by refused accesses (lock waits) this interval,
+          from the delta of the runtime's per-object [runtime.refused.*]
+          counters. *)
+}
+(** One server-push telemetry frame. *)
 
 type response =
   | Welcome of {
@@ -67,10 +141,16 @@ type response =
               servable object — enough for a client to generate
               well-typed programs. *)
     }
-  | Accepted of Txn_id.t  (** The name under which the program runs. *)
-  | Rejected of string  (** Parse/validation failure; nothing ran. *)
-  | State of Txn_id.t * txn_state
+  | Accepted of { txn : Txn_id.t; req : string option }
+      (** The name under which the program runs, echoing the
+          submission's request id. *)
+  | Rejected of { why : string; req : string option }
+      (** Parse/validation failure; nothing ran. *)
+  | State of { txn : Txn_id.t; state : txn_state; req : string option }
+      (** [req] echoes the id given at submission (an un-submitted or
+          foreign transaction has none). *)
   | Metrics_dump of Json.t  (** {!Nt_obs.Metrics.to_json} of the server. *)
+  | Telemetry of telemetry
   | Quiesced of { committed : int; aborted : int; vetoed : int; alarms : int }
   | Goodbye
   | Error_msg of string  (** Protocol-level error; connection closes. *)
@@ -79,6 +159,12 @@ val request_to_json : request -> Json.t
 val request_of_json : Json.t -> (request, string) result
 val response_to_json : response -> Json.t
 val response_of_json : Json.t -> (response, string) result
+
+val hist_to_json : hist -> Json.t
+val hist_of_json : Json.t -> (hist, string) result
+
+val hist_of_view : Window.view -> hist
+(** Lift a windowed histogram readout onto the wire. *)
 
 val encode_request : request -> string
 (** Framed and ready to write. *)

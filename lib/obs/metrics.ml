@@ -57,6 +57,13 @@ let histogram t name =
 
 let incr ?(by = 1) c = c.c <- c.c + by
 let counter_value c = c.c
+
+let counters t =
+  Hashtbl.fold
+    (fun name i acc ->
+      match i with Counter c -> (name, c.c) :: acc | _ -> acc)
+    t []
+  |> List.sort compare
 let set g v = g.g <- v
 let gauge_value g = g.g
 
@@ -89,6 +96,7 @@ type hstats = {
   max : int;
   p50 : int;
   p99 : int;
+  p999 : int;
 }
 
 (* Quantile as the upper bound (2^i - 1, i.e. the largest value the
@@ -119,7 +127,18 @@ let histogram_stats h =
     max = h.h_max;
     p50 = quantile h 0.5;
     p99 = quantile h 0.99;
+    p999 = quantile h 0.999;
   }
+
+let histogram_buckets h =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then acc := (i, h.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let bucket_lower i = if i <= 0 then 0 else 1 lsl (i - 1)
+let bucket_upper i = if i <= 0 then 0 else (1 lsl i) - 1
 
 let is_empty t = Hashtbl.length t = 0
 
@@ -162,6 +181,80 @@ let merge dst src =
           end)
     src
 
+let copy src =
+  let dst = create () in
+  Hashtbl.iter
+    (fun name inst ->
+      let inst' =
+        match inst with
+        | Counter c -> Counter { c = c.c }
+        | Gauge g -> Gauge { g = g.g }
+        | Histogram h ->
+            Histogram
+              {
+                buckets = Array.copy h.buckets;
+                h_count = h.h_count;
+                h_sum = h.h_sum;
+                h_min = h.h_min;
+                h_max = h.h_max;
+              }
+      in
+      Hashtbl.replace dst name inst')
+    src;
+  dst
+
+(* Per-interval delta of two cumulative registries.  Counters and
+   histogram buckets/count/sum subtract exactly; gauges take the
+   current value (a gauge is already instantaneous).  A delta
+   histogram's min/max cannot be recovered from cumulative extremes
+   alone: they are exact when the interval moved the cumulative
+   extreme, else approximated by the bounds of the interval's extreme
+   non-empty buckets (clamped into the cumulative [min, max]). *)
+let diff ~cur ~prev =
+  let dst = create () in
+  Hashtbl.iter
+    (fun name inst ->
+      match inst with
+      | Counter c ->
+          let p =
+            match Hashtbl.find_opt prev name with
+            | Some (Counter pc) -> pc.c
+            | Some _ -> kind_error name
+            | None -> 0
+          in
+          incr ~by:(c.c - p) (counter dst name)
+      | Gauge g -> set (gauge dst name) g.g
+      | Histogram h ->
+          let d = histogram dst name in
+          let pb, p_min, p_max, p_count, p_sum =
+            match Hashtbl.find_opt prev name with
+            | Some (Histogram p) ->
+                (p.buckets, p.h_min, p.h_max, p.h_count, p.h_sum)
+            | Some _ -> kind_error name
+            | None -> (Array.make n_buckets 0, 0, 0, 0, 0)
+          in
+          let lo = ref (-1) and hi = ref (-1) in
+          for i = 0 to n_buckets - 1 do
+            let n = h.buckets.(i) - pb.(i) in
+            d.buckets.(i) <- n;
+            if n > 0 then begin
+              if !lo < 0 then lo := i;
+              hi := i
+            end
+          done;
+          d.h_count <- h.h_count - p_count;
+          d.h_sum <- h.h_sum - p_sum;
+          if d.h_count > 0 then begin
+            d.h_min <-
+              (if p_count = 0 || h.h_min < p_min then h.h_min
+               else Stdlib.max h.h_min (bucket_lower !lo));
+            d.h_max <-
+              (if p_count = 0 || h.h_max > p_max then h.h_max
+               else Stdlib.min h.h_max (bucket_upper !hi))
+          end)
+    cur;
+  dst
+
 let sorted t =
   Hashtbl.fold (fun name i acc -> (name, i) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -178,8 +271,9 @@ let pp fmt t =
       | Histogram h ->
           let s = histogram_stats h in
           Format.fprintf fmt
-            "%-32s count %d  sum %d  min %d  p50 %d  p99 %d  max %d" name
-            s.count s.sum s.min s.p50 s.p99 s.max)
+            "%-32s count %d  sum %d  min %d  p50 %d  p99 %d  p999 %d  max \
+             %d"
+            name s.count s.sum s.min s.p50 s.p99 s.p999 s.max)
     items;
   Format.fprintf fmt "@]"
 
@@ -211,6 +305,7 @@ let pp_prometheus fmt t =
           Format.fprintf fmt "# TYPE %s summary@\n" p;
           Format.fprintf fmt "%s{quantile=\"0.5\"} %d@\n" p s.p50;
           Format.fprintf fmt "%s{quantile=\"0.99\"} %d@\n" p s.p99;
+          Format.fprintf fmt "%s{quantile=\"0.999\"} %d@\n" p s.p999;
           Format.fprintf fmt "%s_sum %d@\n" p s.sum;
           Format.fprintf fmt "%s_count %d@\n" p s.count)
     (sorted t)
@@ -234,6 +329,7 @@ let to_json t =
                   ("max", Json.Int s.max);
                   ("p50", Json.Int s.p50);
                   ("p99", Json.Int s.p99);
+                  ("p999", Json.Int s.p999);
                 ] )
             :: !histograms)
     (sorted t);

@@ -35,6 +35,12 @@ val histogram : t -> string -> histogram
 val incr : ?by:int -> counter -> unit
 val counter_value : counter -> int
 
+val counters : t -> (string * int) list
+(** Every registered counter as [(name, value)], sorted by name —
+    for consumers that aggregate families of related counters (e.g.
+    the per-object [runtime.refused.*] family behind the telemetry
+    hub's hot-object ranking). *)
+
 val set : gauge -> float -> unit
 val gauge_value : gauge -> float
 
@@ -44,13 +50,31 @@ val observe : histogram -> int -> unit
 type hstats = {
   count : int;
   sum : int;
-  min : int;  (** 0 when empty. *)
-  max : int;  (** 0 when empty. *)
-  p50 : int;  (** Bucket upper bounds — approximate. *)
+  min : int;  (** Exact raw minimum observed (0 when empty). *)
+  max : int;  (** Exact raw maximum observed (0 when empty). *)
+  p50 : int;
+      (** Quantiles are bucket-upper-bound approximations: the largest
+          value the crossing bucket can hold ([2^i - 1]), clamped to
+          the exact raw [max] — so a quantile never exceeds anything
+          actually observed, and a single-observation histogram
+          reports that observation exactly. *)
   p99 : int;
+  p999 : int;
 }
 
 val histogram_stats : histogram -> hstats
+
+val histogram_buckets : histogram -> (int * int) list
+(** The non-empty power-of-two buckets as [(index, count)] pairs in
+    ascending index order: bucket [0] holds observations [<= 0],
+    bucket [i > 0] holds [2^(i-1) <= v < 2^i].  The raw shape behind
+    {!histogram_stats}, exported so artifacts survive re-bucketing. *)
+
+val bucket_lower : int -> int
+(** Smallest value bucket [i] can hold ([0] for bucket 0). *)
+
+val bucket_upper : int -> int
+(** Largest value bucket [i] can hold ([0] for bucket 0). *)
 
 val is_empty : t -> bool
 (** No instrument registered (not merely all-zero). *)
@@ -65,6 +89,21 @@ val merge : t -> t -> unit
     [src] is unchanged.  Raises [Invalid_argument] if a name is
     registered with different instrument kinds in the two registries.
     This is how [ntprof] combines registries across trace files. *)
+
+val copy : t -> t
+(** A deep, independent copy — the frozen registry a {!Snapshot}
+    retains. *)
+
+val diff : cur:t -> prev:t -> t
+(** [diff ~cur ~prev] is a fresh registry holding the per-interval
+    delta of two cumulative readings of the {e same} instruments
+    ([prev] an earlier {!copy} of [cur]'s registry): counters and
+    histogram buckets/count/sum subtract exactly, gauges take [cur]'s
+    value.  A delta histogram's min/max are exact when the interval
+    moved the cumulative extreme and bucket-bound approximations
+    otherwise (clamped into the cumulative range).  Instruments absent
+    from [prev] are treated as zero; raises [Invalid_argument] on kind
+    mismatches. *)
 
 val pp : Format.formatter -> t -> unit
 (** All instruments, sorted by name, one per line. *)

@@ -1,0 +1,13 @@
+type t = { at : float; frozen : Metrics.t }
+
+let capture ?(at = 0.0) m = { at; frozen = Metrics.copy m }
+let at s = s.at
+let metrics s = s.frozen
+
+let delta ~prev cur =
+  (Metrics.diff ~cur:cur.frozen ~prev:prev.frozen, cur.at -. prev.at)
+
+let delta_live ?(at = 0.0) ~prev m =
+  (Metrics.diff ~cur:m ~prev:prev.frozen, at -. prev.at)
+
+let rate n elapsed = if elapsed > 0.0 then float_of_int n /. elapsed else 0.0

@@ -1,0 +1,31 @@
+(** Frozen readings of a {!Metrics} registry, diffed into per-interval
+    deltas.
+
+    The registry's instruments are cumulative; a consumer that wants
+    "what happened {e this} interval" captures a snapshot at each
+    boundary and diffs consecutive captures — counters and histogram
+    buckets subtract exactly ({!Metrics.diff}), so cumulative
+    instruments render as per-interval deltas without touching the
+    producers.  [at] is whatever clock the caller uses (seconds;
+    [ntserved] passes its monotonic time) and rides along so rates
+    fall out of a diff. *)
+
+type t
+
+val capture : ?at:float -> Metrics.t -> t
+(** Deep-copy the registry's current values ([at] defaults to 0). *)
+
+val at : t -> float
+val metrics : t -> Metrics.t
+(** The frozen copy (owned by the snapshot; do not mutate). *)
+
+val delta : prev:t -> t -> Metrics.t * float
+(** [delta ~prev cur]: the per-interval registry ({!Metrics.diff}) and
+    the elapsed seconds between the captures. *)
+
+val delta_live : ?at:float -> prev:t -> Metrics.t -> Metrics.t * float
+(** Diff a live registry against a snapshot without capturing first
+    (the "render the current interval so far" path). *)
+
+val rate : int -> float -> float
+(** [rate n elapsed] = [n /. elapsed], 0 on a degenerate interval. *)

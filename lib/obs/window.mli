@@ -1,0 +1,75 @@
+(** Sliding-window instruments for live telemetry.
+
+    A {!t} is a ring of [slots] equal intervals.  Instruments are
+    registered by name (get-or-create, like {!Metrics}); updates touch
+    only the head slot, so hot-path cost is a couple of array-cell
+    mutations.  {!tick} closes the current interval and reuses the
+    oldest slot; readouts aggregate either the open slot alone
+    ([*_current] — "this interval so far") or every live slot
+    ([*_total]/{!histogram_view} — "the last [slots] intervals").
+
+    This is the windowed layer under [ntserved]'s [Telemetry] frames:
+    the server ticks once per telemetry interval, reads the closing
+    slot for per-interval rates and percentiles, and keeps the full
+    window for smoothed views.  Cumulative instruments that live in a
+    {!Metrics} registry are windowed from the outside with
+    {!Snapshot} instead. *)
+
+type t
+
+val create : ?slots:int -> unit -> t
+(** A window of [slots] intervals (default 8; must be >= 1). *)
+
+val slots : t -> int
+
+val rotations : t -> int
+(** {!tick}s so far. *)
+
+val tick : t -> unit
+(** Close the current interval: advance the head and zero the slot it
+    now occupies (the oldest data falls out of every windowed
+    readout). *)
+
+type wcounter
+type whistogram
+
+val counter : t -> string -> wcounter
+(** Get or create.  Raises [Invalid_argument] if the name is already
+    registered as a histogram. *)
+
+val histogram : t -> string -> whistogram
+
+val incr : ?by:int -> wcounter -> unit
+val observe : whistogram -> int -> unit
+(** Record a non-negative observation into the open slot (negative
+    values clamp to 0), bucketed by powers of two exactly as
+    {!Metrics.observe}. *)
+
+val counter_current : wcounter -> int
+(** The open slot's count (this interval so far). *)
+
+val counter_total : wcounter -> int
+(** Sum over the whole window, open slot included. *)
+
+type view = {
+  count : int;
+  sum : int;
+  min : int;  (** Exact raw extremes over the viewed slots. *)
+  max : int;
+  p50 : int;  (** Bucket-upper-bound approximations, clamped to [max]
+                  (same convention as {!Metrics.histogram_stats}). *)
+  p99 : int;
+  p999 : int;
+  buckets : (int * int) list;
+      (** Non-empty power-of-two buckets as [(index, count)],
+          ascending — the raw shape, merged over the viewed slots. *)
+}
+
+val empty_view : view
+
+val histogram_current : whistogram -> view
+(** The open slot alone. *)
+
+val histogram_view : whistogram -> view
+(** Aggregated over every slot that has been live so far (the whole
+    ring once [rotations >= slots - 1]). *)

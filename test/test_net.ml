@@ -12,12 +12,54 @@ let check_bool = Alcotest.(check bool)
 let sample_requests =
   [
     Wire.Hello { client = "c1" };
-    Wire.Submit { program = "(txn (seq (access x read)))" };
+    Wire.Submit { program = "(txn (seq (access x read)))"; req = None };
+    Wire.Submit { program = "(txn (seq (access x read)))"; req = Some "c1-42" };
     Wire.Status (Txn_id.of_path [ 3 ]);
     Wire.Metrics;
+    Wire.Subscribe;
     Wire.Quiesce;
     Wire.Shutdown;
   ]
+
+let sample_hist =
+  {
+    Wire.h_count = 7;
+    h_sum = 1234;
+    h_min = 3;
+    h_max = 700;
+    h_p50 = 127;
+    h_p99 = 700;
+    h_p999 = 700;
+    h_buckets = [ (2, 1); (7, 4); (10, 2) ];
+  }
+
+let sample_telemetry =
+  {
+    Wire.seq = 3;
+    t_mono = 2.125;
+    interval_s = 1.0;
+    w_requests = 41;
+    w_submitted = 12;
+    w_committed = 9;
+    w_aborted = 2;
+    w_vetoed = 1;
+    w_orphans = 0;
+    w_alarms = 0;
+    w_latency = sample_hist;
+    o_live = 4;
+    o_doomed = 1;
+    o_conns = 3;
+    o_subscribers = 2;
+    c_submitted = 120;
+    c_committed = 100;
+    c_aborted = 16;
+    c_vetoed = 5;
+    c_alarms = 0;
+    sg_nodes = 44;
+    sg_edges = 71;
+    sg_reorders = 2;
+    hot = [ ("r3", 17); ("r0", 4) ];
+  }
 
 let sample_responses =
   [
@@ -28,14 +70,29 @@ let sample_responses =
         backend = "undo";
         objects = [ ("x", "(register 0)"); ("c", "(counter 3)") ];
       };
-    Wire.Accepted (Txn_id.of_path [ 7 ]);
-    Wire.Rejected "line 2: unexpected )";
-    Wire.State (Txn_id.of_path [ 0 ], Wire.Pending);
-    Wire.State (Txn_id.of_path [ 1 ], Wire.Running);
-    Wire.State (Txn_id.of_path [ 2 ], Wire.Committed "[(true, ok)]");
-    Wire.State (Txn_id.of_path [ 3 ], Wire.Aborted None);
-    Wire.State (Txn_id.of_path [ 4 ], Wire.Aborted (Some "T0.1 -> T0.2 ..."));
+    Wire.Accepted { txn = Txn_id.of_path [ 7 ]; req = None };
+    Wire.Accepted { txn = Txn_id.of_path [ 8 ]; req = Some "c1-42" };
+    Wire.Rejected { why = "line 2: unexpected )"; req = Some "c1-43" };
+    Wire.State { txn = Txn_id.of_path [ 0 ]; state = Wire.Pending; req = None };
+    Wire.State
+      { txn = Txn_id.of_path [ 1 ]; state = Wire.Running; req = Some "c2-1" };
+    Wire.State
+      {
+        txn = Txn_id.of_path [ 2 ];
+        state = Wire.Committed "[(true, ok)]";
+        req = None;
+      };
+    Wire.State
+      { txn = Txn_id.of_path [ 3 ]; state = Wire.Aborted None; req = None };
+    Wire.State
+      {
+        txn = Txn_id.of_path [ 4 ];
+        state = Wire.Aborted (Some "T0.1 -> T0.2 ...");
+        req = Some "c9-0";
+      };
     Wire.Metrics_dump (Obs_json.Obj [ ("served.requests", Obs_json.Int 4) ]);
+    Wire.Telemetry sample_telemetry;
+    Wire.Telemetry { sample_telemetry with Wire.seq = 4; hot = [] };
     Wire.Quiesced { committed = 5; aborted = 2; vetoed = 1; alarms = 0 };
     Wire.Goodbye;
     Wire.Error_msg "bad frame header";
@@ -90,18 +147,189 @@ let t_wire_reassembly () =
     (List.map req_repr (List.rev !got) = List.map req_repr sample_requests)
 
 let t_wire_errors () =
-  let poisoned s =
+  let poison s =
     let r = Wire.Reader.create () in
     Wire.Reader.feed r s;
-    match Wire.Reader.next r with Error _ -> true | Ok _ -> false
+    match Wire.Reader.next r with
+    | Error e -> Some e
+    | Ok _ -> None
   in
+  let poisoned s = poison s <> None in
   check_bool "negative" true (poisoned "-1\nx");
   check_bool "garbage header" true (poisoned "zzz\n");
   check_bool "oversized" true (poisoned (string_of_int (Wire.max_frame + 1) ^ "\n"));
   check_bool "unterminated header" true (poisoned (String.make 64 '1'));
   check_bool "bad json" true (Result.is_error (Wire.decode_request "{"));
   check_bool "unknown type" true
-    (Result.is_error (Wire.decode_request "{\"type\":\"warp\"}"))
+    (Result.is_error (Wire.decode_request "{\"type\":\"warp\"}"));
+  (* the error names what poisoned the stream: the claimed size for an
+     oversized frame, the offending bytes for a garbage header *)
+  (match poison (string_of_int (Wire.max_frame + 1) ^ "\n") with
+  | Some e ->
+      check_bool "oversized error reports the claimed size" true
+        (Astring_like.contains e (string_of_int (Wire.max_frame + 1)));
+      check_bool "oversized error reports the limit" true
+        (Astring_like.contains e (string_of_int Wire.max_frame))
+  | None -> Alcotest.fail "oversized frame accepted");
+  (match poison "zzz\n" with
+  | Some e ->
+      check_bool "garbage error reports the prefix" true
+        (Astring_like.contains e "zzz")
+  | None -> Alcotest.fail "garbage header accepted");
+  (match poison "-1\nx" with
+  | Some e ->
+      check_bool "negative error reports the size" true
+        (Astring_like.contains e "-1")
+  | None -> Alcotest.fail "negative size accepted")
+
+(* ----- telemetry frames ----- *)
+
+(* A full Telemetry frame survives the wire exactly, including the
+   raw histogram buckets and the hot-object list. *)
+let t_wire_telemetry_roundtrip () =
+  let enc = Wire.encode_response (Wire.Telemetry sample_telemetry) in
+  let r = Wire.Reader.create () in
+  Wire.Reader.feed r enc;
+  match Wire.Reader.next r with
+  | Ok (Some payload) -> (
+      match Wire.decode_response payload with
+      | Ok (Wire.Telemetry f) ->
+          check_int "seq" sample_telemetry.Wire.seq f.Wire.seq;
+          check_int "w_requests" sample_telemetry.Wire.w_requests
+            f.Wire.w_requests;
+          check_int "latency count" sample_hist.Wire.h_count
+            f.Wire.w_latency.Wire.h_count;
+          check_bool "buckets survive" true
+            (f.Wire.w_latency.Wire.h_buckets = sample_hist.Wire.h_buckets);
+          check_bool "hot survives, ordered" true
+            (f.Wire.hot = sample_telemetry.Wire.hot);
+          check_bool "mono time survives" true
+            (abs_float (f.Wire.t_mono -. sample_telemetry.Wire.t_mono) < 1e-9)
+      | Ok _ -> Alcotest.fail "decoded to a different response"
+      | Error e -> Alcotest.failf "decode: %s" e)
+  | _ -> Alcotest.fail "expected one frame"
+
+(* Telemetry frames fed byte-at-a-time through the reader — a slow or
+   fragmented subscriber connection — reassemble intact and in order. *)
+let t_wire_telemetry_partial_frames () =
+  let frames =
+    List.init 5 (fun i ->
+        Wire.Telemetry { sample_telemetry with Wire.seq = i + 1 })
+  in
+  let blob = String.concat "" (List.map Wire.encode_response frames) in
+  let r = Wire.Reader.create () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Wire.Reader.feed r (String.make 1 c);
+      let rec drain () =
+        match Wire.Reader.next r with
+        | Ok (Some p) -> (
+            match Wire.decode_response p with
+            | Ok (Wire.Telemetry f) ->
+                got := f.Wire.seq :: !got;
+                drain ()
+            | _ -> Alcotest.fail "expected a telemetry frame")
+        | Ok None -> ()
+        | Error e -> Alcotest.failf "reader error: %s" e
+      in
+      drain ())
+    blob;
+  check_bool "all frames, in order" true (List.rev !got = [ 1; 2; 3; 4; 5 ])
+
+(* Two subscribers receiving the same frame stream in different
+   fragmentations (one byte-at-a-time, one in uneven chunks) both
+   recover the identical, monotonically-sequenced stream. *)
+let t_wire_interleaved_subscribers () =
+  let frames =
+    List.init 4 (fun i ->
+        Wire.encode_response
+          (Wire.Telemetry { sample_telemetry with Wire.seq = i + 1 }))
+  in
+  let blob = String.concat "" frames in
+  let drain_seqs r =
+    let acc = ref [] in
+    let rec go () =
+      match Wire.Reader.next r with
+      | Ok (Some p) -> (
+          match Wire.decode_response p with
+          | Ok (Wire.Telemetry f) ->
+              acc := f.Wire.seq :: !acc;
+              go ()
+          | _ -> Alcotest.fail "expected a telemetry frame")
+      | Ok None -> ()
+      | Error e -> Alcotest.failf "reader error: %s" e
+    in
+    go ();
+    List.rev !acc
+  in
+  let r1 = Wire.Reader.create () and r2 = Wire.Reader.create () in
+  let s1 = ref [] and s2 = ref [] in
+  (* interleave: r1 gets single bytes, r2 gets chunks of 7, delivery
+     alternating between the two connections *)
+  let n = String.length blob in
+  let i1 = ref 0 and i2 = ref 0 in
+  while !i1 < n || !i2 < n do
+    if !i1 < n then begin
+      Wire.Reader.feed r1 (String.sub blob !i1 1);
+      incr i1;
+      s1 := !s1 @ drain_seqs r1
+    end;
+    if !i2 < n then begin
+      let len = min 7 (n - !i2) in
+      Wire.Reader.feed r2 (String.sub blob !i2 len);
+      i2 := !i2 + len;
+      s2 := !s2 @ drain_seqs r2
+    end
+  done;
+  let monotone l = List.sort compare l = l && List.length l = 4 in
+  check_bool "subscriber 1 saw the full monotone stream" true (monotone !s1);
+  check_bool "subscriber 2 saw the full monotone stream" true (monotone !s2);
+  check_bool "identical streams" true (!s1 = !s2)
+
+(* The hub end of the stream: frames cut from a live engine carry
+   strictly increasing sequence numbers, window deltas that sum to the
+   cumulative totals, and a hot-object ranking fed by the runtime's
+   per-object refused-access counters. *)
+let t_hub_frames () =
+  let metrics = Metrics.create () in
+  let hub = Telemetry.Hub.create ~interval_s:1.0 metrics in
+  let obs = Obs.create ~metrics () in
+  let eng =
+    Engine.create ~seed:3 ~obs
+      [ (Obj_id.make "x0", Register.make ()); (Obj_id.make "y0", Register.make ()) ]
+      Moss_object.factory
+  in
+  let x = Program.access (Obj_id.make "x0") (Datatype.Write (Value.Int 1)) in
+  let y = Program.access (Obj_id.make "y0") Datatype.Read in
+  let frames = ref [] in
+  let cut () =
+    frames :=
+      Telemetry.Hub.cut hub ~eng ~alarms:0 ~conns:1 ~subscribers:1 ~now:0.0
+      :: !frames
+  in
+  for _ = 1 to 6 do
+    (* contending writers of x0: Moss write locks force refusals *)
+    ignore (Result.get_ok (Engine.submit eng (Program.seq [ x; x; y ])));
+    ignore (Result.get_ok (Engine.submit eng (Program.seq [ x; y ])));
+    ignore (Engine.step eng);
+    cut ()
+  done;
+  (match Engine.drain eng with `Quiescent -> () | _ -> Alcotest.fail "drain");
+  cut ();
+  let frames = List.rev !frames in
+  let seqs = List.map (fun f -> f.Wire.seq) frames in
+  check_bool "seq strictly increases" true
+    (List.for_all2 ( = ) seqs (List.init (List.length seqs) (fun i -> i + 1)));
+  let last = List.nth frames (List.length frames - 1) in
+  check_int "window submissions sum to cumulative" last.Wire.c_submitted
+    (List.fold_left (fun a f -> a + f.Wire.w_submitted) 0 frames);
+  check_int "window commits sum to cumulative" last.Wire.c_committed
+    (List.fold_left (fun a f -> a + f.Wire.w_committed) 0 frames);
+  check_bool "contended object surfaced as hot" true
+    (List.exists
+       (fun f -> List.mem_assoc "x0" f.Wire.hot)
+       frames)
 
 (* ----- engine ----- *)
 
@@ -412,6 +640,12 @@ let suite =
       Alcotest.test_case "wire roundtrip" `Quick t_wire_roundtrip;
       Alcotest.test_case "wire reassembly" `Quick t_wire_reassembly;
       Alcotest.test_case "wire errors" `Quick t_wire_errors;
+      Alcotest.test_case "telemetry roundtrip" `Quick t_wire_telemetry_roundtrip;
+      Alcotest.test_case "telemetry partial frames" `Quick
+        t_wire_telemetry_partial_frames;
+      Alcotest.test_case "interleaved subscribers" `Quick
+        t_wire_interleaved_subscribers;
+      Alcotest.test_case "telemetry hub frames" `Quick t_hub_frames;
       Alcotest.test_case "engine basic" `Quick t_engine_basic;
       Alcotest.test_case "engine validation" `Quick t_engine_validation;
       Alcotest.test_case "orphan mid-transaction" `Quick t_orphan_mid_transaction;

@@ -45,6 +45,57 @@ let t_metrics_histogram () =
   check_bool "p50 bounds median" true (s.Metrics.p50 >= 1);
   check_bool "p99 bounds max" true (s.Metrics.p99 >= 100)
 
+(* Boundary cases the hstats documentation promises: empty histograms
+   are all-zero, a single observation is reported exactly (quantiles
+   clamp to the raw max), and the top bucket clamps instead of
+   overflowing. *)
+let t_metrics_histogram_boundaries () =
+  let m = Metrics.create () in
+  let empty = Metrics.histogram_stats (Metrics.histogram m "empty") in
+  check_int "empty count" 0 empty.Metrics.count;
+  check_int "empty min" 0 empty.Metrics.min;
+  check_int "empty max" 0 empty.Metrics.max;
+  check_int "empty p50" 0 empty.Metrics.p50;
+  check_int "empty p999" 0 empty.Metrics.p999;
+  let h1 = Metrics.histogram m "single" in
+  Metrics.observe h1 37;
+  let s1 = Metrics.histogram_stats h1 in
+  check_int "single min" 37 s1.Metrics.min;
+  check_int "single max" 37 s1.Metrics.max;
+  check_int "single p50 = the observation" 37 s1.Metrics.p50;
+  check_int "single p99 = the observation" 37 s1.Metrics.p99;
+  check_int "single p999 = the observation" 37 s1.Metrics.p999;
+  (* max_int lands in the top bucket; stats stay exact for min/max and
+     the quantile clamps to the raw max rather than 2^63-ish garbage *)
+  let h2 = Metrics.histogram m "huge" in
+  Metrics.observe h2 max_int;
+  Metrics.observe h2 1;
+  let s2 = Metrics.histogram_stats h2 in
+  check_int "clamp max" max_int s2.Metrics.max;
+  check_int "clamp min" 1 s2.Metrics.min;
+  check_int "p99 clamps to raw max" max_int s2.Metrics.p99;
+  (* p999 rank: 998 observations of 1 and two of 8 put rank 999 of
+     1000 into the tail bucket, while p50 stays in the body *)
+  let h3 = Metrics.histogram m "tail" in
+  for _ = 1 to 998 do
+    Metrics.observe h3 1
+  done;
+  Metrics.observe h3 8;
+  Metrics.observe h3 8;
+  let s3 = Metrics.histogram_stats h3 in
+  check_int "p50 stays in the body" 1 s3.Metrics.p50;
+  check_bool "p999 reaches the tail" true (s3.Metrics.p999 >= 8);
+  (* negative observations clamp to bucket 0 *)
+  let h4 = Metrics.histogram m "neg" in
+  Metrics.observe h4 (-5);
+  let s4 = Metrics.histogram_stats h4 in
+  check_int "negative clamps to 0" 0 s4.Metrics.max;
+  (* bucket bound helpers agree with the bucketing *)
+  check_int "bucket 0 lower" 0 (Metrics.bucket_lower 0);
+  check_int "bucket 0 upper" 0 (Metrics.bucket_upper 0);
+  check_int "bucket 3 lower" 4 (Metrics.bucket_lower 3);
+  check_int "bucket 3 upper" 7 (Metrics.bucket_upper 3)
+
 let t_metrics_json () =
   let m = Metrics.create () in
   Metrics.incr ~by:3 (Metrics.counter m "n");
@@ -53,6 +104,87 @@ let t_metrics_json () =
   check_bool "has counter" true (contains s "\"n\":3");
   check_bool "has histogram" true (contains s "\"lat\"");
   check_bool "has count" true (contains s "\"count\":1")
+
+(* --- windows and snapshots ------------------------------------------- *)
+
+(* The property behind every per-interval readout: feeding the same
+   stream into a windowed instrument and a cumulative one, the sum of
+   the per-interval window readings equals the cumulative delta over
+   the same span — counters and histograms alike, whatever the
+   tick pattern. *)
+let t_window_sum_is_cumulative_delta () =
+  let rng = Rng.create 42 in
+  let win = Obs_window.create ~slots:4 () in
+  let m = Metrics.create () in
+  let wc = Obs_window.counter win "ops" and cc = Metrics.counter m "ops" in
+  let wh = Obs_window.histogram win "lat" and ch = Metrics.histogram m "lat" in
+  let base = Obs_snapshot.capture m in
+  (* per-interval tallies reconstructed from the window as we go *)
+  let intervals_c = ref [] and intervals_h = ref [] in
+  for _interval = 1 to 10 do
+    let n = 1 + Rng.int rng 50 in
+    for _ = 1 to n do
+      Obs_window.incr wc;
+      Metrics.incr cc;
+      let v = Rng.int rng 10_000 in
+      Obs_window.observe wh v;
+      Metrics.observe ch v
+    done;
+    intervals_c := Obs_window.counter_current wc :: !intervals_c;
+    intervals_h := (Obs_window.histogram_current wh).Obs_window.count :: !intervals_h;
+    Obs_window.tick win
+  done;
+  let delta, _ = Obs_snapshot.delta ~prev:base (Obs_snapshot.capture m) in
+  let d_ops = Metrics.counter_value (Metrics.counter delta "ops") in
+  check_int "sum of window counters = cumulative delta" d_ops
+    (List.fold_left ( + ) 0 !intervals_c);
+  let d_lat = Metrics.histogram_stats (Metrics.histogram delta "lat") in
+  check_int "sum of window histogram counts = cumulative delta"
+    d_lat.Metrics.count
+    (List.fold_left ( + ) 0 !intervals_h);
+  (* the ring only retains [slots] intervals: totals cover exactly the
+     live slots, never more *)
+  check_bool "window total bounded by ring size" true
+    (Obs_window.counter_total wc <= d_ops)
+
+(* Obs_snapshot.delta subtracts instrument-wise and treats instruments
+   born after the snapshot as starting from zero. *)
+let t_snapshot_delta () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:5 (Metrics.counter m "old");
+  Metrics.observe (Metrics.histogram m "h") 16;
+  let s0 = Obs_snapshot.capture m in
+  Metrics.incr ~by:2 (Metrics.counter m "old");
+  Metrics.incr ~by:9 (Metrics.counter m "new");
+  Metrics.observe (Metrics.histogram m "h") 16;
+  Metrics.observe (Metrics.histogram m "h") 300;
+  let d, _ = Obs_snapshot.delta ~prev:s0 (Obs_snapshot.capture m) in
+  check_int "existing counter subtracts" 2
+    (Metrics.counter_value (Metrics.counter d "old"));
+  check_int "new counter from zero" 9
+    (Metrics.counter_value (Metrics.counter d "new"));
+  let hs = Metrics.histogram_stats (Metrics.histogram d "h") in
+  check_int "histogram delta count" 2 hs.Metrics.count;
+  check_int "histogram delta sum" 316 hs.Metrics.sum;
+  (* the interval moved the cumulative max, so it is exact *)
+  check_int "delta max exact" 300 hs.Metrics.max
+
+(* A recorder without a sink emits nothing, but still maintains the
+   metrics side — and reports its event interests accordingly. *)
+let t_obs_interest () =
+  let m = Metrics.create () in
+  let quiet = Obs.create ~metrics:m () in
+  check_bool "enabled" true (Obs.enabled quiet);
+  check_bool "not emitting" false (Obs.emitting quiet);
+  check_bool "no wait interest" false (Obs.emitting_waits quiet);
+  check_bool "no edge interest" false (Obs.emitting_edges quiet);
+  let sink, _events = Obs_sink.memory () in
+  let waits = Obs.create ~metrics:m ~sink ~events:Obs.waits_only () in
+  check_bool "waits interest" true (Obs.emitting_waits waits);
+  check_bool "waits_only excludes edges" false (Obs.emitting_edges waits);
+  let full = Obs.create ~metrics:m ~sink () in
+  check_bool "full interest: waits" true (Obs.emitting_waits full);
+  check_bool "full interest: edges" true (Obs.emitting_edges full)
 
 (* --- span derivation from an action stream --------------------------- *)
 
@@ -255,7 +387,13 @@ let suite =
     [
       Alcotest.test_case "metrics counters and gauges" `Quick t_metrics_counters;
       Alcotest.test_case "metrics histogram stats" `Quick t_metrics_histogram;
+      Alcotest.test_case "histogram boundary cases" `Quick
+        t_metrics_histogram_boundaries;
       Alcotest.test_case "metrics JSON export" `Quick t_metrics_json;
+      Alcotest.test_case "window sum = cumulative delta" `Quick
+        t_window_sum_is_cumulative_delta;
+      Alcotest.test_case "snapshot delta" `Quick t_snapshot_delta;
+      Alcotest.test_case "recorder event interests" `Quick t_obs_interest;
       Alcotest.test_case "span derivation from actions" `Quick
         t_span_from_actions;
       Alcotest.test_case "null recorder is inert" `Quick t_null_is_inert;
