@@ -1119,12 +1119,187 @@ let e18 () =
   report t
 
 (* ------------------------------------------------------------------ *)
+(* E19: stage-tracing overhead.                                        *)
+
+(* The e18 telemetry configuration run twice: [base_ms] is the PR-6
+   serving baseline (metrics recorder + hub, completion hook observing
+   e2e latencies), [traced_ms] adds everything the flight recorder
+   costs per request: the engine's stage_times bookkeeping (a clock
+   read per submit / scheduler-create / gate consultation /
+   completion), seven per-stage hub observations, and seven ring
+   records — the same per-request span count ntserved produces.  The
+   same interleaved best-of-7 discipline as e18, and the same bar:
+   [overhead_pct] (traced against base) must stay under 3% at the
+   largest size.  [dump_ms] prices one full-ring JSONL dump (the
+   anomaly path — off the per-request path entirely); [ring_spans] is
+   what the dump carried. *)
+let e19 () =
+  let t =
+    Table.create ~title:"E19: stage-tracing overhead (flight recorder)"
+      ~columns:
+        [ "n_top"; "base_ms"; "traced_ms"; "overhead_pct"; "ring_spans";
+          "dump_ms"; "dump_bytes" ]
+  in
+  let time2 f g =
+    let best = Array.make 2 infinity in
+    let sample i k =
+      let dt = k () in
+      if dt < best.(i) then best.(i) <- dt
+    in
+    for _ = 1 to 7 do
+      sample 0 f;
+      sample 1 g
+    done;
+    (best.(0), best.(1))
+  in
+  let timed f =
+    let t0 = Sys.time () in
+    f ();
+    (Sys.time () -. t0) *. 1000.0
+  in
+  List.iter
+    (fun n_top ->
+      let rng = Rng.create 13 in
+      let forest, objects =
+        Gen.registers rng { Gen.default with n_top; depth = 2; n_objects = 8 }
+      in
+      let ring = ref None and dump_ms = ref 0.0 and dump_bytes = ref 0 in
+      let base () =
+        let metrics = Metrics.create () in
+        let hub = Telemetry.Hub.create ~interval_s:1.0 metrics in
+        let obs = Obs.create ~metrics () in
+        let submit_at = Hashtbl.create 256 in
+        let eng =
+          Engine.create ~policy:Runtime.Bsp_rounds ~admission:true ~obs
+            ~on_top_complete:(fun u _ ->
+              match Hashtbl.find_opt submit_at (Txn_id.to_string u) with
+              | None -> ()
+              | Some t0 ->
+                  Telemetry.Hub.observe_latency hub
+                    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)))
+            ~seed:13 objects Moss_object.factory
+        in
+        timed (fun () ->
+            List.iter
+              (fun p ->
+                (match Engine.submit eng p with
+                | Ok txn ->
+                    Hashtbl.replace submit_at (Txn_id.to_string txn)
+                      (Unix.gettimeofday ())
+                | Error e -> failwith e);
+                ignore (Engine.step eng))
+              forest;
+            (match Engine.drain eng with
+            | `Quiescent -> ()
+            | _ -> failwith "engine did not quiesce");
+            ignore (Engine.finish eng))
+      in
+      let traced () =
+        let metrics = Metrics.create () in
+        let hub = Telemetry.Hub.create ~interval_s:1.0 metrics in
+        let obs = Obs.create ~metrics () in
+        let submit_at = Hashtbl.create 256 in
+        let recorder = Stage.Recorder.create ~capacity:4096 in
+        ring := Some recorder;
+        let bench_t0 = Unix.gettimeofday () in
+        let clock () = Unix.gettimeofday () -. bench_t0 in
+        let span stage t0 t1 =
+          let sp =
+            {
+              Stage.sp_stage = stage;
+              sp_req = Some "bench";
+              sp_txn = None;
+              sp_conn = 1;
+              sp_t0 = t0;
+              sp_t1 = t1;
+            }
+          in
+          Telemetry.Hub.observe_stage hub stage (Stage.dur_us sp);
+          Stage.Recorder.record recorder sp
+        in
+        let eng_cell = ref None in
+        let eng =
+          Engine.create ~policy:Runtime.Bsp_rounds ~admission:true ~obs ~clock
+            ~on_top_complete:(fun u _ ->
+              (match Hashtbl.find_opt submit_at (Txn_id.to_string u) with
+              | None -> ()
+              | Some t0 ->
+                  Telemetry.Hub.observe_latency hub
+                    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)));
+              match Option.get !eng_cell with
+              | eng -> (
+                  match Engine.stage_times eng u with
+                  | None -> ()
+                  | Some st ->
+                      span "execute" st.Engine.st_start st.Engine.st_complete;
+                      span "gate"
+                        (st.Engine.st_complete -. st.Engine.st_gate)
+                        st.Engine.st_complete))
+            ~seed:13 objects Moss_object.factory
+        in
+        eng_cell := Some eng;
+        timed (fun () ->
+            List.iter
+              (fun p ->
+                (* the five spans ntserved records around a submission
+                   (read/decode before, validate/admit at, reply after) *)
+                let t_r0 = clock () in
+                let t_r1 = clock () in
+                span "read" t_r0 t_r1;
+                span "decode" t_r1 (clock ());
+                let t_v0 = clock () in
+                (match Engine.submit eng p with
+                | Ok txn ->
+                    Hashtbl.replace submit_at (Txn_id.to_string txn)
+                      (Unix.gettimeofday ())
+                | Error e -> failwith e);
+                let t_v1 = clock () in
+                span "validate" t_v0 t_v1;
+                span "admit" t_v0 t_v1;
+                ignore (Engine.step eng);
+                span "reply" t_v1 (clock ()))
+              forest;
+            (match Engine.drain eng with
+            | `Quiescent -> ()
+            | _ -> failwith "engine did not quiesce");
+            ignore (Engine.finish eng))
+      in
+      let t_base, t_traced = time2 base traced in
+      (match !ring with
+      | None -> ()
+      | Some recorder ->
+          let t0 = Sys.time () in
+          let oc_path = Filename.temp_file "e19" ".jsonl" in
+          let oc = open_out oc_path in
+          ignore (Stage.Recorder.dump_jsonl recorder ~reason:"bench" ~now:0.0 oc);
+          close_out oc;
+          dump_ms := (Sys.time () -. t0) *. 1000.0;
+          dump_bytes := (Unix.stat oc_path).Unix.st_size;
+          Sys.remove oc_path);
+      Table.add_row t
+        [
+          Table.cell_i n_top;
+          Table.cell_f t_base;
+          Table.cell_f t_traced;
+          Table.cell_f ((t_traced -. t_base) /. t_base *. 100.0);
+          Table.cell_i
+            (match !ring with
+            | Some r -> Stage.Recorder.size r
+            | None -> 0);
+          Table.cell_f !dump_ms;
+          Table.cell_i !dump_bytes;
+        ])
+    [ 8; 16; 32; 64 ];
+  report t
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e16", e16); ("e17", e17); ("e18", e18); ("obs", obs); ("micro", micro);
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("obs", obs);
+    ("micro", micro);
   ]
 
 let () =

@@ -118,6 +118,44 @@ let sub_merged_latency s =
     cuts;
   (buckets, !count, !sum, (if !count = 0 then 0 else !minv), !maxv)
 
+(* Merge the per-stage windowed histograms across the cut frames, the
+   same skip-the-peek convention as {!sub_merged_latency}.  Returns
+   (stage, buckets, count, max) in the server's (canonical) order. *)
+let sub_merged_stages s =
+  let cuts =
+    match List.rev s.s_frames with _ :: rest -> rest | [] -> []
+  in
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (f : Wire.telemetry) ->
+      List.iter
+        (fun (name, (h : Wire.hist)) ->
+          if h.Wire.h_count > 0 then begin
+            let buckets, count, maxv =
+              match Hashtbl.find_opt tbl name with
+              | Some x -> x
+              | None ->
+                  let x = (Array.make 64 0, ref 0, ref 0) in
+                  Hashtbl.add tbl name x;
+                  order := name :: !order;
+                  x
+            in
+            count := !count + h.Wire.h_count;
+            if h.Wire.h_max > !maxv then maxv := h.Wire.h_max;
+            List.iter
+              (fun (i, n) ->
+                if i >= 0 && i < 64 then buckets.(i) <- buckets.(i) + n)
+              h.Wire.h_buckets
+          end)
+        f.Wire.stages)
+    cuts;
+  List.rev_map
+    (fun name ->
+      let buckets, count, maxv = Hashtbl.find tbl name in
+      (name, buckets, !count, !maxv))
+    !order
+
 (* Same convention as Metrics.histogram_stats: the value at quantile q
    is the upper bound of the bucket holding the rank-q observation,
    clamped to the exact maximum. *)
@@ -171,6 +209,50 @@ let connect_retry addr =
 
 let send c req = c.out <- c.out ^ Wire.encode_request req
 
+(* A blocking Hello/Ping exchange before the campaign: a dead, deaf,
+   or pre-v3 server fails fast here instead of as a timeout storm
+   once all the load connections are up. *)
+let ping_server addr =
+  let fd = connect_retry addr in
+  Unix.clear_nonblock fd;
+  let write_all s =
+    let n = String.length s in
+    let rec go off =
+      if off < n then go (off + Unix.write_substring fd s off (n - off))
+    in
+    go 0
+  in
+  let reader = Wire.Reader.create () in
+  let b = Bytes.create 4096 in
+  let result = ref None in
+  (try
+     write_all (Wire.encode_request (Wire.Hello { client = "ntload-ping" }));
+     write_all (Wire.encode_request Wire.Ping);
+     while !result = None do
+       match Wire.Reader.next reader with
+       | Ok (Some payload) -> (
+           match Wire.decode_response payload with
+           | Ok (Wire.Pong p) -> result := Some (p.t_mono, p.live, p.conns)
+           | Ok (Wire.Error_msg e) -> failwith e
+           | Ok Wire.Goodbye -> failwith "server said goodbye"
+           | Ok _ -> ()
+           | Error e -> failwith e)
+       | Ok None -> (
+           match Unix.read fd b 0 (Bytes.length b) with
+           | 0 -> failwith "connection closed"
+           | n -> Wire.Reader.feed reader (Bytes.sub_string b 0 n))
+       | Error e -> failwith e
+     done
+   with
+  | Failure e ->
+      Format.eprintf "ntload: ping failed: %s@." e;
+      exit 1
+  | Unix.Unix_error (e, _, _) ->
+      Format.eprintf "ntload: ping failed: %s@." (Unix.error_message e);
+      exit 1);
+  (try Unix.close fd with _ -> ());
+  match !result with Some p -> p | None -> assert false
+
 let open_client addr c =
   c.fd <- Some (connect_retry addr);
   c.reader <- Wire.Reader.create ();
@@ -218,6 +300,7 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
           reqno = 0;
         })
   in
+  let (_ : float * int * int) = ping_server addr in
   List.iter (open_client addr) cs;
   (* the telemetry side channel: a read-mostly observer alongside the
      load connections, so server windows can be cross-checked against
@@ -537,6 +620,39 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
             p99,
             abs (bucket_index_of p99 - bucket_index_of h.Metrics.p99) )
   in
+  (* per-stage server breakdown (p99 of each stage's windowed
+     histogram), and the consistency check: the serving-path stages
+     between decode and completion partition the submit-to-completion
+     interval, so their p99s should not sum past the server's e2e p99
+     by more than one power-of-two bucket.  Read and reply lie outside
+     that interval (socket time) and are excluded; the check is only
+     meaningful on a clean closed loop, so fault-injection campaigns
+     skip it. *)
+  let stage_stats =
+    match sub with
+    | None -> []
+    | Some s ->
+        List.filter_map
+          (fun (name, buckets, count, maxv) ->
+            if count = 0 then None
+            else Some (name, quantile_of_buckets buckets count maxv 0.99, count))
+          (sub_merged_stages s)
+  in
+  let inner_stages = [ "decode"; "validate"; "admit"; "gate"; "execute" ] in
+  let stage_sum_p99 =
+    List.fold_left
+      (fun acc (name, p99, _) ->
+        if List.mem name inner_stages then acc + p99 else acc)
+      0 stage_stats
+  in
+  let stage_check_active =
+    drop_rate = 0.0 && slow_clients = 0 && srv_p99 > 0 && stage_sum_p99 > 0
+    && List.exists (fun (name, _, _) -> name = "execute") stage_stats
+  in
+  let stage_check_failed =
+    stage_check_active
+    && bucket_index_of stage_sum_p99 > bucket_index_of srv_p99 + 1
+  in
   if json then
     print_endline
       (Obs_json.to_string
@@ -573,12 +689,33 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
                ("server_alarms", Obs_json.Int alarms);
              ]
             @
-            if sub = None then []
+            (if sub = None then []
+             else
+               [
+                 ("telemetry_frames", Obs_json.Int frames_seen);
+                 ("server_latency_us_p99", Obs_json.Int srv_p99);
+                 ("p99_bucket_distance", Obs_json.Int p99_distance);
+               ])
+            @
+            if stage_stats = [] then []
             else
               [
-                ("telemetry_frames", Obs_json.Int frames_seen);
-                ("server_latency_us_p99", Obs_json.Int srv_p99);
-                ("p99_bucket_distance", Obs_json.Int p99_distance);
+                ( "server_stage_p99_us",
+                  Obs_json.Obj
+                    (List.map
+                       (fun (name, p99, _) -> (name, Obs_json.Int p99))
+                       stage_stats) );
+                ( "server_stage_count",
+                  Obs_json.Obj
+                    (List.map
+                       (fun (name, _, count) -> (name, Obs_json.Int count))
+                       stage_stats) );
+                ("stage_sum_p99_us", Obs_json.Int stage_sum_p99);
+                ( "stage_sum_check",
+                  Obs_json.Str
+                    (if not stage_check_active then "skipped"
+                     else if stage_check_failed then "fail"
+                     else "ok") );
               ])))
   else begin
     Format.printf
@@ -601,12 +738,29 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
         Format.printf "ntload: subscription saw %d frames, no latency data@."
           frames_seen
     | None -> ());
+    if stage_stats <> [] then
+      Format.printf "ntload: server stage p99: %s  (sum %dus, check %s)@."
+        (String.concat "  "
+           (List.map
+              (fun (name, p99, _) -> Printf.sprintf "%s %dus" name p99)
+              stage_stats))
+        stage_sum_p99
+        (if not stage_check_active then "skipped"
+         else if stage_check_failed then "FAIL"
+         else "ok");
     match !quiesced with
     | Some (Wire.Quiesced q) ->
         Format.printf
           "server: %d committed, %d aborted, %d vetoed, %d alarms@."
           q.committed q.aborted q.vetoed q.alarms
     | _ -> Format.printf "server: no quiesced report@."
+  end;
+  if stage_check_failed then begin
+    Format.eprintf
+      "ntload: stage p99 sum %dus exceeds server e2e p99 %dus by more than \
+       one bucket@."
+      stage_sum_p99 srv_p99;
+    exit 1
   end;
   if stats.proto_errors > 0 then exit 1;
   if stats.req_mismatches > 0 then exit 1;

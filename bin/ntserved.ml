@@ -43,9 +43,11 @@ let build_objects table n =
 
 type conn = {
   fd : Unix.file_descr;
+  id : int;  (* stable connection id (the pid row in Chrome dumps) *)
   reader : Wire.Reader.t;
   mutable out : string;
   mutable out_off : int;
+  mutable sent : int;  (* bytes flushed and discarded from [out] *)
   mutable greeted : bool;
   mutable client_name : string;
   mutable subscribed : bool;  (* push Telemetry frames here *)
@@ -53,12 +55,22 @@ type conn = {
   mutable wants_quiesce : bool;
   mutable closing : bool;  (* close once the out buffer drains *)
   mutable last_rx : float;
+  mutable rx_start : float option;  (* when the pending frame began *)
+  mutable replies : (string option * string option * float * int) list;
+      (* Accepted answers awaiting flush: req, txn, buffered-at,
+         absolute out-stream offset of the frame's last byte — the
+         reply stage closes when [sent + out_off] passes it. *)
 }
 
 (* Submission provenance, kept for the life of the server: the client's
    request id is echoed in every State answer and in audit entries, and
    t_submit anchors the submit-to-completion latency. *)
-type txn_rec = { req : string option; client : string; t_submit : float }
+type txn_rec = {
+  req : string option;
+  client : string;
+  t_submit : float;
+  conn_id : int;
+}
 
 type server = {
   eng : Engine.t;
@@ -75,12 +87,100 @@ type server = {
   telemetry_interval : float;  (* 0 = no periodic frames *)
   slow_us : int;  (* audit threshold, µs *)
   prom : string option;  (* prometheus text export path *)
+  recorder : Stage.Recorder.t option;  (* the flight recorder *)
+  flight_dir : string;
+  gcmon : Gcmon.t option;
+  verbose : bool;
+  mutable gc_ctx : string option * string option * int;
+      (* last request context touched (req, txn, conn id): what a GC
+         pause drained between loop turns is attributed to *)
+  mutable dump_seq : int;
+  mutable last_dump : float;  (* anomaly-dump throttle *)
+  mutable pending_dump : string option;
+      (* anomaly seen mid-turn; dumped at the bottom of the loop, once
+         the flagged request's reply span has flushed *)
+  mutable dump_hold : int;  (* turns the pending dump has waited *)
   mutable draining : bool;  (* no new conns/submissions *)
 }
 
 let mono srv = Unix.gettimeofday () -. srv.t0
 
 let send conn resp = conn.out <- conn.out ^ Wire.encode_response resp
+
+(* A Submit acknowledgement: queue it for reply-stage timing — the
+   span closes when the frame's last byte reaches the socket. *)
+let send_reply srv conn ~req ~txn resp =
+  send conn resp;
+  conn.replies <-
+    conn.replies
+    @ [ (req, txn, mono srv, conn.sent + String.length conn.out) ]
+
+(* Record one stage span: the hub's windowed/cumulative histograms
+   always see it; the ring only when the flight recorder is on.
+   [hub_us] overrides the histogram reading (the execute stage reports
+   gate-exclusive time while the ring keeps the full interval). *)
+let record_stage srv ?hub_us ~stage ~req ~txn ~conn_id t0 t1 =
+  let sp =
+    {
+      Stage.sp_stage = stage;
+      sp_req = req;
+      sp_txn = txn;
+      sp_conn = conn_id;
+      sp_t0 = t0;
+      sp_t1 = t1;
+    }
+  in
+  Telemetry.Hub.observe_stage srv.hub stage
+    (match hub_us with Some us -> us | None -> Stage.dur_us sp);
+  match srv.recorder with
+  | Some r -> Stage.Recorder.record r sp
+  | None -> ()
+
+let flag_dump srv reason =
+  if srv.pending_dump = None then srv.pending_dump <- Some reason
+
+let sanitize_reason s =
+  String.map
+    (fun c ->
+      if
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '-' || c = '_'
+      then c
+      else '-')
+    s
+
+(* Write the ring as JSONL + Chrome trace.  Anomaly dumps are
+   throttled to one per second ([force] is for the Dump request and
+   SIGQUIT); files are numbered so later dumps never clobber earlier
+   evidence. *)
+let do_dump srv ~force reason =
+  match srv.recorder with
+  | None -> None
+  | Some r ->
+      let now = mono srv in
+      if (not force) && now -. srv.last_dump < 1.0 then None
+      else begin
+        srv.last_dump <- now;
+        srv.dump_seq <- srv.dump_seq + 1;
+        let base =
+          Printf.sprintf "flight-%03d-%s" srv.dump_seq (sanitize_reason reason)
+        in
+        let jsonl = Filename.concat srv.flight_dir (base ^ ".jsonl") in
+        let chrome = Filename.concat srv.flight_dir (base ^ ".trace.json") in
+        let oc = open_out jsonl in
+        let spans = Stage.Recorder.dump_jsonl r ~reason ~now oc in
+        close_out oc;
+        let oc = open_out chrome in
+        ignore (Stage.Recorder.dump_chrome r ~reason ~now oc);
+        close_out oc;
+        Metrics.incr (Metrics.counter srv.metrics "served.flight_dumps");
+        if srv.verbose then
+          Format.eprintf "ntserved: flight dump (%s): %d spans -> %s@." reason
+            spans jsonl;
+        Some (spans, Stage.Recorder.dropped r, jsonl, chrome)
+      end
 
 let close_conn srv conn =
   Hashtbl.remove srv.conns conn.fd;
@@ -149,7 +249,8 @@ let build_frame srv ~cut =
     ~now:(mono srv)
 
 (* The completion hook: runs inside Engine.step at every top-level
-   Commit/Abort, while the admission record is fresh. *)
+   Commit/Abort, while the admission record is fresh (and before the
+   engine retires its stage_times entry). *)
 let on_complete srv txn outcome =
   match Txn_id.Tbl.find_opt srv.txns txn with
   | None -> ()
@@ -159,20 +260,49 @@ let on_complete srv txn outcome =
         int_of_float (Float.max 0.0 ((now -. r.t_submit) *. 1e6))
       in
       Telemetry.Hub.observe_latency srv.hub latency_us;
+      let txn_s = Some (Txn_id.to_string txn) in
+      srv.gc_ctx <- (r.req, txn_s, r.conn_id);
+      (* execute / gate stages off the engine's clock-stamped readings.
+         Histograms get gate-exclusive execute time so stage sums do
+         not double-count; the ring keeps the full execute interval
+         with a gate span nested at its end, which the flight analyzer
+         deduplicates by containment. *)
+      (match Engine.stage_times srv.eng txn with
+      | Some st ->
+          let gate_us =
+            int_of_float ((st.Engine.st_gate *. 1e6) +. 0.5)
+          in
+          let exec_us =
+            int_of_float
+              (Float.max 0.0
+                 ((st.Engine.st_complete -. st.Engine.st_start) *. 1e6))
+          in
+          record_stage srv
+            ~hub_us:(max 0 (exec_us - gate_us))
+            ~stage:"execute" ~req:r.req ~txn:txn_s ~conn_id:r.conn_id
+            st.Engine.st_start st.Engine.st_complete;
+          record_stage srv ~stage:"gate" ~req:r.req ~txn:txn_s
+            ~conn_id:r.conn_id
+            (st.Engine.st_complete -. st.Engine.st_gate)
+            st.Engine.st_complete
+      | None -> ());
+      let veto =
+        if outcome = `Aborted then
+          Admission.veto_of (Engine.admission srv.eng) txn
+        else None
+      in
+      let slow = veto = None && latency_us >= srv.slow_us in
+      if veto <> None then flag_dump srv "veto";
+      if slow then flag_dump srv "slow";
       match srv.audit with
       | None -> ()
       | Some audit -> (
-          let veto =
-            if outcome = `Aborted then
-              Admission.veto_of (Engine.admission srv.eng) txn
-            else None
-          in
           match veto with
           | Some v ->
               Telemetry.Audit.veto audit ~now ~req:r.req ~client:r.client ~txn
                 ~latency_us v
           | None ->
-              if latency_us >= srv.slow_us then
+              if slow then
                 let outcome =
                   match outcome with
                   | `Committed -> "committed"
@@ -203,17 +333,37 @@ let handle_request srv conn (req : Wire.request) =
   | Wire.Submit { req; _ } when srv.draining ->
       send conn (Wire.Rejected { why = "server is draining"; req })
   | Wire.Submit { program; req } -> (
+      let t_v0 = mono srv in
+      srv.gc_ctx <- (req, None, conn.id);
       match Program_io.parse_program_text program with
       | Error why -> send conn (Wire.Rejected { why; req })
       | Ok prog -> (
-          match Result.bind (physical_of srv prog) (Engine.submit srv.eng) with
+          match physical_of srv prog with
           | Error why -> send conn (Wire.Rejected { why; req })
-          | Ok txn ->
-              conn.live <- txn :: conn.live;
-              Txn_id.Tbl.replace srv.txns txn
-                { req; client = conn.client_name; t_submit = mono srv };
-              Metrics.incr (Metrics.counter srv.metrics "served.submissions");
-              send conn (Wire.Accepted { txn; req })))
+          | Ok phys -> (
+              let t_v1 = mono srv in
+              record_stage srv ~stage:"validate" ~req ~txn:None
+                ~conn_id:conn.id t_v0 t_v1;
+              match Engine.submit srv.eng phys with
+              | Error why -> send conn (Wire.Rejected { why; req })
+              | Ok txn ->
+                  let t_a1 = mono srv in
+                  record_stage srv ~stage:"admit" ~req
+                    ~txn:(Some (Txn_id.to_string txn))
+                    ~conn_id:conn.id t_v1 t_a1;
+                  conn.live <- txn :: conn.live;
+                  Txn_id.Tbl.replace srv.txns txn
+                    {
+                      req;
+                      client = conn.client_name;
+                      t_submit = t_a1;
+                      conn_id = conn.id;
+                    };
+                  Metrics.incr
+                    (Metrics.counter srv.metrics "served.submissions");
+                  send_reply srv conn ~req
+                    ~txn:(Some (Txn_id.to_string txn))
+                    (Wire.Accepted { txn; req }))))
   | Wire.Status t ->
       (match Engine.state srv.eng t with
       | Engine.Committed _ | Engine.Aborted _ ->
@@ -227,6 +377,20 @@ let handle_request srv conn (req : Wire.request) =
       Metrics.incr (Metrics.counter srv.metrics "served.subscribes");
       (* One frame right away (the open interval), then one per tick. *)
       send conn (Wire.Telemetry (build_frame srv ~cut:false))
+  | Wire.Ping ->
+      send conn
+        (Wire.Pong
+           {
+             t_mono = mono srv;
+             live = Engine.live_top srv.eng;
+             doomed = Engine.doomed_count srv.eng;
+             conns = Hashtbl.length srv.conns;
+           })
+  | Wire.Dump -> (
+      match do_dump srv ~force:true "request" with
+      | Some (spans, dropped, jsonl, chrome) ->
+          send conn (Wire.Dumped { spans; dropped; jsonl; chrome })
+      | None -> send conn (Wire.Error_msg "flight recorder disabled"))
   | Wire.Quiesce -> conn.wants_quiesce <- true
   | Wire.Shutdown ->
       srv.draining <- true;
@@ -237,16 +401,36 @@ let pump_frames srv conn =
   let rec go () =
     if not conn.closing then
       match Wire.Reader.next conn.reader with
-      | Ok None -> ()
+      | Ok None ->
+          (* no complete frame buffered: the next bytes start a frame *)
+          if Wire.Reader.buffered conn.reader = 0 then conn.rx_start <- None
       | Ok (Some payload) ->
+          let t_r1 = mono srv in
+          let t_r0 = Option.value ~default:t_r1 conn.rx_start in
+          conn.rx_start <-
+            (if Wire.Reader.buffered conn.reader > 0 then Some t_r1 else None);
           (match Wire.decode_request payload with
-          | Ok req -> handle_request srv conn req
+          | Ok req ->
+              let t_d1 = mono srv in
+              (* Read (frame assembly) and decode spans carry the
+                 request id when the frame was a submission — the link
+                 that chains them to the later stages. *)
+              let rid =
+                match req with Wire.Submit { req; _ } -> req | _ -> None
+              in
+              record_stage srv ~stage:"read" ~req:rid ~txn:None
+                ~conn_id:conn.id t_r0 t_r1;
+              record_stage srv ~stage:"decode" ~req:rid ~txn:None
+                ~conn_id:conn.id t_r1 t_d1;
+              handle_request srv conn req
           | Error e ->
               send conn (Wire.Error_msg e);
+              flag_dump srv "reader-error";
               conn.closing <- true);
           go ()
       | Error e ->
           send conn (Wire.Error_msg e);
+          flag_dump srv "reader-error";
           conn.closing <- true
   in
   go ()
@@ -254,6 +438,8 @@ let pump_frames srv conn =
 (* ----- the select loop ----- *)
 
 let terminate = ref false
+let dump_signal = ref false  (* SIGQUIT: dump the flight recorder *)
+let next_conn_id = ref 0
 
 (* Prometheus text export: write-then-rename so scrapers never see a
    torn file. *)
@@ -300,12 +486,15 @@ let run_server listen_fd srv ~read_timeout ~burst ~verbose =
       match Unix.accept listen_fd with
       | fd, _ ->
           Unix.set_nonblock fd;
+          incr next_conn_id;
           Hashtbl.replace srv.conns fd
             {
               fd;
+              id = !next_conn_id;
               reader = Wire.Reader.create ();
               out = "";
               out_off = 0;
+              sent = 0;
               greeted = false;
               client_name = "?";
               subscribed = false;
@@ -313,6 +502,8 @@ let run_server listen_fd srv ~read_timeout ~burst ~verbose =
               wants_quiesce = false;
               closing = false;
               last_rx = Unix.gettimeofday ();
+              rx_start = None;
+              replies = [];
             };
           Metrics.incr (Metrics.counter srv.metrics "served.accepts")
       | exception Unix.Unix_error _ -> ()
@@ -328,6 +519,8 @@ let run_server listen_fd srv ~read_timeout ~burst ~verbose =
               | 0 -> close_conn srv conn
               | n ->
                   conn.last_rx <- Unix.gettimeofday ();
+                  if conn.rx_start = None then
+                    conn.rx_start <- Some (mono srv);
                   Wire.Reader.feed conn.reader (Bytes.sub_string buf 0 n);
                   pump_frames srv conn
               | exception
@@ -377,7 +570,26 @@ let run_server listen_fd srv ~read_timeout ~burst ~verbose =
               match Unix.write_substring fd conn.out conn.out_off pending with
               | n ->
                   conn.out_off <- conn.out_off + n;
+                  (* close reply spans whose last byte just flushed *)
+                  if conn.replies <> [] then begin
+                    let flushed = conn.sent + conn.out_off in
+                    let matured, waiting =
+                      List.partition
+                        (fun (_, _, _, eoff) -> eoff <= flushed)
+                        conn.replies
+                    in
+                    if matured <> [] then begin
+                      conn.replies <- waiting;
+                      let now = mono srv in
+                      List.iter
+                        (fun (req, txn, t0, _) ->
+                          record_stage srv ~stage:"reply" ~req ~txn
+                            ~conn_id:conn.id t0 now)
+                        matured
+                    end
+                  end;
                   if conn.out_off >= String.length conn.out then begin
+                    conn.sent <- conn.sent + String.length conn.out;
                     conn.out <- "";
                     conn.out_off <- 0;
                     if conn.closing then close_conn srv conn
@@ -387,6 +599,59 @@ let run_server listen_fd srv ~read_timeout ~burst ~verbose =
                   ()
               | exception Unix.Unix_error _ -> close_conn srv conn))
       w;
+    (* GC pauses completed since the last turn become spans attributed
+       to the most recently touched request context (exact when the
+       pause fell inside that request's handling, approximate when it
+       fell between requests — see doc/observability.mld). *)
+    (match srv.gcmon with
+    | None -> ()
+    | Some g ->
+        let now = mono srv in
+        let pauses = Gcmon.poll g ~now in
+        if pauses <> [] then begin
+          let req, txn, cid = srv.gc_ctx in
+          List.iter
+            (fun (p : Gcmon.pause) ->
+              let dur_us =
+                int_of_float
+                  (Float.max 0.0 ((p.Gcmon.gc_t1 -. p.Gcmon.gc_t0) *. 1e6)
+                  +. 0.5)
+              in
+              Telemetry.Hub.observe_gc srv.hub ~dur_us;
+              match srv.recorder with
+              | Some rcd ->
+                  Stage.Recorder.record rcd
+                    {
+                      Stage.sp_stage = Stage.gc_stage;
+                      sp_req = req;
+                      sp_txn = txn;
+                      sp_conn = cid;
+                      sp_t0 = p.Gcmon.gc_t0;
+                      sp_t1 = p.Gcmon.gc_t1;
+                    }
+              | None -> ())
+            pauses
+        end);
+    (* Anomaly dumps are deferred to the bottom of the turn and held
+       while any Accepted answer is still unflushed, so the flagged
+       request's reply span makes it into the ring first (bounded hold:
+       a stuck peer cannot postpone evidence forever). *)
+    (match srv.pending_dump with
+    | None -> ()
+    | Some reason ->
+        let replies_waiting =
+          Hashtbl.fold (fun _ c acc -> acc || c.replies <> []) srv.conns false
+        in
+        if (not replies_waiting) || srv.dump_hold >= 100 then begin
+          srv.pending_dump <- None;
+          srv.dump_hold <- 0;
+          ignore (do_dump srv ~force:false reason)
+        end
+        else srv.dump_hold <- srv.dump_hold + 1);
+    if !dump_signal then begin
+      dump_signal := false;
+      ignore (do_dump srv ~force:true "sigquit")
+    end;
     (* read timeouts *)
     if read_timeout > 0.0 then begin
       let now = Unix.gettimeofday () in
@@ -442,7 +707,7 @@ let setup_obs metrics obs_format obs_out =
 
 let serve_cmd socket port backend_name table n_objects seed policy admission
     max_steps burst read_timeout obs_format obs_out telemetry_interval
-    audit_log prom slow_ms verbose =
+    audit_log prom slow_ms flight flight_dir gc_trace verbose =
   let backend =
     match Check.backend_of_name backend_name with
     | Some b when List.mem b Check.correct_backends -> b
@@ -472,16 +737,24 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
     Telemetry.Hub.create ~interval_s:telemetry_interval metrics
   in
   let obs, finish_obs = setup_obs metrics obs_format obs_out in
+  let t0 = Unix.gettimeofday () in
   (* The engine's completion hook needs the server record, which needs
      the engine; tie the knot through a cell. *)
   let post_complete = ref (fun _ _ -> ()) in
   let eng =
     Engine.create ~policy ~max_steps ~obs ~admission
       ~on_top_complete:(fun u o -> !post_complete u o)
+      ~clock:(fun () -> Unix.gettimeofday () -. t0)
       ~seed engine_objects
       (match Check.factory_of backend with f -> f)
   in
   let audit = Option.map Telemetry.Audit.open_file audit_log in
+  let recorder =
+    if flight > 0 then Some (Stage.Recorder.create ~capacity:flight) else None
+  in
+  let gcmon = if gc_trace then Gcmon.start () else None in
+  if gc_trace && gcmon = None && verbose then
+    Format.eprintf "ntserved: runtime-events tracing unavailable@.";
   let srv =
     {
       eng;
@@ -494,11 +767,20 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
       hub;
       audit;
       txns = Txn_id.Tbl.create 256;
-      t0 = Unix.gettimeofday ();
+      t0;
       telemetry_interval;
       slow_us = slow_ms * 1000;
       prom;
       draining = false;
+      recorder;
+      flight_dir;
+      gcmon;
+      verbose;
+      gc_ctx = (None, None, -1);
+      dump_seq = 0;
+      last_dump = neg_infinity;
+      pending_dump = None;
+      dump_hold = 0;
     }
   in
   post_complete := on_complete srv;
@@ -524,6 +806,7 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
   let on_term = Sys.Signal_handle (fun _ -> terminate := true) in
   Sys.set_signal Sys.sigterm on_term;
   Sys.set_signal Sys.sigint on_term;
+  Sys.set_signal Sys.sigquit (Sys.Signal_handle (fun _ -> dump_signal := true));
   if verbose then
     Format.printf "ntserved: %s backend, %d objects, admission %s@."
       (Check.backend_name backend)
@@ -532,6 +815,7 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
   run_server listen_fd srv ~read_timeout ~burst ~verbose;
   Unix.close listen_fd;
   cleanup ();
+  Option.iter Gcmon.stop gcmon;
   let r = Engine.finish eng in
   finish_obs ();
   export_prom srv;
@@ -638,12 +922,38 @@ let cmd =
       & info [ "slow-ms" ] ~docv:"MS"
           ~doc:"Audit-log submissions slower than this, milliseconds.")
   in
+  let flight =
+    Arg.(
+      value & opt int 4096
+      & info [ "flight" ] ~docv:"SPANS"
+          ~doc:
+            "Flight-recorder capacity: the last SPANS stage spans are \
+             kept in a ring and dumped on anomalies (veto, slow \
+             request, reader poisoning), on SIGQUIT, and on the Dump \
+             wire request.  0 disables the recorder.")
+  in
+  let flight_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:"Where flight dumps (JSONL + Chrome trace) are written.")
+  in
+  let gc_trace =
+    Arg.(
+      value & flag
+      & info [ "no-gc-trace" ]
+          ~doc:
+            "Disable GC-pause attribution (runtime-events subscription \
+             on OCaml 5, collection-count fallback otherwise).")
+    |> Term.app (Term.const not)
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ]) in
   let term =
     Term.(
       const serve_cmd $ socket $ port $ backend $ table $ n_objects $ seed
       $ policy $ admission $ max_steps $ burst $ read_timeout $ obs_format
-      $ obs_out $ telemetry_interval $ audit_log $ prom $ slow_ms $ verbose)
+      $ obs_out $ telemetry_interval $ audit_log $ prom $ slow_ms $ flight
+      $ flight_dir $ gc_trace $ verbose)
   in
   Cmd.v
     (Cmd.info "ntserved" ~version:Version.string

@@ -8,6 +8,7 @@
      nttop --socket /tmp/nt.sock
      nttop --port 7477 --frames 10
      nttop --socket /tmp/nt.sock --once     # one frame, no clearing: CI-able
+     nttop --socket /tmp/nt.sock --json     # one JSON line per frame
 
    Exits nonzero if the stream dies before the requested frames, or if
    frame sequence numbers ever fail to increase. *)
@@ -76,6 +77,25 @@ let render ~clear (f : Wire.telemetry) =
     f.Wire.c_alarms;
   p "sg      : %d nodes  %d edges  %d reorders@." f.Wire.sg_nodes
     f.Wire.sg_edges f.Wire.sg_reorders;
+  let g = f.Wire.gc_pause in
+  if g.Wire.h_count > 0 || f.Wire.gc_pct > 0. then
+    p "gc      : %d pauses  p50 %dus  p99 %dus  max %dus  %.2f%% of wall@."
+      g.Wire.h_count g.Wire.h_p50 g.Wire.h_p99 g.Wire.h_max f.Wire.gc_pct;
+  if f.Wire.stages <> [] then begin
+    p "stages (window, exclusive us):@.";
+    let maxp99 =
+      List.fold_left
+        (fun m (_, (h : Wire.hist)) -> Stdlib.max m h.Wire.h_p99)
+        0 f.Wire.stages
+    in
+    List.iter
+      (fun (s, (h : Wire.hist)) ->
+        p "  %-8s p50 %8d  p99 %8d  max %8d  %-16s %d@." s h.Wire.h_p50
+          h.Wire.h_p99 h.Wire.h_max
+          (bar 16 h.Wire.h_p99 maxp99)
+          h.Wire.h_count)
+      f.Wire.stages
+  end;
   (match f.Wire.hot with
   | [] -> p "hot     : -@."
   | hot ->
@@ -97,7 +117,7 @@ let render ~clear (f : Wire.telemetry) =
 
 (* ----- the loop ----- *)
 
-let run addr ~frames ~once =
+let run addr ~frames ~once ~json =
   let want = if once then 1 else frames in
   let fd = connect_retry addr in
   write_all fd (Wire.encode_request (Wire.Hello { client = "nttop" }));
@@ -122,7 +142,13 @@ let run addr ~frames ~once =
             else begin
               last_seq := f.Wire.seq;
               incr seen;
-              render ~clear:(not once) f
+              if json then begin
+                print_string
+                  (Obs_json.to_string (Wire.response_to_json (Wire.Telemetry f)));
+                print_newline ();
+                flush stdout
+              end
+              else render ~clear:(not once) f
             end
         | Ok Wire.Goodbye -> stop := true
         | Ok _ -> ()
@@ -147,7 +173,7 @@ let run addr ~frames ~once =
     exit 1
   end
 
-let top_cmd socket port frames once =
+let top_cmd socket port frames once json =
   let addr =
     match (socket, port) with
     | Some path, None -> Unix.ADDR_UNIX path
@@ -157,7 +183,7 @@ let top_cmd socket port frames once =
         exit 2
   in
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  run addr ~frames ~once
+  run addr ~frames ~once ~json
 
 let cmd =
   let socket =
@@ -178,7 +204,16 @@ let cmd =
             "Render the first frame without clearing the screen, then \
              exit — for CI and snapshots.")
   in
-  let term = Term.(const top_cmd $ socket $ port $ frames $ once) in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print each Telemetry frame as one JSON line (the wire \
+             rendering, stages and gc included) instead of the panel — \
+             for piping into jq or archiving.")
+  in
+  let term = Term.(const top_cmd $ socket $ port $ frames $ once $ json) in
   Cmd.v
     (Cmd.info "nttop" ~version:Version.string
        ~doc:"Terminal dashboard over ntserved's Telemetry stream.")

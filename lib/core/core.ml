@@ -19,7 +19,7 @@
        {!Table};}
     {- observability: {!Obs}, {!Metrics}, {!Obs_window},
        {!Obs_snapshot}, {!Obs_event}, {!Obs_sink}, {!Chrome_trace},
-       {!Obs_json}, {!Profile};}
+       {!Obs_json}, {!Stage}, {!Gcmon}, {!Profile}, {!Flight};}
     {- property-based checking: {!Check}, {!Shrink}, {!Bundle};}
     {- serving: {!Wire}, {!Admission}, {!Engine}, {!Telemetry} (plus
        {!Version}).}} *)
@@ -90,7 +90,10 @@ module Obs_event = Nt_obs.Event
 module Obs_sink = Nt_obs.Sink
 module Chrome_trace = Nt_obs.Chrome
 module Obs_json = Nt_obs.Json
+module Stage = Nt_obs.Stage
+module Gcmon = Nt_obs.Gcmon
 module Profile = Nt_prof.Profile
+module Flight = Nt_prof.Flight
 module Check = Nt_check.Check
 module Shrink = Nt_check.Shrink
 module Bundle = Nt_check.Bundle

@@ -11,6 +11,14 @@ type state =
   | Committed of Value.t
   | Aborted of Admission.veto option
 
+type stage_times = {
+  st_submit : float;
+  mutable st_start : float;
+  mutable st_gate : float;
+  mutable st_gates : int;
+  mutable st_complete : float;
+}
+
 type t = {
   objects : (Obj_id.t * Datatype.t) list;
   schema : Schema.t;
@@ -24,6 +32,8 @@ type t = {
   mutable submitted : int;
   mutable truncated : bool;
   max_program : int;
+  clock : (unit -> float) option;
+  times : stage_times Txn_id.Tbl.t;
 }
 
 let subprogram progs n_progs txn =
@@ -43,7 +53,7 @@ let subprogram progs n_progs txn =
 
 let create ?policy ?inform_policy ?abort_prob ?max_steps ?(obs = Obs.null)
     ?mode ?(admission = true) ?(max_program = 10_000)
-    ?(on_top_complete = fun _ _ -> ()) ~seed objects factory =
+    ?(on_top_complete = fun _ _ -> ()) ?clock ~seed objects factory =
   let dtypes = Obj_id.Tbl.create 16 in
   List.iter (fun (x, dt) -> Obj_id.Tbl.replace dtypes x dt) objects;
   let progs = ref [||] and n_progs = ref 0 in
@@ -73,21 +83,60 @@ let create ?policy ?inform_policy ?abort_prob ?max_steps ?(obs = Obs.null)
   in
   let adm = Admission.create ?mode ~obs ~gating:admission schema in
   let committed_top = ref 0 and aborted_top = ref 0 in
+  let times = Txn_id.Tbl.create 64 in
+  (* Stage bookkeeping is entirely clock-gated: with no [clock] the
+     engine does exactly what it did before (one [match] per action). *)
+  let stamp u f =
+    match clock with
+    | None -> ()
+    | Some c -> (
+        match Txn_id.Tbl.find_opt times u with
+        | Some st -> f st (c ())
+        | None -> ())
+  in
   let on_action a =
     (match a with
+    | Action.Create u when Txn_id.depth u = 1 ->
+        stamp u (fun st now -> st.st_start <- now)
     | Action.Commit u when Txn_id.depth u = 1 ->
+        stamp u (fun st now -> st.st_complete <- now);
         incr committed_top;
-        on_top_complete u `Committed
+        on_top_complete u `Committed;
+        Txn_id.Tbl.remove times u
     | Action.Abort u when Txn_id.depth u = 1 ->
+        stamp u (fun st now -> st.st_complete <- now);
         incr aborted_top;
-        on_top_complete u `Aborted
+        on_top_complete u `Aborted;
+        Txn_id.Tbl.remove times u
     | _ -> ());
     Admission.on_action adm a
   in
+  let commit_gate =
+    match clock with
+    | None -> fun u -> Admission.gate adm u
+    | Some c ->
+        (* Attribute gate time to the top-level ancestor: inner commits
+           consult the gate too, and the request is the unit of
+           reporting. *)
+        fun u ->
+          let t0 = c () in
+          let r = Admission.gate adm u in
+          let dt = c () -. t0 in
+          (match Txn_id.path u with
+          | i :: _ -> (
+              match
+                Txn_id.Tbl.find_opt times (Txn_id.child Txn_id.root i)
+              with
+              | Some st ->
+                  st.st_gate <- st.st_gate +. dt;
+                  st.st_gates <- st.st_gates + 1
+              | None -> ())
+          | [] -> ());
+          r
+  in
   let rt =
     Runtime.make ?policy ?inform_policy ?abort_prob ?max_steps ~obs ~on_action
-      ~commit_gate:(fun u -> Admission.gate adm u)
-      ~seed schema factory []
+      ~commit_gate ~seed schema factory []
   in
   {
     objects;
@@ -102,6 +151,8 @@ let create ?policy ?inform_policy ?abort_prob ?max_steps ?(obs = Obs.null)
     submitted = 0;
     truncated = false;
     max_program;
+    clock;
+    times;
   }
 
 let validate t prog =
@@ -147,6 +198,18 @@ let submit t prog =
       let txn = Runtime.add_top t.rt prog in
       assert (Txn_id.last_index txn = Some i);
       t.submitted <- t.submitted + 1;
+      (match t.clock with
+      | Some c ->
+          let now = c () in
+          Txn_id.Tbl.replace t.times txn
+            {
+              st_submit = now;
+              st_start = now;
+              st_gate = 0.;
+              st_gates = 0;
+              st_complete = 0.;
+            }
+      | None -> ());
       Ok txn
 
 let sweep_doomed t =
@@ -228,3 +291,4 @@ let doomed_count t = Txn_id.Tbl.length t.doomed
 let actions_so_far t = Runtime.actions_so_far t.rt
 let steps_so_far t = Runtime.steps_so_far t.rt
 let orphan_aborts t = Runtime.orphan_aborts t.rt
+let stage_times t txn = Txn_id.Tbl.find_opt t.times txn

@@ -24,6 +24,21 @@ open Nt_sg
 
 type t
 
+type stage_times = {
+  st_submit : float;  (** {!create}'s [clock] at {!submit}. *)
+  mutable st_start : float;
+      (** When the scheduler's [CREATE] fired (= [st_submit] until
+          then): execution begins here, submit-to-start is queueing. *)
+  mutable st_gate : float;
+      (** Cumulative seconds spent inside the admission commit gate on
+          behalf of this request (inner commits included). *)
+  mutable st_gates : int;  (** Gate consultations. *)
+  mutable st_complete : float;
+      (** The top-level [Commit]/[Abort] ([0.] while running). *)
+}
+(** Wall-clock stage readings for one live top-level transaction,
+    maintained only when {!create} was given a [clock]. *)
+
 type state =
   | Unknown  (** Never submitted here. *)
   | Pending  (** Submitted; [REQUEST_CREATE] not yet fired. *)
@@ -42,6 +57,7 @@ val create :
   ?admission:bool ->
   ?max_program:int ->
   ?on_top_complete:(Txn_id.t -> [ `Committed | `Aborted ] -> unit) ->
+  ?clock:(unit -> float) ->
   seed:int ->
   (Obj_id.t * Datatype.t) list ->
   Nt_gobj.Gobj.factory ->
@@ -53,7 +69,13 @@ val create :
     trace order, at every top-level [Commit]/[Abort] — the hook a
     server uses to measure submit-to-completion latency and attribute
     the outcome (e.g. audit-log a veto) while the admission record is
-    fresh; keep it cheap, it runs inside {!step}. *)
+    fresh; keep it cheap, it runs inside {!step}.  [clock] (a
+    monotonic-seconds reading; [lib/net] links no [unix], so the
+    server injects one) turns on {!stage_times} bookkeeping: submit /
+    scheduler-start / cumulative-gate / completion stamps per live
+    top-level transaction, at the cost of a couple of clock reads per
+    transaction and per gate consultation.  Without it the engine
+    behaves exactly as before. *)
 
 val submit : t -> Program.t -> (Txn_id.t, string) result
 (** Validate (size, declared objects, offered operations) and attach.
@@ -104,3 +126,10 @@ val doomed_count : t -> int
 val actions_so_far : t -> int
 val steps_so_far : t -> int
 val orphan_aborts : t -> int
+
+val stage_times : t -> Txn_id.t -> stage_times option
+(** The live stage readings for a submitted top-level transaction.
+    [None] without a [clock], for foreign names, and once the
+    transaction completes — the entry is retired when the top-level
+    [Commit]/[Abort] returns, so read it inside [on_top_complete]
+    (where [st_complete] is already stamped) or before completion. *)

@@ -12,6 +12,16 @@ module Hub = struct
     mutable prev_snap : Snapshot.t;
     top_k : int;
     mutable seq : int;
+    (* per-stage latency histograms: windowed + cumulative twins,
+       resolved once per name (the serving loop observes by string a
+       handful of times per request) *)
+    stage_tbl : (string, Window.whistogram * Metrics.histogram) Hashtbl.t;
+    mutable stage_order : string list;  (* reporting order, reversed *)
+    gc_w : Window.whistogram;
+    gc_c : Metrics.histogram;
+    gc_pct_g : Metrics.gauge;
+    mutable gc_busy : float;  (* pause seconds in the open interval *)
+    mutable t_cut : float;  (* when the open interval started *)
     (* previous cumulative engine readings, for window deltas *)
     mutable p_submitted : int;
     mutable p_committed : int;
@@ -21,24 +31,49 @@ module Hub = struct
     mutable p_alarms : int;
   }
 
-  let create ?(slots = 8) ?(top_k = 5) ~interval_s metrics =
+  let stage_instruments t name =
+    match Hashtbl.find_opt t.stage_tbl name with
+    | Some pair -> pair
+    | None ->
+        let pair =
+          ( Window.histogram t.win ("stage." ^ name),
+            Metrics.histogram t.registry ("served.stage." ^ name ^ "_us") )
+        in
+        Hashtbl.add t.stage_tbl name pair;
+        t.stage_order <- name :: t.stage_order;
+        pair
+
+  let create ?(slots = 8) ?(top_k = 5) ?(t0 = 0.) ~interval_s metrics =
     let win = Window.create ~slots () in
-    {
-      interval_s;
-      win;
-      latency_w = Window.histogram win "latency_us";
-      latency_c = Metrics.histogram metrics "served.latency_us";
-      registry = metrics;
-      prev_snap = Snapshot.capture metrics;
-      top_k;
-      seq = 0;
-      p_submitted = 0;
-      p_committed = 0;
-      p_aborted = 0;
-      p_vetoed = 0;
-      p_orphans = 0;
-      p_alarms = 0;
-    }
+    let t =
+      {
+        interval_s;
+        win;
+        latency_w = Window.histogram win "latency_us";
+        latency_c = Metrics.histogram metrics "served.latency_us";
+        registry = metrics;
+        prev_snap = Snapshot.capture metrics;
+        top_k;
+        seq = 0;
+        stage_tbl = Hashtbl.create 16;
+        stage_order = [];
+        gc_w = Window.histogram win "gc.pause_us";
+        gc_c = Metrics.histogram metrics "served.gc.pause_us";
+        gc_pct_g = Metrics.gauge metrics "served.gc.pct";
+        gc_busy = 0.;
+        t_cut = t0;
+        p_submitted = 0;
+        p_committed = 0;
+        p_aborted = 0;
+        p_vetoed = 0;
+        p_orphans = 0;
+        p_alarms = 0;
+      }
+    in
+    (* Pre-register the canonical stages so every frame carries all
+       seven, sample-bearing or not, in lifecycle order. *)
+    List.iter (fun s -> ignore (stage_instruments t s)) Stage.stages;
+    t
 
   let seq t = t.seq
   let interval_s t = t.interval_s
@@ -46,6 +81,16 @@ module Hub = struct
   let observe_latency t us =
     Window.observe t.latency_w us;
     Metrics.observe t.latency_c us
+
+  let observe_stage t name us =
+    let w, c = stage_instruments t name in
+    Window.observe w us;
+    Metrics.observe c us
+
+  let observe_gc t ~dur_us =
+    Window.observe t.gc_w dur_us;
+    Metrics.observe t.gc_c dur_us;
+    t.gc_busy <- t.gc_busy +. (float_of_int dur_us /. 1e6)
 
   (* The runtime registers one [runtime.refused.<obj>] counter per
      schema object and bumps it on every refused access, so the
@@ -99,6 +144,17 @@ module Hub = struct
       sg_edges = Graph.n_edges graph;
       sg_reorders = Graph.reorders graph;
       hot = hot_top t delta;
+      stages =
+        List.rev_map
+          (fun name ->
+            let w, _ = Hashtbl.find t.stage_tbl name in
+            (name, Wire.hist_of_view (Window.histogram_current w)))
+          t.stage_order;
+      gc_pause = Wire.hist_of_view (Window.histogram_current t.gc_w);
+      gc_pct =
+        (let elapsed = now -. t.t_cut in
+         if elapsed <= 0. then 0.
+         else Float.min 100. (100. *. t.gc_busy /. elapsed));
     }
 
   let cut t ~eng ~alarms ~conns ~subscribers ~now =
@@ -110,6 +166,9 @@ module Hub = struct
     t.p_orphans <- Engine.orphan_aborts eng;
     t.p_alarms <- alarms;
     t.prev_snap <- Snapshot.capture ~at:now t.registry;
+    Metrics.set t.gc_pct_g frame.Wire.gc_pct;
+    t.gc_busy <- 0.;
+    t.t_cut <- now;
     Window.tick t.win;
     frame
 end

@@ -25,19 +25,35 @@ open Nt_obs
 module Hub : sig
   type t
 
-  val create : ?slots:int -> ?top_k:int -> interval_s:float -> Metrics.t -> t
+  val create :
+    ?slots:int -> ?top_k:int -> ?t0:float -> interval_s:float -> Metrics.t -> t
   (** A hub windowing over [slots] intervals (default 8), reporting at
       most [top_k] hot objects (default 5).  The registry is the one
       the server counts wire requests in ([served.requests]) and hands
       to the engine's recorder — frames rank hot objects by the
       interval delta of its [runtime.refused.<obj>] counters, which
       the runtime maintains whenever the recorder is enabled.  The hub
-      also registers the cumulative [served.latency_us] histogram
-      there so [--prom] exports see totals. *)
+      also registers cumulative twins there so [--prom] exports see
+      totals: [served.latency_us], one [served.stage.<name>_us] per
+      stage (the seven canonical {!Nt_obs.Stage.stages} are
+      pre-registered), [served.gc.pause_us] and the [served.gc.pct]
+      gauge.  [t0] is the hub's clock reading at creation (default 0,
+      the server's monotonic origin) — the start of the first GC
+      interval. *)
 
   val observe_latency : t -> int -> unit
   (** Record one submit-to-completion latency (µs) into both the
       window and the cumulative registry histogram. *)
+
+  val observe_stage : t -> string -> int -> unit
+  (** [observe_stage t stage us] records one stage duration (µs) into
+      the stage's windowed and cumulative histograms (get-or-create;
+      new stage names join frames after the canonical seven). *)
+
+  val observe_gc : t -> dur_us:int -> unit
+  (** Record one completed GC pause: feeds the [gc.pause] histograms
+      and accrues the open interval's %time-in-GC ([gc_pct] in the
+      frame, the [served.gc.pct] gauge at {!cut}). *)
 
   val seq : t -> int
   (** Frames built so far. *)

@@ -1,7 +1,7 @@
 open Nt_base
 open Nt_obs
 
-let protocol_version = 2
+let protocol_version = 3
 let max_frame = 4 * 1024 * 1024
 let max_header = 20
 
@@ -61,6 +61,8 @@ type request =
   | Status of Txn_id.t
   | Metrics
   | Subscribe
+  | Ping
+  | Dump
   | Quiesce
   | Shutdown
 
@@ -118,6 +120,9 @@ type telemetry = {
   sg_edges : int;
   sg_reorders : int;
   hot : (string * int) list;
+  stages : (string * hist) list;
+  gc_pause : hist;
+  gc_pct : float;
 }
 
 type response =
@@ -132,6 +137,8 @@ type response =
   | State of { txn : Txn_id.t; state : txn_state; req : string option }
   | Metrics_dump of Json.t
   | Telemetry of telemetry
+  | Pong of { t_mono : float; live : int; doomed : int; conns : int }
+  | Dumped of { spans : int; dropped : int; jsonl : string; chrome : string }
   | Quiesced of { committed : int; aborted : int; vetoed : int; alarms : int }
   | Goodbye
   | Error_msg of string
@@ -153,6 +160,8 @@ let request_to_json = function
   | Status t -> obj [ ("type", str "status"); ("txn", txn t) ]
   | Metrics -> obj [ ("type", str "metrics") ]
   | Subscribe -> obj [ ("type", str "subscribe") ]
+  | Ping -> obj [ ("type", str "ping") ]
+  | Dump -> obj [ ("type", str "dump") ]
   | Quiesce -> obj [ ("type", str "quiesce") ]
   | Shutdown -> obj [ ("type", str "shutdown") ]
 
@@ -224,6 +233,12 @@ let telemetry_to_json t =
       ( "hot",
         Json.Arr
           (List.map (fun (x, w) -> Json.Arr [ str x; int w ]) t.hot) );
+      ( "stages",
+        obj (List.map (fun (s, h) -> (s, hist_to_json h)) t.stages) );
+      ( "gc",
+        obj
+          [ ("pause_us", hist_to_json t.gc_pause); ("pct", Json.Float t.gc_pct) ]
+      );
     ]
 
 let response_to_json = function
@@ -252,6 +267,24 @@ let response_to_json = function
         :: opt_req req (("txn", txn t) :: state_fields state))
   | Metrics_dump j -> obj [ ("type", str "metrics"); ("metrics", j) ]
   | Telemetry t -> telemetry_to_json t
+  | Pong { t_mono; live; doomed; conns } ->
+      obj
+        [
+          ("type", str "pong");
+          ("t", Json.Float t_mono);
+          ("live", int live);
+          ("doomed", int doomed);
+          ("conns", int conns);
+        ]
+  | Dumped { spans; dropped; jsonl; chrome } ->
+      obj
+        [
+          ("type", str "dumped");
+          ("spans", int spans);
+          ("dropped", int dropped);
+          ("jsonl", str jsonl);
+          ("chrome", str chrome);
+        ]
   | Quiesced { committed; aborted; vetoed; alarms } ->
       obj
         [
@@ -321,6 +354,8 @@ let request_of_json j =
       Ok (Status t)
   | "metrics" -> Ok Metrics
   | "subscribe" -> Ok Subscribe
+  | "ping" -> Ok Ping
+  | "dump" -> Ok Dump
   | "quiesce" -> Ok Quiesce
   | "shutdown" -> Ok Shutdown
   | other -> Error (Printf.sprintf "unknown request type %S" other)
@@ -406,6 +441,28 @@ let telemetry_of_json j =
   let* hot =
     pairs_field ~name:"hot" ~of_fst:Json.to_str_opt ~of_snd:Json.to_int_opt j
   in
+  let* stages =
+    match Json.member "stages" j with
+    | Some (Json.Obj fields) ->
+        List.fold_left
+          (fun acc (name, hj) ->
+            let* acc = acc in
+            let* h = hist_of_json hj in
+            Ok ((name, h) :: acc))
+          (Ok []) fields
+        |> Result.map List.rev
+    | Some _ -> Error "field \"stages\": expected an object"
+    | None -> Ok []
+  in
+  let* gc_pause, gc_pct =
+    match Json.member "gc" j with
+    | None -> Ok (empty_hist, 0.)
+    | Some gc ->
+        let* p = field "pause_us" gc in
+        let* gc_pause = hist_of_json p in
+        let* gc_pct = float_field "pct" gc in
+        Ok (gc_pause, gc_pct)
+  in
   Ok
     {
       seq;
@@ -432,6 +489,9 @@ let telemetry_of_json j =
       sg_edges;
       sg_reorders;
       hot;
+      stages;
+      gc_pause;
+      gc_pct;
     }
 
 let response_of_json j =
@@ -475,6 +535,18 @@ let response_of_json j =
   | "telemetry" ->
       let* t = telemetry_of_json j in
       Ok (Telemetry t)
+  | "pong" ->
+      let* t_mono = float_field "t" j in
+      let* live = int_field "live" j in
+      let* doomed = int_field "doomed" j in
+      let* conns = int_field "conns" j in
+      Ok (Pong { t_mono; live; doomed; conns })
+  | "dumped" ->
+      let* spans = int_field "spans" j in
+      let* dropped = int_field "dropped" j in
+      let* jsonl = str_field "jsonl" j in
+      let* chrome = str_field "chrome" j in
+      Ok (Dumped { spans; dropped; jsonl; chrome })
   | "quiesced" ->
       let* committed = int_field "committed" j in
       let* aborted = int_field "aborted" j in

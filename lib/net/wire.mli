@@ -72,6 +72,14 @@ type request =
   | Status of Txn_id.t
   | Metrics
   | Subscribe  (** Register for server-push {!constructor:Telemetry}. *)
+  | Ping
+      (** Liveness probe: answered immediately with
+          {!constructor:Pong} (server mono-time + engine occupancy),
+          used by [ntload] before a campaign. *)
+  | Dump
+      (** Dump the flight recorder to disk now; answered with
+          {!constructor:Dumped} naming the artifacts (or
+          {!constructor:Error_msg} when the recorder is off). *)
   | Quiesce  (** Drain: answer once nothing is enabled. *)
   | Shutdown
 
@@ -128,6 +136,15 @@ type telemetry = {
       (** Top-K objects by refused accesses (lock waits) this interval,
           from the delta of the runtime's per-object [runtime.refused.*]
           counters. *)
+  stages : (string * hist) list;
+      (** Window: per-stage latency histograms, µs, in
+          {!Nt_obs.Stage.stages} order (stages with no samples this
+          interval are included empty; absent from old servers'
+          frames). *)
+  gc_pause : hist;  (** Window: GC pause durations, µs. *)
+  gc_pct : float;
+      (** Percentage of the closing interval's wall time spent in GC
+          pauses (0 when the monitor is imprecise or off). *)
 }
 (** One server-push telemetry frame. *)
 
@@ -151,6 +168,13 @@ type response =
           foreign transaction has none). *)
   | Metrics_dump of Json.t  (** {!Nt_obs.Metrics.to_json} of the server. *)
   | Telemetry of telemetry
+  | Pong of { t_mono : float; live : int; doomed : int; conns : int }
+      (** Liveness answer: monotonic server clock plus engine
+          occupancy (live/doomed transactions, open connections). *)
+  | Dumped of { spans : int; dropped : int; jsonl : string; chrome : string }
+      (** Flight-recorder dump written: span count, ring drops, and
+          the server-side paths of the JSONL and Chrome-trace
+          artifacts. *)
   | Quiesced of { committed : int; aborted : int; vetoed : int; alarms : int }
   | Goodbye
   | Error_msg of string  (** Protocol-level error; connection closes. *)

@@ -1,0 +1,32 @@
+(* Gc.quick_stat fallback for Gcmon: selected when the
+   [runtime_events] library is unavailable (OCaml < 5.0).  Each poll
+   diffs the cumulative collection counters and reports one
+   zero-duration pause per collection, stamped at poll time. *)
+
+type pause = { gc_kind : string; gc_t0 : float; gc_t1 : float }
+
+type t = {
+  mutable minors : int;
+  mutable majors : int;
+  mutable reported : int;
+}
+
+let precise = false
+
+let start () =
+  let s = Gc.quick_stat () in
+  Some { minors = s.Gc.minor_collections; majors = s.Gc.major_collections; reported = 0 }
+
+let poll t ~now =
+  let s = Gc.quick_stat () in
+  let marker kind n = List.init n (fun _ -> { gc_kind = kind; gc_t0 = now; gc_t1 = now }) in
+  let minors = max 0 (s.Gc.minor_collections - t.minors) in
+  let majors = max 0 (s.Gc.major_collections - t.majors) in
+  t.minors <- s.Gc.minor_collections;
+  t.majors <- s.Gc.major_collections;
+  let ps = marker "minor" minors @ marker "major" majors in
+  t.reported <- t.reported + List.length ps;
+  ps
+
+let total t = t.reported
+let stop _ = ()

@@ -1,0 +1,106 @@
+(* Runtime_events backend for Gcmon: selected when the
+   [runtime_events] library exists (OCaml >= 5.0).  A self-cursor over
+   the runtime's ring turns EV_MINOR / EV_MAJOR begin/end pairs into
+   completed pauses with real durations.
+
+   The runtime stamps events in monotonic nanoseconds on its own
+   clock; we anchor that clock to the caller's by equating the latest
+   event timestamp seen by the first non-empty poll with that poll's
+   [now] — every drained event happened before the poll, so every
+   mapped time lands at or before [now] (still clamped as a safety
+   net) and everything after the anchor is consistent. *)
+
+module RE = Runtime_events
+
+type pause = { gc_kind : string; gc_t0 : float; gc_t1 : float }
+
+type t = {
+  cursor : RE.cursor;
+  callbacks : RE.Callbacks.t;
+  anchor : float option ref;  (* latest raw timestamp seen, seconds *)
+  mutable offset : float option;  (* caller clock - runtime clock, s *)
+  pending : (int * string, float) Hashtbl.t;  (* (ring, kind) -> raw begin *)
+  completed : (string * float * float) Queue.t;  (* kind, raw t0, raw t1 *)
+  mutable reported : int;
+}
+
+let precise = true
+
+(* Only the two top-level collection phases: their sub-phases
+   (EV_MAJOR_SWEEP, EV_MINOR_LOCAL_ROOTS, ...) nest inside them and
+   would double-count pause time. *)
+let phase_kind = function
+  | RE.EV_MINOR -> Some "minor"
+  | RE.EV_MAJOR -> Some "major"
+  | _ -> None
+
+let raw_seconds ts = Int64.to_float (RE.Timestamp.to_int64 ts) /. 1e9
+
+let start () =
+  try
+    RE.start ();
+    let anchor = ref None in
+    let pending = Hashtbl.create 8 in
+    let completed = Queue.create () in
+    let see ts =
+      let r = raw_seconds ts in
+      match !anchor with
+      | Some a when a >= r -> ()
+      | _ -> anchor := Some r
+    in
+    let runtime_begin ring ts phase =
+      see ts;
+      match phase_kind phase with
+      | None -> ()
+      | Some kind -> Hashtbl.replace pending (ring, kind) (raw_seconds ts)
+    in
+    let runtime_end ring ts phase =
+      see ts;
+      match phase_kind phase with
+      | None -> ()
+      | Some kind -> (
+          match Hashtbl.find_opt pending (ring, kind) with
+          | None -> ()
+          | Some t0 ->
+              Hashtbl.remove pending (ring, kind);
+              Queue.push (kind, t0, raw_seconds ts) completed)
+    in
+    let callbacks = RE.Callbacks.create ~runtime_begin ~runtime_end () in
+    let cursor = RE.create_cursor None in
+    Some
+      {
+        cursor;
+        callbacks;
+        anchor;
+        offset = None;
+        pending;
+        completed;
+        reported = 0;
+      }
+  with _ -> None
+
+let poll t ~now =
+  (try ignore (RE.read_poll t.cursor t.callbacks None) with _ -> ());
+  (match (t.offset, !(t.anchor)) with
+  | None, Some raw -> t.offset <- Some (now -. raw)
+  | _ -> ());
+  match t.offset with
+  | None -> []
+  | Some off ->
+      let out = ref [] in
+      Queue.iter
+        (fun (kind, r0, r1) ->
+          let m1 = Stdlib.min (r1 +. off) now in
+          let m0 = Stdlib.min (r0 +. off) m1 in
+          out := { gc_kind = kind; gc_t0 = m0; gc_t1 = m1 } :: !out)
+        t.completed;
+      Queue.clear t.completed;
+      let ps = List.rev !out in
+      t.reported <- t.reported + List.length ps;
+      ps
+
+let total t = t.reported
+
+let stop t =
+  (try RE.free_cursor t.cursor with _ -> ());
+  try RE.pause () with _ -> ()

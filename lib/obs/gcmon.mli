@@ -1,0 +1,52 @@
+(** GC-pause observation for the serving loop.
+
+    Two implementations are selected at build time (dune [select]):
+
+    - On OCaml 5 with the [runtime_events] library, a self-cursor over
+      the runtime's event ring turns every minor collection and major
+      slice into a completed pause with real begin/end times
+      ({!precise} is [true]).  Runtime timestamps are monotonic
+      nanoseconds on the runtime's own clock; {!poll} maps them onto
+      the {e caller's} clock by anchoring the first event seen at the
+      first poll's [now], so pause spans land on the same timeline as
+      the request stage spans around them.
+
+    - Otherwise a [Gc.quick_stat] fallback: each poll compares
+      collection counters and reports one zero-duration pause per
+      collection that happened since the previous poll, stamped at
+      poll time ({!precise} is [false]).  Counts and rates stay
+      meaningful; durations and placement do not.
+
+    Attribution caveat (both paths): pauses are drained by polling
+    between serving-loop turns, so a pause is attributed to whatever
+    request context the loop most recently touched — exact for pauses
+    inside a handled request, approximate for pauses that fall between
+    requests.  See [doc/observability.mld]. *)
+
+type pause = {
+  gc_kind : string;  (** ["minor"] or ["major"]. *)
+  gc_t0 : float;  (** Caller-clock seconds (equal when not {!precise}). *)
+  gc_t1 : float;
+}
+
+type t
+
+val precise : bool
+(** [true] when real pause durations are available ([runtime_events]
+    backend), [false] under the [Gc.quick_stat] fallback. *)
+
+val start : unit -> t option
+(** Begin observing.  [None] if the backend cannot start (e.g. the
+    runtime-events ring cannot be created); the caller should then
+    serve without GC attribution. *)
+
+val poll : t -> now:float -> pause list
+(** Pauses completed since the previous poll, oldest first, on the
+    caller's clock ([now] is that clock's current reading).  Cheap
+    when nothing happened. *)
+
+val total : t -> int
+(** Pauses reported so far, across all polls. *)
+
+val stop : t -> unit
+(** Release backend resources.  The [t] must not be polled again. *)

@@ -1,0 +1,175 @@
+(* Request-lifecycle stage spans and the flight recorder.  See
+   stage.mli for the model. *)
+
+let stages = [ "read"; "decode"; "validate"; "admit"; "gate"; "execute"; "reply" ]
+let gc_stage = "gc.pause"
+
+type span = {
+  sp_stage : string;
+  sp_req : string option;
+  sp_txn : string option;
+  sp_conn : int;
+  sp_t0 : float;
+  sp_t1 : float;
+}
+
+let dur_us sp =
+  let us = (sp.sp_t1 -. sp.sp_t0) *. 1e6 in
+  if us <= 0. then 0 else int_of_float (us +. 0.5)
+
+let span_to_json sp =
+  let fields =
+    [ ("ev", Json.Str "stage"); ("stage", Json.Str sp.sp_stage) ]
+    @ (match sp.sp_req with None -> [] | Some r -> [ ("req", Json.Str r) ])
+    @ (match sp.sp_txn with None -> [] | Some t -> [ ("txn", Json.Str t) ])
+    @ [
+        ("conn", Json.Int sp.sp_conn);
+        ("t0", Json.Float sp.sp_t0);
+        ("t1", Json.Float sp.sp_t1);
+        ("dur_us", Json.Int (dur_us sp));
+      ]
+  in
+  Json.Obj fields
+
+let span_of_json j =
+  let str_field k =
+    match Json.member k j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "stage span: missing string %S" k)
+  in
+  let num_field k =
+    match Json.member k j with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int i) -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "stage span: missing number %S" k)
+  in
+  let ( let* ) = Result.bind in
+  let* stage = str_field "stage" in
+  let* t0 = num_field "t0" in
+  let* t1 = num_field "t1" in
+  let conn =
+    match Json.member "conn" j with
+    | Some (Json.Int c) -> c
+    | _ -> -1
+  in
+  let opt k = match Json.member k j with Some (Json.Str s) -> Some s | _ -> None in
+  Ok
+    {
+      sp_stage = stage;
+      sp_req = opt "req";
+      sp_txn = opt "txn";
+      sp_conn = conn;
+      sp_t0 = t0;
+      sp_t1 = t1;
+    }
+
+module Recorder = struct
+  type t = {
+    buf : span array;
+    cap : int;
+    mutable total : int;  (* spans ever recorded *)
+    mutable held : int;  (* spans currently in the ring *)
+    mutable head : int;  (* next write position *)
+  }
+
+  let nil_span =
+    { sp_stage = ""; sp_req = None; sp_txn = None; sp_conn = -1; sp_t0 = 0.; sp_t1 = 0. }
+
+  let create ~capacity =
+    let cap = max 1 capacity in
+    { buf = Array.make cap nil_span; cap; total = 0; held = 0; head = 0 }
+
+  let capacity t = t.cap
+
+  let record t sp =
+    t.buf.(t.head) <- sp;
+    t.head <- (t.head + 1) mod t.cap;
+    t.total <- t.total + 1;
+    if t.held < t.cap then t.held <- t.held + 1
+
+  let size t = t.held
+  let total t = t.total
+  let dropped t = t.total - t.held
+
+  let spans t =
+    (* Oldest first: the oldest live span sits [held] slots behind the
+       write head. *)
+    let start = (t.head - t.held + t.cap * 2) mod t.cap in
+    List.init t.held (fun i -> t.buf.((start + i) mod t.cap))
+
+  let clear t =
+    t.held <- 0;
+    t.head <- 0
+
+  let header t ~reason ~now =
+    Json.Obj
+      [
+        ("ev", Json.Str "flight");
+        ("reason", Json.Str reason);
+        ("t", Json.Float now);
+        ("spans", Json.Int t.held);
+        ("dropped", Json.Int (dropped t));
+      ]
+
+  let dump_jsonl t ~reason ~now oc =
+    Json.output oc (header t ~reason ~now);
+    output_char oc '\n';
+    List.iter
+      (fun sp ->
+        Json.output oc (span_to_json sp);
+        output_char oc '\n')
+      (spans t);
+    t.held
+
+  let dump_chrome t ~reason ~now oc =
+    (* One Chrome trace-event "X" (complete) slice per span: pid = the
+       connection, tid = a lane per request id so concurrent requests
+       on one connection do not overlap, assigned deterministically in
+       first-appearance order.  Times in microseconds. *)
+    let lanes = Hashtbl.create 16 in
+    let next_lane = ref 1 in
+    let lane_of = function
+      | None -> 0
+      | Some req -> (
+          match Hashtbl.find_opt lanes req with
+          | Some l -> l
+          | None ->
+              let l = !next_lane in
+              incr next_lane;
+              Hashtbl.add lanes req l;
+              l)
+    in
+    let us f = Json.Float (f *. 1e6) in
+    let slice sp =
+      let args =
+        (match sp.sp_req with None -> [] | Some r -> [ ("req", Json.Str r) ])
+        @ (match sp.sp_txn with None -> [] | Some x -> [ ("txn", Json.Str x) ])
+      in
+      Json.Obj
+        [
+          ("name", Json.Str sp.sp_stage);
+          ("cat", Json.Str "stage");
+          ("ph", Json.Str "X");
+          ("pid", Json.Int sp.sp_conn);
+          ("tid", Json.Int (lane_of sp.sp_req));
+          ("ts", us sp.sp_t0);
+          ("dur", us (sp.sp_t1 -. sp.sp_t0));
+          ("args", Json.Obj args);
+        ]
+    in
+    let meta =
+      Json.Obj
+        [
+          ("name", Json.Str "flight_dump");
+          ("ph", Json.Str "i");
+          ("pid", Json.Int 0);
+          ("tid", Json.Int 0);
+          ("ts", us now);
+          ("s", Json.Str "g");
+          ("args", Json.Obj [ ("reason", Json.Str reason) ]);
+        ]
+    in
+    Json.output oc (Json.Arr (meta :: List.map slice (spans t)));
+    output_char oc '\n';
+    t.held
+end

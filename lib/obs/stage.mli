@@ -1,0 +1,94 @@
+(** Request-lifecycle stage spans and the flight recorder.
+
+    Where {!Obs} spans model {e transactions} on a logical clock, a
+    stage span models one {e serving stage} of one wire request on the
+    server's monotonic wall clock: [read] (frame assembly),
+    [decode], [validate], [admit], [gate], [execute], [reply] — plus
+    [gc.pause] spans for garbage-collection pauses attributed to the
+    request they interrupted (see {!Gcmon}).  Spans are parent-linked
+    by the client's opaque request id (the same id the wire protocol
+    echoes and the audit log records), so one id names the client
+    span, every server stage, and the veto/slow audit entry.
+
+    The {!Recorder} is a flight recorder: a fixed-size ring the
+    serving loop writes every span into, cheap enough to leave on in
+    production (an array store per span; the oldest spans fall out).
+    On an anomaly — an admission veto, a slow request, a poisoned
+    reader, SIGQUIT, or an explicit [Dump] wire request — the ring is
+    dumped as JSONL (one span per line, replayable by
+    [ntprof]/{!Nt_prof.Flight}) and as a Chrome trace-event file
+    (openable in [chrome://tracing]/Perfetto: one process row per
+    connection, one thread lane per request id).
+
+    Dumps are deterministic functions of the ring contents and the
+    [now]/[reason] arguments, so a fixed clock yields byte-identical
+    artifacts. *)
+
+val stages : string list
+(** The seven canonical request stages, in lifecycle order:
+    [read; decode; validate; admit; gate; execute; reply]. *)
+
+val gc_stage : string
+(** ["gc.pause"] — the stage name under which GC pauses are
+    recorded. *)
+
+type span = {
+  sp_stage : string;  (** Stage name ({!stages}, {!gc_stage}, or ad-hoc). *)
+  sp_req : string option;  (** Client request id, when known. *)
+  sp_txn : string option;  (** Rendered {!Nt_base.Txn_id.t}, once assigned. *)
+  sp_conn : int;  (** Connection id; [-1] for server-wide spans. *)
+  sp_t0 : float;  (** Monotonic server clock, seconds. *)
+  sp_t1 : float;
+}
+
+val dur_us : span -> int
+(** Rounded duration in microseconds (clamped non-negative). *)
+
+val span_to_json : span -> Json.t
+(** [{"ev":"stage","stage":...,"req":...,"txn":...,"conn":...,
+    "t0":...,"t1":...,"dur_us":...}]; [req]/[txn] omitted when
+    absent. *)
+
+val span_of_json : Json.t -> (span, string) result
+(** Inverse of {!span_to_json} (the derived [dur_us] is ignored). *)
+
+module Recorder : sig
+  type t
+
+  val create : capacity:int -> t
+  (** A ring holding the last [capacity] spans (at least 1). *)
+
+  val capacity : t -> int
+
+  val record : t -> span -> unit
+  (** O(1); overwrites the oldest span once the ring is full. *)
+
+  val size : t -> int
+  (** Spans currently held ([min total capacity]). *)
+
+  val total : t -> int
+  (** Spans ever recorded. *)
+
+  val dropped : t -> int
+  (** Spans lost to wrap-around ([total - size]). *)
+
+  val spans : t -> span list
+  (** Current contents, oldest first. *)
+
+  val clear : t -> unit
+  (** Empty the ring ({!total}/{!dropped} keep counting). *)
+
+  val dump_jsonl : t -> reason:string -> now:float -> out_channel -> int
+  (** Write a header line
+      [{"ev":"flight","reason":...,"t":...,"spans":n,"dropped":d}]
+      and then every held span, oldest first, one JSON object per
+      line.  Returns the number of spans written. *)
+
+  val dump_chrome : t -> reason:string -> now:float -> out_channel -> int
+  (** The same contents as a complete Chrome trace-event JSON array:
+      ["X"] (complete) slices with [pid] the connection, [tid] a lane
+      per request id (assigned in first-appearance order; lane 0 for
+      id-less spans), timestamps in microseconds, and the request
+      id/transaction in [args].  Stage names and request ids are
+      JSON-escaped, so arbitrary bytes survive the viewer. *)
+end

@@ -1,0 +1,274 @@
+open Nt_obs
+
+type t = {
+  mutable rev_spans : Stage.span list;
+  mutable n_spans : int;
+  mutable reason : string option;
+  mutable dropped : int;
+  mutable bad : int;
+}
+
+let create () =
+  { rev_spans = []; n_spans = 0; reason = None; dropped = 0; bad = 0 }
+
+let feed_line t line =
+  let line = String.trim line in
+  if line = "" then Ok ()
+  else
+    match Json.parse line with
+    | Error e ->
+        t.bad <- t.bad + 1;
+        Error e
+    | Ok j -> (
+        match Json.member "ev" j with
+        | Some (Json.Str "flight") ->
+            (match Json.member "reason" j with
+            | Some (Json.Str r) -> t.reason <- Some r
+            | _ -> ());
+            (match Json.member "dropped" j with
+            | Some (Json.Int d) -> t.dropped <- t.dropped + d
+            | _ -> ());
+            Ok ()
+        | Some (Json.Str "stage") -> (
+            match Stage.span_of_json j with
+            | Ok sp ->
+                t.rev_spans <- sp :: t.rev_spans;
+                t.n_spans <- t.n_spans + 1;
+                Ok ()
+            | Error e ->
+                t.bad <- t.bad + 1;
+                Error e)
+        | _ ->
+            t.bad <- t.bad + 1;
+            Error "not a flight-dump line (no \"ev\":\"flight\"/\"stage\")")
+
+let load t path =
+  let ic = open_in path in
+  let errs = ref [] and n_errs = ref 0 in
+  (try
+     while true do
+       match feed_line t (input_line ic) with
+       | Ok () -> ()
+       | Error e ->
+           incr n_errs;
+           if !n_errs <= 5 then errs := e :: !errs
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !errs
+
+let spans t = List.rev t.rev_spans
+let reason t = t.reason
+let dropped t = t.dropped
+let bad_lines t = t.bad
+
+(* --- per-request chains with exclusive (self) time --- *)
+
+type chain = {
+  c_req : string;
+  c_txn : string option;
+  c_t0 : float;
+  c_t1 : float;
+  c_stages : (string * int) list;
+  c_missing : string list;
+}
+
+let req_key sp = match sp.Stage.sp_req with Some r -> r | None -> ""
+
+(* Order stage names canonically first, then by first appearance. *)
+let stage_order names =
+  let canonical = List.filter (fun s -> List.mem s names) Stage.stages in
+  let extra = List.filter (fun s -> not (List.mem s Stage.stages)) names in
+  canonical @ extra
+
+(* One nesting pass over a request's spans: sorted by begin (ties:
+   longer first, so parents precede children), a stack of open spans
+   assigns each span its enclosing path and charges its overlap to the
+   parent's child time.  [emit] sees (enclosing names, span, exclusive
+   µs). *)
+let exclusive_pass spans emit =
+  let arr = Array.of_list spans in
+  Array.sort
+    (fun a b ->
+      let c = compare a.Stage.sp_t0 b.Stage.sp_t0 in
+      if c <> 0 then c else compare b.Stage.sp_t1 a.Stage.sp_t1)
+    arr;
+  (* stack of (span, child seconds so far), innermost first *)
+  let stack = ref [] in
+  let close_out (sp, child_s) =
+    let self = ((sp.Stage.sp_t1 -. sp.Stage.sp_t0) -. child_s) *. 1e6 in
+    (* [stack] no longer contains [sp]; it lists enclosing spans
+       innermost first, so reverse for an outermost-first path *)
+    let path = List.rev_map (fun (p, _) -> p.Stage.sp_stage) !stack in
+    emit path sp (max 0 (int_of_float (self +. 0.5)))
+  in
+  let rec pop_ended t0 =
+    match !stack with
+    | (top, child_s) :: rest when top.Stage.sp_t1 <= t0 ->
+        stack := rest;
+        close_out (top, child_s);
+        (* charge the closed span's full duration to its parent *)
+        (match !stack with
+        | (p, pc) :: r ->
+            let overlap =
+              Float.max 0.
+                (Float.min p.Stage.sp_t1 top.Stage.sp_t1 -. top.Stage.sp_t0)
+            in
+            stack := (p, pc +. overlap) :: r
+        | [] -> ());
+        pop_ended t0
+    | _ -> ()
+  in
+  Array.iter
+    (fun sp ->
+      pop_ended sp.Stage.sp_t0;
+      stack := (sp, 0.) :: !stack)
+    arr;
+  pop_ended infinity
+
+let by_request t =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun sp ->
+      let k = req_key sp in
+      match Hashtbl.find_opt tbl k with
+      | Some l -> Hashtbl.replace tbl k (sp :: l)
+      | None ->
+          Hashtbl.add tbl k [ sp ];
+          order := k :: !order)
+    (spans t);
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+
+let chain_of k spans =
+  let t0 = List.fold_left (fun a sp -> Float.min a sp.Stage.sp_t0) infinity spans in
+  let t1 =
+    List.fold_left (fun a sp -> Float.max a sp.Stage.sp_t1) neg_infinity spans
+  in
+  let txn =
+    List.find_map (fun sp -> sp.Stage.sp_txn) spans
+  in
+  let per_stage = Hashtbl.create 8 in
+  let seen = ref [] in
+  exclusive_pass spans (fun _path sp self_us ->
+      let s = sp.Stage.sp_stage in
+      (match Hashtbl.find_opt per_stage s with
+      | Some n -> Hashtbl.replace per_stage s (n + self_us)
+      | None ->
+          Hashtbl.add per_stage s self_us;
+          seen := s :: !seen));
+  let names = stage_order (List.rev !seen) in
+  {
+    c_req = k;
+    c_txn = txn;
+    c_t0 = t0;
+    c_t1 = t1;
+    c_stages = List.map (fun s -> (s, Hashtbl.find per_stage s)) names;
+    c_missing = List.filter (fun s -> not (List.mem s names)) Stage.stages;
+  }
+
+let chains t = List.map (fun (k, sps) -> chain_of k sps) (by_request t)
+
+let chain t req =
+  List.find_opt (fun (k, _) -> k = req) (by_request t)
+  |> Option.map (fun (k, sps) -> chain_of k sps)
+
+let stage_stats t =
+  let m = Metrics.create () in
+  let seen = ref [] in
+  List.iter
+    (fun (_, sps) ->
+      exclusive_pass sps (fun _path sp self_us ->
+          let s = sp.Stage.sp_stage in
+          if not (List.mem s !seen) then seen := s :: !seen;
+          Metrics.observe (Metrics.histogram m s) self_us))
+    (by_request t);
+  List.map
+    (fun s -> (s, Metrics.histogram_stats (Metrics.histogram m s)))
+    (stage_order (List.rev !seen))
+
+let critical t =
+  let totals =
+    List.concat_map (fun c -> c.c_stages) (chains t)
+    |> List.fold_left
+         (fun acc (s, us) ->
+           let cur = try List.assoc s acc with Not_found -> 0 in
+           (s, cur + us) :: List.remove_assoc s acc)
+         []
+  in
+  let all = List.fold_left (fun a (_, us) -> a + us) 0 totals in
+  List.map
+    (fun (s, us) ->
+      (s, us, if all = 0 then 0. else 100. *. float_of_int us /. float_of_int all))
+    totals
+  |> List.sort (fun (a, ua, _) (b, ub, _) ->
+         if ua <> ub then compare ub ua else compare a b)
+
+let folded t =
+  let stacks = Hashtbl.create 32 in
+  List.iter
+    (fun (_, sps) ->
+      exclusive_pass sps (fun path sp self_us ->
+          if self_us > 0 then begin
+            let key =
+              String.concat ";" ("ntserved" :: path @ [ sp.Stage.sp_stage ])
+            in
+            let cur = try Hashtbl.find stacks key with Not_found -> 0 in
+            Hashtbl.replace stacks key (cur + self_us)
+          end))
+    (by_request t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) stacks []
+  |> List.sort compare
+  |> List.map (fun (k, v) -> Printf.sprintf "%s %d" k v)
+  |> String.concat "\n"
+  |> fun s -> if s = "" then s else s ^ "\n"
+
+let report ?(top = 5) ppf t =
+  let cs = chains t in
+  Format.fprintf ppf "flight dump: %d spans, %d requests, %d dropped%s@."
+    t.n_spans (List.length cs) t.dropped
+    (match t.reason with None -> "" | Some r -> Printf.sprintf ", reason %S" r);
+  if t.bad > 0 then Format.fprintf ppf "  (%d malformed lines skipped)@." t.bad;
+  let crit = critical t in
+  if crit <> [] then begin
+    Format.fprintf ppf "@.critical path (exclusive time):@.";
+    List.iter
+      (fun (s, us, pct) ->
+        Format.fprintf ppf "  %-10s %10d us  %5.1f%%@." s us pct)
+      crit
+  end;
+  let stats = stage_stats t in
+  if stats <> [] then begin
+    Format.fprintf ppf "@.per-stage exclusive us:@.";
+    List.iter
+      (fun (s, (h : Metrics.hstats)) ->
+        Format.fprintf ppf
+          "  %-10s count %6d  p50 %8d  p99 %8d  max %8d@." s h.Metrics.count
+          h.Metrics.p50 h.Metrics.p99 h.Metrics.max)
+      stats
+  end;
+  let slowest =
+    List.sort
+      (fun a b -> compare (b.c_t1 -. b.c_t0) (a.c_t1 -. a.c_t0))
+      (List.filter (fun c -> c.c_req <> "") cs)
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: r -> x :: take (n - 1) r
+  in
+  let slowest = take top slowest in
+  if slowest <> [] then begin
+    Format.fprintf ppf "@.slowest requests:@.";
+    List.iter
+      (fun c ->
+        let e2e = int_of_float (((c.c_t1 -. c.c_t0) *. 1e6) +. 0.5) in
+        Format.fprintf ppf "  %-12s %s%8d us  %s%s@." c.c_req
+          (match c.c_txn with Some x -> Printf.sprintf "(%s)  " x | None -> "")
+          e2e
+          (String.concat " | "
+             (List.map (fun (s, us) -> Printf.sprintf "%s %d" s us) c.c_stages))
+          (if c.c_missing = [] then ""
+           else Printf.sprintf "  [missing: %s]" (String.concat "," c.c_missing)))
+      slowest
+  end

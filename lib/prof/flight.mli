@@ -1,0 +1,81 @@
+(** Flight-recorder dump analysis.
+
+    Loads the JSONL artifacts the serving loop's flight recorder
+    writes ({!Nt_obs.Stage.Recorder.dump_jsonl}) and answers the
+    questions [ntprof] reports about them: where each request's time
+    went stage by stage, which stages dominate across the dump
+    (critical path), and a folded-stack rendering suitable for
+    [flamegraph.pl] or speedscope.
+
+    Spans are grouped into per-request {e chains} by request id.
+    Nested spans — [gate] inside [execute], [gc.pause] inside whatever
+    it interrupted — are accounted {e exclusively}: a span's self time
+    is its duration minus the parts covered by spans it strictly
+    contains, so a chain's stage durations sum to (within clock
+    jitter) the request's end-to-end latency instead of double
+    counting. *)
+
+open Nt_obs
+
+type t
+(** A mutable accumulator over one or more dump files. *)
+
+val create : unit -> t
+
+val feed_line : t -> string -> (unit, string) result
+(** Parse one dump line (header lines update {!reason}/{!dropped};
+    span lines accumulate).  Blank lines are ignored; malformed lines
+    are counted and reported. *)
+
+val load : t -> string -> string list
+(** Feed a whole dump file.  Returns the first few per-line error
+    messages (empty when clean).  Raises [Sys_error] if the file
+    cannot be opened. *)
+
+val spans : t -> Stage.span list
+(** Every span loaded, in file order. *)
+
+val reason : t -> string option
+(** The last dump header's reason (e.g. ["slow"], ["veto"]). *)
+
+val dropped : t -> int
+(** Ring drops summed over the loaded headers. *)
+
+val bad_lines : t -> int
+
+type chain = {
+  c_req : string;  (** The request id ([""] groups id-less spans). *)
+  c_txn : string option;  (** The transaction, when any span knew it. *)
+  c_t0 : float;  (** Earliest span begin. *)
+  c_t1 : float;  (** Latest span end. *)
+  c_stages : (string * int) list;
+      (** Exclusive µs per stage, canonical {!Nt_obs.Stage.stages}
+          order first, then extras ([gc.pause], ...) by first
+          appearance.  Stages absent from the chain are absent here. *)
+  c_missing : string list;
+      (** Canonical stages with no span in this chain — empty iff the
+          chain is complete. *)
+}
+
+val chains : t -> chain list
+(** Per-request chains, in order of each request's first span. *)
+
+val chain : t -> string -> chain option
+
+val stage_stats : t -> (string * Metrics.hstats) list
+(** Per-stage {e exclusive}-duration statistics (µs) across every
+    chain, canonical order first. *)
+
+val critical : t -> (string * int * float) list
+(** The critical path across the dump: per stage, total exclusive µs
+    and its share of the summed chain spans, sorted by total
+    descending.  Where the time went. *)
+
+val folded : t -> string
+(** Folded-stack lines ([ntserved;<outer>;<inner> <µs>], one per
+    distinct stack, exclusive µs summed across chains, sorted) — pipe
+    into [flamegraph.pl] or load into speedscope. *)
+
+val report : ?top:int -> Format.formatter -> t -> unit
+(** The text report: dump summary, critical path, per-stage quantiles
+    and the [top] slowest requests with their stage breakdowns. *)

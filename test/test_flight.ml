@@ -1,0 +1,328 @@
+(* Stage spans, the flight recorder, GC-pause attribution, and the
+   dump-analysis pipeline (Flight). *)
+
+open Core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let span ?req ?txn ?(conn = 1) stage t0 t1 =
+  { Stage.sp_stage = stage; sp_req = req; sp_txn = txn; sp_conn = conn;
+    sp_t0 = t0; sp_t1 = t1 }
+
+(* ----- span JSON ----- *)
+
+let t_span_roundtrip () =
+  let spans =
+    [
+      span "read" 0.25 0.5;
+      span ~req:"c1-7" ~txn:"T0.3" "execute" 1.0 2.5;
+      span ~req:"we\"ird\\id\n" ~conn:(-1) "gc.pause" 0.125 0.25;
+    ]
+  in
+  List.iter
+    (fun sp ->
+      match Stage.span_of_json (Stage.span_to_json sp) with
+      | Ok sp' ->
+          check_string "stage" sp.Stage.sp_stage sp'.Stage.sp_stage;
+          check_bool "req" true (sp.Stage.sp_req = sp'.Stage.sp_req);
+          check_bool "txn" true (sp.Stage.sp_txn = sp'.Stage.sp_txn);
+          check_int "conn" sp.Stage.sp_conn sp'.Stage.sp_conn;
+          check_bool "t0" true (sp.Stage.sp_t0 = sp'.Stage.sp_t0);
+          check_bool "t1" true (sp.Stage.sp_t1 = sp'.Stage.sp_t1)
+      | Error e -> Alcotest.failf "span_of_json: %s" e)
+    spans;
+  check_int "dur_us rounds" 250000 (Stage.dur_us (span "read" 0.25 0.5));
+  check_int "dur_us clamps" 0 (Stage.dur_us (span "read" 0.5 0.25))
+
+(* ----- ring wrap-around ----- *)
+
+let t_ring_wraparound () =
+  let r = Stage.Recorder.create ~capacity:4 in
+  check_int "capacity" 4 (Stage.Recorder.capacity r);
+  check_int "empty size" 0 (Stage.Recorder.size r);
+  check_bool "empty spans" true (Stage.Recorder.spans r = []);
+  for i = 1 to 10 do
+    Stage.Recorder.record r (span ~req:(Printf.sprintf "r%d" i) "read"
+                               (float_of_int i) (float_of_int i +. 0.5))
+  done;
+  check_int "size capped" 4 (Stage.Recorder.size r);
+  check_int "total" 10 (Stage.Recorder.total r);
+  check_int "dropped" 6 (Stage.Recorder.dropped r);
+  (* oldest-first: r7 r8 r9 r10 survive *)
+  let reqs =
+    List.map
+      (fun sp -> Option.get sp.Stage.sp_req)
+      (Stage.Recorder.spans r)
+  in
+  Alcotest.(check (list string)) "oldest first" [ "r7"; "r8"; "r9"; "r10" ]
+    reqs;
+  Stage.Recorder.clear r;
+  check_int "cleared" 0 (Stage.Recorder.size r);
+  check_int "total survives clear" 10 (Stage.Recorder.total r);
+  (* capacity floor *)
+  let tiny = Stage.Recorder.create ~capacity:0 in
+  Stage.Recorder.record tiny (span "read" 0. 1.);
+  Stage.Recorder.record tiny (span "decode" 1. 2.);
+  check_int "min capacity 1" 1 (Stage.Recorder.size tiny)
+
+(* ----- dump determinism under a fixed clock ----- *)
+
+let dump_to_string dump r =
+  let path = Filename.temp_file "flight" ".jsonl" in
+  let oc = open_out path in
+  ignore (dump r ~reason:"test" ~now:4.5 oc);
+  close_out oc;
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let t_dump_deterministic () =
+  let r = Stage.Recorder.create ~capacity:8 in
+  for i = 1 to 12 do
+    Stage.Recorder.record r
+      (span ~req:(Printf.sprintf "c0-%d" i) ~txn:(Printf.sprintf "T0.%d" i)
+         "execute"
+         (float_of_int i /. 8.)
+         ((float_of_int i /. 8.) +. 0.125))
+  done;
+  let a = dump_to_string Stage.Recorder.dump_jsonl r in
+  let b = dump_to_string Stage.Recorder.dump_jsonl r in
+  check_string "jsonl deterministic" a b;
+  let ca = dump_to_string Stage.Recorder.dump_chrome r in
+  let cb = dump_to_string Stage.Recorder.dump_chrome r in
+  check_string "chrome deterministic" ca cb;
+  (* the header carries the drop count *)
+  check_bool "header dropped" true
+    (Astring_like.contains a "\"dropped\":4");
+  (* every line parses *)
+  String.split_on_char '\n' a
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.iter (fun l ->
+         match Obs_json.parse l with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "bad dump line %S: %s" l e)
+
+
+(* ----- chrome escaping of hostile names ----- *)
+
+let t_chrome_escaping () =
+  let r = Stage.Recorder.create ~capacity:8 in
+  Stage.Recorder.record r
+    (span ~req:"evil\"req\\<>\n" ~txn:"T0.\t1" "sta\"ge\\" 0.5 1.0);
+  Stage.Recorder.record r (span ~req:"\x01control\x1f" "read" 1.0 1.5);
+  let s = dump_to_string Stage.Recorder.dump_chrome r in
+  (match Obs_json.parse (String.trim s) with
+  | Ok (Obs_json.Arr events) ->
+      check_bool "several events" true (List.length events >= 2)
+  | Ok _ -> Alcotest.fail "chrome dump is not an array"
+  | Error e -> Alcotest.failf "chrome dump does not parse: %s" e);
+  (* jsonl side survives the same names *)
+  let j = dump_to_string Stage.Recorder.dump_jsonl r in
+  let f = Flight.create () in
+  String.split_on_char '\n' j
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.iter (fun l ->
+         match Flight.feed_line f l with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "feed_line %S: %s" l e);
+  match Flight.spans f with
+  | [ a; _ ] ->
+      check_bool "hostile req survives" true
+        (a.Stage.sp_req = Some "evil\"req\\<>\n")
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+(* ----- flight analysis: chains, exclusive time, folded stacks ----- *)
+
+(* One request with the full server shape: read/decode ahead,
+   validate/admit, execute containing gate and a gc pause, reply after.
+   Times in seconds; exclusive accounting must give the chain sums. *)
+let seven_stage_spans =
+  [
+    span ~req:"c1-1" "read" 1.000 1.001;
+    span ~req:"c1-1" "decode" 1.001 1.002;
+    span ~req:"c1-1" ~txn:"T0.4" "validate" 1.002 1.004;
+    span ~req:"c1-1" ~txn:"T0.4" "admit" 1.004 1.006;
+    span ~req:"c1-1" ~txn:"T0.4" "execute" 1.006 1.046;
+    span ~req:"c1-1" ~txn:"T0.4" "gate" 1.040 1.044;
+    span ~req:"c1-1" ~txn:"T0.4" "gc.pause" 1.010 1.015;
+    span ~req:"c1-1" ~txn:"T0.4" "reply" 1.046 1.048;
+  ]
+
+let load_flight spans =
+  let f = Flight.create () in
+  (match
+     Flight.feed_line f
+       "{\"ev\":\"flight\",\"reason\":\"slow\",\"t\":2.0,\"spans\":8,\"dropped\":3}"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "header: %s" e);
+  List.iter
+    (fun sp ->
+      match Flight.feed_line f (Obs_json.to_string (Stage.span_to_json sp)) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "span line: %s" e)
+    spans;
+  f
+
+let t_chain_exclusive () =
+  let f = load_flight seven_stage_spans in
+  check_bool "reason" true (Flight.reason f = Some "slow");
+  check_int "dropped" 3 (Flight.dropped f);
+  let c =
+    match Flight.chain f "c1-1" with
+    | Some c -> c
+    | None -> Alcotest.fail "chain c1-1 missing"
+  in
+  check_bool "txn" true (c.Flight.c_txn = Some "T0.4");
+  check_bool "complete" true (c.Flight.c_missing = []);
+  let get s = List.assoc s c.Flight.c_stages in
+  check_int "read" 1000 (get "read");
+  check_int "decode" 1000 (get "decode");
+  check_int "validate" 2000 (get "validate");
+  check_int "admit" 2000 (get "admit");
+  (* execute is 40ms minus the nested gate (4ms) and gc (5ms) *)
+  check_int "execute exclusive" 31000 (get "execute");
+  check_int "gate" 4000 (get "gate");
+  check_int "gc" 5000 (get "gc.pause");
+  check_int "reply" 2000 (get "reply");
+  (* the acceptance criterion: stage sums within 5% of e2e *)
+  let e2e = int_of_float (((c.Flight.c_t1 -. c.Flight.c_t0) *. 1e6) +. 0.5) in
+  let sum = List.fold_left (fun a (_, us) -> a + us) 0 c.Flight.c_stages in
+  check_bool "sums to e2e" true
+    (abs (sum - e2e) * 100 <= 5 * e2e);
+  (* canonical ordering, extras after *)
+  Alcotest.(check (list string)) "stage order"
+    [ "read"; "decode"; "validate"; "admit"; "gate"; "execute"; "reply";
+      "gc.pause" ]
+    (List.map fst c.Flight.c_stages);
+  (* folded stacks name the nesting *)
+  let folded = Flight.folded f in
+  check_bool "nested gate stack" true
+    (Astring_like.contains folded "ntserved;execute;gate 4000");
+  check_bool "top-level read stack" true
+    (Astring_like.contains folded "ntserved;read 1000");
+  (* critical path: execute dominates *)
+  match Flight.critical f with
+  | (top, us, pct) :: _ ->
+      check_string "critical top" "execute" top;
+      check_int "critical us" 31000 us;
+      check_bool "critical pct" true (pct > 50.0)
+  | [] -> Alcotest.fail "no critical path"
+
+let t_incomplete_chain () =
+  let partial =
+    List.filter
+      (fun sp -> sp.Stage.sp_stage <> "reply" && sp.Stage.sp_stage <> "gate")
+      seven_stage_spans
+  in
+  let f = load_flight partial in
+  match Flight.chains f with
+  | [ c ] ->
+      Alcotest.(check (list string)) "missing lists absent canonical stages"
+        [ "gate"; "reply" ]
+        (List.sort compare c.Flight.c_missing)
+  | l -> Alcotest.failf "expected 1 chain, got %d" (List.length l)
+
+(* ----- span <-> audit linkage through a served engine ----- *)
+
+(* Drive the real Engine with a clock and check that stage_times gives
+   a plausible execute/gate interval for the transaction the completion
+   hook names — the linkage ntserved relies on to emit execute/gate
+   spans carrying the audited request id. *)
+let t_engine_stage_times () =
+  let objects = [ (Obj_id.make "x", Register.make ()) ] in
+  let t = ref 0.0 in
+  let clock () =
+    t := !t +. 0.001;
+    !t
+  in
+  let seen = ref [] in
+  let eng_cell = ref None in
+  let eng =
+    Engine.create ~policy:Runtime.Bsp_rounds ~admission:true ~clock
+      ~on_top_complete:(fun u outcome ->
+        let eng = Option.get !eng_cell in
+        match Engine.stage_times eng u with
+        | None -> Alcotest.fail "stage_times missing in completion hook"
+        | Some st ->
+            seen := (u, outcome, st.Engine.st_submit, st.Engine.st_start,
+                     st.Engine.st_gate, st.Engine.st_gates,
+                     st.Engine.st_complete)
+                    :: !seen)
+      ~seed:7 objects Moss_object.factory
+  in
+  eng_cell := Some eng;
+  let x = Obj_id.make "x" in
+  let prog =
+    Program.seq
+      [
+        Program.access x Datatype.Read;
+        Program.access x (Datatype.Write (Value.Int 1));
+      ]
+  in
+  let txn =
+    match Engine.submit eng prog with
+    | Ok u -> u
+    | Error e -> Alcotest.failf "submit: %s" e
+  in
+  (match Engine.drain eng with
+  | `Quiescent -> ()
+  | _ -> Alcotest.fail "no quiesce");
+  (match !seen with
+  | [ (u, `Committed, submit, start, gate, gates, complete) ] ->
+      check_bool "same txn" true (Txn_id.equal u txn);
+      check_bool "submit stamped" true (submit > 0.0);
+      check_bool "start after submit" true (start >= submit);
+      check_bool "complete after start" true (complete > start);
+      check_bool "gate time accrued" true (gate > 0.0);
+      check_bool "gate consulted" true (gates >= 1);
+      check_bool "gate within execute" true (gate <= complete -. start)
+  | l -> Alcotest.failf "expected 1 completion, got %d" (List.length l));
+  (* retired after completion *)
+  check_bool "times retired" true (Engine.stage_times eng txn = None);
+  ignore (Engine.finish eng)
+
+(* ----- gcmon ----- *)
+
+let t_gcmon_poll () =
+  match Gcmon.start () with
+  | None -> () (* tracing unavailable in this runtime: nothing to check *)
+  | Some g ->
+      (* churn the minor heap so at least the fallback counters move *)
+      let junk = ref [] in
+      for i = 0 to 200_000 do
+        junk := (i, string_of_int i) :: !junk;
+        if i mod 50_000 = 0 then junk := []
+      done;
+      Gc.minor ();
+      let now = 42.0 in
+      let pauses = Gcmon.poll g ~now in
+      List.iter
+        (fun (p : Gcmon.pause) ->
+          check_bool "kind named" true (String.length p.Gcmon.gc_kind > 0);
+          check_bool "ordered" true (p.Gcmon.gc_t1 >= p.Gcmon.gc_t0);
+          check_bool "clamped to now" true (p.Gcmon.gc_t1 <= now))
+        pauses;
+      check_bool "pauses counted" true (Gcmon.total g >= List.length pauses);
+      if Gcmon.precise then
+        check_bool "runtime events saw the collections" true
+          (Gcmon.total g > 0);
+      Gcmon.stop g
+
+let suite =
+  ( "flight",
+    [
+      Alcotest.test_case "span json roundtrip" `Quick t_span_roundtrip;
+      Alcotest.test_case "ring wrap-around" `Quick t_ring_wraparound;
+      Alcotest.test_case "dump determinism" `Quick t_dump_deterministic;
+      Alcotest.test_case "chrome escaping" `Quick t_chrome_escaping;
+      Alcotest.test_case "chain exclusive accounting" `Quick t_chain_exclusive;
+      Alcotest.test_case "incomplete chain" `Quick t_incomplete_chain;
+      Alcotest.test_case "engine stage times" `Quick t_engine_stage_times;
+      Alcotest.test_case "gcmon poll" `Quick t_gcmon_poll;
+    ] )

@@ -17,6 +17,8 @@ let sample_requests =
     Wire.Status (Txn_id.of_path [ 3 ]);
     Wire.Metrics;
     Wire.Subscribe;
+    Wire.Ping;
+    Wire.Dump;
     Wire.Quiesce;
     Wire.Shutdown;
   ]
@@ -59,6 +61,13 @@ let sample_telemetry =
     sg_edges = 71;
     sg_reorders = 2;
     hot = [ ("r3", 17); ("r0", 4) ];
+    stages =
+      [
+        ("decode", { sample_hist with Wire.h_count = 41 });
+        ("execute", sample_hist);
+      ];
+    gc_pause = { sample_hist with Wire.h_count = 2; h_sum = 900 };
+    gc_pct = 1.25;
   }
 
 let sample_responses =
@@ -92,7 +101,16 @@ let sample_responses =
       };
     Wire.Metrics_dump (Obs_json.Obj [ ("served.requests", Obs_json.Int 4) ]);
     Wire.Telemetry sample_telemetry;
-    Wire.Telemetry { sample_telemetry with Wire.seq = 4; hot = [] };
+    Wire.Telemetry
+      { sample_telemetry with Wire.seq = 4; hot = []; stages = [] };
+    Wire.Pong { t_mono = 12.5; live = 3; doomed = 1; conns = 2 };
+    Wire.Dumped
+      {
+        spans = 41;
+        dropped = 7;
+        jsonl = "flight-001-request.jsonl";
+        chrome = "flight-001-request.trace.json";
+      };
     Wire.Quiesced { committed = 5; aborted = 2; vetoed = 1; alarms = 0 };
     Wire.Goodbye;
     Wire.Error_msg "bad frame header";
