@@ -1292,13 +1292,149 @@ let e19 () =
     [ 8; 16; 32; 64 ];
   report t
 
+(* The price of durability, and what group commit buys back.  Each
+   size first serves its workload once through a buffer-sink writer
+   following ntserved's logging discipline — a Submit record before
+   every submission, coalesced Steps after every engine turn,
+   buffered Outcomes behind them — so the record stream (mix, sizes,
+   outcome placement) is exactly what a durable serve appends.  The
+   timed subject is then the log path alone: appending that fixed
+   stream to a real file under each sync policy.  [unbatched_ms] is
+   [--fsync-batch 1] (a sync per record, the durability ceiling);
+   [batched_ms] is [--fsync-batch 64].  Engine compute is identical
+   across policies, so it is kept out of the measurement rather than
+   letting it dilute the number group commit is meant to move.  The
+   batch bounds the window of acknowledged-but-volatile records at 64,
+   and the speedup at n_top = 64 is the headline number CI asserts
+   (>= 5x on disk-backed storage).  Interleaved best-of-5: fsync
+   times are noisy, batching's effect is not. *)
+let e20 () =
+  let t =
+    Table.create ~title:"E20: WAL group commit (fsync batching)"
+      ~columns:
+        [ "n_top"; "records"; "kbytes"; "unbatched_ms"; "unbatched_syncs";
+          "batched_ms"; "batched_syncs"; "speedup" ]
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. t0) *. 1000.0
+  in
+  let write_all fd s =
+    let rec go off =
+      if off < String.length s then
+        go (off + Unix.write_substring fd s off (String.length s - off))
+    in
+    go 0
+  in
+  List.iter
+    (fun n_top ->
+      let rng = Rng.create 29 in
+      let forest, objects =
+        Gen.registers rng { Gen.default with n_top; depth = 2; n_objects = 8 }
+      in
+      (* serve once through a buffer sink: the stream a durable serve
+         of this workload appends, in order *)
+      let stream =
+        let buf = Buffer.create 4096 in
+        let w =
+          Wal.Writer.create ~base_seq:0 ~on_sync:ignore (Wal.buffer_sink buf)
+        in
+        let eng =
+          Engine.create ~policy:Runtime.Bsp_rounds ~admission:true
+            ~on_top_complete:(fun u outcome ->
+              Wal.Writer.note_outcome w ~txn:u
+                (match outcome with
+                | `Committed -> Wal.Committed "bench"
+                | `Aborted -> Wal.Aborted None))
+            ~seed:29 objects Moss_object.factory
+        in
+        let last = ref (Engine.step_calls eng) in
+        let cut () =
+          let n = Engine.step_calls eng - !last in
+          last := !last + n;
+          Wal.Writer.log_steps w n
+        in
+        List.iter
+          (fun p ->
+            Wal.Writer.append w
+              (Wal.Submit
+                 {
+                   req = None;
+                   client = "bench";
+                   program = Program_io.program_to_string p;
+                 });
+            (match Engine.submit eng p with
+            | Ok _ -> ()
+            | Error e -> failwith e);
+            ignore (Engine.step eng);
+            cut ())
+          forest;
+        (match Engine.drain eng with
+        | `Quiescent -> ()
+        | _ -> failwith "engine did not quiesce");
+        cut ();
+        Wal.Writer.flush w;
+        ignore (Engine.finish eng);
+        match Wal.scan ~magic:Wal.wal_magic (Buffer.contents buf) with
+        | Ok sc when sc.Wal.sc_tail = Wal.Clean -> sc.Wal.sc_records
+        | Ok _ -> failwith "recorded stream has a torn tail"
+        | Error e -> failwith e
+      in
+      let records = ref 0 and bytes = ref 0 in
+      (* append the fixed stream to a real file under one sync policy *)
+      let run fsync_batch =
+        let path = Filename.temp_file "e20" ".wal" in
+        let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+        let sink =
+          { Wal.write = write_all fd; sync = (fun () -> Unix.fsync fd) }
+        in
+        let w =
+          Wal.Writer.create ~fsync_batch ~base_seq:0 ~on_sync:ignore sink
+        in
+        let ms =
+          timed (fun () ->
+              List.iter (Wal.Writer.append w) stream;
+              Wal.Writer.flush w)
+        in
+        records := Wal.Writer.appended w;
+        bytes := Wal.Writer.bytes_written w;
+        let syncs = Wal.Writer.syncs w in
+        Unix.close fd;
+        Sys.remove path;
+        (ms, syncs)
+      in
+      let best = [| (infinity, 0); (infinity, 0) |] in
+      for _ = 1 to 5 do
+        List.iteri
+          (fun i batch ->
+            let ms, syncs = run batch in
+            if ms < fst best.(i) then best.(i) <- (ms, syncs))
+          [ 1; 64 ]
+      done;
+      let (t1, s1), (t64, s64) = (best.(0), best.(1)) in
+      Table.add_row t
+        [
+          Table.cell_i n_top;
+          Table.cell_i !records;
+          Table.cell_f (float_of_int !bytes /. 1024.0);
+          Table.cell_f t1;
+          Table.cell_i s1;
+          Table.cell_f t64;
+          Table.cell_i s64;
+          Table.cell_f (t1 /. t64);
+        ])
+    [ 8; 16; 32; 64 ];
+  report t
+
 (* ------------------------------------------------------------------ *)
 
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("obs", obs);
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
+    ("obs", obs);
     ("micro", micro);
   ]
 

@@ -94,9 +94,10 @@ let trace_schema backend (sc : Check.scenario) =
       (plan.Replication.physical_schema, plan.Replication.physical_forest)
   | _ -> (Check.schema_of_scenario sc, sc.Check.forest)
 
-let write_artifacts prefix backend (sc : Check.scenario) failure trace =
+let write_artifacts ?crash_seed prefix backend (sc : Check.scenario) failure
+    trace =
   let bundle = prefix ^ ".bundle" in
-  Bundle.save ~failure bundle backend sc;
+  Bundle.save ~failure ?crash_seed bundle backend sc;
   Trace_io.save (prefix ^ ".trace") trace;
   let schema, _ = trace_schema backend sc in
   let monitor = Monitor.create schema in
@@ -107,12 +108,20 @@ let write_artifacts prefix backend (sc : Check.scenario) failure trace =
   Format.printf "replay bundle: %s (plus %s.trace, %s.dot)@." bundle prefix
     prefix
 
-let report_failure backend sc failure trace ~shrink ~bundle_prefix =
+(* [crash = true] swaps the subject from one run of the scenario to
+   the full crash-injection sweep over its recorded serve: shrinking
+   uses the sweep as the failing predicate and bundles carry the
+   serving seed so the counterexample replays bit-for-bit. *)
+let report_failure ~crash backend sc failure trace ~shrink ~bundle_prefix =
   Format.printf "  failure: %a@." Check.pp_failure failure;
+  let minimize =
+    if crash then fun b sc -> Shrink.minimize_crash b sc
+    else fun b sc -> Shrink.minimize b sc
+  in
   let sc, failure, trace =
     if not shrink then (sc, failure, trace)
     else
-      match Shrink.minimize backend sc with
+      match minimize backend sc with
       | None -> (sc, failure, trace)
       | Some m ->
           Format.printf
@@ -123,56 +132,79 @@ let report_failure backend sc failure trace ~shrink ~bundle_prefix =
           (m.Shrink.scenario, m.Shrink.failure, m.Shrink.trace)
   in
   (match bundle_prefix with
-  | Some prefix -> write_artifacts prefix backend sc failure trace
+  | Some prefix ->
+      let crash_seed = if crash then Some (Check.crash_seed_of sc) else None in
+      write_artifacts ?crash_seed prefix backend sc failure trace
   | None -> ());
   ()
 
 let run_campaign obs backend ~seed ~runs ~grammar ~shape ~max_steps
-    ~keep_going ~shrink ~bundle_prefix =
-  let r =
-    Check.campaign ~obs ?max_steps ?grammar ?shape
-      ~stop_at_first:(not keep_going) backend ~seed ~runs
+    ~keep_going ~shrink ~bundle_prefix ~crash =
+  let campaign =
+    if crash then fun b ~seed ~runs ->
+      Check.crash_campaign ~obs ?max_steps ?grammar ?shape
+        ~stop_at_first:(not keep_going) b ~seed ~runs
+    else fun b ~seed ~runs ->
+      Check.campaign ~obs ?max_steps ?grammar ?shape
+        ~stop_at_first:(not keep_going) b ~seed ~runs
   in
-  Format.printf "%-12s %4d runs  %4d passed  %2d truncated  %d failed@."
+  let r = campaign backend ~seed ~runs in
+  Format.printf "%-12s %4d runs  %4d passed  %2d truncated  %d failed%s@."
     (Check.backend_name backend)
     r.Check.runs r.Check.passed r.Check.truncations
-    (List.length r.Check.failures);
+    (List.length r.Check.failures)
+    (if crash then "  (crash-restart sweep)" else "");
   List.iter
     (fun (i, sc, failure) ->
       Format.printf "  run %d (sched-seed %d):@." i sc.Check.sched_seed;
-      let o = Check.run_scenario ?max_steps backend sc in
-      report_failure backend sc failure o.Check.trace ~shrink ~bundle_prefix)
+      let o =
+        if crash then Check.crash_outcome (Check.crash ?max_steps backend sc)
+        else Check.run_scenario ?max_steps backend sc
+      in
+      report_failure ~crash backend sc failure o.Check.trace ~shrink
+        ~bundle_prefix)
     r.Check.failures;
   r.Check.failures = []
 
-let replay file ~shrink ~bundle_prefix ~max_steps =
+let replay file ~shrink ~bundle_prefix ~max_steps ~crash_restart =
   match Bundle.load file with
   | Error e ->
       Format.eprintf "ntcheck: %s@." e;
       2
   | Ok b ->
       let backend = b.Bundle.backend in
-      Format.printf "replaying %s under %s (sched-seed %d)@." file
+      (* A bundle written by a --crash-restart campaign replays under
+         the crash sweep automatically: the recorded serving seed is
+         the marker. *)
+      let crash = crash_restart || b.Bundle.crash_seed <> None in
+      Format.printf "replaying %s under %s (sched-seed %d%s)@." file
         (Check.backend_name backend)
-        b.Bundle.scenario.Check.sched_seed;
+        b.Bundle.scenario.Check.sched_seed
+        (if crash then ", crash-restart sweep" else "");
       (match b.Bundle.failure_tag with
       | Some tag -> Format.printf "recorded failure: %s@." tag
       | None -> ());
-      let o = Check.run_scenario ?max_steps backend b.Bundle.scenario in
+      let o =
+        if crash then
+          Check.crash_outcome
+            (Check.crash ?max_steps ?seed:b.Bundle.crash_seed backend
+               b.Bundle.scenario)
+        else Check.run_scenario ?max_steps backend b.Bundle.scenario
+      in
       if o.Check.truncated then Format.printf "run truncated@.";
       (match o.Check.failure with
       | None ->
           Format.printf "all oracles passed@.";
           0
       | Some failure ->
-          report_failure backend b.Bundle.scenario failure o.Check.trace
-            ~shrink ~bundle_prefix;
+          report_failure ~crash backend b.Bundle.scenario failure
+            o.Check.trace ~shrink ~bundle_prefix;
           1)
 
 let main target seed runs grammar shape max_steps keep_going shrink
-    bundle_prefix replay_file obs_format obs_out =
+    bundle_prefix replay_file crash_restart obs_format obs_out =
   match replay_file with
-  | Some file -> replay file ~shrink ~bundle_prefix ~max_steps
+  | Some file -> replay file ~shrink ~bundle_prefix ~max_steps ~crash_restart
   | None ->
       let backends =
         match target with All -> Check.correct_backends | One b -> [ b ]
@@ -182,7 +214,7 @@ let main target seed runs grammar shape max_steps keep_going shrink
         List.fold_left
           (fun ok backend ->
             run_campaign obs backend ~seed ~runs ~grammar ~shape ~max_steps
-              ~keep_going ~shrink ~bundle_prefix
+              ~keep_going ~shrink ~bundle_prefix ~crash:crash_restart
             && ok)
           true backends
       in
@@ -262,6 +294,18 @@ let cmd =
       & info [ "replay" ] ~docv:"FILE"
           ~doc:"Re-run a saved replay bundle instead of a campaign.")
   in
+  let crash_restart =
+    Arg.(
+      value & flag
+      & info [ "crash-restart" ]
+          ~doc:
+            "Durability sweep: record each scenario's serve into a \
+             write-ahead log, simulate a kill -9 at every record boundary \
+             (plus torn and bit-flipped variants), recover each damaged \
+             image and re-judge the resumed run under all four oracles.  \
+             Failures shrink under the same sweep and save bundles \
+             carrying the serving seed.")
+  in
   let obs_format =
     Arg.(
       value
@@ -277,8 +321,8 @@ let cmd =
   let term =
     Term.(
       const main $ target $ seed $ runs $ grammar $ shape $ max_steps
-      $ keep_going $ shrink $ bundle_prefix $ replay_file $ obs_format
-      $ obs_out)
+      $ keep_going $ shrink $ bundle_prefix $ replay_file $ crash_restart
+      $ obs_format $ obs_out)
   in
   Cmd.v
     (Cmd.info "ntcheck" ~version:Version.string

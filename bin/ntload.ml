@@ -268,7 +268,7 @@ let close_client c =
   c.fd <- None
 
 let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
-    ~slow_clients ~shutdown ~subscribe ~json =
+    ~slow_clients ~shutdown ~subscribe ~json ~kill_after ~kill_pid =
   let master = Rng.create seed in
   let stats =
     {
@@ -348,6 +348,20 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
   let check_echo rid req =
     if req <> Some rid then stats.req_mismatches <- stats.req_mismatches + 1
   in
+  (* --kill-after: crash injection.  After the Nth Accepted ack the
+     target pid gets SIGKILL — no drain, no flush, exactly the torn
+     state the recovery path must survive.  We stop immediately; the
+     acknowledged prefix is what a subsequent `ntwal verify` checks. *)
+  let acks = ref 0 in
+  let killed = ref false in
+  let maybe_kill () =
+    match (kill_after, kill_pid) with
+    | Some n, Some pid when (not !killed) && !acks >= n ->
+        Unix.kill pid Sys.sigkill;
+        killed := true;
+        Format.printf "ntload: sent SIGKILL to %d after %d acks@." pid !acks
+    | _ -> ()
+  in
   let handle c (resp : Wire.response) =
     match (c.phase, resp) with
     | Greeting, Wire.Welcome w ->
@@ -365,6 +379,8 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
         submit c
     | Submitting (t0, rid), Wire.Accepted { txn; req } ->
         check_echo rid req;
+        incr acks;
+        maybe_kill ();
         c.phase <- Polling (txn, t0, rid);
         send c (Wire.Status txn)
     | _, Wire.Rejected { why; req = _ } ->
@@ -415,7 +431,7 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
             sub_last_seq s <= dseq
             && Unix.gettimeofday () -. !t_done < 5.0)
   in
-  while (not (all_done ())) || sub_waiting () do
+  while (not !killed) && ((not (all_done ())) || sub_waiting ()) do
     (if all_done () && !done_seq = None then
        match sub with
        | Some s ->
@@ -561,6 +577,13 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
   (match sub with
   | Some s -> ( try Unix.close s.s_fd with _ -> ())
   | None -> ());
+  if !killed then begin
+    List.iter close_client cs;
+    Format.printf
+      "ntload: server killed after %d acknowledged submissions (%.2fs)@."
+      !acks elapsed;
+    exit 0
+  end;
   (* a fresh control connection: drain the server and fetch its tallies *)
   let quiesced = ref None in
   (let fd = connect_retry addr in
@@ -768,7 +791,7 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
   if alarms < 0 then exit 1
 
 let load_cmd socket port clients requests seed depth fanout drop_rate
-    slow_clients shutdown subscribe json =
+    slow_clients shutdown subscribe json kill_after kill_pid =
   let addr =
     match (socket, port) with
     | Some path, None -> Unix.ADDR_UNIX path
@@ -777,9 +800,13 @@ let load_cmd socket port clients requests seed depth fanout drop_rate
         Format.eprintf "ntload: pass exactly one of --socket or --port@.";
         exit 2
   in
+  if kill_after <> None && kill_pid = None then begin
+    Format.eprintf "ntload: --kill-after needs --kill-pid@.";
+    exit 2
+  end;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
-    ~slow_clients ~shutdown ~subscribe ~json
+    ~slow_clients ~shutdown ~subscribe ~json ~kill_after ~kill_pid
 
 let cmd =
   let socket =
@@ -827,10 +854,27 @@ let cmd =
              window p99 against the client-side histogram.")
   in
   let json = Arg.(value & flag & info [ "json" ]) in
+  let kill_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"N"
+          ~doc:
+            "Crash injection: SIGKILL the --kill-pid process after the \
+             Nth acknowledged submission, then exit.")
+  in
+  let kill_pid =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-pid" ] ~docv:"PID"
+          ~doc:"The server pid --kill-after signals.")
+  in
   let term =
     Term.(
       const load_cmd $ socket $ port $ clients $ requests $ seed $ depth
-      $ fanout $ drop_rate $ slow_clients $ shutdown $ subscribe $ json)
+      $ fanout $ drop_rate $ slow_clients $ shutdown $ subscribe $ json
+      $ kill_after $ kill_pid)
   in
   Cmd.v
     (Cmd.info "ntload" ~version:Version.string

@@ -72,6 +72,37 @@ type txn_rec = {
   conn_id : int;
 }
 
+(* ----- durability state ----- *)
+
+(* The live write-ahead log: a writer over the current log generation,
+   the fd it appends to (swapped at rotation — the sink reads it
+   through [fd]), and the cumulative compacted replay closure the next
+   snapshot will persist. *)
+type wal_state = {
+  wal_path : string;
+  snapshot_every : int;  (* appended records per snapshot; 0 = never *)
+  wal_fd : Unix.file_descr ref;
+  mk_writer : fresh:bool -> base_seq:int -> Wal.Writer.t;
+  mutable w : Wal.Writer.t;
+  mutable last_step_calls : int;  (* engine step_calls at the last cut *)
+  mutable events_rev : Wal.record list;  (* replay closure, newest first *)
+  mutable snap_mark : int;  (* Writer.appended at the last snapshot *)
+  wal_meta : Wal.record;
+}
+
+(* A recovery in flight: chunks of the logged call sequence are applied
+   between select turns so Ping stays responsive.  Each phase pairs an
+   event list with the validation that must pass once its events have
+   been applied (snapshot: SG and counter agreement; log tail: the
+   outcome prefix-closure check). *)
+type recovery = {
+  mutable phases :
+    (Engine.replay_event list * (unit -> (unit, string) result)) list;
+  total : int;  (* sum of event weights across all phases *)
+  mutable replayed : int;
+  rec_torn : bool;  (* the log had a damaged tail (now truncated) *)
+}
+
 type server = {
   eng : Engine.t;
   backend : Check.backend;
@@ -101,7 +132,12 @@ type server = {
          the flagged request's reply span has flushed *)
   mutable dump_hold : int;  (* turns the pending dump has waited *)
   mutable draining : bool;  (* no new conns/submissions *)
+  mutable status : Wire.server_status;
+  mutable wal : wal_state option;
+  mutable recovery : recovery option;
 }
+
+let server_status srv = srv.status
 
 let mono srv = Unix.gettimeofday () -. srv.t0
 
@@ -138,6 +174,370 @@ let record_stage srv ?hub_us ~stage ~req ~txn ~conn_id t0 t1 =
 
 let flag_dump srv reason =
   if srv.pending_dump = None then srv.pending_dump <- Some reason
+
+(* ----- the write-ahead log ----- *)
+
+let write_all fd s =
+  let rec go off =
+    if off < String.length s then
+      go (off + Unix.write_substring fd s off (String.length s - off))
+  in
+  go 0
+
+let read_whole path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Some s
+  end
+  else None
+
+let write_file_sync path s =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  write_all fd s;
+  Unix.fsync fd;
+  Unix.close fd
+
+(* Cut the log at the current engine position: one [Steps] record
+   covering the step calls since the last cut, then any outcomes those
+   steps produced — the ordering that makes every intact log prefix
+   reproduce exactly the state its audit records claim. *)
+let wal_cut srv =
+  match srv.wal with
+  | Some ws when srv.recovery = None ->
+      let calls = Engine.step_calls srv.eng in
+      let n = calls - ws.last_step_calls in
+      ws.last_step_calls <- calls;
+      if n > 0 then ws.events_rev <- Wal.Steps n :: ws.events_rev;
+      Wal.Writer.log_steps ws.w n
+  | _ -> ()
+
+(* Log one replay event (Submit or Kill), cutting first so the record
+   lands after the steps that preceded the corresponding engine call. *)
+let wal_event srv r =
+  match srv.wal with
+  | Some ws when srv.recovery = None ->
+      wal_cut srv;
+      ws.events_rev <- r :: ws.events_rev;
+      Wal.Writer.append ws.w r
+  | _ -> ()
+
+let wal_counts srv =
+  Wal.Counts
+    {
+      submitted = Engine.submitted srv.eng;
+      committed = Engine.committed_top srv.eng;
+      aborted = Engine.aborted_top srv.eng;
+      vetoed = Engine.vetoed srv.eng;
+    }
+
+(* Snapshot, then rotate the log.  The snapshot is the compacted
+   replay closure of the whole history (merged step runs, no
+   outcomes) plus the monitor's graph and the engine counters, written
+   whole to a temp file and renamed into place; the log then restarts
+   as a fresh generation whose [base_seq] is the snapshot's cover
+   point.  Every crash window is safe: before the snapshot rename the
+   old snapshot and full log recover; between the two renames the new
+   snapshot plus the old log's tail (records with seq >= the cover
+   point) recover; after both, the new snapshot plus the new, nearly
+   empty generation. *)
+let take_snapshot srv ws =
+  wal_cut srv;
+  Wal.Writer.flush ws.w;
+  let next_seq = Wal.Writer.next_seq ws.w in
+  let events = Wal.compact (List.rev ws.events_rev) in
+  ws.events_rev <- List.rev events;
+  let g = Monitor.graph (Admission.monitor (Engine.admission srv.eng)) in
+  let sn =
+    {
+      Wal.sn_next_seq = next_seq;
+      sn_meta = ws.wal_meta;
+      sn_events = events;
+      sn_sg = Wal.sg_state_of_graph g;
+      sn_counts = wal_counts srv;
+    }
+  in
+  let tmp = ws.wal_path ^ ".snap.tmp" in
+  write_file_sync tmp (Wal.encode_snapshot sn);
+  Sys.rename tmp (ws.wal_path ^ ".snap");
+  let rot = ws.wal_path ^ ".rot" in
+  let fd' =
+    Unix.openfile rot [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let old_fd = !(ws.wal_fd) in
+  ws.wal_fd := fd';
+  let w' = ws.mk_writer ~fresh:true ~base_seq:next_seq in
+  ws.w <- w';
+  Wal.Writer.append w' ws.wal_meta;
+  Wal.Writer.flush w';
+  Sys.rename rot ws.wal_path;
+  Unix.close old_fd;
+  ws.snap_mark <- Wal.Writer.appended w';
+  Metrics.incr (Metrics.counter srv.metrics "served.wal.snapshots");
+  if srv.verbose then
+    Format.eprintf "ntserved: snapshot at seq %d (%d replay events)@." next_seq
+      (List.length events)
+
+let wal_turn srv =
+  match srv.wal with
+  | Some ws when srv.recovery = None ->
+      wal_cut srv;
+      Wal.Writer.tick ws.w;
+      if
+        ws.snapshot_every > 0
+        && Wal.Writer.appended ws.w - ws.snap_mark >= ws.snapshot_every
+      then take_snapshot srv ws
+  | _ -> ()
+
+(* ----- recovery ----- *)
+
+let event_weight = function `Steps n -> n | `Submit _ | `Kill _ -> 1
+
+(* Split up to [burst] weight off the head of an event list, cutting a
+   long [Steps] run mid-way so one turn never replays unboundedly. *)
+let take_chunk burst events =
+  let rec go acc w evs =
+    if w >= burst then (List.rev acc, evs)
+    else
+      match evs with
+      | [] -> (List.rev acc, [])
+      | `Steps n :: rest when n > burst - w ->
+          ( List.rev (`Steps (burst - w) :: acc),
+            `Steps (n - (burst - w)) :: rest )
+      | ev :: rest -> go (ev :: acc) (w + event_weight ev) rest
+  in
+  go [] 0 events
+
+let recovery_turn srv ~burst rc =
+  let t0 = mono srv in
+  (match rc.phases with
+  | [] -> ()
+  | (events, check) :: rest -> (
+      let chunk, remaining = take_chunk burst events in
+      (match Engine.replay srv.eng chunk with
+      | Ok _ -> ()
+      | Error e ->
+          Format.eprintf "ntserved: recovery failed: %s@." e;
+          exit 2);
+      rc.replayed <-
+        rc.replayed + List.fold_left (fun a e -> a + event_weight e) 0 chunk;
+      Metrics.incr
+        ~by:(List.fold_left (fun a e -> a + event_weight e) 0 chunk)
+        (Metrics.counter srv.metrics "served.wal.replayed");
+      if remaining <> [] then rc.phases <- (remaining, check) :: rest
+      else begin
+        (match check () with
+        | Ok () -> ()
+        | Error e ->
+            Format.eprintf "ntserved: recovery validation failed: %s@." e;
+            exit 2);
+        rc.phases <- rest
+      end));
+  record_stage srv ~stage:Stage.wal_replay_stage ~req:None ~txn:None ~conn_id:(-1) t0
+    (mono srv);
+  if rc.phases <> [] then
+    srv.status <- Wire.Recovering { replayed = rc.replayed; total = rc.total }
+  else begin
+    srv.recovery <- None;
+    srv.status <-
+      Wire.Recovered { replayed = rc.replayed; torn = rc.rec_torn };
+    (* Serving resumes here: the log continues from the replayed
+       position, so the step-call cursor starts at the replayed count. *)
+    (match srv.wal with
+    | Some ws -> ws.last_step_calls <- Engine.step_calls srv.eng
+    | None -> ());
+    if srv.verbose then
+      Format.eprintf "ntserved: recovered %d events%s@." rc.replayed
+        (if rc.rec_torn then " (torn tail truncated)" else "")
+  end
+
+let wal_fatal path e =
+  Format.eprintf "ntserved: %s: %s@." path e;
+  exit 2
+
+let drop_seq n l =
+  let rec go n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> go (n - 1) r in
+  go n l
+
+(* Open (or create) the log at [path], recover whatever it and its
+   snapshot hold, and install the writer.  The damaged tail, if any,
+   is truncated before the writer appends; the replay itself runs in
+   bounded chunks inside the select loop (see [recovery_turn]), with
+   submissions rejected until it completes. *)
+let init_durability srv ~path ~fsync_batch ~fsync_interval_s ~snapshot_every
+    ~meta =
+  let header_len = String.length (Wal.header ~magic:Wal.wal_magic ~base_seq:0) in
+  let image = Option.value ~default:"" (read_whole path) in
+  let scanned =
+    match Wal.scan ~magic:Wal.wal_magic image with
+    | Ok s -> s
+    | Error e -> wal_fatal path e
+  in
+  let torn = scanned.Wal.sc_tail <> Wal.Clean in
+  (match scanned.Wal.sc_tail with
+  | Wal.Torn { valid; why } ->
+      Format.eprintf "ntserved: %s: torn tail (%s); truncating to %d bytes@."
+        path why valid
+  | Wal.Clean -> ());
+  let snap_path = path ^ ".snap" in
+  let snapshot =
+    match read_whole snap_path with
+    | None -> None
+    | Some s -> (
+        match Wal.decode_snapshot s with
+        | Ok sn -> Some sn
+        | Error e ->
+            (* A corrupt snapshot is never trusted.  When the log still
+               holds the whole history we can ignore it; when the log
+               was rotated past it, nothing can rebuild the prefix. *)
+            if scanned.Wal.sc_base_seq = 0 then begin
+              Format.eprintf
+                "ntserved: %s: %s; ignoring it (log holds full history)@."
+                snap_path e;
+              None
+            end
+            else wal_fatal snap_path e)
+  in
+  (match snapshot with
+  | Some sn when sn.Wal.sn_meta <> meta ->
+      wal_fatal snap_path
+        "snapshot belongs to a different server configuration"
+  | _ ->
+      if snapshot = None && scanned.Wal.sc_base_seq > 0 then
+        wal_fatal path
+          "log was rotated past a snapshot that is now missing");
+  let fresh = scanned.Wal.sc_valid < header_len in
+  let fd =
+    Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+  in
+  Unix.ftruncate fd (if fresh then 0 else scanned.Wal.sc_valid);
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  let fd = ref fd in
+  let on_sync () =
+    Metrics.incr (Metrics.counter srv.metrics "served.wal.syncs")
+  in
+  let sink =
+    {
+      Wal.write = (fun s -> write_all !fd s);
+      sync =
+        (fun () ->
+          let t0 = mono srv in
+          Unix.fsync !fd;
+          record_stage srv ~stage:Stage.wal_fsync_stage ~req:None ~txn:None ~conn_id:(-1)
+            t0 (mono srv));
+    }
+  in
+  let mk_writer ~fresh ~base_seq =
+    Wal.Writer.create ~fsync_batch ~fsync_interval_s
+      ~clock:(fun () -> mono srv)
+      ~fresh ~base_seq ~on_sync sink
+  in
+  let skip = match snapshot with Some sn -> sn.Wal.sn_next_seq | None -> 0 in
+  let kept =
+    drop_seq (skip - scanned.Wal.sc_base_seq) scanned.Wal.sc_records
+  in
+  let tail =
+    match
+      Wal.replayable_of_records ~base_seq:scanned.Wal.sc_base_seq
+        ~skip_below:skip scanned.Wal.sc_records
+    with
+    | Ok rp -> rp
+    | Error e -> wal_fatal path e
+  in
+  (match tail.Wal.rp_meta with
+  | Some (m, _) when m <> meta ->
+      wal_fatal path "log belongs to a different server configuration"
+  | None when snapshot = None && scanned.Wal.sc_records <> [] ->
+      wal_fatal path "log has records but no meta record"
+  | _ -> ());
+  let phases =
+    (match snapshot with
+    | None -> []
+    | Some sn -> (
+        match
+          Wal.replayable_of_records ~base_seq:0 ~skip_below:0 sn.Wal.sn_events
+        with
+        | Error e -> wal_fatal snap_path e
+        | Ok rp ->
+            [
+              ( rp.Wal.rp_events,
+                fun () ->
+                  let g =
+                    Monitor.graph
+                      (Admission.monitor (Engine.admission srv.eng))
+                  in
+                  match Wal.check_sg_state sn.Wal.sn_sg g with
+                  | Error _ as e -> e
+                  | Ok () ->
+                      if sn.Wal.sn_counts <> wal_counts srv then
+                        Error "snapshot counters disagree with replayed engine"
+                      else Ok () );
+            ]))
+    @ [
+        ( tail.Wal.rp_events,
+          fun () ->
+            match
+              Wal.check_outcomes
+                (fun t -> Engine.state srv.eng t)
+                tail.Wal.rp_outcomes
+            with
+            | Ok _ -> Ok ()
+            | Error _ as e -> e );
+      ]
+  in
+  let total =
+    List.fold_left
+      (fun a (evs, _) ->
+        a + List.fold_left (fun a e -> a + event_weight e) 0 evs)
+      0 phases
+  in
+  let base_seq =
+    if fresh then skip
+    else scanned.Wal.sc_base_seq + List.length scanned.Wal.sc_records
+  in
+  let w = mk_writer ~fresh ~base_seq in
+  let seed_events =
+    Wal.compact
+      ((match snapshot with Some sn -> sn.Wal.sn_events | None -> []) @ kept)
+  in
+  let ws =
+    {
+      wal_path = path;
+      snapshot_every;
+      wal_fd = fd;
+      mk_writer;
+      w;
+      last_step_calls = 0;
+      events_rev = List.rev seed_events;
+      snap_mark = Wal.Writer.appended w;
+      wal_meta = meta;
+    }
+  in
+  (* A brand-new generation begins with its Meta record; an existing
+     one already holds it (validated above). *)
+  if fresh then begin
+    Wal.Writer.append w meta;
+    ws.snap_mark <- Wal.Writer.appended w
+  end;
+  srv.wal <- Some ws;
+  if total > 0 || torn || snapshot <> None || scanned.Wal.sc_records <> []
+  then begin
+    srv.recovery <-
+      Some { phases; total; replayed = 0; rec_torn = torn };
+    srv.status <- Wire.Recovering { replayed = 0; total }
+  end
+  else srv.status <- Wire.Fresh
+
+let wal_shutdown srv =
+  match srv.wal with
+  | None -> ()
+  | Some ws ->
+      wal_cut srv;
+      Wal.Writer.flush ws.w;
+      (try Unix.close !(ws.wal_fd) with Unix.Unix_error _ -> ())
 
 let sanitize_reason s =
   String.map
@@ -184,7 +584,11 @@ let do_dump srv ~force reason =
 
 let close_conn srv conn =
   Hashtbl.remove srv.conns conn.fd;
-  List.iter (fun t -> ignore (Engine.kill srv.eng t)) conn.live;
+  List.iter
+    (fun t ->
+      wal_event srv (Wal.Kill { txn = t });
+      ignore (Engine.kill srv.eng t))
+    conn.live;
   (try Unix.close conn.fd with Unix.Unix_error _ -> ())
 
 (* Replication serves logical registers: re-transform the grown logical
@@ -252,6 +656,21 @@ let build_frame srv ~cut =
    Commit/Abort, while the admission record is fresh (and before the
    engine retires its stage_times entry). *)
 let on_complete srv txn outcome =
+  (* Audit the completion in the log (buffered; appended after the
+     covering Steps record at the next cut).  During recovery the
+     replayed completions are already in the log. *)
+  (match srv.wal with
+  | Some ws when srv.recovery = None ->
+      let oc =
+        match (outcome, Engine.state srv.eng txn) with
+        | `Committed, Engine.Committed v -> Wal.Committed (Value.to_string v)
+        | `Aborted, Engine.Aborted veto ->
+            Wal.Aborted (Option.map (fun v -> v.Admission.witness) veto)
+        | `Committed, _ -> Wal.Committed "?"
+        | `Aborted, _ -> Wal.Aborted None
+      in
+      Wal.Writer.note_outcome ws.w ~txn oc
+  | _ -> ());
   match Txn_id.Tbl.find_opt srv.txns txn with
   | None -> ()
   | Some r -> (
@@ -327,11 +746,14 @@ let handle_request srv conn (req : Wire.request) =
                List.map
                  (fun (x, dt) -> (Obj_id.name x, Program_io.dtype_decl dt))
                  srv.objects;
+             status = server_status srv;
            })
   | Wire.Submit { req; _ } when not conn.greeted ->
       send conn (Wire.Rejected { why = "say hello first"; req })
   | Wire.Submit { req; _ } when srv.draining ->
       send conn (Wire.Rejected { why = "server is draining"; req })
+  | Wire.Submit { req; _ } when srv.recovery <> None ->
+      send conn (Wire.Rejected { why = "server is recovering"; req })
   | Wire.Submit { program; req } -> (
       let t_v0 = mono srv in
       srv.gc_ctx <- (req, None, conn.id);
@@ -348,6 +770,13 @@ let handle_request srv conn (req : Wire.request) =
               | Error why -> send conn (Wire.Rejected { why; req })
               | Ok txn ->
                   let t_a1 = mono srv in
+                  wal_event srv
+                    (Wal.Submit
+                       {
+                         req;
+                         client = conn.client_name;
+                         program = Program_io.program_to_string phys;
+                       });
                   record_stage srv ~stage:"admit" ~req
                     ~txn:(Some (Txn_id.to_string txn))
                     ~conn_id:conn.id t_v1 t_a1;
@@ -385,6 +814,7 @@ let handle_request srv conn (req : Wire.request) =
              live = Engine.live_top srv.eng;
              doomed = Engine.doomed_count srv.eng;
              conns = Hashtbl.length srv.conns;
+             status = server_status srv;
            })
   | Wire.Dump -> (
       match do_dump srv ~force:true "request" with
@@ -528,8 +958,17 @@ let run_server listen_fd srv ~read_timeout ~burst ~verbose =
                   ()
               | exception Unix.Unix_error _ -> close_conn srv conn))
       r;
-    (* engine work *)
-    let status = Engine.drain ~burst srv.eng in
+    (* engine work: while a recovery is in flight the engine replays
+       the log in bounded chunks instead of serving (submissions are
+       rejected above), so Ping and Status stay responsive *)
+    let status =
+      match srv.recovery with
+      | Some rc ->
+          recovery_turn srv ~burst rc;
+          `Progress
+      | None -> Engine.drain ~burst srv.eng
+    in
+    wal_turn srv;
     idle := status <> `Progress;
     if status = `Truncated then begin
       if verbose then Format.eprintf "ntserved: step budget exhausted@.";
@@ -706,8 +1145,9 @@ let setup_obs metrics obs_format obs_out =
 (* ----- command line ----- *)
 
 let serve_cmd socket port backend_name table n_objects seed policy admission
-    max_steps burst read_timeout obs_format obs_out telemetry_interval
-    audit_log prom slow_ms flight flight_dir gc_trace verbose =
+    max_steps burst read_timeout wal fsync_batch fsync_interval snapshot_every
+    obs_format obs_out telemetry_interval audit_log prom slow_ms flight
+    flight_dir gc_trace verbose =
   let backend =
     match Check.backend_of_name backend_name with
     | Some b when List.mem b Check.correct_backends -> b
@@ -718,6 +1158,14 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
         Format.eprintf "ntserved: unknown backend %s@." backend_name;
         exit 2
   in
+  if wal <> None && backend = Check.Replication then begin
+    (* The log records physically transformed programs, but the
+       replication transform re-derives the whole physical forest from
+       the logical one — replay would not rebuild that state.  Scope
+       line, not a format limit. *)
+    Format.eprintf "ntserved: --wal does not support the replication backend@.";
+    exit 2
+  end;
   let table = if Check.rw_only backend then T_rw else table in
   let objects = build_objects table n_objects in
   let replicated = backend = Check.Replication in
@@ -781,9 +1229,35 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
       last_dump = neg_infinity;
       pending_dump = None;
       dump_hold = 0;
+      status = Wire.Fresh;
+      wal = None;
+      recovery = None;
     }
   in
   post_complete := on_complete srv;
+  (match wal with
+  | None -> ()
+  | Some path ->
+      let meta =
+        Wal.Meta
+          {
+            seed;
+            backend = Check.backend_name backend;
+            policy =
+              (match policy with
+              | Runtime.Random_step -> "random-step"
+              | Runtime.Bsp_rounds -> "bsp-rounds");
+            inform = "eager";  (* the engine's default inform policy *)
+            abort_prob = 0.0;
+            objects =
+              List.map
+                (fun (x, dt) -> (Obj_id.name x, Program_io.dtype_decl dt))
+                objects;
+          }
+      in
+      init_durability srv ~path ~fsync_batch
+        ~fsync_interval_s:(float_of_int fsync_interval /. 1000.)
+        ~snapshot_every ~meta);
   let listen_fd, cleanup =
     match (socket, port) with
     | Some path, None ->
@@ -813,6 +1287,7 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
       (List.length objects)
       (if admission then "on" else "off");
   run_server listen_fd srv ~read_timeout ~burst ~verbose;
+  wal_shutdown srv;
   Unix.close listen_fd;
   cleanup ();
   Option.iter Gcmon.stop gcmon;
@@ -884,6 +1359,43 @@ let cmd =
       & info [ "read-timeout" ] ~docv:"SECONDS"
           ~doc:"Drop connections idle this long (0 disables).")
   in
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"PATH"
+          ~doc:
+            "Write-ahead log: every accepted submission, orphan kill \
+             and engine-step run is logged before acknowledgement, and \
+             on restart the log (plus PATH.snap, when snapshots are \
+             on) is replayed to rebuild the exact pre-crash engine, \
+             monitor and admission state.")
+  in
+  let fsync_batch =
+    Arg.(
+      value & opt int 1
+      & info [ "fsync-batch" ] ~docv:"N"
+          ~doc:
+            "Group commit: fsync once per N appended records (1 = \
+             every record, the unbatched baseline; 0 = never by count, \
+             rely on --fsync-interval and shutdown).")
+  in
+  let fsync_interval =
+    Arg.(
+      value & opt int 0
+      & info [ "fsync-interval" ] ~docv:"MS"
+          ~doc:
+            "Also fsync when dirty records are this old, milliseconds \
+             (0 disables the timer).")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 0
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Write a snapshot and rotate the log every N appended \
+             records (0 disables snapshots).")
+  in
   let obs_format =
     Arg.(value & opt (some obs_format_conv) None & info [ "obs-format" ])
   in
@@ -951,9 +1463,10 @@ let cmd =
   let term =
     Term.(
       const serve_cmd $ socket $ port $ backend $ table $ n_objects $ seed
-      $ policy $ admission $ max_steps $ burst $ read_timeout $ obs_format
-      $ obs_out $ telemetry_interval $ audit_log $ prom $ slow_ms $ flight
-      $ flight_dir $ gc_trace $ verbose)
+      $ policy $ admission $ max_steps $ burst $ read_timeout $ wal
+      $ fsync_batch $ fsync_interval $ snapshot_every $ obs_format $ obs_out
+      $ telemetry_interval $ audit_log $ prom $ slow_ms $ flight $ flight_dir
+      $ gc_trace $ verbose)
   in
   Cmd.v
     (Cmd.info "ntserved" ~version:Version.string

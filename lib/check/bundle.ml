@@ -5,6 +5,7 @@ type t = {
   backend : Check.backend;
   scenario : Check.scenario;
   failure_tag : string option;
+  crash_seed : int option;
 }
 
 let policy_name = function
@@ -23,7 +24,7 @@ let inform_of_name = function
   | "lazy" -> Some Runtime.Lazy
   | _ -> None
 
-let to_string ?failure backend (sc : Check.scenario) =
+let to_string ?failure ?crash_seed backend (sc : Check.scenario) =
   let b = Buffer.create 512 in
   let header k v = Buffer.add_string b (Printf.sprintf "; %s: %s\n" k v) in
   Buffer.add_string b "; ntcheck replay bundle\n";
@@ -32,6 +33,9 @@ let to_string ?failure backend (sc : Check.scenario) =
   header "policy" (policy_name sc.Check.policy);
   header "inform" (inform_name sc.Check.inform_policy);
   header "abort-prob" (Printf.sprintf "%.17g" sc.Check.abort_prob);
+  (match crash_seed with
+  | Some s -> header "crash-seed" (string_of_int s)
+  | None -> ());
   (match failure with
   | Some f ->
       header "failure" (Check.failure_tag f);
@@ -105,6 +109,14 @@ let of_string s =
         | Some f -> Ok f
         | None -> Error (Printf.sprintf "bundle: bad abort-prob %S" p))
   in
+  let* crash_seed =
+    match find "crash-seed" with
+    | None -> Ok None
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n -> Ok (Some n)
+        | None -> Error (Printf.sprintf "bundle: bad crash-seed %S" v))
+  in
   let* forest, schema = Program_io.parse s in
   let objects =
     List.map
@@ -124,11 +136,12 @@ let of_string s =
           abort_prob;
         };
       failure_tag = find "failure";
+      crash_seed;
     }
 
-let save ?failure path backend sc =
+let save ?failure ?crash_seed path backend sc =
   let oc = open_out path in
-  output_string oc (to_string ?failure backend sc);
+  output_string oc (to_string ?failure ?crash_seed backend sc);
   close_out oc
 
 let at_path path = function

@@ -26,15 +26,30 @@ type t = {
   failure_tag : string option;
       (** The [failure_tag] recorded when the bundle was written, if
           any; replay re-derives the actual failure. *)
+  crash_seed : int option;
+      (** For crash bundles ([; crash-seed:]): the serving seed the
+          {!Check.crash} sweep used.  Absent on ordinary bundles, and
+          redundant when it equals {!Check.crash_seed_of} of the
+          scenario — recorded anyway so a bundle is self-contained
+          even if the derivation changes. *)
 }
 
 val to_string :
-  ?failure:Check.failure -> Check.backend -> Check.scenario -> string
+  ?failure:Check.failure ->
+  ?crash_seed:int ->
+  Check.backend ->
+  Check.scenario ->
+  string
 
 val of_string : string -> (t, string) result
 
 val save :
-  ?failure:Check.failure -> string -> Check.backend -> Check.scenario -> unit
+  ?failure:Check.failure ->
+  ?crash_seed:int ->
+  string ->
+  Check.backend ->
+  Check.scenario ->
+  unit
 (** [save path backend scenario] writes {!to_string} to [path]. *)
 
 val load : string -> (t, string) result

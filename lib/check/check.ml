@@ -135,6 +135,7 @@ type failure =
   | Not_correct of string
   | Differential of string
   | One_copy of string
+  | Durability of string
 
 let failure_tag = function
   | Ill_formed _ -> "ill-formed"
@@ -143,6 +144,7 @@ let failure_tag = function
   | Not_correct _ -> "not-correct"
   | Differential _ -> "differential"
   | One_copy _ -> "one-copy"
+  | Durability _ -> "durability"
 
 let pp_failure f fl =
   match fl with
@@ -155,6 +157,7 @@ let pp_failure f fl =
   | Not_correct s -> Format.fprintf f "not serially correct: %s" s
   | Differential s -> Format.fprintf f "differential mismatch: %s" s
   | One_copy s -> Format.fprintf f "one-copy violation: %s" s
+  | Durability s -> Format.fprintf f "durability violation: %s" s
 
 type outcome = {
   trace : Trace.t;
@@ -388,37 +391,133 @@ type serve_report = {
   s_failure : failure option;
 }
 
-let serve ?(obs = Obs.null) ?(max_steps = 200_000) ?(drop_prob = 0.0)
-    ?(admission = true) ~seed backend sc =
+(* The physical configuration a backend serves: [Replication]
+   replicates the whole logical forest up front (version numbers are
+   globally generation-ordered across the forest), then serves the
+   physical programs one at a time — submission order preserves forest
+   positions, so the plan's [logical_of] maps the served trace back
+   exactly. *)
+let physical backend sc =
+  match backend with
+  | Replication ->
+      let plan =
+        Nt_replication.Replication.replicate replication_config
+          ~objects:(List.map fst sc.objects) sc.forest
+      in
+      let schema = plan.Nt_replication.Replication.physical_schema in
+      let objects =
+        List.map (fun x -> (x, schema.Schema.dtype_of x)) schema.Schema.objects
+      in
+      (objects, plan.Nt_replication.Replication.physical_forest, Some plan)
+  | _ -> (sc.objects, sc.forest, None)
+
+let policy_name = function
+  | Runtime.Random_step -> "random-step"
+  | Runtime.Bsp_rounds -> "bsp-rounds"
+
+let inform_name = function Runtime.Eager -> "eager" | Runtime.Lazy -> "lazy"
+
+let meta_of backend sc objects =
+  Nt_net.Wal.Meta
+    {
+      seed = sc.sched_seed;
+      backend = backend_name backend;
+      policy = policy_name sc.policy;
+      inform = inform_name sc.inform_policy;
+      abort_prob = sc.abort_prob;
+      objects =
+        List.map
+          (fun (x, dt) -> (Obj_id.name x, Program_io.dtype_decl dt))
+          objects;
+    }
+
+type recorded = {
+  rc_wal : string;
+  rc_offsets : int list;
+  rc_snapshot : string option;
+  rc_report : serve_report;
+}
+
+let record ?(obs = Obs.null) ?(max_steps = 200_000) ?(drop_prob = 0.0)
+    ?(admission = true) ?(fsync_batch = 0) ?snapshot_at ~seed backend sc =
   let factory = factory_of backend in
-  let objects, progs, plan =
-    match backend with
-    | Replication ->
-        (* Replicate the whole logical forest up front (version numbers
-           are globally generation-ordered across the forest), then
-           serve the physical programs one at a time: submission order
-           preserves forest positions, so the plan's [logical_of] maps
-           the served trace back exactly. *)
-        let plan =
-          Nt_replication.Replication.replicate replication_config
-            ~objects:(List.map fst sc.objects) sc.forest
+  let objects, progs, plan = physical backend sc in
+  let buf = Buffer.create 4096 in
+  let w =
+    Nt_net.Wal.Writer.create ~fsync_batch ~base_seq:0 ~on_sync:ignore
+      (Nt_net.Wal.buffer_sink buf)
+  in
+  Nt_net.Wal.Writer.append w (meta_of backend sc objects);
+  (* The outcome hook is installed at engine-creation time, before the
+     engine value exists — hence the forward reference. *)
+  let eng_ref = ref None in
+  let on_top_complete txn oc =
+    match !eng_ref with
+    | None -> ()
+    | Some eng ->
+        let outcome =
+          match (oc, Nt_net.Engine.state eng txn) with
+          | `Committed, Nt_net.Engine.Committed v ->
+              Nt_net.Wal.Committed (Value.to_string v)
+          | `Aborted, Nt_net.Engine.Aborted veto ->
+              Nt_net.Wal.Aborted
+                (Option.map (fun v -> v.Nt_net.Admission.witness) veto)
+          | `Committed, _ -> Nt_net.Wal.Committed "?"
+          | `Aborted, _ -> Nt_net.Wal.Aborted None
         in
-        let schema = plan.Nt_replication.Replication.physical_schema in
-        let objects =
-          List.map
-            (fun x -> (x, schema.Schema.dtype_of x))
-            schema.Schema.objects
-        in
-        (objects, plan.Nt_replication.Replication.physical_forest, Some plan)
-    | _ -> (sc.objects, sc.forest, None)
+        Nt_net.Wal.Writer.note_outcome w ~txn outcome
   in
   let eng =
     Nt_net.Engine.create ~policy:sc.policy ~inform_policy:sc.inform_policy
-      ~abort_prob:sc.abort_prob ~max_steps ~obs ~admission ~seed:sc.sched_seed
-      objects factory
+      ~abort_prob:sc.abort_prob ~max_steps ~obs ~admission ~on_top_complete
+      ~seed:sc.sched_seed objects factory
   in
+  eng_ref := Some eng;
   let rng = Rng.create seed in
   let pending = ref progs in
+  let pending_steps = ref 0 in
+  (* Cut before every Submit/Kill record: the covering [Steps] record,
+     then any outcomes those steps produced — so every intact log
+     prefix reproduces exactly the state its audit records claim. *)
+  let cut () =
+    Nt_net.Wal.Writer.log_steps w !pending_steps;
+    pending_steps := 0
+  in
+  let snapshot = ref None in
+  let maybe_snapshot () =
+    match snapshot_at with
+    | Some n
+      when !snapshot = None && Nt_net.Wal.Writer.appended w >= n ->
+        cut ();
+        let scanned =
+          match
+            Nt_net.Wal.scan ~magic:Nt_net.Wal.wal_magic (Buffer.contents buf)
+          with
+          | Ok s -> s
+          | Error e -> invalid_arg ("Check.record: scan of own log: " ^ e)
+        in
+        let g =
+          Monitor.graph (Nt_net.Admission.monitor (Nt_net.Engine.admission eng))
+        in
+        snapshot :=
+          Some
+            (Nt_net.Wal.encode_snapshot
+               {
+                 Nt_net.Wal.sn_next_seq = Nt_net.Wal.Writer.next_seq w;
+                 sn_meta = meta_of backend sc objects;
+                 sn_events = Nt_net.Wal.compact scanned.Nt_net.Wal.sc_records;
+                 sn_sg = Nt_net.Wal.sg_state_of_graph g;
+                 sn_counts =
+                   Nt_net.Wal.Counts
+                     {
+                       submitted = Nt_net.Engine.submitted eng;
+                       committed = Nt_net.Engine.committed_top eng;
+                       aborted = Nt_net.Engine.aborted_top eng;
+                       vetoed = Nt_net.Engine.vetoed eng;
+                     };
+               })
+    | _ -> ()
+  in
   let drops = ref [] in
   let dropped = ref 0 in
   let last = ref `Progress in
@@ -427,6 +526,14 @@ let serve ?(obs = Obs.null) ?(max_steps = 200_000) ?(drop_prob = 0.0)
     (match !pending with
     | prog :: rest when !last = `Quiescent || Rng.int rng 3 = 0 ->
         pending := rest;
+        cut ();
+        Nt_net.Wal.Writer.append w
+          (Nt_net.Wal.Submit
+             {
+               req = None;
+               client = "check";
+               program = Program_io.program_to_string prog;
+             });
         (match Nt_net.Engine.submit eng prog with
         | Ok txn ->
             if drop_prob > 0.0 && Rng.float rng 1.0 < drop_prob then
@@ -435,11 +542,14 @@ let serve ?(obs = Obs.null) ?(max_steps = 200_000) ?(drop_prob = 0.0)
             invalid_arg ("Check.serve: generated program rejected: " ^ e))
     | _ -> ());
     last := Nt_net.Engine.step eng;
+    incr pending_steps;
     drops :=
       List.filter
         (fun (txn, left) ->
           decr left;
           if !left <= 0 then begin
+            cut ();
+            Nt_net.Wal.Writer.append w (Nt_net.Wal.Kill { txn });
             (match Nt_net.Engine.kill eng txn with
             | `Aborted | `Doomed -> incr dropped
             | `Already_complete | `Unknown -> ());
@@ -447,11 +557,14 @@ let serve ?(obs = Obs.null) ?(max_steps = 200_000) ?(drop_prob = 0.0)
           end
           else true)
         !drops;
+    maybe_snapshot ();
     match !last with
     | `Truncated -> continue := false
     | `Quiescent -> if !pending = [] then continue := false
     | `Progress -> ()
   done;
+  cut ();
+  Nt_net.Wal.Writer.flush w;
   let r = Nt_net.Engine.finish eng in
   let forest = Nt_net.Engine.forest eng in
   let schema = Nt_net.Engine.schema eng in
@@ -484,20 +597,301 @@ let serve ?(obs = Obs.null) ?(max_steps = 200_000) ?(drop_prob = 0.0)
                           Nt_replication.Replication.pp_violation v)))
           | _ -> None)
   in
+  let report =
+    {
+      s_trace = r.Runtime.trace;
+      s_submitted = Nt_net.Engine.submitted eng;
+      s_committed = r.Runtime.committed_top;
+      s_aborted = r.Runtime.aborted_top;
+      s_vetoed = Nt_net.Engine.vetoed eng;
+      s_dropped = !dropped;
+      s_orphans = Nt_net.Engine.orphan_aborts eng;
+      s_alarms = Nt_net.Engine.alarms eng;
+      s_cycle_alarms =
+        (Monitor.counters
+           (Nt_net.Admission.monitor (Nt_net.Engine.admission eng)))
+          .Monitor.cycle_alarms;
+      s_truncated = truncated;
+      s_failure = failure;
+    }
+  in
+  let image = Buffer.contents buf in
+  let offsets =
+    match Nt_net.Wal.scan ~magic:Nt_net.Wal.wal_magic image with
+    | Ok s -> s.Nt_net.Wal.sc_offsets
+    | Error e -> invalid_arg ("Check.record: scan of own log: " ^ e)
+  in
   {
-    s_trace = r.Runtime.trace;
-    s_submitted = Nt_net.Engine.submitted eng;
-    s_committed = r.Runtime.committed_top;
-    s_aborted = r.Runtime.aborted_top;
-    s_vetoed = Nt_net.Engine.vetoed eng;
-    s_dropped = !dropped;
-    s_orphans = Nt_net.Engine.orphan_aborts eng;
-    s_alarms = Nt_net.Engine.alarms eng;
-    s_cycle_alarms =
-      (Monitor.counters (Nt_net.Admission.monitor (Nt_net.Engine.admission eng)))
-        .Monitor.cycle_alarms;
-    s_truncated = truncated;
-    s_failure = failure;
+    rc_wal = image;
+    rc_offsets = offsets;
+    rc_snapshot = !snapshot;
+    rc_report = report;
+  }
+
+let serve ?obs ?max_steps ?drop_prob ?admission ~seed backend sc =
+  (record ?obs ?max_steps ?drop_prob ?admission ~seed backend sc).rc_report
+
+(* ----- crash injection ----- *)
+
+type crash_report = {
+  c_boundaries : int;
+  c_recoveries : int;
+  c_outcomes_checked : int;
+  c_snapshot_recoveries : int;
+  c_trace : Trace.t;
+  c_failure : (string * failure) option;
+}
+
+let crash_seed_of sc = sc.sched_seed lxor 0x2C5A11
+
+(* Recover one damaged log image into a fresh engine: scan (tolerating
+   a torn tail), refuse a foreign [Meta], replay the intact event
+   prefix, then demand prefix closure — every audited outcome in the
+   prefix reproduced exactly — before resuming (drain) and judging the
+   completed behavior with the same four oracles as any served run.
+   Returns the replayed engine so callers can compare recoveries. *)
+let recover_image ?(max_steps = 200_000) ?(admission = true) ~expect_meta
+    ~counts backend sc img =
+  let ( let* ) = Result.bind in
+  let* scanned = Nt_net.Wal.scan ~magic:Nt_net.Wal.wal_magic img in
+  let* rp =
+    Nt_net.Wal.replayable_of_records ~base_seq:scanned.Nt_net.Wal.sc_base_seq
+      ~skip_below:0 scanned.Nt_net.Wal.sc_records
+  in
+  let* () =
+    match rp.Nt_net.Wal.rp_meta with
+    | Some (m, _) ->
+        if m = expect_meta then Ok ()
+        else Error "meta mismatch: log belongs to a different configuration"
+    | None ->
+        if rp.Nt_net.Wal.rp_events = [] then Ok ()
+        else Error "events without a meta record"
+  in
+  let objects, _, _ = physical backend sc in
+  let eng =
+    Nt_net.Engine.create ~policy:sc.policy ~inform_policy:sc.inform_policy
+      ~abort_prob:sc.abort_prob ~max_steps ~admission ~seed:sc.sched_seed
+      objects (factory_of backend)
+  in
+  let* _ = Nt_net.Engine.recover eng rp.Nt_net.Wal.rp_events in
+  let* checked =
+    Nt_net.Wal.check_outcomes (Nt_net.Engine.state eng)
+      rp.Nt_net.Wal.rp_outcomes
+  in
+  counts := !counts + checked;
+  Ok (eng, scanned)
+
+(* Recover via snapshot + log tail: replay the snapshot's compacted
+   events, cross-check its materialized SG and counters against the
+   replayed state, then replay the tail ([skip_below] the snapshot's
+   coverage) with the no-freshness-check chunked entry point. *)
+let recover_snapshot ?(max_steps = 200_000) ?(admission = true) ~expect_meta
+    ~counts backend sc simg img =
+  let ( let* ) = Result.bind in
+  let* sn = Nt_net.Wal.decode_snapshot simg in
+  let* () =
+    if sn.Nt_net.Wal.sn_meta = expect_meta then Ok ()
+    else Error "snapshot meta mismatch"
+  in
+  let* rp_snap =
+    Nt_net.Wal.replayable_of_records ~base_seq:0 ~skip_below:0
+      sn.Nt_net.Wal.sn_events
+  in
+  let objects, _, _ = physical backend sc in
+  let eng =
+    Nt_net.Engine.create ~policy:sc.policy ~inform_policy:sc.inform_policy
+      ~abort_prob:sc.abort_prob ~max_steps ~admission ~seed:sc.sched_seed
+      objects (factory_of backend)
+  in
+  let* _ = Nt_net.Engine.recover eng rp_snap.Nt_net.Wal.rp_events in
+  let g () =
+    Monitor.graph (Nt_net.Admission.monitor (Nt_net.Engine.admission eng))
+  in
+  let* () = Nt_net.Wal.check_sg_state sn.Nt_net.Wal.sn_sg (g ()) in
+  let* () =
+    match sn.Nt_net.Wal.sn_counts with
+    | Nt_net.Wal.Counts { submitted; committed; aborted; vetoed } ->
+        if
+          submitted = Nt_net.Engine.submitted eng
+          && committed = Nt_net.Engine.committed_top eng
+          && aborted = Nt_net.Engine.aborted_top eng
+          && vetoed = Nt_net.Engine.vetoed eng
+        then Ok ()
+        else Error "snapshot counters not reproduced by replay"
+    | _ -> Error "snapshot without a counts record"
+  in
+  let* scanned = Nt_net.Wal.scan ~magic:Nt_net.Wal.wal_magic img in
+  let* rp_tail =
+    Nt_net.Wal.replayable_of_records ~base_seq:scanned.Nt_net.Wal.sc_base_seq
+      ~skip_below:sn.Nt_net.Wal.sn_next_seq scanned.Nt_net.Wal.sc_records
+  in
+  let* _ = Nt_net.Engine.replay eng rp_tail.Nt_net.Wal.rp_events in
+  let* checked =
+    Nt_net.Wal.check_outcomes (Nt_net.Engine.state eng)
+      rp_tail.Nt_net.Wal.rp_outcomes
+  in
+  counts := !counts + checked;
+  Ok eng
+
+(* Two recoveries agree when the engines are observationally equal:
+   same submission forest, same call count, same counters, same
+   monitor graph. *)
+let engines_agree a b =
+  let render eng =
+    ( List.map Program_io.program_to_string (Nt_net.Engine.forest eng),
+      Nt_net.Engine.step_calls eng,
+      Nt_net.Engine.submitted eng,
+      Nt_net.Engine.committed_top eng,
+      Nt_net.Engine.aborted_top eng,
+      Nt_net.Engine.vetoed eng )
+  in
+  if render a <> render b then Error "recovered engines disagree"
+  else
+    let g eng =
+      Monitor.graph (Nt_net.Admission.monitor (Nt_net.Engine.admission eng))
+    in
+    Nt_net.Wal.check_sg_state (Nt_net.Wal.sg_state_of_graph (g a)) (g b)
+
+let flip_bit img pos =
+  let b = Bytes.of_string img in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+  Bytes.to_string b
+
+let crash ?(max_steps = 200_000) ?(drop_prob = 0.15) ?snapshot_at ?seed
+    backend sc =
+  let seed = match seed with Some s -> s | None -> crash_seed_of sc in
+  let rc = record ~max_steps ~drop_prob ?snapshot_at ~seed backend sc in
+  let image = rc.rc_wal in
+  let len = String.length image in
+  let objects, _, _ = physical backend sc in
+  let expect_meta = meta_of backend sc objects in
+  let recoveries = ref 0 and outcomes = ref 0 and snaps = ref 0 in
+  let failure = ref None in
+  let fail where f = if !failure = None then failure := Some (where, f) in
+  let faild where msg = fail where (Durability msg) in
+  (* Judge a recovered engine as a complete run: resume (drain to
+     quiescence — the remaining pre-crash submissions never arrive)
+     and apply the four oracles.  One-copy is not claimed for
+     recovered [Replication] runs: the crash orphans in-flight
+     quorums by construction. *)
+  let judge_recovered where eng =
+    ignore (Nt_net.Engine.drain eng);
+    let r = Nt_net.Engine.finish eng in
+    if not r.Runtime.stats.truncated then begin
+      let judged_as = match backend with Replication -> Undo | b -> b in
+      match
+        judge judged_as (Nt_net.Engine.schema eng) r (Nt_net.Engine.forest eng)
+      with
+      | Some f -> fail where f
+      | None -> ()
+    end
+  in
+  let recover_and_judge ~where ?expect_valid img =
+    incr recoveries;
+    match
+      recover_image ~max_steps ~expect_meta ~counts:outcomes backend sc img
+    with
+    | Error e -> faild where e
+    | Ok (eng, scanned) -> (
+        (match expect_valid with
+        | Some v when scanned.Nt_net.Wal.sc_valid <> v ->
+            faild where
+              (Printf.sprintf "scan kept %d valid bytes, expected %d"
+                 scanned.Nt_net.Wal.sc_valid v)
+        | _ -> ());
+        judge_recovered where eng)
+  in
+  (match rc.rc_report.s_failure with
+  | Some f -> fail "pre-crash run" f
+  | None -> ());
+  let boundaries = Array.of_list (rc.rc_offsets @ [ len ]) in
+  let n = Array.length boundaries in
+  (* Pre-header cuts: a crash during file creation. *)
+  recover_and_judge ~where:"empty file" "";
+  if len >= 8 then
+    recover_and_judge ~where:"torn file header" (String.sub image 0 8);
+  Array.iteri
+    (fun i b ->
+      if !failure = None then begin
+        (* A kill exactly at a record boundary: the scan must accept
+           the whole prefix as clean. *)
+        recover_and_judge
+          ~where:(Printf.sprintf "clean cut at record %d (byte %d)" i b)
+          ~expect_valid:(max b 16)
+          (String.sub image 0 b);
+        (* A kill mid-record: the torn frame must be diagnosed and
+           the prefix up to the boundary kept. *)
+        (if b < len then
+           let frame = (if i + 1 < n then boundaries.(i + 1) else len) - b in
+           let k = 1 + (((i * 7) + 3) mod max 1 (frame - 1)) in
+           recover_and_judge
+             ~where:
+               (Printf.sprintf "torn cut %d bytes into record %d (byte %d)" k
+                  i (b + k))
+             ~expect_valid:b
+             (String.sub image 0 (b + k)));
+        (* A corrupted sector: flip a bit mid-record; the checksum
+           must stop the scan at the preceding boundary. *)
+        if b < len && i mod 3 = 0 then begin
+          let frame = (if i + 1 < n then boundaries.(i + 1) else len) - b in
+          recover_and_judge
+            ~where:
+              (Printf.sprintf "bit flip inside record %d (byte %d)" i
+                 (b + (frame / 2)))
+            ~expect_valid:b
+            (flip_bit image (b + (frame / 2)))
+        end
+      end)
+    boundaries;
+  (* Snapshot paths: snapshot + tail must agree with the full-log
+     replay, and a corrupted snapshot must be detected (recovery then
+     falls back to the full log, exercised above). *)
+  (match rc.rc_snapshot with
+  | Some simg when !failure = None -> (
+      (match
+         recover_snapshot ~max_steps ~expect_meta ~counts:outcomes backend sc
+           simg image
+       with
+      | Error e -> faild "snapshot + tail recovery" e
+      | Ok eng_snap -> (
+          incr snaps;
+          incr recoveries;
+          match
+            recover_image ~max_steps ~expect_meta ~counts:outcomes backend sc
+              image
+          with
+          | Error e -> faild "full-log recovery (snapshot comparison)" e
+          | Ok (eng_full, _) -> (
+              match engines_agree eng_snap eng_full with
+              | Error e -> faild "snapshot-vs-full-log" e
+              | Ok () -> judge_recovered "snapshot + tail recovery" eng_snap)));
+      if !failure = None then
+        let corrupt = flip_bit simg (String.length simg / 2) in
+        match Nt_net.Wal.decode_snapshot corrupt with
+        | Error _ -> ()
+        | Ok _ ->
+            faild "corrupt snapshot"
+              "bit-flipped snapshot decoded successfully")
+  | _ -> ());
+  {
+    c_boundaries = n;
+    c_recoveries = !recoveries;
+    c_outcomes_checked = !outcomes;
+    c_snapshot_recoveries = !snaps;
+    c_trace = rc.rc_report.s_trace;
+    c_failure = !failure;
+  }
+
+let crash_outcome rep =
+  {
+    trace = rep.c_trace;
+    truncated = false;
+    failure =
+      (match rep.c_failure with
+      | None -> None
+      | Some (_, (Durability _ as f)) -> Some f
+      | Some (where, f) ->
+          Some (Durability (Format.asprintf "%s: %a" where pp_failure f)));
   }
 
 (* ----- SG oracle equivalence ----- *)
@@ -590,6 +984,42 @@ let campaign ?(obs = Obs.null) ?max_steps ?grammar ?shape
     sample "check.pass";
     if !failures <> [] then sample "check.fail"
   end;
+  {
+    runs = !executed;
+    passed = !passed;
+    truncations = !truncations;
+    failures = List.rev !failures;
+  }
+
+let crash_campaign ?(obs = Obs.null) ?max_steps ?grammar ?shape ?drop_prob
+    ?(snapshot_at = 8) ?(stop_at_first = true) backend ~seed ~runs =
+  let master = Rng.create seed in
+  let bump name =
+    if Obs.enabled obs then Metrics.incr (Metrics.counter (Obs.metrics obs) name)
+  in
+  let passed = ref 0 and truncations = ref 0 and failures = ref [] in
+  let executed = ref 0 in
+  (try
+     for i = 0 to runs - 1 do
+       let rng = Rng.split master in
+       let sc = gen_scenario ?grammar ?shape backend rng in
+       incr executed;
+       bump "check.crash.runs";
+       let rep = crash ?max_steps ?drop_prob ~snapshot_at backend sc in
+       let o = crash_outcome rep in
+       if o.truncated then incr truncations;
+       match o.failure with
+       | None ->
+           incr passed;
+           bump "check.crash.pass"
+       | Some f ->
+           bump "check.crash.fail";
+           bump ("check.crash.fail." ^ failure_tag f);
+           Obs.instant obs ("check.crash.fail." ^ failure_tag f);
+           failures := (i, sc, f) :: !failures;
+           if stop_at_first then raise Exit
+     done
+   with Exit -> ());
   {
     runs = !executed;
     passed = !passed;

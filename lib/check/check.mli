@@ -107,6 +107,10 @@ type failure =
       (** Committed top-level results or final states disagree with
           the ordered serial reference execution. *)
   | One_copy of string  (** Replication's one-copy condition failed. *)
+  | Durability of string
+      (** Crash recovery failed: a damaged log was not diagnosed
+          correctly, replay did not reproduce an audited outcome
+          (prefix closure), or a snapshot disagreed with the log. *)
 
 val failure_tag : failure -> string
 (** A short stable tag (["sg-cycle"], ["returns"], ["differential"],
@@ -179,6 +183,85 @@ val serve :
     physical programs (judged as [Undo], plus one-copy when no abort
     interfered — mirroring {!run_scenario}). *)
 
+(** {1 Durability: recorded serves and crash injection}
+
+    {!record} is {!serve} with a write-ahead log attached: the same
+    loop, the same report, plus a complete {!Nt_net.Wal} image of the
+    run — every submission, orphan kill and coalesced step count, with
+    the commit-gate outcome of every completed top-level transaction
+    appended {e after} the step record that produced it, so each
+    intact log prefix reproduces exactly the state its audit records
+    claim.  {!crash} then simulates a [kill -9] at every log boundary
+    (plus torn and bit-flipped variants) and proves each recovery: the
+    scan diagnoses the damage, {!Nt_net.Engine.recover} replays the
+    intact prefix, every audited outcome is reproduced, and the
+    resumed run still passes all four oracles. *)
+
+type recorded = {
+  rc_wal : string;  (** The complete log image (header included). *)
+  rc_offsets : int list;  (** Frame offset of every record. *)
+  rc_snapshot : string option;
+      (** Encoded snapshot, when [snapshot_at] fired mid-run. *)
+  rc_report : serve_report;  (** Exactly {!serve}'s report. *)
+}
+
+val record :
+  ?obs:Nt_obs.Obs.t ->
+  ?max_steps:int ->
+  ?drop_prob:float ->
+  ?admission:bool ->
+  ?fsync_batch:int ->
+  ?snapshot_at:int ->
+  seed:int ->
+  backend ->
+  scenario ->
+  recorded
+(** {!serve} while writing the WAL (into memory; [fsync_batch]
+    defaults to [0] — no syncing — since a buffer sink has nothing to
+    make durable).  [snapshot_at] takes one snapshot once that many
+    records have been appended.  Deterministic, and [rc_report] is
+    byte-for-byte the {!serve} report for the same arguments. *)
+
+type crash_report = {
+  c_boundaries : int;  (** Record boundaries in the log. *)
+  c_recoveries : int;  (** Damaged images recovered and judged. *)
+  c_outcomes_checked : int;  (** Audited outcomes verified in total. *)
+  c_snapshot_recoveries : int;
+  c_trace : Trace.t;  (** The pre-crash run's behavior. *)
+  c_failure : (string * failure) option;
+      (** First failing kill point: (description, failure). *)
+}
+
+val crash_seed_of : scenario -> int
+(** The serving seed {!crash} derives from a scenario when none is
+    given — a pure function of [sched_seed], so a crash failure is
+    replayable from the scenario alone (bundles need no extra
+    state). *)
+
+val crash :
+  ?max_steps:int ->
+  ?drop_prob:float ->
+  ?snapshot_at:int ->
+  ?seed:int ->
+  backend ->
+  scenario ->
+  crash_report
+(** Record one serve run ([drop_prob] defaults to [0.15] so orphan
+    kills appear in the log), then sweep simulated crashes: a clean
+    cut at {e every} record boundary, a torn cut inside every record,
+    a bit flip inside every third record, a cut before and inside the
+    file header — each followed by a full recovery (scan, replay,
+    prefix-closure outcome check, drain, four oracles).  When a
+    snapshot was taken, also recovers snapshot + tail, demands it
+    agree with the full-log replay, and verifies a corrupted snapshot
+    is rejected.  Stops at the first failing kill point.
+    Deterministic from [(backend, scenario, seed)]. *)
+
+val crash_outcome : crash_report -> outcome
+(** The report folded into the common {!outcome} shape (kill-point
+    description folded into a {!Durability} failure), so shrinking and
+    bundle tooling treat crash failures like any other. *)
+
 (** {1 SG oracle equivalence} *)
 
 type sg_agreement = {
@@ -231,3 +314,21 @@ val campaign :
     [check.fail.<tag>]) counters and failures emit a
     [check.fail.<tag>] instant event, so campaign telemetry flows
     through the usual {!Nt_obs} pipeline into [ntprof]. *)
+
+val crash_campaign :
+  ?obs:Nt_obs.Obs.t ->
+  ?max_steps:int ->
+  ?grammar:grammar ->
+  ?shape:shape ->
+  ?drop_prob:float ->
+  ?snapshot_at:int ->
+  ?stop_at_first:bool ->
+  backend ->
+  seed:int ->
+  runs:int ->
+  report
+(** {!campaign} with {!crash} as the subject: each generated scenario
+    is recorded, crash-swept at every log boundary and re-judged after
+    every recovery ([snapshot_at] defaults to [8], so snapshot paths
+    are exercised whenever runs grow long enough).  Counters use the
+    [check.crash.*] prefix. *)

@@ -103,11 +103,11 @@ let referenced forest =
         acc (Program.accesses p))
     Obj_id.Set.empty forest
 
-let minimize ?(max_attempts = 2000) backend (sc : Check.scenario) =
+let minimize_by ?(max_attempts = 2000) ~run:run_outcome (sc : Check.scenario) =
   let attempts = ref 0 in
   let run s =
     incr attempts;
-    Check.run_scenario backend s
+    (run_outcome s : Check.outcome)
   in
   let fails s =
     if !attempts >= max_attempts then false
@@ -201,3 +201,11 @@ let minimize ?(max_attempts = 2000) backend (sc : Check.scenario) =
           attempts = !attempts;
           deterministic;
         }
+
+let minimize ?max_attempts backend sc =
+  minimize_by ?max_attempts ~run:(Check.run_scenario backend) sc
+
+let minimize_crash ?max_attempts ?drop_prob ?snapshot_at backend sc =
+  minimize_by ?max_attempts
+    ~run:(fun s -> Check.crash_outcome (Check.crash ?drop_prob ?snapshot_at backend s))
+    sc

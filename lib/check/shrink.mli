@@ -41,3 +41,26 @@ val minimize :
     [max_attempts] (default [2000]) caps candidate executions; the
     best scenario found so far is returned when the budget runs
     out. *)
+
+val minimize_by :
+  ?max_attempts:int ->
+  run:(Check.scenario -> Check.outcome) ->
+  Check.scenario ->
+  shrunk option
+(** The ddmin engine behind {!minimize}, parameterized over the
+    subject: any deterministic scenario-to-outcome function works —
+    {!minimize} passes {!Check.run_scenario}, {!minimize_crash} passes
+    the crash-injection sweep. *)
+
+val minimize_crash :
+  ?max_attempts:int ->
+  ?drop_prob:float ->
+  ?snapshot_at:int ->
+  Check.backend ->
+  Check.scenario ->
+  shrunk option
+(** Shrink a scenario whose {!Check.crash} sweep fails.  The serving
+    seed is re-derived per candidate via {!Check.crash_seed_of}, so
+    the minimized scenario replays with no extra state; each candidate
+    runs a full crash sweep, so attempts are costlier than
+    {!minimize}'s. *)

@@ -21,8 +21,8 @@
        {!Obs_snapshot}, {!Obs_event}, {!Obs_sink}, {!Chrome_trace},
        {!Obs_json}, {!Stage}, {!Gcmon}, {!Profile}, {!Flight};}
     {- property-based checking: {!Check}, {!Shrink}, {!Bundle};}
-    {- serving: {!Wire}, {!Admission}, {!Engine}, {!Telemetry} (plus
-       {!Version}).}} *)
+    {- serving and durability: {!Wire}, {!Admission}, {!Engine},
+       {!Wal}, {!Telemetry} (plus {!Version}).}} *)
 
 module Txn_id = Nt_base.Txn_id
 module Obj_id = Nt_base.Obj_id
@@ -101,4 +101,5 @@ module Version = Nt_base.Version
 module Wire = Nt_net.Wire
 module Admission = Nt_net.Admission
 module Engine = Nt_net.Engine
+module Wal = Nt_net.Wal
 module Telemetry = Nt_net.Telemetry

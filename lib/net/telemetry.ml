@@ -70,9 +70,12 @@ module Hub = struct
         p_alarms = 0;
       }
     in
-    (* Pre-register the canonical stages so every frame carries all
-       seven, sample-bearing or not, in lifecycle order. *)
-    List.iter (fun s -> ignore (stage_instruments t s)) Stage.stages;
+    (* Pre-register the canonical stages (and the server-global
+       durability stages) so every frame carries all of them,
+       sample-bearing or not, in lifecycle order. *)
+    List.iter
+      (fun s -> ignore (stage_instruments t s))
+      (Stage.stages @ Stage.wal_stages);
     t
 
   let seq t = t.seq

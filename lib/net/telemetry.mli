@@ -35,8 +35,9 @@ module Hub : sig
       the runtime maintains whenever the recorder is enabled.  The hub
       also registers cumulative twins there so [--prom] exports see
       totals: [served.latency_us], one [served.stage.<name>_us] per
-      stage (the seven canonical {!Nt_obs.Stage.stages} are
-      pre-registered), [served.gc.pause_us] and the [served.gc.pct]
+      stage (the seven canonical {!Nt_obs.Stage.stages} and the
+      durability {!Nt_obs.Stage.wal_stages} are pre-registered),
+      [served.gc.pause_us] and the [served.gc.pct]
       gauge.  [t0] is the hub's clock reading at creation (default 0,
       the server's monotonic origin) — the start of the first GC
       interval. *)

@@ -1,7 +1,7 @@
 open Nt_base
 open Nt_obs
 
-let protocol_version = 3
+let protocol_version = 4
 let max_frame = 4 * 1024 * 1024
 let max_header = 20
 
@@ -53,6 +53,28 @@ module Reader = struct
                     (String.length t.acc - start - len);
                 Ok (Some payload)
               end)
+
+  type eof = Clean | Torn of { buffered : int; expected : int option }
+
+  let eof t =
+    if t.acc = "" then Clean
+    else
+      let expected =
+        match String.index_opt t.acc '\n' with
+        | None -> None
+        | Some i -> int_of_string_opt (String.sub t.acc 0 i)
+      in
+      Torn { buffered = String.length t.acc; expected }
+
+  let describe_eof = function
+    | Clean -> "clean shutdown at a frame boundary"
+    | Torn { buffered; expected = Some len } ->
+        Printf.sprintf
+          "stream ended mid-frame: %d bytes buffered of a %d-byte payload"
+          buffered len
+    | Torn { buffered; expected = None } ->
+        Printf.sprintf "stream ended mid-frame: %d header bytes buffered"
+          buffered
 end
 
 type request =
@@ -71,6 +93,11 @@ type txn_state =
   | Running
   | Committed of string
   | Aborted of string option
+
+type server_status =
+  | Fresh
+  | Recovering of { replayed : int; total : int }
+  | Recovered of { replayed : int; torn : bool }
 
 type hist = {
   h_count : int;
@@ -130,6 +157,7 @@ type response =
       server : string;
       version : string;
       backend : string;
+      status : server_status;
       objects : (string * string) list;
     }
   | Accepted of { txn : Txn_id.t; req : string option }
@@ -137,7 +165,13 @@ type response =
   | State of { txn : Txn_id.t; state : txn_state; req : string option }
   | Metrics_dump of Json.t
   | Telemetry of telemetry
-  | Pong of { t_mono : float; live : int; doomed : int; conns : int }
+  | Pong of {
+      t_mono : float;
+      live : int;
+      doomed : int;
+      conns : int;
+      status : server_status;
+    }
   | Dumped of { spans : int; dropped : int; jsonl : string; chrome : string }
   | Quiesced of { committed : int; aborted : int; vetoed : int; alarms : int }
   | Goodbye
@@ -164,6 +198,21 @@ let request_to_json = function
   | Dump -> obj [ ("type", str "dump") ]
   | Quiesce -> obj [ ("type", str "quiesce") ]
   | Shutdown -> obj [ ("type", str "shutdown") ]
+
+let status_fields = function
+  | Fresh -> [ ("status", str "fresh") ]
+  | Recovering { replayed; total } ->
+      [
+        ("status", str "recovering");
+        ("replayed", int replayed);
+        ("total", int total);
+      ]
+  | Recovered { replayed; torn } ->
+      [
+        ("status", str "recovered");
+        ("replayed", int replayed);
+        ("torn", Json.Bool torn);
+      ]
 
 let state_fields = function
   | Pending -> [ ("state", str "pending") ]
@@ -242,21 +291,24 @@ let telemetry_to_json t =
     ]
 
 let response_to_json = function
-  | Welcome { server; version; backend; objects } ->
+  | Welcome { server; version; backend; status; objects } ->
       obj
-        [
-          ("type", str "welcome");
-          ("server", str server);
-          ("version", str version);
-          ("protocol", int protocol_version);
-          ("backend", str backend);
-          ( "objects",
-            Json.Arr
-              (List.map
-                 (fun (name, decl) ->
-                   obj [ ("name", str name); ("decl", str decl) ])
-                 objects) );
-        ]
+        ([
+           ("type", str "welcome");
+           ("server", str server);
+           ("version", str version);
+           ("protocol", int protocol_version);
+           ("backend", str backend);
+         ]
+        @ status_fields status
+        @ [
+            ( "objects",
+              Json.Arr
+                (List.map
+                   (fun (name, decl) ->
+                     obj [ ("name", str name); ("decl", str decl) ])
+                   objects) );
+          ])
   | Accepted { txn = t; req } ->
       obj (("type", str "accepted") :: opt_req req [ ("txn", txn t) ])
   | Rejected { why; req } ->
@@ -267,15 +319,16 @@ let response_to_json = function
         :: opt_req req (("txn", txn t) :: state_fields state))
   | Metrics_dump j -> obj [ ("type", str "metrics"); ("metrics", j) ]
   | Telemetry t -> telemetry_to_json t
-  | Pong { t_mono; live; doomed; conns } ->
+  | Pong { t_mono; live; doomed; conns; status } ->
       obj
-        [
-          ("type", str "pong");
-          ("t", Json.Float t_mono);
-          ("live", int live);
-          ("doomed", int doomed);
-          ("conns", int conns);
-        ]
+        ([
+           ("type", str "pong");
+           ("t", Json.Float t_mono);
+           ("live", int live);
+           ("doomed", int doomed);
+           ("conns", int conns);
+         ]
+        @ status_fields status)
   | Dumped { spans; dropped; jsonl; chrome } ->
       obj
         [
@@ -359,6 +412,28 @@ let request_of_json j =
   | "quiesce" -> Ok Quiesce
   | "shutdown" -> Ok Shutdown
   | other -> Error (Printf.sprintf "unknown request type %S" other)
+
+(* Absent on pre-durability servers: default [Fresh]. *)
+let status_of_json j =
+  match Json.member "status" j with
+  | None -> Ok Fresh
+  | Some v -> (
+      match Json.to_str_opt v with
+      | None -> Error "field \"status\": expected a string"
+      | Some "fresh" -> Ok Fresh
+      | Some "recovering" ->
+          let* replayed = int_field "replayed" j in
+          let* total = int_field "total" j in
+          Ok (Recovering { replayed; total })
+      | Some "recovered" ->
+          let* replayed = int_field "replayed" j in
+          let torn =
+            match Json.member "torn" j with
+            | Some (Json.Bool b) -> b
+            | _ -> false
+          in
+          Ok (Recovered { replayed; torn })
+      | Some other -> Error (Printf.sprintf "unknown server status %S" other))
 
 let state_of_json j =
   let* st = str_field "state" j in
@@ -515,7 +590,8 @@ let response_of_json j =
         | Some _ -> Error "field \"objects\": expected an array"
         | None -> Error "missing field \"objects\""
       in
-      Ok (Welcome { server; version; backend; objects })
+      let* status = status_of_json j in
+      Ok (Welcome { server; version; backend; status; objects })
   | "accepted" ->
       let* t = txn_field "txn" j in
       let* req = req_field j in
@@ -540,7 +616,8 @@ let response_of_json j =
       let* live = int_field "live" j in
       let* doomed = int_field "doomed" j in
       let* conns = int_field "conns" j in
-      Ok (Pong { t_mono; live; doomed; conns })
+      let* status = status_of_json j in
+      Ok (Pong { t_mono; live; doomed; conns; status })
   | "dumped" ->
       let* spans = int_field "spans" j in
       let* dropped = int_field "dropped" j in

@@ -62,6 +62,22 @@ module Reader : sig
 
   val buffered : t -> int
   (** Bytes currently buffered (for backpressure accounting). *)
+
+  type eof = Clean | Torn of { buffered : int; expected : int option }
+  (** What a stream's end means, judged by the reader's buffer: [Clean]
+      — the peer closed at a frame boundary; [Torn] — it closed
+      mid-frame, with [buffered] bytes held and [expected] the declared
+      payload length when the header had already arrived.  Distinct
+      from {!next}'s poisoning errors (malformed bytes): a torn end is
+      well-formed-so-far but incomplete, which is exactly the signature
+      of a crashed writer — the crash tests assert on the
+      distinction. *)
+
+  val eof : t -> eof
+  (** Judge the stream's end.  Call when a read returns end-of-file;
+      meaningful any time no further bytes are coming. *)
+
+  val describe_eof : eof -> string
 end
 
 type request =
@@ -89,6 +105,17 @@ type txn_state =
   | Committed of string  (** The rendered commit value. *)
   | Aborted of string option
       (** With the admission veto witness, when that was the cause. *)
+
+type server_status =
+  | Fresh  (** Started with no (or an empty) write-ahead log. *)
+  | Recovering of { replayed : int; total : int }
+      (** Replaying the log: submissions are rejected, probes answered.
+          [replayed]/[total] count replay events. *)
+  | Recovered of { replayed : int; torn : bool }
+      (** Replay complete and validated; [torn] records whether the log
+          ended mid-record (the truncated tail was discarded).  Absent
+          on the wire from pre-durability servers — decoders default to
+          [Fresh]. *)
 
 type hist = {
   h_count : int;
@@ -153,6 +180,7 @@ type response =
       server : string;
       version : string;
       backend : string;
+      status : server_status;
       objects : (string * string) list;
           (** Name and {!Nt_workload.Program_io.dtype_decl} of every
               servable object — enough for a client to generate
@@ -168,9 +196,17 @@ type response =
           foreign transaction has none). *)
   | Metrics_dump of Json.t  (** {!Nt_obs.Metrics.to_json} of the server. *)
   | Telemetry of telemetry
-  | Pong of { t_mono : float; live : int; doomed : int; conns : int }
+  | Pong of {
+      t_mono : float;
+      live : int;
+      doomed : int;
+      conns : int;
+      status : server_status;
+    }
       (** Liveness answer: monotonic server clock plus engine
-          occupancy (live/doomed transactions, open connections). *)
+          occupancy (live/doomed transactions, open connections) and
+          the durability status (recovery progress is observable over
+          a plain {!constructor:Ping}). *)
   | Dumped of { spans : int; dropped : int; jsonl : string; chrome : string }
       (** Flight-recorder dump written: span count, ring drops, and
           the server-side paths of the JSONL and Chrome-trace

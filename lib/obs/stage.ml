@@ -1,8 +1,13 @@
 (* Request-lifecycle stage spans and the flight recorder.  See
    stage.mli for the model. *)
 
-let stages = [ "read"; "decode"; "validate"; "admit"; "gate"; "execute"; "reply" ]
+let stages =
+  [ "read"; "decode"; "validate"; "admit"; "gate"; "execute"; "reply" ]
+
 let gc_stage = "gc.pause"
+let wal_fsync_stage = "wal.fsync"
+let wal_replay_stage = "wal.replay"
+let wal_stages = [ wal_fsync_stage; wal_replay_stage ]
 
 type span = {
   sp_stage : string;

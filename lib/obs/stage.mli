@@ -25,12 +25,24 @@
     artifacts. *)
 
 val stages : string list
-(** The seven canonical request stages, in lifecycle order:
-    [read; decode; validate; admit; gate; execute; reply]. *)
+(** The canonical request-lifecycle stages, in order:
+    [read; decode; validate; admit; gate; execute; reply].  Flight
+    chains judge completeness against exactly this list. *)
 
 val gc_stage : string
 (** ["gc.pause"] — the stage name under which GC pauses are
     recorded. *)
+
+val wal_fsync_stage : string
+(** ["wal.fsync"] — one group-commit sync of the write-ahead log. *)
+
+val wal_replay_stage : string
+(** ["wal.replay"] — one recovery replay chunk. *)
+
+val wal_stages : string list
+(** The server-global durability stages ([wal.fsync]; [wal.replay]) —
+    instrumented like {!stages} but, like {!gc_stage}, not part of any
+    request chain. *)
 
 type span = {
   sp_stage : string;  (** Stage name ({!stages}, {!gc_stage}, or ad-hoc). *)

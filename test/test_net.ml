@@ -78,6 +78,15 @@ let sample_responses =
         version = Version.string;
         backend = "undo";
         objects = [ ("x", "(register 0)"); ("c", "(counter 3)") ];
+        status = Wire.Fresh;
+      };
+    Wire.Welcome
+      {
+        server = "ntserved";
+        version = Version.string;
+        backend = "moss";
+        objects = [];
+        status = Wire.Recovering { replayed = 12; total = 40 };
       };
     Wire.Accepted { txn = Txn_id.of_path [ 7 ]; req = None };
     Wire.Accepted { txn = Txn_id.of_path [ 8 ]; req = Some "c1-42" };
@@ -103,7 +112,14 @@ let sample_responses =
     Wire.Telemetry sample_telemetry;
     Wire.Telemetry
       { sample_telemetry with Wire.seq = 4; hot = []; stages = [] };
-    Wire.Pong { t_mono = 12.5; live = 3; doomed = 1; conns = 2 };
+    Wire.Pong
+      {
+        t_mono = 12.5;
+        live = 3;
+        doomed = 1;
+        conns = 2;
+        status = Wire.Recovered { replayed = 40; torn = true };
+      };
     Wire.Dumped
       {
         spans = 41;
@@ -199,6 +215,83 @@ let t_wire_errors () =
       check_bool "negative error reports the size" true
         (Astring_like.contains e "-1")
   | None -> Alcotest.fail "negative size accepted")
+
+(* The reader distinguishes a peer that closed at a frame boundary
+   from one that vanished mid-frame — the signature of a crashed
+   writer, which the crash-recovery tooling keys on. *)
+let t_wire_eof () =
+  let drain r =
+    let rec go () =
+      match Wire.Reader.next r with
+      | Ok (Some _) -> go ()
+      | Ok None -> ()
+      | Error e -> Alcotest.failf "reader error: %s" e
+    in
+    go ()
+  in
+  let r = Wire.Reader.create () in
+  check_bool "fresh stream ends clean" true (Wire.Reader.eof r = Clean);
+  Wire.Reader.feed r (Wire.encode_request Wire.Ping);
+  drain r;
+  check_bool "frame-boundary close is clean" true (Wire.Reader.eof r = Clean);
+  (* cut inside the payload: the declared length is already known *)
+  let f = Wire.encode_request (Wire.Hello { client = "durable" }) in
+  let nl = String.index f '\n' in
+  let declared = int_of_string (String.sub f 0 nl) in
+  let cut = nl + 1 + 3 in
+  let r = Wire.Reader.create () in
+  Wire.Reader.feed r (String.sub f 0 cut);
+  drain r;
+  (match Wire.Reader.eof r with
+  | Torn { buffered; expected = Some len } ->
+      check_int "torn: buffered bytes" cut buffered;
+      check_int "torn: declared payload length" declared len
+  | e -> Alcotest.failf "expected mid-payload Torn, got %s"
+           (Wire.Reader.describe_eof e));
+  (* cut inside the header itself: no declared length yet *)
+  let r = Wire.Reader.create () in
+  Wire.Reader.feed r (String.sub f 0 (min 2 nl));
+  drain r;
+  (match Wire.Reader.eof r with
+  | Torn { expected = None; _ } -> ()
+  | e -> Alcotest.failf "expected mid-header Torn, got %s"
+           (Wire.Reader.describe_eof e));
+  check_bool "describe_eof names the payload size" true
+    (Astring_like.contains
+       (Wire.Reader.describe_eof
+          (Torn { buffered = 7; expected = Some 99 }))
+       "99")
+
+(* Responses from a pre-durability server carry no status field; the
+   decoder must default to Fresh rather than reject the peer. *)
+let t_wire_status_compat () =
+  let welcome =
+    "{\"type\":\"welcome\",\"server\":\"old\",\"version\":\"0.9\",\
+     \"protocol\":3,\"backend\":\"undo\",\"objects\":[]}"
+  in
+  (match Wire.decode_response welcome with
+  | Ok (Wire.Welcome { status; _ }) ->
+      check_bool "status-less welcome defaults Fresh" true
+        (status = Wire.Fresh)
+  | Ok _ -> Alcotest.fail "decoded to a non-Welcome response"
+  | Error e -> Alcotest.failf "welcome rejected: %s" e);
+  let pong =
+    "{\"type\":\"pong\",\"t\":1.5,\"live\":2,\"doomed\":0,\"conns\":1}"
+  in
+  (match Wire.decode_response pong with
+  | Ok (Wire.Pong { status; _ }) ->
+      check_bool "status-less pong defaults Fresh" true (status = Wire.Fresh)
+  | Ok _ -> Alcotest.fail "decoded to a non-Pong response"
+  | Error e -> Alcotest.failf "pong rejected: %s" e);
+  (match
+     Wire.decode_response
+       "{\"type\":\"pong\",\"t\":1.5,\"live\":2,\"doomed\":0,\"conns\":1,\
+        \"status\":\"warp\"}"
+   with
+  | Error e ->
+      check_bool "unknown status is named" true
+        (Astring_like.contains e "warp")
+  | Ok _ -> Alcotest.fail "unknown status accepted")
 
 (* ----- telemetry frames ----- *)
 
@@ -658,6 +751,8 @@ let suite =
       Alcotest.test_case "wire roundtrip" `Quick t_wire_roundtrip;
       Alcotest.test_case "wire reassembly" `Quick t_wire_reassembly;
       Alcotest.test_case "wire errors" `Quick t_wire_errors;
+      Alcotest.test_case "wire eof diagnosis" `Quick t_wire_eof;
+      Alcotest.test_case "wire status back-compat" `Quick t_wire_status_compat;
       Alcotest.test_case "telemetry roundtrip" `Quick t_wire_telemetry_roundtrip;
       Alcotest.test_case "telemetry partial frames" `Quick
         t_wire_telemetry_partial_frames;
