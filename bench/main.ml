@@ -1428,12 +1428,96 @@ let e20 () =
   report t
 
 (* ------------------------------------------------------------------ *)
+(* E21: detection rates of the weak-isolation adversaries, per oracle. *)
+
+(* 200-run sweeps per backend x grammar.  Each completed run is judged
+   independently by every oracle: the serial-correctness checker, the
+   three SG cycle detectors (via [Check.sg_agreement]), and the ESSN
+   refined criterion.  [essn_only] counts ESSN rejections whose SG is
+   acyclic with zero monitor alarms — the anomaly class cycle alarms
+   alone cannot see (stale snapshot reads whose edges all point one
+   way).  Undo and mvts ride along as controls: every oracle must
+   accept all 200 of their runs (the CI job fails on any verified-
+   backend false positive). *)
+let e21 () =
+  let t =
+    Table.create
+      ~title:"E21: weak-isolation detection rates (200 runs, per oracle)"
+      ~columns:
+        [ "backend"; "grammar"; "runs"; "not_correct"; "sg_cyclic"; "alarmed";
+          "essn_rej"; "essn_only" ]
+  in
+  List.iter
+    (fun (backend, grammar) ->
+      let master = Rng.create 97 in
+      let n = ref 0 and not_correct = ref 0 and cyclic = ref 0 in
+      let alarmed = ref 0 and essn_rej = ref 0 and essn_only = ref 0 in
+      for _ = 1 to 200 do
+        let rng = Rng.split master in
+        let sc = Check.gen_scenario ?grammar backend rng in
+        let o = Check.run_scenario backend sc in
+        if not o.Check.truncated then begin
+          incr n;
+          let schema =
+            match backend with
+            | Check.Replication ->
+                let plan =
+                  Replication.replicate Check.replication_config
+                    ~objects:(List.map fst sc.Check.objects)
+                    sc.Check.forest
+                in
+                plan.Replication.physical_schema
+            | _ -> Check.schema_of_scenario sc
+          in
+          if not (Checker.serially_correct schema o.Check.trace) then
+            incr not_correct;
+          let a = Check.sg_agreement schema o.Check.trace in
+          if not a.Check.checker_acyclic then incr cyclic;
+          if a.Check.cycle_alarms > 0 then incr alarmed;
+          let v = Essn.check schema o.Check.trace in
+          if not v.Essn.essn_ok then begin
+            incr essn_rej;
+            if a.Check.checker_acyclic && a.Check.cycle_alarms = 0 then
+              incr essn_only
+          end
+        end
+      done;
+      Table.add_row t
+        [
+          Check.backend_name backend;
+          (match grammar with
+          | Some g -> Check.grammar_name g
+          | None -> "default");
+          Table.cell_i !n;
+          Table.cell_i !not_correct;
+          Table.cell_i !cyclic;
+          Table.cell_i !alarmed;
+          Table.cell_i !essn_rej;
+          Table.cell_i !essn_only;
+        ])
+    [
+      (Check.Moss, Some Check.Smallbank);
+      (Check.Commlock, Some Check.Smallbank);
+      (Check.Undo, Some Check.Smallbank);
+      (Check.Replication, Some Check.Smallbank);
+      (Check.Mvts, Some Check.Smallbank);
+      (Check.Causal_only, Some Check.Smallbank);
+      (Check.Prefix_consistent, Some Check.Smallbank);
+      (Check.Snapshot_read, Some Check.Smallbank);
+      (Check.Causal_only, None);
+      (Check.Prefix_consistent, None);
+      (Check.Snapshot_read, None);
+    ];
+  report t
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
+    ("e21", e21);
     ("obs", obs);
     ("micro", micro);
   ]

@@ -18,7 +18,7 @@ let target_conv =
     else
       match Check.backend_of_name s with
       | Some b -> Ok (One b)
-      | None -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
+      | None -> Error (`Msg (Check.unknown_backend_message s))
   in
   let print f = function
     | All -> Format.pp_print_string f "all"
@@ -31,6 +31,7 @@ let grammar_conv =
     [
       ("rw", Check.Rw); ("counters", Check.Counters);
       ("mixed", Check.Mixed); ("weighted", Check.Weighted);
+      ("smallbank", Check.Smallbank);
     ]
 
 let shape_conv =
@@ -228,9 +229,10 @@ let cmd =
       & opt target_conv All
       & info [ "backend" ] ~docv:"BACKEND"
           ~doc:
-            "Backend to check: moss, commlock, undo, mvts, replication, \
-             no-control, unsafe-read, no-undo, or $(b,all) (the five \
-             verified backends).")
+            (Printf.sprintf
+               "Backend to check: %s, or $(b,all) (the five verified \
+                backends)."
+               (String.concat ", " Check.backend_names)))
   in
   let seed =
     Arg.(
@@ -247,7 +249,9 @@ let cmd =
       value
       & opt (some grammar_conv) None
       & info [ "grammar" ] ~docv:"G"
-          ~doc:"Pin the action grammar (default: drawn per run).")
+          ~doc:
+            "Pin the action grammar: rw, counters, mixed, weighted, \
+             smallbank (default: drawn per run).")
   in
   let shape =
     Arg.(

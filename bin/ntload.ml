@@ -1,9 +1,13 @@
-(* ntload: a closed-loop load generator for ntserved.
+(* ntload: a load generator for ntserved.
 
    Each simulated client connects, learns the servable objects from the
    Welcome response, and then loops: generate a random program over
    those objects, Submit it, poll Status until the transaction commits
-   or aborts, record the latency, repeat.  Fault injection:
+   or aborts, record the latency, repeat.  By default the loop is
+   closed (one outstanding transaction per client); --open-loop RATE
+   switches to Poisson arrivals decoupled from completions, and
+   --workload smallbank swaps the random programs for Zipf-contended
+   multi-account transactions.  Fault injection:
 
      --drop-rate P    disconnect (without waiting) right after a
                       Submit with probability P — the server must
@@ -27,6 +31,41 @@ open Core
 open Cmdliner
 
 (* ----- program generation from the advertised object table ----- *)
+
+type workload = W_random | W_smallbank
+
+(* SmallBank-style contended transactions over the advertised register
+   accounts: the same five kind shapes as Gen.smallbank, Zipf-skewed
+   account popularity, so a live server sees the contention profile the
+   offline checker fuzzes with. *)
+let gen_smallbank rng accounts =
+  let n = Array.length accounts in
+  let acct () = Rng.zipf rng ~n ~theta:Gen.smallbank_profile.Gen.theta in
+  let pair () =
+    let a = acct () in
+    let b0 = acct () in
+    (a, if b0 = a then (a + 1) mod n else b0)
+  in
+  let read i = Program.access accounts.(i) Datatype.Read in
+  let write i =
+    Program.access accounts.(i) (Datatype.Write (Value.Int (Rng.int rng 16)))
+  in
+  match Gen.sample_kind rng Gen.smallbank_default with
+  | Gen.Balance ->
+      let a, b = pair () in
+      Program.par [ read a; read b ]
+  | Gen.Deposit ->
+      let a = acct () in
+      Program.seq [ read a; write a ]
+  | Gen.Write_check ->
+      let a, b = pair () in
+      Program.seq [ Program.par [ read a; read b ]; write a ]
+  | Gen.Amalgamate ->
+      let a, b = pair () in
+      Program.seq [ Program.par [ read a; read b ]; write a; write b ]
+  | Gen.Payment ->
+      let a, b = pair () in
+      Program.seq [ read a; write a; read b; write b ]
 
 let gen_program rng objects ~depth ~fanout =
   let leaf () =
@@ -66,6 +105,10 @@ type client = {
   mutable phase : phase;
   mutable remaining : int;
   mutable reqno : int;  (* request-id sequence: "c<id>-<reqno>" *)
+  (* open-loop mode: in-flight submissions (rid, submit time, txn once
+     Accepted), and the next scheduled Poisson arrival *)
+  mutable outstanding : (string * float * Txn_id.t option) list;
+  mutable next_arrival : float;
 }
 
 type stats = {
@@ -268,7 +311,8 @@ let close_client c =
   c.fd <- None
 
 let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
-    ~slow_clients ~shutdown ~subscribe ~json ~kill_after ~kill_pid =
+    ~slow_clients ~shutdown ~subscribe ~json ~kill_after ~kill_pid ~workload
+    ~open_rate =
   let master = Rng.create seed in
   let stats =
     {
@@ -298,6 +342,8 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
           phase = Done;
           remaining = requests;
           reqno = 0;
+          outstanding = [];
+          next_arrival = 0.0;
         })
   in
   let (_ : float * int * int) = ping_server addr in
@@ -325,13 +371,35 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
     end
   in
   let t_start = Unix.gettimeofday () in
+  (* --workload smallbank runs over the advertised registers only; the
+     table is fixed after the first Welcome, so force lazily. *)
+  let sb_accounts =
+    lazy
+      (let accts =
+         List.filter
+           (fun (_, dt) -> dt.Datatype.dt_name = "register")
+           !objects
+       in
+       if List.length accts < 2 then begin
+         Format.eprintf
+           "ntload: --workload smallbank needs at least 2 register objects \
+            (try ntserved --table rw)@.";
+         exit 2
+       end;
+       Array.of_list (List.map fst accts))
+  in
+  let gen_txn c =
+    match workload with
+    | W_random -> gen_program c.rng !objects ~depth ~fanout
+    | W_smallbank -> gen_smallbank c.rng (Lazy.force sb_accounts)
+  in
   let submit c =
     if c.remaining <= 0 then begin
       c.phase <- Done;
       close_client c
     end
     else begin
-      let prog = gen_program c.rng !objects ~depth ~fanout in
+      let prog = gen_txn c in
       let now = Unix.gettimeofday () in
       let rid = Printf.sprintf "c%d-%d" c.id c.reqno in
       c.reqno <- c.reqno + 1;
@@ -362,7 +430,100 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
         Format.printf "ntload: sent SIGKILL to %d after %d acks@." pid !acks
     | _ -> ()
   in
-  let handle c (resp : Wire.response) =
+  (* ----- open-loop mode (--open-loop RATE) -----
+     Submissions arrive as a Poisson process — exponential inter-arrival
+     gaps at RATE/clients per client — decoupled from completions, so a
+     client keeps multiple transactions outstanding when the server lags
+     the offered load. *)
+  let per_client_rate =
+    match open_rate with
+    | Some r -> r /. float_of_int (Stdlib.max 1 clients)
+    | None -> 0.0
+  in
+  let exp_gap rng = -.log (1.0 -. Rng.float rng 1.0) /. per_client_rate in
+  let submit_open c now =
+    let prog = gen_txn c in
+    let rid = Printf.sprintf "c%d-%d" c.id c.reqno in
+    c.reqno <- c.reqno + 1;
+    send c
+      (Wire.Submit
+         { program = Program_io.program_to_string prog; req = Some rid });
+    stats.submitted <- stats.submitted + 1;
+    c.remaining <- c.remaining - 1;
+    c.outstanding <- (rid, now, None) :: c.outstanding
+  in
+  let settle_open c rid t0 =
+    Metrics.observe latency
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+    c.outstanding <- List.filter (fun (r, _, _) -> r <> rid) c.outstanding
+  in
+  let handle_open c (resp : Wire.response) =
+    match (c.phase, resp) with
+    | Greeting, Wire.Welcome w ->
+        if !objects = [] then
+          objects :=
+            List.map
+              (fun (name, decl) ->
+                match Program_io.parse_dtype_decl decl with
+                | Ok dt -> (Obj_id.make name, dt)
+                | Error e ->
+                    Format.eprintf "ntload: bad decl for %s: %s@." name e;
+                    exit 2)
+              w.objects;
+        c.phase <- Idle;
+        c.next_arrival <- Unix.gettimeofday () +. exp_gap c.rng
+    | _, Wire.Accepted { txn; req } -> (
+        incr acks;
+        maybe_kill ();
+        match req with
+        | Some rid when List.exists (fun (r, _, _) -> r = rid) c.outstanding
+          ->
+            c.outstanding <-
+              List.map
+                (fun (r, t0, tx) ->
+                  if r = rid then (r, t0, Some txn) else (r, t0, tx))
+                c.outstanding;
+            send c (Wire.Status txn)
+        | _ -> stats.req_mismatches <- stats.req_mismatches + 1)
+    | _, Wire.Rejected { why; req } ->
+        stats.rejected <- stats.rejected + 1;
+        Format.eprintf "ntload: submission rejected: %s@." why;
+        (match req with
+        | Some rid ->
+            c.outstanding <-
+              List.filter (fun (r, _, _) -> r <> rid) c.outstanding
+        | None -> ())
+    | _, Wire.State { txn; state = st; req = _ } -> (
+        let hit =
+          List.find_opt
+            (fun (_, _, tx) ->
+              match tx with Some t -> Txn_id.equal t txn | None -> false)
+            c.outstanding
+        in
+        match hit with
+        | None -> ()
+        | Some (rid, t0, _) -> (
+            match st with
+            | Wire.Committed _ ->
+                stats.committed <- stats.committed + 1;
+                settle_open c rid t0
+            | Wire.Aborted veto ->
+                stats.aborted <- stats.aborted + 1;
+                if veto <> None then
+                  stats.vetoed_seen <- stats.vetoed_seen + 1;
+                settle_open c rid t0
+            | Wire.Pending | Wire.Running -> send c (Wire.Status txn)))
+    | _, Wire.Error_msg why ->
+        stats.proto_errors <- stats.proto_errors + 1;
+        Format.eprintf "ntload: protocol error: %s@." why;
+        c.phase <- Done;
+        close_client c
+    | _, _ ->
+        stats.proto_errors <- stats.proto_errors + 1;
+        c.phase <- Done;
+        close_client c
+  in
+  let handle_closed c (resp : Wire.response) =
     match (c.phase, resp) with
     | Greeting, Wire.Welcome w ->
         if !objects = [] then
@@ -414,6 +575,11 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
         c.phase <- Done;
         close_client c
   in
+  let handle c resp =
+    match open_rate with
+    | Some _ -> handle_open c resp
+    | None -> handle_closed c resp
+  in
   let buf = Bytes.create 8192 in
   let all_done () = List.for_all (fun c -> c.phase = Done) cs in
   let done_seq = ref None and t_done = ref 0.0 in
@@ -438,6 +604,27 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
            done_seq := Some (sub_last_seq s);
            t_done := Unix.gettimeofday ()
        | None -> ());
+    (* open-loop arrival pump: fire every Poisson arrival that is due,
+       independent of completions; a client is done only once its last
+       submission has settled *)
+    (match open_rate with
+    | Some _ ->
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun c ->
+            match c.phase with
+            | Idle ->
+                while c.remaining > 0 && now >= c.next_arrival do
+                  submit_open c now;
+                  c.next_arrival <- c.next_arrival +. exp_gap c.rng
+                done;
+                if c.remaining <= 0 && c.outstanding = [] then begin
+                  c.phase <- Done;
+                  close_client c
+                end
+            | _ -> ())
+          cs
+    | None -> ());
     let fds c = match c.fd with Some fd -> [ fd ] | None -> [] in
     let sub_fds alive writing =
       match sub with
@@ -669,7 +856,8 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
       0 stage_stats
   in
   let stage_check_active =
-    drop_rate = 0.0 && slow_clients = 0 && srv_p99 > 0 && stage_sum_p99 > 0
+    drop_rate = 0.0 && slow_clients = 0 && open_rate = None && srv_p99 > 0
+    && stage_sum_p99 > 0
     && List.exists (fun (name, _, _) -> name = "execute") stage_stats
   in
   let stage_check_failed =
@@ -791,7 +979,8 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
   if alarms < 0 then exit 1
 
 let load_cmd socket port clients requests seed depth fanout drop_rate
-    slow_clients shutdown subscribe json kill_after kill_pid =
+    slow_clients shutdown subscribe json kill_after kill_pid workload
+    open_rate =
   let addr =
     match (socket, port) with
     | Some path, None -> Unix.ADDR_UNIX path
@@ -804,9 +993,20 @@ let load_cmd socket port clients requests seed depth fanout drop_rate
     Format.eprintf "ntload: --kill-after needs --kill-pid@.";
     exit 2
   end;
+  (match open_rate with
+  | Some r when r <= 0.0 ->
+      Format.eprintf "ntload: --open-loop rate must be positive@.";
+      exit 2
+  | Some _ when drop_rate > 0.0 ->
+      (* a dropped connection severs every outstanding submission on it,
+         so the open-loop accounting could never settle *)
+      Format.eprintf "ntload: --open-loop is incompatible with --drop-rate@.";
+      exit 2
+  | _ -> ());
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
-    ~slow_clients ~shutdown ~subscribe ~json ~kill_after ~kill_pid
+    ~slow_clients ~shutdown ~subscribe ~json ~kill_after ~kill_pid ~workload
+    ~open_rate
 
 let cmd =
   let socket =
@@ -870,11 +1070,35 @@ let cmd =
       & info [ "kill-pid" ] ~docv:"PID"
           ~doc:"The server pid --kill-after signals.")
   in
+  let workload =
+    Arg.(
+      value
+      & opt (enum [ ("random", W_random); ("smallbank", W_smallbank) ]) W_random
+      & info [ "workload" ] ~docv:"W"
+          ~doc:
+            "Program family: $(b,random) (nested programs over every \
+             advertised object) or $(b,smallbank) (Zipf-contended \
+             multi-account read-modify-write transactions over the \
+             advertised registers).")
+  in
+  let open_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "open-loop" ] ~docv:"RATE"
+          ~doc:
+            "Open-loop mode: submissions arrive as a Poisson process at \
+             RATE transactions per second (split across clients) with \
+             exponential inter-arrival gaps, decoupled from completions — \
+             clients keep multiple transactions outstanding when the \
+             server lags the offered load.  Incompatible with \
+             $(b,--drop-rate).")
+  in
   let term =
     Term.(
       const load_cmd $ socket $ port $ clients $ requests $ seed $ depth
       $ fanout $ drop_rate $ slow_clients $ shutdown $ subscribe $ json
-      $ kill_after $ kill_pid)
+      $ kill_after $ kill_pid $ workload $ open_rate)
   in
   Cmd.v
     (Cmd.info "ntload" ~version:Version.string

@@ -33,6 +33,9 @@ let to_string ?failure ?crash_seed backend (sc : Check.scenario) =
   header "policy" (policy_name sc.Check.policy);
   header "inform" (inform_name sc.Check.inform_policy);
   header "abort-prob" (Printf.sprintf "%.17g" sc.Check.abort_prob);
+  (match sc.Check.family with
+  | Some fam -> header "family" fam
+  | None -> ());
   (match crash_seed with
   | Some s -> header "crash-seed" (string_of_int s)
   | None -> ());
@@ -134,6 +137,7 @@ let of_string s =
           policy;
           inform_policy;
           abort_prob;
+          family = find "family";
         };
       failure_tag = find "failure";
       crash_seed;

@@ -17,6 +17,9 @@ type backend =
   | No_control
   | Unsafe_read
   | No_undo
+  | Causal_only
+  | Prefix_consistent
+  | Snapshot_read
 
 let backend_name = function
   | Moss -> "moss"
@@ -27,26 +30,34 @@ let backend_name = function
   | No_control -> "no-control"
   | Unsafe_read -> "unsafe-read"
   | No_undo -> "no-undo"
-
-let backend_of_name = function
-  | "moss" -> Some Moss
-  | "commlock" -> Some Commlock
-  | "undo" -> Some Undo
-  | "mvts" -> Some Mvts
-  | "replication" -> Some Replication
-  | "no-control" -> Some No_control
-  | "unsafe-read" -> Some Unsafe_read
-  | "no-undo" -> Some No_undo
-  | _ -> None
+  | Causal_only -> "causal-only"
+  | Prefix_consistent -> "prefix-consistent"
+  | Snapshot_read -> "snapshot-read"
 
 let correct_backends = [ Moss; Commlock; Undo; Mvts; Replication ]
-let broken_backends = [ No_control; Unsafe_read; No_undo ]
+
+let broken_backends =
+  [ No_control; Unsafe_read; No_undo; Causal_only; Prefix_consistent;
+    Snapshot_read ]
+
+let all_backends = correct_backends @ broken_backends
+let backend_names = List.map backend_name all_backends
+
+let backend_of_name s =
+  List.find_opt (fun b -> backend_name b = s) all_backends
+
+let unknown_backend_message s =
+  Printf.sprintf "unknown backend %S (expected %s, or all)" s
+    (String.concat ", " backend_names)
 
 (* Moss' locking and the timestamp protocol are stated for read/write
-   objects, replication transforms a logical register forest, and the
-   unsafe-read fault model is Moss' lock stack minus read locks. *)
+   objects, replication transforms a logical register forest, the
+   unsafe-read fault model is Moss' lock stack minus read locks, and
+   the weak-isolation session stores only define register staleness. *)
 let rw_only = function
-  | Moss | Mvts | Replication | Unsafe_read -> true
+  | Moss | Mvts | Replication | Unsafe_read | Causal_only
+  | Prefix_consistent | Snapshot_read ->
+      true
   | _ -> false
 
 (* The physical protocol running each backend.  Replication has no
@@ -60,6 +71,9 @@ let factory_of = function
   | No_control -> Nt_gobj.Broken.no_control
   | Unsafe_read -> Nt_gobj.Broken.unsafe_read
   | No_undo -> Nt_gobj.Broken.no_undo
+  | Causal_only -> Nt_gobj.Broken.causal_only
+  | Prefix_consistent -> Nt_gobj.Broken.prefix_consistent
+  | Snapshot_read -> Nt_gobj.Broken.snapshot_read
 
 (* ----- scenarios ----- *)
 
@@ -70,11 +84,27 @@ type scenario = {
   policy : Runtime.policy;
   inform_policy : Runtime.inform_policy;
   abort_prob : float;
+  family : string option;
 }
 
 let schema_of_scenario sc = Program.schema_of ~objects:sc.objects sc.forest
 
-type grammar = Rw | Counters | Mixed | Weighted
+type grammar = Rw | Counters | Mixed | Weighted | Smallbank
+
+let grammar_name = function
+  | Rw -> "rw"
+  | Counters -> "counters"
+  | Mixed -> "mixed"
+  | Weighted -> "weighted"
+  | Smallbank -> "smallbank"
+
+let grammar_of_name = function
+  | "rw" -> Some Rw
+  | "counters" -> Some Counters
+  | "mixed" -> Some Mixed
+  | "weighted" -> Some Weighted
+  | "smallbank" -> Some Smallbank
+  | _ -> None
 
 type shape = Default | Lock_heavy | Deep_nesting | Abort_storm
 
@@ -93,11 +123,18 @@ let gen_scenario ?grammar ?shape backend rng =
   in
   let grammar =
     match grammar with
+    (* SmallBank is register-only, so the rw-only backends admit it. *)
+    | Some Smallbank -> Smallbank
     | _ when rw_only backend -> Rw
     | Some g -> g
     | None -> [| Rw; Counters; Mixed; Weighted |].(Rng.int rng 4)
   in
   let profile = profile_of_shape shape in
+  let profile =
+    match grammar with
+    | Smallbank -> { profile with Gen.theta = Gen.smallbank_profile.Gen.theta }
+    | _ -> profile
+  in
   let weights = if Rng.bool rng then Gen.balanced else Gen.contended in
   (* Splitting isolates the program stream from the scheduling knobs:
      the same (seed, run index) regenerates the same scenario no
@@ -109,6 +146,7 @@ let gen_scenario ?grammar ?shape backend rng =
     | Counters -> Gen.counters prog_rng profile
     | Mixed -> Gen.mixed prog_rng profile
     | Weighted -> Gen.weighted ~weights prog_rng profile
+    | Smallbank -> Gen.smallbank prog_rng profile
   in
   let sched_seed =
     Int64.to_int (Int64.logand (Rng.bits64 rng) 0x3FFF_FFFF_FFFF_FFFFL)
@@ -124,7 +162,8 @@ let gen_scenario ?grammar ?shape backend rng =
     | Abort_storm -> 0.12
     | _ -> if Rng.int rng 4 = 0 then 0.05 else 0.0
   in
-  { forest; objects; sched_seed; policy; inform_policy; abort_prob }
+  { forest; objects; sched_seed; policy; inform_policy; abort_prob;
+    family = Some (grammar_name grammar) }
 
 (* ----- oracles ----- *)
 
@@ -136,6 +175,7 @@ type failure =
   | Differential of string
   | One_copy of string
   | Durability of string
+  | Essn_rejected of string
 
 let failure_tag = function
   | Ill_formed _ -> "ill-formed"
@@ -145,6 +185,7 @@ let failure_tag = function
   | Differential _ -> "differential"
   | One_copy _ -> "one-copy"
   | Durability _ -> "durability"
+  | Essn_rejected _ -> "essn"
 
 let pp_failure f fl =
   match fl with
@@ -158,6 +199,7 @@ let pp_failure f fl =
   | Differential s -> Format.fprintf f "differential mismatch: %s" s
   | One_copy s -> Format.fprintf f "one-copy violation: %s" s
   | Durability s -> Format.fprintf f "durability violation: %s" s
+  | Essn_rejected s -> Format.fprintf f "essn criterion rejected: %s" s
 
 type outcome = {
   trace : Trace.t;
@@ -281,20 +323,23 @@ let judge backend (schema : Schema.t) (r : Runtime.result) forest =
       Some (Ill_formed (Format.asprintf "%a" Simple_db.pp_violation v))
   | Ok () -> (
       match backend with
-      | Mvts ->
+      | Mvts -> (
           (* Multiversion behaviors serialize by pseudotime; the
-             completion-order SG may legitimately be cyclic. *)
-          let order = Sibling_order.index_order (Trace.serial r.trace) in
-          (match Theorem2.check schema order r.trace with
-          | Error f ->
-              Some (Not_correct (Format.asprintf "%a" Theorem2.pp_failure f))
-          | Ok () ->
+             completion-order SG may legitimately be cyclic, so the
+             oracle is the ESSN-style refined criterion: certify by
+             the pseudotime order or the completion witness, reject
+             with a multiversion anomaly classification otherwise. *)
+          let v = Essn.check schema r.trace in
+          match (v.Essn.essn_ok, v.Essn.order) with
+          | true, Some order ->
               (* [Serial_exec.final_states] replays committed writes in
                  completion order, but a multiversion object's final
-                 state is the pseudotime-order replay; Theorem 2's view
-                 check already validates every read, so only compare
-                 the reported values here. *)
-              differential ~check_finals:false schema order r forest)
+                 state is the certifying-order replay; the view check
+                 already validated every read, so only compare the
+                 reported values here. *)
+              differential ~check_finals:false schema order r forest
+          | true, None -> Some (Not_correct "essn certified without an order")
+          | false, _ -> Some (Essn_rejected (Essn.describe v)))
       | _ -> (
           let v = Checker.check schema r.trace in
           if not v.Checker.appropriate then
@@ -865,13 +910,42 @@ let crash ?(max_steps = 200_000) ?(drop_prob = 0.15) ?snapshot_at ?seed
               match engines_agree eng_snap eng_full with
               | Error e -> faild "snapshot-vs-full-log" e
               | Ok () -> judge_recovered "snapshot + tail recovery" eng_snap)));
-      if !failure = None then
-        let corrupt = flip_bit simg (String.length simg / 2) in
-        match Nt_net.Wal.decode_snapshot corrupt with
-        | Error _ -> ()
-        | Ok _ ->
-            faild "corrupt snapshot"
-              "bit-flipped snapshot decoded successfully")
+      (* Torn-write injection on the rotation path: the snapshot is
+         written tmp + fsync + rename, so a crash mid-rotation leaves
+         either a truncated tmp image (the rename never happened) or a
+         corrupted sector.  Every damaged image must be rejected by
+         [decode_snapshot], after which recovery falls back to the
+         previous window — here, the full log, which must still
+         recover and pass the four oracles. *)
+      let slen = String.length simg in
+      let check_damaged where img =
+        if !failure = None then
+          match Nt_net.Wal.decode_snapshot img with
+          | Ok _ -> faild where "damaged snapshot decoded successfully"
+          | Error _ -> (
+              incr recoveries;
+              match
+                recover_image ~max_steps ~expect_meta ~counts:outcomes
+                  backend sc image
+              with
+              | Error e -> faild (where ^ ": full-log fallback") e
+              | Ok (eng, _) ->
+                  judge_recovered (where ^ ": full-log fallback") eng)
+      in
+      List.iter
+        (fun k ->
+          if k >= 0 && k < slen then
+            check_damaged
+              (Printf.sprintf "snapshot torn at byte %d" k)
+              (String.sub simg 0 k))
+        [ 0; 8; slen / 4; slen / 2; slen - 1 ];
+      List.iter
+        (fun pos ->
+          if pos >= 0 && pos < slen then
+            check_damaged
+              (Printf.sprintf "snapshot bit flip at byte %d" pos)
+              (flip_bit simg pos))
+        [ 0; slen / 2; slen - 1 ])
   | _ -> ());
   {
     c_boundaries = n;

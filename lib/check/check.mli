@@ -40,7 +40,8 @@ type backend =
   | Commlock  (** Commutativity-based locking. *)
   | Undo  (** Undo logging (Section 7). *)
   | Mvts  (** Multiversion timestamps; register workloads, judged by
-              Theorem 2 with the pseudotime order. *)
+              the {!Nt_sg.Essn} refined criterion (pseudotime or
+              completion-witness certification). *)
   | Replication
       (** Quorum replication (3 replicas, 2/2 quorums) of a logical
           register forest, physically run under undo logging; adds the
@@ -48,6 +49,17 @@ type backend =
   | No_control  (** {!Nt_gobj.Broken.no_control} — negative control. *)
   | Unsafe_read  (** {!Nt_gobj.Broken.unsafe_read} — negative control. *)
   | No_undo  (** {!Nt_gobj.Broken.no_undo} — negative control. *)
+  | Causal_only
+      (** {!Nt_gobj.Broken.causal_only} — weak-isolation adversary:
+          reads lag the committed-write log by one session access. *)
+  | Prefix_consistent
+      (** {!Nt_gobj.Broken.prefix_consistent} — weak-isolation
+          adversary: a session's read prefix advances only on its own
+          writes. *)
+  | Snapshot_read
+      (** {!Nt_gobj.Broken.snapshot_read} — weak-isolation adversary:
+          frozen per-session snapshots, unvalidated writes
+          (write-skew-capable). *)
 
 val backend_name : backend -> string
 val backend_of_name : string -> backend option
@@ -56,7 +68,20 @@ val correct_backends : backend list
 (** The five verified backends, expected to never fail an oracle. *)
 
 val broken_backends : backend list
-(** The fault-injection subjects the checker must catch. *)
+(** The fault-injection subjects the checker must catch: the three
+    crude negative controls plus the three weak-isolation session
+    stores. *)
+
+val all_backends : backend list
+(** [correct_backends @ broken_backends]. *)
+
+val backend_names : string list
+(** Every valid [--backend] name, in {!all_backends} order — the
+    single source CLI error messages must quote. *)
+
+val unknown_backend_message : string -> string
+(** The diagnostic for an unrecognized backend name, listing every
+    valid name (kept in sync with {!backend_names} by construction). *)
 
 val rw_only : backend -> bool
 (** Backends restricted to read/write (register) schemas. *)
@@ -74,13 +99,20 @@ type scenario = {
   policy : Runtime.policy;
   inform_policy : Runtime.inform_policy;
   abort_prob : float;
+  family : string option;
+      (** The workload family (grammar name) the forest was drawn
+          from, recorded in bundle headers; [None] for hand-built
+          scenarios. *)
 }
 (** Everything needed to reproduce one execution exactly (together
     with the backend). *)
 
 val schema_of_scenario : scenario -> Schema.t
 
-type grammar = Rw | Counters | Mixed | Weighted
+type grammar = Rw | Counters | Mixed | Weighted | Smallbank
+
+val grammar_name : grammar -> string
+val grammar_of_name : string -> grammar option
 
 type shape = Default | Lock_heavy | Deep_nesting | Abort_storm
 
@@ -89,7 +121,9 @@ val gen_scenario :
 (** Draw a scenario from the RNG.  When [grammar]/[shape] are omitted
     they are themselves drawn from the RNG (sweeping the adversarial
     presets).  Backends that only support read/write schemas ([Moss],
-    [Mvts], [Replication], [Unsafe_read]) force [Rw]. *)
+    [Mvts], [Replication], [Unsafe_read] and the weak-isolation
+    stores) force [Rw] — except [Smallbank], which is register-only
+    and so admitted everywhere when pinned explicitly. *)
 
 (** {1 Oracles} *)
 
@@ -111,6 +145,11 @@ type failure =
       (** Crash recovery failed: a damaged log was not diagnosed
           correctly, replay did not reproduce an audited outcome
           (prefix closure), or a snapshot disagreed with the log. *)
+  | Essn_rejected of string
+      (** The {!Nt_sg.Essn} refined criterion rejected a multiversion
+          behavior: neither the pseudotime order nor the completion
+          witness certifies it (message carries the per-candidate
+          failures and the anomaly classification). *)
 
 val failure_tag : failure -> string
 (** A short stable tag (["sg-cycle"], ["returns"], ["differential"],

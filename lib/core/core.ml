@@ -71,6 +71,7 @@ module Suitability = Nt_sg.Suitability
 module View = Nt_sg.View
 module Return_values = Nt_sg.Return_values
 module Theorem2 = Nt_sg.Theorem2
+module Essn = Nt_sg.Essn
 module Checker = Nt_sg.Checker
 module Dot = Nt_sg.Dot
 module Monitor = Nt_sg.Monitor

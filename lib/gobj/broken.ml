@@ -99,6 +99,181 @@ let unsafe_read : Gobj.factory =
           !write_locks []);
   }
 
+(* ----- weak-isolation session stores -----
+
+   The three factories below are *weak-consistency* adversaries rather
+   than crude protocol deletions: within one top-level transaction
+   family (a "session") they behave like Moss' write-lock stack —
+   pending writes are inherited on commit, discarded on abort, and
+   read-your-writes holds along the ancestor chain — but reads that
+   fall through to committed state see a backend-specific *stale*
+   view of the global committed-write log instead of its latest entry.
+   Writes never validate against concurrent sessions, so two sessions
+   can both read the same stale state and blind-write disjoint objects
+   (write skew) or the same object (lost update).
+
+   The disciplines differ only in when a session's view of an object
+   advances along the committed log:
+   - snapshot-read: never (frozen at the session's first access);
+   - causal-only:   after every access (reads lag by one access);
+   - prefix-consistent: only when the session writes the object. *)
+
+(* The child of T0 on the access's path — the session identity. *)
+let rec top_of t =
+  match Txn_id.parent t with
+  | None -> t
+  | Some p -> if Txn_id.is_root p then t else top_of p
+
+(* The run-global store, shared across every object of one run: a
+   version clock that bumps once per top-level committed write, the
+   per-object committed version lists (newest first), the per-object
+   Moss-style pending holder chains, and the per-session cursors —
+   cuts of the clock.  Sharing the clock across objects is what makes
+   the staleness cross-object: a frozen cursor misses commits to
+   {e every} object, not just re-reads of one. *)
+type shared_store = {
+  mutable clock : int;
+  versions : (int * Value.t) list Obj_id.Tbl.t;  (* newest first *)
+  pending : Value.t Txn_id.Map.t Obj_id.Tbl.t;
+  mutable sessions : int Txn_id.Map.t;  (* per top-level family *)
+}
+
+let fresh_shared () =
+  {
+    clock = 0;
+    versions = Obj_id.Tbl.create 8;
+    pending = Obj_id.Tbl.create 8;
+    sessions = Txn_id.Map.empty;
+  }
+
+let pending_of sh x =
+  Option.value ~default:Txn_id.Map.empty (Obj_id.Tbl.find_opt sh.pending x)
+
+(* The newest committed version of [x] at cut [c] of the clock. *)
+let value_at sh init x c =
+  let rec newest = function
+    | [] -> init
+    | (seq, v) :: older -> if seq <= c then v else newest older
+  in
+  newest (Option.value ~default:[] (Obj_id.Tbl.find_opt sh.versions x))
+
+(* The deepest pending writer of [x] on [t]'s ancestor chain: the
+   value the session has already written and must see again
+   (read-your-writes, with correct nested undo). *)
+let own_write sh x t =
+  Txn_id.Map.fold
+    (fun u v acc ->
+      if not (Txn_id.is_ancestor u t) then acc
+      else
+        match acc with
+        | Some (u', _) when Txn_id.depth u' >= Txn_id.depth u -> acc
+        | _ -> Some (u, v))
+    (pending_of sh x) None
+
+(* Commit/abort plumbing shared by the weak stores: a committed
+   holder's value moves to its parent; a write reaching T0 bumps the
+   clock and installs a new version; an abort discards every
+   descendant holder. *)
+let store_inform_commit sh x t =
+  let p = pending_of sh x in
+  match Txn_id.Map.find_opt t p with
+  | None -> ()
+  | Some v ->
+      let p = Txn_id.Map.remove t p in
+      let parent = Txn_id.parent_exn t in
+      if Txn_id.is_root parent then begin
+        sh.clock <- sh.clock + 1;
+        Obj_id.Tbl.replace sh.versions x
+          ((sh.clock, v)
+          :: Option.value ~default:[] (Obj_id.Tbl.find_opt sh.versions x));
+        Obj_id.Tbl.replace sh.pending x p
+      end
+      else Obj_id.Tbl.replace sh.pending x (Txn_id.Map.add parent v p)
+
+let store_inform_abort sh x t =
+  Obj_id.Tbl.replace sh.pending x
+    (Txn_id.Map.filter
+       (fun u _ -> not (Txn_id.is_descendant u t))
+       (pending_of sh x))
+
+(* One weak factory, parameterized by the staleness discipline: a
+   session's cursor starts at the clock of its first access, and
+   [after_access]/[after_write] say how it advances.  The shared store
+   is one allocation per run: [Runtime.make] applies the factory to
+   all of a run's objects in one burst with a single fresh schema
+   record, so the store is keyed on the schema's physical identity. *)
+let weak_session ~after_access ~after_write : Gobj.factory =
+  let memo = ref None in
+  fun schema x ->
+    let sh =
+      match !memo with
+      | Some (sch, sh) when sch == schema -> sh
+      | _ ->
+          let sh = fresh_shared () in
+          memo := Some (schema, sh);
+          sh
+    in
+    let dt = schema.Schema.dtype_of x in
+    let book = fresh_book () in
+    let session_of t =
+      let s = top_of t in
+      match Txn_id.Map.find_opt s sh.sessions with
+      | Some c -> (s, c)
+      | None ->
+          let c = sh.clock in
+          sh.sessions <- Txn_id.Map.add s c sh.sessions;
+          (s, c)
+    in
+    {
+      Gobj.obj = x;
+      create = (fun t -> book.created <- Txn_id.Set.add t book.created);
+      inform_commit = (fun t -> store_inform_commit sh x t);
+      inform_abort = (fun t -> store_inform_abort sh x t);
+      try_respond =
+        (fun t ->
+          if not (can_respond book t) then None
+          else begin
+            book.responded <- Txn_id.Set.add t book.responded;
+            let s, cursor = session_of t in
+            let visible =
+              match own_write sh x t with
+              | Some (_, v) -> v
+              | None -> value_at sh dt.Datatype.init x cursor
+            in
+            match schema.Schema.op_of t with
+            | Datatype.Read ->
+                sh.sessions <-
+                  Txn_id.Map.add s (after_access sh cursor) sh.sessions;
+                Some visible
+            | Datatype.Write w as op ->
+                let _, v = dt.Datatype.apply visible op in
+                Obj_id.Tbl.replace sh.pending x
+                  (Txn_id.Map.add t w (pending_of sh x));
+                sh.sessions <-
+                  Txn_id.Map.add s
+                    (after_write sh (after_access sh cursor))
+                    sh.sessions;
+                Some v
+            | op -> raise (Datatype.Unsupported op)
+          end);
+      waiting_on = (fun _ -> []);
+    }
+
+let snapshot_read : Gobj.factory =
+  weak_session
+    ~after_access:(fun _ cursor -> cursor)
+    ~after_write:(fun _ cursor -> cursor)
+
+let causal_only : Gobj.factory =
+  weak_session
+    ~after_access:(fun sh _ -> sh.clock)
+    ~after_write:(fun _ cursor -> cursor)
+
+let prefix_consistent : Gobj.factory =
+  weak_session
+    ~after_access:(fun _ cursor -> cursor)
+    ~after_write:(fun sh _ -> sh.clock)
+
 (* An operation log that is never purged of aborted descendants and
    never consults commutativity. *)
 let no_undo : Gobj.factory =

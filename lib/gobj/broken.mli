@@ -16,8 +16,41 @@
        (violates the [safe] condition of Lemma 6);}
     {- {!no_undo}: keeps an operation log but never undoes aborted
        descendants and never checks commutativity — the undo-logging
-       algorithm with both preconditions stripped.}} *)
+       algorithm with both preconditions stripped.}}
+
+    {2 Weak-isolation session stores}
+
+    Three further adversaries that emit {e weak-consistency} anomalies
+    rather than crude protocol violations.  Each treats a top-level
+    transaction family as a {e session}: pending writes move up the
+    ancestor chain exactly like Moss' write-lock stack (inherit on
+    commit, discard on abort, read-your-writes along the chain), so
+    nested recovery is correct — but reads that fall through to
+    committed state observe a {e stale cut} of the run-global
+    committed-write order (one shared version clock across all of the
+    run's objects; each session holds a cursor into it), and writes
+    never validate against concurrent sessions.  All three produce
+    stale-but-consistent reads (a session's cut only ever advances, so
+    its view is a genuine prefix of the commit order across every
+    object) and are write-skew-capable: two sessions can read the same
+    stale cut and blind-write past each other.  Register (read/write)
+    schemas only.
+
+    {ul
+    {- {!snapshot_read}: the cut freezes at the session's first access
+       to {e any} object — snapshot isolation with first-committer
+       validation deleted (write skew, lost update);}
+    {- {!causal_only}: the cut advances to the current clock {e after}
+       every access, so each read sees the committed state as of the
+       session's {e previous} access — causally plausible but missing
+       concurrent commits (fractured reads across objects);}
+    {- {!prefix_consistent}: the cut advances only when the session
+       writes — read-only sessions observe an ever-staler prefix of
+       the commit order.}} *)
 
 val no_control : Gobj.factory
 val unsafe_read : Gobj.factory
 val no_undo : Gobj.factory
+val causal_only : Gobj.factory
+val prefix_consistent : Gobj.factory
+val snapshot_read : Gobj.factory

@@ -1,0 +1,220 @@
+open Nt_base
+open Nt_spec
+
+type candidate = Pseudotime | Completion
+
+let candidate_name = function
+  | Pseudotime -> "pseudotime"
+  | Completion -> "completion"
+
+type anomaly =
+  | Stale_read of {
+      obj : Obj_id.t;
+      reader : Txn_id.t;
+      got : Value.t;
+      expected : Value.t;
+    }
+  | Mv_cycle of Txn_id.t list
+  | Unordered of Obj_id.t
+
+let pp_anomaly fmt = function
+  | Stale_read { obj; reader; got; expected } ->
+      Format.fprintf fmt "stale read: %a at %a returned %s, latest version %s"
+        Txn_id.pp reader Obj_id.pp obj (Value.to_string got)
+        (Value.to_string expected)
+  | Mv_cycle c ->
+      Format.fprintf fmt "multiversion dependency cycle: %s"
+        (String.concat " -> " (List.map Txn_id.to_string c))
+  | Unordered x ->
+      Format.fprintf fmt "accesses of %a not totally ordered" Obj_id.pp x
+
+let anomaly_tag = function
+  | Stale_read _ -> "stale-read"
+  | Mv_cycle _ -> "mv-cycle"
+  | Unordered _ -> "unordered"
+
+type verdict = {
+  essn_ok : bool;
+  certified_by : candidate option;
+  order : Sibling_order.t option;
+  failures : (candidate * string) list;
+  anomaly : anomaly option;
+}
+
+(* ----- anomaly classification -----
+
+   When no candidate order certifies, say *why* in multiversion
+   vocabulary: build the dependency graph induced by the pseudotime
+   version order and the value-inferred reads-from relation (Vbox-style
+   black-box inference: a read's source is the unique writer of the
+   value it returned), project the edges to top-level transactions and
+   look for a cycle; otherwise report the first read that missed the
+   latest version it should have seen. *)
+
+let top_of u = Txn_id.child_of_on_path ~ancestor:Txn_id.root u
+
+(* Find a cycle among top-level nodes of an adjacency list. *)
+let find_cycle adj =
+  let color = Hashtbl.create 16 in
+  let result = ref None in
+  let rec dfs path u =
+    match Hashtbl.find_opt color u with
+    | Some `Black -> ()
+    | Some `Gray ->
+        if !result = None then begin
+          let rec cut = function
+            | [] -> []
+            | v :: rest ->
+                if Txn_id.equal v u then [ v ] else v :: cut rest
+          in
+          result := Some (List.rev (u :: cut path))
+        end
+    | None ->
+        Hashtbl.replace color u `Gray;
+        List.iter
+          (fun (a, b) -> if Txn_id.equal a u then dfs (u :: path) b)
+          adj;
+        Hashtbl.replace color u `Black
+  in
+  List.iter (fun (a, _) -> if !result = None then dfs [] a) adj;
+  !result
+
+(* A read's source version, inferred from its return value: [None]
+   when ambiguous (several writers wrote that value), [Some (-1)] for
+   the initial version, [Some i] for writer [i]. *)
+let infer_source init writers v =
+  let matching =
+    List.mapi (fun i (_, w) -> (i, w)) writers
+    |> List.filter (fun (_, w) -> Value.equal w v)
+  in
+  match matching with
+  | [ (i, _) ] -> Some i
+  | [] -> if Value.equal v init then Some (-1) else None
+  | _ -> None
+
+let classify (schema : Schema.t) beta =
+  let order = Sibling_order.index_order beta in
+  let edges = ref [] in
+  let stale = ref None in
+  let unordered = ref None in
+  let add_edge a b =
+    let a = top_of a and b = top_of b in
+    if not (Txn_id.equal a b) then edges := (a, b) :: !edges
+  in
+  List.iter
+    (fun x ->
+      let dt = schema.Schema.dtype_of x in
+      match View.view schema beta ~to_:Txn_id.root order x with
+      | exception View.Not_totally_ordered _ ->
+          if !unordered = None then unordered := Some (Unordered x)
+      | view ->
+          (* Replay in pseudotime order to spot the first read that
+             returned something other than the latest version. *)
+          let state = ref dt.Datatype.init in
+          List.iter
+            (fun (t, v) ->
+              let op = schema.Schema.op_of t in
+              let s', expected = dt.Datatype.apply !state op in
+              (match op with
+              | Datatype.Read
+                when (not (Value.equal v expected)) && !stale = None ->
+                  stale :=
+                    Some (Stale_read { obj = x; reader = t; got = v; expected })
+              | _ -> ());
+              state := s')
+            view;
+          (* Multiversion dependency edges under the pseudotime
+             version order: ww between consecutive writers, wr from a
+             read's inferred source, rw to the version that follows
+             the source. *)
+          let writers =
+            List.filter_map
+              (fun (t, _) ->
+                match schema.Schema.op_of t with
+                | Datatype.Write w -> Some (t, w)
+                | _ -> None)
+              view
+          in
+          let warr = Array.of_list writers in
+          Array.iteri
+            (fun i (w, _) ->
+              if i + 1 < Array.length warr then add_edge w (fst warr.(i + 1)))
+            warr;
+          List.iter
+            (fun (t, v) ->
+              match schema.Schema.op_of t with
+              | Datatype.Read -> (
+                  match infer_source dt.Datatype.init writers v with
+                  | None -> ()
+                  | Some i ->
+                      if i >= 0 then add_edge (fst warr.(i)) t;
+                      if i + 1 < Array.length warr then
+                        add_edge t (fst warr.(i + 1)))
+              | _ -> ())
+            view)
+    schema.Schema.objects;
+  match find_cycle !edges with
+  | Some c -> Some (Mv_cycle c)
+  | None -> (
+      match !stale with Some _ as s -> s | None -> !unordered)
+
+(* ----- the criterion ----- *)
+
+let check ?(mode = Sg.Operation_level) (schema : Schema.t) trace =
+  let beta = Trace.serial trace in
+  let completion =
+    match Sg.witness_order (Sg.build mode schema beta) with
+    | Some o -> [ (Completion, Some o) ]
+    | None -> [ (Completion, None) ]
+  in
+  let candidates =
+    (Pseudotime, Some (Sibling_order.index_order beta)) :: completion
+  in
+  let rec go failures = function
+    | [] ->
+        let anomaly = classify schema beta in
+        {
+          essn_ok = false;
+          certified_by = None;
+          order = None;
+          failures = List.rev failures;
+          anomaly;
+        }
+    | (c, None) :: rest ->
+        go ((c, "serialization graph cyclic: no witness order") :: failures)
+          rest
+    | (c, Some order) :: rest -> (
+        match Theorem2.check schema order trace with
+        | Ok () ->
+            {
+              essn_ok = true;
+              certified_by = Some c;
+              order = Some order;
+              failures = List.rev failures;
+              anomaly = None;
+            }
+        | Error f ->
+            go ((c, Format.asprintf "%a" Theorem2.pp_failure f) :: failures)
+              rest)
+  in
+  go [] candidates
+
+let holds ?mode schema trace = (check ?mode schema trace).essn_ok
+
+let describe v =
+  if v.essn_ok then
+    Format.asprintf "certified by the %s order"
+      (candidate_name
+         (match v.certified_by with Some c -> c | None -> Pseudotime))
+  else
+    let reasons =
+      List.map
+        (fun (c, msg) -> Printf.sprintf "%s: %s" (candidate_name c) msg)
+        v.failures
+    in
+    let anomaly =
+      match v.anomaly with
+      | None -> ""
+      | Some a -> Format.asprintf " [%s: %a]" (anomaly_tag a) pp_anomaly a
+    in
+    String.concat "; " reasons ^ anomaly

@@ -1,0 +1,77 @@
+(** An ESSN-style refined serializability criterion for multiversion
+    behaviors (after the Extended Serial Safety Net, arXiv 2511.22956).
+
+    Theorem 2 certifies a behavior serially correct for [T0] given one
+    {e particular} suitable sibling order whose views replay.  The
+    completion-order witness extracted from [SG(beta)] is the right
+    order for single-version protocols, but a multiversion protocol
+    serializes by {e pseudotime}: its completion-order SG may be
+    legitimately cyclic, which is why the mvts backend could previously
+    only be judged on cycle alarms.  This module is the safety net over
+    both: a behavior is accepted iff {e some} candidate order —
+    pseudotime (the depth-first sibling-index order used by timestamp
+    protocols) or the completion-order SG witness — is suitable and
+    replays every view.  Certification by either candidate is a full
+    Theorem 2 witness, so acceptance is sound; trying both makes the
+    criterion strictly more complete than the single-order check and
+    gives pseudotime serialization a real oracle.
+
+    Rejected behaviors are classified in multiversion vocabulary: the
+    dependency graph induced by the pseudotime version order and the
+    value-inferred reads-from relation (black-box inference in the
+    style of Vbox, arXiv 2503.05163) is searched for a cycle — the
+    write-skew shape — and otherwise the first read that missed the
+    latest version it should have observed is reported. *)
+
+open Nt_base
+open Nt_spec
+
+type candidate = Pseudotime | Completion
+
+val candidate_name : candidate -> string
+
+type anomaly =
+  | Stale_read of {
+      obj : Obj_id.t;
+      reader : Txn_id.t;
+      got : Value.t;
+      expected : Value.t;
+    }
+      (** A read returned an older version than the pseudotime replay
+          produces — the stale-read / lost-update family. *)
+  | Mv_cycle of Txn_id.t list
+      (** The inferred multiversion dependency graph (ww edges in
+          version order, wr from inferred sources, rw
+          anti-dependencies), projected to top-level transactions, is
+          cyclic — the write-skew family. *)
+  | Unordered of Obj_id.t
+      (** The pseudotime order fails to totally order the visible
+          accesses of an object. *)
+
+val pp_anomaly : Format.formatter -> anomaly -> unit
+
+val anomaly_tag : anomaly -> string
+(** Stable short tag: ["stale-read"], ["mv-cycle"], ["unordered"]. *)
+
+type verdict = {
+  essn_ok : bool;
+  certified_by : candidate option;  (** Which candidate certified. *)
+  order : Sibling_order.t option;
+      (** The certifying order — the witness for differential replay. *)
+  failures : (candidate * string) list;
+      (** Why each tried candidate failed, in trial order. *)
+  anomaly : anomaly option;  (** Classification of a rejection. *)
+}
+
+val check : ?mode:Sg.conflict_mode -> Schema.t -> Trace.t -> verdict
+(** Decide the criterion for one behavior (inform actions are stripped
+    via [Trace.serial]).  The pseudotime candidate is tried first so a
+    multiversion behavior's witness is the timestamp order whenever it
+    certifies; [mode] (default [Operation_level]) selects the SG
+    construction behind the completion candidate. *)
+
+val holds : ?mode:Sg.conflict_mode -> Schema.t -> Trace.t -> bool
+
+val describe : verdict -> string
+(** One-line rendering: the certifying candidate, or each candidate's
+    failure plus the anomaly classification. *)

@@ -212,6 +212,88 @@ let weighted ?(weights = balanced) rng p =
   let sample_op rng x = sample_weighted rng weights (dtype_of x) in
   (gen_forest rng p objs sample_op, decls)
 
+(* ----- SmallBank-style contended transactions -----
+
+   Multi-object read-modify-write programs over register "accounts"
+   with Zipf-skewed account popularity — the contention shape that
+   makes weak-isolation anomalies (write skew, lost update) likely.
+   Five transaction kinds after the SmallBank benchmark, drawn from an
+   integer-weighted mix. *)
+
+type smallbank_kind = Balance | Deposit | Write_check | Amalgamate | Payment
+
+type smallbank_mix = {
+  m_balance : int;
+  m_deposit : int;
+  m_write_check : int;
+  m_amalgamate : int;
+  m_payment : int;
+}
+
+let smallbank_default =
+  { m_balance = 2; m_deposit = 4; m_write_check = 3; m_amalgamate = 1;
+    m_payment = 2 }
+
+let smallbank_profile =
+  {
+    n_top = 8;
+    depth = 2;
+    fanout = 3;
+    n_objects = 4;
+    theta = 0.9;
+    par_ratio = 0.5;
+    read_ratio = 0.5;
+  }
+
+let sample_kind rng m =
+  let total =
+    m.m_balance + m.m_deposit + m.m_write_check + m.m_amalgamate + m.m_payment
+  in
+  if total <= 0 then invalid_arg "Gen.smallbank: mix weights sum to zero";
+  let r = Rng.int rng total in
+  if r < m.m_balance then Balance
+  else if r < m.m_balance + m.m_deposit then Deposit
+  else if r < m.m_balance + m.m_deposit + m.m_write_check then Write_check
+  else if r < m.m_balance + m.m_deposit + m.m_write_check + m.m_amalgamate
+  then Amalgamate
+  else Payment
+
+let smallbank ?(mix = smallbank_default) rng p =
+  let n = max 2 p.n_objects in
+  let objs = object_names "acct" n in
+  let dt = Register.make () in
+  let acct () = Rng.zipf rng ~n ~theta:p.theta in
+  (* Two distinct Zipf-popular accounts — a "customer"'s checking and
+     savings, or the two parties of a payment. *)
+  let pair () =
+    let a = acct () in
+    let b0 = acct () in
+    let b = if b0 = a then (a + 1) mod n else b0 in
+    (List.nth objs a, List.nth objs b)
+  in
+  let read x = Program.access x Datatype.Read in
+  let write x = Program.access x (Datatype.Write (Value.Int (Rng.int rng 16))) in
+  let gen_txn () =
+    match sample_kind rng mix with
+    | Balance ->
+        let a, b = pair () in
+        Program.par [ read a; read b ]
+    | Deposit ->
+        let a = List.nth objs (acct ()) in
+        Program.seq [ read a; write a ]
+    | Write_check ->
+        let a, b = pair () in
+        Program.seq [ Program.par [ read a; read b ]; write a ]
+    | Amalgamate ->
+        let a, b = pair () in
+        Program.seq [ Program.par [ read a; read b ]; write a; write b ]
+    | Payment ->
+        let a, b = pair () in
+        Program.seq [ read a; write a; read b; write b ]
+  in
+  ( List.init p.n_top (fun _ -> gen_txn ()),
+    List.map (fun x -> (x, dt)) objs )
+
 let forest_and_schema gen ~seed p =
   let rng = Rng.create seed in
   let forest, objects = gen rng p in

@@ -71,6 +71,12 @@ val observers : weights
 (** Observe-only (weight zero elsewhere) — useful as a distribution
     sanity check and as a conflict-free control. *)
 
+val sample_weighted : Rng.t -> weights -> Datatype.t -> Datatype.op
+(** One operation of the given type drawn from the weighted class
+    grammar, with the documented nearest-class fallback (exposed so
+    distribution tests can pin the sampler against its nominal
+    weights). *)
+
 val weighted :
   ?weights:weights ->
   Rng.t ->
@@ -93,6 +99,47 @@ val mixed :
   Rng.t -> profile -> Program.t list * (Obj_id.t * Datatype.t) list
 (** Objects drawn round-robin from all five shipped data types, each
     access sampled from its object's own operation distribution. *)
+
+(** {2 SmallBank-style contended transactions}
+
+    Multi-object read-modify-write programs over register "accounts"
+    with Zipf-skewed ([theta]) account popularity — the contention
+    shape that makes weak-isolation anomalies (write skew, lost
+    update) likely.  Kinds follow the SmallBank benchmark: balance
+    (read two accounts), deposit (RMW one account), write-check (read
+    both, write one — the write-skew shape), amalgamate (read both,
+    write both), payment (RMW transfer across two accounts). *)
+
+type smallbank_kind = Balance | Deposit | Write_check | Amalgamate | Payment
+
+type smallbank_mix = {
+  m_balance : int;
+  m_deposit : int;
+  m_write_check : int;
+  m_amalgamate : int;
+  m_payment : int;
+}
+(** Integer weights of the five transaction kinds. *)
+
+val smallbank_default : smallbank_mix
+(** Deposit/write-check heavy, after the benchmark's usual mix. *)
+
+val smallbank_profile : profile
+(** The preset [Nt_check] runs SmallBank scenarios under: few hot
+    accounts ([theta = 0.9]) shared by 8 top-level transactions. *)
+
+val sample_kind : Rng.t -> smallbank_mix -> smallbank_kind
+(** Draw one transaction kind from the mix (exposed so distribution
+    tests can pin the sampler against its nominal weights). *)
+
+val smallbank :
+  ?mix:smallbank_mix ->
+  Rng.t ->
+  profile ->
+  Program.t list * (Obj_id.t * Datatype.t) list
+(** [p.n_top] SmallBank transactions over [max 2 p.n_objects] register
+    accounts with Zipf skew [p.theta] (default mix
+    {!smallbank_default}). *)
 
 val forest_and_schema :
   (Rng.t -> profile -> Program.t list * (Obj_id.t * Datatype.t) list) ->

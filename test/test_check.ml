@@ -53,6 +53,7 @@ let t_oracles_on_seed_scenarios () =
           policy = Runtime.Random_step;
           inform_policy = Runtime.Eager;
           abort_prob = 0.0;
+          family = None;
         }
       in
       let o = Check.run_scenario Check.Undo sc in
@@ -212,6 +213,129 @@ let t_campaign_metrics () =
   check_int "check.fail counted" (List.length rf.Check.failures)
     (getf "check.fail")
 
+(* ----- backend/grammar name registries and the weak adversaries ----- *)
+
+(* The name registry is total and involutive: every backend has a
+   unique name that parses back to it, and the unknown-name diagnostic
+   lists every valid name — so the CLI error can never drift out of
+   sync with the backend list. *)
+let t_backend_names_sync () =
+  check_int "one name per backend" (List.length Check.all_backends)
+    (List.length Check.backend_names);
+  check_int "names unique"
+    (List.length (List.sort_uniq compare Check.backend_names))
+    (List.length Check.backend_names);
+  List.iter
+    (fun b ->
+      match Check.backend_of_name (Check.backend_name b) with
+      | Some b' ->
+          check_bool (Check.backend_name b ^ " roundtrips") true (b = b')
+      | None ->
+          Alcotest.fail (Check.backend_name b ^ " does not parse back"))
+    Check.all_backends;
+  check_bool "unknown name rejected" true
+    (Check.backend_of_name "bogus" = None);
+  let msg = Check.unknown_backend_message "bogus" in
+  check_bool "message names the offender" true
+    (Astring.String.is_infix ~affix:"bogus" msg);
+  List.iter
+    (fun name ->
+      check_bool ("message lists " ^ name) true
+        (Astring.String.is_infix ~affix:name msg))
+    Check.backend_names
+
+(* Same for the grammar registry. *)
+let t_grammar_names_sync () =
+  List.iter
+    (fun g ->
+      match Check.grammar_of_name (Check.grammar_name g) with
+      | Some g' ->
+          check_bool (Check.grammar_name g ^ " roundtrips") true (g = g')
+      | None -> Alcotest.fail (Check.grammar_name g ^ " does not parse back"))
+    [ Check.Rw; Check.Counters; Check.Mixed; Check.Weighted; Check.Smallbank ];
+  check_bool "unknown grammar rejected" true
+    (Check.grammar_of_name "bogus" = None)
+
+(* The weak-isolation adversaries under the contended SmallBank
+   grammar: detected, shrunk to a replayable counterexample, and the
+   bundle reproduces the same failure tag — the full pipeline the
+   nightly fuzz job relies on. *)
+let t_weak_backends_shrink_and_replay () =
+  List.iter
+    (fun backend ->
+      let r =
+        Check.campaign ~grammar:Check.Smallbank backend ~seed:3 ~runs:40
+          ~stop_at_first:true
+      in
+      match r.Check.failures with
+      | [] ->
+          Alcotest.fail (Check.backend_name backend ^ ": not detected")
+      | (_, sc, f) :: _ -> (
+          check_bool "failure scenario tagged with its family" true
+            (sc.Check.family = Some "smallbank");
+          match Shrink.minimize backend sc with
+          | None ->
+              Alcotest.fail (Check.backend_name backend ^ ": shrink lost it")
+          | Some m ->
+              let text =
+                Bundle.to_string ~failure:m.Shrink.failure backend
+                  m.Shrink.scenario
+              in
+              (match Bundle.of_string text with
+              | Error e -> Alcotest.fail e
+              | Ok b -> (
+                  check_bool "bundle backend survives" true
+                    (b.Bundle.backend = backend);
+                  check_bool "bundle family survives" true
+                    (b.Bundle.scenario.Check.family
+                    = m.Shrink.scenario.Check.family);
+                  let o = Check.run_scenario b.Bundle.backend b.Bundle.scenario in
+                  match o.Check.failure with
+                  | None -> Alcotest.fail "replayed bundle no longer fails"
+                  | Some f' ->
+                      check_bool "same failure tag on replay" true
+                        (Check.failure_tag f' = Check.failure_tag m.Shrink.failure)));
+              ignore f))
+    [ Check.Causal_only; Check.Prefix_consistent; Check.Snapshot_read ]
+
+(* Scenario generation stamps the workload family, and it survives the
+   bundle text format even without a failure. *)
+let t_family_recorded_and_preserved () =
+  List.iter
+    (fun (grammar, expect) ->
+      let sc =
+        Check.gen_scenario ~grammar Check.Undo (Rng.create 8)
+      in
+      check_bool (expect ^ " recorded") true (sc.Check.family = Some expect);
+      match Bundle.of_string (Bundle.to_string Check.Undo sc) with
+      | Error e -> Alcotest.fail e
+      | Ok b ->
+          check_bool (expect ^ " survives the bundle") true
+            (b.Bundle.scenario.Check.family = Some expect))
+    [ (Check.Rw, "rw"); (Check.Smallbank, "smallbank") ]
+
+(* The essn failure class has a stable tag for bundles and logs. *)
+let t_essn_failure_tag () =
+  Alcotest.(check string)
+    "essn tag" "essn"
+    (Check.failure_tag (Check.Essn_rejected "stale read"))
+
+(* The weak adversaries only claim to support read/write registers;
+   the generator must respect that whatever the requested grammar. *)
+let t_weak_backends_register_only () =
+  List.iter
+    (fun backend ->
+      let master = Rng.create 51 in
+      for _ = 1 to 5 do
+        let sc = Check.gen_scenario backend (Rng.split master) in
+        List.iter
+          (fun (_, dt) ->
+            Alcotest.(check string) "register objects only" "register"
+              dt.Datatype.dt_name)
+          sc.Check.objects
+      done)
+    [ Check.Causal_only; Check.Prefix_consistent; Check.Snapshot_read ]
+
 let suite =
   ( "check",
     [
@@ -231,4 +355,15 @@ let suite =
       Alcotest.test_case "sg oracle equivalence on a cycle" `Quick
         t_sg_oracle_equivalence_on_cycle;
       Alcotest.test_case "campaign metrics" `Quick t_campaign_metrics;
+      Alcotest.test_case "backend name registry in sync" `Quick
+        t_backend_names_sync;
+      Alcotest.test_case "grammar name registry in sync" `Quick
+        t_grammar_names_sync;
+      Alcotest.test_case "weak backends shrink and replay" `Quick
+        t_weak_backends_shrink_and_replay;
+      Alcotest.test_case "workload family recorded and preserved" `Quick
+        t_family_recorded_and_preserved;
+      Alcotest.test_case "essn failure tag" `Quick t_essn_failure_tag;
+      Alcotest.test_case "weak backends are register-only" `Quick
+        t_weak_backends_register_only;
     ] )

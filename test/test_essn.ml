@@ -1,0 +1,233 @@
+(* The ESSN-style refined serializability criterion (lib/sg/essn.ml):
+   acceptance on every verified backend, differential agreement with
+   the single-order Theorem 2 check on single-version behaviors,
+   soundness of the certifying order, rejection (with a classified
+   multiversion anomaly) of the weak-isolation adversaries — including
+   behaviors the cycle-alarm oracle alone cannot flag. *)
+open Core
+open Util
+
+(* The schema a scenario's trace is over — physical for replication
+   (mirrors ntcheck's trace_schema). *)
+let trace_schema backend (sc : Check.scenario) =
+  match backend with
+  | Check.Replication ->
+      let plan =
+        Replication.replicate Check.replication_config
+          ~objects:(List.map fst sc.Check.objects)
+          sc.Check.forest
+      in
+      plan.Replication.physical_schema
+  | _ -> Check.schema_of_scenario sc
+
+(* Collect (schema, trace) pairs from completed runs of a backend. *)
+let completed_runs ?grammar backend ~seed ~runs =
+  let master = Rng.create seed in
+  let out = ref [] in
+  for _ = 1 to runs do
+    let rng = Rng.split master in
+    let sc = Check.gen_scenario ?grammar backend rng in
+    let o = Check.run_scenario backend sc in
+    if not o.Check.truncated then
+      out := (trace_schema backend sc, o.Check.trace) :: !out
+  done;
+  List.rev !out
+
+(* Curated workloads under a verified protocol certify, and by the
+   pseudotime candidate (the serial replay order is the index order). *)
+let t_accepts_curated () =
+  List.iter
+    (fun (forest, schema) ->
+      let r = run_protocol ~seed:7 schema Undo_object.factory forest in
+      let v = Essn.check schema r.Runtime.trace in
+      check_bool "curated scenario certified" true v.Essn.essn_ok;
+      check_bool "an order is returned" true (v.Essn.order <> None);
+      check_bool "no anomaly on acceptance" true (v.Essn.anomaly = None))
+    [
+      Scenario.banking ~n_accounts:3 ~n_transfers:5 ~seed:2;
+      Scenario.queue_producers_consumers ~n_producers:2 ~n_consumers:2 ~seed:2;
+    ]
+
+(* Every verified backend — the multiversion and replicated ones
+   included — produces only ESSN-certified behaviors. *)
+let t_accepts_verified_backends () =
+  List.iter
+    (fun backend ->
+      let rs = completed_runs backend ~seed:21 ~runs:10 in
+      check_bool
+        (Check.backend_name backend ^ " produced runs")
+        true (rs <> []);
+      List.iter
+        (fun (schema, trace) ->
+          let v = Essn.check schema trace in
+          if not v.Essn.essn_ok then
+            Alcotest.fail
+              (Check.backend_name backend
+              ^ " rejected by essn: " ^ Essn.describe v))
+        rs)
+    Check.correct_backends
+
+(* Differential agreement on single-version behaviors: whenever the
+   single-order Theorem 2 check (under the pseudotime index order)
+   accepts, ESSN must accept — it strictly extends that check. *)
+let t_agrees_with_theorem2 () =
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun (schema, trace) ->
+          let beta = Trace.serial trace in
+          let index_ok =
+            Theorem2.check schema (Sibling_order.index_order beta) trace
+            |> Result.is_ok
+          in
+          let v = Essn.check schema trace in
+          if index_ok then
+            check_bool
+              (Check.backend_name backend ^ ": essn extends theorem 2")
+              true v.Essn.essn_ok)
+        (completed_runs backend ~seed:33 ~runs:8))
+    [ Check.Moss; Check.Commlock; Check.Undo; Check.No_control;
+      Check.Unsafe_read; Check.No_undo ]
+
+(* Soundness of the certificate: the order an acceptance returns is a
+   full Theorem 2 witness — re-checking it independently passes. *)
+let t_certifying_order_is_a_witness () =
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun (schema, trace) ->
+          let v = Essn.check schema trace in
+          match (v.Essn.essn_ok, v.Essn.order) with
+          | true, Some order ->
+              check_bool "returned order re-certifies" true
+                (Theorem2.check schema order trace |> Result.is_ok)
+          | true, None -> Alcotest.fail "acceptance without an order"
+          | false, _ -> ())
+        (completed_runs backend ~seed:5 ~runs:6))
+    [ Check.Undo; Check.Mvts; Check.Snapshot_read ]
+
+(* The weak-isolation adversaries are rejected at a nonzero rate, and
+   every rejection explains itself: per-candidate failures plus a
+   classified multiversion anomaly. *)
+let t_flags_weak_isolation () =
+  List.iter
+    (fun backend ->
+      let rejected = ref 0 in
+      List.iter
+        (fun (schema, trace) ->
+          let v = Essn.check schema trace in
+          if not v.Essn.essn_ok then begin
+            incr rejected;
+            check_bool "both candidates report failures" true
+              (List.length v.Essn.failures = 2);
+            check_bool "rejection is classified" true
+              (v.Essn.anomaly <> None)
+          end)
+        (completed_runs ~grammar:Check.Smallbank backend ~seed:3 ~runs:40);
+      check_bool
+        (Check.backend_name backend ^ " rejected at a nonzero rate")
+        true (!rejected > 0))
+    [ Check.Causal_only; Check.Prefix_consistent; Check.Snapshot_read ]
+
+(* The anomaly class cycle alarms alone miss: a stale read under a
+   frozen snapshot keeps the completion-order SG acyclic (the three
+   cycle detectors all stay quiet) yet the behavior is not serially
+   correct — ESSN rejects it and names the stale read. *)
+let t_catches_what_cycle_alarms_miss () =
+  let found = ref 0 in
+  List.iter
+    (fun (schema, trace) ->
+      let v = Essn.check schema trace in
+      if not v.Essn.essn_ok then begin
+        let a = Check.sg_agreement schema trace in
+        if a.Check.checker_acyclic && a.Check.cycle_alarms = 0 then begin
+          incr found;
+          check_bool "silent-SG rejection is classified" true
+            (v.Essn.anomaly <> None)
+        end
+      end)
+    (completed_runs Check.Snapshot_read ~seed:3 ~runs:60);
+  check_bool "found anomalies with an acyclic, alarm-free SG" true
+    (!found > 0)
+
+(* The verdict is a pure function of the behavior. *)
+let t_deterministic () =
+  List.iter
+    (fun (schema, trace) ->
+      let v1 = Essn.check schema trace in
+      let v2 = Essn.check schema trace in
+      check_bool "same acceptance" true (v1.Essn.essn_ok = v2.Essn.essn_ok);
+      check_bool "same description" true
+        (Essn.describe v1 = Essn.describe v2))
+    (completed_runs Check.Snapshot_read ~seed:11 ~runs:10)
+
+(* Stable names: bundle tags and log lines key on these strings. *)
+let t_names_stable () =
+  Alcotest.(check string)
+    "pseudotime" "pseudotime"
+    (Essn.candidate_name Essn.Pseudotime);
+  Alcotest.(check string)
+    "completion" "completion"
+    (Essn.candidate_name Essn.Completion);
+  let x = Obj_id.make "x" in
+  let stale =
+    Essn.Stale_read
+      { obj = x; reader = txn [ 0 ]; got = Value.Int 1; expected = Value.Int 2 }
+  in
+  Alcotest.(check string) "stale-read" "stale-read" (Essn.anomaly_tag stale);
+  Alcotest.(check string)
+    "mv-cycle" "mv-cycle"
+    (Essn.anomaly_tag (Essn.Mv_cycle [ txn [ 0 ]; txn [ 1 ] ]));
+  Alcotest.(check string)
+    "unordered" "unordered"
+    (Essn.anomaly_tag (Essn.Unordered x));
+  check_bool "anomalies render" true
+    (String.length (Format.asprintf "%a" Essn.pp_anomaly stale) > 0)
+
+(* [holds] is the boolean projection of [check], on acceptances and
+   rejections alike, and [describe] is non-empty either way. *)
+let t_holds_agrees () =
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun (schema, trace) ->
+          let v = Essn.check schema trace in
+          check_bool "holds agrees with check" true
+            (Essn.holds schema trace = v.Essn.essn_ok);
+          check_bool "describe non-empty" true
+            (String.length (Essn.describe v) > 0))
+        (completed_runs backend ~seed:17 ~runs:6))
+    [ Check.Undo; Check.Snapshot_read ]
+
+(* End to end through the judge: mvts campaigns — now judged by ESSN
+   instead of cycle alarms alone — still pass clean, under the default
+   grammars and under the contended SmallBank family. *)
+let t_mvts_judged_by_essn () =
+  let r = Check.campaign Check.Mvts ~seed:13 ~runs:30 in
+  Alcotest.(check int) "mvts failures" 0 (List.length r.Check.failures);
+  let r2 =
+    Check.campaign ~grammar:Check.Smallbank Check.Mvts ~seed:13 ~runs:30
+  in
+  Alcotest.(check int) "mvts smallbank failures" 0
+    (List.length r2.Check.failures)
+
+let suite =
+  ( "essn",
+    [
+      Alcotest.test_case "accepts curated scenarios" `Quick t_accepts_curated;
+      Alcotest.test_case "accepts verified backends" `Quick
+        t_accepts_verified_backends;
+      Alcotest.test_case "agrees with theorem 2 on single-version runs"
+        `Quick t_agrees_with_theorem2;
+      Alcotest.test_case "certifying order is a theorem-2 witness" `Quick
+        t_certifying_order_is_a_witness;
+      Alcotest.test_case "flags weak-isolation backends" `Quick
+        t_flags_weak_isolation;
+      Alcotest.test_case "catches anomalies cycle alarms miss" `Quick
+        t_catches_what_cycle_alarms_miss;
+      Alcotest.test_case "verdict deterministic" `Quick t_deterministic;
+      Alcotest.test_case "names stable" `Quick t_names_stable;
+      Alcotest.test_case "holds agrees with check" `Quick t_holds_agrees;
+      Alcotest.test_case "mvts judged by essn end to end" `Quick
+        t_mvts_judged_by_essn;
+    ] )

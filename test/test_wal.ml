@@ -421,6 +421,66 @@ let t_crash_shrinks () =
             <= Shrink.n_accesses sc.Check.forest);
           check_bool "deterministic" true s.Shrink.deterministic)
 
+(* A recorded run that actually took a snapshot, for the torn-write
+   cases below. *)
+let run_with_snapshot () =
+  let rec find i =
+    if i > 40 then Alcotest.fail "no run produced a snapshot"
+    else
+      let backend, sc = scenario_for i in
+      let rc =
+        Check.record ~drop_prob:0.1 ~snapshot_at:6 ~seed:(3000 + i) backend sc
+      in
+      match rc.Check.rc_snapshot with
+      | Some simg -> (backend, sc, rc, simg)
+      | None -> find (i + 1)
+  in
+  find 0
+
+(* Torn writes on the snapshot path: every strict truncation of the
+   snapshot image — header cuts, mid-record cuts, a one-byte-short
+   image — must be refused by the decoder, never half-accepted. *)
+let t_torn_snapshot_refused () =
+  let _, _, _, simg = run_with_snapshot () in
+  let slen = String.length simg in
+  check_bool "snapshot image non-trivial" true (slen > 16);
+  List.iter
+    (fun cut ->
+      if cut >= 0 && cut < slen then
+        match Wal.decode_snapshot (String.sub simg 0 cut) with
+        | Error _ -> ()
+        | Ok _ ->
+            Alcotest.failf "torn snapshot accepted at cut %d of %d" cut slen)
+    [ 0; 8; 16; slen / 4; slen / 2; slen - 1 ];
+  match Wal.decode_snapshot simg with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("intact snapshot refused: " ^ e)
+
+(* A bit-flipped snapshot is refused, and recovery falls back to the
+   full log: the replayed engine reproduces the recorded counters as
+   if the snapshot had never existed. *)
+let t_flipped_snapshot_falls_back () =
+  let backend, sc, rc, simg = run_with_snapshot () in
+  let flip pos s =
+    let b = Bytes.of_string s in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+    Bytes.to_string b
+  in
+  let slen = String.length simg in
+  List.iter
+    (fun pos ->
+      match Wal.decode_snapshot (flip pos simg) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "flipped snapshot accepted at byte %d" pos)
+    [ 0; slen / 2; slen - 1 ];
+  let eng = recover_full backend sc rc.Check.rc_wal in
+  check_int "fallback submissions" rc.Check.rc_report.Check.s_submitted
+    (Engine.submitted eng);
+  check_int "fallback commits" rc.Check.rc_report.Check.s_committed
+    (Engine.committed_top eng);
+  check_int "fallback aborts" rc.Check.rc_report.Check.s_aborted
+    (Engine.aborted_top eng)
+
 let suite =
   ( "wal",
     [
@@ -439,4 +499,8 @@ let suite =
       Alcotest.test_case "crash catches broken backends" `Quick
         t_crash_catches_broken;
       Alcotest.test_case "crash failures shrink" `Quick t_crash_shrinks;
+      Alcotest.test_case "torn snapshots refused" `Quick
+        t_torn_snapshot_refused;
+      Alcotest.test_case "flipped snapshot falls back to full log" `Quick
+        t_flipped_snapshot_falls_back;
     ] )

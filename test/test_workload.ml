@@ -228,6 +228,223 @@ let t_shape_presets () =
       ("abort-storm", Gen.abort_storm);
     ]
 
+(* ----- distribution properties: samplers match their nominal laws ----- *)
+
+(* Empirical frequency of each outcome over [draws] trials. *)
+let frequencies draws sample =
+  let counts = Hashtbl.create 16 in
+  for _ = 1 to draws do
+    let k = sample () in
+    Hashtbl.replace counts k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  fun k ->
+    float (Option.value ~default:0 (Hashtbl.find_opt counts k)) /. float draws
+
+(* Zipf draws follow the nominal law P(i) ∝ 1/(i+1)^θ within a small
+   absolute tolerance (50k draws put the sampling error well below it). *)
+let t_zipf_matches_nominal () =
+  let n = 8 and theta = 0.9 and draws = 50_000 in
+  let rng = Rng.create 17 in
+  let freq = frequencies draws (fun () -> Rng.zipf rng ~n ~theta) in
+  let h =
+    List.fold_left ( +. ) 0.0
+      (List.init n (fun i -> 1.0 /. (float (i + 1) ** theta)))
+  in
+  for i = 0 to n - 1 do
+    let nominal = 1.0 /. (float (i + 1) ** theta) /. h in
+    check_bool
+      (Printf.sprintf "zipf rank %d near nominal %.3f (got %.3f)" i nominal
+         (freq i))
+      true
+      (Float.abs (freq i -. nominal) < 0.015)
+  done
+
+(* At theta = 0 the Zipf sampler degenerates to the uniform law. *)
+let t_zipf_uniform_at_zero () =
+  let n = 6 and draws = 30_000 in
+  let rng = Rng.create 23 in
+  let freq = frequencies draws (fun () -> Rng.zipf rng ~n ~theta:0.0) in
+  for i = 0 to n - 1 do
+    check_bool
+      (Printf.sprintf "uniform rank %d (got %.3f)" i (freq i))
+      true
+      (Float.abs (freq i -. (1.0 /. float n)) < 0.015)
+  done
+
+(* The weighted class sampler hits its nominal class distribution on a
+   type supporting every drawn class directly (register: observe →
+   Read, overwrite → Write; a 3:1 mix must come out 3/4 : 1/4). *)
+let t_weighted_sampler_nominal () =
+  let dt = Register.make () in
+  let w = { Gen.w_observe = 3; w_update = 0; w_overwrite = 1; w_mutate = 0 } in
+  let rng = Rng.create 29 in
+  let draws = 40_000 in
+  let freq =
+    frequencies draws (fun () ->
+        match Gen.sample_weighted rng w dt with
+        | Datatype.Read -> "observe"
+        | Datatype.Write _ -> "overwrite"
+        | _ -> "other")
+  in
+  check_bool "no off-grammar register ops" true (freq "other" = 0.0);
+  check_bool
+    (Printf.sprintf "reads near 0.75 (got %.3f)" (freq "observe"))
+    true
+    (Float.abs (freq "observe" -. 0.75) < 0.015);
+  check_bool
+    (Printf.sprintf "writes near 0.25 (got %.3f)" (freq "overwrite"))
+    true
+    (Float.abs (freq "overwrite" -. 0.25) < 0.015)
+
+(* The documented nearest-class fallback: a class the type lacks stays
+   in-family (mutate-only on a register degrades to overwrites, pure
+   observers on a queue degrade to queue mutators) and the sampler
+   rejects an all-zero weight vector. *)
+let t_weighted_sampler_fallback () =
+  let rng = Rng.create 31 in
+  let mutate_only =
+    { Gen.w_observe = 0; w_update = 0; w_overwrite = 0; w_mutate = 1 }
+  in
+  for _ = 1 to 200 do
+    match Gen.sample_weighted rng mutate_only (Register.make ()) with
+    | Datatype.Write _ -> ()
+    | op ->
+        Alcotest.failf "register mutate fallback produced %s"
+          (Format.asprintf "%a" Datatype.pp_op op)
+  done;
+  for _ = 1 to 200 do
+    match Gen.sample_weighted rng Gen.observers (Fifo_queue.make ()) with
+    | Datatype.Enqueue _ | Datatype.Dequeue -> ()
+    | op ->
+        Alcotest.failf "queue observer fallback produced %s"
+          (Format.asprintf "%a" Datatype.pp_op op)
+  done;
+  let zero = { Gen.w_observe = 0; w_update = 0; w_overwrite = 0; w_mutate = 0 } in
+  check_bool "zero weights rejected" true
+    (match Gen.sample_weighted rng zero (Register.make ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* The SmallBank kind sampler follows the mix weights, and an all-zero
+   mix is rejected. *)
+let t_smallbank_mix_nominal () =
+  let m = Gen.smallbank_default in
+  let total =
+    float
+      (m.Gen.m_balance + m.Gen.m_deposit + m.Gen.m_write_check
+     + m.Gen.m_amalgamate + m.Gen.m_payment)
+  in
+  let rng = Rng.create 37 in
+  let freq =
+    frequencies 40_000 (fun () ->
+        match Gen.sample_kind rng m with
+        | Gen.Balance -> "balance"
+        | Gen.Deposit -> "deposit"
+        | Gen.Write_check -> "write-check"
+        | Gen.Amalgamate -> "amalgamate"
+        | Gen.Payment -> "payment")
+  in
+  List.iter
+    (fun (name, weight) ->
+      let nominal = float weight /. total in
+      check_bool
+        (Printf.sprintf "%s near %.3f (got %.3f)" name nominal (freq name))
+        true
+        (Float.abs (freq name -. nominal) < 0.015))
+    [
+      ("balance", m.Gen.m_balance);
+      ("deposit", m.Gen.m_deposit);
+      ("write-check", m.Gen.m_write_check);
+      ("amalgamate", m.Gen.m_amalgamate);
+      ("payment", m.Gen.m_payment);
+    ];
+  let zero =
+    { Gen.m_balance = 0; m_deposit = 0; m_write_check = 0; m_amalgamate = 0;
+      m_payment = 0 }
+  in
+  check_bool "zero mix rejected" true
+    (match Gen.sample_kind rng zero with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* SmallBank structure: registers only, read/write accesses only, the
+   account floor of two holds even when the profile asks for one
+   object, n_top transactions, and every kind's shape fits the
+   benchmark bounds (at most two distinct accounts, at most four
+   accesses per transaction). *)
+let t_smallbank_structure () =
+  let p = { Gen.smallbank_profile with n_top = 20; n_objects = 1 } in
+  let forest, objects = Gen.smallbank (Rng.create 41) p in
+  check_int "smallbank n_top" 20 (List.length forest);
+  check_int "account floor of two" 2 (List.length objects);
+  List.iter
+    (fun (_, dt) ->
+      Alcotest.(check string) "accounts are registers" "register"
+        dt.Datatype.dt_name)
+    objects;
+  List.iter
+    (fun prog ->
+      let accs = Program.accesses prog in
+      check_bool "at most four accesses" true (List.length accs <= 4);
+      let distinct =
+        List.sort_uniq Obj_id.compare (List.map fst accs)
+      in
+      check_bool "at most two distinct accounts" true
+        (List.length distinct <= 2);
+      List.iter
+        (fun (x, op) ->
+          check_bool "access hits a declared account" true
+            (List.exists (fun (y, _) -> Obj_id.equal x y) objects);
+          match op with
+          | Datatype.Read | Datatype.Write _ -> ()
+          | op ->
+              Alcotest.failf "smallbank produced %s"
+                (Format.asprintf "%a" Datatype.pp_op op))
+        accs)
+    forest
+
+(* SmallBank is seed-deterministic and, under its preset's Zipf skew,
+   concentrates accesses on the hot account. *)
+let t_smallbank_deterministic_and_skewed () =
+  let p = { Gen.smallbank_profile with n_top = 120; n_objects = 8 } in
+  let f1, o1 = Gen.smallbank (Rng.create 43) p in
+  let f2, o2 = Gen.smallbank (Rng.create 43) p in
+  check_bool "same seed same forest" true (f1 = f2 && List.map fst o1 = List.map fst o2);
+  let f3, _ = Gen.smallbank (Rng.create 44) p in
+  check_bool "different seeds differ" true (f1 <> f3);
+  let hits = Hashtbl.create 8 in
+  List.iter
+    (fun prog ->
+      List.iter
+        (fun (x, _) ->
+          Hashtbl.replace hits x
+            (1 + Option.value ~default:0 (Hashtbl.find_opt hits x)))
+        (Program.accesses prog))
+    f1;
+  let hot =
+    Option.value ~default:0 (Hashtbl.find_opt hits (Obj_id.indexed "acct" 0))
+  in
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) hits 0 in
+  check_bool
+    (Printf.sprintf "hot account dominates (hot=%d total=%d)" hot total)
+    true
+    (hot * 4 > total)
+
+(* The contended family is adversarial for weak stores, not for
+   verified protocols: a SmallBank forest under undo logging is
+   well-formed and serially correct. *)
+let t_smallbank_runs_correctly () =
+  let forest, schema =
+    Gen.forest_and_schema Gen.smallbank ~seed:6
+      { Gen.smallbank_profile with n_top = 10 }
+  in
+  let r = run_protocol ~seed:9 schema Undo_object.factory forest in
+  check_bool "smallbank wf" true
+    (Simple_db.is_well_formed schema.Schema.sys r.Runtime.trace);
+  check_bool "smallbank correct" true
+    (Checker.serially_correct schema r.Runtime.trace)
+
 let suite =
   ( "workload",
     [
@@ -242,4 +459,19 @@ let suite =
       Alcotest.test_case "weighted program_io roundtrip" `Quick
         t_weighted_program_io_roundtrip;
       Alcotest.test_case "shape presets" `Quick t_shape_presets;
+      Alcotest.test_case "zipf matches nominal law" `Quick
+        t_zipf_matches_nominal;
+      Alcotest.test_case "zipf uniform at zero skew" `Quick
+        t_zipf_uniform_at_zero;
+      Alcotest.test_case "weighted sampler matches nominal" `Quick
+        t_weighted_sampler_nominal;
+      Alcotest.test_case "weighted sampler fallback" `Quick
+        t_weighted_sampler_fallback;
+      Alcotest.test_case "smallbank mix matches nominal" `Quick
+        t_smallbank_mix_nominal;
+      Alcotest.test_case "smallbank structure" `Quick t_smallbank_structure;
+      Alcotest.test_case "smallbank deterministic and skewed" `Quick
+        t_smallbank_deterministic_and_skewed;
+      Alcotest.test_case "smallbank runs correctly when verified" `Quick
+        t_smallbank_runs_correctly;
     ] )
