@@ -1511,13 +1511,134 @@ let e21 () =
   report t
 
 (* ------------------------------------------------------------------ *)
+(* E22: sharded serving speedup on a shard-local smallbank.            *)
+
+(* The live [Shard_service] — one engine per domain — against itself at
+   one shard, on a workload built to be embarrassingly parallel:
+   accounts are grouped by the 4-shard partition's own placement, and
+   every transfer draws all its accounts from one group, so the router
+   classifies every program single-shard and the spine's cross-shard
+   gate never runs.  What is measured is therefore the parallelism of
+   the engines themselves plus the router/mailbox dispatch overhead.
+   [speedup] is wall-clock (not CPU) ratio of the 1-shard run to the
+   4-shard run, best of two runs each; [cores] is the runtime's
+   recommended domain count — on a single-core box the 4-shard row
+   degrades to time-slicing and the speedup column reports overhead,
+   which is why the acceptance bar (>= 2x at 4 shards) is gated on
+   [cores >= 4] in CI. *)
+let e22 () =
+  let t =
+    Table.create ~title:"E22: sharded serving speedup (shard-local smallbank)"
+      ~columns:
+        [ "shards"; "cores"; "parallel"; "n_prog"; "cross"; "wall_ms";
+          "txn_per_s"; "speedup" ]
+  in
+  let n_objects = 64 and n_prog = 200 and shards = 4 in
+  let objects =
+    List.init n_objects (fun i -> (Obj_id.indexed "acct" i, Register.make ()))
+  in
+  (* group accounts by their 4-shard home (same default key as the
+     service's own partition, so the grouping below is its placement) *)
+  let part = Partition.create ~shards objects in
+  let groups = Array.make shards [||] in
+  for s = 0 to shards - 1 do
+    groups.(s) <-
+      Array.of_list
+        (List.filter_map
+           (fun (x, _) ->
+             if Partition.shard_of part x = s then Some x else None)
+           objects)
+  done;
+  let rng = Rng.create 7 in
+  let progs =
+    List.init n_prog (fun i ->
+        let g = groups.(i mod shards) in
+        let pick () = g.(Rng.int rng (Array.length g)) in
+        let a = pick () and b = pick () and c = pick () and d = pick () in
+        Program.seq
+          [
+            Program.par
+              [
+                Program.access a Datatype.Read;
+                Program.access b Datatype.Read;
+              ];
+            Program.par
+              [
+                Program.access a (Datatype.Write (Value.Int i));
+                Program.access b (Datatype.Write (Value.Int (i + 1)));
+              ];
+            Program.par
+              [
+                Program.access c Datatype.Read;
+                Program.access d Datatype.Read;
+              ];
+          ])
+  in
+  (* Open loop with a bounded in-flight window: an unbounded flood
+     would park thousands of live transactions in each engine and
+     measure the scheduler's occupancy pathology instead of the
+     dispatch path. *)
+  let run_once n =
+    let window = 16 * n in
+    let svc =
+      Shard_service.start ~shards:n ~seed:11 objects
+        (Check.factory_of Check.Undo)
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun p ->
+        while Shard_service.pending svc >= window do
+          Unix.sleepf 0.0001
+        done;
+        match Shard_service.submit svc p with
+        | Ok _ -> ()
+        | Error e -> failwith e)
+      progs;
+    while Shard_service.pending svc > 0 do
+      Unix.sleepf 0.0002
+    done;
+    let wall = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let cross = Shard_router.cross_count (Shard_service.router svc) in
+    Shard_service.stop svc;
+    let r, _, _ = Shard_service.finish svc in
+    if r.Runtime.committed_top + r.Runtime.aborted_top <> n_prog then
+      failwith "e22: not all submissions completed";
+    (wall, cross)
+  in
+  let best n =
+    let w1, c1 = run_once n in
+    let w2, _ = run_once n in
+    (Float.min w1 w2, c1)
+  in
+  let base, _ = best 1 in
+  let multi, cross = best shards in
+  if cross <> 0 then failwith "e22: workload was meant to be shard-local";
+  let cores = Domain_compat.recommended_worker_count () in
+  let row n wall speedup =
+    Table.add_row t
+      [
+        Table.cell_i n;
+        Table.cell_i cores;
+        string_of_bool Domain_compat.parallelism_available;
+        Table.cell_i n_prog;
+        Table.cell_i cross;
+        Table.cell_f wall;
+        Table.cell_f (fi n_prog /. (wall /. 1000.0));
+        Table.cell_f speedup;
+      ]
+  in
+  row 1 base 1.0;
+  row shards multi (base /. multi);
+  report t
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
-    ("e21", e21);
+    ("e21", e21); ("e22", e22);
     ("obs", obs);
     ("micro", micro);
   ]

@@ -206,7 +206,14 @@ let main target seed runs grammar shape max_steps keep_going shrink
     bundle_prefix replay_file crash_restart obs_format obs_out =
   match replay_file with
   | Some file -> replay file ~shrink ~bundle_prefix ~max_steps ~crash_restart
-  | None ->
+  | None -> (
+    match (target, grammar) with
+    | One b, Some g when not (Check.grammar_allowed b g) ->
+        (* Refuse the pair up front: letting the campaign run would
+           silently coerce the pinned grammar to rw. *)
+        Format.eprintf "ntcheck: %s@." (Check.grammar_conflict_message b g);
+        2
+    | _ ->
       let backends =
         match target with All -> Check.correct_backends | One b -> [ b ]
       in
@@ -220,7 +227,7 @@ let main target seed runs grammar shape max_steps keep_going shrink
           true backends
       in
       finish ();
-      if ok then 0 else 1
+      if ok then 0 else 1)
 
 let cmd =
   let target =

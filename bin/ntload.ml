@@ -816,6 +816,13 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
     | Some (Wire.Quiesced q) -> (q.alarms, q.committed, q.aborted, q.vetoed)
     | _ -> (-1, -1, -1, -1)
   in
+  (* per-shard rows ride the Quiesced report when the server runs more
+     than one shard; empty on a classic single-engine server *)
+  let shard_rows =
+    match !quiesced with
+    | Some (Wire.Quiesced q) -> q.per_shard
+    | _ -> []
+  in
   (* server-side window p99 from the subscription, and its distance to
      the client-side p99 in power-of-two buckets *)
   let frames_seen, srv_p99, p99_distance =
@@ -907,6 +914,24 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
                  ("server_latency_us_p99", Obs_json.Int srv_p99);
                  ("p99_bucket_distance", Obs_json.Int p99_distance);
                ])
+            @ (if shard_rows = [] then []
+               else
+                 [
+                   ( "server_shards",
+                     Obs_json.Arr
+                       (List.map
+                          (fun (r : Wire.shard_row) ->
+                            Obs_json.Obj
+                              [
+                                ("shard", Obs_json.Int r.r_shard);
+                                ("submitted", Obs_json.Int r.r_submitted);
+                                ("committed", Obs_json.Int r.r_committed);
+                                ("aborted", Obs_json.Int r.r_aborted);
+                                ("vetoed", Obs_json.Int r.r_vetoed);
+                                ("live", Obs_json.Int r.r_live);
+                              ])
+                          shard_rows) );
+                 ])
             @
             if stage_stats = [] then []
             else
@@ -963,7 +988,15 @@ let run_load addr ~clients ~requests ~seed ~depth ~fanout ~drop_rate
     | Some (Wire.Quiesced q) ->
         Format.printf
           "server: %d committed, %d aborted, %d vetoed, %d alarms@."
-          q.committed q.aborted q.vetoed q.alarms
+          q.committed q.aborted q.vetoed q.alarms;
+        List.iter
+          (fun (r : Wire.shard_row) ->
+            Format.printf
+              "server: shard %d: %d pieces, %d committed, %d aborted, %d \
+               vetoed, %d live@."
+              r.r_shard r.r_submitted r.r_committed r.r_aborted r.r_vetoed
+              r.r_live)
+          q.per_shard
     | _ -> Format.printf "server: no quiesced report@."
   end;
   if stage_check_failed then begin

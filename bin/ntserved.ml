@@ -85,7 +85,7 @@ type wal_state = {
   mk_writer : fresh:bool -> base_seq:int -> Wal.Writer.t;
   mutable w : Wal.Writer.t;
   mutable last_step_calls : int;  (* engine step_calls at the last cut *)
-  mutable events_rev : Wal.record list;  (* replay closure, newest first *)
+  closure : Wal.Closure.t;  (* incrementally compacted replay closure *)
   mutable snap_mark : int;  (* Writer.appended at the last snapshot *)
   wal_meta : Wal.record;
 }
@@ -211,7 +211,7 @@ let wal_cut srv =
       let calls = Engine.step_calls srv.eng in
       let n = calls - ws.last_step_calls in
       ws.last_step_calls <- calls;
-      if n > 0 then ws.events_rev <- Wal.Steps n :: ws.events_rev;
+      Wal.Closure.push ws.closure (Wal.Steps n);
       Wal.Writer.log_steps ws.w n
   | _ -> ()
 
@@ -221,7 +221,7 @@ let wal_event srv r =
   match srv.wal with
   | Some ws when srv.recovery = None ->
       wal_cut srv;
-      ws.events_rev <- r :: ws.events_rev;
+      Wal.Closure.push ws.closure r;
       Wal.Writer.append ws.w r
   | _ -> ()
 
@@ -248,8 +248,7 @@ let take_snapshot srv ws =
   wal_cut srv;
   Wal.Writer.flush ws.w;
   let next_seq = Wal.Writer.next_seq ws.w in
-  let events = Wal.compact (List.rev ws.events_rev) in
-  ws.events_rev <- List.rev events;
+  let events = Wal.Closure.records ws.closure in
   let g = Monitor.graph (Admission.monitor (Engine.admission srv.eng)) in
   let sn =
     {
@@ -511,7 +510,7 @@ let init_durability srv ~path ~fsync_batch ~fsync_interval_s ~snapshot_every
       mk_writer;
       w;
       last_step_calls = 0;
-      events_rev = List.rev seed_events;
+      closure = Wal.Closure.of_records seed_events;
       snap_mark = Wal.Writer.appended w;
       wal_meta = meta;
     }
@@ -636,6 +635,7 @@ let quiesced_response srv =
       aborted = Engine.aborted_top srv.eng;
       vetoed = Engine.vetoed srv.eng;
       alarms = actionable_alarms srv;
+      per_shard = [];
     }
 
 let req_of srv t =
@@ -747,6 +747,7 @@ let handle_request srv conn (req : Wire.request) =
                  (fun (x, dt) -> (Obj_id.name x, Program_io.dtype_decl dt))
                  srv.objects;
              status = server_status srv;
+             shards = 1;
            })
   | Wire.Submit { req; _ } when not conn.greeted ->
       send conn (Wire.Rejected { why = "say hello first"; req })
@@ -1119,6 +1120,417 @@ let run_server listen_fd srv ~read_timeout ~burst ~verbose =
     end
   done
 
+(* ----- sharded serving (--shards > 1) ----- *)
+
+(* With more than one shard the engine no longer lives in the select
+   loop: [Shard_service] runs one worker per shard on its own domain,
+   and this loop is pure I/O — it plans submissions on the router,
+   answers status from the router's thread-safe bookkeeping, and builds
+   telemetry frames from the workers' published counter snapshots.  The
+   sharded loop drops the single-engine extras that assume an in-loop
+   engine (write-ahead log, flight recorder, audit log, GC
+   attribution); [--obs-out] still works, with one sink per shard. *)
+
+type sserver = {
+  svc : Shard_service.t;
+  s_backend : Check.backend;
+  s_objects : (Obj_id.t * Datatype.t) list;
+  s_conns : (Unix.file_descr, conn) Hashtbl.t;
+  s_metrics : Metrics.t;
+  s_hub : Telemetry.Hub.t;
+  s_t0 : float;
+  s_interval : float;
+  s_prom : string option;
+  s_verbose : bool;
+  mutable s_draining : bool;
+  (* submission id -> submit time: the open set the completion scan
+     walks to feed the latency histogram *)
+  s_open : (int, float) Hashtbl.t;
+  (* submission id -> client request id: echoed in every State answer
+     (kept for the server's lifetime — clients poll Status after
+     completion, when the open set no longer has the submission) *)
+  s_reqs : (int, string) Hashtbl.t;
+  notify_r : Unix.file_descr;  (* self-pipe: workers wake the select *)
+}
+
+let s_mono ss = Unix.gettimeofday () -. ss.s_t0
+
+let s_stats ss = Shard_service.stats ss.svc
+
+let s_sum f ss = Array.fold_left (fun acc st -> acc + f st) 0 (s_stats ss)
+
+(* Same mvts carve-out as the single-engine path: pseudotime order
+   makes the completion-order monitor's "inappropriate read" alarms
+   spurious, so only cycle alarms are actionable. *)
+let s_alarms ss =
+  if ss.s_backend = Check.Mvts then
+    s_sum (fun st -> st.Shard_engine.sh_cycle_alarms) ss
+  else s_sum (fun st -> st.Shard_engine.sh_alarms) ss
+
+let s_counts ss =
+  Telemetry.Hub.merge
+    (Array.to_list
+       (Array.map
+          (fun (st : Shard_engine.stats) ->
+            {
+              Telemetry.Hub.n_submitted = st.sh_submitted;
+              n_committed = st.sh_committed;
+              n_aborted = st.sh_aborted;
+              n_vetoed = st.sh_vetoed;
+              n_orphans = st.sh_orphans;
+              n_live = st.sh_live;
+              n_doomed = st.sh_doomed;
+              n_sg_nodes = st.sh_sg_nodes;
+              n_sg_edges = st.sh_sg_edges;
+              n_sg_reorders = st.sh_sg_reorders;
+            })
+          (s_stats ss)))
+
+let s_rows ss =
+  Array.to_list
+    (Array.mapi
+       (fun i (st : Shard_engine.stats) ->
+         {
+           Wire.r_shard = i;
+           r_submitted = st.sh_submitted;
+           r_committed = st.sh_committed;
+           r_aborted = st.sh_aborted;
+           r_vetoed = st.sh_vetoed;
+           r_live = st.sh_live;
+         })
+       (s_stats ss))
+
+let s_subscribers ss =
+  Hashtbl.fold (fun _ c n -> if c.subscribed then n + 1 else n) ss.s_conns 0
+
+let s_frame ss ~cut =
+  (if cut then Telemetry.Hub.cut_counts else Telemetry.Hub.peek_counts)
+    ~per_shard:(s_rows ss) ss.s_hub ~counts:(s_counts ss)
+    ~alarms:(s_alarms ss)
+    ~conns:(Hashtbl.length ss.s_conns)
+    ~subscribers:(s_subscribers ss) ~now:(s_mono ss)
+
+(* Client-visible totals come from the router (merged tops: a
+   cross-shard program counts once, not once per piece); vetoes and
+   alarms are engine-level, summed over shards. *)
+let s_quiesced ss =
+  let committed, aborted = Shard_router.counts (Shard_service.router ss.svc) in
+  Wire.Quiesced
+    {
+      committed;
+      aborted;
+      vetoed = s_sum (fun st -> st.Shard_engine.sh_vetoed) ss;
+      alarms = s_alarms ss;
+      per_shard = s_rows ss;
+    }
+
+let s_close_conn ss conn =
+  Hashtbl.remove ss.s_conns conn.fd;
+  List.iter
+    (fun t ->
+      match Txn_id.path t with
+      | [ g ] -> Shard_service.kill ss.svc g
+      | _ -> ())
+    conn.live;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+
+let s_state ss g : Wire.txn_state =
+  match Shard_service.result ss.svc g with
+  | Shard_router.Pending -> Wire.Running
+  | Shard_router.Committed v -> Wire.Committed (Value.to_string v)
+  | Shard_router.Aborted None -> Wire.Aborted None
+  | Shard_router.Aborted (Some veto) ->
+      Wire.Aborted (Some veto.Admission.witness)
+
+let handle_srequest ss conn (req : Wire.request) =
+  Metrics.incr (Metrics.counter ss.s_metrics "served.requests");
+  match req with
+  | Wire.Hello { client } ->
+      conn.greeted <- true;
+      conn.client_name <- client;
+      send conn
+        (Wire.Welcome
+           {
+             server = "ntserved";
+             version = Version.string;
+             backend = Check.backend_name ss.s_backend;
+             objects =
+               List.map
+                 (fun (x, dt) -> (Obj_id.name x, Program_io.dtype_decl dt))
+                 ss.s_objects;
+             status = Wire.Fresh;
+             shards = Shard_service.shards ss.svc;
+           })
+  | Wire.Submit { req; _ } when not conn.greeted ->
+      send conn (Wire.Rejected { why = "say hello first"; req })
+  | Wire.Submit { req; _ } when ss.s_draining ->
+      send conn (Wire.Rejected { why = "server is draining"; req })
+  | Wire.Submit { program; req } -> (
+      match Program_io.parse_program_text program with
+      | Error why -> send conn (Wire.Rejected { why; req })
+      | Ok prog -> (
+          match Shard_service.submit ss.svc prog with
+          | Error why -> send conn (Wire.Rejected { why; req })
+          | Ok g ->
+              let txn = Txn_id.of_path [ g ] in
+              conn.live <- txn :: conn.live;
+              Hashtbl.replace ss.s_open g (s_mono ss);
+              (match req with
+              | Some r -> Hashtbl.replace ss.s_reqs g r
+              | None -> ());
+              Metrics.incr (Metrics.counter ss.s_metrics "served.submissions");
+              send conn (Wire.Accepted { txn; req })))
+  | Wire.Status t ->
+      let state, req =
+        match Txn_id.path t with
+        | [ g ] ->
+            let st = s_state ss g in
+            (match st with
+            | Wire.Committed _ | Wire.Aborted _ ->
+                conn.live <-
+                  List.filter (fun u -> not (Txn_id.equal u t)) conn.live
+            | _ -> ());
+            (st, Hashtbl.find_opt ss.s_reqs g)
+        | _ -> (Wire.Pending, None)
+      in
+      send conn (Wire.State { txn = t; state; req })
+  | Wire.Metrics ->
+      send conn (Wire.Metrics_dump (Metrics.to_json ss.s_metrics))
+  | Wire.Subscribe ->
+      conn.subscribed <- true;
+      Metrics.incr (Metrics.counter ss.s_metrics "served.subscribes");
+      send conn (Wire.Telemetry (s_frame ss ~cut:false))
+  | Wire.Ping ->
+      send conn
+        (Wire.Pong
+           {
+             t_mono = s_mono ss;
+             live = Shard_service.pending ss.svc;
+             doomed = s_sum (fun st -> st.Shard_engine.sh_doomed) ss;
+             conns = Hashtbl.length ss.s_conns;
+             status = Wire.Fresh;
+           })
+  | Wire.Dump ->
+      send conn (Wire.Error_msg "flight recorder disabled in sharded mode")
+  | Wire.Quiesce -> conn.wants_quiesce <- true
+  | Wire.Shutdown ->
+      ss.s_draining <- true;
+      send conn Wire.Goodbye;
+      conn.closing <- true
+
+let pump_sframes ss conn =
+  let rec go () =
+    if not conn.closing then
+      match Wire.Reader.next conn.reader with
+      | Ok None -> ()
+      | Ok (Some payload) ->
+          (match Wire.decode_request payload with
+          | Ok req -> handle_srequest ss conn req
+          | Error e ->
+              send conn (Wire.Error_msg e);
+              conn.closing <- true);
+          go ()
+      | Error e ->
+          send conn (Wire.Error_msg e);
+          conn.closing <- true
+  in
+  go ()
+
+(* Close out submissions the workers finished since the last turn:
+   feed the latency window and retire them from the open set and from
+   their clients' kill lists. *)
+let s_scan_completions ss =
+  let now = s_mono ss in
+  let finished =
+    Hashtbl.fold
+      (fun g t_submit acc ->
+        match Shard_service.result ss.svc g with
+        | Shard_router.Pending -> acc
+        | Shard_router.Committed _ | Shard_router.Aborted _ ->
+            (g, t_submit) :: acc)
+      ss.s_open []
+  in
+  if finished <> [] then begin
+    List.iter
+      (fun (g, t_submit) ->
+        Hashtbl.remove ss.s_open g;
+        Telemetry.Hub.observe_latency ss.s_hub
+          (int_of_float (Float.max 0.0 ((now -. t_submit) *. 1e6))))
+      finished;
+    let gone = List.map fst finished in
+    Hashtbl.iter
+      (fun _ c ->
+        if c.live <> [] then
+          c.live <-
+            List.filter
+              (fun t ->
+                match Txn_id.path t with
+                | [ g ] -> not (List.mem g gone)
+                | _ -> true)
+              c.live)
+      ss.s_conns
+  end
+
+let s_export_prom ss =
+  match ss.s_prom with
+  | None -> ()
+  | Some path ->
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
+      let fmt = Format.formatter_of_out_channel oc in
+      Metrics.pp_prometheus fmt ss.s_metrics;
+      Format.pp_print_flush fmt ();
+      close_out oc;
+      Sys.rename tmp path
+
+let run_sharded_server listen_fd ss ~read_timeout =
+  let buf = Bytes.create 8192 in
+  let continue = ref true in
+  let last_frame = ref (s_mono ss) in
+  while !continue do
+    if !terminate then ss.s_draining <- true;
+    let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) ss.s_conns [] in
+    let rfds =
+      ss.notify_r
+      :: ((if ss.s_draining then [] else [ listen_fd ])
+         @ List.filter
+             (fun fd -> not (Hashtbl.find ss.s_conns fd).closing)
+             conn_fds)
+    in
+    let wfds =
+      List.filter
+        (fun fd ->
+          let c = Hashtbl.find ss.s_conns fd in
+          String.length c.out > c.out_off)
+        conn_fds
+    in
+    (* The workers never need this loop to run the engine, so it can
+       sleep; completions poke the self-pipe. *)
+    let r, w, _ =
+      try Unix.select rfds wfds [] 0.05
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem ss.notify_r r then begin
+      match Unix.read ss.notify_r buf 0 (Bytes.length buf) with
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ()
+    end;
+    if List.mem listen_fd r then begin
+      match Unix.accept listen_fd with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          incr next_conn_id;
+          Hashtbl.replace ss.s_conns fd
+            {
+              fd;
+              id = !next_conn_id;
+              reader = Wire.Reader.create ();
+              out = "";
+              out_off = 0;
+              sent = 0;
+              greeted = false;
+              client_name = "?";
+              subscribed = false;
+              live = [];
+              wants_quiesce = false;
+              closing = false;
+              last_rx = Unix.gettimeofday ();
+              rx_start = None;
+              replies = [];
+            };
+          Metrics.incr (Metrics.counter ss.s_metrics "served.accepts")
+      | exception Unix.Unix_error _ -> ()
+    end;
+    List.iter
+      (fun fd ->
+        if fd != listen_fd && fd != ss.notify_r then
+          match Hashtbl.find_opt ss.s_conns fd with
+          | None -> ()
+          | Some conn -> (
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> s_close_conn ss conn
+              | n ->
+                  conn.last_rx <- Unix.gettimeofday ();
+                  Wire.Reader.feed conn.reader (Bytes.sub_string buf 0 n);
+                  pump_sframes ss conn
+              | exception
+                  Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                  ()
+              | exception Unix.Unix_error _ -> s_close_conn ss conn))
+      r;
+    s_scan_completions ss;
+    if ss.s_interval > 0.0 then begin
+      let now = s_mono ss in
+      if now -. !last_frame >= ss.s_interval then begin
+        last_frame := now;
+        let frame = s_frame ss ~cut:true in
+        Hashtbl.iter
+          (fun _ c ->
+            if c.subscribed && not c.closing then
+              send c (Wire.Telemetry frame))
+          ss.s_conns;
+        s_export_prom ss
+      end
+    end;
+    (* quiesce waiters: answered only once every submission, local or
+       cross-shard, has reported through the router *)
+    if Shard_service.pending ss.svc = 0 then
+      Hashtbl.iter
+        (fun _ conn ->
+          if conn.wants_quiesce then begin
+            conn.wants_quiesce <- false;
+            send conn (s_quiesced ss)
+          end)
+        ss.s_conns;
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt ss.s_conns fd with
+        | None -> ()
+        | Some conn -> (
+            let pending = String.length conn.out - conn.out_off in
+            if pending > 0 then
+              match Unix.write_substring fd conn.out conn.out_off pending with
+              | n ->
+                  conn.out_off <- conn.out_off + n;
+                  if conn.out_off >= String.length conn.out then begin
+                    conn.sent <- conn.sent + String.length conn.out;
+                    conn.out <- "";
+                    conn.out_off <- 0;
+                    if conn.closing then s_close_conn ss conn
+                  end
+              | exception
+                  Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                  ()
+              | exception Unix.Unix_error _ -> s_close_conn ss conn))
+      w;
+    if read_timeout > 0.0 then begin
+      let now = Unix.gettimeofday () in
+      let stale =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if
+              now -. c.last_rx > read_timeout
+              && String.length c.out = c.out_off
+            then c :: acc
+            else acc)
+          ss.s_conns []
+      in
+      List.iter (fun c -> s_close_conn ss c) stale
+    end;
+    if ss.s_draining && Shard_service.pending ss.svc = 0 then begin
+      let flushed =
+        Hashtbl.fold
+          (fun _ c acc -> acc && String.length c.out = c.out_off)
+          ss.s_conns true
+      in
+      if flushed then begin
+        Hashtbl.iter (fun _ c -> try Unix.close c.fd with _ -> ()) ss.s_conns;
+        Hashtbl.reset ss.s_conns;
+        continue := false
+      end
+    end
+  done
+
 (* ----- obs plumbing (mirrors ntsim) ----- *)
 
 type obs_format = Obs_jsonl | Obs_chrome
@@ -1142,12 +1554,133 @@ let setup_obs metrics obs_format obs_out =
       let obs = Obs.create ~metrics ~sink () in
       (obs, fun () -> Obs.close obs)
 
+(* The sharded variant: shard [s] writes PATH.shard<s>, each with its
+   own registry — worker domains must not share one.  [Shard_service]
+   calls [obs_for] on the serving thread before spawning, so the
+   closer list needs no lock. *)
+let setup_shard_obs obs_format obs_out =
+  match obs_out with
+  | None -> (None, fun () -> ())
+  | Some path ->
+      let closers = ref [] in
+      let obs_for s =
+        let sink =
+          let spath = Printf.sprintf "%s.shard%d" path s in
+          match Option.value ~default:Obs_jsonl obs_format with
+          | Obs_jsonl -> Obs_sink.jsonl_file spath
+          | Obs_chrome -> Chrome_trace.sink_file spath
+        in
+        let obs = Obs.create ~sink () in
+        closers := obs :: !closers;
+        obs
+      in
+      (Some obs_for, fun () -> List.iter Obs.close !closers)
+
 (* ----- command line ----- *)
+
+let make_listen socket port =
+  match (socket, port) with
+  | Some path, None ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None, Some p ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+      Unix.listen fd 64;
+      (fd, fun () -> ())
+  | _ ->
+      Format.eprintf "ntserved: pass exactly one of --socket or --port@.";
+      exit 2
+
+let install_signals () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let on_term = Sys.Signal_handle (fun _ -> terminate := true) in
+  Sys.set_signal Sys.sigterm on_term;
+  Sys.set_signal Sys.sigint on_term;
+  Sys.set_signal Sys.sigquit (Sys.Signal_handle (fun _ -> dump_signal := true))
+
+let serve_sharded socket port backend table n_objects seed policy admission
+    max_steps read_timeout obs_format obs_out telemetry_interval prom shards
+    verbose =
+  let table = if Check.rw_only backend then T_rw else table in
+  let objects = build_objects table n_objects in
+  let metrics = Metrics.create () in
+  let hub = Telemetry.Hub.create ~interval_s:telemetry_interval metrics in
+  let obs_for, finish_obs = setup_shard_obs obs_format obs_out in
+  let notify_r, notify_w = Unix.pipe () in
+  Unix.set_nonblock notify_r;
+  Unix.set_nonblock notify_w;
+  let notify () =
+    (* Worker-side wake-up; a full pipe already guarantees a wake. *)
+    try ignore (Unix.write notify_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+  in
+  let svc =
+    Shard_service.start ~policy ~max_steps ~gating:admission ?obs_for ~notify
+      ~shards ~seed objects
+      (Check.factory_of backend)
+  in
+  let ss =
+    {
+      svc;
+      s_backend = backend;
+      s_objects = objects;
+      s_conns = Hashtbl.create 16;
+      s_metrics = metrics;
+      s_hub = hub;
+      s_t0 = Unix.gettimeofday ();
+      s_interval = telemetry_interval;
+      s_prom = prom;
+      s_verbose = verbose;
+      s_draining = false;
+      s_open = Hashtbl.create 256;
+      s_reqs = Hashtbl.create 256;
+      notify_r;
+    }
+  in
+  let listen_fd, cleanup = make_listen socket port in
+  install_signals ();
+  if verbose then
+    Format.printf "ntserved: %s backend, %d objects, %d shards, admission %s@."
+      (Check.backend_name backend)
+      (List.length objects) shards
+      (if admission then "on" else "off");
+  run_sharded_server listen_fd ss ~read_timeout;
+  Shard_service.stop ss.svc;
+  Unix.close listen_fd;
+  cleanup ();
+  (try Unix.close notify_r with Unix.Unix_error _ -> ());
+  (try Unix.close notify_w with Unix.Unix_error _ -> ());
+  let r, _forest, _schema = Shard_service.finish ss.svc in
+  finish_obs ();
+  s_export_prom ss;
+  let rt = Shard_service.router ss.svc in
+  Format.printf
+    "ntserved: served %d submissions over %d shards (%d cross-shard): %d \
+     committed, %d aborted (%d vetoed), %d monitor alarms@."
+    (Shard_router.submitted rt) shards (Shard_router.cross_count rt)
+    r.Runtime.committed_top r.Runtime.aborted_top
+    (s_sum (fun st -> st.Shard_engine.sh_vetoed) ss)
+    (s_alarms ss);
+  if verbose then
+    Array.iteri
+      (fun i (st : Shard_engine.stats) ->
+        Format.printf
+          "  shard %d: %d pieces, %d committed, %d aborted, %d vetoed, %d \
+           steps@."
+          i st.sh_submitted st.sh_committed st.sh_aborted st.sh_vetoed
+          st.sh_steps)
+      (s_stats ss);
+  if s_alarms ss > 0 then exit 1
 
 let serve_cmd socket port backend_name table n_objects seed policy admission
     max_steps burst read_timeout wal fsync_batch fsync_interval snapshot_every
     obs_format obs_out telemetry_interval audit_log prom slow_ms flight
-    flight_dir gc_trace verbose =
+    flight_dir gc_trace shards verbose =
   let backend =
     match Check.backend_of_name backend_name with
     | Some b when List.mem b Check.correct_backends -> b
@@ -1158,6 +1691,33 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
         Format.eprintf "ntserved: unknown backend %s@." backend_name;
         exit 2
   in
+  if shards < 1 then begin
+    Format.eprintf "ntserved: --shards must be at least 1@.";
+    exit 2
+  end;
+  if shards > 1 then begin
+    (* The sharded service has no per-shard log yet (ROADMAP), and the
+       replication transform re-derives the whole physical forest per
+       submission — both are single-shard features; refuse loudly
+       rather than silently degrade. *)
+    if wal <> None then begin
+      Format.eprintf
+        "ntserved: --wal requires a single shard (per-shard logging is \
+         not implemented; drop --shards or --wal)@.";
+      exit 2
+    end;
+    if backend = Check.Replication then begin
+      Format.eprintf
+        "ntserved: the replication backend is single-shard only (its \
+         logical-to-physical transform re-derives the whole forest per \
+         submission)@.";
+      exit 2
+    end;
+    serve_sharded socket port backend table n_objects seed policy admission
+      max_steps read_timeout obs_format obs_out telemetry_interval prom
+      shards verbose
+  end
+  else begin
   if wal <> None && backend = Check.Replication then begin
     (* The log records physically transformed programs, but the
        replication transform re-derives the whole physical forest from
@@ -1258,29 +1818,8 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
       init_durability srv ~path ~fsync_batch
         ~fsync_interval_s:(float_of_int fsync_interval /. 1000.)
         ~snapshot_every ~meta);
-  let listen_fd, cleanup =
-    match (socket, port) with
-    | Some path, None ->
-        (try Unix.unlink path with Unix.Unix_error _ -> ());
-        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        Unix.bind fd (Unix.ADDR_UNIX path);
-        Unix.listen fd 64;
-        (fd, fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())
-    | None, Some p ->
-        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-        Unix.setsockopt fd Unix.SO_REUSEADDR true;
-        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
-        Unix.listen fd 64;
-        (fd, fun () -> ())
-    | _ ->
-        Format.eprintf "ntserved: pass exactly one of --socket or --port@.";
-        exit 2
-  in
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let on_term = Sys.Signal_handle (fun _ -> terminate := true) in
-  Sys.set_signal Sys.sigterm on_term;
-  Sys.set_signal Sys.sigint on_term;
-  Sys.set_signal Sys.sigquit (Sys.Signal_handle (fun _ -> dump_signal := true));
+  let listen_fd, cleanup = make_listen socket port in
+  install_signals ();
   if verbose then
     Format.printf "ntserved: %s backend, %d objects, admission %s@."
       (Check.backend_name backend)
@@ -1301,6 +1840,7 @@ let serve_cmd socket port backend_name table n_objects seed policy admission
     (Engine.submitted eng) r.Runtime.committed_top r.Runtime.aborted_top
     (Engine.vetoed eng) (Engine.orphan_aborts eng) (actionable_alarms srv);
   if actionable_alarms srv > 0 then exit 1
+  end
 
 let cmd =
   let socket =
@@ -1459,6 +1999,16 @@ let cmd =
              on OCaml 5, collection-count fallback otherwise).")
     |> Term.app (Term.const not)
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Serve from N shard engines, one per domain (OCaml 5; system \
+             threads on 4.x), with cross-shard commits gated by the \
+             spine.  N=1 is the classic single-engine loop; N>1 \
+             disables --wal, the flight recorder and the audit log.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ]) in
   let term =
     Term.(
@@ -1466,7 +2016,7 @@ let cmd =
       $ policy $ admission $ max_steps $ burst $ read_timeout $ wal
       $ fsync_batch $ fsync_interval $ snapshot_every $ obs_format $ obs_out
       $ telemetry_interval $ audit_log $ prom $ slow_ms $ flight $ flight_dir
-      $ gc_trace $ verbose)
+      $ gc_trace $ shards $ verbose)
   in
   Cmd.v
     (Cmd.info "ntserved" ~version:Version.string

@@ -77,6 +77,22 @@ let render ~clear (f : Wire.telemetry) =
     f.Wire.c_alarms;
   p "sg      : %d nodes  %d edges  %d reorders@." f.Wire.sg_nodes
     f.Wire.sg_edges f.Wire.sg_reorders;
+  if f.Wire.per_shard <> [] then begin
+    p "shards  :@.";
+    let maxc =
+      List.fold_left
+        (fun m (r : Wire.shard_row) -> Stdlib.max m r.Wire.r_committed)
+        0 f.Wire.per_shard
+    in
+    List.iter
+      (fun (r : Wire.shard_row) ->
+        p "  #%d  %6d pieces  %6d committed  %4d aborted  %4d vetoed  %4d \
+           live  %s@."
+          r.Wire.r_shard r.Wire.r_submitted r.Wire.r_committed
+          r.Wire.r_aborted r.Wire.r_vetoed r.Wire.r_live
+          (bar 16 r.Wire.r_committed maxc))
+      f.Wire.per_shard
+  end;
   let g = f.Wire.gc_pause in
   if g.Wire.h_count > 0 || f.Wire.gc_pct > 0. then
     p "gc      : %d pauses  p50 %dus  p99 %dus  max %dus  %.2f%% of wall@."

@@ -106,6 +106,22 @@ let grammar_of_name = function
   | "smallbank" -> Some Smallbank
   | _ -> None
 
+(* Which grammars a backend's objects can actually run: the rw-only
+   protocols (see [rw_only]) are stated for read/write registers, and
+   SmallBank is register-encoded, so those two pass everywhere; the
+   counter/mixed/weighted grammars draw non-register datatypes. *)
+let grammar_allowed backend = function
+  | Rw | Smallbank -> true
+  | Counters | Mixed | Weighted -> not (rw_only backend)
+
+let grammar_conflict_message backend grammar =
+  Printf.sprintf
+    "grammar %S cannot run on backend %S: %s are stated for read/write \
+     registers only (register-only grammars: rw, smallbank)"
+    (grammar_name grammar) (backend_name backend)
+    (String.concat ", "
+       (List.map backend_name (List.filter rw_only all_backends)))
+
 type shape = Default | Lock_heavy | Deep_nesting | Abort_storm
 
 let profile_of_shape = function
@@ -481,6 +497,7 @@ type recorded = {
   rc_offsets : int list;
   rc_snapshot : string option;
   rc_report : serve_report;
+  rc_closure_len : int;
 }
 
 let record ?(obs = Obs.null) ?(max_steps = 200_000) ?(drop_prob = 0.0)
@@ -524,7 +541,13 @@ let record ?(obs = Obs.null) ?(max_steps = 200_000) ?(drop_prob = 0.0)
   (* Cut before every Submit/Kill record: the covering [Steps] record,
      then any outcomes those steps produced — so every intact log
      prefix reproduces exactly the state its audit records claim. *)
+  (* The in-memory replay closure a live server would keep between
+     snapshots, maintained incrementally so its growth can be pinned:
+     however long the run, it holds at most [2 * (submits + kills) + 1]
+     records, not one per idle [Steps] cut. *)
+  let closure = Nt_net.Wal.Closure.create () in
   let cut () =
+    Nt_net.Wal.Closure.push closure (Nt_net.Wal.Steps !pending_steps);
     Nt_net.Wal.Writer.log_steps w !pending_steps;
     pending_steps := 0
   in
@@ -572,13 +595,16 @@ let record ?(obs = Obs.null) ?(max_steps = 200_000) ?(drop_prob = 0.0)
     | prog :: rest when !last = `Quiescent || Rng.int rng 3 = 0 ->
         pending := rest;
         cut ();
-        Nt_net.Wal.Writer.append w
-          (Nt_net.Wal.Submit
-             {
-               req = None;
-               client = "check";
-               program = Program_io.program_to_string prog;
-             });
+        let r =
+          Nt_net.Wal.Submit
+            {
+              req = None;
+              client = "check";
+              program = Program_io.program_to_string prog;
+            }
+        in
+        Nt_net.Wal.Closure.push closure r;
+        Nt_net.Wal.Writer.append w r;
         (match Nt_net.Engine.submit eng prog with
         | Ok txn ->
             if drop_prob > 0.0 && Rng.float rng 1.0 < drop_prob then
@@ -594,6 +620,7 @@ let record ?(obs = Obs.null) ?(max_steps = 200_000) ?(drop_prob = 0.0)
           decr left;
           if !left <= 0 then begin
             cut ();
+            Nt_net.Wal.Closure.push closure (Nt_net.Wal.Kill { txn });
             Nt_net.Wal.Writer.append w (Nt_net.Wal.Kill { txn });
             (match Nt_net.Engine.kill eng txn with
             | `Aborted | `Doomed -> incr dropped
@@ -671,10 +698,144 @@ let record ?(obs = Obs.null) ?(max_steps = 200_000) ?(drop_prob = 0.0)
     rc_offsets = offsets;
     rc_snapshot = !snapshot;
     rc_report = report;
+    rc_closure_len = Nt_net.Wal.Closure.length closure;
   }
 
 let serve ?obs ?max_steps ?drop_prob ?admission ~seed backend sc =
   (record ?obs ?max_steps ?drop_prob ?admission ~seed backend sc).rc_report
+
+(* ----- sharded serving harness ----- *)
+
+type sharded_report = {
+  sh_report : serve_report;
+  sh_shards : int;
+  sh_cross : int;
+  sh_local : int;
+  sh_spine_checks : int;
+  sh_spine_vetoes : int;
+  sh_spine_edges : int;
+}
+
+let serve_sharded ?(max_steps = 200_000) ?(drop_prob = 0.0) ?(gating = true)
+    ~shards ~seed backend sc =
+  let factory = factory_of backend in
+  let objects, progs, plan = physical backend sc in
+  (* The default partition key strips replica suffixes, so a logical
+     object's replicas are co-sharded: quorum writes stay shard-local
+     unless the logical program itself crosses shards. *)
+  let cl =
+    Nt_shard.Cluster.create ~policy:sc.policy ~inform_policy:sc.inform_policy
+      ~abort_prob:sc.abort_prob ~max_steps ~gating ~shards ~seed:sc.sched_seed
+      objects factory
+  in
+  let rt = Nt_shard.Cluster.router cl in
+  let rng = Rng.create seed in
+  let pending = ref progs in
+  let drops = ref [] in
+  let dropped = ref 0 in
+  let last = ref `Progress in
+  let continue = ref true in
+  while !continue do
+    (match !pending with
+    | prog :: rest when !last = `Quiescent || Rng.int rng 3 = 0 ->
+        pending := rest;
+        (match Nt_shard.Cluster.submit cl prog with
+        | Ok g ->
+            if drop_prob > 0.0 && Rng.float rng 1.0 < drop_prob then
+              drops := (g, ref (1 + Rng.int rng 8)) :: !drops
+        | Error e ->
+            invalid_arg
+              ("Check.serve_sharded: generated program rejected: " ^ e))
+    | _ -> ());
+    last := Nt_shard.Cluster.step_shard cl (Rng.int rng shards);
+    drops :=
+      List.filter
+        (fun (g, left) ->
+          decr left;
+          if !left <= 0 then begin
+            Nt_shard.Cluster.kill cl g;
+            incr dropped;
+            false
+          end
+          else true)
+        !drops;
+    if Nt_shard.Cluster.truncated cl then continue := false
+    else if
+      !pending = []
+      && Nt_shard.Cluster.quiescent cl
+      && Nt_shard.Router.pending rt = []
+    then continue := false
+  done;
+  let r, forest, schema = Nt_shard.Cluster.finish cl in
+  let truncated = r.Runtime.stats.truncated in
+  let cross = Nt_shard.Router.cross_count rt in
+  let engine_of s = Nt_shard.Shard_engine.engine (Nt_shard.Cluster.engine cl s) in
+  let sum f =
+    let acc = ref 0 in
+    for s = 0 to shards - 1 do
+      acc := !acc + f (engine_of s)
+    done;
+    !acc
+  in
+  let orphans = sum Nt_net.Engine.orphan_aborts in
+  let alarms = sum Nt_net.Engine.alarms in
+  let cycle_alarms =
+    sum (fun eng ->
+        (Monitor.counters (Nt_net.Admission.monitor (Nt_net.Engine.admission eng)))
+          .Monitor.cycle_alarms)
+  in
+  let failure =
+    if truncated then None
+    else
+      let judged_as = match backend with Replication -> Undo | b -> b in
+      match judge judged_as schema r forest with
+      | Some f -> Some f
+      | None -> (
+          match plan with
+          | Some plan
+            when cross = 0
+                 && r.Runtime.stats.deadlock_aborts = 0
+                 && r.Runtime.stats.injected_aborts = 0
+                 && orphans = 0
+                 && Nt_shard.Cluster.vetoed cl = 0 -> (
+              (* One-copy is only claimed when every replicated program
+                 stayed whole on one shard: a split program's merged
+                 forest node is a [Par] of pieces, so the plan's
+                 position map no longer describes it. *)
+              match
+                Nt_replication.Replication.check_one_copy plan r.Runtime.trace
+              with
+              | Ok () -> None
+              | Error v ->
+                  Some
+                    (One_copy
+                       (Format.asprintf "%a"
+                          Nt_replication.Replication.pp_violation v)))
+          | _ -> None)
+  in
+  let sp = Nt_shard.Cluster.spine cl in
+  {
+    sh_report =
+      {
+        s_trace = r.Runtime.trace;
+        s_submitted = Nt_shard.Router.submitted rt;
+        s_committed = r.Runtime.committed_top;
+        s_aborted = r.Runtime.aborted_top;
+        s_vetoed = Nt_shard.Cluster.vetoed cl;
+        s_dropped = !dropped;
+        s_orphans = orphans;
+        s_alarms = alarms;
+        s_cycle_alarms = cycle_alarms;
+        s_truncated = truncated;
+        s_failure = failure;
+      };
+    sh_shards = shards;
+    sh_cross = cross;
+    sh_local = Nt_shard.Router.local_count rt;
+    sh_spine_checks = Nt_shard.Spine.checks sp;
+    sh_spine_vetoes = Nt_shard.Spine.vetoes sp;
+    sh_spine_edges = Nt_shard.Spine.edge_count sp;
+  }
 
 (* ----- crash injection ----- *)
 

@@ -114,6 +114,18 @@ type grammar = Rw | Counters | Mixed | Weighted | Smallbank
 val grammar_name : grammar -> string
 val grammar_of_name : string -> grammar option
 
+val grammar_allowed : backend -> grammar -> bool
+(** Whether the backend's objects can run programs from the grammar:
+    [Rw] and [Smallbank] are register-encoded and pass everywhere;
+    [Counters]/[Mixed]/[Weighted] draw non-register datatypes, which
+    the {!rw_only} backends cannot run.  Front ends should refuse the
+    combination up front (see {!grammar_conflict_message}) rather than
+    let {!gen_scenario} silently coerce a pinned grammar to [Rw]. *)
+
+val grammar_conflict_message : backend -> grammar -> string
+(** Diagnostic for a [grammar_allowed b g = false] pair, naming the
+    register-only backends and the grammars they do admit. *)
+
 type shape = Default | Lock_heavy | Deep_nesting | Abort_storm
 
 val gen_scenario :
@@ -222,6 +234,54 @@ val serve :
     physical programs (judged as [Undo], plus one-copy when no abort
     interfered — mirroring {!run_scenario}). *)
 
+(** {1 Sharded serving}
+
+    The same oracles pointed at the multicore ensemble: the scenario's
+    forest streams into a {!Nt_shard.Cluster} — one {!Nt_net.Engine}
+    per shard behind a {!Nt_shard.Router}, cross-shard commits gated by
+    the {!Nt_shard.Spine} — stepped deterministically, one shard at a
+    time, by a single splittable [Rng].  The merged history (stamp-
+    sorted union of the shards' traces plus the router's synthetic
+    cross-program nodes) is judged offline by the same four oracles,
+    which is the differential claim of [doc/sharding.mld]: for the
+    verified backends the sharded gate must fail exactly when the
+    single-shard gate does, at failure-tag granularity. *)
+
+type sharded_report = {
+  sh_report : serve_report;
+      (** Exactly {!serve}'s shape, for the merged run: summed alarms
+          and orphan counts, merged top-level commit/abort counts, and
+          the merged trace. *)
+  sh_shards : int;
+  sh_cross : int;  (** Submissions split across shards. *)
+  sh_local : int;  (** Submissions dispatched whole to one shard. *)
+  sh_spine_checks : int;  (** Cross-shard gate decisions taken. *)
+  sh_spine_vetoes : int;  (** Commits vetoed by the cross-shard gate. *)
+  sh_spine_edges : int;  (** Explicit conflict edges installed. *)
+}
+
+val serve_sharded :
+  ?max_steps:int ->
+  ?drop_prob:float ->
+  ?gating:bool ->
+  shards:int ->
+  seed:int ->
+  backend ->
+  scenario ->
+  sharded_report
+(** Serve the scenario's forest through a [shards]-way
+    {!Nt_shard.Cluster}.  [seed] drives arrivals, shard-step
+    interleaving and disconnect injection; the scenario's [sched_seed]
+    seeds the shard engines (shard [s] on [sched_seed + s * 1000003]).
+    Deterministic: same arguments, same report.  [Replication]
+    scenarios are physically transformed up front with replicas
+    co-sharded by the default partition key; the one-copy oracle runs
+    only when every replicated program stayed single-shard (a split
+    program's merged node is a [Par] of pieces, outside the plan's
+    position map).  [gating:false] disables both the local and the
+    cross-shard commit gates — the negative-control configuration whose
+    admitted cross-shard cycles the SG oracle must catch. *)
+
 (** {1 Durability: recorded serves and crash injection}
 
     {!record} is {!serve} with a write-ahead log attached: the same
@@ -242,6 +302,11 @@ type recorded = {
   rc_snapshot : string option;
       (** Encoded snapshot, when [snapshot_at] fired mid-run. *)
   rc_report : serve_report;  (** Exactly {!serve}'s report. *)
+  rc_closure_len : int;
+      (** Final length of the incrementally-maintained in-memory
+          replay closure ({!Nt_net.Wal.Closure}) — bounded by
+          [2 * (submits + kills) + 1] however long the run, which is
+          what keeps a live server's between-snapshot memory flat. *)
 }
 
 val record :

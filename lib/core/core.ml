@@ -22,7 +22,10 @@
        {!Obs_json}, {!Stage}, {!Gcmon}, {!Profile}, {!Flight};}
     {- property-based checking: {!Check}, {!Shrink}, {!Bundle};}
     {- serving and durability: {!Wire}, {!Admission}, {!Engine},
-       {!Wal}, {!Telemetry} (plus {!Version}).}} *)
+       {!Wal}, {!Telemetry} (plus {!Version});}
+    {- multicore sharding: {!Partition}, {!Footprint}, {!Split},
+       {!Spine}, {!Shard_engine}, {!Shard_router}, {!Shard_cluster},
+       {!Shard_service}.}} *)
 
 module Txn_id = Nt_base.Txn_id
 module Obj_id = Nt_base.Obj_id
@@ -104,3 +107,12 @@ module Admission = Nt_net.Admission
 module Engine = Nt_net.Engine
 module Wal = Nt_net.Wal
 module Telemetry = Nt_net.Telemetry
+module Partition = Nt_shard.Partition
+module Footprint = Nt_shard.Footprint
+module Split = Nt_shard.Split
+module Spine = Nt_shard.Spine
+module Shard_engine = Nt_shard.Shard_engine
+module Shard_router = Nt_shard.Router
+module Shard_cluster = Nt_shard.Cluster
+module Shard_service = Nt_shard.Service
+module Domain_compat = Nt_shard.Domain_compat

@@ -56,4 +56,10 @@ let gate t u =
           Metrics.incr (Metrics.counter (Obs.metrics t.obs) "admission.vetoed");
         false
 
+let record_veto t u ~cycle ~witness =
+  t.vetoed <- t.vetoed + 1;
+  Txn_id.Tbl.replace t.vetoes (top_of u) { node = u; cycle; witness };
+  if Obs.enabled t.obs then
+    Metrics.incr (Metrics.counter (Obs.metrics t.obs) "admission.vetoed")
+
 let veto_of t u = Txn_id.Tbl.find_opt t.vetoes (top_of u)

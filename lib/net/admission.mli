@@ -42,6 +42,13 @@ val on_action : t -> Action.t -> unit
 val gate : t -> Txn_id.t -> bool
 (** The commit gate: [false] vetoes. *)
 
+val record_veto : t -> Txn_id.t -> cycle:Txn_id.t list -> witness:string -> unit
+(** Record a veto decided {e outside} the local gate (the cross-shard
+    spine, see [Nt_shard]): bumps {!vetoed}, stores the witness under
+    the transaction's top-level ancestor, and emits the
+    [admission.vetoed] counter — so externally-vetoed submissions
+    report through {!veto_of} exactly like local ones. *)
+
 val veto_of : t -> Txn_id.t -> veto option
 (** The recorded veto under this transaction's top-level ancestor, if
     its abort was an admission veto. *)

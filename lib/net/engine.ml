@@ -54,7 +54,8 @@ let subprogram progs n_progs txn =
 
 let create ?policy ?inform_policy ?abort_prob ?max_steps ?(obs = Obs.null)
     ?mode ?(admission = true) ?(max_program = 10_000)
-    ?(on_top_complete = fun _ _ -> ()) ?clock ~seed objects factory =
+    ?(on_top_complete = fun _ _ -> ()) ?(on_action = fun _ -> ())
+    ?(extra_gate = fun _ -> true) ?clock ~seed objects factory =
   let dtypes = Obj_id.Tbl.create 16 in
   List.iter (fun (x, dt) -> Obj_id.Tbl.replace dtypes x dt) objects;
   let progs = ref [||] and n_progs = ref 0 in
@@ -95,7 +96,9 @@ let create ?policy ?inform_policy ?abort_prob ?max_steps ?(obs = Obs.null)
         | Some st -> f st (c ())
         | None -> ())
   in
+  let caller_tap = on_action in
   let on_action a =
+    caller_tap a;
     (match a with
     | Action.Create u when Txn_id.depth u = 1 ->
         stamp u (fun st now -> st.st_start <- now)
@@ -112,16 +115,20 @@ let create ?policy ?inform_policy ?abort_prob ?max_steps ?(obs = Obs.null)
     | _ -> ());
     Admission.on_action adm a
   in
+  (* The local verdict first: a commit the local monitor already
+     refuses never reaches [extra_gate], so the cross-shard spine only
+     ever sees locally-consistent candidates. *)
+  let gate u = Admission.gate adm u && extra_gate u in
   let commit_gate =
     match clock with
-    | None -> fun u -> Admission.gate adm u
+    | None -> gate
     | Some c ->
         (* Attribute gate time to the top-level ancestor: inner commits
            consult the gate too, and the request is the unit of
            reporting. *)
         fun u ->
           let t0 = c () in
-          let r = Admission.gate adm u in
+          let r = gate u in
           let dt = c () -. t0 in
           (match Txn_id.path u with
           | i :: _ -> (

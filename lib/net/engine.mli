@@ -57,6 +57,8 @@ val create :
   ?admission:bool ->
   ?max_program:int ->
   ?on_top_complete:(Txn_id.t -> [ `Committed | `Aborted ] -> unit) ->
+  ?on_action:(Action.t -> unit) ->
+  ?extra_gate:(Txn_id.t -> bool) ->
   ?clock:(unit -> float) ->
   seed:int ->
   (Obj_id.t * Datatype.t) list ->
@@ -75,7 +77,14 @@ val create :
     scheduler-start / cumulative-gate / completion stamps per live
     top-level transaction, at the cost of a couple of clock reads per
     transaction and per gate consultation.  Without it the engine
-    behaves exactly as before. *)
+    behaves exactly as before.  [on_action] is a read-only tap fired
+    before the engine's own bookkeeping on every runtime action — a
+    shard wrapper uses it to stamp sequence numbers and mirror the
+    action stream.  [extra_gate] is a second commit gate consulted
+    {e only after} the local admission controller admits: returning
+    [false] vetoes the commit exactly as a local veto would (the
+    caller should record the veto via {!Admission.record_veto} so
+    {!state} can report it). *)
 
 val submit : t -> Program.t -> (Txn_id.t, string) result
 (** Validate (size, declared objects, offered operations) and attach.

@@ -85,6 +85,58 @@ module Hub : sig
   (** {!peek}, then close the interval: remember current cumulative
       readings as the new baseline, snapshot the registry and rotate
       the window.  Call once per telemetry interval. *)
+
+  (** {2 Sharded frames}
+
+      A sharded server cannot hand the hub one engine — each lives on
+      its own domain — so the engine-reading half of a frame is split
+      out as a [counts] value the caller assembles: per-shard
+      {!Shard_engine.published} snapshots summed with {!merge}. *)
+
+  type counts = {
+    n_submitted : int;
+    n_committed : int;
+    n_aborted : int;
+    n_vetoed : int;
+    n_orphans : int;
+    n_live : int;
+    n_doomed : int;
+    n_sg_nodes : int;
+    n_sg_edges : int;
+    n_sg_reorders : int;
+  }
+
+  val zero_counts : counts
+
+  val counts_of_engine : Engine.t -> counts
+  (** The readings {!peek} takes; must be called from the engine's
+      owning thread. *)
+
+  val merge : counts list -> counts
+  (** Field-wise sum.  Exact for disjoint shard monitors: shard SGs
+      partition the tops, cross-shard edges live in the spine. *)
+
+  val peek_counts :
+    ?per_shard:Wire.shard_row list ->
+    t ->
+    counts:counts ->
+    alarms:int ->
+    conns:int ->
+    subscribers:int ->
+    now:float ->
+    Wire.telemetry
+  (** {!peek} from pre-read counts instead of a live engine. *)
+
+  val cut_counts :
+    ?per_shard:Wire.shard_row list ->
+    t ->
+    counts:counts ->
+    alarms:int ->
+    conns:int ->
+    subscribers:int ->
+    now:float ->
+    Wire.telemetry
+  (** {!cut} from pre-read counts instead of a live engine. *)
 end
 
 module Audit : sig

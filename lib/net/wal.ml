@@ -539,6 +539,41 @@ let compact records =
   in
   go [] records
 
+(* An incrementally-maintained replay closure: [push] is [compact]
+   applied one record at a time, so the retained list never holds two
+   adjacent [Steps] and never holds a non-replay record at all.  With
+   [e] retained [Submit]/[Kill] records the closure is at most
+   [2*e + 1] records long, however many raw records were pushed. *)
+module Closure = struct
+  type t = {
+    mutable rev : record list;  (* compacted, newest first *)
+    mutable events : int;  (* retained [Submit]/[Kill] records *)
+  }
+
+  let create () = { rev = []; events = 0 }
+
+  let push t r =
+    match r with
+    | Steps n when n > 0 -> (
+        match t.rev with
+        | Steps m :: rest -> t.rev <- Steps (n + m) :: rest
+        | _ -> t.rev <- r :: t.rev)
+    | Steps _ -> ()
+    | Submit _ | Kill _ ->
+        t.rev <- r :: t.rev;
+        t.events <- t.events + 1
+    | Outcome _ | Meta _ | Sg_state _ | Counts _ -> ()
+
+  let of_records rs =
+    let t = create () in
+    List.iter (push t) rs;
+    t
+
+  let records t = List.rev t.rev
+  let length t = List.length t.rev
+  let events t = t.events
+end
+
 (* ----- replay ----- *)
 
 type replayable = {

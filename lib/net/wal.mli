@@ -200,6 +200,37 @@ val compact : record list -> record list
     snapshot stores.  [compact] is idempotent and replay-equivalent to
     its input. *)
 
+module Closure : sig
+  (** An incrementally-maintained replay closure: {!push} is
+      {!compact} applied one record at a time, so memory between
+      snapshots is bounded by the retained [Submit]/[Kill] records —
+      with [events t = e] the closure holds at most [2*e + 1] records,
+      however many raw records (idle [Steps] cuts included) were
+      pushed. *)
+
+  type t
+
+  val create : unit -> t
+
+  val of_records : record list -> t
+  (** [of_records rs] pushes [rs] (oldest first) into a fresh closure. *)
+
+  val push : t -> record -> unit
+  (** Append one record: merges into a trailing [Steps] run, drops
+      [Steps 0] and non-replay records ([Outcome]/[Meta]/[Sg_state]/
+      [Counts]). *)
+
+  val records : t -> record list
+  (** The closure, oldest first; equal to [compact] of everything
+      pushed. *)
+
+  val length : t -> int
+  (** Records currently retained. *)
+
+  val events : t -> int
+  (** Retained [Submit]/[Kill] records; [length t <= 2 * events t + 1]. *)
+end
+
 (** {1 Replay} *)
 
 type replayable = {

@@ -1,7 +1,7 @@
 open Nt_base
 open Nt_obs
 
-let protocol_version = 4
+let protocol_version = 5
 let max_frame = 4 * 1024 * 1024
 let max_header = 20
 
@@ -122,6 +122,18 @@ let empty_hist =
     h_buckets = [];
   }
 
+(* One shard's counters, carried in Telemetry and Quiesced answers
+   when the server runs sharded ([shards > 1] in its Welcome); empty
+   on single-engine servers and pre-v5 peers. *)
+type shard_row = {
+  r_shard : int;
+  r_submitted : int;
+  r_committed : int;
+  r_aborted : int;
+  r_vetoed : int;
+  r_live : int;
+}
+
 type telemetry = {
   seq : int;
   t_mono : float;
@@ -150,6 +162,7 @@ type telemetry = {
   stages : (string * hist) list;
   gc_pause : hist;
   gc_pct : float;
+  per_shard : shard_row list;
 }
 
 type response =
@@ -159,6 +172,7 @@ type response =
       backend : string;
       status : server_status;
       objects : (string * string) list;
+      shards : int;  (** Worker domains; 1 on single-engine servers. *)
     }
   | Accepted of { txn : Txn_id.t; req : string option }
   | Rejected of { why : string; req : string option }
@@ -173,7 +187,13 @@ type response =
       status : server_status;
     }
   | Dumped of { spans : int; dropped : int; jsonl : string; chrome : string }
-  | Quiesced of { committed : int; aborted : int; vetoed : int; alarms : int }
+  | Quiesced of {
+      committed : int;
+      aborted : int;
+      vetoed : int;
+      alarms : int;
+      per_shard : shard_row list;
+    }
   | Goodbye
   | Error_msg of string
 
@@ -221,6 +241,21 @@ let state_fields = function
   | Aborted None -> [ ("state", str "aborted") ]
   | Aborted (Some why) -> [ ("state", str "aborted"); ("veto", str why) ]
 
+let shard_row_to_json r =
+  obj
+    [
+      ("shard", int r.r_shard);
+      ("submitted", int r.r_submitted);
+      ("committed", int r.r_committed);
+      ("aborted", int r.r_aborted);
+      ("vetoed", int r.r_vetoed);
+      ("live", int r.r_live);
+    ]
+
+let per_shard_fields = function
+  | [] -> []
+  | rows -> [ ("shards", Json.Arr (List.map shard_row_to_json rows)) ]
+
 let hist_to_json h =
   obj
     [
@@ -238,7 +273,7 @@ let hist_to_json h =
 
 let telemetry_to_json t =
   obj
-    [
+    ([
       ("type", str "telemetry");
       ("seq", int t.seq);
       ("t", Json.Float t.t_mono);
@@ -289,9 +324,10 @@ let telemetry_to_json t =
           [ ("pause_us", hist_to_json t.gc_pause); ("pct", Json.Float t.gc_pct) ]
       );
     ]
+    @ per_shard_fields t.per_shard)
 
 let response_to_json = function
-  | Welcome { server; version; backend; status; objects } ->
+  | Welcome { server; version; backend; status; objects; shards } ->
       obj
         ([
            ("type", str "welcome");
@@ -299,6 +335,7 @@ let response_to_json = function
            ("version", str version);
            ("protocol", int protocol_version);
            ("backend", str backend);
+           ("shards", int shards);
          ]
         @ status_fields status
         @ [
@@ -338,15 +375,16 @@ let response_to_json = function
           ("jsonl", str jsonl);
           ("chrome", str chrome);
         ]
-  | Quiesced { committed; aborted; vetoed; alarms } ->
+  | Quiesced { committed; aborted; vetoed; alarms; per_shard } ->
       obj
-        [
-          ("type", str "quiesced");
-          ("committed", int committed);
-          ("aborted", int aborted);
-          ("vetoed", int vetoed);
-          ("alarms", int alarms);
-        ]
+        ([
+           ("type", str "quiesced");
+           ("committed", int committed);
+           ("aborted", int aborted);
+           ("vetoed", int vetoed);
+           ("alarms", int alarms);
+         ]
+        @ per_shard_fields per_shard)
   | Goodbye -> obj [ ("type", str "goodbye") ]
   | Error_msg why -> obj [ ("type", str "error"); ("why", str why) ]
 
@@ -484,6 +522,27 @@ let hist_of_json j =
   in
   Ok { h_count; h_sum; h_min; h_max; h_p50; h_p99; h_p999; h_buckets }
 
+(* Absent on single-engine servers and pre-v5 peers: default []. *)
+let per_shard_of_json j =
+  match Json.member "shards" j with
+  | None -> Ok []
+  | Some (Json.Arr items) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* r_shard = int_field "shard" item in
+          let* r_submitted = int_field "submitted" item in
+          let* r_committed = int_field "committed" item in
+          let* r_aborted = int_field "aborted" item in
+          let* r_vetoed = int_field "vetoed" item in
+          let* r_live = int_field "live" item in
+          Ok
+            ({ r_shard; r_submitted; r_committed; r_aborted; r_vetoed; r_live }
+            :: acc))
+        (Ok []) items
+      |> Result.map List.rev
+  | Some _ -> Error "field \"shards\": expected an array"
+
 let telemetry_of_json j =
   let* seq = int_field "seq" j in
   let* t_mono = float_field "t" j in
@@ -538,6 +597,7 @@ let telemetry_of_json j =
         let* gc_pct = float_field "pct" gc in
         Ok (gc_pause, gc_pct)
   in
+  let* per_shard = per_shard_of_json j in
   Ok
     {
       seq;
@@ -567,6 +627,7 @@ let telemetry_of_json j =
       stages;
       gc_pause;
       gc_pct;
+      per_shard;
     }
 
 let response_of_json j =
@@ -591,7 +652,13 @@ let response_of_json j =
         | None -> Error "missing field \"objects\""
       in
       let* status = status_of_json j in
-      Ok (Welcome { server; version; backend; status; objects })
+      (* Absent on pre-v5 servers: a single engine. *)
+      let shards =
+        match Json.member "shards" j with
+        | Some v -> Option.value ~default:1 (Json.to_int_opt v)
+        | None -> 1
+      in
+      Ok (Welcome { server; version; backend; status; objects; shards })
   | "accepted" ->
       let* t = txn_field "txn" j in
       let* req = req_field j in
@@ -629,7 +696,8 @@ let response_of_json j =
       let* aborted = int_field "aborted" j in
       let* vetoed = int_field "vetoed" j in
       let* alarms = int_field "alarms" j in
-      Ok (Quiesced { committed; aborted; vetoed; alarms })
+      let* per_shard = per_shard_of_json j in
+      Ok (Quiesced { committed; aborted; vetoed; alarms; per_shard })
   | "goodbye" -> Ok Goodbye
   | "error" ->
       let* why = str_field "why" j in

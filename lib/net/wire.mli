@@ -135,6 +135,19 @@ type hist = {
 
 val empty_hist : hist
 
+type shard_row = {
+  r_shard : int;
+  r_submitted : int;
+  r_committed : int;
+  r_aborted : int;
+  r_vetoed : int;
+  r_live : int;
+}
+(** One shard's counters, carried in {!type:telemetry} and
+    [Quiesced] answers when the server runs sharded ([shards > 1] in
+    its [Welcome]); empty on single-engine servers and pre-v5
+    peers. *)
+
 type telemetry = {
   seq : int;  (** Monotonically increasing per server. *)
   t_mono : float;  (** Monotonic server clock, seconds. *)
@@ -172,6 +185,8 @@ type telemetry = {
   gc_pct : float;
       (** Percentage of the closing interval's wall time spent in GC
           pauses (0 when the monitor is imprecise or off). *)
+  per_shard : shard_row list;
+      (** Per-shard breakdown on sharded servers; [[]] otherwise. *)
 }
 (** One server-push telemetry frame. *)
 
@@ -185,6 +200,10 @@ type response =
           (** Name and {!Nt_workload.Program_io.dtype_decl} of every
               servable object — enough for a client to generate
               well-typed programs. *)
+      shards : int;
+          (** Worker domains serving the object table; 1 on
+              single-engine servers (and assumed 1 when absent from a
+              pre-v5 peer's welcome). *)
     }
   | Accepted of { txn : Txn_id.t; req : string option }
       (** The name under which the program runs, echoing the
@@ -211,7 +230,13 @@ type response =
       (** Flight-recorder dump written: span count, ring drops, and
           the server-side paths of the JSONL and Chrome-trace
           artifacts. *)
-  | Quiesced of { committed : int; aborted : int; vetoed : int; alarms : int }
+  | Quiesced of {
+      committed : int;
+      aborted : int;
+      vetoed : int;
+      alarms : int;
+      per_shard : shard_row list;
+    }
   | Goodbye
   | Error_msg of string  (** Protocol-level error; connection closes. *)
 

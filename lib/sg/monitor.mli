@@ -151,6 +151,15 @@ type prospective = (Txn_id.t * Txn_id.t * provenance) list
 (** Edges a speculated action would insert, with the provenance each
     would be recorded under. *)
 
+val prospective_commit_edges : t -> Txn_id.t -> prospective
+(** The edges [feed t (Commit w)] would insert, with the provenance
+    each would be recorded under — the visibility wakeups the commit
+    triggers, simulated without mutating the monitor.  This is the
+    dependency set a sharded admission controller ships to the
+    cross-shard gate (see [Nt_shard.Spine]).  Raises
+    [Invalid_argument] mid-{!feed_batch}, as {!commit_would_cycle}
+    does. *)
+
 val commit_would_cycle :
   t -> Txn_id.t -> (Txn_id.t list * prospective) option
 (** [commit_would_cycle t w] — would [feed t (Commit w)] close an SG

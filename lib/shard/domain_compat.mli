@@ -1,0 +1,22 @@
+(** Portable worker spawning for the sharded service.
+
+    On OCaml 5 a worker is a real domain ([Domain.spawn]) and shards run
+    in parallel; on 4.x the same interface is served by system threads —
+    semantically identical (every shared structure is mutex- or
+    atomic-guarded either way) but time-sliced on one core, so the
+    scaling bench only means something on 5.x.  {!parallelism_available}
+    lets callers report which world they are in. *)
+
+type 'a handle
+
+val spawn : (unit -> 'a) -> 'a handle
+val join : 'a handle -> 'a
+(** Waits for the worker and returns its result; re-raises the worker's
+    uncaught exception, if any. *)
+
+val parallelism_available : bool
+(** [true] iff workers are domains that can run in parallel. *)
+
+val recommended_worker_count : unit -> int
+(** An upper bound worth spawning: [Domain.recommended_domain_count]
+    on OCaml 5, [1] on 4.x. *)

@@ -1,0 +1,24 @@
+(** Static object footprints of programs.
+
+    The router classifies every submitted program by the set of objects
+    its AST can touch.  Because a {!Nt_serial.Program.t} names its
+    accesses syntactically — there is no data-dependent object choice —
+    the static footprint is exact: every object a run of the program
+    touches is a leaf of its tree (the property test in
+    [test_shard.ml] pins this over every grammar, nested-abort shapes
+    included). *)
+
+open Nt_base
+open Nt_serial
+
+val objects : Program.t -> Obj_id.t list
+(** Distinct objects of the program's leaves, in first-access order. *)
+
+type classification =
+  | Local of int  (** Every access lands on this one shard. *)
+  | Cross of int list
+      (** Touches several shards (sorted, distinct, length >= 2) — or,
+          conservatively, a program with no accesses at all routes as
+          [Local 0]. *)
+
+val classify : Partition.t -> Program.t -> classification

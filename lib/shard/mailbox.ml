@@ -1,0 +1,27 @@
+(* A mutex+condvar MPSC mailbox: many producers (the serving thread),
+   one consumer (the shard's worker).  [pop ~block:true] parks the
+   worker until a message arrives; non-blocking pops let the worker
+   interleave mailbox drains with engine steps while it has work. *)
+
+type 'a t = { mu : Mutex.t; cv : Condition.t; q : 'a Queue.t }
+
+let create () = { mu = Mutex.create (); cv = Condition.create (); q = Queue.create () }
+
+let push t x =
+  Mutex.lock t.mu;
+  Queue.add x t.q;
+  Condition.signal t.cv;
+  Mutex.unlock t.mu
+
+let pop ~block t =
+  Mutex.lock t.mu;
+  if block then
+    while Queue.is_empty t.q do
+      Condition.wait t.cv t.mu
+    done;
+  let msgs = ref [] in
+  while not (Queue.is_empty t.q) do
+    msgs := Queue.pop t.q :: !msgs
+  done;
+  Mutex.unlock t.mu;
+  List.rev !msgs

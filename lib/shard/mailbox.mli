@@ -1,0 +1,11 @@
+(** A mutex-guarded MPSC mailbox (producers: the serving thread;
+    consumer: one shard worker). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+
+val pop : block:bool -> 'a t -> 'a list
+(** Every queued message, oldest first.  With [block:true], parks until
+    at least one message arrives. *)

@@ -1,0 +1,252 @@
+open Nt_base
+open Nt_spec
+open Nt_serial
+
+type dispatch = { d_shard : int; d_prefix : int list; d_prog : Program.t }
+
+type plan = { p_g : int; p_dispatches : dispatch list; p_cross : bool }
+
+type result_view =
+  | Pending
+  | Committed of Value.t
+  | Aborted of Nt_net.Admission.veto option
+
+type entry =
+  | Plain of { shard : int; mutable outcome : Shard_engine.outcome option }
+  | Cross of {
+      shards : int array;  (* piece index -> shard *)
+      values : Value.t option array;
+      mutable remaining : int;
+      mutable value : Value.t option;  (* G's value once synthesized *)
+    }
+
+type t = {
+  part : Partition.t;
+  spine : Spine.t;
+  mu : Mutex.t;
+  entries : (int, entry) Hashtbl.t;
+  progs : (int, Program.t) Hashtbl.t;  (* the merged forest, per g *)
+  mutable synth : (int * Action.t) list;  (* synthesized G actions *)
+  max_program : int;
+  mutable n_local : int;
+  mutable n_cross : int;
+}
+
+let create ?(max_program = 10_000) part spine =
+  {
+    part;
+    spine;
+    mu = Mutex.create ();
+    entries = Hashtbl.create 256;
+    progs = Hashtbl.create 256;
+    synth = [];
+    max_program;
+    n_local = 0;
+    n_cross = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Same checks the engine applies, against the full table — so a
+   cross-shard program is accepted or rejected atomically, before any
+   piece reaches a shard. *)
+let validate t prog =
+  if Program.size prog > t.max_program then
+    Error
+      (Printf.sprintf "program too large (%d names; limit %d)"
+         (Program.size prog) t.max_program)
+  else
+    let objects = Partition.objects t.part in
+    let rec check = function
+      | Program.Access (x, op) -> (
+          match
+            List.find_opt (fun (x', _) -> Obj_id.equal x x') objects
+          with
+          | None -> Error ("undeclared object " ^ Obj_id.name x)
+          | Some (_, dt) -> (
+              match dt.Datatype.apply dt.Datatype.init op with
+              | _ -> Ok ()
+              | exception Datatype.Unsupported _ ->
+                  Error
+                    (Printf.sprintf "operation %s not offered by %s (%s)"
+                       (Datatype.op_to_string op) (Obj_id.name x)
+                       dt.Datatype.dt_name)))
+      | Program.Node (_, children) ->
+          List.fold_left
+            (fun acc c -> Result.bind acc (fun () -> check c))
+            (Ok ()) children
+    in
+    check prog
+
+let top_txn g = Txn_id.child Txn_id.root g
+
+let plan t prog =
+  match validate t prog with
+  | Error _ as e -> e
+  | Ok () -> (
+      match Footprint.classify t.part prog with
+      | Footprint.Local s ->
+          let g = Spine.register t.spine in
+          locked t (fun () ->
+              Hashtbl.replace t.entries g (Plain { shard = s; outcome = None });
+              Hashtbl.replace t.progs g prog;
+              t.n_local <- t.n_local + 1;
+              (* The merged [T0] requests its children in name order, at
+                 dispatch — the engines issue their local counterparts
+                 lazily, in whatever order their schedulers reach them,
+                 which would let a later-named top complete before an
+                 earlier-named one was even requested and put the
+                 merged trace's affects relation at odds with the
+                 pseudotime (dfs) sibling order.  The shard tap drops
+                 the local event; this stamp is the one the merged
+                 trace and the spine's rail both use. *)
+              let s1 = Spine.stamp t.spine in
+              t.synth <- (s1, Action.Request_create (top_txn g)) :: t.synth;
+              Spine.note_submit t.spine g ~seq:s1);
+          Ok { p_g = g; p_dispatches = [ { d_shard = s; d_prefix = [ g ]; d_prog = prog } ]; p_cross = false }
+      | Footprint.Cross _ ->
+          let pieces = Split.pieces t.part prog in
+          let g = Spine.register t.spine in
+          locked t (fun () ->
+              let n = List.length pieces in
+              Hashtbl.replace t.entries g
+                (Cross
+                   {
+                     shards = Array.of_list (List.map fst pieces);
+                     values = Array.make n None;
+                     remaining = n;
+                     value = None;
+                   });
+              Hashtbl.replace t.progs g (Split.merged (List.map snd pieces));
+              t.n_cross <- t.n_cross + 1;
+              (* The merged system's [T0] requests the par-of-pieces
+                 node at dispatch: stamp its creation before any piece
+                 can act, which also anchors the spine's rail — and the
+                 node itself requests its pieces right away, in piece
+                 order, for the same affects-consistency reason as the
+                 plain case above (the local engines' requests for the
+                 piece roots are dropped by the shard taps). *)
+              let s1 = Spine.stamp t.spine in
+              t.synth <- (s1, Action.Request_create (top_txn g)) :: t.synth;
+              Spine.note_submit t.spine g ~seq:s1;
+              let s2 = Spine.stamp t.spine in
+              t.synth <- (s2, Action.Create (top_txn g)) :: t.synth;
+              List.iteri
+                (fun k _ ->
+                  let sk = Spine.stamp t.spine in
+                  t.synth <-
+                    (sk, Action.Request_create (Txn_id.child (top_txn g) k))
+                    :: t.synth)
+                pieces);
+          Ok
+            {
+              p_g = g;
+              p_dispatches =
+                List.mapi
+                  (fun k (s, p) ->
+                    { d_shard = s; d_prefix = [ g; k ]; d_prog = p })
+                  pieces;
+              p_cross = true;
+            })
+
+(* With the router lock held: all pieces have reported, so the merged
+   node commits — its value pairs each piece's fate, uncommitted pieces
+   as [Pair (false, Unit)], exactly the shape the differential oracle
+   replays for a [Par] node with aborted children. *)
+let synthesize_commit t g values =
+  let v =
+    Value.List
+      (Array.to_list
+         (Array.map
+            (function
+              | Some v -> Value.Pair (Value.Bool true, v)
+              | None -> Value.Pair (Value.Bool false, Value.Unit))
+            values))
+  in
+  let u = top_txn g in
+  let s1 = Spine.stamp t.spine in
+  t.synth <- (s1, Action.Request_commit (u, v)) :: t.synth;
+  let s2 = Spine.stamp t.spine in
+  t.synth <- (s2, Action.Commit u) :: t.synth;
+  let s3 = Spine.stamp t.spine in
+  t.synth <- (s3, Action.Report_commit (u, v)) :: t.synth;
+  Spine.note_complete t.spine g ~seq:s3;
+  v
+
+let note_report t ~g ~piece ~seq:_ out =
+  locked t (fun () ->
+      match (Hashtbl.find_opt t.entries g, piece) with
+      | Some (Plain p), None -> p.outcome <- Some out
+      | Some (Cross c), Some k ->
+          (match out with
+          | Shard_engine.Done_committed v -> c.values.(k) <- Some v
+          | Shard_engine.Done_aborted _ -> ());
+          c.remaining <- c.remaining - 1;
+          if c.remaining = 0 then c.value <- Some (synthesize_commit t g c.values)
+      | _ -> ())
+
+(* A shard refused a routed piece (cannot happen for router-validated
+   programs; belt and braces): count it as an aborted piece so the
+   merged transaction still completes. *)
+let note_dispatch_failed t ~g ~piece =
+  note_report t ~g ~piece ~seq:0 (Shard_engine.Done_aborted None)
+
+let result t g =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries g with
+      | None -> Pending
+      | Some (Plain { outcome = Some (Shard_engine.Done_committed v); _ }) ->
+          Committed v
+      | Some (Plain { outcome = Some (Shard_engine.Done_aborted veto); _ }) ->
+          Aborted veto
+      | Some (Plain { outcome = None; _ }) -> Pending
+      | Some (Cross { value = Some v; _ }) -> Committed v
+      | Some (Cross _) -> Pending)
+
+let kill_prefixes t g =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries g with
+      | None -> []
+      | Some (Plain { shard; _ }) -> [ (shard, [ g ]) ]
+      | Some (Cross { shards; _ }) ->
+          Array.to_list (Array.mapi (fun k s -> (s, [ g; k ])) shards))
+
+let submitted t = locked t (fun () -> Hashtbl.length t.entries)
+let cross_count t = locked t (fun () -> t.n_cross)
+let local_count t = locked t (fun () -> t.n_local)
+
+let pending t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun g e acc ->
+          match e with
+          | Plain { outcome = None; _ } | Cross { value = None; _ } -> g :: acc
+          | _ -> acc)
+        t.entries [])
+
+let counts t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ e (c, a) ->
+          match e with
+          | Plain { outcome = Some (Shard_engine.Done_committed _); _ } ->
+              (c + 1, a)
+          | Plain { outcome = Some (Shard_engine.Done_aborted _); _ } ->
+              (c, a + 1)
+          | Cross { value = Some _; _ } -> (c + 1, a)
+          | _ -> (c, a))
+        t.entries (0, 0))
+
+let merged_forest t =
+  locked t (fun () ->
+      List.init (Hashtbl.length t.progs) (fun g -> Hashtbl.find t.progs g))
+
+let merged_trace t buffers =
+  let synth = locked t (fun () -> t.synth) in
+  let all = List.concat (synth :: buffers) in
+  let sorted =
+    List.sort (fun (s1, _) (s2, _) -> compare (s1 : int) s2) all
+  in
+  Trace.of_list (List.map snd sorted)

@@ -1,0 +1,115 @@
+(** One shard: an {!Nt_net.Engine} over the shard's slice of the object
+    table, wired into the cross-shard {!Spine}.
+
+    The wrapper does three things the plain engine cannot:
+
+    - {e merged naming} — every submitted local top carries a merged
+      path prefix ([[g]] for a whole program, [[g; k]] for piece [k] of
+      cross-shard program [g]); the action tap remaps each local action
+      into the merged name space and stamps it with the global sequence
+      counter, so the union of all shard buffers sorts into one merged
+      trace;
+    - {e rail stamping} — top-level [Request_create]/report actions
+      stamp {!Spine.note_submit}/{!Spine.note_complete} with the same
+      sequence numbers, making the spine's implicit precedes rail
+      exactly the merged trace's;
+    - {e the second gate} — a top-level commit whose prospective edge
+      set ({!Nt_sg.Monitor.prospective_commit_edges}) contains
+      top-level edges presents their merged projection to
+      {!Spine.gate} after the local controller admits; a spine veto is
+      recorded through {!Nt_net.Admission.record_veto}, so clients see
+      it exactly like a local veto.  Commits with no top-level
+      prospective edges skip the spine — that fast path is exact, not
+      heuristic: only edges incident to the committing top can close a
+      new global cycle, and they are all in the prospective set.
+
+    Thread discipline: every mutating entry point ({!submit}, {!step},
+    {!drain}, {!kill}, {!finish}) must be called from the one thread
+    that owns the shard (the domain worker, or the harness thread);
+    {!published} and {!set_on_report} are safe from anywhere. *)
+
+open Nt_base
+open Nt_serial
+open Nt_generic
+open Nt_obs
+open Nt_net
+
+type t
+
+type outcome =
+  | Done_committed of Value.t
+  | Done_aborted of Admission.veto option
+
+type stats = {
+  sh_submitted : int;
+  sh_committed : int;
+  sh_aborted : int;
+  sh_vetoed : int;
+  sh_live : int;
+  sh_actions : int;
+  sh_steps : int;
+  sh_orphans : int;
+  sh_doomed : int;
+  sh_alarms : int;
+  sh_cycle_alarms : int;
+  sh_sg_nodes : int;
+  sh_sg_edges : int;
+  sh_sg_reorders : int;
+}
+
+val create :
+  ?policy:Runtime.policy ->
+  ?inform_policy:Runtime.inform_policy ->
+  ?abort_prob:float ->
+  ?max_steps:int ->
+  ?obs:Obs.t ->
+  ?mode:Nt_sg.Sg.conflict_mode ->
+  ?gating:bool ->
+  ?max_program:int ->
+  spine:Spine.t ->
+  partition:Partition.t ->
+  shard:int ->
+  seed:int ->
+  Nt_gobj.Gobj.factory ->
+  t
+(** [gating] (default [true]) turns off {e both} the local admission
+    gate and the spine consult — the sharded no-control, for negative
+    tests. *)
+
+val set_on_report :
+  t -> (g:int -> piece:int option -> seq:int -> outcome -> unit) -> unit
+(** Fired from the action tap at every local top-level report, with the
+    merged identity and the report's trace stamp.  Runs on the shard's
+    thread; keep it cheap and lock-disciplined. *)
+
+val submit : t -> prefix:int list -> Program.t -> (Txn_id.t, string) result
+(** Validate and attach, recording the merged prefix for the new local
+    top. *)
+
+val kill_prefix : t -> int list -> unit
+(** Kill the local top registered under this merged prefix (no-op for
+    unknown prefixes). *)
+
+val step : t -> [ `Progress | `Quiescent | `Truncated ]
+val drain : ?burst:int -> t -> [ `Progress | `Quiescent | `Truncated ]
+
+val finish : t -> Runtime.result
+(** The local result (local names); the merged trace comes from
+    {!buffer}. *)
+
+val buffer : t -> (int * Nt_base.Action.t) list
+(** Merged-named, stamp-carrying actions, newest first. *)
+
+val shard : t -> int
+val engine : t -> Engine.t
+
+val publish : t -> unit
+(** Snapshot the engine counters into a cell readable from other
+    threads. *)
+
+val published : t -> stats
+(** The last published snapshot (all zeros before the first
+    {!publish}). *)
+
+val snapshot : t -> stats
+(** Compute the counters directly — only from the owning thread. *)

@@ -1,0 +1,19 @@
+open Nt_serial
+
+let rec project part ~shard prog =
+  match prog with
+  | Program.Access (x, _) ->
+      if Partition.shard_of part x = shard then Some prog else None
+  | Program.Node (comb, children) -> (
+      match List.filter_map (project part ~shard) children with
+      | [] -> None
+      | kept -> Some (Program.Node (comb, kept)))
+
+let pieces part prog =
+  List.init (Partition.shards part) (fun s ->
+      match project part ~shard:s prog with
+      | Some p -> [ (s, p) ]
+      | None -> [])
+  |> List.concat
+
+let merged ps = Program.Node (Program.Par, ps)

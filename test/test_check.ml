@@ -256,6 +256,42 @@ let t_grammar_names_sync () =
   check_bool "unknown grammar rejected" true
     (Check.grammar_of_name "bogus" = None)
 
+(* [grammar_allowed] is exactly the rw-only restriction: the
+   register-encoded grammars pass everywhere, the datatype-drawing
+   ones only where the backend is not register-only — and the
+   conflict diagnostic names the offending pair plus every
+   register-only backend, so the CLI refusal explains itself. *)
+let t_grammar_allowed () =
+  List.iter
+    (fun b ->
+      List.iter
+        (fun g ->
+          let expect =
+            match g with
+            | Check.Rw | Check.Smallbank -> true
+            | _ -> not (Check.rw_only b)
+          in
+          check_bool
+            (Check.backend_name b ^ "/" ^ Check.grammar_name g)
+            expect
+            (Check.grammar_allowed b g))
+        [ Check.Rw; Check.Counters; Check.Mixed; Check.Weighted;
+          Check.Smallbank ])
+    Check.all_backends;
+  let msg = Check.grammar_conflict_message Check.Moss Check.Counters in
+  check_bool "message names the grammar" true
+    (Astring.String.is_infix ~affix:"counters" msg);
+  check_bool "message names the backend" true
+    (Astring.String.is_infix ~affix:"moss" msg);
+  List.iter
+    (fun b ->
+      if Check.rw_only b then
+        check_bool ("message lists " ^ Check.backend_name b) true
+          (Astring.String.is_infix ~affix:(Check.backend_name b) msg))
+    Check.all_backends;
+  check_bool "message offers the register-only grammars" true
+    (Astring.String.is_infix ~affix:"smallbank" msg)
+
 (* The weak-isolation adversaries under the contended SmallBank
    grammar: detected, shrunk to a replayable counterexample, and the
    bundle reproduces the same failure tag — the full pipeline the
@@ -359,6 +395,8 @@ let suite =
         t_backend_names_sync;
       Alcotest.test_case "grammar name registry in sync" `Quick
         t_grammar_names_sync;
+      Alcotest.test_case "grammar/backend conflicts refused loudly" `Quick
+        t_grammar_allowed;
       Alcotest.test_case "weak backends shrink and replay" `Quick
         t_weak_backends_shrink_and_replay;
       Alcotest.test_case "workload family recorded and preserved" `Quick

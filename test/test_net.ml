@@ -68,6 +68,7 @@ let sample_telemetry =
       ];
     gc_pause = { sample_hist with Wire.h_count = 2; h_sum = 900 };
     gc_pct = 1.25;
+    per_shard = [];
   }
 
 let sample_responses =
@@ -79,6 +80,7 @@ let sample_responses =
         backend = "undo";
         objects = [ ("x", "(register 0)"); ("c", "(counter 3)") ];
         status = Wire.Fresh;
+        shards = 1;
       };
     Wire.Welcome
       {
@@ -87,6 +89,7 @@ let sample_responses =
         backend = "moss";
         objects = [];
         status = Wire.Recovering { replayed = 12; total = 40 };
+        shards = 4;
       };
     Wire.Accepted { txn = Txn_id.of_path [ 7 ]; req = None };
     Wire.Accepted { txn = Txn_id.of_path [ 8 ]; req = Some "c1-42" };
@@ -112,6 +115,18 @@ let sample_responses =
     Wire.Telemetry sample_telemetry;
     Wire.Telemetry
       { sample_telemetry with Wire.seq = 4; hot = []; stages = [] };
+    Wire.Telemetry
+      {
+        sample_telemetry with
+        Wire.seq = 5;
+        per_shard =
+          [
+            { Wire.r_shard = 0; r_submitted = 7; r_committed = 5;
+              r_aborted = 1; r_vetoed = 0; r_live = 1 };
+            { Wire.r_shard = 1; r_submitted = 5; r_committed = 4;
+              r_aborted = 1; r_vetoed = 1; r_live = 0 };
+          ];
+      };
     Wire.Pong
       {
         t_mono = 12.5;
@@ -127,7 +142,20 @@ let sample_responses =
         jsonl = "flight-001-request.jsonl";
         chrome = "flight-001-request.trace.json";
       };
-    Wire.Quiesced { committed = 5; aborted = 2; vetoed = 1; alarms = 0 };
+    Wire.Quiesced
+      { committed = 5; aborted = 2; vetoed = 1; alarms = 0; per_shard = [] };
+    Wire.Quiesced
+      {
+        committed = 5;
+        aborted = 2;
+        vetoed = 1;
+        alarms = 0;
+        per_shard =
+          [
+            { Wire.r_shard = 0; r_submitted = 4; r_committed = 3;
+              r_aborted = 1; r_vetoed = 1; r_live = 0 };
+          ];
+      };
     Wire.Goodbye;
     Wire.Error_msg "bad frame header";
   ]

@@ -192,6 +192,48 @@ let t_compact () =
     (c = [ submit; Wal.Steps 9; Wal.Kill { txn = t1 }; Wal.Steps 1 ]);
   check_bool "idempotent" true (Wal.compact c = c)
 
+(* [Closure.push] is [compact] one record at a time: same result, and
+   the retained list stays bounded by the replay events however many
+   idle [Steps] cuts are pushed — the property that keeps a live
+   server's between-snapshot memory flat. *)
+let t_closure_incremental () =
+  let submit = Wal.Submit { req = None; client = "c"; program = "p" } in
+  let events =
+    [
+      List.hd sample_records;
+      submit;
+      Wal.Steps 3;
+      Wal.Steps 4;
+      Wal.Outcome { txn = t1; outcome = Wal.Aborted None };
+      Wal.Steps 2;
+      Wal.Kill { txn = t1 };
+      Wal.Steps 0;
+      Wal.Steps 1;
+    ]
+  in
+  let c = Wal.Closure.of_records events in
+  check_bool "of_records = compact" true
+    (Wal.Closure.records c = Wal.compact events);
+  check_int "length" (List.length (Wal.compact events)) (Wal.Closure.length c);
+  check_int "events counted" 2 (Wal.Closure.events c);
+  (* An idle server cutting its log every turn: 100k Steps pushes with
+     a submission every 10k must not grow the closure past the bound. *)
+  let c = Wal.Closure.create () in
+  for i = 1 to 100_000 do
+    if i mod 10_000 = 0 then Wal.Closure.push c submit;
+    Wal.Closure.push c (Wal.Steps 1)
+  done;
+  check_int "10 retained events" 10 (Wal.Closure.events c);
+  check_bool "bounded by 2e+1" true
+    (Wal.Closure.length c <= (2 * Wal.Closure.events c) + 1);
+  check_bool "no adjacent Steps" true
+    (let rec ok = function
+       | Wal.Steps _ :: Wal.Steps _ :: _ -> false
+       | _ :: rest -> ok rest
+       | [] -> true
+     in
+     ok (Wal.Closure.records c))
+
 (* ----- recorded serves and recovery ----- *)
 
 let backends_cycle = [| Check.Undo; Check.Moss; Check.Commlock; Check.Mvts |]
@@ -342,6 +384,31 @@ let t_record_matches_serve () =
   check_bool "second recover on a used engine is refused" true
     (match Engine.recover eng [] with Error _ -> true | Ok _ -> false)
 
+(* Memory pin for the serving loop's replay closure: across long
+   recorded runs the in-memory closure must stay within
+   [2 * (submits + kills) + 1] — growth tracks replay events, never
+   raw appended records (outcomes, idle step cuts). *)
+let t_closure_bounded_on_record () =
+  for i = 0 to 19 do
+    let backend, sc = scenario_for i in
+    let rc = Check.record ~drop_prob:0.2 ~seed:(500 + i) backend sc in
+    let records =
+      match Wal.scan ~magic:Wal.wal_magic rc.Check.rc_wal with
+      | Ok s -> s.Wal.sc_records
+      | Error e -> Alcotest.fail ("scan: " ^ e)
+    in
+    let events =
+      List.length
+        (List.filter
+           (function Wal.Submit _ | Wal.Kill _ -> true | _ -> false)
+           records)
+    in
+    check_bool "closure within 2e+1" true
+      (rc.Check.rc_closure_len <= (2 * events) + 1);
+    check_bool "closure is the compacted log" true
+      (rc.Check.rc_closure_len = List.length (Wal.compact records))
+  done
+
 (* The headline sweep: simulated kill(-9) at every log boundary (plus
    torn and bit-flipped variants) across 200 seeded serve runs, every
    recovery re-judged by the four oracles.  Zero failures expected on
@@ -489,6 +556,10 @@ let suite =
       Alcotest.test_case "writer batching" `Quick t_writer_batching;
       Alcotest.test_case "outcome after steps" `Quick t_outcome_after_steps;
       Alcotest.test_case "compact" `Quick t_compact;
+      Alcotest.test_case "closure incremental = compact" `Quick
+        t_closure_incremental;
+      Alcotest.test_case "closure bounded on record (20 seeds)" `Quick
+        t_closure_bounded_on_record;
       Alcotest.test_case "snapshot + tail = full log (200 seeds)" `Quick
         t_snapshot_tail_equals_full;
       Alcotest.test_case "record matches serve" `Quick t_record_matches_serve;
